@@ -1,0 +1,15 @@
+//! Ablation: asynchronous (iread) vs synchronous reads on the same PFS.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stap_core::experiments::ablation::async_toggle;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", stap_bench::render_async_ablation());
+    let mut g = c.benchmark_group("ablation_async_io");
+    g.sample_size(10);
+    g.bench_function("toggle_pair", |b| b.iter(|| async_toggle(100)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Ablation: stripe-factor sweep (generalizes the paper's 16-vs-64 pair).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stap_core::experiments::ablation::{sweep_cube_size, sweep_stripe_factor};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", stap_bench::render_stripe_sweep());
+    let mut g = c.benchmark_group("ablation_stripe_sweep");
+    g.sample_size(10);
+    g.bench_function("sweep_6_factors", |b| {
+        b.iter(|| sweep_stripe_factor(&[4, 8, 16, 32, 64, 128], 100))
+    });
+    g.bench_function("sweep_cube_sizes", |b| {
+        b.iter(|| sweep_cube_size(&[256, 512, 1024], 100))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Bench: two-phase collective reads vs independent strided reads — both
+//! the real byte-moving paths and the modeled service times.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stap_pfs::collective::{independent_read, modeled_costs, two_phase_read, ClientRequests};
+use stap_pfs::{FsConfig, OpenMode, Pfs};
+
+fn strided(clients: usize, record: usize, records: usize) -> Vec<ClientRequests> {
+    (0..clients)
+        .map(|i| ClientRequests {
+            extents: (i..records)
+                .step_by(clients)
+                .map(|r| ((r * record) as u64, record))
+                .collect(),
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let cfg = FsConfig::paragon_pfs(16);
+    let fs = Pfs::mount(cfg.clone());
+    let f = fs.gopen("strided.dat", OpenMode::Async);
+    let data: Vec<u8> = (0..1 << 20).map(|i| (i % 251) as u8).collect();
+    f.write_at(0, &data);
+    let reqs = strided(8, 512, 2048);
+
+    let (naive, two_phase) = modeled_costs(&cfg, &reqs, OpenMode::Async);
+    println!("modeled strided read: independent {naive:.3} s, two-phase {two_phase:.3} s");
+
+    let mut g = c.benchmark_group("collective_io");
+    g.sample_size(10);
+    g.bench_function("independent_read", |b| b.iter(|| independent_read(&f, &reqs).unwrap()));
+    g.bench_function("two_phase_read", |b| b.iter(|| two_phase_read(&f, &reqs).unwrap()));
+    g.bench_function("modeled_costs", |b| b.iter(|| modeled_costs(&cfg, &reqs, OpenMode::Async)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Figure 5: bar-chart view of Table 1 (embedded I/O).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stap_core::experiments::render::render_figure;
+use stap_core::experiments::table1;
+
+fn bench(c: &mut Criterion) {
+    let t = table1();
+    println!("{}", render_figure("Figure 5. Results corresponding to Table 1.", &t));
+    let mut g = c.benchmark_group("fig5_embedded_bars");
+    g.sample_size(10);
+    g.bench_function("render", |b| {
+        b.iter(|| render_figure("Figure 5. Results corresponding to Table 1.", &t))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

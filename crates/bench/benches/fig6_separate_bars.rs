@@ -1,0 +1,19 @@
+//! Figure 6: bar-chart view of Table 2 (separate I/O task).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stap_core::experiments::render::render_figure;
+use stap_core::experiments::table2;
+
+fn bench(c: &mut Criterion) {
+    let t = table2();
+    println!("{}", render_figure("Figure 6. Results corresponding to Table 2.", &t));
+    let mut g = c.benchmark_group("fig6_separate_bars");
+    g.sample_size(10);
+    g.bench_function("render", |b| {
+        b.iter(|| render_figure("Figure 6. Results corresponding to Table 2.", &t))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

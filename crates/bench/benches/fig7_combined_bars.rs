@@ -1,0 +1,19 @@
+//! Figure 7: bar-chart view of Table 3 (combined tail).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stap_core::experiments::render::render_figure;
+use stap_core::experiments::table3;
+
+fn bench(c: &mut Criterion) {
+    let t = table3();
+    println!("{}", render_figure("Figure 7. Results corresponding to Table 3.", &t));
+    let mut g = c.benchmark_group("fig7_combined_bars");
+    g.sample_size(10);
+    g.bench_function("render", |b| {
+        b.iter(|| render_figure("Figure 7. Results corresponding to Table 3.", &t))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Figure 8: the 7-task vs 6-task (with/without combining) comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stap_core::experiments::render::render_fig8;
+use stap_core::experiments::{fig8_from, table1, table3};
+
+fn bench(c: &mut Criterion) {
+    let f8 = fig8_from(table1(), table3());
+    println!("{}", render_fig8(&f8));
+    let mut g = c.benchmark_group("fig8_comparison");
+    g.sample_size(10);
+    g.bench_function("render", |b| b.iter(|| render_fig8(&f8)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Criterion microbenchmarks of the real STAP kernels at paper-scale
+//! geometry — the workloads whose FLOP formulas calibrate `stap-model`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use stap_kernels::cfar::{cfar_row, CfarConfig};
+use stap_kernels::covariance::{estimate_covariance, TrainingConfig};
+use stap_kernels::cube::{CubeDims, DataCube, DopplerCube};
+use stap_kernels::doppler::{DopplerConfig, DopplerFilter};
+use stap_kernels::pulse::{lfm_chirp, PulseCompressor};
+use stap_kernels::weights::WeightComputer;
+use stap_math::{C32, FftPlan};
+
+/// Deterministic pseudo-noise cube.
+fn noise_cube(dims: CubeDims) -> DataCube {
+    let mut cube = DataCube::zeros(dims);
+    let mut state = 0xDEADBEEFu64;
+    for z in cube.as_mut_slice() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        *z = C32::new(
+            (state as u32 as f32 / u32::MAX as f32) - 0.5,
+            ((state >> 32) as u32 as f32 / u32::MAX as f32) - 0.5,
+        );
+    }
+    cube
+}
+
+fn noise_doppler(staggers: usize, bins: usize, channels: usize, ranges: usize) -> DopplerCube {
+    let mut dc = DopplerCube::zeros(staggers, bins, channels, ranges);
+    let cube = noise_cube(CubeDims::new(staggers * bins, channels, ranges));
+    for s in 0..staggers {
+        for b in 0..bins {
+            for c in 0..channels {
+                for r in 0..ranges {
+                    *dc.get_mut(s, b, c, r) = cube.get(s * bins + b, c, r);
+                }
+            }
+        }
+    }
+    dc
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels");
+    g.sample_size(10);
+
+    // FFT at the Doppler length.
+    let plan = FftPlan::<f32>::new(128);
+    g.bench_function("fft_128", |b| {
+        b.iter_batched(
+            || vec![C32::new(1.0, -0.5); 128],
+            |mut buf| plan.forward(&mut buf),
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Doppler filtering of a 1/8-scale cube slab (what one node handles).
+    let slab = noise_cube(CubeDims::new(128, 32, 64));
+    let df = DopplerFilter::new(128, DopplerConfig::default());
+    g.bench_function("doppler_easy_slab_128x32x64", |b| b.iter(|| df.filter_easy(&slab)));
+    g.bench_function("doppler_staggered_slab_128x32x64", |b| {
+        b.iter(|| df.filter_staggered(&slab))
+    });
+
+    // Covariance + weights for one hard bin (DoF 64).
+    let hard = noise_doppler(2, 2, 32, 512);
+    g.bench_function("covariance_dof64_128snap", |b| {
+        b.iter(|| estimate_covariance(&hard, 1, TrainingConfig::default()))
+    });
+    let wc = WeightComputer::default();
+    g.bench_function("weights_one_hard_bin", |b| b.iter(|| wc.compute(&hard, &[1]).unwrap()));
+
+    // Beamforming one bin over the full range extent.
+    let ws = wc.compute(&hard, &[0, 1]).unwrap();
+    g.bench_function("beamform_2bins_512rg", |b| {
+        b.iter(|| stap_kernels::beamform::Beamformer.apply(&hard, &ws))
+    });
+
+    // Pulse compression of one row.
+    let wf = lfm_chirp(16, 0.9);
+    let pc = PulseCompressor::new(512, &wf);
+    g.bench_function("pulse_compress_row_512", |b| {
+        b.iter_batched(
+            || vec![C32::new(0.3, -0.1); 512],
+            |mut row| pc.compress_row(&mut row),
+            BatchSize::SmallInput,
+        )
+    });
+
+    // CFAR over one row.
+    let powers: Vec<f64> = (0..512).map(|i| 1.0 + (i as f64 * 0.37).sin().abs()).collect();
+    g.bench_function("cfar_row_512", |b| b.iter(|| cfar_row(&powers, CfarConfig::default())));
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion benchmark of the REAL threaded pipeline end to end (small
+//! geometry): synthetic radar → striped PFS → 7 tasks → detection reports.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stap_core::config::StapConfig;
+use stap_core::{IoStrategy, StapSystem, TailStructure};
+
+fn run_once(io: IoStrategy, tail: TailStructure) -> usize {
+    let cfg = StapConfig { io, tail, cpis: 4, warmup: 1, ..StapConfig::default() };
+    let sys = StapSystem::prepare(cfg).expect("prepare");
+    let out = sys.run().expect("run");
+    out.reports.iter().map(|r| r.len()).sum()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("real_pipeline");
+    g.sample_size(10);
+    g.bench_function("embedded_split_4cpis", |b| {
+        b.iter(|| run_once(IoStrategy::Embedded, TailStructure::Split))
+    });
+    g.bench_function("separate_split_4cpis", |b| {
+        b.iter(|| run_once(IoStrategy::SeparateTask, TailStructure::Split))
+    });
+    g.bench_function("embedded_combined_4cpis", |b| {
+        b.iter(|| run_once(IoStrategy::Embedded, TailStructure::Combined))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

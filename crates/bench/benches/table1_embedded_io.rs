@@ -1,0 +1,30 @@
+//! Bench + regeneration of Table 1 (I/O embedded in the Doppler task).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stap_core::desmodel::DesExperiment;
+use stap_core::experiments::render::render_table;
+use stap_core::experiments::table1;
+use stap_core::{IoStrategy, TailStructure};
+use stap_model::machines::MachineModel;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", render_table(&table1()));
+    let mut g = c.benchmark_group("table1_embedded_io");
+    g.sample_size(10);
+    g.bench_function("full_grid", |b| b.iter(table1));
+    g.bench_function("one_cell_paragon64_100", |b| {
+        b.iter(|| {
+            DesExperiment::new(
+                MachineModel::paragon(64),
+                IoStrategy::Embedded,
+                TailStructure::Split,
+                100,
+            )
+            .run()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Bench + regeneration of Table 2 (separate I/O task).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stap_core::desmodel::DesExperiment;
+use stap_core::experiments::render::render_table;
+use stap_core::experiments::table2;
+use stap_core::{IoStrategy, TailStructure};
+use stap_model::machines::MachineModel;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", render_table(&table2()));
+    let mut g = c.benchmark_group("table2_separate_io");
+    g.sample_size(10);
+    g.bench_function("full_grid", |b| b.iter(table2));
+    g.bench_function("one_cell_sp_50", |b| {
+        b.iter(|| {
+            DesExperiment::new(
+                MachineModel::sp(),
+                IoStrategy::SeparateTask,
+                TailStructure::Split,
+                50,
+            )
+            .run()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Bench + regeneration of Table 3 (pulse compression + CFAR combined).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stap_core::desmodel::DesExperiment;
+use stap_core::experiments::render::render_table;
+use stap_core::experiments::table3;
+use stap_core::{IoStrategy, TailStructure};
+use stap_model::machines::MachineModel;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", render_table(&table3()));
+    let mut g = c.benchmark_group("table3_combined");
+    g.sample_size(10);
+    g.bench_function("full_grid", |b| b.iter(table3));
+    g.bench_function("one_cell_paragon16_25", |b| {
+        b.iter(|| {
+            DesExperiment::new(
+                MachineModel::paragon(16),
+                IoStrategy::Embedded,
+                TailStructure::Combined,
+                25,
+            )
+            .run()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Bench + regeneration of Table 4 (% latency improvement from combining).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stap_core::experiments::render::render_table4;
+use stap_core::experiments::{table1, table3, table4_from};
+
+fn bench(c: &mut Criterion) {
+    let t1 = table1();
+    let t3 = table3();
+    println!("{}", render_table4(&table4_from(&t1, &t3)));
+    let mut g = c.benchmark_group("table4_improvement");
+    g.sample_size(10);
+    g.bench_function("derive_from_grids", |b| b.iter(|| table4_from(&t1, &t3)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

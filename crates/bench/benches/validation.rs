@@ -1,0 +1,16 @@
+//! Bench + regeneration of the three-way validation table
+//! (DES vs closed-form prediction vs equations on measured times).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stap_core::experiments::validation::{render_validation, validate_embedded_grid};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", render_validation(&validate_embedded_grid()));
+    let mut g = c.benchmark_group("validation");
+    g.sample_size(10);
+    g.bench_function("three_way_grid", |b| b.iter(validate_embedded_grid));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

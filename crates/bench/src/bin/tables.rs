@@ -1,0 +1,29 @@
+//! Regenerates every table and figure of the paper's evaluation section.
+//!
+//! Usage:
+//! ```text
+//! cargo run -p stap-bench --bin tables --release [-- <output-dir>]
+//! ```
+//! Prints all artifacts to stdout and, when an output directory is given,
+//! also writes one `<name>.txt` per artifact.
+
+fn main() {
+    let out_dir = std::env::args().nth(1);
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
+    println!("Regenerating the evaluation of:");
+    println!("  \"Design and Evaluation of I/O Strategies for Parallel Pipelined STAP");
+    println!("   Applications\" (Liao, Choudhary, Weiner, Varshney — IPPS 2000)");
+    println!("on the calibrated Paragon/SP machine models in virtual time.\n");
+
+    for artifact in stap_bench::regenerate_all() {
+        println!("{}", "=".repeat(100));
+        println!("{}", artifact.text);
+        if let Some(dir) = &out_dir {
+            let path = format!("{dir}/{}.txt", artifact.name);
+            std::fs::write(&path, &artifact.text).expect("write artifact");
+            eprintln!("wrote {path}");
+        }
+    }
+}

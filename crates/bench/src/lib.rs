@@ -1,0 +1,129 @@
+#![warn(missing_docs)]
+
+//! # stap-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation section:
+//!
+//! | Artifact | Driver | Bench target |
+//! |---|---|---|
+//! | Table 1 / Fig 5 | [`stap_core::experiments::table1`] | `table1_embedded_io`, `fig5_embedded_bars` |
+//! | Table 2 / Fig 6 | [`stap_core::experiments::table2`] | `table2_separate_io`, `fig6_separate_bars` |
+//! | Table 3 / Fig 7 | [`stap_core::experiments::table3`] | `table3_combined`, `fig7_combined_bars` |
+//! | Table 4 | [`stap_core::experiments::table4`] | `table4_improvement` |
+//! | Figure 8 | [`stap_core::experiments::fig8`] | `fig8_comparison` |
+//! | Ablations | [`stap_core::experiments::ablation`] | `ablation_*` |
+//!
+//! `cargo run -p stap-bench --bin tables --release` prints everything at
+//! once (and writes `results/*.txt`); the Criterion benches time each
+//! regeneration and the real signal-processing kernels.
+
+use stap_core::experiments::render::{render_fig8, render_figure, render_table, render_table4};
+use stap_core::experiments::{fig8_from, table1, table2, table3, table4_from};
+use stap_core::experiments::ablation;
+
+/// One regenerated artifact: a name and its rendered text.
+pub struct Artifact {
+    /// File-friendly name (e.g. `table1`).
+    pub name: &'static str,
+    /// Rendered text.
+    pub text: String,
+}
+
+/// Runs the full evaluation and renders every table and figure.
+pub fn regenerate_all() -> Vec<Artifact> {
+    let t1 = table1();
+    let t2 = table2();
+    let t3 = table3();
+    let t4 = table4_from(&t1, &t3);
+
+    let mut out = vec![
+        Artifact { name: "table1", text: render_table(&t1) },
+        Artifact {
+            name: "fig5",
+            text: render_figure("Figure 5. Results corresponding to Table 1.", &t1),
+        },
+        Artifact { name: "table2", text: render_table(&t2) },
+        Artifact {
+            name: "fig6",
+            text: render_figure("Figure 6. Results corresponding to Table 2.", &t2),
+        },
+        Artifact { name: "table3", text: render_table(&t3) },
+        Artifact {
+            name: "fig7",
+            text: render_figure("Figure 7. Results corresponding to Table 3.", &t3),
+        },
+        Artifact { name: "table4", text: render_table4(&t4) },
+    ];
+    let f8 = fig8_from(t1, t3);
+    out.push(Artifact { name: "fig8", text: render_fig8(&f8) });
+    out.push(Artifact { name: "ablation_stripe_sweep", text: render_stripe_sweep() });
+    out.push(Artifact { name: "ablation_async", text: render_async_ablation() });
+    out.push(Artifact {
+        name: "validation",
+        text: stap_core::experiments::validation::render_validation(
+            &stap_core::experiments::validation::validate_embedded_grid(),
+        ),
+    });
+    out
+}
+
+/// Renders the stripe-factor sweep ablation.
+pub fn render_stripe_sweep() -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Ablation: Paragon PFS stripe-factor sweep at 100 compute nodes (embedded I/O)."
+    );
+    let _ = writeln!(s, "{:<8}{:>14}{:>12}{:>10}", "sf", "throughput", "latency", "io util");
+    for (sf, r) in ablation::sweep_stripe_factor(&[4, 8, 16, 32, 64, 128], 100) {
+        let _ = writeln!(
+            s,
+            "{:<8}{:>14.3}{:>12.4}{:>10.3}",
+            sf, r.throughput, r.latency, r.io_utilization
+        );
+    }
+    s
+}
+
+/// Renders the async-vs-sync I/O ablation.
+pub fn render_async_ablation() -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Ablation: asynchronous (iread) vs synchronous reads, Paragon sf=64, 100 nodes."
+    );
+    let (with_async, without) = ablation::async_toggle(100);
+    let _ = writeln!(
+        s,
+        "  async: throughput {:.3} CPI/s, latency {:.4} s",
+        with_async.throughput, with_async.latency
+    );
+    let _ = writeln!(
+        s,
+        "  sync : throughput {:.3} CPI/s, latency {:.4} s",
+        without.throughput, without.latency
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripe_sweep_renders_all_factors() {
+        let s = render_stripe_sweep();
+        for sf in [4, 8, 16, 32, 64, 128] {
+            assert!(s.lines().any(|l| l.starts_with(&format!("{sf} ")) || l.starts_with(&format!("{sf}"))), "missing sf={sf}\n{s}");
+        }
+    }
+
+    #[test]
+    fn async_ablation_mentions_both_modes() {
+        let s = render_async_ablation();
+        assert!(s.contains("async:"));
+        assert!(s.contains("sync :"));
+    }
+}

@@ -1,0 +1,104 @@
+//! Rank subgroups — the pipeline assigns each task a disjoint group of
+//! nodes, so collectives and neighbor lookups are group-relative.
+
+use crate::error::CommError;
+
+/// An ordered set of world ranks forming a communicator subgroup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Group {
+    ranks: Vec<usize>,
+}
+
+impl Group {
+    /// Builds a group from world ranks.
+    ///
+    /// # Panics
+    /// Panics when `ranks` is empty or contains duplicates.
+    pub fn new(ranks: Vec<usize>) -> Self {
+        assert!(!ranks.is_empty(), "group must be non-empty");
+        let mut seen = ranks.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), ranks.len(), "group ranks must be unique");
+        Self { ranks }
+    }
+
+    /// A contiguous group `[start, start + len)`.
+    pub fn contiguous(start: usize, len: usize) -> Self {
+        Self::new((start..start + len).collect())
+    }
+
+    /// Group size.
+    pub fn len(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// True when the group has exactly one member (never zero by
+    /// construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The member world ranks in group order.
+    pub fn ranks(&self) -> &[usize] {
+        &self.ranks
+    }
+
+    /// World rank of group-local index `i`.
+    pub fn world_rank(&self, i: usize) -> Result<usize, CommError> {
+        self.ranks
+            .get(i)
+            .copied()
+            .ok_or(CommError::InvalidRank { rank: i, size: self.ranks.len() })
+    }
+
+    /// Group-local index of a world rank, if a member.
+    pub fn local_index(&self, world_rank: usize) -> Option<usize> {
+        self.ranks.iter().position(|&r| r == world_rank)
+    }
+
+    /// The group's designated root (local index 0).
+    pub fn root(&self) -> usize {
+        self.ranks[0]
+    }
+
+    /// True when the world rank belongs to the group.
+    pub fn contains(&self, world_rank: usize) -> bool {
+        self.local_index(world_rank).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_group_maps_both_ways() {
+        let g = Group::contiguous(4, 3);
+        assert_eq!(g.ranks(), &[4, 5, 6]);
+        assert_eq!(g.world_rank(2).unwrap(), 6);
+        assert_eq!(g.local_index(5), Some(1));
+        assert_eq!(g.local_index(7), None);
+        assert_eq!(g.root(), 4);
+        assert!(g.contains(4));
+        assert!(!g.contains(3));
+    }
+
+    #[test]
+    fn out_of_range_local_index_errors() {
+        let g = Group::contiguous(0, 2);
+        assert!(g.world_rank(2).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "unique")]
+    fn duplicate_ranks_rejected() {
+        Group::new(vec![1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_group_rejected() {
+        Group::new(vec![]);
+    }
+}

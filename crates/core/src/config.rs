@@ -1,0 +1,163 @@
+//! Configuration of a real-mode STAP pipeline run.
+
+use crate::io_strategy::{IoStrategy, TailStructure};
+use stap_kernels::cfar::CfarConfig;
+use stap_kernels::cube::CubeDims;
+use stap_kernels::doppler::DopplerConfig;
+use stap_kernels::weights::{BeamSet, WeightMethod};
+use stap_pfs::FsConfig;
+use stap_radar::Scene;
+
+/// Node counts for the real executor (threads). These are deliberately
+/// small — the paper-scale 25/100-node runs happen in virtual time; the
+/// real run proves correctness and phase structure on a workstation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeCounts {
+    /// Separate I/O task nodes (ignored when I/O is embedded).
+    pub read: usize,
+    /// Doppler filter nodes.
+    pub doppler: usize,
+    /// Easy weight nodes.
+    pub easy_weight: usize,
+    /// Hard weight nodes.
+    pub hard_weight: usize,
+    /// Easy beamforming nodes.
+    pub easy_bf: usize,
+    /// Hard beamforming nodes.
+    pub hard_bf: usize,
+    /// Pulse compression nodes.
+    pub pulse: usize,
+    /// CFAR nodes.
+    pub cfar: usize,
+}
+
+impl Default for NodeCounts {
+    fn default() -> Self {
+        Self {
+            read: 2,
+            doppler: 2,
+            easy_weight: 1,
+            hard_weight: 2,
+            easy_bf: 1,
+            hard_bf: 2,
+            pulse: 2,
+            cfar: 1,
+        }
+    }
+}
+
+impl NodeCounts {
+    /// Total threads a run will use under the given strategy/tail.
+    pub fn total(&self, io: IoStrategy, tail: TailStructure) -> usize {
+        let mut n = self.doppler
+            + self.easy_weight
+            + self.hard_weight
+            + self.easy_bf
+            + self.hard_bf
+            + self.pulse
+            + self.cfar;
+        if io == IoStrategy::SeparateTask {
+            n += self.read;
+        }
+        let _ = tail; // combined tail reuses pulse+cfar nodes
+        n
+    }
+}
+
+/// Full configuration of a real pipeline run.
+#[derive(Debug, Clone)]
+pub struct StapConfig {
+    /// CPI cube geometry.
+    pub dims: CubeDims,
+    /// Radar scenario generating the input cubes.
+    pub scene: Scene,
+    /// Doppler filter settings (window, stagger, bin classification).
+    pub doppler: DopplerConfig,
+    /// Beam set (look directions).
+    pub beams: BeamSet,
+    /// Adaptive weight algorithm (MVDR or eigencanceler).
+    pub weight_method: WeightMethod,
+    /// CFAR detector settings.
+    pub cfar: CfarConfig,
+    /// Pulse-compression waveform length (range samples).
+    pub waveform_len: usize,
+    /// File system to stage CPI files on.
+    pub fs: FsConfig,
+    /// Number of round-robin CPI files ("a total of four data sets stored
+    /// as four files").
+    pub fanout: usize,
+    /// I/O design under test.
+    pub io: IoStrategy,
+    /// Tail structure under test.
+    pub tail: TailStructure,
+    /// Node counts.
+    pub nodes: NodeCounts,
+    /// CPIs to push through.
+    pub cpis: u64,
+    /// Leading CPIs excluded from steady-state metrics.
+    pub warmup: u64,
+    /// RNG seed for the radar scene.
+    pub seed: u64,
+    /// When set, the final task writes each CPI's detection report back to
+    /// the parallel file system (`report_<cpi>.dat`) — the output side of
+    /// the I/O story.
+    pub record_reports: bool,
+}
+
+impl Default for StapConfig {
+    fn default() -> Self {
+        Self {
+            // Small enough to run on a workstation in seconds while still
+            // exercising every code path (staggered bins, training, CFAR).
+            dims: CubeDims::new(32, 8, 128),
+            scene: Scene::benchmark_small(),
+            doppler: DopplerConfig::default(),
+            beams: BeamSet::default(),
+            weight_method: WeightMethod::Mvdr,
+            cfar: CfarConfig::default(),
+            waveform_len: 8,
+            fs: FsConfig::paragon_pfs(16),
+            fanout: 4,
+            io: IoStrategy::Embedded,
+            tail: TailStructure::Split,
+            nodes: NodeCounts::default(),
+            cpis: 6,
+            warmup: 2,
+            seed: 7,
+            record_reports: false,
+        }
+    }
+}
+
+impl StapConfig {
+    /// File name of the `slot`-th round-robin CPI file.
+    pub fn file_name(slot: usize) -> String {
+        format!("cpi_{slot}.dat")
+    }
+
+    /// Number of Doppler bins the pipeline will produce.
+    pub fn nbins(&self) -> usize {
+        self.dims.pulses.next_power_of_two()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_count_read_task_only_when_separate() {
+        let n = NodeCounts::default();
+        let embedded = n.total(IoStrategy::Embedded, TailStructure::Split);
+        let separate = n.total(IoStrategy::SeparateTask, TailStructure::Split);
+        assert_eq!(separate, embedded + n.read);
+    }
+
+    #[test]
+    fn default_config_is_consistent() {
+        let c = StapConfig::default();
+        assert_eq!(c.nbins(), 32);
+        assert!(c.cpis > c.warmup);
+        assert_eq!(StapConfig::file_name(2), "cpi_2.dat");
+    }
+}

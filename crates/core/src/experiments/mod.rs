@@ -1,0 +1,11 @@
+//! Experiment drivers regenerating every table and figure of the paper's
+//! evaluation section, plus ablations beyond it.
+
+pub mod ablation;
+pub mod render;
+pub mod tables;
+pub mod validation;
+
+pub use tables::{
+    fig8, fig8_from, table1, table2, table3, table4, table4_from, Fig8Data, Table, Table4,
+};

@@ -1,0 +1,71 @@
+//! The two I/O designs the paper evaluates, and the tail-structure choice
+//! introduced by the task-combination study (§6).
+
+/// Where the parallel file read happens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoStrategy {
+    /// First design (paper §4.1, Fig. 3): "embeds the parallel I/O in the
+    /// first task of the pipeline, i.e. in the Doppler filter processing
+    /// task. The Doppler filter processing task now consists of three
+    /// phases: reading data from files, computation, and sending phases."
+    Embedded,
+    /// Second design (paper §4.1, Fig. 4): "creates a new task for reading
+    /// data and this task is added to the beginning of the pipeline." The
+    /// pipeline then has eight tasks.
+    SeparateTask,
+}
+
+impl IoStrategy {
+    /// Display label used by the tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            IoStrategy::Embedded => "I/O embedded in Doppler filter task",
+            IoStrategy::SeparateTask => "separate I/O task",
+        }
+    }
+
+    /// Number of pipeline tasks this design yields (with a split tail).
+    pub fn task_count(self) -> usize {
+        match self {
+            IoStrategy::Embedded => 7,
+            IoStrategy::SeparateTask => 8,
+        }
+    }
+}
+
+/// Whether pulse compression and CFAR run as two tasks or one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TailStructure {
+    /// Pulse compression and CFAR as separate pipeline tasks.
+    Split,
+    /// The two tasks combined into one, running on `P_5 + P_6` nodes —
+    /// the paper's latency optimization (§6): `T_{5+6} < T_5 + T_6`.
+    Combined,
+}
+
+impl TailStructure {
+    /// Display label used by the tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            TailStructure::Split => "PC and CFAR split",
+            TailStructure::Combined => "PC + CFAR combined",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_counts_match_paper() {
+        assert_eq!(IoStrategy::Embedded.task_count(), 7);
+        assert_eq!(IoStrategy::SeparateTask.task_count(), 8);
+    }
+
+    #[test]
+    fn labels_distinct() {
+        assert_ne!(IoStrategy::Embedded.label(), IoStrategy::SeparateTask.label());
+        assert_ne!(TailStructure::Split.label(), TailStructure::Combined.label());
+    }
+}

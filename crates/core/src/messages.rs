@@ -1,0 +1,267 @@
+//! Inter-stage message payloads of the real pipeline.
+//!
+//! Stages exchange typed values through `stap-comm`; these are the payload
+//! types with their (re)assembly logic. The bin-slab type carries
+//! Doppler-filtered data for a set of bins over one node's range interval;
+//! receivers stitch slabs from every sender into a full-range cube for
+//! their bins. The row-batch type carries beamformed (bin, beam) range rows
+//! between the tail tasks.
+
+use stap_kernels::cube::DopplerCube;
+use stap_math::C32;
+
+/// Doppler-filtered samples for `bins` over ranges `[r0, r1)`.
+///
+/// Layout: `data[((bin_idx · staggers + s) · channels + c) · (r1-r0) + r]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinSlab {
+    /// The absolute Doppler bin numbers carried (in order).
+    pub bins: Vec<usize>,
+    /// Stagger count (1 easy, 2 hard).
+    pub staggers: usize,
+    /// Channel count.
+    pub channels: usize,
+    /// First range gate (inclusive).
+    pub r0: usize,
+    /// Last range gate (exclusive).
+    pub r1: usize,
+    /// Samples.
+    pub data: Vec<C32>,
+}
+
+impl BinSlab {
+    /// Extracts a slab from a Doppler cube covering ranges `[r0, r1)` of the
+    /// cube's local range axis, relabeled as absolute gates.
+    ///
+    /// `cube` holds this node's range interval starting at absolute gate
+    /// `cube_r0`; the slab covers the cube's *entire* local range extent.
+    pub fn from_cube(cube: &DopplerCube, bins: &[usize], cube_r0: usize) -> Self {
+        let n = cube.ranges();
+        let mut data =
+            Vec::with_capacity(bins.len() * cube.staggers() * cube.channels() * n);
+        for &b in bins {
+            for s in 0..cube.staggers() {
+                for c in 0..cube.channels() {
+                    for r in 0..n {
+                        data.push(cube.get(s, b, c, r));
+                    }
+                }
+            }
+        }
+        Self {
+            bins: bins.to_vec(),
+            staggers: cube.staggers(),
+            channels: cube.channels(),
+            r0: cube_r0,
+            r1: cube_r0 + n,
+            data,
+        }
+    }
+
+    /// Sample lookup.
+    pub fn get(&self, bin_idx: usize, s: usize, c: usize, abs_r: usize) -> C32 {
+        let n = self.r1 - self.r0;
+        let r = abs_r - self.r0;
+        self.data[((bin_idx * self.staggers + s) * self.channels + c) * n + r]
+    }
+
+    /// Number of bytes of sample payload (for I/O accounting).
+    pub fn payload_bytes(&self) -> usize {
+        self.data.len() * 8
+    }
+}
+
+/// Assembles a full-range [`DopplerCube`] covering exactly `bins` from
+/// slabs that tile the range axis `[0, ranges)`.
+///
+/// The returned cube's bin axis is *compacted*: cube bin index `i`
+/// corresponds to `bins[i]`.
+///
+/// # Panics
+/// Panics when the slabs do not cover every gate of every requested bin.
+pub fn assemble_bins(bins: &[usize], ranges: usize, slabs: &[BinSlab]) -> DopplerCube {
+    assert!(!slabs.is_empty(), "no slabs to assemble");
+    let staggers = slabs[0].staggers;
+    let channels = slabs[0].channels;
+    let mut cube = DopplerCube::zeros(staggers, bins.len(), channels, ranges);
+    let mut covered = vec![0usize; ranges];
+    for slab in slabs {
+        assert_eq!(slab.staggers, staggers, "stagger mismatch across slabs");
+        assert_eq!(slab.channels, channels, "channel mismatch across slabs");
+        for (i, &b) in bins.iter().enumerate() {
+            let bin_idx = slab
+                .bins
+                .iter()
+                .position(|&x| x == b)
+                .unwrap_or_else(|| panic!("slab missing bin {b}"));
+            for s in 0..staggers {
+                for c in 0..channels {
+                    for abs_r in slab.r0..slab.r1 {
+                        *cube.get_mut(s, i, c, abs_r) = slab.get(bin_idx, s, c, abs_r);
+                    }
+                }
+            }
+        }
+        for c in covered.iter_mut().take(slab.r1).skip(slab.r0) {
+            *c += 1;
+        }
+    }
+    assert!(
+        covered.iter().all(|&c| c >= 1),
+        "slabs do not tile the range axis"
+    );
+    cube
+}
+
+/// Raw on-disk bytes for range gates `[r0, r1)` — what the separate read
+/// task ships to the Doppler nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawSlab {
+    /// First absolute range gate covered (inclusive).
+    pub r0: usize,
+    /// Last absolute range gate covered (exclusive).
+    pub r1: usize,
+    /// Range-major bytes (`(r1-r0)·channels·pulses·8`).
+    pub bytes: Vec<u8>,
+}
+
+/// Beamformed range rows for a set of (bin, beam) pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowBatch {
+    /// The (absolute bin, beam) identity of each row.
+    pub rows: Vec<(usize, usize)>,
+    /// Range gates per row.
+    pub ranges: usize,
+    /// `data[row · ranges + r]`.
+    pub data: Vec<C32>,
+}
+
+impl RowBatch {
+    /// An empty batch.
+    pub fn new(ranges: usize) -> Self {
+        Self { rows: Vec::new(), ranges, data: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics when the row length differs from `ranges`.
+    pub fn push(&mut self, bin: usize, beam: usize, row: &[C32]) {
+        assert_eq!(row.len(), self.ranges, "row length mismatch");
+        self.rows.push((bin, beam));
+        self.data.extend_from_slice(row);
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows are present.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Borrow of the `i`-th row.
+    pub fn row(&self, i: usize) -> &[C32] {
+        &self.data[i * self.ranges..(i + 1) * self.ranges]
+    }
+
+    /// Mutable borrow of the `i`-th row.
+    pub fn row_mut(&mut self, i: usize) -> &mut [C32] {
+        &mut self.data[i * self.ranges..(i + 1) * self.ranges]
+    }
+
+    /// Merges another batch into this one.
+    pub fn extend(&mut self, other: RowBatch) {
+        assert_eq!(self.ranges, other.ranges, "range extent mismatch");
+        self.rows.extend(other.rows);
+        self.data.extend(other.data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cube(staggers: usize, bins: usize, channels: usize, ranges: usize) -> DopplerCube {
+        let mut dc = DopplerCube::zeros(staggers, bins, channels, ranges);
+        for s in 0..staggers {
+            for b in 0..bins {
+                for c in 0..channels {
+                    for r in 0..ranges {
+                        *dc.get_mut(s, b, c, r) =
+                            C32::new((s * 1000 + b * 100 + c * 10 + r) as f32, 0.0);
+                    }
+                }
+            }
+        }
+        dc
+    }
+
+    #[test]
+    fn slab_round_trips_through_assembly() {
+        // A node computed bins over local ranges [0,3) at absolute r0=2.
+        let cube = tiny_cube(2, 4, 3, 3);
+        let slab_a = BinSlab::from_cube(&cube, &[1, 3], 2);
+        assert_eq!(slab_a.get(0, 1, 2, 4), cube.get(1, 1, 2, 2));
+
+        // Another node covers absolute [0,2) and [5,6) missing → use two
+        // slabs tiling [0,6).
+        let cube_b = tiny_cube(2, 4, 3, 2);
+        let slab_b = BinSlab::from_cube(&cube_b, &[1, 3], 0);
+        let cube_c = tiny_cube(2, 4, 3, 1);
+        let slab_c = BinSlab::from_cube(&cube_c, &[1, 3], 5);
+        let full = assemble_bins(&[1, 3], 6, &[slab_a, slab_b, slab_c]);
+        assert_eq!(full.bins(), 2);
+        assert_eq!(full.ranges(), 6);
+        // Absolute gate 3 came from slab_a local r=1 of bin 3 (index 1).
+        assert_eq!(full.get(1, 1, 0, 3), cube.get(1, 3, 0, 1));
+        // Absolute gate 1 came from slab_b.
+        assert_eq!(full.get(0, 0, 2, 1), cube_b.get(0, 1, 2, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "do not tile")]
+    fn assembly_detects_gaps() {
+        let cube = tiny_cube(1, 2, 1, 2);
+        let slab = BinSlab::from_cube(&cube, &[0], 0);
+        assemble_bins(&[0], 4, &[slab]);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing bin")]
+    fn assembly_detects_missing_bin() {
+        let cube = tiny_cube(1, 2, 1, 2);
+        let slab = BinSlab::from_cube(&cube, &[0], 0);
+        assemble_bins(&[1], 2, &[slab]);
+    }
+
+    #[test]
+    fn row_batch_accumulates_rows() {
+        let mut b = RowBatch::new(3);
+        b.push(4, 0, &[C32::one(); 3]);
+        b.push(7, 1, &[C32::i(); 3]);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.rows[1], (7, 1));
+        assert_eq!(b.row(1)[0], C32::i());
+        let mut c = RowBatch::new(3);
+        c.push(9, 0, &[C32::zero(); 3]);
+        b.extend(c);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.rows[2], (9, 0));
+    }
+
+    #[test]
+    fn payload_bytes_counts_samples() {
+        let cube = tiny_cube(1, 2, 2, 4);
+        let slab = BinSlab::from_cube(&cube, &[0, 1], 0);
+        assert_eq!(slab.payload_bytes(), 2 * 2 * 4 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "row length")]
+    fn row_length_checked() {
+        RowBatch::new(4).push(0, 0, &[C32::zero(); 3]);
+    }
+}

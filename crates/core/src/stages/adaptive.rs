@@ -1,0 +1,186 @@
+//! The adaptive middle of the pipeline: weight computation (temporal) and
+//! beamforming, in easy and hard variants.
+
+use crate::messages::{assemble_bins, BinSlab, RowBatch};
+use crate::stages::{port, StapPlan};
+use stap_kernels::beamform::BeamCube;
+use stap_kernels::covariance::TrainingConfig;
+use stap_kernels::weights::{WeightComputer, WeightSet};
+use stap_math::C32;
+use stap_pipeline::stage::{Stage, StageCtx};
+use stap_pipeline::timing::Phase;
+use stap_pipeline::PipelineError;
+use std::sync::Arc;
+
+fn weight_computer(plan: &StapPlan) -> WeightComputer {
+    WeightComputer {
+        beams: plan.config.beams.clone(),
+        training: TrainingConfig::default(),
+        stagger_offset: plan.config.doppler.stagger_offset,
+        method: plan.config.weight_method,
+    }
+}
+
+/// Weight computation task (easy or hard). Consumes the Doppler output of
+/// CPI `j` and publishes weights tagged `j`; the beamformers apply them to
+/// CPI `j+1` — the paper's temporal data dependency.
+pub struct WeightStage {
+    plan: Arc<StapPlan>,
+    local: usize,
+    nodes: usize,
+    hard: bool,
+    computer: WeightComputer,
+}
+
+impl WeightStage {
+    /// One node of a weight task.
+    pub fn new(plan: Arc<StapPlan>, local: usize, nodes: usize, hard: bool) -> Self {
+        let computer = weight_computer(&plan);
+        Self { plan, local, nodes, hard, computer }
+    }
+}
+
+impl Stage for WeightStage {
+    fn run_cpi(&mut self, ctx: &mut StageCtx<'_>) -> Result<(), PipelineError> {
+        let roles = self.plan.roles;
+        let df = roles.doppler;
+        let df_nodes = ctx.topology.stage(df).nodes;
+        let train_port = if self.hard { port::HARD_TRAIN } else { port::EASY_TRAIN };
+        let my_bins = self.plan.owned_bins(self.hard, self.nodes, self.local);
+
+        // Receive this CPI's Doppler output for our bins from every DF node.
+        ctx.phase(Phase::Recv);
+        let mut slabs = Vec::with_capacity(df_nodes);
+        for d in 0..df_nodes {
+            let slab: BinSlab = ctx.recv_from(df, d, train_port)?;
+            slabs.push(slab);
+        }
+
+        ctx.phase(Phase::Compute);
+        let ranges = self.plan.config.dims.ranges;
+        let cube = assemble_bins(&my_bins, ranges, &slabs);
+        // The assembled cube's bin axis is positional; compute against
+        // positional indices, then relabel to absolute bins for shipping.
+        let positional: Vec<usize> = (0..my_bins.len()).collect();
+        let mut ws = self
+            .computer
+            .compute(&cube, &positional)
+            .map_err(|e| ctx.fail(format!("weight solve: {e}")))?;
+        ws.bins = my_bins;
+
+        // Publish to every beamforming node of our variant; the weights are
+        // tagged with this CPI and consumed one CPI later.
+        ctx.phase(Phase::Send);
+        let bf = if self.hard { roles.hard_bf } else { roles.easy_bf };
+        let bf_nodes = ctx.topology.stage(bf).nodes;
+        let wport = if self.hard { port::HARD_WEIGHTS } else { port::EASY_WEIGHTS };
+        for n in 0..bf_nodes {
+            ctx.send_to(bf, n, wport, ws.clone())?;
+        }
+        Ok(())
+    }
+}
+
+/// Beamforming task (easy or hard): applies weights computed from the
+/// *previous* CPI to the current CPI's Doppler output. "The filtered data
+/// cube sent to the beamforming task does not wait for the completion of
+/// its weight computation."
+pub struct BeamformStage {
+    plan: Arc<StapPlan>,
+    local: usize,
+    nodes: usize,
+    hard: bool,
+    computer: WeightComputer,
+    /// Weights received for the previous CPI, merged across weight nodes.
+    staged_weights: Option<WeightSet>,
+}
+
+impl BeamformStage {
+    /// One node of a beamforming task.
+    pub fn new(plan: Arc<StapPlan>, local: usize, nodes: usize, hard: bool) -> Self {
+        let computer = weight_computer(&plan);
+        Self { plan, local, nodes, hard, computer, staged_weights: None }
+    }
+
+    /// Weight set restricted to `bins` (positional order), relabeled to the
+    /// positional indices so it can drive the compacted cube.
+    fn select_weights(&self, full: &WeightSet, bins: &[usize]) -> WeightSet {
+        let mut weights = Vec::with_capacity(bins.len());
+        for &b in bins {
+            let per_beam = full
+                .for_bin(b)
+                .unwrap_or_else(|| panic!("missing weights for bin {b}"))
+                .clone();
+            weights.push(per_beam);
+        }
+        WeightSet { bins: (0..bins.len()).collect(), weights, dof: full.dof }
+    }
+}
+
+impl Stage for BeamformStage {
+    fn run_cpi(&mut self, ctx: &mut StageCtx<'_>) -> Result<(), PipelineError> {
+        let roles = self.plan.roles;
+        let df = roles.doppler;
+        let df_nodes = ctx.topology.stage(df).nodes;
+        let data_port = if self.hard { port::HARD_DATA } else { port::EASY_DATA };
+        let wport = if self.hard { port::HARD_WEIGHTS } else { port::EASY_WEIGHTS };
+        let wstage = if self.hard { roles.hard_weight } else { roles.easy_weight };
+        let wnodes = ctx.topology.stage(wstage).nodes;
+        let my_bins = self.plan.owned_bins(self.hard, self.nodes, self.local);
+        let ranges = self.plan.config.dims.ranges;
+        let staggers = if self.hard { 2 } else { 1 };
+        let channels = self.plan.config.dims.channels;
+
+        ctx.phase(Phase::Recv);
+        // Current CPI's filtered data from every Doppler node.
+        let mut slabs = Vec::with_capacity(df_nodes);
+        for d in 0..df_nodes {
+            let slab: BinSlab = ctx.recv_from(df, d, data_port)?;
+            slabs.push(slab);
+        }
+        // Previous CPI's weights (cold start: uniform).
+        let weights_full = if ctx.cpi == 0 {
+            self.computer.uniform(
+                staggers * channels,
+                channels,
+                staggers,
+                &my_bins,
+                self.plan.nbins(),
+            )
+        } else {
+            let mut merged: Option<WeightSet> = None;
+            for w in 0..wnodes {
+                let ws: WeightSet = ctx.recv_from_at(wstage, w, wport, ctx.cpi - 1)?;
+                merged = Some(match merged {
+                    None => ws,
+                    Some(acc) => acc.merge(ws),
+                });
+            }
+            merged.expect("at least one weight node")
+        };
+        self.staged_weights = None;
+
+        ctx.phase(Phase::Compute);
+        let cube = assemble_bins(&my_bins, ranges, &slabs);
+        let ws = self.select_weights(&weights_full, &my_bins);
+        let bc: BeamCube = stap_kernels::beamform::Beamformer.apply(&cube, &ws);
+
+        ctx.phase(Phase::Send);
+        // Partition rows by owning pulse-compression node.
+        let pc = roles.pulse;
+        let pc_nodes = ctx.topology.stage(pc).nodes;
+        let row_port = if self.hard { port::HARD_ROWS } else { port::EASY_ROWS };
+        let mut batches: Vec<RowBatch> = (0..pc_nodes).map(|_| RowBatch::new(ranges)).collect();
+        for (i, &bin) in my_bins.iter().enumerate() {
+            for beam in 0..self.plan.beams() {
+                let owner = self.plan.row_owner(bin, beam, pc_nodes);
+                let row: Vec<C32> = (0..ranges).map(|r| bc.get(beam, i, r)).collect();
+                batches[owner].push(bin, beam, &row);
+            }
+        }
+        for (n, batch) in batches.into_iter().enumerate() {
+            ctx.send_to(pc, n, row_port, batch)?;
+        }
+        Ok(())
+    }
+}

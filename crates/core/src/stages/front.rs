@@ -1,0 +1,219 @@
+//! The pipeline front: the (optional) separate read task and the Doppler
+//! filter task with both I/O designs.
+
+use crate::messages::{BinSlab, RawSlab};
+use crate::stages::{port, StapPlan};
+use stap_kernels::cube::{CubeDims, DataCube};
+use stap_kernels::doppler::{DopplerConfig, DopplerFilter};
+use stap_pfs::async_io::ReadHandle;
+use stap_pipeline::schedule::block_range;
+use stap_pipeline::stage::{Stage, StageCtx};
+use stap_pipeline::timing::Phase;
+use stap_pipeline::PipelineError;
+use std::sync::Arc;
+
+/// Byte extent (offset, length) of range gates `[r0, r1)` in a CPI file.
+fn slab_extent(dims: CubeDims, r0: usize, r1: usize) -> (u64, usize) {
+    let off = DataCube::range_major_offset(dims, r0);
+    let len = (DataCube::range_major_offset(dims, r1) - off) as usize;
+    (off, len)
+}
+
+/// The separate read task: "The only job of this I/O task is to read data
+/// from the files and deliver it to the Doppler filter processing task."
+pub struct ReadStage {
+    plan: Arc<StapPlan>,
+    local: usize,
+    nodes: usize,
+}
+
+impl ReadStage {
+    /// One node of the read task.
+    pub fn new(plan: Arc<StapPlan>, local: usize, nodes: usize) -> Self {
+        Self { plan, local, nodes }
+    }
+}
+
+impl Stage for ReadStage {
+    fn run_cpi(&mut self, ctx: &mut StageCtx<'_>) -> Result<(), PipelineError> {
+        let dims = self.plan.config.dims;
+        let (r0, r1) = block_range(dims.ranges, self.nodes, self.local);
+        let slot = (ctx.cpi % self.plan.config.fanout as u64) as usize;
+
+        ctx.phase(Phase::Read);
+        let (off, len) = slab_extent(dims, r0, r1);
+        let bytes = self.plan.files[slot]
+            .read_at(off, len)
+            .map_err(|e| ctx.fail(format!("read: {e}")))?;
+
+        ctx.phase(Phase::Send);
+        // Deliver to every Doppler node whose range block intersects ours.
+        let df = self.plan.roles.doppler;
+        let df_nodes = ctx.topology.stage(df).nodes;
+        let gate_bytes = dims.channels * dims.pulses * 8;
+        for d in 0..df_nodes {
+            let (d0, d1) = block_range(dims.ranges, df_nodes, d);
+            let lo = r0.max(d0);
+            let hi = r1.min(d1);
+            if lo >= hi {
+                continue;
+            }
+            let b0 = (lo - r0) * gate_bytes;
+            let b1 = (hi - r0) * gate_bytes;
+            let msg = RawSlab { r0: lo, r1: hi, bytes: bytes[b0..b1].to_vec() };
+            ctx.send_to(df, d, port::RAW, msg)?;
+        }
+        Ok(())
+    }
+}
+
+/// The Doppler filter task. Three phases when I/O is embedded — "reading
+/// data from files, computation, and sending" — with asynchronous reads
+/// overlapping the next CPI's read with this CPI's compute+send when the
+/// file system supports it.
+pub struct DopplerStage {
+    plan: Arc<StapPlan>,
+    local: usize,
+    nodes: usize,
+    filter: DopplerFilter,
+    /// Posted read for the *next* CPI (async embedded mode).
+    pending: Option<(u64, ReadHandle)>,
+}
+
+impl DopplerStage {
+    /// One node of the Doppler task.
+    pub fn new(plan: Arc<StapPlan>, local: usize, nodes: usize) -> Self {
+        let cfg: DopplerConfig = plan.config.doppler.clone();
+        let filter = DopplerFilter::new(plan.config.dims.pulses, cfg);
+        Self { plan, local, nodes, filter, pending: None }
+    }
+
+    fn my_ranges(&self) -> (usize, usize) {
+        block_range(self.plan.config.dims.ranges, self.nodes, self.local)
+    }
+
+    fn file_slot(&self, cpi: u64) -> usize {
+        (cpi % self.plan.config.fanout as u64) as usize
+    }
+
+    /// Reads this node's slab for `cpi`, embedded mode (sync or async).
+    fn acquire_slab_embedded(&mut self, ctx: &mut StageCtx<'_>) -> Result<DataCube, PipelineError> {
+        let dims = self.plan.config.dims;
+        let (r0, r1) = self.my_ranges();
+        let (off, len) = slab_extent(dims, r0, r1);
+        let async_ok = self.plan.config.fs.supports_async;
+
+        let bytes = if async_ok {
+            // Wait on the read posted last iteration (or post+wait on the
+            // first CPI), then immediately post the next CPI's read so it
+            // overlaps this iteration's compute and send.
+            let bytes = match self.pending.take() {
+                Some((cpi, h)) if cpi == ctx.cpi => {
+                    h.wait().map_err(|e| ctx.fail(format!("iread wait: {e}")))?
+                }
+                _ => self.plan.files[self.file_slot(ctx.cpi)]
+                    .read_at(off, len)
+                    .map_err(|e| ctx.fail(format!("read: {e}")))?,
+            };
+            let next = ctx.cpi + 1;
+            if next < self.plan.config.cpis {
+                let h = self.plan.files[self.file_slot(next)]
+                    .read_at_async(off, len)
+                    .map_err(|e| ctx.fail(format!("iread: {e}")))?;
+                self.pending = Some((next, h));
+            }
+            bytes
+        } else {
+            // PIOFS: synchronous read each iteration, no overlap.
+            self.plan.files[self.file_slot(ctx.cpi)]
+                .read_at(off, len)
+                .map_err(|e| ctx.fail(format!("read: {e}")))?
+        };
+        Ok(DataCube::slab_from_range_major_bytes(dims, r0, r1, &bytes))
+    }
+
+    /// Receives this node's slab from the separate read task.
+    fn acquire_slab_separate(&mut self, ctx: &mut StageCtx<'_>) -> Result<DataCube, PipelineError> {
+        let dims = self.plan.config.dims;
+        let (r0, r1) = self.my_ranges();
+        let read = self.plan.roles.read.expect("separate mode has a read stage");
+        let readers = ctx.topology.stage(read).nodes;
+        let gate_bytes = dims.channels * dims.pulses * 8;
+        let mut buf = vec![0u8; (r1 - r0) * gate_bytes];
+        let mut covered = 0usize;
+        for i in 0..readers {
+            let (i0, i1) = block_range(dims.ranges, readers, i);
+            if i0.max(r0) >= i1.min(r1) {
+                continue;
+            }
+            let slab: RawSlab = ctx.recv_from(read, i, port::RAW)?;
+            let b0 = (slab.r0 - r0) * gate_bytes;
+            buf[b0..b0 + slab.bytes.len()].copy_from_slice(&slab.bytes);
+            covered += slab.r1 - slab.r0;
+        }
+        if covered != r1 - r0 {
+            return Err(ctx.fail(format!("raw slabs covered {covered} of {} gates", r1 - r0)));
+        }
+        Ok(DataCube::slab_from_range_major_bytes(dims, r0, r1, &buf))
+    }
+}
+
+impl Stage for DopplerStage {
+    fn run_cpi(&mut self, ctx: &mut StageCtx<'_>) -> Result<(), PipelineError> {
+        let (r0, _r1) = self.my_ranges();
+
+        // Phase 1: acquire the raw slab (read from PFS or recv from the
+        // read task).
+        let slab = if self.plan.separate_io() {
+            ctx.phase(Phase::Recv);
+            self.acquire_slab_separate(ctx)?
+        } else {
+            ctx.phase(Phase::Read);
+            self.acquire_slab_embedded(ctx)?
+        };
+
+        // Phase 2: Doppler filtering, easy (full CPI) + hard (staggered).
+        ctx.phase(Phase::Compute);
+        let easy = self.filter.filter_easy(&slab);
+        let hard = self.filter.filter_staggered(&slab);
+
+        // Phase 3: distribute per-bin slabs to the beamformers (spatial)
+        // and the weight tasks (temporal consumers of this CPI's data).
+        ctx.phase(Phase::Send);
+        let roles = self.plan.roles;
+        let sends: [(stap_pipeline::StageId, bool, u8); 4] = [
+            (roles.easy_bf, false, port::EASY_DATA),
+            (roles.hard_bf, true, port::HARD_DATA),
+            (roles.easy_weight, false, port::EASY_TRAIN),
+            (roles.hard_weight, true, port::HARD_TRAIN),
+        ];
+        for (stage, is_hard, p) in sends {
+            let nodes = ctx.topology.stage(stage).nodes;
+            let cube = if is_hard { &hard } else { &easy };
+            for n in 0..nodes {
+                let bins = self.plan.owned_bins(is_hard, nodes, n);
+                let msg = BinSlab::from_cube(cube, &bins, r0);
+                ctx.send_to(stage, n, p, msg)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slab_extents_tile_the_file() {
+        let dims = CubeDims::new(8, 4, 64);
+        let mut cursor = 0u64;
+        for local in 0..5 {
+            let (r0, r1) = block_range(dims.ranges, 5, local);
+            let (off, len) = slab_extent(dims, r0, r1);
+            assert_eq!(off, cursor);
+            cursor = off + len as u64;
+        }
+        assert_eq!(cursor, dims.bytes() as u64);
+    }
+}

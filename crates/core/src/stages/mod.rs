@@ -1,0 +1,169 @@
+//! Real-mode stage implementations of the STAP pipeline.
+//!
+//! Shared here: the port map (logical streams between stages), the
+//! [`StapPlan`] every stage factory captures, and the ownership functions
+//! mapping bins and (bin, beam) rows to nodes.
+
+pub mod adaptive;
+pub mod front;
+pub mod tail;
+
+use crate::config::StapConfig;
+use crate::io_strategy::{IoStrategy, TailStructure};
+use stap_kernels::doppler::BinClass;
+use stap_pfs::FileHandle;
+use stap_pipeline::schedule::round_robin_items;
+use stap_pipeline::topology::StageId;
+
+/// Ports (logical message streams). See `messages` for the payload types.
+pub mod port {
+    /// Read task → Doppler: raw range-major bytes.
+    pub const RAW: u8 = 0;
+    /// Doppler → easy beamforming: 1-stagger bin slabs.
+    pub const EASY_DATA: u8 = 1;
+    /// Doppler → hard beamforming: 2-stagger bin slabs.
+    pub const HARD_DATA: u8 = 2;
+    /// Doppler → easy weight (training data, temporal consumer).
+    pub const EASY_TRAIN: u8 = 3;
+    /// Doppler → hard weight.
+    pub const HARD_TRAIN: u8 = 4;
+    /// Easy weight → easy beamforming: weight sets.
+    pub const EASY_WEIGHTS: u8 = 5;
+    /// Hard weight → hard beamforming.
+    pub const HARD_WEIGHTS: u8 = 6;
+    /// Easy beamforming → pulse compression: row batches.
+    pub const EASY_ROWS: u8 = 7;
+    /// Hard beamforming → pulse compression.
+    pub const HARD_ROWS: u8 = 8;
+    /// Pulse compression → CFAR.
+    pub const PC_ROWS: u8 = 9;
+    /// CFAR internal gather of partial detection reports.
+    pub const REPORT: u8 = 10;
+}
+
+/// Stage ids of every role in the built topology.
+#[derive(Debug, Clone, Copy)]
+pub struct Roles {
+    /// The separate read task (None when I/O is embedded).
+    pub read: Option<StageId>,
+    /// Doppler filter task.
+    pub doppler: StageId,
+    /// Easy weight task.
+    pub easy_weight: StageId,
+    /// Hard weight task.
+    pub hard_weight: StageId,
+    /// Easy beamforming task.
+    pub easy_bf: StageId,
+    /// Hard beamforming task.
+    pub hard_bf: StageId,
+    /// Pulse compression (or the combined PC+CFAR task).
+    pub pulse: StageId,
+    /// CFAR task (None when combined into `pulse`).
+    pub cfar: Option<StageId>,
+}
+
+/// Everything the stage implementations need, shared via `Arc`.
+#[derive(Debug)]
+pub struct StapPlan {
+    /// Run configuration.
+    pub config: StapConfig,
+    /// Stage ids per role.
+    pub roles: Roles,
+    /// Doppler bins classified easy, ascending.
+    pub easy_bins: Vec<usize>,
+    /// Doppler bins classified hard, ascending.
+    pub hard_bins: Vec<usize>,
+    /// Open handles to the round-robin CPI files, indexed by slot.
+    pub files: Vec<FileHandle>,
+    /// The pulse-compression waveform replica.
+    pub waveform: Vec<stap_math::C32>,
+}
+
+impl StapPlan {
+    /// Total Doppler bins.
+    pub fn nbins(&self) -> usize {
+        self.config.nbins()
+    }
+
+    /// Beams per bin.
+    pub fn beams(&self) -> usize {
+        self.config.beams.len()
+    }
+
+    /// Total (bin, beam) rows flowing through the tail tasks.
+    pub fn total_rows(&self) -> usize {
+        self.nbins() * self.beams()
+    }
+
+    /// Row id of (bin, beam).
+    pub fn row_id(&self, bin: usize, beam: usize) -> usize {
+        bin * self.beams() + beam
+    }
+
+    /// The bins (absolute numbers) owned by node `local` of a stage with
+    /// `nodes` nodes, drawing from the easy or hard list — the round-robin
+    /// scheduling of the paper's figures.
+    pub fn owned_bins(&self, hard: bool, nodes: usize, local: usize) -> Vec<usize> {
+        let list = if hard { &self.hard_bins } else { &self.easy_bins };
+        round_robin_items(list.len(), nodes, local)
+            .into_iter()
+            .map(|i| list[i])
+            .collect()
+    }
+
+    /// Owner (local index) of a row under a stage with `nodes` nodes.
+    pub fn row_owner(&self, bin: usize, beam: usize, nodes: usize) -> usize {
+        self.row_id(bin, beam) % nodes
+    }
+
+    /// The bin classification in force.
+    pub fn bin_class(&self) -> BinClass {
+        self.config.doppler.bins
+    }
+
+    /// True when this run uses the separate-I/O-task design.
+    pub fn separate_io(&self) -> bool {
+        self.config.io == IoStrategy::SeparateTask
+    }
+
+    /// True when the tail is combined.
+    pub fn combined_tail(&self) -> bool {
+        self.config.tail == TailStructure::Combined
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::StapSystem;
+
+    #[test]
+    fn owned_bins_partition_each_class() {
+        let sys = StapSystem::prepare(StapConfig::default()).unwrap();
+        let plan = sys.plan();
+        let nodes = 3;
+        let mut seen = Vec::new();
+        for local in 0..nodes {
+            seen.extend(plan.owned_bins(true, nodes, local));
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, plan.hard_bins);
+        // Easy + hard together cover every bin exactly once.
+        let mut all = plan.easy_bins.clone();
+        all.extend(&plan.hard_bins);
+        all.sort_unstable();
+        assert_eq!(all, (0..plan.nbins()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn row_ownership_is_total() {
+        let sys = StapSystem::prepare(StapConfig::default()).unwrap();
+        let plan = sys.plan();
+        let nodes = 4;
+        for bin in 0..plan.nbins() {
+            for beam in 0..plan.beams() {
+                assert!(plan.row_owner(bin, beam, nodes) < nodes);
+            }
+        }
+    }
+}

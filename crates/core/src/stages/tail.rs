@@ -1,0 +1,201 @@
+//! The pipeline tail: pulse compression and CFAR as separate tasks, or the
+//! combined task of the paper's §6 latency optimization.
+
+use crate::messages::RowBatch;
+use crate::stages::{port, StapPlan};
+use stap_kernels::cfar::{cfar_row, Detection};
+use stap_kernels::pulse::PulseCompressor;
+use stap_kernels::report::DetectionReport;
+use stap_pipeline::stage::{Stage, StageCtx};
+use stap_pipeline::timing::Phase;
+use stap_pipeline::PipelineError;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Where completed per-CPI detection reports land after the run.
+pub type ReportSink = Arc<Mutex<Vec<DetectionReport>>>;
+
+/// Receives this node's row batches from both beamformers.
+fn recv_rows(
+    ctx: &mut StageCtx<'_>,
+    plan: &StapPlan,
+    ranges: usize,
+) -> Result<RowBatch, PipelineError> {
+    let roles = plan.roles;
+    let mut all = RowBatch::new(ranges);
+    for (stage, p) in [(roles.easy_bf, port::EASY_ROWS), (roles.hard_bf, port::HARD_ROWS)] {
+        let nodes = ctx.topology.stage(stage).nodes;
+        for n in 0..nodes {
+            let batch: RowBatch = ctx.recv_from(stage, n, p)?;
+            all.extend(batch);
+        }
+    }
+    Ok(all)
+}
+
+/// Runs CFAR over a batch and labels detections with bin/beam identity.
+fn detect_batch(plan: &StapPlan, batch: &RowBatch) -> Vec<Detection> {
+    let mut dets = Vec::new();
+    let mut powers = vec![0.0f64; batch.ranges];
+    for i in 0..batch.len() {
+        let (bin, beam) = batch.rows[i];
+        for (o, z) in powers.iter_mut().zip(batch.row(i)) {
+            *o = z.norm_sqr() as f64;
+        }
+        for (range, power, noise) in cfar_row(&powers, plan.config.cfar) {
+            dets.push(Detection {
+                beam,
+                bin,
+                range,
+                power,
+                noise,
+                snr_db: 10.0 * (power / noise).log10(),
+            });
+        }
+    }
+    dets
+}
+
+/// Gathers partial detection reports at local node 0, which publishes the
+/// merged report to the sink and, when configured, writes it back to the
+/// parallel file system (the pipeline's output I/O).
+fn publish_report(
+    ctx: &mut StageCtx<'_>,
+    plan: &StapPlan,
+    stage_nodes: usize,
+    local: usize,
+    detections: Vec<Detection>,
+    sink: &ReportSink,
+) -> Result<(), PipelineError> {
+    let mut mine = DetectionReport::new(ctx.cpi);
+    mine.detections = detections;
+    if local == 0 {
+        for n in 1..stage_nodes {
+            let partial: DetectionReport = ctx.recv_from(ctx.stage, n, port::REPORT)?;
+            mine.merge(partial);
+        }
+        if plan.config.record_reports {
+            let fs = plan.files[0].fs();
+            let f = fs.gopen(&format!("report_{}.dat", ctx.cpi), stap_pfs::OpenMode::Async);
+            f.write_at(0, &mine.to_bytes());
+        }
+        sink.lock().push(mine);
+    } else {
+        ctx.send_to(ctx.stage, 0, port::REPORT, mine)?;
+    }
+    Ok(())
+}
+
+/// Pulse compression task.
+pub struct PulseStage {
+    plan: Arc<StapPlan>,
+    compressor: PulseCompressor,
+}
+
+impl PulseStage {
+    /// One node of the pulse-compression task.
+    pub fn new(plan: Arc<StapPlan>) -> Self {
+        let compressor = PulseCompressor::new(plan.config.dims.ranges, &plan.waveform);
+        Self { plan, compressor }
+    }
+}
+
+impl Stage for PulseStage {
+    fn run_cpi(&mut self, ctx: &mut StageCtx<'_>) -> Result<(), PipelineError> {
+        let ranges = self.plan.config.dims.ranges;
+        ctx.phase(Phase::Recv);
+        let mut batch = recv_rows(ctx, &self.plan, ranges)?;
+
+        ctx.phase(Phase::Compute);
+        for i in 0..batch.len() {
+            self.compressor.compress_row(batch.row_mut(i));
+        }
+
+        ctx.phase(Phase::Send);
+        let cfar = self.plan.roles.cfar.expect("split tail has a CFAR stage");
+        let cfar_nodes = ctx.topology.stage(cfar).nodes;
+        let mut outgoing: Vec<RowBatch> =
+            (0..cfar_nodes).map(|_| RowBatch::new(ranges)).collect();
+        for i in 0..batch.len() {
+            let (bin, beam) = batch.rows[i];
+            let owner = self.plan.row_owner(bin, beam, cfar_nodes);
+            let row = batch.row(i).to_vec();
+            outgoing[owner].push(bin, beam, &row);
+        }
+        for (n, out) in outgoing.into_iter().enumerate() {
+            ctx.send_to(cfar, n, port::PC_ROWS, out)?;
+        }
+        Ok(())
+    }
+}
+
+/// CFAR task: detection reports out the end of the pipeline.
+pub struct CfarStage {
+    plan: Arc<StapPlan>,
+    local: usize,
+    nodes: usize,
+    sink: ReportSink,
+}
+
+impl CfarStage {
+    /// One node of the CFAR task.
+    pub fn new(plan: Arc<StapPlan>, local: usize, nodes: usize, sink: ReportSink) -> Self {
+        Self { plan, local, nodes, sink }
+    }
+}
+
+impl Stage for CfarStage {
+    fn run_cpi(&mut self, ctx: &mut StageCtx<'_>) -> Result<(), PipelineError> {
+        let pc = self.plan.roles.pulse;
+        let pc_nodes = ctx.topology.stage(pc).nodes;
+        let ranges = self.plan.config.dims.ranges;
+
+        ctx.phase(Phase::Recv);
+        let mut batch = RowBatch::new(ranges);
+        for n in 0..pc_nodes {
+            let part: RowBatch = ctx.recv_from(pc, n, port::PC_ROWS)?;
+            batch.extend(part);
+        }
+
+        ctx.phase(Phase::Compute);
+        let dets = detect_batch(&self.plan, &batch);
+
+        ctx.phase(Phase::Send);
+        publish_report(ctx, &self.plan, self.nodes, self.local, dets, &self.sink)
+    }
+}
+
+/// The combined PC+CFAR task (§6): both computations on the union of the
+/// two node sets, with the PC→CFAR redistribution eliminated.
+pub struct CombinedTailStage {
+    plan: Arc<StapPlan>,
+    local: usize,
+    nodes: usize,
+    compressor: PulseCompressor,
+    sink: ReportSink,
+}
+
+impl CombinedTailStage {
+    /// One node of the combined task.
+    pub fn new(plan: Arc<StapPlan>, local: usize, nodes: usize, sink: ReportSink) -> Self {
+        let compressor = PulseCompressor::new(plan.config.dims.ranges, &plan.waveform);
+        Self { plan, local, nodes, compressor, sink }
+    }
+}
+
+impl Stage for CombinedTailStage {
+    fn run_cpi(&mut self, ctx: &mut StageCtx<'_>) -> Result<(), PipelineError> {
+        let ranges = self.plan.config.dims.ranges;
+        ctx.phase(Phase::Recv);
+        let mut batch = recv_rows(ctx, &self.plan, ranges)?;
+
+        ctx.phase(Phase::Compute);
+        for i in 0..batch.len() {
+            self.compressor.compress_row(batch.row_mut(i));
+        }
+        let dets = detect_batch(&self.plan, &batch);
+
+        ctx.phase(Phase::Send);
+        publish_report(ctx, &self.plan, self.nodes, self.local, dets, &self.sink)
+    }
+}

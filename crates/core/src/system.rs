@@ -1,0 +1,255 @@
+//! Assembling and running the real STAP pipeline system.
+//!
+//! [`StapSystem::prepare`] stages the radar data: it mounts the configured
+//! parallel file system, synthesizes `fanout` CPI cubes from the scene, and
+//! writes them round-robin into the CPI files (the paper's radar-side
+//! discipline). [`StapSystem::run`] then launches the pipeline — one thread
+//! per node — and returns measured timings plus the detection reports.
+
+use crate::config::StapConfig;
+use crate::io_strategy::{IoStrategy, TailStructure};
+use crate::stages::adaptive::{BeamformStage, WeightStage};
+use crate::stages::front::{DopplerStage, ReadStage};
+use crate::stages::tail::{CfarStage, CombinedTailStage, PulseStage, ReportSink};
+use crate::stages::{Roles, StapPlan};
+use parking_lot::Mutex;
+use stap_kernels::report::DetectionReport;
+use stap_pfs::{OpenMode, Pfs};
+use stap_pipeline::runner::{Pipeline, StageFactory};
+use stap_pipeline::timing::PipelineReport;
+use stap_pipeline::topology::{StageId, Topology};
+use stap_pipeline::PipelineError;
+use stap_radar::CubeGenerator;
+use std::sync::Arc;
+
+/// Everything a finished run produced.
+#[derive(Debug)]
+pub struct StapRunOutput {
+    /// Measured per-stage, per-phase timing.
+    pub timing: PipelineReport,
+    /// One detection report per CPI, ascending.
+    pub reports: Vec<DetectionReport>,
+    /// The pipeline's source stage (read task or Doppler).
+    pub source: StageId,
+    /// The pipeline's sink stage (CFAR or the combined tail).
+    pub sink: StageId,
+}
+
+impl StapRunOutput {
+    /// Measured steady-state throughput (CPIs/second).
+    pub fn throughput(&self) -> f64 {
+        self.timing.throughput(self.sink)
+    }
+
+    /// Measured mean end-to-end latency (seconds).
+    pub fn latency(&self) -> f64 {
+        self.timing.latency(self.source, self.sink)
+    }
+}
+
+/// A prepared STAP pipeline system.
+pub struct StapSystem {
+    plan: Arc<StapPlan>,
+    pipeline: Pipeline,
+    sink_stage: StageId,
+    source_stage: StageId,
+    reports: ReportSink,
+    fs: Pfs,
+}
+
+impl StapSystem {
+    /// Mounts the file system, stages the radar data and wires the
+    /// pipeline.
+    pub fn prepare(config: StapConfig) -> Result<Self, PipelineError> {
+        let fs = Pfs::mount(config.fs.clone());
+
+        // Radar side: synthesize one cube per round-robin slot and write it
+        // range-major (each reader's slab is then one contiguous extent).
+        let mut generator =
+            CubeGenerator::new(config.dims, config.scene.clone(), config.waveform_len, config.seed);
+        let mut files = Vec::with_capacity(config.fanout);
+        for slot in 0..config.fanout {
+            let f = fs.gopen(&StapConfig::file_name(slot), OpenMode::Async);
+            let cube = generator.next_cube();
+            f.write_at(0, &cube.to_range_major_bytes());
+            files.push(f);
+        }
+        let waveform = generator.waveform().to_vec();
+
+        // Bin classification shared by every stage.
+        let nbins = config.nbins();
+        let bc = config.doppler.bins;
+        let easy_bins = bc.easy_bins(nbins);
+        let hard_bins = bc.hard_bins(nbins);
+
+        // Topology.
+        let n = config.nodes;
+        let mut topo = Topology::new();
+        let read = (config.io == IoStrategy::SeparateTask)
+            .then(|| topo.add_stage("parallel read", n.read));
+        let doppler = topo.add_stage("Doppler filter", n.doppler);
+        let easy_weight = topo.add_stage("easy weight", n.easy_weight);
+        let hard_weight = topo.add_stage("hard weight", n.hard_weight);
+        let easy_bf = topo.add_stage("easy BF", n.easy_bf);
+        let hard_bf = topo.add_stage("hard BF", n.hard_bf);
+        let (pulse, cfar) = match config.tail {
+            TailStructure::Split => {
+                let pc = topo.add_stage("pulse compr", n.pulse);
+                let cf = topo.add_stage("CFAR", n.cfar);
+                (pc, Some(cf))
+            }
+            TailStructure::Combined => {
+                // "the number of nodes assigned to this single task is equal
+                // to the sum of the nodes assigned to the two original
+                // tasks".
+                let pc = topo.add_stage("PC + CFAR", n.pulse + n.cfar);
+                (pc, None)
+            }
+        };
+        if let Some(r) = read {
+            topo.add_edge(r, doppler);
+        }
+        topo.add_edge(doppler, easy_bf);
+        topo.add_edge(doppler, hard_bf);
+        topo.add_edge(doppler, easy_weight);
+        topo.add_edge(doppler, hard_weight);
+        topo.add_temporal_edge(easy_weight, easy_bf);
+        topo.add_temporal_edge(hard_weight, hard_bf);
+        topo.add_edge(easy_bf, pulse);
+        topo.add_edge(hard_bf, pulse);
+        if let Some(cf) = cfar {
+            topo.add_edge(pulse, cf);
+        }
+        topo.validate()?;
+
+        let roles = Roles { read, doppler, easy_weight, hard_weight, easy_bf, hard_bf, pulse, cfar };
+        let plan = Arc::new(StapPlan { config, roles, easy_bins, hard_bins, files, waveform });
+        let reports: ReportSink = Arc::new(Mutex::new(Vec::new()));
+
+        // Stage factories, in topology (stage-id) order.
+        let mut factories: Vec<StageFactory> = Vec::new();
+        let cfg = &plan.config;
+        if read.is_some() {
+            let p = Arc::clone(&plan);
+            let nodes = cfg.nodes.read;
+            factories.push(Box::new(move |local| {
+                Box::new(ReadStage::new(Arc::clone(&p), local, nodes))
+            }));
+        }
+        {
+            let p = Arc::clone(&plan);
+            let nodes = cfg.nodes.doppler;
+            factories.push(Box::new(move |local| {
+                Box::new(DopplerStage::new(Arc::clone(&p), local, nodes))
+            }));
+        }
+        for (hard, nodes) in [(false, cfg.nodes.easy_weight), (true, cfg.nodes.hard_weight)] {
+            let p = Arc::clone(&plan);
+            factories.push(Box::new(move |local| {
+                Box::new(WeightStage::new(Arc::clone(&p), local, nodes, hard))
+            }));
+        }
+        for (hard, nodes) in [(false, cfg.nodes.easy_bf), (true, cfg.nodes.hard_bf)] {
+            let p = Arc::clone(&plan);
+            factories.push(Box::new(move |local| {
+                Box::new(BeamformStage::new(Arc::clone(&p), local, nodes, hard))
+            }));
+        }
+        match cfg.tail {
+            TailStructure::Split => {
+                let p = Arc::clone(&plan);
+                factories.push(Box::new(move |_local| {
+                    Box::new(PulseStage::new(Arc::clone(&p)))
+                }));
+                let p = Arc::clone(&plan);
+                let sink = Arc::clone(&reports);
+                let nodes = cfg.nodes.cfar;
+                factories.push(Box::new(move |local| {
+                    Box::new(CfarStage::new(Arc::clone(&p), local, nodes, Arc::clone(&sink)))
+                }));
+            }
+            TailStructure::Combined => {
+                let p = Arc::clone(&plan);
+                let sink = Arc::clone(&reports);
+                let nodes = cfg.nodes.pulse + cfg.nodes.cfar;
+                factories.push(Box::new(move |local| {
+                    Box::new(CombinedTailStage::new(Arc::clone(&p), local, nodes, Arc::clone(&sink)))
+                }));
+            }
+        }
+
+        let pipeline = Pipeline::new(topo, factories);
+        let source_stage = read.unwrap_or(doppler);
+        let sink_stage = cfar.unwrap_or(pulse);
+        Ok(Self { plan, pipeline, sink_stage, source_stage, reports, fs })
+    }
+
+    /// The shared plan (bins, roles, files).
+    pub fn plan(&self) -> &StapPlan {
+        &self.plan
+    }
+
+    /// The underlying file system (diagnostics: stripe distribution etc.).
+    pub fn fs(&self) -> &Pfs {
+        &self.fs
+    }
+
+    /// The pipeline topology.
+    pub fn topology(&self) -> &Topology {
+        self.pipeline.topology()
+    }
+
+    /// Runs the configured number of CPIs and collects outputs.
+    pub fn run(&self) -> Result<StapRunOutput, PipelineError> {
+        self.reports.lock().clear();
+        let timing = self
+            .pipeline
+            .run(self.plan.config.cpis, self.plan.config.warmup)?;
+        let mut reports = std::mem::take(&mut *self.reports.lock());
+        reports.sort_by_key(|r| r.cpi);
+        Ok(StapRunOutput { timing, reports, source: self.source_stage, sink: self.sink_stage })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> StapConfig {
+        StapConfig {
+            cpis: 3,
+            warmup: 1,
+            ..StapConfig::default()
+        }
+    }
+
+    #[test]
+    fn prepare_stages_files_on_the_pfs() {
+        let sys = StapSystem::prepare(tiny_config()).unwrap();
+        assert_eq!(sys.plan().files.len(), 4);
+        for f in &sys.plan().files {
+            assert_eq!(f.len() as usize, sys.plan().config.dims.bytes());
+        }
+        // Data really striped across servers.
+        let counts = sys.fs().server_unit_counts();
+        assert!(counts.iter().filter(|&&c| c > 0).count() > 1);
+    }
+
+    #[test]
+    fn topology_matches_strategy() {
+        let sys = StapSystem::prepare(tiny_config()).unwrap();
+        assert_eq!(sys.topology().stage_count(), 7);
+        let sep = StapSystem::prepare(StapConfig {
+            io: IoStrategy::SeparateTask,
+            ..tiny_config()
+        })
+        .unwrap();
+        assert_eq!(sep.topology().stage_count(), 8);
+        let comb = StapSystem::prepare(StapConfig {
+            tail: TailStructure::Combined,
+            ..tiny_config()
+        })
+        .unwrap();
+        assert_eq!(comb.topology().stage_count(), 6);
+    }
+}

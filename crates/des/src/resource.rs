@@ -1,0 +1,174 @@
+//! Multi-server FCFS resources in virtual time.
+//!
+//! A resource models a pool of identical servers (CPU nodes of a task, I/O
+//! servers of a stripe directory, network links). Work is submitted with an
+//! arrival time and a service duration; the resource assigns the earliest
+//! available server and returns the (start, completion) pair. This closed
+//! form is exactly FCFS queueing, without needing engine callbacks.
+
+use crate::stats::Tally;
+use crate::time::SimTime;
+
+/// A pool of `n` identical FCFS servers.
+#[derive(Debug, Clone)]
+pub struct FcfsResource {
+    free_at: Vec<SimTime>,
+    busy: Tally,
+    jobs: u64,
+    name: String,
+}
+
+impl FcfsResource {
+    /// Creates a pool of `servers` servers.
+    ///
+    /// # Panics
+    /// Panics when `servers == 0`.
+    pub fn new(name: impl Into<String>, servers: usize) -> Self {
+        assert!(servers > 0, "resource needs at least one server");
+        Self { free_at: vec![SimTime::ZERO; servers], busy: Tally::new(), jobs: 0, name: name.into() }
+    }
+
+    /// Resource name (for reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of servers.
+    pub fn servers(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// Submits a job arriving at `arrival` needing `service` time on any one
+    /// server; returns `(start, completion)`.
+    pub fn submit(&mut self, arrival: SimTime, service: SimTime) -> (SimTime, SimTime) {
+        // Earliest-free server; ties resolve to the lowest index for
+        // determinism.
+        let (idx, &free) = self
+            .free_at
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &t)| (t, i))
+            .expect("at least one server");
+        let start = arrival.max(free);
+        let done = start + service;
+        self.free_at[idx] = done;
+        self.busy.record(service.as_secs_f64());
+        self.jobs += 1;
+        (start, done)
+    }
+
+    /// Submits a job that must run on a *specific* server (e.g. a stripe
+    /// unit pinned to its stripe directory).
+    pub fn submit_to(&mut self, server: usize, arrival: SimTime, service: SimTime) -> (SimTime, SimTime) {
+        let start = arrival.max(self.free_at[server]);
+        let done = start + service;
+        self.free_at[server] = done;
+        self.busy.record(service.as_secs_f64());
+        self.jobs += 1;
+        (start, done)
+    }
+
+    /// When every server is idle.
+    pub fn all_idle_at(&self) -> SimTime {
+        self.free_at.iter().copied().fold(SimTime::ZERO, SimTime::max)
+    }
+
+    /// Jobs served.
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Total busy time accumulated across servers (seconds).
+    pub fn total_busy_secs(&self) -> f64 {
+        self.busy.sum()
+    }
+
+    /// Mean utilization over `[0, horizon]`.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        let h = horizon.as_secs_f64();
+        if h <= 0.0 {
+            return 0.0;
+        }
+        self.total_busy_secs() / (h * self.servers() as f64)
+    }
+
+    /// Resets all servers to idle at time zero.
+    pub fn reset(&mut self) {
+        self.free_at.fill(SimTime::ZERO);
+        self.busy = Tally::new();
+        self.jobs = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn single_server_serializes() {
+        let mut r = FcfsResource::new("disk", 1);
+        let (s1, d1) = r.submit(ms(0), ms(10));
+        let (s2, d2) = r.submit(ms(0), ms(10));
+        assert_eq!((s1, d1), (ms(0), ms(10)));
+        assert_eq!((s2, d2), (ms(10), ms(20)));
+    }
+
+    #[test]
+    fn multi_server_parallelizes() {
+        let mut r = FcfsResource::new("cpu", 3);
+        for _ in 0..3 {
+            let (s, d) = r.submit(ms(0), ms(5));
+            assert_eq!((s, d), (ms(0), ms(5)));
+        }
+        let (s, d) = r.submit(ms(0), ms(5));
+        assert_eq!((s, d), (ms(5), ms(10)));
+    }
+
+    #[test]
+    fn late_arrival_starts_on_arrival() {
+        let mut r = FcfsResource::new("x", 1);
+        r.submit(ms(0), ms(2));
+        let (s, _) = r.submit(ms(100), ms(2));
+        assert_eq!(s, ms(100));
+    }
+
+    #[test]
+    fn pinned_submission_targets_server() {
+        let mut r = FcfsResource::new("stripes", 2);
+        let (_, d1) = r.submit_to(0, ms(0), ms(10));
+        let (_, d2) = r.submit_to(0, ms(0), ms(10));
+        let (_, d3) = r.submit_to(1, ms(0), ms(10));
+        assert_eq!(d1, ms(10));
+        assert_eq!(d2, ms(20));
+        assert_eq!(d3, ms(10));
+    }
+
+    #[test]
+    fn utilization_accounts_busy_time() {
+        let mut r = FcfsResource::new("x", 2);
+        r.submit(ms(0), ms(10));
+        r.submit(ms(0), ms(10));
+        assert!((r.utilization(ms(10)) - 1.0).abs() < 1e-12);
+        assert!((r.utilization(ms(20)) - 0.5).abs() < 1e-12);
+        assert_eq!(r.jobs(), 2);
+    }
+
+    #[test]
+    fn reset_returns_to_idle() {
+        let mut r = FcfsResource::new("x", 1);
+        r.submit(ms(0), ms(10));
+        r.reset();
+        assert_eq!(r.all_idle_at(), SimTime::ZERO);
+        assert_eq!(r.jobs(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_rejected() {
+        FcfsResource::new("x", 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Virtual time: nanosecond ticks since simulation start.
+
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in (or span of) virtual time, in nanoseconds.
+///
+/// One type serves both instants and durations — the arithmetic the models
+/// need is closed over nanosecond counts and keeping a single type keeps the
+/// recurrences readable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Largest representable time.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// From whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// From whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// From whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// From fractional seconds (rounds to the nearest nanosecond; negative
+    /// and non-finite inputs clamp to zero).
+    pub fn from_secs_f64(s: f64) -> Self {
+        if s.is_nan() || s <= 0.0 {
+            return SimTime::ZERO;
+        }
+        SimTime((s * 1e9).round() as u64)
+    }
+
+    /// As fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Nanosecond count.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Larger of two times.
+    pub fn max(self, rhs: SimTime) -> SimTime {
+        if self >= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// Smaller of two times.
+    pub fn min(self, rhs: SimTime) -> SimTime {
+        if self <= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.checked_sub(rhs.0).expect("SimTime subtraction underflow"))
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimTime::from_secs(2).as_nanos(), 2_000_000_000);
+        assert_eq!(SimTime::from_millis(3).as_nanos(), 3_000_000);
+        assert_eq!(SimTime::from_micros(5).as_nanos(), 5_000);
+        let t = SimTime::from_secs_f64(1.5);
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pathological_f64_inputs_clamp() {
+        assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::NAN), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(0.0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let a = SimTime::from_millis(10);
+        let b = SimTime::from_millis(4);
+        assert_eq!((a + b).as_nanos(), 14_000_000);
+        assert_eq!((a - b).as_nanos(), 6_000_000);
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+        assert!(a > b);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn strict_subtraction_underflow_panics() {
+        let _ = SimTime::from_millis(1) - SimTime::from_millis(2);
+    }
+
+    #[test]
+    fn display_shows_seconds() {
+        assert_eq!(format!("{}", SimTime::from_millis(1500)), "1.500000s");
+    }
+}

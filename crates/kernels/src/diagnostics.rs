@@ -1,0 +1,167 @@
+//! Adaptive-processing diagnostics: SINR, adapted beam patterns, and the
+//! improvement factor — the quantities used to judge whether the weight
+//! computation is doing its job (and to debug it when it is not).
+
+use crate::weights::BeamSet;
+use stap_math::matrix::dot_h;
+use stap_math::{CholeskyFactor, CMat, MathError, C64};
+
+/// Output signal-to-interference-plus-noise ratio of weight `w` against
+/// interference covariance `r` for a unit-power signal along `v`:
+/// `SINR = |wᴴv|² / (wᴴ R w)`.
+pub fn sinr(w: &[C64], v: &[C64], r: &CMat<f64>) -> Result<f64, MathError> {
+    let gain = dot_h(w, v).norm_sqr();
+    let rw = r.mul_vec(w)?;
+    let denom = dot_h(w, &rw).re;
+    Ok(gain / denom.max(f64::MIN_POSITIVE))
+}
+
+/// The maximum achievable SINR for covariance `r` and steering `v`:
+/// `vᴴ R⁻¹ v` (attained by the MVDR weight).
+pub fn optimal_sinr(v: &[C64], r: &CMat<f64>) -> Result<f64, MathError> {
+    let chol = CholeskyFactor::new(r)?;
+    let riv = chol.solve(v)?;
+    Ok(dot_h(v, &riv).re)
+}
+
+/// Adapted spatial beam pattern: `|wᴴ a(f)|²` evaluated over a grid of
+/// normalized spatial frequencies. Returns `(freq, power)` pairs.
+pub fn spatial_pattern(w: &[C64], points: usize) -> Vec<(f64, f64)> {
+    let channels = w.len();
+    (0..points)
+        .map(|k| {
+            let fs = -0.5 + k as f64 / points as f64;
+            let a: Vec<C64> = (0..channels)
+                .map(|c| C64::cis(2.0 * std::f64::consts::PI * fs * c as f64))
+                .collect();
+            (fs, dot_h(w, &a).norm_sqr())
+        })
+        .collect()
+}
+
+/// Depth of the pattern null at `fs` relative to the peak gain, in dB
+/// (negative = below the peak).
+pub fn null_depth_db(w: &[C64], fs: f64) -> f64 {
+    let pattern = spatial_pattern(w, 512);
+    let peak = pattern.iter().map(|&(_, p)| p).fold(0.0, f64::max);
+    let channels = w.len();
+    let a: Vec<C64> = (0..channels)
+        .map(|c| C64::cis(2.0 * std::f64::consts::PI * fs * c as f64))
+        .collect();
+    let at = dot_h(w, &a).norm_sqr();
+    10.0 * (at / peak.max(f64::MIN_POSITIVE)).log10()
+}
+
+/// SINR improvement factor of the adaptive weight over the conventional
+/// (steering-vector) weight, in dB.
+pub fn improvement_factor_db(
+    w_adaptive: &[C64],
+    beams: &BeamSet,
+    beam: usize,
+    r: &CMat<f64>,
+) -> Result<f64, MathError> {
+    let channels = w_adaptive.len();
+    let v = beams.spatial_steering(beam, channels);
+    let scale = 1.0 / channels as f64;
+    let w_conv: Vec<C64> = v.iter().map(|z| z.scale(scale)).collect();
+    let adapted = sinr(w_adaptive, &v, r)?;
+    let conventional = sinr(&w_conv, &v, r)?;
+    Ok(10.0 * (adapted / conventional).log10())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Identity + one strong rank-1 jammer at `fs`.
+    fn jammed_cov(channels: usize, fs: f64, jnr: f64) -> CMat<f64> {
+        let mut r = CMat::identity(channels);
+        let a: Vec<C64> = (0..channels)
+            .map(|c| C64::cis(2.0 * std::f64::consts::PI * fs * c as f64))
+            .collect();
+        r.rank1_update(&a, jnr);
+        r
+    }
+
+    fn mvdr(v: &[C64], r: &CMat<f64>) -> Vec<C64> {
+        let chol = CholeskyFactor::new(r).unwrap();
+        let riv = chol.solve(v).unwrap();
+        let denom = dot_h(v, &riv).re;
+        riv.into_iter().map(|z| z / denom).collect()
+    }
+
+    fn steering(channels: usize, fs: f64) -> Vec<C64> {
+        (0..channels)
+            .map(|c| C64::cis(2.0 * std::f64::consts::PI * fs * c as f64))
+            .collect()
+    }
+
+    #[test]
+    fn mvdr_attains_the_optimal_sinr() {
+        let r = jammed_cov(8, 0.3, 100.0);
+        let v = steering(8, 0.0);
+        let w = mvdr(&v, &r);
+        let got = sinr(&w, &v, &r).unwrap();
+        let opt = optimal_sinr(&v, &r).unwrap();
+        assert!((got / opt - 1.0).abs() < 1e-9, "{got} vs {opt}");
+    }
+
+    #[test]
+    fn white_noise_sinr_equals_channel_count() {
+        // With R = I, optimal SINR = ‖v‖² = N.
+        let r = CMat::identity(6);
+        let v = steering(6, 0.1);
+        assert!((optimal_sinr(&v, &r).unwrap() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adapted_pattern_nulls_the_jammer() {
+        let jam_fs = 0.3;
+        let r = jammed_cov(10, jam_fs, 1000.0);
+        let v = steering(10, 0.0);
+        let w = mvdr(&v, &r);
+        let depth = null_depth_db(&w, jam_fs);
+        assert!(depth < -30.0, "null only {depth} dB deep");
+        // And the look direction stays near the peak.
+        let look = null_depth_db(&w, 0.0);
+        assert!(look > -3.0, "look direction suppressed: {look} dB");
+    }
+
+    #[test]
+    fn improvement_factor_is_large_under_jamming() {
+        // 0.23 keeps the jammer off the uniform pattern's natural nulls
+        // (multiples of 1/8), so the conventional beamformer really suffers.
+        let r = jammed_cov(8, 0.23, 1000.0);
+        let beams = BeamSet { spatial_freqs: vec![0.0] };
+        let v = steering(8, 0.0);
+        let w = mvdr(&v, &r);
+        let if_db = improvement_factor_db(&w, &beams, 0, &r).unwrap();
+        assert!(if_db > 15.0, "improvement only {if_db} dB");
+    }
+
+    #[test]
+    fn improvement_factor_near_zero_in_white_noise() {
+        let r = CMat::identity(8);
+        let beams = BeamSet { spatial_freqs: vec![0.1] };
+        let v = steering(8, 0.1);
+        let w = mvdr(&v, &r);
+        let if_db = improvement_factor_db(&w, &beams, 0, &r).unwrap();
+        assert!(if_db.abs() < 0.5, "{if_db}");
+    }
+
+    #[test]
+    fn spatial_pattern_grid_covers_band() {
+        let w = steering(4, 0.0);
+        let p = spatial_pattern(&w, 64);
+        assert_eq!(p.len(), 64);
+        assert!((p[0].0 - -0.5).abs() < 1e-12);
+        assert!(p.last().unwrap().0 < 0.5);
+        // Peak at broadside for a uniform weight.
+        let (peak_fs, _) = p
+            .iter()
+            .copied()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        assert!(peak_fs.abs() < 0.02, "peak at {peak_fs}");
+    }
+}

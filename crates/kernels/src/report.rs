@@ -1,0 +1,214 @@
+//! Detection reports — the pipeline's output ("a report on the detection of
+//! possible targets" per CPI).
+
+use crate::cfar::Detection;
+
+/// All detections from one CPI, with provenance.
+#[derive(Debug, Clone, Default)]
+pub struct DetectionReport {
+    /// Sequence number of the CPI this report covers.
+    pub cpi: u64,
+    /// Detections, unordered.
+    pub detections: Vec<Detection>,
+}
+
+impl DetectionReport {
+    /// Creates an empty report for a CPI.
+    pub fn new(cpi: u64) -> Self {
+        Self { cpi, detections: Vec::new() }
+    }
+
+    /// Number of detections.
+    pub fn len(&self) -> usize {
+        self.detections.len()
+    }
+
+    /// True when no detection was made.
+    pub fn is_empty(&self) -> bool {
+        self.detections.is_empty()
+    }
+
+    /// Merges another partial report (e.g. from another CFAR node) into this
+    /// one.
+    ///
+    /// # Panics
+    /// Panics when the CPI sequence numbers differ.
+    pub fn merge(&mut self, other: DetectionReport) {
+        assert_eq!(self.cpi, other.cpi, "cannot merge reports of different CPIs");
+        self.detections.extend(other.detections);
+    }
+
+    /// The strongest detection, if any.
+    pub fn strongest(&self) -> Option<&Detection> {
+        self.detections
+            .iter()
+            .max_by(|a, b| a.snr_db.partial_cmp(&b.snr_db).expect("snr is finite"))
+    }
+
+    /// Collapses detections that are adjacent in range within the same
+    /// (beam, bin) into their locally strongest cell — the classic
+    /// "cluster then take the centroid" post-CFAR step.
+    pub fn cluster(&self, range_window: usize) -> DetectionReport {
+        let mut sorted = self.detections.clone();
+        sorted.sort_by(|a, b| {
+            (a.beam, a.bin, a.range).cmp(&(b.beam, b.bin, b.range))
+        });
+        let mut out: Vec<Detection> = Vec::new();
+        for d in sorted {
+            match out.last_mut() {
+                Some(last)
+                    if last.beam == d.beam
+                        && last.bin == d.bin
+                        && d.range.saturating_sub(last.range) <= range_window =>
+                {
+                    if d.snr_db > last.snr_db {
+                        *last = d;
+                    }
+                }
+                _ => out.push(d),
+            }
+        }
+        DetectionReport { cpi: self.cpi, detections: out }
+    }
+}
+
+impl DetectionReport {
+    /// Serializes to a compact little-endian binary record — the format the
+    /// pipeline's output task writes to the parallel file system
+    /// (`u64` CPI, `u32` count, then per detection `3×u32 + 3×f64`).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + self.detections.len() * 36);
+        out.extend_from_slice(&self.cpi.to_le_bytes());
+        out.extend_from_slice(&(self.detections.len() as u32).to_le_bytes());
+        for d in &self.detections {
+            out.extend_from_slice(&(d.beam as u32).to_le_bytes());
+            out.extend_from_slice(&(d.bin as u32).to_le_bytes());
+            out.extend_from_slice(&(d.range as u32).to_le_bytes());
+            out.extend_from_slice(&d.power.to_le_bytes());
+            out.extend_from_slice(&d.noise.to_le_bytes());
+            out.extend_from_slice(&d.snr_db.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes a record produced by [`Self::to_bytes`]. Returns `None`
+    /// on any structural mismatch.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 12 {
+            return None;
+        }
+        let cpi = u64::from_le_bytes(bytes[0..8].try_into().ok()?);
+        let count = u32::from_le_bytes(bytes[8..12].try_into().ok()?) as usize;
+        if bytes.len() != 12 + count * 36 {
+            return None;
+        }
+        let mut detections = Vec::with_capacity(count);
+        for k in 0..count {
+            let at = 12 + k * 36;
+            let u = |i: usize| -> Option<usize> {
+                Some(u32::from_le_bytes(bytes[at + i..at + i + 4].try_into().ok()?) as usize)
+            };
+            let f = |i: usize| -> Option<f64> {
+                Some(f64::from_le_bytes(bytes[at + i..at + i + 8].try_into().ok()?))
+            };
+            detections.push(Detection {
+                beam: u(0)?,
+                bin: u(4)?,
+                range: u(8)?,
+                power: f(12)?,
+                noise: f(20)?,
+                snr_db: f(28)?,
+            });
+        }
+        Some(Self { cpi, detections })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(beam: usize, bin: usize, range: usize, snr_db: f64) -> Detection {
+        Detection { beam, bin, range, power: 10f64.powf(snr_db / 10.0), noise: 1.0, snr_db }
+    }
+
+    #[test]
+    fn merge_concatenates_same_cpi() {
+        let mut a = DetectionReport::new(3);
+        a.detections.push(det(0, 0, 10, 20.0));
+        let mut b = DetectionReport::new(3);
+        b.detections.push(det(1, 2, 30, 15.0));
+        a.merge(b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different CPIs")]
+    fn merge_rejects_cpi_mismatch() {
+        let mut a = DetectionReport::new(1);
+        a.merge(DetectionReport::new(2));
+    }
+
+    #[test]
+    fn strongest_picks_max_snr() {
+        let mut r = DetectionReport::new(0);
+        r.detections.push(det(0, 0, 5, 12.0));
+        r.detections.push(det(0, 1, 9, 31.0));
+        r.detections.push(det(1, 0, 2, 8.0));
+        assert_eq!(r.strongest().unwrap().range, 9);
+        assert!(DetectionReport::new(0).strongest().is_none());
+    }
+
+    #[test]
+    fn cluster_collapses_adjacent_ranges() {
+        let mut r = DetectionReport::new(0);
+        r.detections.push(det(0, 4, 100, 18.0));
+        r.detections.push(det(0, 4, 101, 25.0)); // same cluster, stronger
+        r.detections.push(det(0, 4, 102, 20.0)); // same cluster
+        r.detections.push(det(0, 4, 200, 15.0)); // separate
+        r.detections.push(det(1, 4, 101, 22.0)); // different beam
+        let c = r.cluster(2);
+        assert_eq!(c.len(), 3);
+        let main = c
+            .detections
+            .iter()
+            .find(|d| d.beam == 0 && (100..=102).contains(&d.range))
+            .unwrap();
+        assert_eq!(main.range, 101);
+    }
+
+    #[test]
+    fn empty_report_properties() {
+        let r = DetectionReport::new(7);
+        assert!(r.is_empty());
+        assert_eq!(r.cluster(3).len(), 0);
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let mut r = DetectionReport::new(42);
+        r.detections.push(det(1, 17, 300, 23.5));
+        r.detections.push(det(0, 2, 11, -1.25));
+        let bytes = r.to_bytes();
+        assert_eq!(bytes.len(), 12 + 2 * 36);
+        let back = DetectionReport::from_bytes(&bytes).unwrap();
+        assert_eq!(back.cpi, 42);
+        assert_eq!(back.detections, r.detections);
+    }
+
+    #[test]
+    fn empty_report_serializes() {
+        let r = DetectionReport::new(0);
+        let back = DetectionReport::from_bytes(&r.to_bytes()).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn malformed_bytes_rejected() {
+        assert!(DetectionReport::from_bytes(&[0u8; 5]).is_none());
+        // Count claims 2 detections but payload holds none.
+        let mut bytes = DetectionReport::new(1).to_bytes();
+        bytes[8] = 2;
+        assert!(DetectionReport::from_bytes(&bytes).is_none());
+    }
+}

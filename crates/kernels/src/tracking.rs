@@ -1,0 +1,266 @@
+//! Multi-CPI track formation — the consumer downstream of the pipeline's
+//! detection reports.
+//!
+//! A simple nearest-neighbour alpha-beta tracker over range: detections are
+//! associated to existing tracks within a range gate window (and the same
+//! beam), track state (range, range-rate in gates/CPI) is smoothed with
+//! alpha-beta gains, and tracks are confirmed after `confirm_hits` updates
+//! and dropped after `max_misses` consecutive misses.
+
+use crate::cfar::Detection;
+use crate::report::DetectionReport;
+
+/// Tracker configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TrackerConfig {
+    /// Association gate: max |predicted − detected| range gates.
+    pub gate: f64,
+    /// Position smoothing gain α.
+    pub alpha: f64,
+    /// Velocity smoothing gain β.
+    pub beta: f64,
+    /// Updates needed to confirm a tentative track.
+    pub confirm_hits: u32,
+    /// Consecutive misses before a track is dropped.
+    pub max_misses: u32,
+}
+
+impl Default for TrackerConfig {
+    fn default() -> Self {
+        Self { gate: 4.0, alpha: 0.6, beta: 0.3, confirm_hits: 2, max_misses: 2 }
+    }
+}
+
+/// Track lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrackState {
+    /// Seen, but not yet confirmed.
+    Tentative,
+    /// Confirmed by repeated updates.
+    Confirmed,
+}
+
+/// One maintained track.
+#[derive(Debug, Clone)]
+pub struct Track {
+    /// Stable track identifier.
+    pub id: u64,
+    /// Beam the track lives in.
+    pub beam: usize,
+    /// Smoothed range estimate (gates).
+    pub range: f64,
+    /// Smoothed range rate (gates per CPI).
+    pub rate: f64,
+    /// Lifecycle state.
+    pub state: TrackState,
+    /// Total associated detections.
+    pub hits: u32,
+    /// Consecutive missed CPIs.
+    pub misses: u32,
+    /// CPI of the last update.
+    pub last_cpi: u64,
+}
+
+impl Track {
+    /// Predicted range at the next CPI.
+    pub fn predicted(&self) -> f64 {
+        self.range + self.rate
+    }
+}
+
+/// Nearest-neighbour alpha-beta tracker.
+#[derive(Debug)]
+pub struct Tracker {
+    config: TrackerConfig,
+    tracks: Vec<Track>,
+    next_id: u64,
+}
+
+impl Tracker {
+    /// A tracker with the given configuration.
+    pub fn new(config: TrackerConfig) -> Self {
+        Self { config, tracks: Vec::new(), next_id: 1 }
+    }
+
+    /// Live tracks (tentative + confirmed).
+    pub fn tracks(&self) -> &[Track] {
+        &self.tracks
+    }
+
+    /// Confirmed tracks only.
+    pub fn confirmed(&self) -> impl Iterator<Item = &Track> {
+        self.tracks.iter().filter(|t| t.state == TrackState::Confirmed)
+    }
+
+    /// Processes one CPI's (clustered) detection report.
+    pub fn update(&mut self, report: &DetectionReport) {
+        let cfg = self.config;
+        let mut used = vec![false; report.detections.len()];
+
+        // Associate each track to its nearest unused detection in gate.
+        for track in &mut self.tracks {
+            let predicted = track.range + track.rate;
+            let mut best: Option<(usize, f64)> = None;
+            for (k, d) in report.detections.iter().enumerate() {
+                if used[k] || d.beam != track.beam {
+                    continue;
+                }
+                let err = (d.range as f64 - predicted).abs();
+                if err <= cfg.gate && best.is_none_or(|(_, e)| err < e) {
+                    best = Some((k, err));
+                }
+            }
+            match best {
+                Some((k, _)) => {
+                    used[k] = true;
+                    let residual = report.detections[k].range as f64 - predicted;
+                    track.range = predicted + cfg.alpha * residual;
+                    track.rate += cfg.beta * residual;
+                    track.hits += 1;
+                    track.misses = 0;
+                    track.last_cpi = report.cpi;
+                    if track.hits >= cfg.confirm_hits {
+                        track.state = TrackState::Confirmed;
+                    }
+                }
+                None => {
+                    // Coast on the prediction.
+                    track.range = predicted;
+                    track.misses += 1;
+                }
+            }
+        }
+
+        // Unassociated detections start tentative tracks.
+        for (k, d) in report.detections.iter().enumerate() {
+            if !used[k] {
+                self.tracks.push(new_track(self.next_id, d, report.cpi));
+                self.next_id += 1;
+            }
+        }
+
+        // Drop stale tracks.
+        self.tracks.retain(|t| t.misses <= cfg.max_misses);
+    }
+}
+
+fn new_track(id: u64, d: &Detection, cpi: u64) -> Track {
+    Track {
+        id,
+        beam: d.beam,
+        range: d.range as f64,
+        rate: 0.0,
+        state: TrackState::Tentative,
+        hits: 1,
+        misses: 0,
+        last_cpi: cpi,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cpi: u64, dets: &[(usize, usize)]) -> DetectionReport {
+        let mut r = DetectionReport::new(cpi);
+        for &(beam, range) in dets {
+            r.detections.push(Detection {
+                beam,
+                bin: 0,
+                range,
+                power: 100.0,
+                noise: 1.0,
+                snr_db: 20.0,
+            });
+        }
+        r
+    }
+
+    #[test]
+    fn steady_target_confirms_and_locks() {
+        let mut tr = Tracker::new(TrackerConfig::default());
+        for cpi in 0..5 {
+            tr.update(&report(cpi, &[(0, 50)]));
+        }
+        let tracks: Vec<&Track> = tr.confirmed().collect();
+        assert_eq!(tracks.len(), 1);
+        assert!((tracks[0].range - 50.0).abs() < 0.5);
+        assert!(tracks[0].rate.abs() < 0.2);
+        assert_eq!(tracks[0].hits, 5);
+    }
+
+    #[test]
+    fn moving_target_velocity_is_estimated() {
+        let mut tr = Tracker::new(TrackerConfig::default());
+        for cpi in 0..8 {
+            tr.update(&report(cpi, &[(0, 20 + 3 * cpi as usize)]));
+        }
+        let t: Vec<&Track> = tr.confirmed().collect();
+        assert_eq!(t.len(), 1, "drift within the gate must keep one track");
+        assert!((t[0].rate - 3.0).abs() < 0.7, "rate estimate {}", t[0].rate);
+        assert!((t[0].range - 41.0).abs() < 2.5, "range estimate {}", t[0].range);
+    }
+
+    #[test]
+    fn two_targets_two_tracks() {
+        let mut tr = Tracker::new(TrackerConfig::default());
+        for cpi in 0..4 {
+            tr.update(&report(cpi, &[(0, 30), (1, 90)]));
+        }
+        assert_eq!(tr.confirmed().count(), 2);
+        // Beam discriminates even at equal range.
+        let beams: Vec<usize> = tr.confirmed().map(|t| t.beam).collect();
+        assert!(beams.contains(&0) && beams.contains(&1));
+    }
+
+    #[test]
+    fn missed_detections_coast_then_drop() {
+        let mut tr = Tracker::new(TrackerConfig::default());
+        for cpi in 0..3 {
+            tr.update(&report(cpi, &[(0, 60)]));
+        }
+        assert_eq!(tr.tracks().len(), 1);
+        // Target disappears: coast for max_misses CPIs, then drop.
+        tr.update(&report(3, &[]));
+        tr.update(&report(4, &[]));
+        assert_eq!(tr.tracks().len(), 1, "still coasting");
+        tr.update(&report(5, &[]));
+        assert_eq!(tr.tracks().len(), 0, "dropped after max misses");
+    }
+
+    #[test]
+    fn reacquisition_after_single_miss() {
+        let mut tr = Tracker::new(TrackerConfig::default());
+        tr.update(&report(0, &[(0, 40)]));
+        tr.update(&report(1, &[(0, 40)]));
+        tr.update(&report(2, &[])); // one miss
+        tr.update(&report(3, &[(0, 40)]));
+        let t: Vec<&Track> = tr.confirmed().collect();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].misses, 0);
+        assert_eq!(t[0].last_cpi, 3);
+    }
+
+    #[test]
+    fn out_of_gate_detection_starts_new_track() {
+        let mut tr = Tracker::new(TrackerConfig::default());
+        tr.update(&report(0, &[(0, 10)]));
+        tr.update(&report(1, &[(0, 100)])); // far away: new track
+        assert_eq!(tr.tracks().len(), 2);
+    }
+
+    #[test]
+    fn false_alarms_stay_tentative_and_die() {
+        let mut tr = Tracker::new(TrackerConfig { confirm_hits: 3, ..Default::default() });
+        // One-off false alarms at scattered gates.
+        tr.update(&report(0, &[(0, 10)]));
+        tr.update(&report(1, &[(0, 70)]));
+        tr.update(&report(2, &[(0, 130)]));
+        assert_eq!(tr.confirmed().count(), 0);
+        // After the miss budget they all drop.
+        for cpi in 3..7 {
+            tr.update(&report(cpi, &[]));
+        }
+        assert_eq!(tr.tracks().len(), 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Hermitian eigendecomposition by cyclic complex Jacobi rotations.
+//!
+//! STAP theory lives in the eigenstructure of the interference covariance:
+//! the number of large eigenvalues is the interference rank, their
+//! eigenvectors span the subspace the eigencanceler projects out. The
+//! matrices involved are small (DoF ≤ a few hundred) and Hermitian, where
+//! Jacobi is simple, unconditionally stable, and gives orthonormal
+//! eigenvectors to machine precision.
+
+use crate::complex::Complex;
+use crate::matrix::CMat;
+use crate::scalar::Scalar;
+use crate::MathError;
+
+/// Eigendecomposition `A = V diag(λ) Vᴴ` of a Hermitian matrix.
+#[derive(Debug, Clone)]
+pub struct Eigh<T> {
+    /// Eigenvalues, ascending.
+    pub values: Vec<T>,
+    /// Unitary matrix whose columns are the corresponding eigenvectors.
+    pub vectors: CMat<T>,
+}
+
+impl<T: Scalar> Eigh<T> {
+    /// Computes the decomposition of Hermitian `a`.
+    ///
+    /// Returns [`MathError::DimensionMismatch`] for non-square input. The
+    /// Hermitian part of `a` is what gets decomposed (the strictly-upper
+    /// triangle is trusted); callers should pass genuinely Hermitian data.
+    pub fn new(a: &CMat<T>) -> Result<Self, MathError> {
+        let n = a.rows();
+        if a.cols() != n {
+            return Err(MathError::DimensionMismatch { got: (a.rows(), a.cols()), expected: (n, n) });
+        }
+        let mut m = a.clone();
+        let mut v = CMat::<T>::identity(n);
+        let tol = T::EPSILON * T::from_f64(16.0) * m.frobenius_norm().max_of(T::ONE);
+        // Cyclic sweeps; n ≤ few hundred converges in well under 30 sweeps.
+        for _sweep in 0..60 {
+            let mut off = T::ZERO;
+            for p in 0..n {
+                for q in p + 1..n {
+                    off += m[(p, q)].norm_sqr();
+                }
+            }
+            if off.sqrt() <= tol {
+                break;
+            }
+            for p in 0..n {
+                for q in p + 1..n {
+                    jacobi_rotate(&mut m, &mut v, p, q);
+                }
+            }
+        }
+        // Collect and sort.
+        let mut order: Vec<usize> = (0..n).collect();
+        let diag: Vec<T> = (0..n).map(|i| m[(i, i)].re).collect();
+        order.sort_by(|&i, &j| diag[i].partial_cmp(&diag[j]).expect("eigenvalues are finite"));
+        let values: Vec<T> = order.iter().map(|&i| diag[i]).collect();
+        let vectors = CMat::from_fn(n, n, |r, c| v[(r, order[c])]);
+        Ok(Self { values, vectors })
+    }
+
+    /// The eigenvector for eigenvalue index `k` (ascending order).
+    pub fn vector(&self, k: usize) -> Vec<Complex<T>> {
+        (0..self.vectors.rows()).map(|r| self.vectors[(r, k)]).collect()
+    }
+
+    /// Reconstructs `V diag(λ) Vᴴ` (diagnostics/tests).
+    pub fn reconstruct(&self) -> CMat<T> {
+        let n = self.values.len();
+        let scaled = CMat::from_fn(n, n, |r, c| self.vectors[(r, c)].scale(self.values[c]));
+        scaled.mul(&self.vectors.hermitian()).expect("square dims")
+    }
+}
+
+/// One complex Jacobi rotation zeroing `m[p][q]` (and `m[q][p]`), applied
+/// two-sided to `m` and accumulated into `v`.
+fn jacobi_rotate<T: Scalar>(m: &mut CMat<T>, v: &mut CMat<T>, p: usize, q: usize) {
+    let apq = m[(p, q)];
+    let abs = apq.abs();
+    if abs <= T::EPSILON {
+        return;
+    }
+    let app = m[(p, p)].re;
+    let aqq = m[(q, q)].re;
+    // Phase that makes the pivot real, then a real Jacobi rotation.
+    let u = apq / abs; // e^{i·arg(apq)}
+    let tau = (aqq - app) / (T::TWO * abs);
+    let t = {
+        let s = if tau >= T::ZERO { T::ONE } else { -T::ONE };
+        s / (tau.abs() + (T::ONE + tau * tau).sqrt())
+    };
+    let c = T::ONE / (T::ONE + t * t).sqrt();
+    let s = t * c;
+    // Column rotation: [xp, xq] ← [c·xp − s·ū·xq, s·u·xp + c·xq]
+    let n = m.rows();
+    let su = u.scale(s);
+    for r in 0..n {
+        let xp = m[(r, p)];
+        let xq = m[(r, q)];
+        m[(r, p)] = xp.scale(c) - su.conj() * xq;
+        m[(r, q)] = su * xp + xq.scale(c);
+        let vp = v[(r, p)];
+        let vq = v[(r, q)];
+        v[(r, p)] = vp.scale(c) - su.conj() * vq;
+        v[(r, q)] = su * vp + vq.scale(c);
+    }
+    // Row rotation (conjugate transpose of the column one).
+    for col in 0..n {
+        let yp = m[(p, col)];
+        let yq = m[(q, col)];
+        m[(p, col)] = yp.scale(c) - su * yq;
+        m[(q, col)] = su.conj() * yp + yq.scale(c);
+    }
+    // Clean the pivot exactly (numerical hygiene).
+    m[(p, q)] = Complex::zero();
+    m[(q, p)] = Complex::zero();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::C64;
+
+    fn hermitian(n: usize, seed: u64) -> CMat<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) - 0.5
+        };
+        let b = CMat::from_fn(n, n, |_, _| C64::new(next(), next()));
+        // (B + Bᴴ)/2 is Hermitian with a full spectrum (indefinite).
+        b.add(&b.hermitian()).unwrap().scale(0.5)
+    }
+
+    fn mat_err(a: &CMat<f64>, b: &CMat<f64>) -> f64 {
+        let mut worst = 0.0f64;
+        for r in 0..a.rows() {
+            for c in 0..a.cols() {
+                worst = worst.max((a[(r, c)] - b[(r, c)]).abs());
+            }
+        }
+        worst
+    }
+
+    #[test]
+    fn reconstructs_random_hermitian_matrices() {
+        for n in [1usize, 2, 3, 5, 10, 24] {
+            let a = hermitian(n, n as u64 + 3);
+            let e = Eigh::new(&a).unwrap();
+            assert!(mat_err(&e.reconstruct(), &a) < 1e-10, "n={n}");
+        }
+    }
+
+    #[test]
+    fn eigenvalues_ascend_and_match_known_diagonal() {
+        let mut a = CMat::<f64>::zeros(3, 3);
+        a[(0, 0)] = C64::from_re(5.0);
+        a[(1, 1)] = C64::from_re(-2.0);
+        a[(2, 2)] = C64::from_re(1.0);
+        let e = Eigh::new(&a).unwrap();
+        assert!((e.values[0] - -2.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+        assert!((e.values[2] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2_complex_case() {
+        // A = [[2, i], [-i, 2]] has eigenvalues 1 and 3.
+        let mut a = CMat::<f64>::zeros(2, 2);
+        a[(0, 0)] = C64::from_re(2.0);
+        a[(0, 1)] = C64::i();
+        a[(1, 0)] = -C64::i();
+        a[(1, 1)] = C64::from_re(2.0);
+        let e = Eigh::new(&a).unwrap();
+        assert!((e.values[0] - 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = hermitian(8, 77);
+        let e = Eigh::new(&a).unwrap();
+        let should_be_identity = e.vectors.hermitian().mul(&e.vectors).unwrap();
+        assert!(mat_err(&should_be_identity, &CMat::identity(8)) < 1e-11);
+    }
+
+    #[test]
+    fn eigenvectors_satisfy_av_equals_lambda_v() {
+        let a = hermitian(6, 5);
+        let e = Eigh::new(&a).unwrap();
+        for k in 0..6 {
+            let v = e.vector(k);
+            let av = a.mul_vec(&v).unwrap();
+            for (x, y) in av.iter().zip(&v) {
+                assert!((*x - y.scale(e.values[k])).abs() < 1e-10, "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn rank_one_update_shows_in_the_spectrum() {
+        // I + 99·aaᴴ/‖a‖² has one eigenvalue 100 and the rest 1.
+        let n = 6;
+        let mut a = CMat::<f64>::identity(n);
+        let dir: Vec<C64> = (0..n).map(|c| C64::cis(0.4 * c as f64)).collect();
+        let norm_sq: f64 = dir.iter().map(|z| z.norm_sqr()).sum();
+        a.rank1_update(&dir, 99.0 / norm_sq);
+        let e = Eigh::new(&a).unwrap();
+        assert!((e.values[n - 1] - 100.0).abs() < 1e-9);
+        for k in 0..n - 1 {
+            assert!((e.values[k] - 1.0).abs() < 1e-9, "k={k}: {}", e.values[k]);
+        }
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let a = hermitian(12, 9);
+        let trace: f64 = (0..12).map(|i| a[(i, i)].re).sum();
+        let e = Eigh::new(&a).unwrap();
+        let sum: f64 = e.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-10);
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert!(Eigh::new(&CMat::<f64>::zeros(2, 3)).is_err());
+    }
+}

@@ -1,0 +1,145 @@
+//! The paper's performance equations.
+//!
+//! - Eq. 1/3: `throughput = 1 / max_i T_i` — the slowest task paces the
+//!   pipeline.
+//! - Eq. 2/4/12: `latency = Σ T_i` over the *latency path*: every task a
+//!   CPI's data flows through, excluding the weight tasks ("the temporal
+//!   data dependency does not affect the latency") and taking the max over
+//!   the parallel easy/hard beamforming branches.
+
+use crate::workload::TaskId;
+
+/// One task's measured/modeled execution time, labeled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskTime {
+    /// Which task.
+    pub task: TaskId,
+    /// Its `T_i` in seconds.
+    pub time: f64,
+}
+
+/// Eq. 1/3: pipeline throughput in CPIs per second.
+///
+/// # Panics
+/// Panics on an empty task list.
+pub fn throughput(times: &[TaskTime]) -> f64 {
+    let tmax = times
+        .iter()
+        .map(|t| t.time)
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(tmax.is_finite() && tmax > 0.0, "need positive task times");
+    1.0 / tmax
+}
+
+/// Eq. 2/4: pipeline latency in seconds.
+///
+/// `latency = [T_read +] T_doppler + max(T_easyBF, T_hardBF) + T_pc + T_cfar`
+/// — weight tasks excluded (temporal dependency), the easy/hard branches
+/// folded with `max`. Works for the 7-task, 8-task (separate read) and
+/// 6-task (combined PC+CFAR) pipelines: it sums whatever non-temporal,
+/// non-branch tasks are present and maxes the branch pair.
+pub fn latency(times: &[TaskTime]) -> f64 {
+    let mut total = 0.0;
+    let mut easy_bf = None;
+    let mut hard_bf = None;
+    for t in times {
+        match t.task {
+            TaskId::EasyWeight | TaskId::HardWeight => {} // temporal: excluded
+            TaskId::EasyBeamform => easy_bf = Some(t.time),
+            TaskId::HardBeamform => hard_bf = Some(t.time),
+            _ => total += t.time,
+        }
+    }
+    total
+        + match (easy_bf, hard_bf) {
+            (Some(e), Some(h)) => e.max(h),
+            (Some(e), None) => e,
+            (None, Some(h)) => h,
+            (None, None) => 0.0,
+        }
+}
+
+/// Percentage improvement of `after` over `before` (positive = better,
+/// for a smaller-is-better metric like latency).
+pub fn improvement_pct(before: f64, after: f64) -> f64 {
+    (before - after) / before * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tt(task: TaskId, time: f64) -> TaskTime {
+        TaskTime { task, time }
+    }
+
+    fn seven(doppler: f64, ew: f64, hw: f64, ebf: f64, hbf: f64, pc: f64, cf: f64) -> Vec<TaskTime> {
+        vec![
+            tt(TaskId::Doppler, doppler),
+            tt(TaskId::EasyWeight, ew),
+            tt(TaskId::HardWeight, hw),
+            tt(TaskId::EasyBeamform, ebf),
+            tt(TaskId::HardBeamform, hbf),
+            tt(TaskId::PulseCompression, pc),
+            tt(TaskId::Cfar, cf),
+        ]
+    }
+
+    #[test]
+    fn throughput_is_inverse_of_slowest() {
+        let times = seven(0.1, 0.2, 0.25, 0.1, 0.15, 0.1, 0.05);
+        assert!((throughput(&times) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_excludes_weight_tasks() {
+        // Weight times are huge but latency must ignore them (Eq. 2).
+        let times = seven(0.1, 9.0, 9.0, 0.1, 0.2, 0.1, 0.1);
+        assert!((latency(&times) - (0.1 + 0.2 + 0.1 + 0.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_takes_max_of_branches() {
+        let a = latency(&seven(0.1, 0.0, 0.0, 0.3, 0.2, 0.1, 0.1));
+        let b = latency(&seven(0.1, 0.0, 0.0, 0.2, 0.3, 0.1, 0.1));
+        assert_eq!(a, b);
+        assert!((a - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eight_task_latency_has_one_more_term() {
+        // Eq. 4 vs Eq. 2: the separate-I/O design adds T_read.
+        let mut times = seven(0.1, 0.0, 0.0, 0.1, 0.1, 0.1, 0.1);
+        let without = latency(&times);
+        times.push(tt(TaskId::Read, 0.12));
+        let with = latency(&times);
+        assert!((with - without - 0.12).abs() < 1e-12);
+    }
+
+    #[test]
+    fn six_task_latency_with_combined_tail() {
+        // Combined PC+CFAR: one task replaces two; modeled here by a single
+        // PulseCompression entry carrying T_{5+6}.
+        let times = vec![
+            tt(TaskId::Doppler, 0.1),
+            tt(TaskId::EasyWeight, 0.5),
+            tt(TaskId::HardWeight, 0.5),
+            tt(TaskId::EasyBeamform, 0.1),
+            tt(TaskId::HardBeamform, 0.12),
+            tt(TaskId::PulseCompression, 0.15), // = T_{5+6}
+        ];
+        assert!((latency(&times) - (0.1 + 0.12 + 0.15)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn improvement_pct_signs() {
+        assert!((improvement_pct(1.0, 0.9) - 10.0).abs() < 1e-12);
+        assert!(improvement_pct(1.0, 1.1) < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive task times")]
+    fn empty_throughput_panics() {
+        throughput(&[]);
+    }
+}

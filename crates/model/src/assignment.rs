@@ -1,0 +1,149 @@
+//! Node assignment: dividing the machine's nodes among the pipeline tasks.
+//!
+//! The paper assigns each task `P_i` nodes and "each task i is parallelized
+//! by evenly partitioning its work load among P_i compute nodes"; the case
+//! tables keep the per-task proportions fixed while doubling the total. We
+//! allocate proportionally to the analytic task workloads (largest-
+//! remainder method, minimum one node per task), which balances the
+//! per-task times and therefore maximizes throughput for a given total.
+
+use crate::workload::{StapWorkload, TaskId};
+
+/// Node counts per task, in the order of `tasks`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    /// Tasks in pipeline order.
+    pub tasks: Vec<TaskId>,
+    /// Node count per task (parallel to `tasks`).
+    pub nodes: Vec<usize>,
+}
+
+impl Assignment {
+    /// Total nodes used.
+    pub fn total(&self) -> usize {
+        self.nodes.iter().sum()
+    }
+
+    /// Node count of a task.
+    pub fn nodes_for(&self, t: TaskId) -> Option<usize> {
+        self.tasks.iter().position(|&x| x == t).map(|i| self.nodes[i])
+    }
+}
+
+/// Allocates `total` nodes over `tasks` proportionally to their workloads.
+///
+/// Every task receives at least one node; the remainder after the floor
+/// allocation goes to the tasks with the largest fractional parts
+/// (ties broken by pipeline order for determinism).
+///
+/// # Panics
+/// Panics when `total < tasks.len()` or `tasks` is empty.
+pub fn assign_nodes(w: &StapWorkload, tasks: &[TaskId], total: usize) -> Assignment {
+    assert!(!tasks.is_empty(), "no tasks to assign");
+    assert!(
+        total >= tasks.len(),
+        "need at least one node per task ({} tasks, {total} nodes)",
+        tasks.len()
+    );
+    let weights: Vec<f64> = tasks.iter().map(|&t| w.flops(t).max(1.0)).collect();
+    let wsum: f64 = weights.iter().sum();
+    // Ideal shares with the 1-node floor reserved.
+    let spare = (total - tasks.len()) as f64;
+    let ideal: Vec<f64> = weights.iter().map(|wi| 1.0 + spare * wi / wsum).collect();
+    let mut nodes: Vec<usize> = ideal.iter().map(|&x| x.floor() as usize).collect();
+    let mut used: usize = nodes.iter().sum();
+    // Largest remainder.
+    let mut rema: Vec<(usize, f64)> = ideal
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i, x - x.floor()))
+        .collect();
+    rema.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+    let mut k = 0;
+    while used < total {
+        nodes[rema[k % rema.len()].0] += 1;
+        used += 1;
+        k += 1;
+    }
+    Assignment { tasks: tasks.to_vec(), nodes }
+}
+
+/// The paper's three node-count cases ("each doubles the number of nodes of
+/// another"): 25, 50, 100 total compute nodes.
+pub const PAPER_CASES: [usize; 3] = [25, 50, 100];
+
+/// Dedicated reader nodes added by the separate-I/O-task design.
+pub const SEPARATE_IO_NODES: usize = 4;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::ShapeParams;
+
+    fn w() -> StapWorkload {
+        StapWorkload::derive(ShapeParams::paper_default())
+    }
+
+    #[test]
+    fn assignment_sums_to_total() {
+        let w = w();
+        for total in PAPER_CASES {
+            let a = assign_nodes(&w, &TaskId::SEVEN, total);
+            assert_eq!(a.total(), total, "total {total}");
+            assert!(a.nodes.iter().all(|&n| n >= 1));
+        }
+    }
+
+    #[test]
+    fn proportionality_roughly_balances_task_times() {
+        let w = w();
+        let a = assign_nodes(&w, &TaskId::SEVEN, 100);
+        // T_i ∝ W_i / P_i should vary by at most ~3× across tasks (small
+        // tasks pinned at 1-2 nodes may deviate).
+        let times: Vec<f64> = a
+            .tasks
+            .iter()
+            .zip(&a.nodes)
+            .map(|(&t, &p)| w.flops(t) / p as f64)
+            .collect();
+        let tmax = times.iter().cloned().fold(0.0, f64::max);
+        let tmin = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(tmax / tmin < 4.0, "imbalance {tmax}/{tmin}");
+    }
+
+    #[test]
+    fn hard_weight_gets_the_most_nodes() {
+        let w = w();
+        let a = assign_nodes(&w, &TaskId::SEVEN, 50);
+        let hw = a.nodes_for(TaskId::HardWeight).unwrap();
+        for (&t, &n) in a.tasks.iter().zip(&a.nodes) {
+            assert!(hw >= n, "{t:?} has {n} > hard weight's {hw}");
+        }
+    }
+
+    #[test]
+    fn doubling_total_roughly_doubles_each() {
+        let w = w();
+        let a = assign_nodes(&w, &TaskId::SEVEN, 25);
+        let b = assign_nodes(&w, &TaskId::SEVEN, 50);
+        for (x, y) in a.nodes.iter().zip(&b.nodes) {
+            assert!(*y as f64 >= 1.5 * *x as f64 - 1.5, "{x} -> {y}");
+            assert!((*y as f64) <= 2.6 * *x as f64 + 1.0, "{x} -> {y}");
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let w = w();
+        assert_eq!(
+            assign_nodes(&w, &TaskId::SEVEN, 37),
+            assign_nodes(&w, &TaskId::SEVEN, 37)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node per task")]
+    fn too_few_nodes_rejected() {
+        assign_nodes(&w(), &TaskId::SEVEN, 3);
+    }
+}

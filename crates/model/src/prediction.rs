@@ -1,0 +1,213 @@
+//! Closed-form pipeline prediction — the paper's own analytic method.
+//!
+//! Given a machine, a workload shape and a node assignment, apply Eq. 6 to
+//! get every `T_i`, fold the file read into the first task per the I/O
+//! design (overlapped when `iread` exists, serialized otherwise), then
+//! apply Eqs. 1–4. No simulation: this is what the authors could compute on
+//! paper, and the DES must agree with it in steady state (tested in
+//! `stap-core`).
+
+use crate::analytic::{latency, throughput, TaskTime};
+use crate::assignment::{assign_nodes, SEPARATE_IO_NODES};
+use crate::machines::MachineModel;
+use crate::tasktime::{combined_task_time, comm_time, task_time};
+use crate::workload::{ShapeParams, StapWorkload, TaskId};
+use stap_pfs::layout::StripeLayout;
+use stap_pfs::timing::ServerQueueSim;
+
+/// Which pipeline structure to predict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredictStructure {
+    /// Separate read task at the head (vs embedded in Doppler).
+    pub separate_io: bool,
+    /// PC+CFAR combined (vs split).
+    pub combined_tail: bool,
+}
+
+/// Analytic prediction of one configuration.
+#[derive(Debug, Clone)]
+pub struct PipelinePrediction {
+    /// Per-task predicted `T_i`.
+    pub task_times: Vec<TaskTime>,
+    /// Eq. 1/3 throughput (CPIs/s).
+    pub throughput: f64,
+    /// Eq. 2/4/12 latency (s).
+    pub latency: f64,
+    /// Predicted steady-state read time of one CPI file (s).
+    pub read_time: f64,
+}
+
+/// Steady-state time for the stripe servers to deliver one whole CPI file
+/// when reads are issued back-to-back: the servers' aggregate service time
+/// for the file's stripe units (the queue never drains between CPIs at the
+/// bottleneck, so latency terms pipeline away).
+pub fn steady_read_time(m: &MachineModel, shape: ShapeParams) -> f64 {
+    let fs = &m.fs;
+    let layout = StripeLayout::new(fs.stripe_unit, fs.stripe_factor);
+    let mut sim = ServerQueueSim::new(fs);
+    sim.submit_extent(0.0, layout, 0, shape.cube_bytes(), m.open_mode)
+}
+
+/// Predicts throughput and latency for the given structure and node count.
+pub fn predict(
+    m: &MachineModel,
+    shape: ShapeParams,
+    structure: PredictStructure,
+    compute_nodes: usize,
+) -> PipelinePrediction {
+    let w = StapWorkload::derive(shape);
+    let a = assign_nodes(&w, &TaskId::SEVEN, compute_nodes);
+    let p = |t: TaskId| a.nodes_for(t).expect("assigned");
+    let read_time = steady_read_time(m, shape);
+    let df_nodes = p(TaskId::Doppler);
+    let df_succ = p(TaskId::EasyWeight)
+        + p(TaskId::HardWeight)
+        + p(TaskId::EasyBeamform)
+        + p(TaskId::HardBeamform);
+
+    let mut times: Vec<TaskTime> = Vec::new();
+
+    // The first task (read task or Doppler) absorbs the file read.
+    if structure.separate_io {
+        let send = comm_time(m, w.output_bytes(TaskId::Read), SEPARATE_IO_NODES, df_nodes);
+        let t_read = if m.can_overlap_io() {
+            // iread overlaps the next read with this CPI's send.
+            read_time.max(send) + m.overhead(SEPARATE_IO_NODES)
+        } else {
+            read_time + send + m.overhead(SEPARATE_IO_NODES)
+        };
+        times.push(TaskTime { task: TaskId::Read, time: t_read });
+        times.push(TaskTime {
+            task: TaskId::Doppler,
+            time: task_time(m, &w, TaskId::Doppler, df_nodes, SEPARATE_IO_NODES, df_succ).total(),
+        });
+    } else {
+        let compute = m.compute_time(w.flops(TaskId::Doppler), df_nodes);
+        let send = comm_time(m, w.output_bytes(TaskId::Doppler), df_nodes, df_succ);
+        let t_df = if m.can_overlap_io() {
+            read_time.max(compute + send) + m.overhead(df_nodes)
+        } else {
+            read_time + compute + send + m.overhead(df_nodes)
+        };
+        times.push(TaskTime { task: TaskId::Doppler, time: t_df });
+    }
+
+    // Middle tasks.
+    let tail_pred = p(TaskId::EasyBeamform) + p(TaskId::HardBeamform);
+    let tail_first =
+        if structure.combined_tail { p(TaskId::PulseCompression) + p(TaskId::Cfar) } else { p(TaskId::PulseCompression) };
+    for (t, pred, succ) in [
+        (TaskId::EasyWeight, df_nodes, p(TaskId::EasyBeamform)),
+        (TaskId::HardWeight, df_nodes, p(TaskId::HardBeamform)),
+        (TaskId::EasyBeamform, df_nodes, tail_first),
+        (TaskId::HardBeamform, df_nodes, tail_first),
+    ] {
+        times.push(TaskTime { task: t, time: task_time(m, &w, t, p(t), pred, succ).total() });
+    }
+
+    // Tail.
+    if structure.combined_tail {
+        let t56 = combined_task_time(
+            m,
+            &w,
+            TaskId::PulseCompression,
+            TaskId::Cfar,
+            p(TaskId::PulseCompression),
+            p(TaskId::Cfar),
+            tail_pred,
+            1,
+        );
+        times.push(TaskTime { task: TaskId::PulseCompression, time: t56.total() });
+    } else {
+        times.push(TaskTime {
+            task: TaskId::PulseCompression,
+            time: task_time(m, &w, TaskId::PulseCompression, p(TaskId::PulseCompression), tail_pred, p(TaskId::Cfar))
+                .total(),
+        });
+        times.push(TaskTime {
+            task: TaskId::Cfar,
+            time: task_time(m, &w, TaskId::Cfar, p(TaskId::Cfar), p(TaskId::PulseCompression), 1).total(),
+        });
+    }
+
+    PipelinePrediction {
+        throughput: throughput(&times),
+        latency: latency(&times),
+        task_times: times,
+        read_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPLIT_EMBEDDED: PredictStructure =
+        PredictStructure { separate_io: false, combined_tail: false };
+
+    #[test]
+    fn throughput_rises_with_nodes_on_async_machine() {
+        let m = MachineModel::paragon(64);
+        let shape = ShapeParams::paper_default();
+        let t25 = predict(&m, shape, SPLIT_EMBEDDED, 25).throughput;
+        let t100 = predict(&m, shape, SPLIT_EMBEDDED, 100).throughput;
+        assert!(t100 > 2.5 * t25, "{t25} -> {t100}");
+    }
+
+    #[test]
+    fn sf16_prediction_hits_the_read_ceiling() {
+        let shape = ShapeParams::paper_default();
+        let small = predict(&MachineModel::paragon(16), shape, SPLIT_EMBEDDED, 100);
+        let large = predict(&MachineModel::paragon(64), shape, SPLIT_EMBEDDED, 100);
+        assert!(small.read_time > 3.0 * large.read_time);
+        assert!(small.throughput < 0.85 * large.throughput);
+        // Throughput at the bottleneck ≈ 1 / read_time.
+        assert!((small.throughput * small.read_time - 1.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn separate_io_adds_a_latency_term() {
+        let m = MachineModel::paragon(64);
+        let shape = ShapeParams::paper_default();
+        let emb = predict(&m, shape, SPLIT_EMBEDDED, 50);
+        let sep = predict(
+            &m,
+            shape,
+            PredictStructure { separate_io: true, combined_tail: false },
+            50,
+        );
+        assert!(sep.latency > emb.latency);
+        assert_eq!(sep.task_times.len(), 8);
+        assert_eq!(emb.task_times.len(), 7);
+    }
+
+    #[test]
+    fn combining_predicts_lower_latency_same_throughput() {
+        let m = MachineModel::sp();
+        let shape = ShapeParams::paper_default();
+        let split = predict(&m, shape, SPLIT_EMBEDDED, 50);
+        let comb = predict(
+            &m,
+            shape,
+            PredictStructure { separate_io: false, combined_tail: true },
+            50,
+        );
+        assert!(comb.latency < split.latency);
+        assert!(comb.throughput >= split.throughput * 0.999);
+        assert_eq!(comb.task_times.len(), 6);
+    }
+
+    #[test]
+    fn sync_machine_pays_read_plus_compute() {
+        let m = MachineModel::sp();
+        let shape = ShapeParams::paper_default();
+        let pred = predict(&m, shape, SPLIT_EMBEDDED, 100);
+        let df = pred.task_times.iter().find(|t| t.task == TaskId::Doppler).unwrap();
+        assert!(
+            df.time > pred.read_time,
+            "sync Doppler time {} must exceed the bare read {}",
+            df.time,
+            pred.read_time
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! The paper's task-time decomposition (Eq. 6):
+//! `T_i = W_i / P_i + C_i + V_i`
+//! where `W_i/P_i` is the perfectly-partitioned compute time, `C_i` the
+//! communication time (receive + send), and `V_i` the remaining
+//! parallelization overhead.
+
+use crate::machines::MachineModel;
+use crate::workload::{StapWorkload, TaskId};
+
+/// The three cost components of one task instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskCosts {
+    /// Compute seconds `W_i / (P_i · rate)`.
+    pub compute: f64,
+    /// Communication seconds `C_i` (receive + send, per Eq. 6's `C`).
+    pub comm: f64,
+    /// Parallelization overhead seconds `V_i`.
+    pub overhead: f64,
+}
+
+impl TaskCosts {
+    /// Total task execution time `T_i`.
+    pub fn total(&self) -> f64 {
+        self.compute + self.comm + self.overhead
+    }
+}
+
+/// Communication time for moving `bytes` into/out of a task spread over
+/// `nodes` nodes, exchanging messages with `peer_nodes` peer nodes.
+///
+/// Each node moves `bytes/nodes` at the per-node link bandwidth and pays
+/// the interconnect latency once per peer message (the redistribution is
+/// all-to-all between the two node groups).
+pub fn comm_time(m: &MachineModel, bytes: usize, nodes: usize, peer_nodes: usize) -> f64 {
+    if bytes == 0 || peer_nodes == 0 {
+        return 0.0;
+    }
+    m.net_latency * peer_nodes as f64 + bytes as f64 / (nodes as f64 * m.net_bandwidth)
+}
+
+/// Full `T_i` for a compute task (Eq. 6), given its node count and the node
+/// counts of its spatial predecessor and successor groups.
+pub fn task_time(
+    m: &MachineModel,
+    w: &StapWorkload,
+    task: TaskId,
+    nodes: usize,
+    pred_nodes: usize,
+    succ_nodes: usize,
+) -> TaskCosts {
+    assert!(nodes > 0, "task needs at least one node");
+    let compute = m.compute_time(w.flops(task), nodes);
+    let recv = comm_time(m, w.input_bytes(task), nodes, pred_nodes);
+    let send = comm_time(m, w.output_bytes(task), nodes, succ_nodes);
+    TaskCosts { compute, comm: recv + send, overhead: m.overhead(nodes) }
+}
+
+#[allow(clippy::too_many_arguments)] // mirrors Eq. 7's full parameter list
+/// `T_{5+6}` for two tasks merged onto the union of their nodes (Eq. 7):
+/// compute is `(W_5 + W_6)/(P_5 + P_6)`, the internal edge disappears
+/// (`C_{5+6} < C_5 + C_6`, Eq. 10), overhead is paid once.
+pub fn combined_task_time(
+    m: &MachineModel,
+    w: &StapWorkload,
+    first: TaskId,
+    second: TaskId,
+    nodes_first: usize,
+    nodes_second: usize,
+    pred_nodes: usize,
+    succ_nodes: usize,
+) -> TaskCosts {
+    let p = nodes_first + nodes_second;
+    let compute = m.compute_time(w.flops(first) + w.flops(second), p);
+    // The combined task receives `first`'s input and sends `second`'s
+    // output; the first→second transfer is now node-local.
+    let recv = comm_time(m, w.input_bytes(first), p, pred_nodes);
+    let send = comm_time(m, w.output_bytes(second), p, succ_nodes);
+    TaskCosts { compute, comm: recv + send, overhead: m.overhead(p) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::ShapeParams;
+
+    fn setup() -> (MachineModel, StapWorkload) {
+        (
+            MachineModel::paragon(64),
+            StapWorkload::derive(ShapeParams::paper_default()),
+        )
+    }
+
+    #[test]
+    fn compute_halves_when_nodes_double() {
+        let (m, w) = setup();
+        let a = task_time(&m, &w, TaskId::Doppler, 8, 4, 4);
+        let b = task_time(&m, &w, TaskId::Doppler, 16, 4, 4);
+        assert!((a.compute / b.compute - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comm_includes_latency_per_peer() {
+        let m = MachineModel::paragon(64);
+        let with_many_peers = comm_time(&m, 1_000_000, 4, 32);
+        let with_few_peers = comm_time(&m, 1_000_000, 4, 2);
+        assert!(with_many_peers > with_few_peers);
+        assert_eq!(comm_time(&m, 0, 4, 8), 0.0);
+    }
+
+    #[test]
+    fn paper_eq9_combined_compute_is_smaller() {
+        // (W5+W6)/(P5+P6) ≤ W5/P5 + W6/P6 — Eq. 9's sign.
+        let (m, w) = setup();
+        let t5 = task_time(&m, &w, TaskId::PulseCompression, 4, 8, 3);
+        let t6 = task_time(&m, &w, TaskId::Cfar, 3, 4, 1);
+        let t56 = combined_task_time(&m, &w, TaskId::PulseCompression, TaskId::Cfar, 4, 3, 8, 1);
+        assert!(t56.compute <= t5.compute + t6.compute + 1e-12);
+    }
+
+    #[test]
+    fn paper_eq10_combined_comm_is_smaller() {
+        // C_{5+6} < C_5 + C_6: the internal PC→CFAR transfer disappears.
+        let (m, w) = setup();
+        let t5 = task_time(&m, &w, TaskId::PulseCompression, 4, 8, 3);
+        let t6 = task_time(&m, &w, TaskId::Cfar, 3, 4, 1);
+        let t56 = combined_task_time(&m, &w, TaskId::PulseCompression, TaskId::Cfar, 4, 3, 8, 1);
+        assert!(t56.comm < t5.comm + t6.comm);
+    }
+
+    #[test]
+    fn paper_eq11_combined_total_is_smaller() {
+        // T_{5+6} < T_5 + T_6 — the task-combination theorem.
+        let (m, w) = setup();
+        for (p5, p6) in [(1usize, 1usize), (2, 2), (4, 3), (8, 6)] {
+            let t5 = task_time(&m, &w, TaskId::PulseCompression, p5, 8, p6);
+            let t6 = task_time(&m, &w, TaskId::Cfar, p6, p5, 1);
+            let t56 =
+                combined_task_time(&m, &w, TaskId::PulseCompression, TaskId::Cfar, p5, p6, 8, 1);
+            assert!(
+                t56.total() < t5.total() + t6.total(),
+                "p5={p5} p6={p6}: {} !< {}",
+                t56.total(),
+                t5.total() + t6.total()
+            );
+        }
+    }
+
+    #[test]
+    fn totals_add_components() {
+        let c = TaskCosts { compute: 1.0, comm: 0.5, overhead: 0.25 };
+        assert_eq!(c.total(), 1.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let (m, w) = setup();
+        task_time(&m, &w, TaskId::Cfar, 0, 1, 1);
+    }
+}

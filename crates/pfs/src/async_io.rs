@@ -1,0 +1,263 @@
+//! Asynchronous reads — the NX `iread`/`ireadoff` analogue.
+//!
+//! On the Paragon the pipeline posts a read at the start of an iteration,
+//! computes on the previous CPI's data, then calls the wait routine; the
+//! read proceeds concurrently. Here a posted read runs on a worker thread
+//! against the shared file handle, and [`ReadHandle::wait`] joins it —
+//! genuine overlap, observable with real timing.
+//!
+//! PIOFS ("the IBM AIX operating system ... asynchronous parallel
+//! read/write subroutines are not supported") rejects these calls with
+//! [`PfsError::AsyncUnsupported`].
+
+use crate::error::PfsError;
+use crate::file::FileHandle;
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+/// A pending asynchronous read (the `iread` return value).
+pub struct ReadHandle {
+    rx: mpsc::Receiver<Result<Vec<u8>, PfsError>>,
+    worker: Option<JoinHandle<()>>,
+    /// Offset the read was posted at (diagnostics).
+    pub offset: u64,
+    /// Length requested.
+    pub len: usize,
+}
+
+impl ReadHandle {
+    /// Blocks until the read completes and returns the bytes (the
+    /// `msgwait`/`iowait` analogue).
+    pub fn wait(mut self) -> Result<Vec<u8>, PfsError> {
+        let result = self.rx.recv().map_err(|_| PfsError::WorkerFailed)?;
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+        result
+    }
+
+    /// Non-blocking completion test (`iodone` analogue). On `Some`, the
+    /// result is final and `wait` must not be called again.
+    pub fn try_wait(&mut self) -> Option<Result<Vec<u8>, PfsError>> {
+        match self.rx.try_recv() {
+            Ok(r) => {
+                if let Some(w) = self.worker.take() {
+                    let _ = w.join();
+                }
+                Some(r)
+            }
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(PfsError::WorkerFailed)),
+        }
+    }
+}
+
+impl std::fmt::Debug for ReadHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReadHandle")
+            .field("offset", &self.offset)
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+/// A pending asynchronous write (the `iwrite` analogue).
+pub struct WriteHandle {
+    rx: mpsc::Receiver<()>,
+    worker: Option<JoinHandle<()>>,
+    /// Offset the write was posted at.
+    pub offset: u64,
+    /// Bytes being written.
+    pub len: usize,
+}
+
+impl WriteHandle {
+    /// Blocks until the write is durable in the stripe stores.
+    pub fn wait(mut self) -> Result<(), PfsError> {
+        self.rx.recv().map_err(|_| PfsError::WorkerFailed)?;
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+
+    /// Non-blocking completion test.
+    pub fn try_wait(&mut self) -> Option<Result<(), PfsError>> {
+        match self.rx.try_recv() {
+            Ok(()) => {
+                if let Some(w) = self.worker.take() {
+                    let _ = w.join();
+                }
+                Some(Ok(()))
+            }
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(PfsError::WorkerFailed)),
+        }
+    }
+}
+
+impl std::fmt::Debug for WriteHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WriteHandle")
+            .field("offset", &self.offset)
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+impl FileHandle {
+    /// Posts an asynchronous positioned read (`ireadoff`). Errors
+    /// immediately on a sync-only file system (the PIOFS personality).
+    pub fn read_at_async(&self, offset: u64, len: usize) -> Result<ReadHandle, PfsError> {
+        if !self.fs().config().supports_async {
+            return Err(PfsError::AsyncUnsupported);
+        }
+        let (tx, rx) = mpsc::channel();
+        let handle = self.clone();
+        let worker = std::thread::spawn(move || {
+            let _ = tx.send(handle.read_at(offset, len));
+        });
+        Ok(ReadHandle { rx, worker: Some(worker), offset, len })
+    }
+
+    /// Posts an asynchronous positioned write (`iwrite`) — used by the
+    /// radar-side recorder to overlap staging with cube synthesis. Errors
+    /// on sync-only file systems.
+    pub fn write_at_async(&self, offset: u64, data: Vec<u8>) -> Result<WriteHandle, PfsError> {
+        if !self.fs().config().supports_async {
+            return Err(PfsError::AsyncUnsupported);
+        }
+        let (tx, rx) = mpsc::channel();
+        let handle = self.clone();
+        let len = data.len();
+        let worker = std::thread::spawn(move || {
+            handle.write_at(offset, &data);
+            let _ = tx.send(());
+        });
+        Ok(WriteHandle { rx, worker: Some(worker), offset, len })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{FsConfig, OpenMode};
+    use crate::file::Pfs;
+
+    fn async_fs() -> Pfs {
+        let mut cfg = FsConfig::paragon_pfs(4);
+        cfg.stripe_unit = 32;
+        Pfs::mount(cfg)
+    }
+
+    #[test]
+    fn async_read_returns_same_bytes_as_sync() {
+        let fs = async_fs();
+        let f = fs.gopen("a", OpenMode::Async);
+        let data: Vec<u8> = (0..255).collect();
+        f.write_at(0, &data);
+        let h = f.read_at_async(10, 100).unwrap();
+        assert_eq!(h.wait().unwrap(), f.read_at(10, 100).unwrap());
+    }
+
+    #[test]
+    fn piofs_rejects_async() {
+        let fs = Pfs::mount(FsConfig::piofs());
+        let f = fs.gopen("a", OpenMode::Async);
+        f.write_at(0, &[0u8; 8]);
+        assert_eq!(f.read_at_async(0, 8).unwrap_err(), PfsError::AsyncUnsupported);
+    }
+
+    #[test]
+    fn async_read_overlaps_with_work() {
+        let fs = async_fs();
+        let f = fs.gopen("a", OpenMode::Async);
+        f.write_at(0, &[1u8; 4096]);
+        let h = f.read_at_async(0, 4096).unwrap();
+        // Do "computation" while the read is in flight.
+        let mut acc = 0u64;
+        for i in 0..10_000u64 {
+            acc = acc.wrapping_mul(31).wrapping_add(i);
+        }
+        assert!(acc != 0);
+        assert_eq!(h.wait().unwrap().len(), 4096);
+    }
+
+    #[test]
+    fn try_wait_eventually_completes() {
+        let fs = async_fs();
+        let f = fs.gopen("a", OpenMode::Async);
+        f.write_at(0, &[9u8; 64]);
+        let mut h = f.read_at_async(0, 64).unwrap();
+        let mut spins = 0;
+        let out = loop {
+            if let Some(r) = h.try_wait() {
+                break r;
+            }
+            spins += 1;
+            assert!(spins < 1_000_000, "async read never completed");
+            std::thread::yield_now();
+        };
+        assert_eq!(out.unwrap(), vec![9u8; 64]);
+    }
+
+    #[test]
+    fn async_read_propagates_errors() {
+        let fs = async_fs();
+        let f = fs.gopen("a", OpenMode::Async);
+        f.write_at(0, &[0u8; 4]);
+        let h = f.read_at_async(0, 100).unwrap(); // past EOF
+        assert!(matches!(h.wait(), Err(PfsError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn async_write_round_trips() {
+        let fs = async_fs();
+        let f = fs.gopen("w", OpenMode::Async);
+        let h = f.write_at_async(32, vec![5u8; 100]).unwrap();
+        h.wait().unwrap();
+        assert_eq!(f.read_at(32, 100).unwrap(), vec![5u8; 100]);
+        assert_eq!(f.len(), 132);
+    }
+
+    #[test]
+    fn async_write_rejected_on_piofs() {
+        let fs = Pfs::mount(FsConfig::piofs());
+        let f = fs.gopen("w", OpenMode::Unix);
+        assert_eq!(
+            f.write_at_async(0, vec![1]).unwrap_err(),
+            PfsError::AsyncUnsupported
+        );
+    }
+
+    #[test]
+    fn async_write_try_wait_completes() {
+        let fs = async_fs();
+        let f = fs.gopen("w", OpenMode::Async);
+        let mut h = f.write_at_async(0, vec![9u8; 64]).unwrap();
+        let mut spins = 0;
+        loop {
+            if let Some(r) = h.try_wait() {
+                r.unwrap();
+                break;
+            }
+            spins += 1;
+            assert!(spins < 1_000_000);
+            std::thread::yield_now();
+        }
+        assert_eq!(f.read_at(0, 64).unwrap(), vec![9u8; 64]);
+    }
+
+    #[test]
+    fn many_concurrent_async_reads() {
+        let fs = async_fs();
+        let f = fs.gopen("a", OpenMode::Async);
+        let data: Vec<u8> = (0..128).map(|i| (i % 251) as u8).collect();
+        f.write_at(0, &data);
+        let handles: Vec<_> =
+            (0..16).map(|k| f.read_at_async(k * 8, 8).unwrap()).collect();
+        for (k, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.wait().unwrap(), data[k * 8..k * 8 + 8].to_vec());
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! File-system configuration and the paper's three personalities.
+
+use std::time::Duration;
+
+/// How a file is opened (the NX `gopen` I/O modes; we keep the two the
+/// paper discusses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpenMode {
+    /// `M_ASYNC`: non-collected mode — each node does independent,
+    /// unsynchronized I/O. "It offers better performance and causes less
+    /// system overhead" (paper §3).
+    Async,
+    /// `M_UNIX`: sequential-consistency mode with per-call coordination
+    /// overhead (modeled as an extra per-request latency).
+    Unix,
+}
+
+/// Static description of a parallel file system instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FsConfig {
+    /// Human-readable name used in the experiment tables.
+    pub name: String,
+    /// Stripe unit in bytes (64 KiB on both machines in the paper).
+    pub stripe_unit: usize,
+    /// Number of stripe directories / I/O servers.
+    pub stripe_factor: usize,
+    /// Sustained per-server bandwidth, bytes per second.
+    pub server_bandwidth: f64,
+    /// Fixed per-request service latency (seek + protocol).
+    pub request_latency: Duration,
+    /// Extra per-request latency in `M_UNIX` mode (token/consistency cost).
+    pub unix_mode_penalty: Duration,
+    /// Whether asynchronous reads/writes are available (`iread`-style).
+    pub supports_async: bool,
+}
+
+impl FsConfig {
+    /// Intel Paragon PFS with a configurable stripe factor.
+    ///
+    /// Calibration (documented in DESIGN.md): 64 KiB stripe units, 6 MB/s
+    /// sustained per stripe directory (RAID-3 arrays of the era), 2 ms
+    /// per-request latency, async I/O available via NX `iread`. The
+    /// bandwidth is set so a 16 MiB CPI read bottlenecks the 100-node
+    /// pipeline at stripe factor 16 but not 64 — the paper's Table 1
+    /// contrast.
+    pub fn paragon_pfs(stripe_factor: usize) -> Self {
+        Self {
+            name: format!("Paragon PFS (stripe factor {stripe_factor})"),
+            stripe_unit: 64 * 1024,
+            stripe_factor,
+            server_bandwidth: 6.0e6,
+            request_latency: Duration::from_millis(2),
+            unix_mode_penalty: Duration::from_millis(3),
+            supports_async: true,
+        }
+    }
+
+    /// IBM SP PIOFS: 64 KiB stripe units across 80 slices, no async I/O.
+    ///
+    /// Per-server service is slower than the Paragon's PFS (4 MB/s, 5 ms
+    /// per request): PIOFS requests traverse the SP switch and the AIX
+    /// client stack. With no `iread` equivalent, reads cannot overlap
+    /// computation — the property the paper blames for the SP's poor
+    /// scaling.
+    pub fn piofs() -> Self {
+        Self {
+            name: "SP PIOFS (stripe factor 80)".to_string(),
+            stripe_unit: 64 * 1024,
+            stripe_factor: 80,
+            server_bandwidth: 4.0e6,
+            request_latency: Duration::from_millis(5),
+            unix_mode_penalty: Duration::from_millis(5),
+            supports_async: false,
+        }
+    }
+
+    /// Aggregate streaming bandwidth with all servers busy.
+    pub fn aggregate_bandwidth(&self) -> f64 {
+        self.server_bandwidth * self.stripe_factor as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paragon_presets_differ_only_in_factor() {
+        let a = FsConfig::paragon_pfs(16);
+        let b = FsConfig::paragon_pfs(64);
+        assert_eq!(a.stripe_unit, b.stripe_unit);
+        assert_eq!(a.server_bandwidth, b.server_bandwidth);
+        assert_eq!(b.stripe_factor, 64);
+        assert!(a.supports_async && b.supports_async);
+    }
+
+    #[test]
+    fn piofs_is_sync_only() {
+        let p = FsConfig::piofs();
+        assert!(!p.supports_async);
+        assert_eq!(p.stripe_factor, 80);
+    }
+
+    #[test]
+    fn aggregate_bandwidth_scales_with_factor() {
+        assert!(
+            FsConfig::paragon_pfs(64).aggregate_bandwidth()
+                > 3.9 * FsConfig::paragon_pfs(16).aggregate_bandwidth() / 1.0001
+        );
+    }
+}

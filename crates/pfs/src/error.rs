@@ -1,0 +1,58 @@
+//! Error type for the parallel file system.
+
+use std::fmt;
+
+/// File-system operation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PfsError {
+    /// No file with the given name exists.
+    NoSuchFile(String),
+    /// Read past the end of the file.
+    OutOfBounds {
+        /// Requested offset.
+        offset: u64,
+        /// Requested length.
+        len: usize,
+        /// Actual file size.
+        size: u64,
+    },
+    /// Asynchronous I/O requested on a file system without async support
+    /// (the PIOFS personality).
+    AsyncUnsupported,
+    /// The async worker disappeared before completing the request.
+    WorkerFailed,
+    /// The file has an injected fault (testing facility, dm-flakey style):
+    /// reads fail until the fault is cleared.
+    Faulted(String),
+}
+
+impl fmt::Display for PfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PfsError::NoSuchFile(name) => write!(f, "no such file: {name}"),
+            PfsError::OutOfBounds { offset, len, size } => {
+                write!(f, "read [{offset}, {offset}+{len}) past EOF (size {size})")
+            }
+            PfsError::AsyncUnsupported => {
+                write!(f, "asynchronous I/O not supported by this file system")
+            }
+            PfsError::WorkerFailed => write!(f, "async I/O worker failed"),
+            PfsError::Faulted(name) => write!(f, "injected read fault on file: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for PfsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_specifics() {
+        let e = PfsError::OutOfBounds { offset: 10, len: 4, size: 12 };
+        let s = format!("{e}");
+        assert!(s.contains("10") && s.contains("12"));
+        assert!(format!("{}", PfsError::NoSuchFile("x".into())).contains('x'));
+    }
+}

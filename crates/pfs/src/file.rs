@@ -1,0 +1,361 @@
+//! The file system proper: namespace, global opens, positioned reads and
+//! writes routed through the striping layout to the per-server stores.
+
+use crate::config::{FsConfig, OpenMode};
+use crate::error::PfsError;
+use crate::layout::StripeLayout;
+use crate::storage::{FileId, StripeServer};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct FileMeta {
+    id: FileId,
+    size: AtomicU64,
+    /// Injected-fault flag: reads fail while set (testing facility).
+    faulted: std::sync::atomic::AtomicBool,
+}
+
+struct Inner {
+    config: FsConfig,
+    layout: StripeLayout,
+    servers: Vec<StripeServer>,
+    names: RwLock<HashMap<String, Arc<FileMeta>>>,
+    next_id: AtomicU64,
+}
+
+/// A striped parallel file system instance. Cheap to clone (shared).
+#[derive(Clone)]
+pub struct Pfs {
+    inner: Arc<Inner>,
+}
+
+/// A globally-opened file (the `gopen` result): usable from any node/thread.
+#[derive(Clone)]
+pub struct FileHandle {
+    fs: Pfs,
+    meta: Arc<FileMeta>,
+    /// The I/O mode this handle was opened with.
+    pub mode: OpenMode,
+    name: String,
+}
+
+impl Pfs {
+    /// Mounts a fresh file system with the given configuration.
+    pub fn mount(config: FsConfig) -> Self {
+        let layout = StripeLayout::new(config.stripe_unit, config.stripe_factor);
+        let servers = (0..config.stripe_factor)
+            .map(|_| StripeServer::new(config.stripe_unit))
+            .collect();
+        Self {
+            inner: Arc::new(Inner {
+                config,
+                layout,
+                servers,
+                names: RwLock::new(HashMap::new()),
+                next_id: AtomicU64::new(1),
+            }),
+        }
+    }
+
+    /// The mount-time configuration.
+    pub fn config(&self) -> &FsConfig {
+        &self.inner.config
+    }
+
+    /// The striping layout.
+    pub fn layout(&self) -> StripeLayout {
+        self.inner.layout
+    }
+
+    /// Opens (creating if absent) a file globally — every node shares the
+    /// same handle semantics, like NX `gopen`.
+    pub fn gopen(&self, name: &str, mode: OpenMode) -> FileHandle {
+        let meta = {
+            let mut names = self.inner.names.write();
+            Arc::clone(names.entry(name.to_string()).or_insert_with(|| {
+                Arc::new(FileMeta {
+                    id: self.inner.next_id.fetch_add(1, Ordering::Relaxed),
+                    size: AtomicU64::new(0),
+                    faulted: std::sync::atomic::AtomicBool::new(false),
+                })
+            }))
+        };
+        FileHandle { fs: self.clone(), meta, mode, name: name.to_string() }
+    }
+
+    /// Opens an existing file; errors when absent.
+    pub fn open(&self, name: &str, mode: OpenMode) -> Result<FileHandle, PfsError> {
+        let names = self.inner.names.read();
+        let meta = names
+            .get(name)
+            .cloned()
+            .ok_or_else(|| PfsError::NoSuchFile(name.to_string()))?;
+        Ok(FileHandle { fs: self.clone(), meta, mode, name: name.to_string() })
+    }
+
+    /// Removes a file and frees its stripe units.
+    pub fn unlink(&self, name: &str) -> Result<(), PfsError> {
+        let meta = self
+            .inner
+            .names
+            .write()
+            .remove(name)
+            .ok_or_else(|| PfsError::NoSuchFile(name.to_string()))?;
+        for s in &self.inner.servers {
+            s.remove_file(meta.id);
+        }
+        Ok(())
+    }
+
+    /// Names currently present.
+    pub fn list(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.inner.names.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Total stripe units resident on each server — layout diagnostics.
+    pub fn server_unit_counts(&self) -> Vec<usize> {
+        self.inner.servers.iter().map(|s| s.unit_count()).collect()
+    }
+
+    /// Per-server traffic counters (reads/writes served) — load-balance
+    /// diagnostics for the striping layout.
+    pub fn server_stats(&self) -> Vec<crate::storage::ServerStats> {
+        self.inner.servers.iter().map(|s| s.stats()).collect()
+    }
+
+    /// Injects a read fault on `name` (dm-flakey style testing facility):
+    /// every read — including through already-open handles — fails with
+    /// [`PfsError::Faulted`] until [`Pfs::clear_read_fault`] is called.
+    pub fn inject_read_fault(&self, name: &str) -> Result<(), PfsError> {
+        self.set_fault(name, true)
+    }
+
+    /// Clears an injected read fault.
+    pub fn clear_read_fault(&self, name: &str) -> Result<(), PfsError> {
+        self.set_fault(name, false)
+    }
+
+    fn set_fault(&self, name: &str, value: bool) -> Result<(), PfsError> {
+        let names = self.inner.names.read();
+        let meta = names
+            .get(name)
+            .ok_or_else(|| PfsError::NoSuchFile(name.to_string()))?;
+        meta.faulted.store(value, Ordering::SeqCst);
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Pfs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pfs").field("config", &self.inner.config.name).finish()
+    }
+}
+
+impl FileHandle {
+    /// File name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current file size in bytes.
+    pub fn len(&self) -> u64 {
+        self.meta.size.load(Ordering::Acquire)
+    }
+
+    /// True for zero-length files.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Positioned write: stripes `data` starting at byte `offset`.
+    pub fn write_at(&self, offset: u64, data: &[u8]) {
+        let inner = &self.fs.inner;
+        for req in inner.layout.map_extent(offset, data.len()) {
+            let start = (req.file_offset - offset) as usize;
+            inner.servers[req.server].write(
+                self.meta.id,
+                req.unit,
+                req.offset_in_unit,
+                &data[start..start + req.len],
+            );
+        }
+        let end = offset + data.len() as u64;
+        self.meta.size.fetch_max(end, Ordering::AcqRel);
+    }
+
+    /// Positioned read of exactly `len` bytes starting at `offset`.
+    ///
+    /// Reading past EOF is an error (the pipeline's reads are always whole
+    /// CPI cubes at known offsets).
+    pub fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>, PfsError> {
+        if self.meta.faulted.load(Ordering::SeqCst) {
+            return Err(PfsError::Faulted(self.name.clone()));
+        }
+        let size = self.len();
+        if offset + len as u64 > size {
+            return Err(PfsError::OutOfBounds { offset, len, size });
+        }
+        let inner = &self.fs.inner;
+        let mut out = vec![0u8; len];
+        for req in inner.layout.map_extent(offset, len) {
+            let start = (req.file_offset - offset) as usize;
+            inner.servers[req.server].read(
+                self.meta.id,
+                req.unit,
+                req.offset_in_unit,
+                &mut out[start..start + req.len],
+            );
+        }
+        Ok(out)
+    }
+
+    /// The file system this handle belongs to.
+    pub fn fs(&self) -> &Pfs {
+        &self.fs
+    }
+}
+
+impl std::fmt::Debug for FileHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileHandle")
+            .field("name", &self.name)
+            .field("len", &self.len())
+            .field("mode", &self.mode)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_fs(factor: usize) -> Pfs {
+        let mut cfg = FsConfig::paragon_pfs(factor);
+        cfg.stripe_unit = 16; // tiny units so tests cross many boundaries
+        Pfs::mount(cfg)
+    }
+
+    #[test]
+    fn write_read_round_trip_across_stripes() {
+        let fs = small_fs(4);
+        let f = fs.gopen("cpi0.dat", OpenMode::Async);
+        let data: Vec<u8> = (0..200u8).collect();
+        f.write_at(0, &data);
+        assert_eq!(f.len(), 200);
+        assert_eq!(f.read_at(0, 200).unwrap(), data);
+        // Partial, unaligned read.
+        assert_eq!(f.read_at(33, 50).unwrap(), data[33..83].to_vec());
+    }
+
+    #[test]
+    fn data_actually_distributes_over_servers() {
+        let fs = small_fs(4);
+        let f = fs.gopen("a", OpenMode::Async);
+        f.write_at(0, &[1u8; 16 * 8]); // 8 units over 4 servers
+        let counts = fs.server_unit_counts();
+        assert_eq!(counts, vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn read_past_eof_errors() {
+        let fs = small_fs(2);
+        let f = fs.gopen("a", OpenMode::Async);
+        f.write_at(0, &[0u8; 10]);
+        assert!(matches!(f.read_at(5, 10), Err(PfsError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn open_missing_file_errors_gopen_creates() {
+        let fs = small_fs(2);
+        assert!(fs.open("nope", OpenMode::Async).is_err());
+        let _ = fs.gopen("yes", OpenMode::Unix);
+        assert!(fs.open("yes", OpenMode::Async).is_ok());
+        assert_eq!(fs.list(), vec!["yes".to_string()]);
+    }
+
+    #[test]
+    fn unlink_frees_units() {
+        let fs = small_fs(2);
+        let f = fs.gopen("a", OpenMode::Async);
+        f.write_at(0, &[1u8; 64]);
+        assert!(fs.server_unit_counts().iter().sum::<usize>() > 0);
+        fs.unlink("a").unwrap();
+        assert_eq!(fs.server_unit_counts().iter().sum::<usize>(), 0);
+        assert!(fs.unlink("a").is_err());
+    }
+
+    #[test]
+    fn overwrite_in_place_updates_bytes() {
+        let fs = small_fs(2);
+        let f = fs.gopen("a", OpenMode::Async);
+        f.write_at(0, &[1u8; 40]);
+        f.write_at(10, &[2u8; 5]);
+        let back = f.read_at(0, 40).unwrap();
+        assert_eq!(&back[10..15], &[2u8; 5]);
+        assert_eq!(back[9], 1);
+        assert_eq!(back[15], 1);
+        assert_eq!(f.len(), 40);
+    }
+
+    #[test]
+    fn sparse_gap_reads_zero() {
+        let fs = small_fs(2);
+        let f = fs.gopen("a", OpenMode::Async);
+        f.write_at(100, &[3u8; 4]);
+        let back = f.read_at(0, 104).unwrap();
+        assert!(back[..100].iter().all(|&b| b == 0));
+        assert_eq!(&back[100..], &[3u8; 4]);
+    }
+
+    #[test]
+    fn injected_fault_fails_reads_until_cleared() {
+        let fs = small_fs(2);
+        let f = fs.gopen("a", OpenMode::Async);
+        f.write_at(0, &[1u8; 32]);
+        fs.inject_read_fault("a").unwrap();
+        assert!(matches!(f.read_at(0, 8), Err(PfsError::Faulted(_))));
+        // Writes still work while faulted (read-side fault only).
+        f.write_at(0, &[2u8; 4]);
+        fs.clear_read_fault("a").unwrap();
+        assert_eq!(f.read_at(0, 4).unwrap(), vec![2u8; 4]);
+        assert!(fs.inject_read_fault("missing").is_err());
+    }
+
+    #[test]
+    fn global_handles_share_state_across_threads() {
+        let fs = small_fs(4);
+        let f = fs.gopen("shared", OpenMode::Async);
+        let f2 = f.clone();
+        let t = std::thread::spawn(move || {
+            f2.write_at(0, &[7u8; 32]);
+        });
+        t.join().unwrap();
+        assert_eq!(f.read_at(0, 32).unwrap(), vec![7u8; 32]);
+    }
+
+    #[test]
+    fn concurrent_disjoint_writers() {
+        // The paper's radar writes 4 files while readers pull others; here 4
+        // threads write disjoint extents of one file.
+        let fs = small_fs(8);
+        let f = fs.gopen("cpi", OpenMode::Async);
+        let mut handles = Vec::new();
+        for k in 0..4u8 {
+            let f = f.clone();
+            handles.push(std::thread::spawn(move || {
+                f.write_at(k as u64 * 64, &[k + 1; 64]);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for k in 0..4u8 {
+            let back = f.read_at(k as u64 * 64, 64).unwrap();
+            assert_eq!(back, vec![k + 1; 64]);
+        }
+    }
+}

@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! # stap-pfs — a striped parallel file system in user space
+//!
+//! Reproduces the two parallel file systems of the paper:
+//!
+//! - **Intel Paragon PFS**: files striped in fixed-size *stripe units*
+//!   across `stripe_factor` stripe directories (I/O servers); applications
+//!   open files globally (`gopen`) in the non-collected `M_ASYNC` mode and
+//!   issue asynchronous reads (`iread`/`ireadoff`) that overlap I/O with
+//!   computation and communication.
+//! - **IBM PIOFS**: same striping idea, but only synchronous `read`/`write`
+//!   calls — the property that costs the SP its scalability in the paper.
+//!
+//! The implementation is functional *and* temporal:
+//! - [`mod@file`] really stores bytes, physically distributed over per-server
+//!   stripe-unit block maps ([`storage`]) according to [`layout`];
+//! - [`async_io`] provides genuinely concurrent reads on worker threads;
+//! - [`timing`] provides the per-server FCFS queueing model (seek latency +
+//!   bandwidth) that the discrete-event experiments use to regenerate the
+//!   paper's numbers.
+
+//! # Example
+//!
+//! ```
+//! use stap_pfs::{FsConfig, OpenMode, Pfs};
+//!
+//! let fs = Pfs::mount(FsConfig::paragon_pfs(16));
+//! let f = fs.gopen("cpi_0.dat", OpenMode::Async);
+//! f.write_at(0, b"radar bytes");
+//! assert_eq!(f.read_at(6, 5).unwrap(), b"bytes");
+//!
+//! // Asynchronous read, NX iread style.
+//! let pending = f.read_at_async(0, 5).unwrap();
+//! // ... overlap computation here ...
+//! assert_eq!(pending.wait().unwrap(), b"radar");
+//! ```
+
+pub mod async_io;
+pub mod collective;
+pub mod config;
+pub mod error;
+pub mod file;
+pub mod layout;
+pub mod storage;
+pub mod timing;
+
+pub use config::{FsConfig, OpenMode};
+pub use error::PfsError;
+pub use file::{FileHandle, Pfs};
+pub use layout::{StripeLayout, StripeRequest};
+pub use storage::ServerStats;
+pub use timing::ServerQueueSim;

@@ -1,0 +1,233 @@
+//! Temporal model of the striped file system: per-server FCFS queues.
+//!
+//! The functional layer ([`crate::file`]) moves real bytes; this module
+//! answers "how long would that have taken on the Paragon/SP?". Every
+//! stripe-unit access is a request against one I/O server; a server serves
+//! requests first-come-first-served at `request_latency + bytes/bandwidth`.
+//! Contention emerges naturally: a small stripe factor concentrates the 256
+//! stripe units of a 16 MiB CPI file on few servers, and the paper's I/O
+//! bottleneck appears.
+//!
+//! Times are `f64` seconds of virtual time.
+
+use crate::config::{FsConfig, OpenMode};
+use crate::layout::StripeLayout;
+
+/// Per-server FCFS queue simulator.
+#[derive(Debug, Clone)]
+pub struct ServerQueueSim {
+    latency: f64,
+    unix_penalty: f64,
+    bandwidth: f64,
+    free_at: Vec<f64>,
+    served: Vec<u64>,
+}
+
+impl ServerQueueSim {
+    /// Creates a simulator for the given file system.
+    pub fn new(cfg: &FsConfig) -> Self {
+        Self {
+            latency: cfg.request_latency.as_secs_f64(),
+            unix_penalty: cfg.unix_mode_penalty.as_secs_f64(),
+            bandwidth: cfg.server_bandwidth,
+            free_at: vec![0.0; cfg.stripe_factor],
+            served: vec![0; cfg.stripe_factor],
+        }
+    }
+
+    /// Number of servers.
+    pub fn servers(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// Service time for one request of `bytes` (no queueing).
+    pub fn service_time(&self, bytes: usize, mode: OpenMode) -> f64 {
+        let penalty = match mode {
+            OpenMode::Async => 0.0,
+            OpenMode::Unix => self.unix_penalty,
+        };
+        self.latency + penalty + bytes as f64 / self.bandwidth
+    }
+
+    /// Submits one request arriving at `arrival` against `server`; returns
+    /// its completion time and advances the server's queue.
+    pub fn submit(&mut self, arrival: f64, server: usize, bytes: usize, mode: OpenMode) -> f64 {
+        let start = arrival.max(self.free_at[server]);
+        let done = start + self.service_time(bytes, mode);
+        self.free_at[server] = done;
+        self.served[server] += 1;
+        done
+    }
+
+    /// Submits every stripe-unit request of the byte extent at `arrival`
+    /// (the client pipelines requests to distinct servers); returns when the
+    /// last completes.
+    pub fn submit_extent(
+        &mut self,
+        arrival: f64,
+        layout: StripeLayout,
+        offset: u64,
+        len: usize,
+        mode: OpenMode,
+    ) -> f64 {
+        let mut done = arrival;
+        for req in layout.map_extent(offset, len) {
+            done = done.max(self.submit(arrival, req.server, req.len, mode));
+        }
+        done
+    }
+
+    /// Requests served per server so far.
+    pub fn served_counts(&self) -> &[u64] {
+        &self.served
+    }
+
+    /// Earliest time every server is idle.
+    pub fn all_idle_at(&self) -> f64 {
+        self.free_at.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Clears all queues back to time zero.
+    pub fn reset(&mut self) {
+        self.free_at.fill(0.0);
+        self.served.fill(0);
+    }
+}
+
+/// Completion time of `readers` clients concurrently reading disjoint
+/// extents (posted at `t=0`) — the paper's parallel read of one CPI file by
+/// all first-task nodes. Returns the time the slowest client finishes.
+pub fn parallel_read_completion(
+    cfg: &FsConfig,
+    extents: &[(u64, usize)],
+    mode: OpenMode,
+) -> f64 {
+    let layout = StripeLayout::new(cfg.stripe_unit, cfg.stripe_factor);
+    let mut sim = ServerQueueSim::new(cfg);
+    // Interleave all clients' stripe-unit requests in file-offset order —
+    // the fair round-robin service the stripe directories actually provide.
+    let mut reqs: Vec<_> = extents
+        .iter()
+        .flat_map(|&(off, len)| layout.map_extent(off, len))
+        .collect();
+    reqs.sort_by_key(|r| r.file_offset);
+    let mut done = 0.0f64;
+    for r in reqs {
+        done = done.max(sim.submit(0.0, r.server, r.len, mode));
+    }
+    done
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn cfg(factor: usize) -> FsConfig {
+        FsConfig {
+            name: "test".into(),
+            stripe_unit: 1000,
+            stripe_factor: factor,
+            server_bandwidth: 1e6, // 1 ms per unit
+            request_latency: Duration::from_millis(1),
+            unix_mode_penalty: Duration::from_millis(2),
+            supports_async: true,
+        }
+    }
+
+    #[test]
+    fn single_request_is_latency_plus_transfer() {
+        let mut sim = ServerQueueSim::new(&cfg(2));
+        let done = sim.submit(0.0, 0, 1000, OpenMode::Async);
+        assert!((done - 0.002).abs() < 1e-12); // 1 ms latency + 1 ms transfer
+    }
+
+    #[test]
+    fn unix_mode_pays_penalty() {
+        let sim = ServerQueueSim::new(&cfg(2));
+        let a = sim.service_time(1000, OpenMode::Async);
+        let u = sim.service_time(1000, OpenMode::Unix);
+        assert!((u - a - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_server_requests_queue() {
+        let mut sim = ServerQueueSim::new(&cfg(2));
+        let d1 = sim.submit(0.0, 0, 1000, OpenMode::Async);
+        let d2 = sim.submit(0.0, 0, 1000, OpenMode::Async);
+        assert!((d2 - 2.0 * d1).abs() < 1e-12, "FCFS must serialize");
+        let d3 = sim.submit(0.0, 1, 1000, OpenMode::Async);
+        assert!((d3 - d1).abs() < 1e-12, "other server is free");
+    }
+
+    #[test]
+    fn arrival_after_idle_starts_immediately() {
+        let mut sim = ServerQueueSim::new(&cfg(1));
+        sim.submit(0.0, 0, 1000, OpenMode::Async);
+        let done = sim.submit(10.0, 0, 1000, OpenMode::Async);
+        assert!((done - 10.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extent_fans_out_across_servers() {
+        let mut sim = ServerQueueSim::new(&cfg(4));
+        // 4 units over 4 servers: all parallel → one service time.
+        let done = sim.submit_extent(
+            0.0,
+            StripeLayout::new(1000, 4),
+            0,
+            4000,
+            OpenMode::Async,
+        );
+        assert!((done - 0.002).abs() < 1e-12);
+        assert_eq!(sim.served_counts(), &[1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn small_stripe_factor_is_slower() {
+        // The paper's central observation, in miniature: the same 16-unit
+        // read takes 4× longer on a 4× smaller stripe factor.
+        let t_small = parallel_read_completion(&cfg(2), &[(0, 16_000)], OpenMode::Async);
+        let t_large = parallel_read_completion(&cfg(8), &[(0, 16_000)], OpenMode::Async);
+        assert!((t_small / t_large - 4.0).abs() < 1e-9, "{t_small} vs {t_large}");
+    }
+
+    #[test]
+    fn many_readers_same_aggregate_as_one() {
+        // Splitting the file among 4 readers does not change the aggregate
+        // server work, so the completion time is identical.
+        let whole = parallel_read_completion(&cfg(4), &[(0, 32_000)], OpenMode::Async);
+        let quarters: Vec<(u64, usize)> =
+            (0..4).map(|k| (k as u64 * 8000, 8000)).collect();
+        let split = parallel_read_completion(&cfg(4), &quarters, OpenMode::Async);
+        assert!((whole - split).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears_queues() {
+        let mut sim = ServerQueueSim::new(&cfg(1));
+        sim.submit(0.0, 0, 1000, OpenMode::Async);
+        assert!(sim.all_idle_at() > 0.0);
+        sim.reset();
+        assert_eq!(sim.all_idle_at(), 0.0);
+        assert_eq!(sim.served_counts(), &[0]);
+    }
+
+    #[test]
+    fn paper_scale_read_times_are_plausible() {
+        use crate::config::FsConfig;
+        // 16 MiB CPI file on the calibrated personalities.
+        let file = 16 * 1024 * 1024;
+        let t16 =
+            parallel_read_completion(&FsConfig::paragon_pfs(16), &[(0, file)], OpenMode::Async);
+        let t64 =
+            parallel_read_completion(&FsConfig::paragon_pfs(64), &[(0, file)], OpenMode::Async);
+        let tpiofs =
+            parallel_read_completion(&FsConfig::piofs(), &[(0, file)], OpenMode::Unix);
+        // sf=16 must be ≈4× slower than sf=64 and slow enough to bottleneck
+        // the 100-node pipeline but not the 50-node one.
+        assert!(t16 > 0.15 && t16 < 0.25, "t16={t16}");
+        assert!(t64 < 0.06, "t64={t64}");
+        assert!(tpiofs > 0.05 && tpiofs < 0.15, "tpiofs={tpiofs}");
+    }
+}

@@ -1,0 +1,50 @@
+//! Pipeline error type.
+
+use stap_comm::CommError;
+use std::fmt;
+
+/// Failure inside a pipeline run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// A message-passing operation failed.
+    Comm(CommError),
+    /// A stage implementation reported a failure.
+    Stage {
+        /// Stage name.
+        stage: String,
+        /// What went wrong.
+        message: String,
+    },
+    /// The topology is malformed (detail in the message).
+    Topology(String),
+}
+
+impl From<CommError> for PipelineError {
+    fn from(e: CommError) -> Self {
+        PipelineError::Comm(e)
+    }
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Comm(e) => write!(f, "communication failure: {e}"),
+            PipelineError::Stage { stage, message } => write!(f, "stage '{stage}': {message}"),
+            PipelineError::Topology(m) => write!(f, "bad topology: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comm_errors_convert() {
+        let e: PipelineError = CommError::Timeout.into();
+        assert_eq!(e, PipelineError::Comm(CommError::Timeout));
+        assert!(format!("{e}").contains("timed out"));
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! # stap-pipeline — the parallel pipeline runtime
+//!
+//! The paper's execution model, made generic: a pipeline is a sequence of
+//! *tasks* (stages), task `i` parallelized over `P_i` nodes, connected by
+//! *spatial* edges (current-CPI dataflow) and *temporal* edges (the weight
+//! tasks consume the previous CPI's data). Every node executes a
+//! receive → compute → send cycle per CPI; the slowest task paces
+//! throughput, the spatial path determines latency.
+//!
+//! - [`topology`] describes the stage graph and maps stages to contiguous
+//!   node groups;
+//! - [`stage`] defines the per-node behavior trait and its context
+//!   (endpoint, groups, per-phase timing);
+//! - [`tags`] encodes (CPI, port) into message tags;
+//! - [`runner`] launches one thread per node via `stap-comm` and drives the
+//!   CPIs;
+//! - [`timing`] collects per-phase wall-clock records and computes the
+//!   paper's two metrics — throughput and latency — from real
+//!   measurements;
+//! - [`schedule`] holds the round-robin distribution helpers the paper's
+//!   figures label "Round Robin Scheduling".
+
+pub mod error;
+pub mod runner;
+pub mod schedule;
+pub mod stage;
+pub mod tags;
+pub mod timing;
+pub mod topology;
+
+pub use error::PipelineError;
+pub use runner::{Pipeline, StageFactory};
+pub use stage::{Stage, StageCtx};
+pub use timing::{Phase, PipelineReport};
+pub use topology::{StageId, Topology};

@@ -1,0 +1,272 @@
+//! Launching a pipeline: one thread per node, CPIs driven in order,
+//! timing collected into a [`PipelineReport`].
+
+use crate::error::PipelineError;
+use crate::stage::{Stage, StageCtx};
+use crate::timing::{PhaseClock, PipelineReport};
+use crate::topology::Topology;
+use stap_comm::spawn_world;
+use std::time::Instant;
+
+/// Builds the per-node [`Stage`] value for a stage; called once per node
+/// with the node's local index.
+pub type StageFactory = Box<dyn Fn(usize) -> Box<dyn Stage> + Send + Sync>;
+
+/// Collective tag of the end-of-run drain barrier.
+const DRAIN_BARRIER_TAG: u32 = 0x7FFF_FFFF;
+
+/// A runnable pipeline: topology + one factory per stage.
+pub struct Pipeline {
+    topology: Topology,
+    factories: Vec<StageFactory>,
+}
+
+impl Pipeline {
+    /// Creates a pipeline.
+    ///
+    /// # Panics
+    /// Panics when the factory count differs from the stage count.
+    pub fn new(topology: Topology, factories: Vec<StageFactory>) -> Self {
+        assert_eq!(
+            factories.len(),
+            topology.stage_count(),
+            "one factory per stage required"
+        );
+        Self { topology, factories }
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Runs `cpis` CPIs through the pipeline on real threads and returns
+    /// the measured report (with `warmup` leading CPIs excluded from the
+    /// steady-state metrics).
+    pub fn run(&self, cpis: u64, warmup: u64) -> Result<PipelineReport, PipelineError> {
+        self.topology.validate()?;
+        assert!(cpis > warmup, "need more CPIs ({cpis}) than warmup ({warmup})");
+        let epoch = Instant::now();
+        let topology = &self.topology;
+        let factories = &self.factories;
+
+        let results: Vec<Result<Vec<crate::timing::CpiRecord>, PipelineError>> =
+            spawn_world(topology.total_nodes(), move |mut ep| {
+                let (stage, local) = topology
+                    .locate(ep.rank())
+                    .expect("every rank belongs to a stage");
+                let mut behavior = factories[stage.0](local);
+                let mut clock = PhaseClock::new(epoch);
+                let mut outcome = Ok(());
+                for cpi in 0..cpis {
+                    clock.start_cpi(cpi);
+                    let mut ctx = StageCtx {
+                        ep: &mut ep,
+                        topology,
+                        stage,
+                        local,
+                        cpi,
+                        clock: &mut clock,
+                    };
+                    outcome = behavior.run_cpi(&mut ctx);
+                    clock.end_cpi();
+                    if outcome.is_err() {
+                        break;
+                    }
+                }
+                // A failing node raises the world abort flag so peers
+                // blocked in receives unblock with `Aborted` instead of
+                // hanging forever.
+                if outcome.is_err() {
+                    ep.trigger_abort();
+                }
+                // Drain barrier: no endpoint may drop until every node has
+                // finished (or failed) its last iteration, so trailing sends
+                // (e.g. the weight tasks' final, never-consumed weight sets)
+                // always find a live receiver. Skipped once the world is
+                // aborting — everyone is exiting anyway.
+                let barrier_outcome = if ep.aborted() {
+                    Err(stap_comm::CommError::Aborted.into())
+                } else {
+                    let world = stap_comm::Group::contiguous(0, topology.total_nodes());
+                    stap_comm::collective::barrier(&mut ep, &world, DRAIN_BARRIER_TAG)
+                        .map_err(PipelineError::from)
+                };
+                outcome?;
+                barrier_outcome?;
+                Ok(clock.into_records())
+            });
+
+        // Prefer the root-cause error: stage failures first, then
+        // communication failures, with `Aborted` teardown fallout last.
+        let rank = |e: &PipelineError| match e {
+            PipelineError::Stage { .. } | PipelineError::Topology(_) => 0,
+            PipelineError::Comm(c) if *c != stap_comm::CommError::Aborted => 1,
+            PipelineError::Comm(_) => 2,
+        };
+        if let Some(err) = results
+            .iter()
+            .filter_map(|r| r.as_ref().err())
+            .min_by_key(|e| rank(e))
+        {
+            return Err(err.clone());
+        }
+        let mut per_node = Vec::with_capacity(results.len());
+        for r in results {
+            per_node.push(r.expect("errors handled above"));
+        }
+        Ok(PipelineReport::new(topology, per_node, cpis, warmup))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::Phase;
+    use crate::topology::StageId;
+
+    /// A trivial 3-stage pipeline: source generates `cpi*10 + local`,
+    /// middle doubles, sink sums across middle nodes.
+    fn arithmetic_pipeline() -> Pipeline {
+        let mut t = Topology::new();
+        let src = t.add_stage("src", 1);
+        let mid = t.add_stage("mid", 2);
+        let snk = t.add_stage("snk", 1);
+        t.add_edge(src, mid);
+        t.add_edge(mid, snk);
+
+        let f_src: StageFactory = Box::new(move |_local| {
+            Box::new(move |ctx: &mut StageCtx<'_>| {
+                ctx.phase(Phase::Compute);
+                let v = ctx.cpi * 10;
+                ctx.phase(Phase::Send);
+                for dst in 0..2 {
+                    ctx.send_to(StageId(1), dst, 0, v + dst as u64)?;
+                }
+                Ok(())
+            })
+        });
+        let f_mid: StageFactory = Box::new(move |local| {
+            Box::new(move |ctx: &mut StageCtx<'_>| {
+                ctx.phase(Phase::Recv);
+                let v: u64 = ctx.recv_from(StageId(0), 0, 0)?;
+                ctx.phase(Phase::Compute);
+                let out = v * 2;
+                ctx.phase(Phase::Send);
+                let _ = local;
+                ctx.send_to(StageId(2), 0, 0, out)?;
+                Ok(())
+            })
+        });
+        let f_snk: StageFactory = Box::new(move |_local| {
+            Box::new(move |ctx: &mut StageCtx<'_>| {
+                ctx.phase(Phase::Recv);
+                let a: u64 = ctx.recv_from(StageId(1), 0, 0)?;
+                let b: u64 = ctx.recv_from(StageId(1), 1, 0)?;
+                ctx.phase(Phase::Compute);
+                let sum = a + b;
+                // (cpi*10)*2 + (cpi*10+1)*2 = 40*cpi + 2
+                assert_eq!(sum, 40 * ctx.cpi + 2);
+                Ok(())
+            })
+        });
+        Pipeline::new(t, vec![f_src, f_mid, f_snk])
+    }
+
+    #[test]
+    fn pipeline_moves_data_correctly() {
+        let p = arithmetic_pipeline();
+        let report = p.run(5, 1).unwrap();
+        assert_eq!(report.cpis, 5);
+        assert_eq!(report.records.len(), 3);
+        assert_eq!(report.records[1].len(), 2); // two middle nodes
+        assert_eq!(report.records[1][0].len(), 5); // five CPIs each
+    }
+
+    #[test]
+    fn report_metrics_are_positive() {
+        let p = arithmetic_pipeline();
+        let report = p.run(6, 2).unwrap();
+        let latency = report.latency(StageId(0), StageId(2));
+        assert!(latency > 0.0);
+        let tput = report.throughput(StageId(2));
+        assert!(tput > 0.0);
+    }
+
+    #[test]
+    fn stage_error_propagates() {
+        let mut t = Topology::new();
+        let _ = t.add_stage("solo", 1);
+        let f: StageFactory = Box::new(|_| {
+            Box::new(|ctx: &mut StageCtx<'_>| {
+                Err(ctx.fail("deliberate"))
+            })
+        });
+        let p = Pipeline::new(t, vec![f]);
+        let err = p.run(1, 0).unwrap_err();
+        assert!(matches!(err, PipelineError::Stage { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "one factory per stage")]
+    fn factory_count_must_match() {
+        let mut t = Topology::new();
+        t.add_stage("a", 1);
+        Pipeline::new(t, vec![]);
+    }
+
+    #[test]
+    fn mid_pipeline_failure_does_not_hang_downstream() {
+        // Source feeds a sink; the source dies on CPI 1 while the sink is
+        // blocked waiting for its input. The abort flag must unblock the
+        // sink and surface the root-cause stage error.
+        let mut t = Topology::new();
+        let src = t.add_stage("src", 1);
+        let snk = t.add_stage("snk", 1);
+        t.add_edge(src, snk);
+        let f_src: StageFactory = Box::new(|_| {
+            Box::new(|ctx: &mut StageCtx<'_>| {
+                if ctx.cpi >= 1 {
+                    return Err(ctx.fail("disk on fire"));
+                }
+                ctx.send_to(StageId(1), 0, 0, ctx.cpi)?;
+                Ok(())
+            })
+        });
+        let f_snk: StageFactory = Box::new(|_| {
+            Box::new(|ctx: &mut StageCtx<'_>| {
+                let _: u64 = ctx.recv_from(StageId(0), 0, 0)?;
+                Ok(())
+            })
+        });
+        let p = Pipeline::new(t, vec![f_src, f_snk]);
+        let err = p.run(4, 0).unwrap_err();
+        match err {
+            PipelineError::Stage { stage, message } => {
+                assert_eq!(stage, "src");
+                assert!(message.contains("disk on fire"));
+            }
+            other => panic!("expected the root-cause stage error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cpis_run_in_order_per_node() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let mut t = Topology::new();
+        t.add_stage("solo", 1);
+        let seen = Arc::new(AtomicU64::new(0));
+        let seen2 = Arc::clone(&seen);
+        let f: StageFactory = Box::new(move |_| {
+            let seen = Arc::clone(&seen2);
+            Box::new(move |ctx: &mut StageCtx<'_>| {
+                assert_eq!(seen.fetch_add(1, Ordering::SeqCst), ctx.cpi);
+                Ok(())
+            })
+        });
+        let p = Pipeline::new(t, vec![f]);
+        p.run(4, 0).unwrap();
+        assert_eq!(seen.load(Ordering::SeqCst), 4);
+    }
+}

@@ -1,0 +1,412 @@
+//! Wall-clock phase timing and the pipeline's two metrics.
+//!
+//! Every node stamps the start and end of each CPI iteration and attributes
+//! elapsed time to phases (read / receive / compute / send). All stamps
+//! share one process-wide epoch, so cross-stage differences are meaningful:
+//! latency is literally `sink finish − source start` per CPI, throughput is
+//! the sink's steady-state completion rate — the same way the paper
+//! measured its tables.
+
+use crate::topology::{StageId, Topology};
+use std::time::Instant;
+
+/// Execution phases of one CPI iteration on one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// File-system read (embedded or separate I/O task).
+    Read,
+    /// Receiving from predecessor stages.
+    Recv,
+    /// Computation.
+    Compute,
+    /// Sending to successor stages.
+    Send,
+}
+
+impl Phase {
+    /// All phases, display order.
+    pub const ALL: [Phase; 4] = [Phase::Read, Phase::Recv, Phase::Compute, Phase::Send];
+
+    fn index(self) -> usize {
+        match self {
+            Phase::Read => 0,
+            Phase::Recv => 1,
+            Phase::Compute => 2,
+            Phase::Send => 3,
+        }
+    }
+
+    /// Column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Read => "read",
+            Phase::Recv => "recv",
+            Phase::Compute => "compute",
+            Phase::Send => "send",
+        }
+    }
+}
+
+/// Timing of one CPI on one node (seconds since the shared epoch).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CpiRecord {
+    /// CPI sequence number.
+    pub cpi: u64,
+    /// Iteration start.
+    pub start: f64,
+    /// Iteration end.
+    pub end: f64,
+    /// Seconds attributed to each phase (Phase::ALL order).
+    pub phase_secs: [f64; 4],
+}
+
+impl CpiRecord {
+    /// Total iteration time.
+    pub fn total(&self) -> f64 {
+        self.end - self.start
+    }
+
+    /// Seconds in a phase.
+    pub fn phase(&self, p: Phase) -> f64 {
+        self.phase_secs[p.index()]
+    }
+}
+
+/// Per-node phase clock: stamps phases against the shared epoch.
+#[derive(Debug)]
+pub struct PhaseClock {
+    epoch: Instant,
+    records: Vec<CpiRecord>,
+    current: Option<CpiRecord>,
+    open_phase: Option<(Phase, f64)>,
+}
+
+impl PhaseClock {
+    /// A clock against the given epoch.
+    pub fn new(epoch: Instant) -> Self {
+        Self { epoch, records: Vec::new(), current: None, open_phase: None }
+    }
+
+    fn now(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    /// Opens the record for a CPI iteration.
+    pub fn start_cpi(&mut self, cpi: u64) {
+        assert!(self.current.is_none(), "previous CPI not closed");
+        let t = self.now();
+        self.current = Some(CpiRecord { cpi, start: t, end: t, phase_secs: [0.0; 4] });
+    }
+
+    /// Enters a phase, closing any open one.
+    pub fn begin(&mut self, phase: Phase) {
+        self.close_phase();
+        self.open_phase = Some((phase, self.now()));
+    }
+
+    fn close_phase(&mut self) {
+        if let (Some((p, t0)), Some(cur)) = (self.open_phase.take(), self.current.as_mut()) {
+            cur.phase_secs[p.index()] += self.epoch.elapsed().as_secs_f64() - t0;
+        }
+    }
+
+    /// Closes the CPI record.
+    pub fn end_cpi(&mut self) {
+        self.close_phase();
+        let mut cur = self.current.take().expect("no open CPI");
+        cur.end = self.now();
+        self.records.push(cur);
+    }
+
+    /// Finished records.
+    pub fn records(&self) -> &[CpiRecord] {
+        &self.records
+    }
+
+    /// Consumes the clock.
+    pub fn into_records(self) -> Vec<CpiRecord> {
+        self.records
+    }
+}
+
+/// All timing from one pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Stage names, in stage order.
+    pub stage_names: Vec<String>,
+    /// `records[stage][node][cpi_index]`.
+    pub records: Vec<Vec<Vec<CpiRecord>>>,
+    /// CPIs executed.
+    pub cpis: u64,
+    /// Iterations discarded from the front when computing steady-state
+    /// metrics (pipeline fill + cold caches).
+    pub warmup: u64,
+}
+
+impl PipelineReport {
+    /// Assembles a report from per-node records.
+    pub fn new(topology: &Topology, per_node: Vec<Vec<CpiRecord>>, cpis: u64, warmup: u64) -> Self {
+        let mut records: Vec<Vec<Vec<CpiRecord>>> = Vec::with_capacity(topology.stage_count());
+        let mut it = per_node.into_iter();
+        for s in topology.stages() {
+            records.push((&mut it).take(s.nodes).collect());
+        }
+        Self {
+            stage_names: topology.stages().iter().map(|s| s.name.clone()).collect(),
+            records,
+            cpis,
+            warmup,
+        }
+    }
+
+    fn steady(&self, cpi: u64) -> bool {
+        cpi >= self.warmup
+    }
+
+    /// Mean task execution time `T_i`: for each steady CPI the slowest node
+    /// of the stage, averaged over CPIs.
+    pub fn task_time(&self, stage: StageId) -> f64 {
+        let nodes = &self.records[stage.0];
+        let mut sum = 0.0;
+        let mut count = 0u64;
+        for cpi in 0..self.cpis {
+            if !self.steady(cpi) {
+                continue;
+            }
+            let mut worst: f64 = 0.0;
+            for node in nodes {
+                if let Some(r) = node.iter().find(|r| r.cpi == cpi) {
+                    worst = worst.max(r.total());
+                }
+            }
+            sum += worst;
+            count += 1;
+        }
+        if count == 0 {
+            0.0
+        } else {
+            sum / count as f64
+        }
+    }
+
+    /// Mean time a stage spends in a phase (slowest node per CPI).
+    pub fn phase_time(&self, stage: StageId, phase: Phase) -> f64 {
+        let nodes = &self.records[stage.0];
+        let mut sum = 0.0;
+        let mut count = 0u64;
+        for cpi in 0..self.cpis {
+            if !self.steady(cpi) {
+                continue;
+            }
+            let mut worst: f64 = 0.0;
+            for node in nodes {
+                if let Some(r) = node.iter().find(|r| r.cpi == cpi) {
+                    worst = worst.max(r.phase(phase));
+                }
+            }
+            sum += worst;
+            count += 1;
+        }
+        if count == 0 {
+            0.0
+        } else {
+            sum / count as f64
+        }
+    }
+
+    /// Measured throughput in CPIs/second: steady-state completion rate at
+    /// the sink stage (last stage by default).
+    pub fn throughput(&self, sink: StageId) -> f64 {
+        let nodes = &self.records[sink.0];
+        let finish = |cpi: u64| -> f64 {
+            nodes
+                .iter()
+                .filter_map(|n| n.iter().find(|r| r.cpi == cpi))
+                .map(|r| r.end)
+                .fold(0.0, f64::max)
+        };
+        if self.cpis <= self.warmup + 1 {
+            return 0.0;
+        }
+        let t0 = finish(self.warmup);
+        let t1 = finish(self.cpis - 1);
+        let n = (self.cpis - 1 - self.warmup) as f64;
+        if t1 <= t0 {
+            return 0.0;
+        }
+        n / (t1 - t0)
+    }
+
+    /// Per-CPI end-to-end latencies (steady CPIs only), in CPI order.
+    pub fn latencies(&self, source: StageId, sink: StageId) -> Vec<f64> {
+        let src = &self.records[source.0];
+        let snk = &self.records[sink.0];
+        let mut out = Vec::new();
+        for cpi in 0..self.cpis {
+            if !self.steady(cpi) {
+                continue;
+            }
+            let start = src
+                .iter()
+                .filter_map(|n| n.iter().find(|r| r.cpi == cpi))
+                .map(|r| r.start)
+                .fold(f64::INFINITY, f64::min);
+            let end = snk
+                .iter()
+                .filter_map(|n| n.iter().find(|r| r.cpi == cpi))
+                .map(|r| r.end)
+                .fold(0.0, f64::max);
+            if start.is_finite() && end > 0.0 {
+                out.push(end - start);
+            }
+        }
+        out
+    }
+
+    /// Latency at percentile `p` in `[0, 100]` over steady CPIs
+    /// (nearest-rank; 0 when no steady CPIs exist). Real-time radar cares
+    /// about the tail, not just the mean.
+    pub fn latency_percentile(&self, source: StageId, sink: StageId, p: f64) -> f64 {
+        let mut ls = self.latencies(source, sink);
+        if ls.is_empty() {
+            return 0.0;
+        }
+        ls.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let rank = ((p / 100.0) * (ls.len() - 1) as f64).round() as usize;
+        ls[rank.min(ls.len() - 1)]
+    }
+
+    /// Measured latency in seconds: mean over steady CPIs of
+    /// `sink finish − source start`.
+    pub fn latency(&self, source: StageId, sink: StageId) -> f64 {
+        let src = &self.records[source.0];
+        let snk = &self.records[sink.0];
+        let mut sum = 0.0;
+        let mut count = 0u64;
+        for cpi in 0..self.cpis {
+            if !self.steady(cpi) {
+                continue;
+            }
+            let start = src
+                .iter()
+                .filter_map(|n| n.iter().find(|r| r.cpi == cpi))
+                .map(|r| r.start)
+                .fold(f64::INFINITY, f64::min);
+            let end = snk
+                .iter()
+                .filter_map(|n| n.iter().find(|r| r.cpi == cpi))
+                .map(|r| r.end)
+                .fold(0.0, f64::max);
+            if start.is_finite() && end > 0.0 {
+                sum += end - start;
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            sum / count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+
+    fn rec(cpi: u64, start: f64, end: f64) -> CpiRecord {
+        CpiRecord { cpi, start, end, phase_secs: [0.0; 4] }
+    }
+
+    fn two_stage_report() -> PipelineReport {
+        let mut t = Topology::new();
+        let a = t.add_stage("a", 1);
+        let b = t.add_stage("b", 1);
+        t.add_edge(a, b);
+        // Source starts CPI k at t=k, sink finishes it at t=k+0.5.
+        let src: Vec<CpiRecord> = (0..4).map(|k| rec(k, k as f64, k as f64 + 0.2)).collect();
+        let snk: Vec<CpiRecord> =
+            (0..4).map(|k| rec(k, k as f64 + 0.3, k as f64 + 0.5)).collect();
+        PipelineReport::new(&t, vec![src, snk], 4, 1)
+    }
+
+    #[test]
+    fn throughput_is_sink_completion_rate() {
+        let r = two_stage_report();
+        // Completions at 1.5, 2.5, 3.5 after warmup → 1 CPI per second.
+        assert!((r.throughput(StageId(1)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_is_end_to_end() {
+        let r = two_stage_report();
+        assert!((r.latency(StageId(0), StageId(1)) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_percentiles_bracket_the_mean() {
+        let mut t = Topology::new();
+        let a = t.add_stage("a", 1);
+        let b = t.add_stage("b", 1);
+        t.add_edge(a, b);
+        // Latencies 0.1, 0.2, 0.3, 0.4 over four CPIs (no warmup).
+        let src: Vec<CpiRecord> = (0..4).map(|k| rec(k, k as f64, k as f64 + 0.05)).collect();
+        let snk: Vec<CpiRecord> = (0..4)
+            .map(|k| rec(k, k as f64, k as f64 + 0.1 * (k as f64 + 1.0)))
+            .collect();
+        let r = PipelineReport::new(&t, vec![src, snk], 4, 0);
+        let mean = r.latency(StageId(0), StageId(1));
+        let p0 = r.latency_percentile(StageId(0), StageId(1), 0.0);
+        let p50 = r.latency_percentile(StageId(0), StageId(1), 50.0);
+        let p100 = r.latency_percentile(StageId(0), StageId(1), 100.0);
+        assert!((p0 - 0.1).abs() < 1e-9);
+        assert!((p100 - 0.4).abs() < 1e-9);
+        assert!(p0 <= p50 && p50 <= p100);
+        assert!((mean - 0.25).abs() < 1e-9);
+        assert_eq!(r.latencies(StageId(0), StageId(1)).len(), 4);
+    }
+
+    #[test]
+    fn task_time_takes_slowest_node() {
+        let mut t = Topology::new();
+        let a = t.add_stage("a", 2);
+        let _ = a;
+        let n0 = vec![rec(0, 0.0, 0.1), rec(1, 1.0, 1.1)];
+        let n1 = vec![rec(0, 0.0, 0.4), rec(1, 1.0, 1.2)];
+        let r = PipelineReport::new(&t, vec![n0, n1], 2, 0);
+        assert!((r.task_time(StageId(0)) - 0.3).abs() < 1e-9); // (0.4+0.2)/2
+    }
+
+    #[test]
+    fn phase_clock_attributes_time() {
+        let mut clock = PhaseClock::new(Instant::now());
+        clock.start_cpi(0);
+        clock.begin(Phase::Recv);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        clock.begin(Phase::Compute);
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        clock.end_cpi();
+        let r = clock.records()[0];
+        assert!(r.phase(Phase::Recv) >= 0.004, "recv {}", r.phase(Phase::Recv));
+        assert!(r.phase(Phase::Compute) >= 0.009);
+        assert!(r.phase(Phase::Read) == 0.0);
+        assert!(r.total() >= r.phase(Phase::Recv) + r.phase(Phase::Compute) - 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "not closed")]
+    fn double_start_panics() {
+        let mut clock = PhaseClock::new(Instant::now());
+        clock.start_cpi(0);
+        clock.start_cpi(1);
+    }
+
+    #[test]
+    fn warmup_excluded_from_metrics() {
+        let r = two_stage_report();
+        // With warmup=1, CPI 0 is excluded; latency unchanged here (all
+        // CPIs have identical latency) but count must be 3 not 4.
+        assert!((r.latency(StageId(0), StageId(1)) - 0.5).abs() < 1e-9);
+    }
+}

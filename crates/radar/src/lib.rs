@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! # stap-radar — synthetic phased-array radar data
+//!
+//! The paper feeds its pipeline CPI data cubes collected by a radar and
+//! staged in four disk files written round-robin. We have no radar, so this
+//! crate synthesizes physically-structured CPI cubes instead: point targets
+//! with range/Doppler/angle/SNR, a clutter ridge (angle-Doppler coupled
+//! returns, the reason STAP exists), barrage jammers and thermal noise.
+//!
+//! [`scene`] describes a scenario; [`generate`] renders it into
+//! [`stap_kernels::DataCube`]s; [`recorder`] lays successive CPIs out
+//! round-robin across a set of byte sinks exactly as the paper's radar
+//! writes its four files.
+
+pub mod generate;
+pub mod recorder;
+pub mod scene;
+
+pub use generate::{CubeGenerator, TargetDrift};
+pub use recorder::RoundRobinRecorder;
+pub use scene::{Clutter, Jammer, Scene, Target};

@@ -1,0 +1,141 @@
+//! Round-robin CPI recording — the "radar writes" side of the paper's
+//! staging discipline.
+//!
+//! The paper: *"We assume that the radar writes its collected data into
+//! these four files in a round-robin manner and, similarly, the STAP
+//! pipeline system reads the four files in a round-robin fashion but at
+//! times that are different from the times at which the radar writes."*
+//!
+//! The recorder is generic over the byte sink so it can target the striped
+//! parallel file system, plain `std::fs` files, or in-memory buffers.
+
+/// Destination of one CPI's bytes.
+pub trait CpiSink {
+    /// Writes a full CPI image to the sink (overwriting previous contents).
+    fn write_cpi(&mut self, bytes: &[u8]);
+}
+
+impl CpiSink for Vec<u8> {
+    fn write_cpi(&mut self, bytes: &[u8]) {
+        self.clear();
+        self.extend_from_slice(bytes);
+    }
+}
+
+impl<F: FnMut(&[u8])> CpiSink for F {
+    fn write_cpi(&mut self, bytes: &[u8]) {
+        self(bytes)
+    }
+}
+
+/// Cycles CPIs across a fixed set of sinks (the paper uses four files).
+#[derive(Debug)]
+pub struct RoundRobinRecorder<S> {
+    sinks: Vec<S>,
+    next: usize,
+    written: u64,
+}
+
+impl<S: CpiSink> RoundRobinRecorder<S> {
+    /// Creates a recorder over the given sinks.
+    ///
+    /// # Panics
+    /// Panics when `sinks` is empty.
+    pub fn new(sinks: Vec<S>) -> Self {
+        assert!(!sinks.is_empty(), "recorder needs at least one sink");
+        Self { sinks, next: 0, written: 0 }
+    }
+
+    /// Number of sinks in the rotation.
+    pub fn fanout(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Index of the sink the next CPI will land in.
+    pub fn next_slot(&self) -> usize {
+        self.next
+    }
+
+    /// Total CPIs recorded so far.
+    pub fn recorded(&self) -> u64 {
+        self.written
+    }
+
+    /// Records one CPI and advances the rotation; returns the slot used.
+    pub fn record(&mut self, bytes: &[u8]) -> usize {
+        let slot = self.next;
+        self.sinks[slot].write_cpi(bytes);
+        self.next = (self.next + 1) % self.sinks.len();
+        self.written += 1;
+        slot
+    }
+
+    /// Read access to the sinks (e.g. to hand them to the pipeline reader).
+    pub fn sinks(&self) -> &[S] {
+        &self.sinks
+    }
+
+    /// Consumes the recorder, returning the sinks.
+    pub fn into_sinks(self) -> Vec<S> {
+        self.sinks
+    }
+}
+
+/// The slot the reader should fetch CPI `cpi` from, given `fanout` files —
+/// the mirror image of the recorder's rotation.
+pub fn read_slot(cpi: u64, fanout: usize) -> usize {
+    (cpi % fanout as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotation_covers_all_slots() {
+        let mut rec = RoundRobinRecorder::new(vec![Vec::new(), Vec::new(), Vec::new(), Vec::new()]);
+        let mut slots = Vec::new();
+        for i in 0..8u8 {
+            slots.push(rec.record(&[i]));
+        }
+        assert_eq!(slots, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+        assert_eq!(rec.recorded(), 8);
+    }
+
+    #[test]
+    fn sink_holds_latest_cpi_only() {
+        let mut rec = RoundRobinRecorder::new(vec![Vec::new(), Vec::new()]);
+        rec.record(&[1, 1]);
+        rec.record(&[2, 2]);
+        rec.record(&[3, 3]); // overwrites slot 0
+        let sinks = rec.into_sinks();
+        assert_eq!(sinks[0], vec![3, 3]);
+        assert_eq!(sinks[1], vec![2, 2]);
+    }
+
+    #[test]
+    fn reader_rotation_matches_writer() {
+        let fanout = 4;
+        for cpi in 0..12u64 {
+            assert_eq!(read_slot(cpi, fanout), (cpi % 4) as usize);
+        }
+    }
+
+    #[test]
+    fn closure_sinks_work() {
+        let collected = std::cell::RefCell::new(Vec::new());
+        {
+            let sink = |b: &[u8]| collected.borrow_mut().push(b.to_vec());
+            let mut rec = RoundRobinRecorder::new(vec![sink]);
+            rec.record(&[9]);
+            rec.record(&[8]);
+        }
+        assert_eq!(*collected.borrow(), vec![vec![9], vec![8]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sink")]
+    fn empty_sink_list_rejected() {
+        let _ = RoundRobinRecorder::<Vec<u8>>::new(vec![]);
+    }
+}

@@ -1,0 +1,72 @@
+//! Two-phase collective I/O — the strided-access optimization the paper's
+//! authors went on to build (MTIO/ROMIO lineage), demonstrated on this
+//! repository's striped file system.
+//!
+//! ```text
+//! cargo run --example collective_io --release
+//! ```
+//!
+//! Scenario: the CPI cube is stored *pulse-major* (as a radar that writes
+//! pulse-by-pulse would), but each Doppler node wants a contiguous block of
+//! range gates — a strided access pattern with one small request per
+//! (pulse, channel). Independent reads flood the stripe servers; two-phase
+//! reads are contiguous, then permute in memory.
+
+use ppstap::pfs::collective::{
+    independent_read, modeled_costs, two_phase_read, ClientRequests,
+};
+use ppstap::pfs::{FsConfig, OpenMode, Pfs};
+
+fn main() {
+    // Geometry: 128 pulses × 32 channels × 512 ranges, 8 bytes/sample,
+    // pulse-major on disk. 8 reader nodes each want 1/8 of the range axis.
+    let (pulses, channels, ranges) = (128usize, 32usize, 512usize);
+    let elem = 8usize;
+    let readers = 8usize;
+    let gates_per_reader = ranges / readers;
+
+    let cfg = FsConfig::paragon_pfs(16);
+    let fs = Pfs::mount(cfg.clone());
+    let f = fs.gopen("cpi_pulse_major.dat", OpenMode::Async);
+    let cube_bytes: Vec<u8> = (0..pulses * channels * ranges * elem)
+        .map(|i| (i % 251) as u8)
+        .collect();
+    f.write_at(0, &cube_bytes);
+
+    // Each reader's extents: for every (pulse, channel), its slice of the
+    // range axis — pulses·channels small strided requests each.
+    let reqs: Vec<ClientRequests> = (0..readers)
+        .map(|k| ClientRequests {
+            extents: (0..pulses * channels)
+                .map(|pc| {
+                    let row = pc * ranges * elem;
+                    ((row + k * gates_per_reader * elem) as u64, gates_per_reader * elem)
+                })
+                .collect(),
+        })
+        .collect();
+    println!(
+        "access pattern: {} readers x {} requests of {} bytes each",
+        readers,
+        reqs[0].extents.len(),
+        gates_per_reader * elem
+    );
+
+    // Functional equivalence.
+    let a = independent_read(&f, &reqs).expect("independent");
+    let b = two_phase_read(&f, &reqs).expect("two-phase");
+    assert_eq!(a, b);
+    println!("functional check : two-phase returns byte-identical data\n");
+
+    // Modeled completion times on the Paragon PFS.
+    let (naive, two_phase) = modeled_costs(&cfg, &reqs, OpenMode::Async);
+    println!("modeled I/O time (Paragon PFS sf=16):");
+    println!("  independent reads : {naive:>8.3} s");
+    println!("  two-phase reads   : {two_phase:>8.3} s   ({:.1}x faster)", naive / two_phase);
+    println!(
+        "\n(The win comes from request count: {} strided requests vs {} contiguous\n\
+         domain sweeps; per-request seek latency dominates small transfers.)",
+        readers * reqs[0].extents.len(),
+        readers
+    );
+}

@@ -1,0 +1,54 @@
+//! Where exactly does the I/O bottleneck release? A full stripe-factor
+//! sweep generalizing the paper's two-point (16 vs 64) comparison.
+//!
+//! ```text
+//! cargo run --example stripe_factor_sweep --release
+//! ```
+
+use ppstap::core::experiments::ablation::{async_toggle, sweep_cube_size, sweep_stripe_factor};
+
+fn bar(v: f64, max: f64) -> String {
+    "#".repeat(((v / max) * 40.0).round() as usize)
+}
+
+fn main() {
+    println!("Paragon PFS stripe-factor sweep, 100 compute nodes, embedded I/O:\n");
+    let sweep = sweep_stripe_factor(&[2, 4, 8, 16, 32, 64, 128], 100);
+    let max = sweep.iter().map(|(_, r)| r.throughput).fold(0.0, f64::max);
+    println!("{:<6}{:>12}{:>12}{:>10}", "sf", "CPI/s", "latency", "io util");
+    for (sf, r) in &sweep {
+        println!(
+            "{:<6}{:>12.3}{:>12.4}{:>10.2}  |{}",
+            sf,
+            r.throughput,
+            r.latency,
+            r.io_utilization,
+            bar(r.throughput, max)
+        );
+    }
+    println!(
+        "\nThe throughput curve saturates once the aggregate stripe bandwidth\n\
+         exceeds one CPI per pipeline period — the bottleneck the paper found at\n\
+         stripe factor 16 with 100 nodes releases by stripe factor ~32.\n"
+    );
+
+    println!("CPI cube-size sweep at stripe factor 16 (range gates per cube):\n");
+    for (rg, r) in sweep_cube_size(&[128, 256, 512, 1024], 100) {
+        println!(
+            "  {:>5} gates ({:>3} MiB): {:>7.3} CPI/s, io util {:.2}",
+            rg,
+            rg * 128 * 32 * 8 / (1024 * 1024),
+            r.throughput,
+            r.io_utilization
+        );
+    }
+
+    println!("\nAsync (iread) vs sync reads, Paragon sf=64, 100 nodes:");
+    let (a, s) = async_toggle(100);
+    println!("  async: {:>7.3} CPI/s, latency {:.4} s", a.throughput, a.latency);
+    println!("  sync : {:>7.3} CPI/s, latency {:.4} s", s.throughput, s.latency);
+    println!(
+        "\n(The sync penalty is the SP's story: PIOFS has no asynchronous reads, so\n\
+         the Doppler task pays the full read on its critical path every CPI.)"
+    );
+}

@@ -1,0 +1,77 @@
+//! Target detection under jamming and clutter — the workload the paper's
+//! introduction motivates.
+//!
+//! ```text
+//! cargo run --example target_detection --release
+//! ```
+//!
+//! Builds a hostile scene (barrage jammer, clutter ridge, two targets — one
+//! in the clutter notch where the *hard* PRI-staggered processing is
+//! required), runs the full pipeline, and scores the detections against
+//! ground truth per CPI, showing the adaptive weights converging after the
+//! first CPI (whose weights are the non-adaptive cold start).
+
+use ppstap::core::config::StapConfig;
+use ppstap::core::StapSystem;
+use ppstap::kernels::report::DetectionReport;
+use ppstap::radar::{Clutter, Jammer, Scene, Target};
+
+struct Truth {
+    name: &'static str,
+    gate: usize,
+}
+
+fn score(report: &DetectionReport, truths: &[Truth]) {
+    let clustered = report.cluster(4);
+    print!("CPI {}: {:>3} raw / {:>2} clustered detections | ", report.cpi, report.len(), clustered.len());
+    for t in truths {
+        let hit = clustered
+            .detections
+            .iter()
+            .filter(|d| d.range.abs_diff(t.gate) <= 3)
+            .map(|d| d.snr_db)
+            .fold(f64::NEG_INFINITY, f64::max);
+        if hit.is_finite() {
+            print!("{}: HIT ({:>5.1} dB)  ", t.name, hit);
+        } else {
+            print!("{}: miss          ", t.name);
+        }
+    }
+    let false_alarms = clustered
+        .detections
+        .iter()
+        .filter(|d| truths.iter().all(|t| d.range.abs_diff(t.gate) > 3))
+        .count();
+    println!("| {false_alarms} false alarms");
+}
+
+fn main() {
+    let scene = Scene {
+        targets: vec![
+            // An easy-bin target, well away from the clutter ridge.
+            Target { range_gate: 40, doppler: 0.28, spatial_freq: 0.12, snr_db: 12.0 },
+            // A hard-bin target inside the clutter notch: only the
+            // two-stagger adaptive processing can dig it out.
+            Target { range_gate: 90, doppler: 0.03, spatial_freq: -0.18, snr_db: 16.0 },
+        ],
+        jammers: vec![Jammer { spatial_freq: 0.35, jnr_db: 30.0 }],
+        clutter: Some(Clutter { cnr_db: 30.0, slope: 1.0, patches: 24, jitter: 0.0 }),
+        noise_power: 1.0,
+    };
+    println!("scene: 2 targets, 30 dB jammer, 30 dB clutter ridge\n");
+
+    let config = StapConfig { scene, cpis: 8, warmup: 2, ..StapConfig::default() };
+    let system = StapSystem::prepare(config).expect("prepare");
+    let out = system.run().expect("run");
+
+    let truths =
+        [Truth { name: "easy target", gate: 40 }, Truth { name: "hard target", gate: 90 }];
+    for report in &out.reports {
+        score(report, &truths);
+    }
+    println!(
+        "\n(CPI 0 uses non-adaptive cold-start weights; from CPI 1 on, weights are\n\
+         trained on the previous CPI — the paper's temporal data dependency.)"
+    );
+    println!("\nthroughput {:.2} CPIs/s, latency {:.4} s", out.throughput(), out.latency());
+}

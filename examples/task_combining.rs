@@ -1,0 +1,63 @@
+//! Task combination (paper §6): merging pulse compression and CFAR into a
+//! single task improves latency without adding nodes or hurting throughput.
+//!
+//! ```text
+//! cargo run --example task_combining --release
+//! ```
+
+use ppstap::core::config::StapConfig;
+use ppstap::core::desmodel::DesExperiment;
+use ppstap::core::{IoStrategy, StapSystem, TailStructure};
+use ppstap::model::machines::MachineModel;
+use ppstap::model::tasktime::{combined_task_time, task_time};
+use ppstap::model::workload::{ShapeParams, StapWorkload, TaskId};
+
+fn main() {
+    // The algebra first (Eqs. 6-11): T_{5+6} < T_5 + T_6.
+    let machine = MachineModel::paragon(64);
+    let w = StapWorkload::derive(ShapeParams::paper_default());
+    let (p5, p6, pred) = (3usize, 2usize, 5usize);
+    let t5 = task_time(&machine, &w, TaskId::PulseCompression, p5, pred, p6);
+    let t6 = task_time(&machine, &w, TaskId::Cfar, p6, p5, 1);
+    let t56 = combined_task_time(&machine, &w, TaskId::PulseCompression, TaskId::Cfar, p5, p6, pred, 1);
+    println!("Eq. 11 check (P5={p5}, P6={p6}):");
+    println!("  T5          = {:.4} s  (compute {:.4} + comm {:.4} + overhead {:.4})", t5.total(), t5.compute, t5.comm, t5.overhead);
+    println!("  T6          = {:.4} s  (compute {:.4} + comm {:.4} + overhead {:.4})", t6.total(), t6.compute, t6.comm, t6.overhead);
+    println!("  T5 + T6     = {:.4} s", t5.total() + t6.total());
+    println!("  T(5+6)      = {:.4} s  -> combined is {:.1}% cheaper\n",
+        t56.total(),
+        (1.0 - t56.total() / (t5.total() + t6.total())) * 100.0
+    );
+
+    // Paper-scale effect on the whole pipeline (Table 4).
+    println!("Virtual-time pipeline (Paragon PFS sf=64, embedded I/O):");
+    println!("{:<12}{:>14}{:>14}{:>14}{:>14}{:>12}", "nodes", "lat 7-task", "lat 6-task", "tput 7-task", "tput 6-task", "improve");
+    for nodes in [25usize, 50, 100] {
+        let split = DesExperiment::new(machine.clone(), IoStrategy::Embedded, TailStructure::Split, nodes).run();
+        let comb = DesExperiment::new(machine.clone(), IoStrategy::Embedded, TailStructure::Combined, nodes).run();
+        println!(
+            "{:<12}{:>14.4}{:>14.4}{:>14.2}{:>14.2}{:>11.1}%",
+            nodes,
+            split.latency,
+            comb.latency,
+            split.throughput,
+            comb.throughput,
+            (split.latency - comb.latency) / split.latency * 100.0
+        );
+    }
+
+    // And on the real threaded pipeline.
+    println!("\nReal execution (threads, small cube):");
+    for tail in [TailStructure::Split, TailStructure::Combined] {
+        let cfg = StapConfig { tail, cpis: 8, warmup: 2, ..StapConfig::default() };
+        let sys = StapSystem::prepare(cfg).expect("prepare");
+        let out = sys.run().expect("run");
+        println!(
+            "  {:<22} throughput {:>6.2} CPIs/s   latency {:>8.4} s   ({} stages)",
+            tail.label(),
+            out.throughput(),
+            out.latency(),
+            sys.topology().stage_count()
+        );
+    }
+}

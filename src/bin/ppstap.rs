@@ -1,0 +1,157 @@
+//! `ppstap` — the command-line driver.
+//!
+//! See `ppstap help` (or [`ppstap::cli::HELP`]) for usage.
+
+use ppstap::cli::{machine_for, parse, Command, RunArgs, SimArgs, HELP};
+use ppstap::core::config::StapConfig;
+use ppstap::core::desmodel::{render_gantt, DesExperiment};
+use ppstap::core::experiments::ablation::sweep_stripe_factor;
+use ppstap::core::StapSystem;
+use ppstap::pfs::FsConfig;
+use ppstap::pipeline::timing::Phase;
+use ppstap::pipeline::topology::StageId;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let arg_refs: Vec<&str> = args.iter().map(|s| s.as_str()).collect();
+    match parse(&arg_refs) {
+        Ok(Command::Help) => print!("{HELP}"),
+        Ok(Command::Run(a)) => run(a),
+        Ok(Command::Sim(a)) => sim(a),
+        Ok(Command::Tables { out }) => tables(out),
+        Ok(Command::Sweep { nodes }) => sweep(nodes),
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{HELP}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn fs_for(key: &str) -> FsConfig {
+    match key {
+        "pfs16" => FsConfig::paragon_pfs(16),
+        "pfs64" => FsConfig::paragon_pfs(64),
+        "piofs" => FsConfig::piofs(),
+        _ => unreachable!("validated by the parser"),
+    }
+}
+
+fn run(a: RunArgs) {
+    let config = StapConfig {
+        io: a.io,
+        tail: a.tail,
+        cpis: a.cpis,
+        warmup: (a.cpis / 3).max(1),
+        fs: fs_for(&a.fs),
+        record_reports: a.record_reports,
+        ..StapConfig::default()
+    };
+    println!("structure : {} / {}", config.io.label(), config.tail.label());
+    println!("files     : {} x {} KiB on {}", config.fanout, config.dims.bytes() / 1024, config.fs.name);
+    let system = StapSystem::prepare(config).expect("prepare");
+    let out = system.run().expect("pipeline run");
+
+    println!("\n{:<16}{:>7}{:>10}{:>10}{:>10}{:>10}{:>10}", "task", "nodes", "read", "recv", "compute", "send", "total");
+    for (i, stage) in system.topology().stages().iter().enumerate() {
+        let id = StageId(i);
+        print!("{:<16}{:>7}", stage.name, stage.nodes);
+        for phase in Phase::ALL {
+            print!("{:>10.4}", out.timing.phase_time(id, phase));
+        }
+        println!("{:>10.4}", out.timing.task_time(id));
+    }
+    println!("\nthroughput     : {:>9.2} CPIs/s", out.throughput());
+    println!("latency (mean) : {:>9.4} s", out.latency());
+    println!(
+        "latency (p95)  : {:>9.4} s",
+        out.timing.latency_percentile(out.source, out.sink, 95.0)
+    );
+    for r in &out.reports {
+        println!("CPI {}: {} detections", r.cpi, r.cluster(4).len());
+    }
+    if a.record_reports {
+        println!("\nreports written to report_<cpi>.dat on the parallel file system");
+    }
+}
+
+fn sim(a: SimArgs) {
+    let machine = machine_for(&a.machine).expect("validated by the parser");
+    let exp = DesExperiment::new(machine, a.io, a.tail, a.nodes);
+    if a.trace {
+        let mut exp = exp;
+        exp.cpis = 24;
+        let (result, trace) = exp.run_traced();
+        print_result(&result);
+        let horizon = trace.iter().map(|e| e.end).fold(0.0, f64::max).min(
+            3.0 * result.latency + 1.0 / result.throughput * 10.0,
+        );
+        println!("\n{}", render_gantt(&result, &trace, horizon));
+    } else {
+        print_result(&exp.run());
+    }
+}
+
+fn print_result(r: &ppstap::core::DesResult) {
+    println!("{} — {} total nodes", r.machine, r.total_nodes);
+    println!("{:<16}{:>7}{:>12}", "task", "nodes", "T_i (s)");
+    for t in &r.tasks {
+        println!("{:<16}{:>7}{:>12.4}", t.label, t.nodes, t.time);
+    }
+    println!("\nthroughput       : {:>8.3} CPIs/s  (analytic {:>8.3})", r.throughput, r.analytic_throughput());
+    println!("latency          : {:>8.4} s       (analytic {:>8.4})", r.latency, r.analytic_latency());
+    println!("I/O utilization  : {:>8.2}", r.io_utilization);
+}
+
+fn tables(out: Option<String>) {
+    if let Some(dir) = &out {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
+    for artifact in stap_bench_shim::regenerate_all() {
+        println!("{}", "=".repeat(100));
+        println!("{}", artifact.1);
+        if let Some(dir) = &out {
+            let path = format!("{dir}/{}.txt", artifact.0);
+            std::fs::write(&path, &artifact.1).expect("write artifact");
+            eprintln!("wrote {path}");
+        }
+    }
+}
+
+/// Local re-implementation of the bench crate's artifact list (the umbrella
+/// crate does not depend on `stap-bench`, which is a leaf).
+mod stap_bench_shim {
+    use ppstap::core::experiments::render::{
+        render_fig8, render_figure, render_table, render_table4,
+    };
+    use ppstap::core::experiments::validation::{render_validation, validate_embedded_grid};
+    use ppstap::core::experiments::{fig8_from, table1, table2, table3, table4_from};
+
+    pub fn regenerate_all() -> Vec<(&'static str, String)> {
+        let t1 = table1();
+        let t2 = table2();
+        let t3 = table3();
+        let t4 = table4_from(&t1, &t3);
+        let mut out = vec![
+            ("table1", render_table(&t1)),
+            ("fig5", render_figure("Figure 5. Results corresponding to Table 1.", &t1)),
+            ("table2", render_table(&t2)),
+            ("fig6", render_figure("Figure 6. Results corresponding to Table 2.", &t2)),
+            ("table3", render_table(&t3)),
+            ("fig7", render_figure("Figure 7. Results corresponding to Table 3.", &t3)),
+            ("table4", render_table4(&t4)),
+        ];
+        let f8 = fig8_from(t1, t3);
+        out.push(("fig8", render_fig8(&f8)));
+        out.push(("validation", render_validation(&validate_embedded_grid())));
+        out
+    }
+}
+
+fn sweep(nodes: usize) {
+    println!("Paragon PFS stripe-factor sweep, {nodes} compute nodes, embedded I/O:\n");
+    println!("{:<6}{:>12}{:>12}{:>10}", "sf", "CPI/s", "latency", "io util");
+    for (sf, r) in sweep_stripe_factor(&[2, 4, 8, 16, 32, 64, 128], nodes) {
+        println!("{:<6}{:>12.3}{:>12.4}{:>10.2}", sf, r.throughput, r.latency, r.io_utilization);
+    }
+}

@@ -1,0 +1,319 @@
+//! Command-line interface of the `ppstap` driver binary.
+//!
+//! A small hand-rolled parser (no external dependencies) covering the four
+//! things a user does with this repository: run the real pipeline, simulate
+//! a paper-scale configuration, regenerate the evaluation tables, and sweep
+//! the stripe factor.
+
+use stap_core::{IoStrategy, TailStructure};
+use stap_model::machines::MachineModel;
+
+/// Parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `ppstap run` — the real threaded pipeline on a small cube.
+    Run(RunArgs),
+    /// `ppstap sim` — one virtual-time cell on a machine model.
+    Sim(SimArgs),
+    /// `ppstap tables` — regenerate the full evaluation.
+    Tables {
+        /// Output directory for `*.txt` artifacts (stdout only when absent).
+        out: Option<String>,
+    },
+    /// `ppstap sweep` — stripe-factor sweep at a node count.
+    Sweep {
+        /// Compute nodes.
+        nodes: usize,
+    },
+    /// `ppstap help` or `--help`.
+    Help,
+}
+
+/// Arguments of `ppstap run`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArgs {
+    /// I/O design.
+    pub io: IoStrategy,
+    /// Tail structure.
+    pub tail: TailStructure,
+    /// CPIs to execute.
+    pub cpis: u64,
+    /// File-system personality: "pfs16", "pfs64" or "piofs".
+    pub fs: String,
+    /// Write detection reports back to the file system.
+    pub record_reports: bool,
+}
+
+impl Default for RunArgs {
+    fn default() -> Self {
+        Self {
+            io: IoStrategy::Embedded,
+            tail: TailStructure::Split,
+            cpis: 6,
+            fs: "pfs16".into(),
+            record_reports: false,
+        }
+    }
+}
+
+/// Arguments of `ppstap sim`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimArgs {
+    /// Machine key: "paragon16", "paragon64" or "sp".
+    pub machine: String,
+    /// I/O design.
+    pub io: IoStrategy,
+    /// Tail structure.
+    pub tail: TailStructure,
+    /// Compute nodes.
+    pub nodes: usize,
+    /// Print the execution Gantt chart.
+    pub trace: bool,
+}
+
+impl Default for SimArgs {
+    fn default() -> Self {
+        Self {
+            machine: "paragon64".into(),
+            io: IoStrategy::Embedded,
+            tail: TailStructure::Split,
+            nodes: 50,
+            trace: false,
+        }
+    }
+}
+
+/// Parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn parse_io(v: &str) -> Result<IoStrategy, ParseError> {
+    match v {
+        "embedded" => Ok(IoStrategy::Embedded),
+        "separate" => Ok(IoStrategy::SeparateTask),
+        other => Err(ParseError(format!("--io must be embedded|separate, got '{other}'"))),
+    }
+}
+
+fn parse_tail(v: &str) -> Result<TailStructure, ParseError> {
+    match v {
+        "split" => Ok(TailStructure::Split),
+        "combined" => Ok(TailStructure::Combined),
+        other => Err(ParseError(format!("--tail must be split|combined, got '{other}'"))),
+    }
+}
+
+/// Resolves a machine key to its model.
+pub fn machine_for(key: &str) -> Result<MachineModel, ParseError> {
+    match key {
+        "paragon16" => Ok(MachineModel::paragon(16)),
+        "paragon64" => Ok(MachineModel::paragon(64)),
+        "sp" => Ok(MachineModel::sp()),
+        other => Err(ParseError(format!("--machine must be paragon16|paragon64|sp, got '{other}'"))),
+    }
+}
+
+fn take_value<'a>(
+    flag: &str,
+    it: &mut impl Iterator<Item = &'a str>,
+) -> Result<&'a str, ParseError> {
+    it.next().ok_or_else(|| ParseError(format!("{flag} needs a value")))
+}
+
+/// Parses the argument list (without the program name).
+pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
+    let mut it = args.iter().copied();
+    let cmd = match it.next() {
+        None | Some("help") | Some("--help") | Some("-h") => return Ok(Command::Help),
+        Some(c) => c,
+    };
+    match cmd {
+        "run" => {
+            let mut a = RunArgs::default();
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--io" => a.io = parse_io(take_value(flag, &mut it)?)?,
+                    "--tail" => a.tail = parse_tail(take_value(flag, &mut it)?)?,
+                    "--cpis" => {
+                        a.cpis = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ParseError("--cpis must be a number".into()))?;
+                        if a.cpis < 2 {
+                            return Err(ParseError("--cpis must be at least 2".into()));
+                        }
+                    }
+                    "--fs" => {
+                        let v = take_value(flag, &mut it)?;
+                        if !["pfs16", "pfs64", "piofs"].contains(&v) {
+                            return Err(ParseError(format!(
+                                "--fs must be pfs16|pfs64|piofs, got '{v}'"
+                            )));
+                        }
+                        a.fs = v.to_string();
+                    }
+                    "--record-reports" => a.record_reports = true,
+                    other => return Err(ParseError(format!("unknown flag '{other}' for run"))),
+                }
+            }
+            Ok(Command::Run(a))
+        }
+        "sim" => {
+            let mut a = SimArgs::default();
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--machine" => {
+                        let v = take_value(flag, &mut it)?;
+                        machine_for(v)?; // validate now
+                        a.machine = v.to_string();
+                    }
+                    "--io" => a.io = parse_io(take_value(flag, &mut it)?)?,
+                    "--tail" => a.tail = parse_tail(take_value(flag, &mut it)?)?,
+                    "--nodes" => {
+                        a.nodes = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ParseError("--nodes must be a number".into()))?;
+                        if a.nodes < 7 {
+                            return Err(ParseError("--nodes must be at least 7 (one per task)".into()));
+                        }
+                    }
+                    "--trace" => a.trace = true,
+                    other => return Err(ParseError(format!("unknown flag '{other}' for sim"))),
+                }
+            }
+            Ok(Command::Sim(a))
+        }
+        "tables" => {
+            let mut out = None;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--out" => out = Some(take_value(flag, &mut it)?.to_string()),
+                    other => return Err(ParseError(format!("unknown flag '{other}' for tables"))),
+                }
+            }
+            Ok(Command::Tables { out })
+        }
+        "sweep" => {
+            let mut nodes = 100usize;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--nodes" => {
+                        nodes = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ParseError("--nodes must be a number".into()))?;
+                    }
+                    other => return Err(ParseError(format!("unknown flag '{other}' for sweep"))),
+                }
+            }
+            Ok(Command::Sweep { nodes })
+        }
+        other => Err(ParseError(format!("unknown command '{other}' (try 'ppstap help')"))),
+    }
+}
+
+/// The help text.
+pub const HELP: &str = "\
+ppstap — parallel pipelined STAP with parallel-I/O strategies (IPPS 2000 reproduction)
+
+USAGE:
+    ppstap run   [--io embedded|separate] [--tail split|combined] [--cpis N]
+                 [--fs pfs16|pfs64|piofs] [--record-reports]
+        Run the real threaded pipeline on a small cube and print timings,
+        detections, throughput and latency.
+
+    ppstap sim   [--machine paragon16|paragon64|sp] [--io embedded|separate]
+                 [--tail split|combined] [--nodes N] [--trace]
+        Simulate one paper-scale configuration in virtual time.
+
+    ppstap tables [--out DIR]
+        Regenerate Tables 1-4 and Figures 5-8 (plus ablations and the
+        validation grid), optionally writing DIR/*.txt.
+
+    ppstap sweep [--nodes N]
+        Stripe-factor sweep at N compute nodes.
+
+    ppstap help
+        Show this text.
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_help_forms() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&["help"]).unwrap(), Command::Help);
+        assert_eq!(parse(&["--help"]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn run_defaults_and_flags() {
+        assert_eq!(parse(&["run"]).unwrap(), Command::Run(RunArgs::default()));
+        let c = parse(&[
+            "run", "--io", "separate", "--tail", "combined", "--cpis", "9", "--fs", "piofs",
+            "--record-reports",
+        ])
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Run(RunArgs {
+                io: IoStrategy::SeparateTask,
+                tail: TailStructure::Combined,
+                cpis: 9,
+                fs: "piofs".into(),
+                record_reports: true,
+            })
+        );
+    }
+
+    #[test]
+    fn sim_flags() {
+        let c = parse(&["sim", "--machine", "sp", "--nodes", "25", "--trace"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Sim(SimArgs {
+                machine: "sp".into(),
+                nodes: 25,
+                trace: true,
+                ..SimArgs::default()
+            })
+        );
+    }
+
+    #[test]
+    fn tables_and_sweep() {
+        assert_eq!(parse(&["tables"]).unwrap(), Command::Tables { out: None });
+        assert_eq!(
+            parse(&["tables", "--out", "results"]).unwrap(),
+            Command::Tables { out: Some("results".into()) }
+        );
+        assert_eq!(parse(&["sweep", "--nodes", "50"]).unwrap(), Command::Sweep { nodes: 50 });
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        assert!(parse(&["run", "--io", "sideways"]).unwrap_err().0.contains("embedded|separate"));
+        assert!(parse(&["run", "--cpis"]).unwrap_err().0.contains("needs a value"));
+        assert!(parse(&["run", "--cpis", "1"]).unwrap_err().0.contains("at least 2"));
+        assert!(parse(&["sim", "--machine", "cray"]).unwrap_err().0.contains("paragon16"));
+        assert!(parse(&["sim", "--nodes", "3"]).unwrap_err().0.contains("at least 7"));
+        assert!(parse(&["launch"]).unwrap_err().0.contains("unknown command"));
+        assert!(parse(&["run", "--frobnicate"]).unwrap_err().0.contains("unknown flag"));
+    }
+
+    #[test]
+    fn machine_keys_resolve() {
+        assert!(machine_for("paragon16").is_ok());
+        assert!(machine_for("paragon64").is_ok());
+        assert!(machine_for("sp").is_ok());
+        assert!(machine_for("enigma").is_err());
+    }
+}

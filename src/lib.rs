@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! # ppstap — Parallel Pipelined STAP with Parallel-I/O Strategies
+//!
+//! Umbrella crate re-exporting every subsystem of the IPPS 2000 reproduction
+//! *"Design and Evaluation of I/O Strategies for Parallel Pipelined STAP
+//! Applications"* (Liao, Choudhary, Weiner, Varshney).
+//!
+//! The workspace contains:
+//! - [`math`] — from-scratch complex numerics, FFT, linear algebra;
+//! - [`kernels`] — the STAP signal-processing kernels;
+//! - [`radar`] — synthetic radar scene / CPI cube generation;
+//! - [`comm`] — an in-process MPI-like message-passing substrate;
+//! - [`pfs`] — a striped parallel file system (Paragon PFS / IBM PIOFS models);
+//! - [`des`] — a discrete-event simulation engine;
+//! - [`model`] — machine/cost models and the paper's analytic equations;
+//! - [`pipeline`] — the generic parallel pipeline runtime;
+//! - [`core`] — the paper's STAP pipeline system and experiment drivers.
+
+pub mod cli;
+
+pub use stap_comm as comm;
+pub use stap_core as core;
+pub use stap_des as des;
+pub use stap_kernels as kernels;
+pub use stap_math as math;
+pub use stap_model as model;
+pub use stap_pfs as pfs;
+pub use stap_pipeline as pipeline;
+pub use stap_radar as radar;

@@ -1,0 +1,224 @@
+//! End-to-end integration: the real pipeline, on threads, from synthetic
+//! radar scene through the striped file system to detection reports.
+
+use stap_core::config::{NodeCounts, StapConfig};
+use stap_core::{IoStrategy, StapSystem, TailStructure};
+use stap_kernels::report::DetectionReport;
+use stap_pfs::FsConfig;
+use stap_radar::{Scene, Target};
+
+/// A scene with two strong, well-separated targets (one in an easy bin, one
+/// in a hard bin) and no clutter/jammer, so detection is unambiguous.
+fn two_target_scene() -> Scene {
+    Scene {
+        targets: vec![
+            Target { range_gate: 30, doppler: 0.25, spatial_freq: 0.10, snr_db: 25.0 },
+            Target { range_gate: 90, doppler: 0.02, spatial_freq: -0.10, snr_db: 25.0 },
+        ],
+        jammers: vec![],
+        clutter: None,
+        noise_power: 1.0,
+    }
+}
+
+fn base_config() -> StapConfig {
+    StapConfig {
+        scene: two_target_scene(),
+        cpis: 5,
+        warmup: 1,
+        ..StapConfig::default()
+    }
+}
+
+fn gates_detected(report: &DetectionReport) -> Vec<usize> {
+    let clustered = report.cluster(4);
+    let mut gates: Vec<usize> = clustered.detections.iter().map(|d| d.range).collect();
+    gates.sort_unstable();
+    gates.dedup();
+    gates
+}
+
+fn assert_targets_found(reports: &[DetectionReport], label: &str) {
+    assert!(!reports.is_empty(), "{label}: no reports");
+    // Skip CPI 0 (cold-start uniform weights).
+    for r in reports.iter().filter(|r| r.cpi >= 1) {
+        let gates = gates_detected(r);
+        assert!(
+            gates.iter().any(|&g| (28..=34).contains(&g)),
+            "{label}: easy target missed in CPI {} (gates {gates:?})",
+            r.cpi
+        );
+        assert!(
+            gates.iter().any(|&g| (88..=94).contains(&g)),
+            "{label}: hard target missed in CPI {} (gates {gates:?})",
+            r.cpi
+        );
+    }
+}
+
+#[test]
+fn embedded_io_pipeline_detects_targets() {
+    let sys = StapSystem::prepare(base_config()).unwrap();
+    let out = sys.run().unwrap();
+    assert_eq!(out.reports.len(), 5);
+    assert_targets_found(&out.reports, "embedded");
+    assert!(out.throughput() > 0.0);
+    assert!(out.latency() > 0.0);
+}
+
+#[test]
+fn separate_io_pipeline_detects_targets() {
+    let cfg = StapConfig { io: IoStrategy::SeparateTask, ..base_config() };
+    let sys = StapSystem::prepare(cfg).unwrap();
+    let out = sys.run().unwrap();
+    assert_targets_found(&out.reports, "separate");
+}
+
+#[test]
+fn combined_tail_pipeline_detects_targets() {
+    let cfg = StapConfig { tail: TailStructure::Combined, ..base_config() };
+    let sys = StapSystem::prepare(cfg).unwrap();
+    let out = sys.run().unwrap();
+    assert_targets_found(&out.reports, "combined");
+}
+
+#[test]
+fn all_three_structures_agree_on_detections() {
+    // Same seed + same scene: the three pipeline structures must produce
+    // identical clustered detections (structure changes scheduling, not
+    // arithmetic).
+    let run = |io, tail| {
+        let cfg = StapConfig { io, tail, ..base_config() };
+        let sys = StapSystem::prepare(cfg).unwrap();
+        sys.run().unwrap().reports
+    };
+    let a = run(IoStrategy::Embedded, TailStructure::Split);
+    let b = run(IoStrategy::SeparateTask, TailStructure::Split);
+    let c = run(IoStrategy::Embedded, TailStructure::Combined);
+    for cpi in 1..5usize {
+        let ga = gates_detected(&a[cpi]);
+        let gb = gates_detected(&b[cpi]);
+        let gc = gates_detected(&c[cpi]);
+        assert_eq!(ga, gb, "embedded vs separate at CPI {cpi}");
+        assert_eq!(ga, gc, "split vs combined at CPI {cpi}");
+    }
+}
+
+#[test]
+fn piofs_sync_only_path_works() {
+    // The PIOFS personality forbids async reads; the embedded Doppler task
+    // must fall back to synchronous reads and still work.
+    let cfg = StapConfig { fs: FsConfig::piofs(), ..base_config() };
+    let sys = StapSystem::prepare(cfg).unwrap();
+    let out = sys.run().unwrap();
+    assert_targets_found(&out.reports, "piofs");
+}
+
+#[test]
+fn single_node_stages_work() {
+    // Degenerate parallelism: every stage on one node.
+    let cfg = StapConfig {
+        nodes: NodeCounts {
+            read: 1,
+            doppler: 1,
+            easy_weight: 1,
+            hard_weight: 1,
+            easy_bf: 1,
+            hard_bf: 1,
+            pulse: 1,
+            cfar: 1,
+        },
+        cpis: 3,
+        warmup: 1,
+        ..base_config()
+    };
+    let sys = StapSystem::prepare(cfg).unwrap();
+    let out = sys.run().unwrap();
+    assert_targets_found(&out.reports, "single-node");
+}
+
+#[test]
+fn wide_stages_work() {
+    // More nodes than the defaults, including node counts that do not
+    // divide the bin/range counts evenly.
+    let cfg = StapConfig {
+        nodes: NodeCounts {
+            read: 3,
+            doppler: 3,
+            easy_weight: 2,
+            hard_weight: 3,
+            easy_bf: 2,
+            hard_bf: 3,
+            pulse: 3,
+            cfar: 2,
+        },
+        io: IoStrategy::SeparateTask,
+        cpis: 4,
+        warmup: 1,
+        ..base_config()
+    };
+    let sys = StapSystem::prepare(cfg).unwrap();
+    let out = sys.run().unwrap();
+    assert_targets_found(&out.reports, "wide");
+}
+
+#[test]
+fn eigencanceler_weights_detect_targets_too() {
+    use stap_kernels::weights::WeightMethod;
+    let cfg = StapConfig {
+        weight_method: WeightMethod::Eigencanceler { rank: None },
+        ..base_config()
+    };
+    let sys = StapSystem::prepare(cfg).unwrap();
+    let out = sys.run().unwrap();
+    assert_targets_found(&out.reports, "eigencanceler");
+}
+
+#[test]
+fn recorded_reports_round_trip_through_the_pfs() {
+    use stap_kernels::report::DetectionReport as Report;
+    use stap_pfs::OpenMode;
+    let cfg = StapConfig { record_reports: true, ..base_config() };
+    let sys = StapSystem::prepare(cfg).unwrap();
+    let out = sys.run().unwrap();
+    // Every CPI's report must be readable back from the file system and
+    // identical to what the sink collected.
+    for report in &out.reports {
+        let f = sys
+            .fs()
+            .open(&format!("report_{}.dat", report.cpi), OpenMode::Async)
+            .expect("report file exists");
+        let bytes = f.read_at(0, f.len() as usize).unwrap();
+        let back = Report::from_bytes(&bytes).expect("well-formed record");
+        assert_eq!(back.cpi, report.cpi);
+        assert_eq!(back.detections, report.detections);
+    }
+}
+
+#[test]
+fn jammed_cluttered_scene_still_detects_after_adaptation() {
+    // The benchmark scene has a 25 dB jammer and 30 dB clutter; adaptive
+    // weights (from CPI ≥ 1) must null them well enough to find both
+    // targets.
+    let cfg = StapConfig {
+        scene: Scene::benchmark_small(),
+        cpis: 5,
+        warmup: 1,
+        ..StapConfig::default()
+    };
+    let sys = StapSystem::prepare(cfg).unwrap();
+    let out = sys.run().unwrap();
+    for r in out.reports.iter().filter(|r| r.cpi >= 1) {
+        let gates = gates_detected(r);
+        assert!(
+            gates.iter().any(|&g| (38..=44).contains(&g)),
+            "easy target missed in CPI {} (gates {gates:?})",
+            r.cpi
+        );
+        assert!(
+            gates.iter().any(|&g| (88..=94).contains(&g)),
+            "hard target missed in CPI {} (gates {gates:?})",
+            r.cpi
+        );
+    }
+}

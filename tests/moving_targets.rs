@@ -1,0 +1,99 @@
+//! Multi-CPI integration: a drifting target tracked across CPIs through
+//! the real pipeline, with per-slot staged files regenerated per CPI batch.
+//!
+//! The staged-file discipline (4 round-robin files, rewritten by the radar)
+//! means the pipeline sees each slot's cube repeatedly within a 4-CPI
+//! window; this test stages *drifting* cubes so the detections must walk in
+//! range across slots.
+
+use stap_core::config::StapConfig;
+use stap_core::StapSystem;
+use stap_kernels::cube::DataCube;
+use stap_pfs::OpenMode;
+use stap_radar::{CubeGenerator, Scene, Target, TargetDrift};
+
+#[test]
+fn drifting_target_detections_walk_in_range() {
+    let scene = Scene {
+        targets: vec![Target { range_gate: 20, doppler: 0.25, spatial_freq: 0.1, snr_db: 25.0 }],
+        jammers: vec![],
+        clutter: None,
+        noise_power: 1.0,
+    };
+    let cfg = StapConfig { scene: scene.clone(), cpis: 4, warmup: 1, ..StapConfig::default() };
+    let sys = StapSystem::prepare(cfg.clone()).unwrap();
+
+    // Restage the four slot files with a drifting target: slot k holds the
+    // cube for CPI k, with the target at gate 20 + 8k.
+    let mut gen = CubeGenerator::new(cfg.dims, scene, cfg.waveform_len, cfg.seed)
+        .with_drift(vec![TargetDrift { gates_per_cpi: 8.0, doppler_per_cpi: 0.0 }]);
+    for slot in 0..cfg.fanout {
+        let f = sys
+            .fs()
+            .open(&StapConfig::file_name(slot), OpenMode::Async)
+            .unwrap();
+        let cube: DataCube = gen.next_cube();
+        f.write_at(0, &cube.to_range_major_bytes());
+    }
+
+    let out = sys.run().unwrap();
+    for report in out.reports.iter().filter(|r| r.cpi >= 1) {
+        let expected_gate = 20 + 8 * report.cpi as usize;
+        let clustered = report.cluster(4);
+        assert!(
+            clustered
+                .detections
+                .iter()
+                .any(|d| d.range.abs_diff(expected_gate) <= 3),
+            "CPI {}: no detection near gate {expected_gate}; got {:?}",
+            report.cpi,
+            clustered.detections.iter().map(|d| d.range).collect::<Vec<_>>()
+        );
+        // And no detection lingering at the ORIGINAL gate once it moved away.
+        if report.cpi >= 2 {
+            assert!(
+                !clustered.detections.iter().any(|d| d.range.abs_diff(20) <= 2),
+                "CPI {}: stale detection at the launch gate",
+                report.cpi
+            );
+        }
+    }
+}
+
+#[test]
+fn restaged_files_change_what_the_pipeline_sees() {
+    // Sanity for the staging discipline itself: after overwriting slot 0
+    // with a different cube, a rerun detects the new target, not the old.
+    let scene_a = Scene {
+        targets: vec![Target { range_gate: 30, doppler: 0.3, spatial_freq: 0.15, snr_db: 25.0 }],
+        jammers: vec![],
+        clutter: None,
+        noise_power: 1.0,
+    };
+    let scene_b = Scene {
+        targets: vec![Target { range_gate: 100, doppler: 0.3, spatial_freq: 0.15, snr_db: 25.0 }],
+        ..scene_a.clone()
+    };
+    let cfg = StapConfig { scene: scene_a, cpis: 3, warmup: 1, ..StapConfig::default() };
+    let sys = StapSystem::prepare(cfg.clone()).unwrap();
+    let first = sys.run().unwrap();
+    assert!(first.reports[1].detections.iter().any(|d| d.range.abs_diff(30) <= 3));
+
+    // The radar overwrites every slot with scene B cubes.
+    let mut gen = CubeGenerator::new(cfg.dims, scene_b, cfg.waveform_len, 99);
+    for slot in 0..cfg.fanout {
+        let f = sys.fs().open(&StapConfig::file_name(slot), OpenMode::Async).unwrap();
+        f.write_at(0, &gen.next_cube().to_range_major_bytes());
+    }
+    let second = sys.run().unwrap();
+    let report = &second.reports[1];
+    assert!(
+        report.detections.iter().any(|d| d.range.abs_diff(100) <= 3),
+        "new target missed: {:?}",
+        report.detections.iter().map(|d| d.range).collect::<Vec<_>>()
+    );
+    assert!(
+        !report.detections.iter().any(|d| d.range.abs_diff(30) <= 2),
+        "old target should be gone"
+    );
+}

@@ -1,0 +1,144 @@
+//! Integration assertions that the regenerated evaluation reproduces the
+//! *shape* of the paper's results: who wins, by roughly what factor, and
+//! where the crossovers fall.
+
+use stap_core::experiments::{fig8_from, table1, table2, table3, table4_from};
+
+mod util {
+    pub use stap_core::experiments::tables::Table;
+
+    /// cells[machine][case] → value grid.
+    pub fn grid(t: &Table, f: impl Fn(&stap_core::DesResult) -> f64) -> Vec<Vec<f64>> {
+        t.cells.iter().map(|row| row.iter().map(&f).collect()).collect()
+    }
+}
+
+use util::grid;
+
+#[test]
+fn evaluation_shape_matches_paper() {
+    // Run each grid once and check every claim against the same data
+    // (machine order: Paragon sf=16, Paragon sf=64, SP PIOFS).
+    let t1 = table1();
+    let t2 = table2();
+    let t3 = table3();
+
+    let tput1 = grid(&t1, |c| c.throughput);
+    let lat1 = grid(&t1, |c| c.latency);
+
+    // §5.1 claim 1: with sf=64 both throughput and latency show near-linear
+    // speedup across the three cases.
+    for w in tput1[1].windows(2) {
+        assert!(w[1] / w[0] > 1.5, "sf=64 throughput scaling broke: {w:?}");
+    }
+    for w in lat1[1].windows(2) {
+        assert!(w[1] / w[0] < 0.7, "sf=64 latency scaling broke: {w:?}");
+    }
+
+    // §5.1 claim 2: sf=16 matches sf=64 in the first two cases and
+    // degrades in the third (the I/O bottleneck).
+    for (case, (small, large)) in tput1[0].iter().zip(&tput1[1]).take(2).enumerate() {
+        let ratio = small / large;
+        assert!(ratio > 0.9, "sf=16 degraded too early (case {case}: {ratio})");
+    }
+    let ratio_big = tput1[0][2] / tput1[1][2];
+    assert!(ratio_big < 0.8, "sf=16 bottleneck missing at 100 nodes ({ratio_big})");
+
+    // §5.1 claim 3: the bottleneck does NOT significantly affect latency.
+    assert!(
+        lat1[0][2] / lat1[1][2] < 1.35,
+        "sf=16 latency blew up: {} vs {}",
+        lat1[0][2],
+        lat1[1][2]
+    );
+
+    // §5.1 claim 4: the SP (sync-only PIOFS) does not scale like the
+    // Paragon despite faster CPUs.
+    let sp_speedup = tput1[2][2] / tput1[2][0];
+    let pg_speedup = tput1[1][2] / tput1[1][0];
+    assert!(
+        sp_speedup < 0.7 * pg_speedup,
+        "SP scaled too well: {sp_speedup} vs Paragon {pg_speedup}"
+    );
+
+    // §5.2 claims: separate-I/O throughput ≈ embedded on the Paragon, and
+    // latency strictly worse everywhere (Eq. 4 has one more term).
+    let tput2 = grid(&t2, |c| c.throughput);
+    let lat2 = grid(&t2, |c| c.latency);
+    for m in 0..2 {
+        for case in 0..3 {
+            let r = tput2[m][case] / tput1[m][case];
+            assert!((0.8..1.25).contains(&r), "throughput moved too much: m={m} case={case} {r}");
+        }
+    }
+    for m in 0..3 {
+        for case in 0..3 {
+            assert!(
+                lat2[m][case] > lat1[m][case],
+                "separate-I/O latency must be worse: m={m} case={case}"
+            );
+        }
+    }
+
+    // §6 claims: combining PC+CFAR improves latency in ALL cases on ALL
+    // file systems, leaves throughput essentially unchanged, and the
+    // improvement percentage decreases as nodes grow (Table 4).
+    let tput3 = grid(&t3, |c| c.throughput);
+    let lat3 = grid(&t3, |c| c.latency);
+    for m in 0..3 {
+        for case in 0..3 {
+            assert!(lat3[m][case] < lat1[m][case], "combining didn't help: m={m} case={case}");
+            let r = tput3[m][case] / tput1[m][case];
+            assert!(r > 0.95, "combining hurt throughput: m={m} case={case} {r}");
+        }
+    }
+    let t4 = table4_from(&t1, &t3);
+    for (m, row) in t4.improvement_pct.iter().enumerate() {
+        assert!(row.iter().all(|&v| v > 0.0), "negative improvement on machine {m}");
+        assert!(
+            row[0] >= row[1] && row[1] >= row[2],
+            "improvement should shrink with node count: machine {m} {row:?}"
+        );
+        // Same magnitude band as the paper's Table 4 (≈5–12 %).
+        assert!(
+            row.iter().all(|&v| (1.0..25.0).contains(&v)),
+            "improvement magnitude off: machine {m} {row:?}"
+        );
+    }
+
+    // Fig. 8 packaging sanity: 6-task grid has 6 task rows, 7-task grid 7.
+    let f8 = fig8_from(t1, t3);
+    assert_eq!(f8.split.cells[0][0].tasks.len(), 7);
+    assert_eq!(f8.combined.cells[0][0].tasks.len(), 6);
+
+    // Table 2's totals include the dedicated readers.
+    assert_eq!(t2.cells[0][0].total_nodes, 25 + 4);
+    assert_eq!(t2.cells[0][0].tasks.len(), 8);
+}
+
+#[test]
+fn hard_weight_task_gets_most_nodes_in_every_cell() {
+    // The paper's tables assign the hard weight task the largest share.
+    let t1 = table1();
+    for row in &t1.cells {
+        for cell in row {
+            let hw = cell
+                .tasks
+                .iter()
+                .find(|t| t.label == "hard weight")
+                .expect("hard weight row");
+            for t in &cell.tasks {
+                assert!(hw.nodes >= t.nodes, "{} has {} > {}", t.label, t.nodes, hw.nodes);
+            }
+        }
+    }
+}
+
+#[test]
+fn io_utilization_tracks_stripe_factor() {
+    let t1 = table1();
+    // At 100 nodes: sf=16 servers run far hotter than sf=64's.
+    let sf16 = &t1.cells[0][2];
+    let sf64 = &t1.cells[1][2];
+    assert!(sf16.io_utilization > 2.0 * sf64.io_utilization);
+}
