@@ -10,9 +10,7 @@ fn bench(c: &mut Criterion) {
     g.bench_function("sweep_6_factors", |b| {
         b.iter(|| sweep_stripe_factor(&[4, 8, 16, 32, 64, 128], 100))
     });
-    g.bench_function("sweep_cube_sizes", |b| {
-        b.iter(|| sweep_cube_size(&[256, 512, 1024], 100))
-    });
+    g.bench_function("sweep_cube_sizes", |b| b.iter(|| sweep_cube_size(&[256, 512, 1024], 100)));
     g.finish();
 }
 

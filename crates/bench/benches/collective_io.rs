@@ -8,10 +8,7 @@ use stap_pfs::{FsConfig, OpenMode, Pfs};
 fn strided(clients: usize, record: usize, records: usize) -> Vec<ClientRequests> {
     (0..clients)
         .map(|i| ClientRequests {
-            extents: (i..records)
-                .step_by(clients)
-                .map(|r| ((r * record) as u64, record))
-                .collect(),
+            extents: (i..records).step_by(clients).map(|r| ((r * record) as u64, record)).collect(),
         })
         .collect()
 }

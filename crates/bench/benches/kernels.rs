@@ -8,7 +8,7 @@ use stap_kernels::cube::{CubeDims, DataCube, DopplerCube};
 use stap_kernels::doppler::{DopplerConfig, DopplerFilter};
 use stap_kernels::pulse::{lfm_chirp, PulseCompressor};
 use stap_kernels::weights::WeightComputer;
-use stap_math::{C32, FftPlan};
+use stap_math::{FftPlan, C32};
 
 /// Deterministic pseudo-noise cube.
 fn noise_cube(dims: CubeDims) -> DataCube {
@@ -59,9 +59,7 @@ fn bench(c: &mut Criterion) {
     let slab = noise_cube(CubeDims::new(128, 32, 64));
     let df = DopplerFilter::new(128, DopplerConfig::default());
     g.bench_function("doppler_easy_slab_128x32x64", |b| b.iter(|| df.filter_easy(&slab)));
-    g.bench_function("doppler_staggered_slab_128x32x64", |b| {
-        b.iter(|| df.filter_staggered(&slab))
-    });
+    g.bench_function("doppler_staggered_slab_128x32x64", |b| b.iter(|| df.filter_staggered(&slab)));
 
     // Covariance + weights for one hard bin (DoF 64).
     let hard = noise_doppler(2, 2, 32, 512);

@@ -1,0 +1,34 @@
+//! Planner cost: how expensive is the bounded DP search plus the two-stage
+//! evaluator, analytic-only and with DES validation, at the paper's node
+//! budgets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stap_model::machines::MachineModel;
+use stap_planner::{plan, PlannerConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("planner");
+    g.sample_size(10);
+    for nodes in [25usize, 50, 100] {
+        g.bench_function(&format!("analytic_paragon64_n{nodes}"), |b| {
+            b.iter(|| {
+                plan(&PlannerConfig::new(vec![MachineModel::paragon(64)], nodes).without_des())
+            })
+        });
+    }
+    g.bench_function("full_des_paragon64_n100", |b| {
+        b.iter(|| plan(&PlannerConfig::new(vec![MachineModel::paragon(64)], 100)))
+    });
+    g.bench_function("full_des_both_sf_n100", |b| {
+        b.iter(|| {
+            plan(&PlannerConfig::new(
+                vec![MachineModel::paragon(16), MachineModel::paragon(64)],
+                100,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

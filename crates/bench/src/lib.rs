@@ -17,9 +17,9 @@
 //! once (and writes `results/*.txt`); the Criterion benches time each
 //! regeneration and the real signal-processing kernels.
 
+use stap_core::experiments::ablation;
 use stap_core::experiments::render::{render_fig8, render_figure, render_table, render_table4};
 use stap_core::experiments::{fig8_from, table1, table2, table3, table4_from};
-use stap_core::experiments::ablation;
 
 /// One regenerated artifact: a name and its rendered text.
 pub struct Artifact {
@@ -116,7 +116,11 @@ mod tests {
     fn stripe_sweep_renders_all_factors() {
         let s = render_stripe_sweep();
         for sf in [4, 8, 16, 32, 64, 128] {
-            assert!(s.lines().any(|l| l.starts_with(&format!("{sf} ")) || l.starts_with(&format!("{sf}"))), "missing sf={sf}\n{s}");
+            assert!(
+                s.lines()
+                    .any(|l| l.starts_with(&format!("{sf} ")) || l.starts_with(&format!("{sf}"))),
+                "missing sf={sf}\n{s}"
+            );
         }
     }
 

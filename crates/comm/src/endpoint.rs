@@ -68,7 +68,12 @@ impl Endpoint {
 
     /// Sends `value` to rank `dst` with `tag`. Buffered: never blocks on the
     /// receiver (the NX `csend`-to-ready-receiver fast path).
-    pub fn send<T: Send + 'static>(&mut self, dst: usize, tag: Tag, value: T) -> Result<(), CommError> {
+    pub fn send<T: Send + 'static>(
+        &mut self,
+        dst: usize,
+        tag: Tag,
+        value: T,
+    ) -> Result<(), CommError> {
         let sender = self
             .peers
             .get(dst)
@@ -88,7 +93,11 @@ impl Endpoint {
 
     /// Blocking selective receive: waits for a message matching the
     /// optional source and tag selectors and downcasts it to `T`.
-    pub fn recv<T: 'static>(&mut self, src: Option<usize>, tag: Option<Tag>) -> Result<T, CommError> {
+    pub fn recv<T: 'static>(
+        &mut self,
+        src: Option<usize>,
+        tag: Option<Tag>,
+    ) -> Result<T, CommError> {
         // First serve the unexpected-message queue.
         if let Some(pos) = self.pending.iter().position(|e| e.matches(src, tag)) {
             let env = self.pending.remove(pos).expect("position just found");
@@ -301,9 +310,7 @@ mod tests {
     fn recv_timeout_expires() {
         let mut eps = CommWorld::create(2);
         let mut e1 = eps.pop().unwrap();
-        let err = e1
-            .recv_timeout::<u32>(None, None, Duration::from_millis(20))
-            .unwrap_err();
+        let err = e1.recv_timeout::<u32>(None, None, Duration::from_millis(20)).unwrap_err();
         assert_eq!(err, CommError::Timeout);
     }
 
@@ -335,10 +342,7 @@ mod tests {
     fn invalid_destination_rejected() {
         let mut eps = CommWorld::create(1);
         let mut e0 = eps.pop().unwrap();
-        assert_eq!(
-            e0.send(5, 0, ()).unwrap_err(),
-            CommError::InvalidRank { rank: 5, size: 1 }
-        );
+        assert_eq!(e0.send(5, 0, ()).unwrap_err(), CommError::InvalidRank { rank: 5, size: 1 });
     }
 
     #[test]

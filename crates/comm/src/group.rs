@@ -46,10 +46,7 @@ impl Group {
 
     /// World rank of group-local index `i`.
     pub fn world_rank(&self, i: usize) -> Result<usize, CommError> {
-        self.ranks
-            .get(i)
-            .copied()
-            .ok_or(CommError::InvalidRank { rank: i, size: self.ranks.len() })
+        self.ranks.get(i).copied().ok_or(CommError::InvalidRank { rank: i, size: self.ranks.len() })
     }
 
     /// Group-local index of a world rank, if a member.

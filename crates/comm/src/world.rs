@@ -46,14 +46,8 @@ where
     let endpoints = CommWorld::create(n);
     let f = &f;
     std::thread::scope(|scope| {
-        let handles: Vec<_> = endpoints
-            .into_iter()
-            .map(|ep| scope.spawn(move || f(ep)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("rank thread panicked"))
-            .collect()
+        let handles: Vec<_> = endpoints.into_iter().map(|ep| scope.spawn(move || f(ep))).collect();
+        handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
     })
 }
 

@@ -33,12 +33,7 @@ enum DurKind {
     Fixed(f64),
     /// Embedded read in the Doppler task: read + compute(+send+overhead),
     /// with async overlap when the file system allows it.
-    ReadEmbedded {
-        compute: f64,
-        send: f64,
-        overhead: f64,
-        overlap: bool,
-    },
+    ReadEmbedded { compute: f64, send: f64, overhead: f64, overlap: bool },
 }
 
 /// One simulated task.
@@ -217,11 +212,7 @@ impl SimState {
         match self.tasks[i].dur {
             DurKind::Fixed(secs) => SimTime::from_secs_f64(secs),
             DurKind::ReadEmbedded { compute, send, overhead, overlap } => {
-                let post = if overlap {
-                    self.prev_start[i].unwrap_or(t0)
-                } else {
-                    t0
-                };
+                let post = if overlap { self.prev_start[i].unwrap_or(t0) } else { t0 };
                 let read_done = self.read_done(post);
                 let work = if overlap {
                     // iread: the read proceeds concurrently with compute.
@@ -274,12 +265,7 @@ fn try_start(eng: &mut Engine<SimState>, st: &mut SimState, i: usize, j: u64) {
         st.source_start[j as usize] = t0;
     }
     if let Some(trace) = st.trace.as_mut() {
-        trace.push(TraceEntry {
-            task: i,
-            cpi: j,
-            start: t0.as_secs_f64(),
-            end: end.as_secs_f64(),
-        });
+        trace.push(TraceEntry { task: i, cpi: j, start: t0.as_secs_f64(), end: end.as_secs_f64() });
     }
     eng.schedule_at(end, move |eng, st| on_complete(eng, st, i, j));
     // Starting this instance releases the rendezvous hold on our producers.
@@ -312,13 +298,10 @@ fn on_complete(eng: &mut Engine<SimState>, st: &mut SimState, i: usize, j: u64) 
 }
 
 fn deliver(eng: &mut Engine<SimState>, st: &mut SimState, k: usize, j: u64, at: SimTime) {
-    let rem = st
-        .remaining
-        .entry((k, j))
-        .or_insert_with(|| {
-            let t = &st.tasks[k];
-            t.spatial_preds.len() + if j > 0 { t.temporal_preds.len() } else { 0 }
-        });
+    let rem = st.remaining.entry((k, j)).or_insert_with(|| {
+        let t = &st.tasks[k];
+        t.spatial_preds.len() + if j > 0 { t.temporal_preds.len() } else { 0 }
+    });
     *rem = rem.saturating_sub(1);
     let a = st.arrival.entry((k, j)).or_insert(SimTime::ZERO);
     *a = (*a).max(at);
@@ -335,11 +318,12 @@ impl DesExperiment {
             .unwrap_or_else(|| assign_nodes(&w, &TaskId::SEVEN, self.compute_nodes));
         let p = |t: TaskId| a.nodes_for(t).expect("task assigned");
         let m = &self.machine;
-        let read_nodes =
-            if self.io == IoStrategy::SeparateTask { SEPARATE_IO_NODES } else { 0 };
+        let read_nodes = if self.io == IoStrategy::SeparateTask { SEPARATE_IO_NODES } else { 0 };
         let df_pred = read_nodes;
-        let df_succ =
-            p(TaskId::EasyWeight) + p(TaskId::HardWeight) + p(TaskId::EasyBeamform) + p(TaskId::HardBeamform);
+        let df_succ = p(TaskId::EasyWeight)
+            + p(TaskId::HardWeight)
+            + p(TaskId::EasyBeamform)
+            + p(TaskId::HardBeamform);
 
         let mut tasks: Vec<SimTask> = Vec::new();
         // Optional read task (index 0 when present).
@@ -373,9 +357,9 @@ impl DesExperiment {
                 overhead: m.overhead(df_nodes),
                 overlap: m.can_overlap_io(),
             },
-            IoStrategy::SeparateTask => {
-                DurKind::Fixed(task_time(m, &w, TaskId::Doppler, df_nodes, df_pred, df_succ).total())
-            }
+            IoStrategy::SeparateTask => DurKind::Fixed(
+                task_time(m, &w, TaskId::Doppler, df_nodes, df_pred, df_succ).total(),
+            ),
         };
         tasks.push(SimTask {
             label: TaskId::Doppler.label().into(),
@@ -394,8 +378,15 @@ impl DesExperiment {
             id: TaskId::EasyWeight,
             nodes: p(TaskId::EasyWeight),
             dur: DurKind::Fixed(
-                task_time(m, &w, TaskId::EasyWeight, p(TaskId::EasyWeight), df_nodes, p(TaskId::EasyBeamform))
-                    .total(),
+                task_time(
+                    m,
+                    &w,
+                    TaskId::EasyWeight,
+                    p(TaskId::EasyWeight),
+                    df_nodes,
+                    p(TaskId::EasyBeamform),
+                )
+                .total(),
             ),
             spatial_preds: vec![df_idx],
             temporal_preds: vec![],
@@ -406,8 +397,15 @@ impl DesExperiment {
             id: TaskId::HardWeight,
             nodes: p(TaskId::HardWeight),
             dur: DurKind::Fixed(
-                task_time(m, &w, TaskId::HardWeight, p(TaskId::HardWeight), df_nodes, p(TaskId::HardBeamform))
-                    .total(),
+                task_time(
+                    m,
+                    &w,
+                    TaskId::HardWeight,
+                    p(TaskId::HardWeight),
+                    df_nodes,
+                    p(TaskId::HardBeamform),
+                )
+                .total(),
             ),
             spatial_preds: vec![df_idx],
             temporal_preds: vec![],
@@ -424,8 +422,15 @@ impl DesExperiment {
             id: TaskId::EasyBeamform,
             nodes: p(TaskId::EasyBeamform),
             dur: DurKind::Fixed(
-                task_time(m, &w, TaskId::EasyBeamform, p(TaskId::EasyBeamform), df_nodes, tail_first_nodes)
-                    .total(),
+                task_time(
+                    m,
+                    &w,
+                    TaskId::EasyBeamform,
+                    p(TaskId::EasyBeamform),
+                    df_nodes,
+                    tail_first_nodes,
+                )
+                .total(),
             ),
             spatial_preds: vec![df_idx],
             temporal_preds: vec![ew_idx],
@@ -436,8 +441,15 @@ impl DesExperiment {
             id: TaskId::HardBeamform,
             nodes: p(TaskId::HardBeamform),
             dur: DurKind::Fixed(
-                task_time(m, &w, TaskId::HardBeamform, p(TaskId::HardBeamform), df_nodes, tail_first_nodes)
-                    .total(),
+                task_time(
+                    m,
+                    &w,
+                    TaskId::HardBeamform,
+                    p(TaskId::HardBeamform),
+                    df_nodes,
+                    tail_first_nodes,
+                )
+                .total(),
             ),
             spatial_preds: vec![df_idx],
             temporal_preds: vec![hw_idx],
@@ -452,8 +464,15 @@ impl DesExperiment {
                     id: TaskId::PulseCompression,
                     nodes: pc_nodes,
                     dur: DurKind::Fixed(
-                        task_time(m, &w, TaskId::PulseCompression, pc_nodes, tail_pred_nodes, cf_nodes)
-                            .total(),
+                        task_time(
+                            m,
+                            &w,
+                            TaskId::PulseCompression,
+                            pc_nodes,
+                            tail_pred_nodes,
+                            cf_nodes,
+                        )
+                        .total(),
                     ),
                     spatial_preds: vec![ebf_idx, hbf_idx],
                     temporal_preds: vec![],
@@ -551,8 +570,8 @@ impl DesExperiment {
         // Steady-state metrics.
         let w0 = self.warmup as usize;
         let last = self.cpis as usize - 1;
-        let tput = (last - w0) as f64
-            / (st.sink_end[last].as_secs_f64() - st.sink_end[w0].as_secs_f64());
+        let tput =
+            (last - w0) as f64 / (st.sink_end[last].as_secs_f64() - st.sink_end[w0].as_secs_f64());
         let lat = (w0..=last)
             .map(|j| st.sink_end[j].as_secs_f64() - st.source_start[j].as_secs_f64())
             .sum::<f64>()
@@ -632,8 +651,10 @@ mod tests {
     fn paragon_sf16_bottlenecks_at_100_nodes() {
         // The paper: "the throughput scales well in the first two cases,
         // but degrades when the total number of nodes goes up".
-        let small = cell(MachineModel::paragon(16), IoStrategy::Embedded, TailStructure::Split, 100);
-        let large = cell(MachineModel::paragon(64), IoStrategy::Embedded, TailStructure::Split, 100);
+        let small =
+            cell(MachineModel::paragon(16), IoStrategy::Embedded, TailStructure::Split, 100);
+        let large =
+            cell(MachineModel::paragon(64), IoStrategy::Embedded, TailStructure::Split, 100);
         assert!(
             small.throughput < 0.8 * large.throughput,
             "sf16 {} vs sf64 {}",
@@ -653,13 +674,11 @@ mod tests {
         let sp25 = cell(MachineModel::sp(), IoStrategy::Embedded, TailStructure::Split, 25);
         let sp100 = cell(MachineModel::sp(), IoStrategy::Embedded, TailStructure::Split, 100);
         let pg25 = cell(MachineModel::paragon(64), IoStrategy::Embedded, TailStructure::Split, 25);
-        let pg100 = cell(MachineModel::paragon(64), IoStrategy::Embedded, TailStructure::Split, 100);
+        let pg100 =
+            cell(MachineModel::paragon(64), IoStrategy::Embedded, TailStructure::Split, 100);
         let sp_speedup = sp100.throughput / sp25.throughput;
         let pg_speedup = pg100.throughput / pg25.throughput;
-        assert!(
-            sp_speedup < 0.7 * pg_speedup,
-            "SP speedup {sp_speedup} vs Paragon {pg_speedup}"
-        );
+        assert!(sp_speedup < 0.7 * pg_speedup, "SP speedup {sp_speedup} vs Paragon {pg_speedup}");
     }
 
     #[test]
@@ -731,8 +750,10 @@ mod tests {
 
     #[test]
     fn io_utilization_higher_on_small_stripe_factor() {
-        let small = cell(MachineModel::paragon(16), IoStrategy::Embedded, TailStructure::Split, 100);
-        let large = cell(MachineModel::paragon(64), IoStrategy::Embedded, TailStructure::Split, 100);
+        let small =
+            cell(MachineModel::paragon(16), IoStrategy::Embedded, TailStructure::Split, 100);
+        let large =
+            cell(MachineModel::paragon(64), IoStrategy::Embedded, TailStructure::Split, 100);
         assert!(small.io_utilization > large.io_utilization);
     }
 
@@ -751,10 +772,7 @@ mod tests {
             intervals.sort_by_key(|e| e.cpi);
             for w in intervals.windows(2) {
                 assert!(w[0].cpi + 1 == w[1].cpi);
-                assert!(
-                    w[1].start >= w[0].end - 1e-12,
-                    "task {task} instances overlap: {w:?}"
-                );
+                assert!(w[1].start >= w[0].end - 1e-12, "task {task} instances overlap: {w:?}");
             }
         }
         let g = render_gantt(&result, &trace, 3.0);

@@ -182,8 +182,12 @@ mod tests {
             .fold(0.0f64, f64::max);
         assert!(t_tail_split > t_other_max, "precondition: tail must pace");
         // Eq. 15: both metrics improve.
-        assert!(combined.throughput > 1.05 * split.throughput,
-            "throughput {} !> {}", combined.throughput, split.throughput);
+        assert!(
+            combined.throughput > 1.05 * split.throughput,
+            "throughput {} !> {}",
+            combined.throughput,
+            split.throughput
+        );
         assert!(combined.latency < split.latency);
     }
 

@@ -14,12 +14,7 @@ pub fn render_table(t: &Table) -> String {
     let machines = t.machines();
     for (case_idx, &case) in t.cases.iter().enumerate() {
         let cell0 = &t.cells[0][case_idx];
-        let _ = writeln!(
-            out,
-            "\ncase {}: total number of compute nodes = {}",
-            case_idx + 1,
-            case
-        );
+        let _ = writeln!(out, "\ncase {}: total number of compute nodes = {}", case_idx + 1, case);
         // Header.
         let _ = write!(out, "{:<16}", "task");
         for m in &machines {
@@ -111,7 +106,8 @@ pub fn render_fig8(f: &Fig8Data) -> String {
         out,
         "Figure 8. Performance comparison of the pipeline system with and without task combining."
     );
-    let tput_max = grid_max(&f.split, |c| c.throughput).max(grid_max(&f.combined, |c| c.throughput));
+    let tput_max =
+        grid_max(&f.split, |c| c.throughput).max(grid_max(&f.combined, |c| c.throughput));
     let lat_max = grid_max(&f.split, |c| c.latency).max(grid_max(&f.combined, |c| c.latency));
     for (m_idx, machine) in f.split.machines().iter().enumerate() {
         let _ = writeln!(out, "\n{machine}");
@@ -149,11 +145,7 @@ pub fn render_fig8(f: &Fig8Data) -> String {
 }
 
 fn grid_max(t: &Table, f: impl Fn(&DesResult) -> f64) -> f64 {
-    t.cells
-        .iter()
-        .flat_map(|row| row.iter())
-        .map(f)
-        .fold(0.0, f64::max)
+    t.cells.iter().flat_map(|row| row.iter()).map(f).fold(0.0, f64::max)
 }
 
 fn bar(value: f64, max: f64, width: usize) -> String {
@@ -227,10 +219,7 @@ mod tests {
             .map(|l| l.chars().filter(|&c| c == '#').count())
             .max()
             .unwrap();
-        let six_line = s
-            .lines()
-            .find(|l| l.contains("6.000"))
-            .expect("6.0 line present");
+        let six_line = s.lines().find(|l| l.contains("6.000")).expect("6.0 line present");
         assert_eq!(six_line.chars().filter(|&c| c == '#').count(), longest);
     }
 

@@ -31,12 +31,7 @@ fn run_grid(title: &str, io: IoStrategy, tail: TailStructure) -> Table {
     let cases: Vec<usize> = PAPER_CASES.to_vec();
     let cells = MachineModel::paper_machines()
         .into_iter()
-        .map(|m| {
-            cases
-                .iter()
-                .map(|&n| DesExperiment::new(m.clone(), io, tail, n).run())
-                .collect()
-        })
+        .map(|m| cases.iter().map(|&n| DesExperiment::new(m.clone(), io, tail, n).run()).collect())
         .collect();
     Table { title: title.to_string(), cells, cases }
 }

@@ -74,7 +74,15 @@ pub fn render_validation(rows: &[ValidationRow]) -> String {
     let _ = writeln!(
         s,
         "{:<30}{:>6}{:>11}{:>11}{:>11}{:>11}{:>11}{:>11}{:>8}",
-        "machine", "nodes", "DES tput", "pred tput", "eq tput", "DES lat", "pred lat", "eq lat", "err"
+        "machine",
+        "nodes",
+        "DES tput",
+        "pred tput",
+        "eq tput",
+        "DES lat",
+        "pred lat",
+        "eq lat",
+        "err"
     );
     for r in rows {
         let _ = writeln!(

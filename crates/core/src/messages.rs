@@ -37,8 +37,7 @@ impl BinSlab {
     /// `cube_r0`; the slab covers the cube's *entire* local range extent.
     pub fn from_cube(cube: &DopplerCube, bins: &[usize], cube_r0: usize) -> Self {
         let n = cube.ranges();
-        let mut data =
-            Vec::with_capacity(bins.len() * cube.staggers() * cube.channels() * n);
+        let mut data = Vec::with_capacity(bins.len() * cube.staggers() * cube.channels() * n);
         for &b in bins {
             for s in 0..cube.staggers() {
                 for c in 0..cube.channels() {
@@ -71,29 +70,89 @@ impl BinSlab {
     }
 }
 
+/// Why a set of slabs could not be stitched into a [`DopplerCube`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AssemblyError {
+    /// No slabs were provided at all.
+    NoSlabs,
+    /// A slab's stagger count disagrees with the first slab's.
+    StaggerMismatch {
+        /// Stagger count of the first slab.
+        expected: usize,
+        /// Stagger count of the offending slab.
+        found: usize,
+    },
+    /// A slab's channel count disagrees with the first slab's.
+    ChannelMismatch {
+        /// Channel count of the first slab.
+        expected: usize,
+        /// Channel count of the offending slab.
+        found: usize,
+    },
+    /// A slab does not carry one of the requested bins.
+    MissingBin(usize),
+    /// The slabs leave a range gate uncovered.
+    RangeGap {
+        /// First absolute gate with no covering slab.
+        gate: usize,
+    },
+}
+
+impl std::fmt::Display for AssemblyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AssemblyError::NoSlabs => write!(f, "no slabs to assemble"),
+            AssemblyError::StaggerMismatch { expected, found } => {
+                write!(f, "stagger mismatch across slabs: expected {expected}, found {found}")
+            }
+            AssemblyError::ChannelMismatch { expected, found } => {
+                write!(f, "channel mismatch across slabs: expected {expected}, found {found}")
+            }
+            AssemblyError::MissingBin(b) => write!(f, "slab missing bin {b}"),
+            AssemblyError::RangeGap { gate } => {
+                write!(f, "slabs do not tile the range axis: gate {gate} uncovered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AssemblyError {}
+
 /// Assembles a full-range [`DopplerCube`] covering exactly `bins` from
 /// slabs that tile the range axis `[0, ranges)`.
 ///
 /// The returned cube's bin axis is *compacted*: cube bin index `i`
 /// corresponds to `bins[i]`.
 ///
-/// # Panics
-/// Panics when the slabs do not cover every gate of every requested bin.
-pub fn assemble_bins(bins: &[usize], ranges: usize, slabs: &[BinSlab]) -> DopplerCube {
-    assert!(!slabs.is_empty(), "no slabs to assemble");
-    let staggers = slabs[0].staggers;
-    let channels = slabs[0].channels;
+/// # Errors
+/// Returns an [`AssemblyError`] when the slabs are inconsistent, miss a
+/// requested bin, or do not cover every gate of the range axis.
+pub fn assemble_bins(
+    bins: &[usize],
+    ranges: usize,
+    slabs: &[BinSlab],
+) -> Result<DopplerCube, AssemblyError> {
+    let first = slabs.first().ok_or(AssemblyError::NoSlabs)?;
+    let staggers = first.staggers;
+    let channels = first.channels;
     let mut cube = DopplerCube::zeros(staggers, bins.len(), channels, ranges);
     let mut covered = vec![0usize; ranges];
     for slab in slabs {
-        assert_eq!(slab.staggers, staggers, "stagger mismatch across slabs");
-        assert_eq!(slab.channels, channels, "channel mismatch across slabs");
+        if slab.staggers != staggers {
+            return Err(AssemblyError::StaggerMismatch {
+                expected: staggers,
+                found: slab.staggers,
+            });
+        }
+        if slab.channels != channels {
+            return Err(AssemblyError::ChannelMismatch {
+                expected: channels,
+                found: slab.channels,
+            });
+        }
         for (i, &b) in bins.iter().enumerate() {
-            let bin_idx = slab
-                .bins
-                .iter()
-                .position(|&x| x == b)
-                .unwrap_or_else(|| panic!("slab missing bin {b}"));
+            let bin_idx =
+                slab.bins.iter().position(|&x| x == b).ok_or(AssemblyError::MissingBin(b))?;
             for s in 0..staggers {
                 for c in 0..channels {
                     for abs_r in slab.r0..slab.r1 {
@@ -106,11 +165,10 @@ pub fn assemble_bins(bins: &[usize], ranges: usize, slabs: &[BinSlab]) -> Dopple
             *c += 1;
         }
     }
-    assert!(
-        covered.iter().all(|&c| c >= 1),
-        "slabs do not tile the range axis"
-    );
-    cube
+    if let Some(gate) = covered.iter().position(|&c| c == 0) {
+        return Err(AssemblyError::RangeGap { gate });
+    }
+    Ok(cube)
 }
 
 /// Raw on-disk bytes for range gates `[r0, r1)` — what the separate read
@@ -212,7 +270,7 @@ mod tests {
         let slab_b = BinSlab::from_cube(&cube_b, &[1, 3], 0);
         let cube_c = tiny_cube(2, 4, 3, 1);
         let slab_c = BinSlab::from_cube(&cube_c, &[1, 3], 5);
-        let full = assemble_bins(&[1, 3], 6, &[slab_a, slab_b, slab_c]);
+        let full = assemble_bins(&[1, 3], 6, &[slab_a, slab_b, slab_c]).expect("tiled");
         assert_eq!(full.bins(), 2);
         assert_eq!(full.ranges(), 6);
         // Absolute gate 3 came from slab_a local r=1 of bin 3 (index 1).
@@ -222,19 +280,37 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "do not tile")]
     fn assembly_detects_gaps() {
         let cube = tiny_cube(1, 2, 1, 2);
         let slab = BinSlab::from_cube(&cube, &[0], 0);
-        assemble_bins(&[0], 4, &[slab]);
+        let err = assemble_bins(&[0], 4, &[slab]).unwrap_err();
+        assert_eq!(err, AssemblyError::RangeGap { gate: 2 });
+        assert!(format!("{err}").contains("do not tile"));
     }
 
     #[test]
-    #[should_panic(expected = "missing bin")]
     fn assembly_detects_missing_bin() {
         let cube = tiny_cube(1, 2, 1, 2);
         let slab = BinSlab::from_cube(&cube, &[0], 0);
-        assemble_bins(&[1], 2, &[slab]);
+        let err = assemble_bins(&[1], 2, &[slab]).unwrap_err();
+        assert_eq!(err, AssemblyError::MissingBin(1));
+        assert!(format!("{err}").contains("missing bin 1"));
+    }
+
+    #[test]
+    fn assembly_rejects_empty_and_mismatched_slabs() {
+        assert_eq!(assemble_bins(&[0], 2, &[]).unwrap_err(), AssemblyError::NoSlabs);
+        let a = BinSlab::from_cube(&tiny_cube(1, 2, 1, 2), &[0], 0);
+        let b = BinSlab::from_cube(&tiny_cube(2, 2, 1, 2), &[0], 0);
+        assert_eq!(
+            assemble_bins(&[0], 2, &[a.clone(), b]).unwrap_err(),
+            AssemblyError::StaggerMismatch { expected: 1, found: 2 }
+        );
+        let c = BinSlab::from_cube(&tiny_cube(1, 2, 3, 2), &[0], 0);
+        assert_eq!(
+            assemble_bins(&[0], 2, &[a, c]).unwrap_err(),
+            AssemblyError::ChannelMismatch { expected: 1, found: 3 }
+        );
     }
 
     #[test]

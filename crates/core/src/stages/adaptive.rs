@@ -58,7 +58,8 @@ impl Stage for WeightStage {
 
         ctx.phase(Phase::Compute);
         let ranges = self.plan.config.dims.ranges;
-        let cube = assemble_bins(&my_bins, ranges, &slabs);
+        let cube = assemble_bins(&my_bins, ranges, &slabs)
+            .map_err(|e| ctx.fail(format!("doppler assembly: {e}")))?;
         // The assembled cube's bin axis is positional; compute against
         // positional indices, then relabel to absolute bins for shipping.
         let positional: Vec<usize> = (0..my_bins.len()).collect();
@@ -104,16 +105,16 @@ impl BeamformStage {
 
     /// Weight set restricted to `bins` (positional order), relabeled to the
     /// positional indices so it can drive the compacted cube.
-    fn select_weights(&self, full: &WeightSet, bins: &[usize]) -> WeightSet {
+    ///
+    /// # Errors
+    /// Returns the first bin the received weight set does not cover.
+    fn select_weights(&self, full: &WeightSet, bins: &[usize]) -> Result<WeightSet, usize> {
         let mut weights = Vec::with_capacity(bins.len());
         for &b in bins {
-            let per_beam = full
-                .for_bin(b)
-                .unwrap_or_else(|| panic!("missing weights for bin {b}"))
-                .clone();
+            let per_beam = full.for_bin(b).ok_or(b)?.clone();
             weights.push(per_beam);
         }
-        WeightSet { bins: (0..bins.len()).collect(), weights, dof: full.dof }
+        Ok(WeightSet { bins: (0..bins.len()).collect(), weights, dof: full.dof })
     }
 }
 
@@ -161,8 +162,11 @@ impl Stage for BeamformStage {
         self.staged_weights = None;
 
         ctx.phase(Phase::Compute);
-        let cube = assemble_bins(&my_bins, ranges, &slabs);
-        let ws = self.select_weights(&weights_full, &my_bins);
+        let cube = assemble_bins(&my_bins, ranges, &slabs)
+            .map_err(|e| ctx.fail(format!("beamform assembly: {e}")))?;
+        let ws = self
+            .select_weights(&weights_full, &my_bins)
+            .map_err(|b| ctx.fail(format!("weight set missing bin {b}")))?;
         let bc: BeamCube = stap_kernels::beamform::Beamformer.apply(&cube, &ws);
 
         ctx.phase(Phase::Send);

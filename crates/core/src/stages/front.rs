@@ -42,9 +42,8 @@ impl Stage for ReadStage {
 
         ctx.phase(Phase::Read);
         let (off, len) = slab_extent(dims, r0, r1);
-        let bytes = self.plan.files[slot]
-            .read_at(off, len)
-            .map_err(|e| ctx.fail(format!("read: {e}")))?;
+        let bytes =
+            self.plan.files[slot].read_at(off, len).map_err(|e| ctx.fail(format!("read: {e}")))?;
 
         ctx.phase(Phase::Send);
         // Deliver to every Doppler node whose range block intersects ours.

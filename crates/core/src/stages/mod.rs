@@ -105,10 +105,7 @@ impl StapPlan {
     /// scheduling of the paper's figures.
     pub fn owned_bins(&self, hard: bool, nodes: usize, local: usize) -> Vec<usize> {
         let list = if hard { &self.hard_bins } else { &self.easy_bins };
-        round_robin_items(list.len(), nodes, local)
-            .into_iter()
-            .map(|i| list[i])
-            .collect()
+        round_robin_items(list.len(), nodes, local).into_iter().map(|i| list[i]).collect()
     }
 
     /// Owner (local index) of a row under a stage with `nodes` nodes.

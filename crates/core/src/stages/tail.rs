@@ -3,13 +3,13 @@
 
 use crate::messages::RowBatch;
 use crate::stages::{port, StapPlan};
+use parking_lot::Mutex;
 use stap_kernels::cfar::{cfar_row, Detection};
 use stap_kernels::pulse::PulseCompressor;
 use stap_kernels::report::DetectionReport;
 use stap_pipeline::stage::{Stage, StageCtx};
 use stap_pipeline::timing::Phase;
 use stap_pipeline::PipelineError;
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// Where completed per-CPI detection reports land after the run.
@@ -114,8 +114,7 @@ impl Stage for PulseStage {
         ctx.phase(Phase::Send);
         let cfar = self.plan.roles.cfar.expect("split tail has a CFAR stage");
         let cfar_nodes = ctx.topology.stage(cfar).nodes;
-        let mut outgoing: Vec<RowBatch> =
-            (0..cfar_nodes).map(|_| RowBatch::new(ranges)).collect();
+        let mut outgoing: Vec<RowBatch> = (0..cfar_nodes).map(|_| RowBatch::new(ranges)).collect();
         for i in 0..batch.len() {
             let (bin, beam) = batch.rows[i];
             let owner = self.plan.row_owner(bin, beam, cfar_nodes);

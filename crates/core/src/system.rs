@@ -122,7 +122,8 @@ impl StapSystem {
         }
         topo.validate()?;
 
-        let roles = Roles { read, doppler, easy_weight, hard_weight, easy_bf, hard_bf, pulse, cfar };
+        let roles =
+            Roles { read, doppler, easy_weight, hard_weight, easy_bf, hard_bf, pulse, cfar };
         let plan = Arc::new(StapPlan { config, roles, easy_bins, hard_bins, files, waveform });
         let reports: ReportSink = Arc::new(Mutex::new(Vec::new()));
 
@@ -158,9 +159,7 @@ impl StapSystem {
         match cfg.tail {
             TailStructure::Split => {
                 let p = Arc::clone(&plan);
-                factories.push(Box::new(move |_local| {
-                    Box::new(PulseStage::new(Arc::clone(&p)))
-                }));
+                factories.push(Box::new(move |_local| Box::new(PulseStage::new(Arc::clone(&p)))));
                 let p = Arc::clone(&plan);
                 let sink = Arc::clone(&reports);
                 let nodes = cfg.nodes.cfar;
@@ -173,7 +172,12 @@ impl StapSystem {
                 let sink = Arc::clone(&reports);
                 let nodes = cfg.nodes.pulse + cfg.nodes.cfar;
                 factories.push(Box::new(move |local| {
-                    Box::new(CombinedTailStage::new(Arc::clone(&p), local, nodes, Arc::clone(&sink)))
+                    Box::new(CombinedTailStage::new(
+                        Arc::clone(&p),
+                        local,
+                        nodes,
+                        Arc::clone(&sink),
+                    ))
                 }));
             }
         }
@@ -202,9 +206,7 @@ impl StapSystem {
     /// Runs the configured number of CPIs and collects outputs.
     pub fn run(&self) -> Result<StapRunOutput, PipelineError> {
         self.reports.lock().clear();
-        let timing = self
-            .pipeline
-            .run(self.plan.config.cpis, self.plan.config.warmup)?;
+        let timing = self.pipeline.run(self.plan.config.cpis, self.plan.config.warmup)?;
         let mut reports = std::mem::take(&mut *self.reports.lock());
         reports.sort_by_key(|r| r.cpi);
         Ok(StapRunOutput { timing, reports, source: self.source_stage, sink: self.sink_stage })
@@ -216,11 +218,7 @@ mod tests {
     use super::*;
 
     fn tiny_config() -> StapConfig {
-        StapConfig {
-            cpis: 3,
-            warmup: 1,
-            ..StapConfig::default()
-        }
+        StapConfig { cpis: 3, warmup: 1, ..StapConfig::default() }
     }
 
     #[test]
@@ -239,17 +237,12 @@ mod tests {
     fn topology_matches_strategy() {
         let sys = StapSystem::prepare(tiny_config()).unwrap();
         assert_eq!(sys.topology().stage_count(), 7);
-        let sep = StapSystem::prepare(StapConfig {
-            io: IoStrategy::SeparateTask,
-            ..tiny_config()
-        })
-        .unwrap();
+        let sep = StapSystem::prepare(StapConfig { io: IoStrategy::SeparateTask, ..tiny_config() })
+            .unwrap();
         assert_eq!(sep.topology().stage_count(), 8);
-        let comb = StapSystem::prepare(StapConfig {
-            tail: TailStructure::Combined,
-            ..tiny_config()
-        })
-        .unwrap();
+        let comb =
+            StapSystem::prepare(StapConfig { tail: TailStructure::Combined, ..tiny_config() })
+                .unwrap();
         assert_eq!(comb.topology().stage_count(), 6);
     }
 }

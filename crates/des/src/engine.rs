@@ -40,7 +40,13 @@ impl<S> Default for Engine<S> {
 impl<S> Engine<S> {
     /// A fresh engine at time zero.
     pub fn new() -> Self {
-        Self { now: SimTime::ZERO, seq: 0, processed: 0, heap: BinaryHeap::new(), slots: Vec::new() }
+        Self {
+            now: SimTime::ZERO,
+            seq: 0,
+            processed: 0,
+            heap: BinaryHeap::new(),
+            slots: Vec::new(),
+        }
     }
 
     /// Current virtual time.
@@ -71,7 +77,11 @@ impl<S> Engine<S> {
     }
 
     /// Schedules `cb` to fire `delay` after now.
-    pub fn schedule_in(&mut self, delay: SimTime, cb: impl FnOnce(&mut Engine<S>, &mut S) + 'static) {
+    pub fn schedule_in(
+        &mut self,
+        delay: SimTime,
+        cb: impl FnOnce(&mut Engine<S>, &mut S) + 'static,
+    ) {
         let at = self.now + delay;
         self.schedule_at(at, cb);
     }
@@ -161,10 +171,7 @@ mod tests {
         }
         eng.schedule_in(SimTime::from_secs(1), tick);
         eng.run(&mut log);
-        assert_eq!(
-            log,
-            vec![1_000_000_000, 2_000_000_000, 3_000_000_000, 4_000_000_000]
-        );
+        assert_eq!(log, vec![1_000_000_000, 2_000_000_000, 3_000_000_000, 4_000_000_000]);
     }
 
     #[test]

@@ -25,7 +25,12 @@ impl FcfsResource {
     /// Panics when `servers == 0`.
     pub fn new(name: impl Into<String>, servers: usize) -> Self {
         assert!(servers > 0, "resource needs at least one server");
-        Self { free_at: vec![SimTime::ZERO; servers], busy: Tally::new(), jobs: 0, name: name.into() }
+        Self {
+            free_at: vec![SimTime::ZERO; servers],
+            busy: Tally::new(),
+            jobs: 0,
+            name: name.into(),
+        }
     }
 
     /// Resource name (for reports).
@@ -59,7 +64,12 @@ impl FcfsResource {
 
     /// Submits a job that must run on a *specific* server (e.g. a stripe
     /// unit pinned to its stripe directory).
-    pub fn submit_to(&mut self, server: usize, arrival: SimTime, service: SimTime) -> (SimTime, SimTime) {
+    pub fn submit_to(
+        &mut self,
+        server: usize,
+        arrival: SimTime,
+        service: SimTime,
+    ) -> (SimTime, SimTime) {
         let start = arrival.max(self.free_at[server]);
         let done = start + service;
         self.free_at[server] = done;

@@ -138,10 +138,8 @@ mod tests {
     fn uniform_weights_coherently_sum_matched_signal() {
         let channels = 8;
         let dc = cube_with_signal(channels, 16, 0.0, 3);
-        let wc = WeightComputer {
-            beams: BeamSet { spatial_freqs: vec![0.0] },
-            ..Default::default()
-        };
+        let wc =
+            WeightComputer { beams: BeamSet { spatial_freqs: vec![0.0] }, ..Default::default() };
         let ws = wc.uniform(channels, channels, 1, &[1], 2);
         let out = Beamformer.apply(&dc, &ws);
         // Signal gate: unit-gain MVDR-style normalization keeps amplitude 5.
@@ -154,10 +152,8 @@ mod tests {
     fn mismatched_steering_attenuates() {
         let channels = 8;
         let dc = cube_with_signal(channels, 16, 0.25, 3);
-        let wc = WeightComputer {
-            beams: BeamSet { spatial_freqs: vec![0.0] },
-            ..Default::default()
-        };
+        let wc =
+            WeightComputer { beams: BeamSet { spatial_freqs: vec![0.0] }, ..Default::default() };
         let ws = wc.uniform(channels, channels, 1, &[1], 2);
         let out = Beamformer.apply(&dc, &ws);
         // Signal arrives from fs=0.25 but we look at broadside: heavy loss.

@@ -246,8 +246,14 @@ mod tests {
         for v in row.iter_mut().skip(32) {
             *v = 100.0;
         }
-        let ca = cfar_row(&row, CfarConfig { kind: CfarKind::CellAveraging, pfa: 1e-3, training: 8, guard: 1 });
-        let go = cfar_row(&row, CfarConfig { kind: CfarKind::GreatestOf, pfa: 1e-3, training: 8, guard: 1 });
+        let ca = cfar_row(
+            &row,
+            CfarConfig { kind: CfarKind::CellAveraging, pfa: 1e-3, training: 8, guard: 1 },
+        );
+        let go = cfar_row(
+            &row,
+            CfarConfig { kind: CfarKind::GreatestOf, pfa: 1e-3, training: 8, guard: 1 },
+        );
         assert!(go.len() <= ca.len(), "GO should not alarm more than CA at an edge");
     }
 

@@ -81,8 +81,7 @@ mod tests {
         for r in 0..ranges {
             for c in 0..channels {
                 // Rank-1 interference: same spatial signature at every gate.
-                *dc.get_mut(0, 1, c, r) =
-                    C32::cis(0.3 * c as f32).scale(2.0)
+                *dc.get_mut(0, 1, c, r) = C32::cis(0.3 * c as f32).scale(2.0)
             }
         }
         dc

@@ -395,12 +395,7 @@ mod tests {
         dc.snapshot(1, 2, &mut snap);
         assert_eq!(
             snap,
-            vec![
-                C32::new(1.0, 0.0),
-                C32::new(2.0, 0.0),
-                C32::new(3.0, 0.0),
-                C32::new(4.0, 0.0)
-            ]
+            vec![C32::new(1.0, 0.0), C32::new(2.0, 0.0), C32::new(3.0, 0.0), C32::new(4.0, 0.0)]
         );
         assert_eq!(dc.dof(), 4);
     }

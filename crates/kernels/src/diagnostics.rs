@@ -4,7 +4,7 @@
 
 use crate::weights::BeamSet;
 use stap_math::matrix::dot_h;
-use stap_math::{CholeskyFactor, CMat, MathError, C64};
+use stap_math::{CMat, CholeskyFactor, MathError, C64};
 
 /// Output signal-to-interference-plus-noise ratio of weight `w` against
 /// interference covariance `r` for a unit-power signal along `v`:
@@ -45,9 +45,8 @@ pub fn null_depth_db(w: &[C64], fs: f64) -> f64 {
     let pattern = spatial_pattern(w, 512);
     let peak = pattern.iter().map(|&(_, p)| p).fold(0.0, f64::max);
     let channels = w.len();
-    let a: Vec<C64> = (0..channels)
-        .map(|c| C64::cis(2.0 * std::f64::consts::PI * fs * c as f64))
-        .collect();
+    let a: Vec<C64> =
+        (0..channels).map(|c| C64::cis(2.0 * std::f64::consts::PI * fs * c as f64)).collect();
     let at = dot_h(w, &a).norm_sqr();
     10.0 * (at / peak.max(f64::MIN_POSITIVE)).log10()
 }
@@ -76,9 +75,8 @@ mod tests {
     /// Identity + one strong rank-1 jammer at `fs`.
     fn jammed_cov(channels: usize, fs: f64, jnr: f64) -> CMat<f64> {
         let mut r = CMat::identity(channels);
-        let a: Vec<C64> = (0..channels)
-            .map(|c| C64::cis(2.0 * std::f64::consts::PI * fs * c as f64))
-            .collect();
+        let a: Vec<C64> =
+            (0..channels).map(|c| C64::cis(2.0 * std::f64::consts::PI * fs * c as f64)).collect();
         r.rank1_update(&a, jnr);
         r
     }
@@ -91,9 +89,7 @@ mod tests {
     }
 
     fn steering(channels: usize, fs: f64) -> Vec<C64> {
-        (0..channels)
-            .map(|c| C64::cis(2.0 * std::f64::consts::PI * fs * c as f64))
-            .collect()
+        (0..channels).map(|c| C64::cis(2.0 * std::f64::consts::PI * fs * c as f64)).collect()
     }
 
     #[test]
@@ -157,11 +153,7 @@ mod tests {
         assert!((p[0].0 - -0.5).abs() < 1e-12);
         assert!(p.last().unwrap().0 < 0.5);
         // Peak at broadside for a uniform weight.
-        let (peak_fs, _) = p
-            .iter()
-            .copied()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-            .unwrap();
+        let (peak_fs, _) = p.iter().copied().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap();
         assert!(peak_fs.abs() < 0.02, "peak at {peak_fs}");
     }
 }

@@ -11,7 +11,7 @@
 use crate::cube::{DataCube, DopplerCube};
 use stap_math::fft::next_pow2;
 use stap_math::window::Window;
-use stap_math::{C32, FftPlan};
+use stap_math::{FftPlan, C32};
 
 /// Classification of Doppler bins into easy and hard processing cases.
 ///
@@ -47,8 +47,8 @@ impl BinClass {
             return false;
         }
         let dist = b.min(nbins - b); // circular distance from bin 0
-        // Number of bins strictly closer than `dist`: ring 0 has one member,
-        // every other full ring has two.
+                                     // Number of bins strictly closer than `dist`: ring 0 has one member,
+                                     // every other full ring has two.
         let closer = if dist == 0 { 0 } else { 2 * dist - 1 };
         if closer >= target {
             return false;
@@ -230,8 +230,7 @@ mod tests {
         let out = df.filter_easy(&cube);
         assert_eq!(out.staggers(), 1);
         assert_eq!(out.bins(), 32);
-        let spectrum: Vec<f64> =
-            (0..32).map(|b| out.get(0, b, 0, 0).norm_sqr() as f64).collect();
+        let spectrum: Vec<f64> = (0..32).map(|b| out.get(0, b, 0, 0).norm_sqr() as f64).collect();
         let (peak, _) = argmax(&spectrum).unwrap();
         assert_eq!(peak, 8);
     }
@@ -329,11 +328,9 @@ mod tests {
             DopplerConfig { window: Window::Rectangular, ..Default::default() },
         )
         .filter_easy(&cube);
-        let ham = DopplerFilter::new(
-            64,
-            DopplerConfig { window: Window::Hamming, ..Default::default() },
-        )
-        .filter_easy(&cube);
+        let ham =
+            DopplerFilter::new(64, DopplerConfig { window: Window::Hamming, ..Default::default() })
+                .filter_easy(&cube);
         // Compare far-sidelobe energy (≈5.5 bins out) to the peak:
         // Hamming must be lower than rectangular.
         let ratio = |dc: &DopplerCube| {

@@ -37,5 +37,5 @@ pub use cube::{CubeDims, DataCube, DopplerCube};
 pub use doppler::{BinClass, DopplerConfig, DopplerFilter};
 pub use pulse::{lfm_chirp, PulseCompressor};
 pub use report::DetectionReport;
-pub use tracking::{Track, Tracker, TrackerConfig, TrackState};
+pub use tracking::{Track, TrackState, Tracker, TrackerConfig};
 pub use weights::{mdl_rank, WeightComputer, WeightMethod, WeightSet};

@@ -7,7 +7,7 @@
 
 use crate::beamform::BeamCube;
 use stap_math::fft::next_pow2;
-use stap_math::{C32, FftPlan};
+use stap_math::{FftPlan, C32};
 
 /// Generates a unit-energy linear-FM (chirp) replica of `len` samples
 /// sweeping `bandwidth_frac` of the sampling band.

@@ -50,9 +50,7 @@ impl DetectionReport {
     /// "cluster then take the centroid" post-CFAR step.
     pub fn cluster(&self, range_window: usize) -> DetectionReport {
         let mut sorted = self.detections.clone();
-        sorted.sort_by(|a, b| {
-            (a.beam, a.bin, a.range).cmp(&(b.beam, b.bin, b.range))
-        });
+        sorted.sort_by_key(|a| (a.beam, a.bin, a.range));
         let mut out: Vec<Detection> = Vec::new();
         for d in sorted {
             match out.last_mut() {
@@ -169,11 +167,8 @@ mod tests {
         r.detections.push(det(1, 4, 101, 22.0)); // different beam
         let c = r.cluster(2);
         assert_eq!(c.len(), 3);
-        let main = c
-            .detections
-            .iter()
-            .find(|d| d.beam == 0 && (100..=102).contains(&d.range))
-            .unwrap();
+        let main =
+            c.detections.iter().find(|d| d.beam == 0 && (100..=102).contains(&d.range)).unwrap();
         assert_eq!(main.range, 101);
     }
 

@@ -9,7 +9,7 @@
 use crate::covariance::{estimate_covariance, TrainingConfig};
 use crate::cube::DopplerCube;
 use stap_math::matrix::dot_h;
-use stap_math::{CholeskyFactor, CMat, Eigh, MathError, C32, C64};
+use stap_math::{CMat, CholeskyFactor, Eigh, MathError, C32, C64};
 
 /// Which adaptive algorithm computes the weights.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -58,9 +58,7 @@ impl BeamSet {
     /// Spatial steering vector for beam `beam` over `channels` elements.
     pub fn spatial_steering(&self, beam: usize, channels: usize) -> Vec<C64> {
         let fs = self.spatial_freqs[beam];
-        (0..channels)
-            .map(|c| C64::cis(2.0 * std::f64::consts::PI * fs * c as f64))
-            .collect()
+        (0..channels).map(|c| C64::cis(2.0 * std::f64::consts::PI * fs * c as f64)).collect()
     }
 
     /// Space-time steering vector for beam `beam`: the spatial vector
@@ -201,7 +199,14 @@ impl WeightComputer {
 
     /// Uniform (non-adaptive) weights — the cold-start weights used for the
     /// very first CPI before any previous-CPI data exists.
-    pub fn uniform(&self, dof: usize, channels: usize, staggers: usize, bins: &[usize], nbins: usize) -> WeightSet {
+    pub fn uniform(
+        &self,
+        dof: usize,
+        channels: usize,
+        staggers: usize,
+        bins: &[usize],
+        nbins: usize,
+    ) -> WeightSet {
         let mut all = Vec::with_capacity(bins.len());
         for &bin in bins {
             let mut per_beam = Vec::with_capacity(self.beams.len());
@@ -248,9 +253,8 @@ impl MethodSolver {
                 // the configured stride (exact count is not critical — MDL
                 // only needs the right order of magnitude).
                 let snapshots = crate::covariance::training_count(512, training);
-                let k = rank
-                    .unwrap_or_else(|| mdl_rank(&e.values, snapshots))
-                    .min(n.saturating_sub(1));
+                let k =
+                    rank.unwrap_or_else(|| mdl_rank(&e.values, snapshots)).min(n.saturating_sub(1));
                 // The k LARGEST eigenpairs span the interference subspace.
                 let basis = (0..k).map(|i| e.vector(n - 1 - i)).collect();
                 Ok(MethodSolver::Eigencanceler { basis })
@@ -355,8 +359,8 @@ mod tests {
         for r in 0..ranges {
             for c in 0..channels {
                 let cur = cube.get(0, 1, c, r);
-                *cube.get_mut(0, 1, c, r) = cur
-                    + C32::cis(2.0 * std::f32::consts::PI * jam_freq * c as f32).scale(30.0);
+                *cube.get_mut(0, 1, c, r) =
+                    cur + C32::cis(2.0 * std::f32::consts::PI * jam_freq * c as f32).scale(30.0);
             }
         }
         let wc = WeightComputer {
@@ -385,8 +389,8 @@ mod tests {
         for r in 0..ranges {
             for c in 0..channels {
                 let cur = cube.get(0, 1, c, r);
-                *cube.get_mut(0, 1, c, r) = cur
-                    + C32::cis(2.0 * std::f32::consts::PI * jam_freq * c as f32).scale(30.0);
+                *cube.get_mut(0, 1, c, r) =
+                    cur + C32::cis(2.0 * std::f32::consts::PI * jam_freq * c as f32).scale(30.0);
             }
         }
         for method in [
@@ -407,10 +411,7 @@ mod tests {
             let look: Vec<C64> = (0..channels).map(|_| C64::one()).collect();
             let g_jam = dot_h(&w64, &jam).abs();
             let g_look = dot_h(&w64, &look).abs();
-            assert!(
-                g_jam < 0.05 * g_look,
-                "{method:?}: jammer gain {g_jam} vs look {g_look}"
-            );
+            assert!(g_jam < 0.05 * g_look, "{method:?}: jammer gain {g_jam} vs look {g_look}");
             // Unit gain in the look direction (distortionless).
             assert!((g_look - 1.0).abs() < 1e-3, "{method:?}: look gain {g_look}");
         }

@@ -26,7 +26,10 @@ impl<T: Scalar> CholeskyFactor<T> {
     pub fn new(a: &CMat<T>) -> Result<Self, MathError> {
         let n = a.rows();
         if a.cols() != n {
-            return Err(MathError::DimensionMismatch { got: (a.rows(), a.cols()), expected: (n, n) });
+            return Err(MathError::DimensionMismatch {
+                got: (a.rows(), a.cols()),
+                expected: (n, n),
+            });
         }
         let mut l = CMat::zeros(n, n);
         for j in 0..n {
@@ -162,19 +165,13 @@ mod tests {
     fn indefinite_matrix_is_rejected() {
         let mut a = CMat::<f64>::identity(3);
         a[(2, 2)] = C64::from_re(-1.0);
-        assert_eq!(
-            CholeskyFactor::new(&a).unwrap_err(),
-            MathError::NotPositiveDefinite(2)
-        );
+        assert_eq!(CholeskyFactor::new(&a).unwrap_err(), MathError::NotPositiveDefinite(2));
     }
 
     #[test]
     fn non_square_is_rejected() {
         let a = CMat::<f64>::zeros(2, 3);
-        assert!(matches!(
-            CholeskyFactor::new(&a),
-            Err(MathError::DimensionMismatch { .. })
-        ));
+        assert!(matches!(CholeskyFactor::new(&a), Err(MathError::DimensionMismatch { .. })));
     }
 
     #[test]

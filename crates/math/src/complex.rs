@@ -112,10 +112,7 @@ impl<T: Scalar> Complex<T> {
     /// keep everything in registers in the hot beamforming loops.
     #[inline]
     pub fn mul_add(self, a: Self, b: Self) -> Self {
-        Self::new(
-            self.re + a.re * b.re - a.im * b.im,
-            self.im + a.re * b.im + a.im * b.re,
-        )
+        Self::new(self.re + a.re * b.re - a.im * b.im, self.im + a.re * b.im + a.im * b.re)
     }
 
     /// True if both parts are finite.
@@ -151,10 +148,7 @@ impl<T: Scalar> Mul for Complex<T> {
     type Output = Self;
     #[inline]
     fn mul(self, rhs: Self) -> Self {
-        Self::new(
-            self.re * rhs.re - self.im * rhs.im,
-            self.re * rhs.im + self.im * rhs.re,
-        )
+        Self::new(self.re * rhs.re - self.im * rhs.im, self.re * rhs.im + self.im * rhs.re)
     }
 }
 

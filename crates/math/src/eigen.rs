@@ -30,7 +30,10 @@ impl<T: Scalar> Eigh<T> {
     pub fn new(a: &CMat<T>) -> Result<Self, MathError> {
         let n = a.rows();
         if a.cols() != n {
-            return Err(MathError::DimensionMismatch { got: (a.rows(), a.cols()), expected: (n, n) });
+            return Err(MathError::DimensionMismatch {
+                got: (a.rows(), a.cols()),
+                expected: (n, n),
+            });
         }
         let mut m = a.clone();
         let mut v = CMat::<T>::identity(n);

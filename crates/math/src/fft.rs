@@ -205,9 +205,8 @@ mod tests {
     fn round_trip_is_identity() {
         let n = 64;
         let plan = FftPlan::<f64>::new(n);
-        let input: Vec<C64> = (0..n)
-            .map(|i| C64::new((i as f64).sin(), (i as f64 * 2.0).cos()))
-            .collect();
+        let input: Vec<C64> =
+            (0..n).map(|i| C64::new((i as f64).sin(), (i as f64 * 2.0).cos())).collect();
         let mut buf = input.clone();
         plan.forward(&mut buf);
         plan.inverse(&mut buf);
@@ -218,9 +217,8 @@ mod tests {
     fn parseval_energy_is_preserved() {
         let n = 128;
         let plan = FftPlan::<f64>::new(n);
-        let input: Vec<C64> = (0..n)
-            .map(|i| C64::new((0.3 * i as f64).cos(), (0.9 * i as f64).sin()))
-            .collect();
+        let input: Vec<C64> =
+            (0..n).map(|i| C64::new((0.3 * i as f64).cos(), (0.9 * i as f64).sin())).collect();
         let time_energy: f64 = input.iter().map(|z| z.norm_sqr()).sum();
         let mut buf = input.clone();
         plan.forward(&mut buf);
@@ -285,17 +283,12 @@ mod tests {
         use crate::complex::C32;
         let n = 256;
         let plan = FftPlan::<f32>::new(n);
-        let input: Vec<C32> = (0..n)
-            .map(|i| C32::new((0.05 * i as f32).sin(), (0.02 * i as f32).cos()))
-            .collect();
+        let input: Vec<C32> =
+            (0..n).map(|i| C32::new((0.05 * i as f32).sin(), (0.02 * i as f32).cos())).collect();
         let mut buf = input.clone();
         plan.forward(&mut buf);
         plan.inverse(&mut buf);
-        let err = buf
-            .iter()
-            .zip(&input)
-            .map(|(a, b)| (*a - *b).abs())
-            .fold(0.0f32, f32::max);
+        let err = buf.iter().zip(&input).map(|(a, b)| (*a - *b).abs()).fold(0.0f32, f32::max);
         assert!(err < 1e-4, "err={err}");
     }
 }

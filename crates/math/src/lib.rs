@@ -50,8 +50,8 @@ pub mod stats;
 pub mod window;
 
 pub use cholesky::CholeskyFactor;
-pub use eigen::Eigh;
 pub use complex::{Complex, C32, C64};
+pub use eigen::Eigh;
 pub use fft::FftPlan;
 pub use matrix::CMat;
 pub use qr::QrFactor;

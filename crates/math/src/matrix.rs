@@ -29,7 +29,11 @@ impl<T: Scalar> CMat<T> {
     }
 
     /// Builds a matrix from a generator function over `(row, col)`.
-    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> Complex<T>) -> Self {
+    pub fn from_fn(
+        rows: usize,
+        cols: usize,
+        mut f: impl FnMut(usize, usize) -> Complex<T>,
+    ) -> Self {
         let mut data = Vec::with_capacity(rows * cols);
         for r in 0..rows {
             for c in 0..cols {
@@ -190,12 +194,7 @@ impl<T: Scalar> CMat<T> {
                 expected: (self.rows, self.cols),
             });
         }
-        let data = self
-            .data
-            .iter()
-            .zip(rhs.data.iter())
-            .map(|(&a, &b)| a + b)
-            .collect();
+        let data = self.data.iter().zip(rhs.data.iter()).map(|(&a, &b)| a + b).collect();
         Ok(Self { rows: self.rows, cols: self.cols, data })
     }
 

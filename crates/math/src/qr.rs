@@ -43,11 +43,7 @@ impl<T: Scalar> QrFactor<T> {
             let akk = qr[(k, k)];
             // alpha = -e^{i·arg(akk)}·‖x‖ keeps v_k = akk - alpha well away
             // from cancellation.
-            let phase = if akk.abs() <= T::EPSILON {
-                Complex::one()
-            } else {
-                akk / akk.abs()
-            };
+            let phase = if akk.abs() <= T::EPSILON { Complex::one() } else { akk / akk.abs() };
             let alpha = -(phase.scale(norm));
             let v0 = akk - alpha;
             // v = [v0, x_{k+1..m}]; H = I - 2 v vᴴ / ‖v‖².

@@ -38,13 +38,10 @@ pub fn variance(xs: &[f64]) -> f64 {
 
 /// Index and value of the maximum element; `None` for empty input.
 pub fn argmax(xs: &[f64]) -> Option<(usize, f64)> {
-    xs.iter()
-        .copied()
-        .enumerate()
-        .fold(None, |best, (i, v)| match best {
-            Some((_, bv)) if bv >= v => best,
-            _ => Some((i, v)),
-        })
+    xs.iter().copied().enumerate().fold(None, |best, (i, v)| match best {
+        Some((_, bv)) if bv >= v => best,
+        _ => Some((i, v)),
+    })
 }
 
 /// Mean power `E[|z|²]` of a complex sequence.

@@ -96,18 +96,10 @@ mod tests {
 
     #[test]
     fn windows_are_symmetric() {
-        for win in [
-            Window::Hann,
-            Window::Hamming,
-            Window::Blackman,
-            Window::Kaiser(6.0),
-        ] {
+        for win in [Window::Hann, Window::Hamming, Window::Blackman, Window::Kaiser(6.0)] {
             let w: Vec<f64> = win.coefficients(33);
             for i in 0..w.len() {
-                assert!(
-                    (w[i] - w[w.len() - 1 - i]).abs() < 1e-12,
-                    "{win:?} not symmetric at {i}"
-                );
+                assert!((w[i] - w[w.len() - 1 - i]).abs() < 1e-12, "{win:?} not symmetric at {i}");
             }
         }
     }

@@ -23,10 +23,7 @@ pub struct TaskTime {
 /// # Panics
 /// Panics on an empty task list.
 pub fn throughput(times: &[TaskTime]) -> f64 {
-    let tmax = times
-        .iter()
-        .map(|t| t.time)
-        .fold(f64::NEG_INFINITY, f64::max);
+    let tmax = times.iter().map(|t| t.time).fold(f64::NEG_INFINITY, f64::max);
     assert!(tmax.is_finite() && tmax > 0.0, "need positive task times");
     1.0 / tmax
 }
@@ -73,7 +70,15 @@ mod tests {
         TaskTime { task, time }
     }
 
-    fn seven(doppler: f64, ew: f64, hw: f64, ebf: f64, hbf: f64, pc: f64, cf: f64) -> Vec<TaskTime> {
+    fn seven(
+        doppler: f64,
+        ew: f64,
+        hw: f64,
+        ebf: f64,
+        hbf: f64,
+        pc: f64,
+        cf: f64,
+    ) -> Vec<TaskTime> {
         vec![
             tt(TaskId::Doppler, doppler),
             tt(TaskId::EasyWeight, ew),

@@ -3,9 +3,17 @@
 //! The paper assigns each task `P_i` nodes and "each task i is parallelized
 //! by evenly partitioning its work load among P_i compute nodes"; the case
 //! tables keep the per-task proportions fixed while doubling the total. We
-//! allocate proportionally to the analytic task workloads (largest-
-//! remainder method, minimum one node per task), which balances the
-//! per-task times and therefore maximizes throughput for a given total.
+//! allocate proportionally to the analytic task workloads with a greedy
+//! divisor method: every task gets one node, then each further node goes to
+//! the task with the highest priority `W_i / P_i^1.1`. The slightly
+//! superlinear divisor hands the small latency-path tasks (beamforming,
+//! pulse compression, CFAR) their second and third nodes a little earlier
+//! than pure water-filling would, matching the paper's hand-built
+//! configurations, while staying near-proportional at large counts. Unlike
+//! the largest-remainder method the greedy construction is *house-monotone*:
+//! growing the total never takes a node away from any task (largest
+//! remainder exhibits the Alabama paradox, which broke incremental
+//! machine-scaling scenarios).
 
 use crate::workload::{StapWorkload, TaskId};
 
@@ -30,11 +38,20 @@ impl Assignment {
     }
 }
 
+/// Divisor exponent for the greedy allocation priority `W_i / P_i^SPREAD`.
+///
+/// `1.0` is plain water-filling (minimize the bottleneck `W_i / P_i`);
+/// slightly above one spreads nodes toward the low-count tail tasks on the
+/// latency path, which is what the paper's configurations do.
+const SPREAD: f64 = 1.1;
+
 /// Allocates `total` nodes over `tasks` proportionally to their workloads.
 ///
-/// Every task receives at least one node; the remainder after the floor
-/// allocation goes to the tasks with the largest fractional parts
-/// (ties broken by pipeline order for determinism).
+/// Every task receives one node up front; each remaining node goes to the
+/// task with the highest priority `W_i / P_i^1.1` (ties broken by pipeline
+/// order for determinism). The greedy construction makes the allocation
+/// monotone in `total`: the assignment for `total + 1` is the assignment
+/// for `total` plus one node, so no task ever shrinks as the machine grows.
 ///
 /// # Panics
 /// Panics when `total < tasks.len()` or `tasks` is empty.
@@ -46,24 +63,18 @@ pub fn assign_nodes(w: &StapWorkload, tasks: &[TaskId], total: usize) -> Assignm
         tasks.len()
     );
     let weights: Vec<f64> = tasks.iter().map(|&t| w.flops(t).max(1.0)).collect();
-    let wsum: f64 = weights.iter().sum();
-    // Ideal shares with the 1-node floor reserved.
-    let spare = (total - tasks.len()) as f64;
-    let ideal: Vec<f64> = weights.iter().map(|wi| 1.0 + spare * wi / wsum).collect();
-    let mut nodes: Vec<usize> = ideal.iter().map(|&x| x.floor() as usize).collect();
-    let mut used: usize = nodes.iter().sum();
-    // Largest remainder.
-    let mut rema: Vec<(usize, f64)> = ideal
-        .iter()
-        .enumerate()
-        .map(|(i, &x)| (i, x - x.floor()))
-        .collect();
-    rema.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
-    let mut k = 0;
-    while used < total {
-        nodes[rema[k % rema.len()].0] += 1;
-        used += 1;
-        k += 1;
+    let mut nodes = vec![1usize; tasks.len()];
+    for _ in tasks.len()..total {
+        let mut best = 0usize;
+        let mut best_load = f64::NEG_INFINITY;
+        for (i, (&wi, &ni)) in weights.iter().zip(&nodes).enumerate() {
+            let load = wi / (ni as f64).powf(SPREAD);
+            if load > best_load {
+                best = i;
+                best_load = load;
+            }
+        }
+        nodes[best] += 1;
     }
     Assignment { tasks: tasks.to_vec(), nodes }
 }
@@ -100,12 +111,8 @@ mod tests {
         let a = assign_nodes(&w, &TaskId::SEVEN, 100);
         // T_i ∝ W_i / P_i should vary by at most ~3× across tasks (small
         // tasks pinned at 1-2 nodes may deviate).
-        let times: Vec<f64> = a
-            .tasks
-            .iter()
-            .zip(&a.nodes)
-            .map(|(&t, &p)| w.flops(t) / p as f64)
-            .collect();
+        let times: Vec<f64> =
+            a.tasks.iter().zip(&a.nodes).map(|(&t, &p)| w.flops(t) / p as f64).collect();
         let tmax = times.iter().cloned().fold(0.0, f64::max);
         let tmin = times.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(tmax / tmin < 4.0, "imbalance {tmax}/{tmin}");
@@ -135,10 +142,7 @@ mod tests {
     #[test]
     fn determinism() {
         let w = w();
-        assert_eq!(
-            assign_nodes(&w, &TaskId::SEVEN, 37),
-            assign_nodes(&w, &TaskId::SEVEN, 37)
-        );
+        assert_eq!(assign_nodes(&w, &TaskId::SEVEN, 37), assign_nodes(&w, &TaskId::SEVEN, 37));
     }
 
     #[test]

@@ -44,6 +44,6 @@ pub mod workload;
 pub use analytic::{latency, throughput};
 pub use assignment::assign_nodes;
 pub use machines::MachineModel;
-pub use prediction::{predict, PipelinePrediction, PredictStructure};
+pub use prediction::{predict, predict_with_assignment, PipelinePrediction, PredictStructure};
 pub use tasktime::{task_time, TaskCosts};
 pub use workload::{ShapeParams, StapWorkload, TaskId};

@@ -8,7 +8,7 @@
 //! `stap-core`).
 
 use crate::analytic::{latency, throughput, TaskTime};
-use crate::assignment::{assign_nodes, SEPARATE_IO_NODES};
+use crate::assignment::{assign_nodes, Assignment, SEPARATE_IO_NODES};
 use crate::machines::MachineModel;
 use crate::tasktime::{combined_task_time, comm_time, task_time};
 use crate::workload::{ShapeParams, StapWorkload, TaskId};
@@ -48,7 +48,8 @@ pub fn steady_read_time(m: &MachineModel, shape: ShapeParams) -> f64 {
     sim.submit_extent(0.0, layout, 0, shape.cube_bytes(), m.open_mode)
 }
 
-/// Predicts throughput and latency for the given structure and node count.
+/// Predicts throughput and latency for the given structure and node count,
+/// assigning nodes with the proportional heuristic ([`assign_nodes`]).
 pub fn predict(
     m: &MachineModel,
     shape: ShapeParams,
@@ -57,6 +58,25 @@ pub fn predict(
 ) -> PipelinePrediction {
     let w = StapWorkload::derive(shape);
     let a = assign_nodes(&w, &TaskId::SEVEN, compute_nodes);
+    predict_with_assignment(m, shape, structure, &a)
+}
+
+/// Predicts throughput and latency for the given structure under an explicit
+/// node assignment — the entry point used by the planner, which searches
+/// assignments instead of taking the proportional heuristic.
+///
+/// `a` must assign every one of [`TaskId::SEVEN`]; for a combined tail the
+/// PC and CFAR entries together give the merged task `P_5 + P_6` nodes.
+///
+/// # Panics
+/// Panics if any of the seven compute tasks is missing from `a`.
+pub fn predict_with_assignment(
+    m: &MachineModel,
+    shape: ShapeParams,
+    structure: PredictStructure,
+    a: &Assignment,
+) -> PipelinePrediction {
+    let w = StapWorkload::derive(shape);
     let p = |t: TaskId| a.nodes_for(t).expect("assigned");
     let read_time = steady_read_time(m, shape);
     let df_nodes = p(TaskId::Doppler);
@@ -94,8 +114,11 @@ pub fn predict(
 
     // Middle tasks.
     let tail_pred = p(TaskId::EasyBeamform) + p(TaskId::HardBeamform);
-    let tail_first =
-        if structure.combined_tail { p(TaskId::PulseCompression) + p(TaskId::Cfar) } else { p(TaskId::PulseCompression) };
+    let tail_first = if structure.combined_tail {
+        p(TaskId::PulseCompression) + p(TaskId::Cfar)
+    } else {
+        p(TaskId::PulseCompression)
+    };
     for (t, pred, succ) in [
         (TaskId::EasyWeight, df_nodes, p(TaskId::EasyBeamform)),
         (TaskId::HardWeight, df_nodes, p(TaskId::HardBeamform)),
@@ -121,12 +144,20 @@ pub fn predict(
     } else {
         times.push(TaskTime {
             task: TaskId::PulseCompression,
-            time: task_time(m, &w, TaskId::PulseCompression, p(TaskId::PulseCompression), tail_pred, p(TaskId::Cfar))
-                .total(),
+            time: task_time(
+                m,
+                &w,
+                TaskId::PulseCompression,
+                p(TaskId::PulseCompression),
+                tail_pred,
+                p(TaskId::Cfar),
+            )
+            .total(),
         });
         times.push(TaskTime {
             task: TaskId::Cfar,
-            time: task_time(m, &w, TaskId::Cfar, p(TaskId::Cfar), p(TaskId::PulseCompression), 1).total(),
+            time: task_time(m, &w, TaskId::Cfar, p(TaskId::Cfar), p(TaskId::PulseCompression), 1)
+                .total(),
         });
     }
 
@@ -170,12 +201,8 @@ mod tests {
         let m = MachineModel::paragon(64);
         let shape = ShapeParams::paper_default();
         let emb = predict(&m, shape, SPLIT_EMBEDDED, 50);
-        let sep = predict(
-            &m,
-            shape,
-            PredictStructure { separate_io: true, combined_tail: false },
-            50,
-        );
+        let sep =
+            predict(&m, shape, PredictStructure { separate_io: true, combined_tail: false }, 50);
         assert!(sep.latency > emb.latency);
         assert_eq!(sep.task_times.len(), 8);
         assert_eq!(emb.task_times.len(), 7);
@@ -186,12 +213,8 @@ mod tests {
         let m = MachineModel::sp();
         let shape = ShapeParams::paper_default();
         let split = predict(&m, shape, SPLIT_EMBEDDED, 50);
-        let comb = predict(
-            &m,
-            shape,
-            PredictStructure { separate_io: false, combined_tail: true },
-            50,
-        );
+        let comb =
+            predict(&m, shape, PredictStructure { separate_io: false, combined_tail: true }, 50);
         assert!(comb.latency < split.latency);
         assert!(comb.throughput >= split.throughput * 0.999);
         assert_eq!(comb.task_times.len(), 6);

@@ -84,10 +84,7 @@ mod tests {
     use crate::workload::ShapeParams;
 
     fn setup() -> (MachineModel, StapWorkload) {
-        (
-            MachineModel::paragon(64),
-            StapWorkload::derive(ShapeParams::paper_default()),
-        )
+        (MachineModel::paragon(64), StapWorkload::derive(ShapeParams::paper_default()))
     }
 
     #[test]

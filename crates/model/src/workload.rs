@@ -162,8 +162,10 @@ impl StapWorkload {
 
         // Weights: covariance accumulation (8·dof² per snapshot) + Cholesky
         // (8/3·dof³) + per-beam solve (2 triangular solves ≈ 8·dof² each).
-        let w_ew = eb as f64 * (8.0 * de * de * k + 8.0 / 3.0 * de.powi(3) + beams * 16.0 * de * de);
-        let w_hw = hb as f64 * (8.0 * dh * dh * k + 8.0 / 3.0 * dh.powi(3) + beams * 16.0 * dh * dh);
+        let w_ew =
+            eb as f64 * (8.0 * de * de * k + 8.0 / 3.0 * de.powi(3) + beams * 16.0 * de * de);
+        let w_hw =
+            hb as f64 * (8.0 * dh * dh * k + 8.0 / 3.0 * dh.powi(3) + beams * 16.0 * dh * dh);
 
         // Beamforming: one dof-length dot product per (bin, range, beam).
         let w_ebf = eb as f64 * shape.ranges as f64 * beams * 8.0 * de;
@@ -320,10 +322,8 @@ mod tests {
 
     #[test]
     fn workload_scales_with_geometry() {
-        let small = StapWorkload::derive(ShapeParams {
-            ranges: 256,
-            ..ShapeParams::paper_default()
-        });
+        let small =
+            StapWorkload::derive(ShapeParams { ranges: 256, ..ShapeParams::paper_default() });
         let big = StapWorkload::derive(ShapeParams::paper_default());
         assert!(big.flops(TaskId::Doppler) > 1.9 * small.flops(TaskId::Doppler));
         assert!(big.flops(TaskId::EasyBeamform) > 1.9 * small.flops(TaskId::EasyBeamform));

@@ -54,10 +54,7 @@ impl ReadHandle {
 
 impl std::fmt::Debug for ReadHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ReadHandle")
-            .field("offset", &self.offset)
-            .field("len", &self.len)
-            .finish()
+        f.debug_struct("ReadHandle").field("offset", &self.offset).field("len", &self.len).finish()
     }
 }
 
@@ -98,10 +95,7 @@ impl WriteHandle {
 
 impl std::fmt::Debug for WriteHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("WriteHandle")
-            .field("offset", &self.offset)
-            .field("len", &self.len)
-            .finish()
+        f.debug_struct("WriteHandle").field("offset", &self.offset).field("len", &self.len).finish()
     }
 }
 
@@ -224,10 +218,7 @@ mod tests {
     fn async_write_rejected_on_piofs() {
         let fs = Pfs::mount(FsConfig::piofs());
         let f = fs.gopen("w", OpenMode::Unix);
-        assert_eq!(
-            f.write_at_async(0, vec![1]).unwrap_err(),
-            PfsError::AsyncUnsupported
-        );
+        assert_eq!(f.write_at_async(0, vec![1]).unwrap_err(), PfsError::AsyncUnsupported);
     }
 
     #[test]
@@ -254,8 +245,7 @@ mod tests {
         let f = fs.gopen("a", OpenMode::Async);
         let data: Vec<u8> = (0..128).map(|i| (i % 251) as u8).collect();
         f.write_at(0, &data);
-        let handles: Vec<_> =
-            (0..16).map(|k| f.read_at_async(k * 8, 8).unwrap()).collect();
+        let handles: Vec<_> = (0..16).map(|k| f.read_at_async(k * 8, 8).unwrap()).collect();
         for (k, h) in handles.into_iter().enumerate() {
             assert_eq!(h.wait().unwrap(), data[k * 8..k * 8 + 8].to_vec());
         }

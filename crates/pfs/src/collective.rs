@@ -194,10 +194,7 @@ mod tests {
         let empty = vec![ClientRequests::default(), ClientRequests::default()];
         assert_eq!(two_phase_read(&f, &empty).unwrap(), vec![Vec::<u8>::new(); 2]);
         let single = vec![ClientRequests { extents: vec![(100, 50)] }];
-        assert_eq!(
-            two_phase_read(&f, &single).unwrap()[0],
-            f.read_at(100, 50).unwrap()
-        );
+        assert_eq!(two_phase_read(&f, &single).unwrap()[0], f.read_at(100, 50).unwrap());
     }
 
     #[test]
@@ -211,10 +208,7 @@ mod tests {
         };
         let reqs = strided_requests(8, 512, 512);
         let (naive, two_phase) = modeled_costs(&cfg, &reqs, OpenMode::Async);
-        assert!(
-            two_phase < 0.5 * naive,
-            "two-phase {two_phase} should beat naive {naive}"
-        );
+        assert!(two_phase < 0.5 * naive, "two-phase {two_phase} should beat naive {naive}");
     }
 
     #[test]

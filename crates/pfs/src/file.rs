@@ -45,9 +45,8 @@ impl Pfs {
     /// Mounts a fresh file system with the given configuration.
     pub fn mount(config: FsConfig) -> Self {
         let layout = StripeLayout::new(config.stripe_unit, config.stripe_factor);
-        let servers = (0..config.stripe_factor)
-            .map(|_| StripeServer::new(config.stripe_unit))
-            .collect();
+        let servers =
+            (0..config.stripe_factor).map(|_| StripeServer::new(config.stripe_unit)).collect();
         Self {
             inner: Arc::new(Inner {
                 config,
@@ -88,10 +87,8 @@ impl Pfs {
     /// Opens an existing file; errors when absent.
     pub fn open(&self, name: &str, mode: OpenMode) -> Result<FileHandle, PfsError> {
         let names = self.inner.names.read();
-        let meta = names
-            .get(name)
-            .cloned()
-            .ok_or_else(|| PfsError::NoSuchFile(name.to_string()))?;
+        let meta =
+            names.get(name).cloned().ok_or_else(|| PfsError::NoSuchFile(name.to_string()))?;
         Ok(FileHandle { fs: self.clone(), meta, mode, name: name.to_string() })
     }
 
@@ -141,9 +138,7 @@ impl Pfs {
 
     fn set_fault(&self, name: &str, value: bool) -> Result<(), PfsError> {
         let names = self.inner.names.read();
-        let meta = names
-            .get(name)
-            .ok_or_else(|| PfsError::NoSuchFile(name.to_string()))?;
+        let meta = names.get(name).ok_or_else(|| PfsError::NoSuchFile(name.to_string()))?;
         meta.faulted.store(value, Ordering::SeqCst);
         Ok(())
     }

@@ -98,9 +98,18 @@ mod tests {
         let l = StripeLayout::new(100, 3);
         let reqs = l.map_extent(250, 200); // covers units 2,3,4 partially
         assert_eq!(reqs.len(), 3);
-        assert_eq!(reqs[0], StripeRequest { server: 2, unit: 2, offset_in_unit: 50, len: 50, file_offset: 250 });
-        assert_eq!(reqs[1], StripeRequest { server: 0, unit: 3, offset_in_unit: 0, len: 100, file_offset: 300 });
-        assert_eq!(reqs[2], StripeRequest { server: 1, unit: 4, offset_in_unit: 0, len: 50, file_offset: 400 });
+        assert_eq!(
+            reqs[0],
+            StripeRequest { server: 2, unit: 2, offset_in_unit: 50, len: 50, file_offset: 250 }
+        );
+        assert_eq!(
+            reqs[1],
+            StripeRequest { server: 0, unit: 3, offset_in_unit: 0, len: 100, file_offset: 300 }
+        );
+        assert_eq!(
+            reqs[2],
+            StripeRequest { server: 1, unit: 4, offset_in_unit: 0, len: 50, file_offset: 400 }
+        );
     }
 
     #[test]

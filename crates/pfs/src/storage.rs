@@ -67,9 +67,7 @@ impl StripeServer {
             "write crosses a stripe unit boundary"
         );
         let mut blocks = self.blocks.lock();
-        let block = blocks
-            .entry((file, unit))
-            .or_insert_with(|| vec![0u8; self.stripe_unit]);
+        let block = blocks.entry((file, unit)).or_insert_with(|| vec![0u8; self.stripe_unit]);
         block[offset_in_unit..offset_in_unit + data.len()].copy_from_slice(data);
         self.bytes_written.fetch_add(data.len() as u64, Ordering::Relaxed);
         self.write_requests.fetch_add(1, Ordering::Relaxed);

@@ -97,19 +97,13 @@ impl ServerQueueSim {
 /// Completion time of `readers` clients concurrently reading disjoint
 /// extents (posted at `t=0`) — the paper's parallel read of one CPI file by
 /// all first-task nodes. Returns the time the slowest client finishes.
-pub fn parallel_read_completion(
-    cfg: &FsConfig,
-    extents: &[(u64, usize)],
-    mode: OpenMode,
-) -> f64 {
+pub fn parallel_read_completion(cfg: &FsConfig, extents: &[(u64, usize)], mode: OpenMode) -> f64 {
     let layout = StripeLayout::new(cfg.stripe_unit, cfg.stripe_factor);
     let mut sim = ServerQueueSim::new(cfg);
     // Interleave all clients' stripe-unit requests in file-offset order —
     // the fair round-robin service the stripe directories actually provide.
-    let mut reqs: Vec<_> = extents
-        .iter()
-        .flat_map(|&(off, len)| layout.map_extent(off, len))
-        .collect();
+    let mut reqs: Vec<_> =
+        extents.iter().flat_map(|&(off, len)| layout.map_extent(off, len)).collect();
     reqs.sort_by_key(|r| r.file_offset);
     let mut done = 0.0f64;
     for r in reqs {
@@ -172,13 +166,7 @@ mod tests {
     fn extent_fans_out_across_servers() {
         let mut sim = ServerQueueSim::new(&cfg(4));
         // 4 units over 4 servers: all parallel → one service time.
-        let done = sim.submit_extent(
-            0.0,
-            StripeLayout::new(1000, 4),
-            0,
-            4000,
-            OpenMode::Async,
-        );
+        let done = sim.submit_extent(0.0, StripeLayout::new(1000, 4), 0, 4000, OpenMode::Async);
         assert!((done - 0.002).abs() < 1e-12);
         assert_eq!(sim.served_counts(), &[1, 1, 1, 1]);
     }
@@ -197,8 +185,7 @@ mod tests {
         // Splitting the file among 4 readers does not change the aggregate
         // server work, so the completion time is identical.
         let whole = parallel_read_completion(&cfg(4), &[(0, 32_000)], OpenMode::Async);
-        let quarters: Vec<(u64, usize)> =
-            (0..4).map(|k| (k as u64 * 8000, 8000)).collect();
+        let quarters: Vec<(u64, usize)> = (0..4).map(|k| (k as u64 * 8000, 8000)).collect();
         let split = parallel_read_completion(&cfg(4), &quarters, OpenMode::Async);
         assert!((whole - split).abs() < 1e-9);
     }
@@ -222,8 +209,7 @@ mod tests {
             parallel_read_completion(&FsConfig::paragon_pfs(16), &[(0, file)], OpenMode::Async);
         let t64 =
             parallel_read_completion(&FsConfig::paragon_pfs(64), &[(0, file)], OpenMode::Async);
-        let tpiofs =
-            parallel_read_completion(&FsConfig::piofs(), &[(0, file)], OpenMode::Unix);
+        let tpiofs = parallel_read_completion(&FsConfig::piofs(), &[(0, file)], OpenMode::Unix);
         // sf=16 must be ≈4× slower than sf=64 and slow enough to bottleneck
         // the 100-node pipeline but not the 50-node one.
         assert!(t16 > 0.15 && t16 < 0.25, "t16={t16}");

@@ -27,11 +27,7 @@ impl Pipeline {
     /// # Panics
     /// Panics when the factory count differs from the stage count.
     pub fn new(topology: Topology, factories: Vec<StageFactory>) -> Self {
-        assert_eq!(
-            factories.len(),
-            topology.stage_count(),
-            "one factory per stage required"
-        );
+        assert_eq!(factories.len(), topology.stage_count(), "one factory per stage required");
         Self { topology, factories }
     }
 
@@ -52,22 +48,15 @@ impl Pipeline {
 
         let results: Vec<Result<Vec<crate::timing::CpiRecord>, PipelineError>> =
             spawn_world(topology.total_nodes(), move |mut ep| {
-                let (stage, local) = topology
-                    .locate(ep.rank())
-                    .expect("every rank belongs to a stage");
+                let (stage, local) =
+                    topology.locate(ep.rank()).expect("every rank belongs to a stage");
                 let mut behavior = factories[stage.0](local);
                 let mut clock = PhaseClock::new(epoch);
                 let mut outcome = Ok(());
                 for cpi in 0..cpis {
                     clock.start_cpi(cpi);
-                    let mut ctx = StageCtx {
-                        ep: &mut ep,
-                        topology,
-                        stage,
-                        local,
-                        cpi,
-                        clock: &mut clock,
-                    };
+                    let mut ctx =
+                        StageCtx { ep: &mut ep, topology, stage, local, cpi, clock: &mut clock };
                     outcome = behavior.run_cpi(&mut ctx);
                     clock.end_cpi();
                     if outcome.is_err() {
@@ -104,11 +93,7 @@ impl Pipeline {
             PipelineError::Comm(c) if *c != stap_comm::CommError::Aborted => 1,
             PipelineError::Comm(_) => 2,
         };
-        if let Some(err) = results
-            .iter()
-            .filter_map(|r| r.as_ref().err())
-            .min_by_key(|e| rank(e))
-        {
+        if let Some(err) = results.iter().filter_map(|r| r.as_ref().err()).min_by_key(|e| rank(e)) {
             return Err(err.clone());
         }
         let mut per_node = Vec::with_capacity(results.len());
@@ -197,11 +182,8 @@ mod tests {
     fn stage_error_propagates() {
         let mut t = Topology::new();
         let _ = t.add_stage("solo", 1);
-        let f: StageFactory = Box::new(|_| {
-            Box::new(|ctx: &mut StageCtx<'_>| {
-                Err(ctx.fail("deliberate"))
-            })
-        });
+        let f: StageFactory =
+            Box::new(|_| Box::new(|ctx: &mut StageCtx<'_>| Err(ctx.fail("deliberate"))));
         let p = Pipeline::new(t, vec![f]);
         let err = p.run(1, 0).unwrap_err();
         assert!(matches!(err, PipelineError::Stage { .. }));

@@ -50,8 +50,7 @@ mod tests {
 
     #[test]
     fn round_robin_is_balanced() {
-        let counts: Vec<usize> =
-            (0..4).map(|l| round_robin_items(10, 4, l).len()).collect();
+        let counts: Vec<usize> = (0..4).map(|l| round_robin_items(10, 4, l).len()).collect();
         assert_eq!(counts, vec![3, 3, 2, 2]);
     }
 

@@ -326,8 +326,7 @@ mod tests {
         t.add_edge(a, b);
         // Source starts CPI k at t=k, sink finishes it at t=k+0.5.
         let src: Vec<CpiRecord> = (0..4).map(|k| rec(k, k as f64, k as f64 + 0.2)).collect();
-        let snk: Vec<CpiRecord> =
-            (0..4).map(|k| rec(k, k as f64 + 0.3, k as f64 + 0.5)).collect();
+        let snk: Vec<CpiRecord> = (0..4).map(|k| rec(k, k as f64 + 0.3, k as f64 + 0.5)).collect();
         PipelineReport::new(&t, vec![src, snk], 4, 1)
     }
 
@@ -352,9 +351,8 @@ mod tests {
         t.add_edge(a, b);
         // Latencies 0.1, 0.2, 0.3, 0.4 over four CPIs (no warmup).
         let src: Vec<CpiRecord> = (0..4).map(|k| rec(k, k as f64, k as f64 + 0.05)).collect();
-        let snk: Vec<CpiRecord> = (0..4)
-            .map(|k| rec(k, k as f64, k as f64 + 0.1 * (k as f64 + 1.0)))
-            .collect();
+        let snk: Vec<CpiRecord> =
+            (0..4).map(|k| rec(k, k as f64, k as f64 + 0.1 * (k as f64 + 1.0))).collect();
         let r = PipelineReport::new(&t, vec![src, snk], 4, 0);
         let mean = r.latency(StageId(0), StageId(1));
         let p0 = r.latency_percentile(StageId(0), StageId(1), 0.0);

@@ -112,20 +112,12 @@ impl Topology {
 
     /// Spatial predecessors of a stage.
     pub fn spatial_preds(&self, id: StageId) -> Vec<StageId> {
-        self.edges
-            .iter()
-            .filter(|e| e.to == id && !e.temporal)
-            .map(|e| e.from)
-            .collect()
+        self.edges.iter().filter(|e| e.to == id && !e.temporal).map(|e| e.from).collect()
     }
 
     /// Spatial successors of a stage.
     pub fn spatial_succs(&self, id: StageId) -> Vec<StageId> {
-        self.edges
-            .iter()
-            .filter(|e| e.from == id && !e.temporal)
-            .map(|e| e.to)
-            .collect()
+        self.edges.iter().filter(|e| e.from == id && !e.temporal).map(|e| e.to).collect()
     }
 
     /// All predecessors (spatial + temporal).
@@ -140,18 +132,12 @@ impl Topology {
 
     /// Stages with no spatial predecessor (the pipeline sources).
     pub fn sources(&self) -> Vec<StageId> {
-        (0..self.stages.len())
-            .map(StageId)
-            .filter(|&s| self.spatial_preds(s).is_empty())
-            .collect()
+        (0..self.stages.len()).map(StageId).filter(|&s| self.spatial_preds(s).is_empty()).collect()
     }
 
     /// Stages with no spatial successor (the pipeline sinks).
     pub fn sinks(&self) -> Vec<StageId> {
-        (0..self.stages.len())
-            .map(StageId)
-            .filter(|&s| self.spatial_succs(s).is_empty())
-            .collect()
+        (0..self.stages.len()).map(StageId).filter(|&s| self.spatial_succs(s).is_empty()).collect()
     }
 
     /// Validates the graph: edges in range, spatial graph acyclic, at least

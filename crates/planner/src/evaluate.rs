@@ -1,0 +1,311 @@
+//! The two-stage evaluator and the planner driver.
+//!
+//! Stage 1 scores every DP candidate (plus the seed proportional heuristic,
+//! always injected so the planner can never regress below the repo's prior
+//! behavior) with the exact closed-form model (`stap_model::prediction`) and
+//! Pareto-prunes across **all** structures — machines × I/O designs × tail
+//! structures compete in one pool. Stage 2 replays only the analytic
+//! survivors through the calibrated discrete-event simulator
+//! (`stap_core::desmodel`) and re-extracts the front under simulated
+//! metrics, recording the analytic-vs-DES disagreement per plan.
+
+use crate::pareto::pareto_split;
+use crate::plan::{Metrics, Outcome, Plan, PlanOrigin, SearchReport, SearchStats};
+use crate::search::search_structure;
+use stap_core::desmodel::DesExperiment;
+use stap_core::io_strategy::{IoStrategy, TailStructure};
+use stap_model::assignment::{assign_nodes, SEPARATE_IO_NODES};
+use stap_model::machines::MachineModel;
+use stap_model::prediction::{predict_with_assignment, PredictStructure};
+use stap_model::workload::{ShapeParams, StapWorkload, TaskId};
+
+/// A candidate entering exact evaluation: its assignment, where it came
+/// from, and (for searched candidates) the DP's admissible
+/// (bottleneck, latency) lower bounds.
+type Candidate = (stap_model::assignment::Assignment, PlanOrigin, Option<(f64, f64)>);
+
+/// Everything the planner needs: the machine/configuration space and the
+/// search knobs.
+#[derive(Debug, Clone)]
+pub struct PlannerConfig {
+    /// Machine variants to search over (e.g. Paragon at each stripe factor).
+    pub machines: Vec<MachineModel>,
+    /// CPI cube geometry.
+    pub shape: ShapeParams,
+    /// Compute-node budget for the seven pipeline tasks (the separate-I/O
+    /// design adds its 4 reader nodes on top, as in the paper's Table 2).
+    pub compute_nodes: usize,
+    /// I/O designs to consider.
+    pub ios: Vec<IoStrategy>,
+    /// Tail structures to consider.
+    pub tails: Vec<TailStructure>,
+    /// Max DP labels kept per (stage, nodes-used) cell.
+    pub beam_width: usize,
+    /// Max candidates forwarded to exact evaluation per structure.
+    pub per_structure: usize,
+    /// Whether to DES-validate the analytic survivors (stage 2).
+    pub validate_des: bool,
+    /// CPIs per DES validation run.
+    pub des_cpis: u64,
+    /// Warmup CPIs excluded from DES statistics.
+    pub des_warmup: u64,
+}
+
+impl PlannerConfig {
+    /// A configuration spanning the full paper space — both I/O designs and
+    /// both tail structures — with default search knobs.
+    pub fn new(machines: Vec<MachineModel>, compute_nodes: usize) -> Self {
+        Self {
+            machines,
+            shape: ShapeParams::paper_default(),
+            compute_nodes,
+            ios: vec![IoStrategy::Embedded, IoStrategy::SeparateTask],
+            tails: vec![TailStructure::Split, TailStructure::Combined],
+            beam_width: 48,
+            per_structure: 24,
+            validate_des: true,
+            des_cpis: 64,
+            des_warmup: 8,
+        }
+    }
+
+    /// Disables stage-2 DES validation (analytic metrics only).
+    pub fn without_des(mut self) -> Self {
+        self.validate_des = false;
+        self
+    }
+}
+
+/// Runs the full planner: candidate generation per structure, exact
+/// analytic scoring, cross-structure Pareto pruning, DES validation of the
+/// survivors, and final front extraction.
+///
+/// # Panics
+/// Panics when the budget is below 7 (one node per compute task) or the
+/// configuration space is empty.
+pub fn plan(cfg: &PlannerConfig) -> SearchReport {
+    assert!(!cfg.machines.is_empty(), "no machines to plan for");
+    assert!(!cfg.ios.is_empty() && !cfg.tails.is_empty(), "empty configuration space");
+    let w = StapWorkload::derive(cfg.shape);
+    let heuristic = assign_nodes(&w, &TaskId::SEVEN, cfg.compute_nodes);
+
+    let mut stats = SearchStats::default();
+    let mut plans: Vec<Plan> = Vec::new();
+    // Machine model per plan id, for the DES stage (Plan itself only keeps
+    // the display name).
+    let mut plan_machine: Vec<MachineModel> = Vec::new();
+
+    for m in &cfg.machines {
+        for &io in &cfg.ios {
+            for &tail in &cfg.tails {
+                stats.structures += 1;
+                let out = search_structure(
+                    m,
+                    cfg.shape,
+                    io,
+                    tail,
+                    cfg.compute_nodes,
+                    cfg.beam_width,
+                    cfg.per_structure,
+                );
+                stats.labels_created += out.labels_created;
+                stats.labels_pruned += out.labels_pruned;
+
+                let mut pool: Vec<Candidate> = out
+                    .candidates
+                    .into_iter()
+                    .map(|c| {
+                        (
+                            c.assignment,
+                            PlanOrigin::Search,
+                            Some((c.bound_bottleneck, c.bound_latency)),
+                        )
+                    })
+                    .collect();
+                if !pool.iter().any(|(a, _, _)| *a == heuristic) {
+                    pool.push((heuristic.clone(), PlanOrigin::Heuristic, None));
+                }
+
+                let structure = PredictStructure {
+                    separate_io: io == IoStrategy::SeparateTask,
+                    combined_tail: tail == TailStructure::Combined,
+                };
+                for (a, origin, bound) in pool {
+                    let pred = predict_with_assignment(m, cfg.shape, structure, &a);
+                    stats.exact_evals += 1;
+                    let compute_nodes = a.total();
+                    let readers = if structure.separate_io { SEPARATE_IO_NODES } else { 0 };
+                    plans.push(Plan {
+                        id: plans.len(),
+                        machine: m.name.clone(),
+                        stripe_factor: m.fs.stripe_factor,
+                        io,
+                        tail,
+                        origin,
+                        assignment: a,
+                        compute_nodes,
+                        total_nodes: compute_nodes + readers,
+                        bound_bottleneck: bound.map(|b| b.0),
+                        bound_latency: bound.map(|b| b.1),
+                        analytic: Metrics { throughput: pred.throughput, latency: pred.latency },
+                        des: None,
+                        des_error_pct: None,
+                        outcome: Outcome::Front, // provisional
+                    });
+                    plan_machine.push(m.clone());
+                }
+            }
+        }
+    }
+
+    // Stage 1: cross-structure Pareto on the exact analytic metrics.
+    let analytic: Vec<Metrics> = plans.iter().map(|p| p.analytic).collect();
+    let (survivors, dominated_by) = pareto_split(&analytic);
+    for (i, dom) in dominated_by.iter().enumerate() {
+        if let Some(j) = dom {
+            plans[i].outcome = Outcome::DominatedAnalytic { by: *j };
+        }
+    }
+
+    // Stage 2: DES-validate the survivors, then re-extract the front under
+    // simulated metrics.
+    if cfg.validate_des {
+        for &i in &survivors {
+            let mut exp = DesExperiment::new(
+                plan_machine[i].clone(),
+                plans[i].io,
+                plans[i].tail,
+                plans[i].compute_nodes,
+            );
+            exp.shape = cfg.shape;
+            exp.cpis = cfg.des_cpis;
+            exp.warmup = cfg.des_warmup;
+            exp.assignment_override = Some(plans[i].assignment.clone());
+            let r = exp.run();
+            stats.des_evals += 1;
+            let des = Metrics { throughput: r.throughput, latency: r.latency };
+            plans[i].des = Some(des);
+            plans[i].des_error_pct = Some(
+                (des.throughput - plans[i].analytic.throughput).abs()
+                    / plans[i].analytic.throughput
+                    * 100.0,
+            );
+        }
+    }
+
+    let ranked: Vec<Metrics> = survivors.iter().map(|&i| plans[i].ranked()).collect();
+    let (front_local, des_dominated) = pareto_split(&ranked);
+    for (k, dom) in des_dominated.iter().enumerate() {
+        if let Some(j) = dom {
+            plans[survivors[k]].outcome = Outcome::DominatedDes { by: survivors[*j] };
+        }
+    }
+    let front_ids: Vec<usize> = front_local.iter().map(|&k| survivors[k]).collect();
+
+    SearchReport { budget: cfg.compute_nodes, plans, front_ids, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> PlannerConfig {
+        let mut cfg = PlannerConfig::new(vec![MachineModel::paragon(64)], 25);
+        cfg.beam_width = 16;
+        cfg.per_structure = 8;
+        cfg
+    }
+
+    #[test]
+    fn front_is_nonempty_and_consistent() {
+        let report = plan(&small_cfg().without_des());
+        assert!(!report.front_ids.is_empty());
+        for p in report.front() {
+            assert_eq!(p.outcome, Outcome::Front);
+        }
+        // Every dominated plan points at a genuinely dominating plan.
+        for p in &report.plans {
+            if let Outcome::DominatedAnalytic { by } = p.outcome {
+                let d = &report.plans[by];
+                let equal = d.analytic == p.analytic;
+                assert!(
+                    d.analytic.dominates(&p.analytic) || equal,
+                    "#{} does not dominate #{}",
+                    by,
+                    p.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn front_beats_or_matches_heuristic_analytically() {
+        let report = plan(&small_cfg().without_des());
+        let best = report.best_throughput().expect("front nonempty");
+        let heur_best = report
+            .plans
+            .iter()
+            .filter(|p| p.origin == PlanOrigin::Heuristic)
+            .map(|p| p.analytic.throughput)
+            .fold(0.0f64, f64::max);
+        assert!(heur_best > 0.0, "heuristic seeds present");
+        assert!(best.analytic.throughput >= heur_best - 1e-12);
+    }
+
+    #[test]
+    fn des_validation_annotates_survivors() {
+        let mut cfg = small_cfg();
+        cfg.des_cpis = 24;
+        cfg.des_warmup = 4;
+        let report = plan(&cfg);
+        assert!(report.stats.des_evals > 0);
+        for p in report.front() {
+            let err = p.des_error_pct.expect("front plans are DES-validated");
+            assert!(err.is_finite());
+            assert!(p.des.is_some());
+        }
+    }
+
+    #[test]
+    fn search_bounds_are_admissible() {
+        // The DP's lower bounds must never exceed the exact analytic cost
+        // of the same assignment — that is what makes the pruning safe.
+        let report = plan(&small_cfg().without_des());
+        let mut checked = 0;
+        for p in &report.plans {
+            if let (Some(bb), Some(bl)) = (p.bound_bottleneck, p.bound_latency) {
+                let exact_bottleneck = 1.0 / p.analytic.throughput;
+                assert!(
+                    bb <= exact_bottleneck + 1e-12,
+                    "#{}: bound {bb} > exact bottleneck {exact_bottleneck}",
+                    p.id
+                );
+                assert!(
+                    bl <= p.analytic.latency + 1e-12,
+                    "#{}: bound {bl} > exact latency {}",
+                    p.id,
+                    p.analytic.latency
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 0, "no search-origin plans carried bounds");
+    }
+
+    #[test]
+    fn stats_count_search_effort() {
+        let report = plan(&small_cfg().without_des());
+        assert_eq!(report.stats.structures, 4);
+        assert!(report.stats.labels_created > 0);
+        assert!(report.stats.exact_evals >= report.plans.len());
+        assert_eq!(report.stats.des_evals, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no machines")]
+    fn empty_machines_rejected() {
+        let mut cfg = small_cfg();
+        cfg.machines.clear();
+        plan(&cfg);
+    }
+}

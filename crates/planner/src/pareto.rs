@@ -1,0 +1,106 @@
+//! Pareto-front extraction with dominator attribution.
+
+use crate::plan::Metrics;
+
+/// Splits `points` into a Pareto front and, for every dominated point, the
+/// index of one point that dominates it (the first dominator in descending-
+/// throughput order, so attribution is deterministic).
+///
+/// Returns `(front, dominated_by)` where `front` holds the indices of the
+/// non-dominated points sorted by descending throughput, and
+/// `dominated_by[i]` is `Some(j)` iff point `i` is dominated by point `j`.
+/// Duplicate metric values keep the lowest index on the front; the copies
+/// are attributed to it.
+pub fn pareto_split(points: &[Metrics]) -> (Vec<usize>, Vec<Option<usize>>) {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    // Descending throughput; ties broken by ascending latency then index so
+    // duplicates resolve to the lowest index.
+    order.sort_by(|&a, &b| {
+        points[b]
+            .throughput
+            .partial_cmp(&points[a].throughput)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(
+                points[a]
+                    .latency
+                    .partial_cmp(&points[b].latency)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+            .then(a.cmp(&b))
+    });
+    let mut front: Vec<usize> = Vec::new();
+    let mut dominated_by: Vec<Option<usize>> = vec![None; points.len()];
+    for &i in &order {
+        // Scanning in descending throughput, a point is dominated iff some
+        // already-accepted front point has latency ≤ ours (dominance needs
+        // ≥ throughput AND ≤ latency; every accepted point has ≥ throughput)
+        // — except an exact metric twin, which still counts as dominated
+        // here so duplicates collapse onto one representative.
+        let dominator = front.iter().copied().find(|&j| {
+            points[j].dominates(&points[i])
+                || (points[j].throughput == points[i].throughput
+                    && points[j].latency == points[i].latency)
+        });
+        match dominator {
+            Some(j) => dominated_by[i] = Some(j),
+            None => front.push(i),
+        }
+    }
+    (front, dominated_by)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(tp: f64, lat: f64) -> Metrics {
+        Metrics { throughput: tp, latency: lat }
+    }
+
+    #[test]
+    fn single_point_is_the_front() {
+        let (front, dom) = pareto_split(&[m(1.0, 1.0)]);
+        assert_eq!(front, vec![0]);
+        assert_eq!(dom, vec![None]);
+    }
+
+    #[test]
+    fn dominated_point_attributed_to_dominator() {
+        let (front, dom) = pareto_split(&[m(2.0, 1.0), m(1.0, 2.0)]);
+        assert_eq!(front, vec![0]);
+        assert_eq!(dom[1], Some(0));
+    }
+
+    #[test]
+    fn incomparable_points_both_on_front() {
+        let (front, dom) = pareto_split(&[m(2.0, 2.0), m(1.0, 1.0)]);
+        assert_eq!(front, vec![0, 1], "front sorted by descending throughput");
+        assert!(dom.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn duplicates_collapse_to_lowest_index() {
+        let (front, dom) = pareto_split(&[m(1.0, 1.0), m(1.0, 1.0)]);
+        assert_eq!(front, vec![0]);
+        assert_eq!(dom[1], Some(0));
+    }
+
+    #[test]
+    fn chain_of_dominated_points() {
+        // Each worse than the one before on both axes.
+        let pts = [m(3.0, 1.0), m(2.0, 2.0), m(1.0, 3.0)];
+        let (front, dom) = pareto_split(&pts);
+        assert_eq!(front, vec![0]);
+        assert_eq!(dom[1], Some(0));
+        assert_eq!(dom[2], Some(0));
+    }
+
+    #[test]
+    fn staircase_survives_intact() {
+        // A proper front: throughput falls, latency falls.
+        let pts = [m(3.0, 3.0), m(2.0, 2.0), m(1.0, 1.0), m(2.5, 2.9)];
+        let (front, dom) = pareto_split(&pts);
+        assert_eq!(front, vec![0, 3, 1, 2]);
+        assert!(dom.iter().all(Option::is_none));
+    }
+}

@@ -1,0 +1,213 @@
+//! Plan, metrics, and provenance types — the planner's public vocabulary.
+
+use stap_core::io_strategy::{IoStrategy, TailStructure};
+use stap_model::assignment::Assignment;
+
+/// The two objectives of the bi-criteria search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metrics {
+    /// Pipeline throughput in CPIs per second (maximize).
+    pub throughput: f64,
+    /// Pipeline latency in seconds (minimize).
+    pub latency: f64,
+}
+
+impl Metrics {
+    /// True when `self` is at least as good as `other` on both objectives
+    /// and strictly better on at least one (Pareto dominance).
+    pub fn dominates(&self, other: &Metrics) -> bool {
+        self.throughput >= other.throughput
+            && self.latency <= other.latency
+            && (self.throughput > other.throughput || self.latency < other.latency)
+    }
+}
+
+/// How a candidate entered the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanOrigin {
+    /// Produced by the bounded bi-criteria DP search.
+    Search,
+    /// The seed proportional heuristic (`assign_nodes`), always included so
+    /// the front can never be worse than the repo's prior behavior.
+    Heuristic,
+}
+
+impl PlanOrigin {
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PlanOrigin::Search => "search",
+            PlanOrigin::Heuristic => "heuristic",
+        }
+    }
+}
+
+/// Why a candidate is (or is not) on the final front — the pruning
+/// provenance the report serializes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Outcome {
+    /// On the final Pareto front.
+    Front,
+    /// Dominated at the analytic stage by the plan with the given id.
+    DominatedAnalytic {
+        /// Id of the dominating plan.
+        by: usize,
+    },
+    /// Survived the analytic stage but dominated under DES-validated
+    /// metrics by the plan with the given id.
+    DominatedDes {
+        /// Id of the dominating plan.
+        by: usize,
+    },
+}
+
+impl Outcome {
+    /// Short display label ("front", "dominated(analytic) by #k", …).
+    pub fn describe(&self) -> String {
+        match self {
+            Outcome::Front => "front".to_string(),
+            Outcome::DominatedAnalytic { by } => format!("dominated(analytic) by #{by}"),
+            Outcome::DominatedDes { by } => format!("dominated(des) by #{by}"),
+        }
+    }
+}
+
+/// One fully-evaluated candidate configuration.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// Stable id within the report (index into `SearchReport::plans`).
+    pub id: usize,
+    /// Machine display name.
+    pub machine: String,
+    /// File-system stripe factor of the machine variant.
+    pub stripe_factor: usize,
+    /// I/O design.
+    pub io: IoStrategy,
+    /// Tail structure (PC+CFAR split or combined).
+    pub tail: TailStructure,
+    /// How the candidate was generated.
+    pub origin: PlanOrigin,
+    /// Node assignment over the seven compute tasks.
+    pub assignment: Assignment,
+    /// Compute nodes actually used (may be below the budget: the `ln`
+    /// overhead term makes extra nodes counterproductive for tiny tasks).
+    pub compute_nodes: usize,
+    /// Compute nodes plus dedicated reader nodes (separate-I/O design).
+    pub total_nodes: usize,
+    /// The DP's admissible lower bound on the bottleneck `max_i T_i`
+    /// (seconds) for search-origin plans; `None` for the heuristic seed.
+    pub bound_bottleneck: Option<f64>,
+    /// The DP's admissible lower bound on the latency-path sum (seconds).
+    pub bound_latency: Option<f64>,
+    /// Exact analytic metrics (Eqs. 1–14 via `stap-model`).
+    pub analytic: Metrics,
+    /// DES-validated metrics, when stage-2 validation ran for this plan.
+    pub des: Option<Metrics>,
+    /// Relative throughput disagreement `|des - analytic| / analytic`,
+    /// as a percentage, when DES validation ran.
+    pub des_error_pct: Option<f64>,
+    /// Pruning provenance.
+    pub outcome: Outcome,
+}
+
+impl Plan {
+    /// The metrics the final front is ranked by: DES when validated,
+    /// analytic otherwise.
+    pub fn ranked(&self) -> Metrics {
+        self.des.unwrap_or(self.analytic)
+    }
+
+    /// One-line per-task assignment like `df=30 ew=2 hw=47 ...`.
+    pub fn assignment_str(&self) -> String {
+        let short = |t: stap_model::workload::TaskId| match t {
+            stap_model::workload::TaskId::Read => "rd",
+            stap_model::workload::TaskId::Doppler => "df",
+            stap_model::workload::TaskId::EasyWeight => "ew",
+            stap_model::workload::TaskId::HardWeight => "hw",
+            stap_model::workload::TaskId::EasyBeamform => "eb",
+            stap_model::workload::TaskId::HardBeamform => "hb",
+            stap_model::workload::TaskId::PulseCompression => "pc",
+            stap_model::workload::TaskId::Cfar => "cf",
+        };
+        self.assignment
+            .tasks
+            .iter()
+            .zip(&self.assignment.nodes)
+            .map(|(&t, &n)| format!("{}={n}", short(t)))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// Counters describing how much work the search did and how hard the
+/// pruning worked — part of the provenance story.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// (machine, io, tail) structures searched.
+    pub structures: usize,
+    /// DP labels created across all structures.
+    pub labels_created: u64,
+    /// DP labels discarded by dominance/beam pruning.
+    pub labels_pruned: u64,
+    /// Exact analytic evaluations (stage 1).
+    pub exact_evals: usize,
+    /// DES validations (stage 2).
+    pub des_evals: usize,
+}
+
+/// The planner's full answer: every evaluated candidate with provenance,
+/// plus the ids of the final Pareto front.
+#[derive(Debug, Clone)]
+pub struct SearchReport {
+    /// Compute-node budget the search was run with.
+    pub budget: usize,
+    /// All exactly-evaluated candidates, id-indexed.
+    pub plans: Vec<Plan>,
+    /// Ids of the final front, sorted by descending throughput.
+    pub front_ids: Vec<usize>,
+    /// Search-effort counters.
+    pub stats: SearchStats,
+}
+
+impl SearchReport {
+    /// The front plans, best throughput first.
+    pub fn front(&self) -> Vec<&Plan> {
+        self.front_ids.iter().map(|&i| &self.plans[i]).collect()
+    }
+
+    /// The front plan with the highest throughput, if any.
+    pub fn best_throughput(&self) -> Option<&Plan> {
+        self.front().into_iter().next()
+    }
+
+    /// The front plan with the lowest latency, if any.
+    pub fn best_latency(&self) -> Option<&Plan> {
+        let f = self.front();
+        f.into_iter().min_by(|a, b| {
+            a.ranked().latency.partial_cmp(&b.ranked().latency).unwrap_or(std::cmp::Ordering::Equal)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_is_strict() {
+        let a = Metrics { throughput: 2.0, latency: 1.0 };
+        let b = Metrics { throughput: 1.0, latency: 2.0 };
+        let c = Metrics { throughput: 2.0, latency: 1.0 };
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        assert!(!a.dominates(&c), "equal metrics do not dominate");
+    }
+
+    #[test]
+    fn incomparable_points_do_not_dominate() {
+        let fast = Metrics { throughput: 2.0, latency: 2.0 };
+        let lean = Metrics { throughput: 1.0, latency: 1.0 };
+        assert!(!fast.dominates(&lean));
+        assert!(!lean.dominates(&fast));
+    }
+}

@@ -1,0 +1,214 @@
+//! Report rendering: a human-readable front table with pruning provenance,
+//! and a hand-rolled JSON serialization (the workspace carries no serde).
+
+use crate::plan::{Outcome, Plan, SearchReport};
+
+fn fmt_metrics(p: &Plan) -> String {
+    match p.des {
+        Some(d) => format!(
+            "an {:>7.3}/s {:>7.4}s | des {:>7.3}/s {:>7.4}s | err {:>5.1}%",
+            p.analytic.throughput,
+            p.analytic.latency,
+            d.throughput,
+            d.latency,
+            p.des_error_pct.unwrap_or(f64::NAN),
+        ),
+        None => format!("an {:>7.3}/s {:>7.4}s", p.analytic.throughput, p.analytic.latency),
+    }
+}
+
+/// Renders the front followed by the dominated candidates, with the reason
+/// each one was pruned.
+pub fn render_text(r: &SearchReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Pareto front ({} plans) for {} compute nodes — {} structures, {} labels ({} pruned), {} exact evals, {} DES runs\n",
+        r.front_ids.len(),
+        r.budget,
+        r.stats.structures,
+        r.stats.labels_created,
+        r.stats.labels_pruned,
+        r.stats.exact_evals,
+        r.stats.des_evals,
+    ));
+    for p in r.front() {
+        out.push_str(&format!(
+            "  #{:<3} sf={:<3} {:<9} {:<8} nodes={:<3} [{}] {} ({})\n",
+            p.id,
+            p.stripe_factor,
+            short_io(p),
+            short_tail(p),
+            p.total_nodes,
+            p.assignment_str(),
+            fmt_metrics(p),
+            p.origin.label(),
+        ));
+    }
+    let dominated: Vec<&Plan> = r.plans.iter().filter(|p| p.outcome != Outcome::Front).collect();
+    out.push_str(&format!("pruned candidates ({}):\n", dominated.len()));
+    for p in dominated {
+        out.push_str(&format!(
+            "  #{:<3} sf={:<3} {:<9} {:<8} {} — {}\n",
+            p.id,
+            p.stripe_factor,
+            short_io(p),
+            short_tail(p),
+            fmt_metrics(p),
+            p.outcome.describe(),
+        ));
+    }
+    out
+}
+
+fn short_io(p: &Plan) -> &'static str {
+    match p.io {
+        stap_core::io_strategy::IoStrategy::Embedded => "embedded",
+        stap_core::io_strategy::IoStrategy::SeparateTask => "separate",
+    }
+}
+
+fn short_tail(p: &Plan) -> &'static str {
+    match p.tail {
+        stap_core::io_strategy::TailStructure::Split => "split",
+        stap_core::io_strategy::TailStructure::Combined => "combined",
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_plan(p: &Plan) -> String {
+    let des = match p.des {
+        Some(d) => format!(
+            "{{\"throughput\":{},\"latency\":{}}}",
+            json_f64(d.throughput),
+            json_f64(d.latency)
+        ),
+        None => "null".to_string(),
+    };
+    let outcome = match p.outcome {
+        Outcome::Front => "{\"kind\":\"front\"}".to_string(),
+        Outcome::DominatedAnalytic { by } => {
+            format!("{{\"kind\":\"dominated_analytic\",\"by\":{by}}}")
+        }
+        Outcome::DominatedDes { by } => format!("{{\"kind\":\"dominated_des\",\"by\":{by}}}"),
+    };
+    let nodes: Vec<String> = p
+        .assignment
+        .tasks
+        .iter()
+        .zip(&p.assignment.nodes)
+        .map(|(&t, &n)| format!("{{\"task\":\"{}\",\"nodes\":{n}}}", esc(t.label())))
+        .collect();
+    format!(
+        concat!(
+            "{{\"id\":{},\"machine\":\"{}\",\"stripe_factor\":{},\"io\":\"{}\",",
+            "\"tail\":\"{}\",\"origin\":\"{}\",\"assignment\":[{}],",
+            "\"compute_nodes\":{},\"total_nodes\":{},",
+            "\"bound_bottleneck\":{},\"bound_latency\":{},",
+            "\"analytic\":{{\"throughput\":{},\"latency\":{}}},",
+            "\"des\":{},\"des_error_pct\":{},\"outcome\":{}}}"
+        ),
+        p.id,
+        esc(&p.machine),
+        p.stripe_factor,
+        short_io(p),
+        short_tail(p),
+        p.origin.label(),
+        nodes.join(","),
+        p.compute_nodes,
+        p.total_nodes,
+        p.bound_bottleneck.map_or("null".to_string(), json_f64),
+        p.bound_latency.map_or("null".to_string(), json_f64),
+        json_f64(p.analytic.throughput),
+        json_f64(p.analytic.latency),
+        des,
+        p.des_error_pct.map_or("null".to_string(), json_f64),
+        outcome,
+    )
+}
+
+/// Serializes the whole report — every candidate with its pruning
+/// provenance, the front ids, and the search-effort counters.
+pub fn to_json(r: &SearchReport) -> String {
+    let plans: Vec<String> = r.plans.iter().map(json_plan).collect();
+    let front: Vec<String> = r.front_ids.iter().map(|i| i.to_string()).collect();
+    format!(
+        concat!(
+            "{{\"budget\":{},\"front\":[{}],\"plans\":[{}],",
+            "\"stats\":{{\"structures\":{},\"labels_created\":{},",
+            "\"labels_pruned\":{},\"exact_evals\":{},\"des_evals\":{}}}}}"
+        ),
+        r.budget,
+        front.join(","),
+        plans.join(","),
+        r.stats.structures,
+        r.stats.labels_created,
+        r.stats.labels_pruned,
+        r.stats.exact_evals,
+        r.stats.des_evals,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::{plan, PlannerConfig};
+    use stap_model::machines::MachineModel;
+
+    fn tiny_report() -> SearchReport {
+        let mut cfg = PlannerConfig::new(vec![MachineModel::paragon(64)], 25).without_des();
+        cfg.beam_width = 8;
+        cfg.per_structure = 4;
+        plan(&cfg)
+    }
+
+    #[test]
+    fn text_mentions_every_front_plan() {
+        let r = tiny_report();
+        let text = render_text(&r);
+        for id in &r.front_ids {
+            assert!(text.contains(&format!("#{id}")), "missing #{id} in:\n{text}");
+        }
+        assert!(text.contains("pruned candidates"));
+    }
+
+    #[test]
+    fn json_is_structurally_sound() {
+        let r = tiny_report();
+        let json = to_json(&r);
+        // Balanced braces/brackets and the expected top-level keys — a
+        // cheap structural check in lieu of a JSON parser dependency.
+        assert_eq!(json.matches('{').count(), json.matches('}').count(), "unbalanced braces");
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        for key in ["\"budget\":", "\"front\":", "\"plans\":", "\"stats\":", "\"outcome\":"] {
+            assert!(json.contains(key), "missing {key}");
+        }
+        assert!(!json.contains("NaN"));
+    }
+
+    #[test]
+    fn esc_handles_quotes_and_control_chars() {
+        assert_eq!(esc("a\"b"), "a\\\"b");
+        assert_eq!(esc("a\\b"), "a\\\\b");
+        assert_eq!(esc("a\nb"), "a\\nb");
+        assert_eq!(esc("a\u{1}b"), "a\\u0001b");
+    }
+}

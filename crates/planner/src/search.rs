@@ -1,0 +1,494 @@
+//! Bounded bi-criteria DP over per-task node assignments.
+//!
+//! For one (machine, I/O design, tail structure) the search walks the
+//! pipeline stage by stage, extending partial assignments ("labels") with
+//! every feasible node count for the next stage. Each label carries two
+//! admissible lower bounds — the running bottleneck `max_i T_i` (throughput
+//! is its inverse, Eq. 1/3) and the running latency-path sum (Eq. 2/4) —
+//! computed from the analytic task-time model with the communication peer
+//! count relaxed to its minimum, so a label's bounds never exceed the exact
+//! analytic cost of any completion. That admissibility is what makes the
+//! pruning safe:
+//!
+//! - **dominance within a cell** (same stage, same nodes used): a label with
+//!   ≥ bottleneck and ≥ latency than another can be discarded;
+//! - **dominance across cells** (same stage, *more* nodes used): any
+//!   completion open to the bigger label is open to the smaller one, so the
+//!   bigger label is discarded when both bounds are no better;
+//! - **beam bound**: cells keep at most `beam_width` labels, evenly spaced
+//!   along their bottleneck/latency trade-off curve.
+//!
+//! The easy/hard beamforming pair and the combined PC+CFAR tail are folded
+//! into single DP stages: both metrics depend on the pair only through
+//! `max(T_easy, T_hard)` (resp. `T_{5+6}`), so the best split for every
+//! total is precomputed and the DP sees one node count per stage. This
+//! collapses the state space from `O(N^7)` assignments to `O(stages · N ·
+//! beam)` labels.
+
+use stap_core::io_strategy::{IoStrategy, TailStructure};
+use stap_model::assignment::{Assignment, SEPARATE_IO_NODES};
+use stap_model::machines::MachineModel;
+use stap_model::prediction::steady_read_time;
+use stap_model::workload::{ShapeParams, StapWorkload, TaskId};
+
+/// A candidate assignment surviving the DP, with its admissible bounds.
+#[derive(Debug, Clone)]
+pub(crate) struct SearchCandidate {
+    pub assignment: Assignment,
+    /// Lower bound on the pipeline bottleneck `max_i T_i` (seconds).
+    pub bound_bottleneck: f64,
+    /// Lower bound on the latency-path sum (seconds).
+    pub bound_latency: f64,
+}
+
+/// DP result for one structure, with pruning counters.
+#[derive(Debug, Clone)]
+pub(crate) struct SearchOutcome {
+    pub candidates: Vec<SearchCandidate>,
+    pub labels_created: u64,
+    pub labels_pruned: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StageKind {
+    Single(TaskId),
+    /// Easy+hard beamforming, folded: contributes `max(T_easy, T_hard)`.
+    BfPair,
+    /// Combined PC+CFAR running on the union of their nodes (Eq. 7).
+    CombinedTail,
+}
+
+struct Stage {
+    kind: StageKind,
+    /// Whether the stage is on the latency path (weight tasks are not).
+    counts_latency: bool,
+    min_nodes: usize,
+    /// `time[q - min_nodes]` = admissible stage-time bound on `q` nodes.
+    time: Vec<f64>,
+    /// For pair kinds: the node split behind `time[q - min_nodes]`.
+    split: Vec<(usize, usize)>,
+}
+
+/// Admissible communication bound: one peer message's latency plus the
+/// bandwidth term (the exact model pays `net_latency × peers`, peers ≥ 1).
+fn lb_comm(m: &MachineModel, bytes: usize, nodes: usize) -> f64 {
+    if bytes == 0 {
+        return 0.0;
+    }
+    m.net_latency + bytes as f64 / (nodes as f64 * m.net_bandwidth)
+}
+
+/// Admissible bound on a single compute task's `T_i` (Eq. 6) on `p` nodes.
+fn single_lb(
+    m: &MachineModel,
+    w: &StapWorkload,
+    t: TaskId,
+    p: usize,
+    io: IoStrategy,
+    read_time: f64,
+) -> f64 {
+    let compute = m.compute_time(w.flops(t), p);
+    let send = lb_comm(m, w.output_bytes(t), p);
+    if t == TaskId::Doppler && io == IoStrategy::Embedded {
+        // Embedded design: the file read folds into Doppler; no receive.
+        let core = compute + send;
+        let body = if m.can_overlap_io() { read_time.max(core) } else { read_time + core };
+        return body + m.overhead(p);
+    }
+    let recv = lb_comm(m, w.input_bytes(t), p);
+    compute + recv + send + m.overhead(p)
+}
+
+/// Admissible bound on the fixed-size separate read task's `T_read`.
+fn read_task_lb(m: &MachineModel, w: &StapWorkload, read_time: f64) -> f64 {
+    let send = lb_comm(m, w.output_bytes(TaskId::Read), SEPARATE_IO_NODES);
+    let body = if m.can_overlap_io() { read_time.max(send) } else { read_time + send };
+    body + m.overhead(SEPARATE_IO_NODES)
+}
+
+/// Best split of `q` nodes between two tasks whose joint cost is the max of
+/// their individual bounds; returns (cost, split) per q in `2..=qmax`.
+fn fold_pair(ta: &[f64], tb: &[f64], qmax: usize) -> (Vec<f64>, Vec<(usize, usize)>) {
+    let mut time = Vec::with_capacity(qmax.saturating_sub(1));
+    let mut split = Vec::with_capacity(qmax.saturating_sub(1));
+    for q in 2..=qmax {
+        let mut best = f64::INFINITY;
+        let mut arg = (1, q - 1);
+        for pa in 1..q {
+            let cost = ta[pa - 1].max(tb[q - pa - 1]);
+            if cost < best {
+                best = cost;
+                arg = (pa, q - pa);
+            }
+        }
+        time.push(best);
+        split.push(arg);
+    }
+    (time, split)
+}
+
+fn build_stages(
+    m: &MachineModel,
+    w: &StapWorkload,
+    io: IoStrategy,
+    tail: TailStructure,
+    budget: usize,
+    read_time: f64,
+) -> Vec<Stage> {
+    // Seven compute tasks → 6 DP stages (BF pair folded), or 5 with the
+    // combined tail. Minimum nodes: 1 per single, 2 per folded pair.
+    let single = |t: TaskId, counts_latency: bool, pmax: usize| -> Stage {
+        let time: Vec<f64> = (1..=pmax).map(|p| single_lb(m, w, t, p, io, read_time)).collect();
+        Stage { kind: StageKind::Single(t), counts_latency, min_nodes: 1, time, split: vec![] }
+    };
+    let n_stages_min = match tail {
+        TailStructure::Split => 7,    // 5 singles + pair(2)
+        TailStructure::Combined => 7, // 3 singles + pair(2) + combined(2)
+    };
+    let pmax_single = budget + 1 - n_stages_min;
+    let pmax_pair = budget + 2 - n_stages_min;
+
+    let ebf: Vec<f64> =
+        (1..pmax_pair).map(|p| single_lb(m, w, TaskId::EasyBeamform, p, io, read_time)).collect();
+    let hbf: Vec<f64> =
+        (1..pmax_pair).map(|p| single_lb(m, w, TaskId::HardBeamform, p, io, read_time)).collect();
+    let (bf_time, bf_split) = fold_pair(&ebf, &hbf, pmax_pair);
+
+    let mut stages = vec![
+        single(TaskId::Doppler, true, pmax_single),
+        single(TaskId::EasyWeight, false, pmax_single),
+        single(TaskId::HardWeight, false, pmax_single),
+        Stage {
+            kind: StageKind::BfPair,
+            counts_latency: true,
+            min_nodes: 2,
+            time: bf_time,
+            split: bf_split,
+        },
+    ];
+    match tail {
+        TailStructure::Split => {
+            stages.push(single(TaskId::PulseCompression, true, pmax_single));
+            stages.push(single(TaskId::Cfar, true, pmax_single));
+        }
+        TailStructure::Combined => {
+            // Joint PC+CFAR on q nodes (Eq. 7): compute on the union, the
+            // internal edge gone, overhead paid once. Split q between the
+            // two task ids proportionally to workload for bookkeeping; the
+            // model only ever sees the sum.
+            let w5 = w.flops(TaskId::PulseCompression).max(1.0);
+            let w6 = w.flops(TaskId::Cfar).max(1.0);
+            let mut time = Vec::with_capacity(pmax_pair.saturating_sub(1));
+            let mut split = Vec::with_capacity(pmax_pair.saturating_sub(1));
+            for q in 2..=pmax_pair {
+                let compute = m.compute_time(w5 + w6, q);
+                let recv = lb_comm(m, w.input_bytes(TaskId::PulseCompression), q);
+                let send = lb_comm(m, w.output_bytes(TaskId::Cfar), q);
+                time.push(compute + recv + send + m.overhead(q));
+                let p5 = ((q as f64 * w5 / (w5 + w6)).round() as usize).clamp(1, q - 1);
+                split.push((p5, q - p5));
+            }
+            stages.push(Stage {
+                kind: StageKind::CombinedTail,
+                counts_latency: true,
+                min_nodes: 2,
+                time,
+                split,
+            });
+        }
+    }
+    stages
+}
+
+#[derive(Debug, Clone)]
+struct Label {
+    maxt: f64,
+    lat: f64,
+    picks: Vec<u16>,
+}
+
+/// Pareto-prunes one DP cell in place (ascending bottleneck, strictly
+/// improving latency survives) and trims it to `beam` labels evenly spaced
+/// along the trade-off curve. Returns the number of labels discarded.
+fn prune_cell(cell: &mut Vec<Label>, beam: usize) -> u64 {
+    let before = cell.len();
+    cell.sort_by(|a, b| {
+        a.maxt
+            .partial_cmp(&b.maxt)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.lat.partial_cmp(&b.lat).unwrap_or(std::cmp::Ordering::Equal))
+    });
+    let mut kept: Vec<Label> = Vec::new();
+    let mut best_lat = f64::INFINITY;
+    for l in cell.drain(..) {
+        if l.lat < best_lat {
+            best_lat = l.lat;
+            kept.push(l);
+        }
+    }
+    if kept.len() > beam && beam > 0 {
+        let n = kept.len();
+        let mut picked: Vec<Label> = Vec::with_capacity(beam);
+        let mut last = usize::MAX;
+        for i in 0..beam {
+            let idx = i * (n - 1) / (beam - 1).max(1);
+            if idx != last {
+                picked.push(kept[idx].clone());
+                last = idx;
+            }
+        }
+        kept = picked;
+    }
+    let dropped = before - kept.len();
+    *cell = kept;
+    dropped as u64
+}
+
+/// A compact Pareto set of (bottleneck, latency) points used for
+/// cross-cell dominance: labels that used *fewer* nodes and are no worse on
+/// both bounds dominate, because every completion of the bigger label is
+/// also open to the smaller one.
+#[derive(Default)]
+struct Accumulator {
+    points: Vec<(f64, f64)>,
+}
+
+impl Accumulator {
+    fn dominates(&self, maxt: f64, lat: f64) -> bool {
+        self.points.iter().any(|&(m, l)| m <= maxt && l <= lat)
+    }
+
+    fn absorb(&mut self, cell: &[Label]) {
+        for l in cell {
+            if !self.dominates(l.maxt, l.lat) {
+                self.points.retain(|&(m, lt)| !(l.maxt <= m && l.lat <= lt));
+                self.points.push((l.maxt, l.lat));
+            }
+        }
+    }
+}
+
+/// Runs the bounded DP for one structure and returns the surviving
+/// bound-Pareto candidates (at most `max_candidates`).
+pub(crate) fn search_structure(
+    m: &MachineModel,
+    shape: ShapeParams,
+    io: IoStrategy,
+    tail: TailStructure,
+    budget: usize,
+    beam_width: usize,
+    max_candidates: usize,
+) -> SearchOutcome {
+    assert!(budget >= 7, "need at least one node per compute task (7), got {budget}");
+    let w = StapWorkload::derive(shape);
+    let read_time = steady_read_time(m, shape);
+    let stages = build_stages(m, &w, io, tail, budget, read_time);
+    let suffix_min: Vec<usize> = {
+        let mut v = vec![0usize; stages.len() + 1];
+        for i in (0..stages.len()).rev() {
+            v[i] = v[i + 1] + stages[i].min_nodes;
+        }
+        v
+    };
+
+    let mut labels_created: u64 = 0;
+    let mut labels_pruned: u64 = 0;
+
+    // The separate-I/O read task is outside the node budget (fixed 4 reader
+    // nodes) but contributes to both bounds.
+    let base = match io {
+        IoStrategy::Embedded => Label { maxt: 0.0, lat: 0.0, picks: vec![] },
+        IoStrategy::SeparateTask => {
+            let t = read_task_lb(m, &w, read_time);
+            Label { maxt: t, lat: t, picks: vec![] }
+        }
+    };
+    let mut cells: Vec<Vec<Label>> = vec![Vec::new(); budget + 1];
+    cells[0].push(base);
+
+    for (si, stage) in stages.iter().enumerate() {
+        let after = suffix_min[si + 1];
+        let mut next: Vec<Vec<Label>> = vec![Vec::new(); budget + 1];
+        for (used, cell) in cells.iter().enumerate() {
+            if cell.is_empty() {
+                continue;
+            }
+            let qcap = budget.saturating_sub(used + after);
+            for label in cell {
+                for q in stage.min_nodes..=qcap {
+                    let t = stage.time[q - stage.min_nodes];
+                    let mut picks = label.picks.clone();
+                    picks.push(q as u16);
+                    labels_created += 1;
+                    next[used + q].push(Label {
+                        maxt: label.maxt.max(t),
+                        lat: label.lat + if stage.counts_latency { t } else { 0.0 },
+                        picks,
+                    });
+                }
+            }
+        }
+        // Prune: per-cell Pareto + beam, then cross-cell dominance by
+        // labels that used fewer nodes.
+        let mut acc = Accumulator::default();
+        for cell in next.iter_mut() {
+            let before = cell.len();
+            cell.retain(|l| !acc.dominates(l.maxt, l.lat));
+            labels_pruned += (before - cell.len()) as u64;
+            labels_pruned += prune_cell(cell, beam_width);
+            acc.absorb(cell);
+        }
+        cells = next;
+    }
+
+    // Gather every complete label, Pareto-prune on the bounds, cap.
+    let mut finals: Vec<Label> = cells.into_iter().flatten().collect();
+    labels_pruned += prune_cell(&mut finals, max_candidates);
+
+    let candidates = finals
+        .into_iter()
+        .map(|l| SearchCandidate {
+            assignment: picks_to_assignment(&stages, &l.picks),
+            bound_bottleneck: l.maxt,
+            bound_latency: l.lat,
+        })
+        .collect();
+    SearchOutcome { candidates, labels_created, labels_pruned }
+}
+
+/// Expands a DP pick vector back into a full seven-task [`Assignment`].
+fn picks_to_assignment(stages: &[Stage], picks: &[u16]) -> Assignment {
+    let mut tasks: Vec<TaskId> = Vec::with_capacity(7);
+    let mut nodes: Vec<usize> = Vec::with_capacity(7);
+    for (stage, &qu) in stages.iter().zip(picks) {
+        let q = qu as usize;
+        match stage.kind {
+            StageKind::Single(t) => {
+                tasks.push(t);
+                nodes.push(q);
+            }
+            StageKind::BfPair => {
+                let (pe, ph) = stage.split[q - stage.min_nodes];
+                tasks.push(TaskId::EasyBeamform);
+                nodes.push(pe);
+                tasks.push(TaskId::HardBeamform);
+                nodes.push(ph);
+            }
+            StageKind::CombinedTail => {
+                let (p5, p6) = stage.split[q - stage.min_nodes];
+                tasks.push(TaskId::PulseCompression);
+                nodes.push(p5);
+                tasks.push(TaskId::Cfar);
+                nodes.push(p6);
+            }
+        }
+    }
+    Assignment { tasks, nodes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stap_model::assignment::assign_nodes;
+
+    fn paragon64() -> MachineModel {
+        MachineModel::paragon(64)
+    }
+
+    fn run(io: IoStrategy, tail: TailStructure, budget: usize) -> SearchOutcome {
+        search_structure(&paragon64(), ShapeParams::paper_default(), io, tail, budget, 32, 16)
+    }
+
+    #[test]
+    fn candidates_are_valid_assignments() {
+        for io in [IoStrategy::Embedded, IoStrategy::SeparateTask] {
+            for tail in [TailStructure::Split, TailStructure::Combined] {
+                let out = run(io, tail, 25);
+                assert!(!out.candidates.is_empty());
+                for c in &out.candidates {
+                    assert_eq!(c.assignment.tasks.len(), 7);
+                    assert!(c.assignment.total() <= 25, "over budget: {:?}", c.assignment);
+                    assert!(c.assignment.nodes.iter().all(|&n| n >= 1));
+                    // Pipeline order preserved (what predict expects).
+                    assert_eq!(c.assignment.tasks, TaskId::SEVEN.to_vec());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bound_front_is_a_staircase() {
+        let out = run(IoStrategy::Embedded, TailStructure::Split, 50);
+        for pair in out.candidates.windows(2) {
+            assert!(pair[0].bound_bottleneck <= pair[1].bound_bottleneck);
+            assert!(pair[0].bound_latency >= pair[1].bound_latency);
+        }
+    }
+
+    #[test]
+    fn search_bound_at_least_matches_heuristic_balance() {
+        // The DP's best bottleneck bound must be ≤ the same bound evaluated
+        // on the proportional heuristic's assignment (the DP explores that
+        // assignment's neighborhood and keeps only non-dominated labels).
+        let m = paragon64();
+        let shape = ShapeParams::paper_default();
+        let w = StapWorkload::derive(shape);
+        let read_time = steady_read_time(&m, shape);
+        for budget in [25usize, 50, 100] {
+            let heur = assign_nodes(&w, &TaskId::SEVEN, budget);
+            let heur_bottleneck = heur
+                .tasks
+                .iter()
+                .zip(&heur.nodes)
+                .map(|(&t, &p)| single_lb(&m, &w, t, p, IoStrategy::Embedded, read_time))
+                .fold(0.0f64, f64::max);
+            let out = search_structure(
+                &m,
+                shape,
+                IoStrategy::Embedded,
+                TailStructure::Split,
+                budget,
+                32,
+                16,
+            );
+            let best =
+                out.candidates.iter().map(|c| c.bound_bottleneck).fold(f64::INFINITY, f64::min);
+            assert!(
+                best <= heur_bottleneck + 1e-12,
+                "budget {budget}: DP bound {best} worse than heuristic {heur_bottleneck}"
+            );
+        }
+    }
+
+    #[test]
+    fn pruning_actually_fires() {
+        let out = run(IoStrategy::Embedded, TailStructure::Split, 50);
+        assert!(out.labels_pruned > 0);
+        assert!(out.labels_created > out.labels_pruned);
+    }
+
+    #[test]
+    fn combined_tail_split_is_proportional_and_positive() {
+        let out = run(IoStrategy::Embedded, TailStructure::Combined, 40);
+        for c in &out.candidates {
+            let p5 = c.assignment.nodes_for(TaskId::PulseCompression).unwrap();
+            let p6 = c.assignment.nodes_for(TaskId::Cfar).unwrap();
+            assert!(p5 >= 1 && p6 >= 1);
+        }
+    }
+
+    #[test]
+    fn fold_pair_picks_the_balanced_split() {
+        // Two identical linear cost curves: the best split of q is q/2.
+        let t: Vec<f64> = (1..=9).map(|p| 1.0 / p as f64).collect();
+        let (time, split) = fold_pair(&t, &t, 10);
+        assert_eq!(split[10 - 2], (5, 5));
+        assert!((time[10 - 2] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node per compute task")]
+    fn tiny_budget_rejected() {
+        run(IoStrategy::Embedded, TailStructure::Split, 6);
+    }
+}

@@ -151,8 +151,7 @@ impl CubeGenerator {
                     let temporal =
                         C32::cis(2.0 * std::f32::consts::PI * fd as f32 * p as f32 + jit);
                     for c in 0..d.channels {
-                        let spatial =
-                            C32::cis(2.0 * std::f32::consts::PI * fs as f32 * c as f32);
+                        let spatial = C32::cis(2.0 * std::f32::consts::PI * fs as f32 * c as f32);
                         let cur = cube.get(p, c, r);
                         *cube.get_mut(p, c, r) = cur + refl * temporal * spatial;
                     }
@@ -175,9 +174,8 @@ impl CubeGenerator {
             // Random initial phase per CPI.
             let phi0: f32 = self.rng.gen_range(0.0..(2.0 * std::f32::consts::PI));
             for p in 0..d.pulses {
-                let temporal = C32::cis(
-                    2.0 * std::f32::consts::PI * t.doppler as f32 * p as f32 + phi0,
-                );
+                let temporal =
+                    C32::cis(2.0 * std::f32::consts::PI * t.doppler as f32 * p as f32 + phi0);
                 for c in 0..d.channels {
                     let spatial =
                         C32::cis(2.0 * std::f32::consts::PI * t.spatial_freq as f32 * c as f32);
@@ -233,7 +231,12 @@ mod tests {
     #[test]
     fn target_raises_power_at_its_gate() {
         let scene = Scene {
-            targets: vec![Target { range_gate: 20, doppler: 0.25, spatial_freq: 0.0, snr_db: 30.0 }],
+            targets: vec![Target {
+                range_gate: 20,
+                doppler: 0.25,
+                spatial_freq: 0.0,
+                snr_db: 30.0,
+            }],
             noise_power: 1.0,
             ..Default::default()
         };
@@ -256,7 +259,12 @@ mod tests {
     fn drifting_target_walks_in_range() {
         use stap_math::stats::argmax;
         let scene = Scene {
-            targets: vec![Target { range_gate: 10, doppler: 0.25, spatial_freq: 0.0, snr_db: 40.0 }],
+            targets: vec![Target {
+                range_gate: 10,
+                doppler: 0.25,
+                spatial_freq: 0.0,
+                snr_db: 40.0,
+            }],
             noise_power: 0.01,
             ..Default::default()
         };
@@ -265,9 +273,7 @@ mod tests {
         for cpi in 0..4u64 {
             let cube = g.next_cube();
             let powers: Vec<f64> = (0..64)
-                .map(|r| {
-                    (0..16).map(|p| cube.get(p, 0, r).norm_sqr() as f64).sum::<f64>()
-                })
+                .map(|r| (0..16).map(|p| cube.get(p, 0, r).norm_sqr() as f64).sum::<f64>())
                 .collect();
             let (peak, _) = argmax(&powers).unwrap();
             assert_eq!(peak, 10 + 3 * cpi as usize, "cpi {cpi}");
@@ -338,7 +344,12 @@ mod tests {
         use stap_kernels::doppler::{DopplerConfig, DopplerFilter};
         let d = CubeDims::new(32, 4, 32);
         let scene = Scene {
-            clutter: Some(crate::scene::Clutter { cnr_db: 40.0, slope: 0.0, patches: 16, jitter: 0.0 }),
+            clutter: Some(crate::scene::Clutter {
+                cnr_db: 40.0,
+                slope: 0.0,
+                patches: 16,
+                jitter: 0.0,
+            }),
             noise_power: 1.0,
             ..Default::default()
         };

@@ -40,7 +40,9 @@ fn main() {
     let w: Vec<C64> = ws.weights[0][0].iter().map(|z| z.cast()).collect();
 
     // Pattern plot.
-    println!("Adapted spatial pattern (bin {bin}, look direction fs=0.0, jammer at fs={jam_fs}):\n");
+    println!(
+        "Adapted spatial pattern (bin {bin}, look direction fs=0.0, jammer at fs={jam_fs}):\n"
+    );
     let pattern = spatial_pattern(&w, 61);
     let peak = pattern.iter().map(|&(_, p)| p).fold(0.0, f64::max);
     for &(fs, p) in &pattern {

@@ -12,9 +12,7 @@
 //! (pulse, channel). Independent reads flood the stripe servers; two-phase
 //! reads are contiguous, then permute in memory.
 
-use ppstap::pfs::collective::{
-    independent_read, modeled_costs, two_phase_read, ClientRequests,
-};
+use ppstap::pfs::collective::{independent_read, modeled_costs, two_phase_read, ClientRequests};
 use ppstap::pfs::{FsConfig, OpenMode, Pfs};
 
 fn main() {
@@ -28,9 +26,8 @@ fn main() {
     let cfg = FsConfig::paragon_pfs(16);
     let fs = Pfs::mount(cfg.clone());
     let f = fs.gopen("cpi_pulse_major.dat", OpenMode::Async);
-    let cube_bytes: Vec<u8> = (0..pulses * channels * ranges * elem)
-        .map(|i| (i % 251) as u8)
-        .collect();
+    let cube_bytes: Vec<u8> =
+        (0..pulses * channels * ranges * elem).map(|i| (i % 251) as u8).collect();
     f.write_at(0, &cube_bytes);
 
     // Each reader's extents: for every (pulse, channel), its slice of the

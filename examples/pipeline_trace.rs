@@ -25,9 +25,7 @@ fn main() {
         );
         println!("{}", render_gantt(&result, &trace, 2.2));
         if sf == 64 {
-            println!(
-                "(Tight stairs: every task busy back-to-back — compute-bound.)\n"
-            );
+            println!("(Tight stairs: every task busy back-to-back — compute-bound.)\n");
         } else {
             println!(
                 "(Stretched stairs: the Doppler lane's iterations lengthen — every CPI now\n\

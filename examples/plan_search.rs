@@ -1,0 +1,40 @@
+//! Drive the configuration planner across the paper's node cases and show
+//! how the searched Pareto front relates to the hand-picked configurations:
+//! the combined PC+CFAR tail is always on the front, the separate-I/O
+//! design never is (its extra pipeline stage buys throughput headroom, not
+//! latency), and at 100 nodes the sf=16 file system is dominated outright.
+//!
+//! ```text
+//! cargo run --example plan_search --release
+//! ```
+
+use ppstap::model::machines::MachineModel;
+use ppstap::planner::{plan, render_text, PlanOrigin, PlannerConfig};
+
+fn main() {
+    for nodes in [25usize, 50, 100] {
+        println!("== Paragon (sf 16 and 64), {nodes} compute nodes ==\n");
+        let cfg =
+            PlannerConfig::new(vec![MachineModel::paragon(16), MachineModel::paragon(64)], nodes);
+        let report = plan(&cfg);
+        print!("{}", render_text(&report));
+
+        let best = report.best_throughput().expect("non-empty front");
+        let heuristic_best = report
+            .plans
+            .iter()
+            .filter(|p| p.origin == PlanOrigin::Heuristic)
+            .map(|p| p.analytic.throughput)
+            .fold(0.0f64, f64::max);
+        println!(
+            "\nbest searched throughput {:.3} CPIs/s vs proportional heuristic {:.3} CPIs/s ({:+.1}%)\n",
+            best.analytic.throughput,
+            heuristic_best,
+            (best.analytic.throughput / heuristic_best - 1.0) * 100.0,
+        );
+    }
+
+    println!("== IBM SP (sync I/O), 50 compute nodes ==\n");
+    let report = plan(&PlannerConfig::new(vec![MachineModel::sp()], 50));
+    print!("{}", render_text(&report));
+}

@@ -41,7 +41,10 @@ fn main() {
     let out = system.run().expect("pipeline run");
 
     // Per-task timing table from real measurements.
-    println!("{:<16}{:>8}{:>10}{:>10}{:>10}{:>10}{:>10}", "task", "nodes", "read", "recv", "compute", "send", "total");
+    println!(
+        "{:<16}{:>8}{:>10}{:>10}{:>10}{:>10}{:>10}",
+        "task", "nodes", "read", "recv", "compute", "send", "total"
+    );
     for (i, stage) in system.topology().stages().iter().enumerate() {
         let id = StageId(i);
         print!("{:<16}{:>8}", stage.name, stage.nodes);
@@ -56,7 +59,12 @@ fn main() {
     // Detection reports.
     for report in &out.reports {
         let clustered = report.cluster(4);
-        println!("\nCPI {}: {} detections ({} clustered)", report.cpi, report.len(), clustered.len());
+        println!(
+            "\nCPI {}: {} detections ({} clustered)",
+            report.cpi,
+            report.len(),
+            clustered.len()
+        );
         for d in clustered.detections.iter().take(8) {
             println!(
                 "  beam {} bin {:>3} range {:>4}  snr {:>5.1} dB",

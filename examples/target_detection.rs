@@ -23,7 +23,12 @@ struct Truth {
 
 fn score(report: &DetectionReport, truths: &[Truth]) {
     let clustered = report.cluster(4);
-    print!("CPI {}: {:>3} raw / {:>2} clustered detections | ", report.cpi, report.len(), clustered.len());
+    print!(
+        "CPI {}: {:>3} raw / {:>2} clustered detections | ",
+        report.cpi,
+        report.len(),
+        clustered.len()
+    );
     for t in truths {
         let hit = clustered
             .detections
@@ -64,8 +69,7 @@ fn main() {
     let system = StapSystem::prepare(config).expect("prepare");
     let out = system.run().expect("run");
 
-    let truths =
-        [Truth { name: "easy target", gate: 40 }, Truth { name: "hard target", gate: 90 }];
+    let truths = [Truth { name: "easy target", gate: 40 }, Truth { name: "hard target", gate: 90 }];
     for report in &out.reports {
         score(report, &truths);
     }

@@ -19,22 +19,47 @@ fn main() {
     let (p5, p6, pred) = (3usize, 2usize, 5usize);
     let t5 = task_time(&machine, &w, TaskId::PulseCompression, p5, pred, p6);
     let t6 = task_time(&machine, &w, TaskId::Cfar, p6, p5, 1);
-    let t56 = combined_task_time(&machine, &w, TaskId::PulseCompression, TaskId::Cfar, p5, p6, pred, 1);
+    let t56 =
+        combined_task_time(&machine, &w, TaskId::PulseCompression, TaskId::Cfar, p5, p6, pred, 1);
     println!("Eq. 11 check (P5={p5}, P6={p6}):");
-    println!("  T5          = {:.4} s  (compute {:.4} + comm {:.4} + overhead {:.4})", t5.total(), t5.compute, t5.comm, t5.overhead);
-    println!("  T6          = {:.4} s  (compute {:.4} + comm {:.4} + overhead {:.4})", t6.total(), t6.compute, t6.comm, t6.overhead);
+    println!(
+        "  T5          = {:.4} s  (compute {:.4} + comm {:.4} + overhead {:.4})",
+        t5.total(),
+        t5.compute,
+        t5.comm,
+        t5.overhead
+    );
+    println!(
+        "  T6          = {:.4} s  (compute {:.4} + comm {:.4} + overhead {:.4})",
+        t6.total(),
+        t6.compute,
+        t6.comm,
+        t6.overhead
+    );
     println!("  T5 + T6     = {:.4} s", t5.total() + t6.total());
-    println!("  T(5+6)      = {:.4} s  -> combined is {:.1}% cheaper\n",
+    println!(
+        "  T(5+6)      = {:.4} s  -> combined is {:.1}% cheaper\n",
         t56.total(),
         (1.0 - t56.total() / (t5.total() + t6.total())) * 100.0
     );
 
     // Paper-scale effect on the whole pipeline (Table 4).
     println!("Virtual-time pipeline (Paragon PFS sf=64, embedded I/O):");
-    println!("{:<12}{:>14}{:>14}{:>14}{:>14}{:>12}", "nodes", "lat 7-task", "lat 6-task", "tput 7-task", "tput 6-task", "improve");
+    println!(
+        "{:<12}{:>14}{:>14}{:>14}{:>14}{:>12}",
+        "nodes", "lat 7-task", "lat 6-task", "tput 7-task", "tput 6-task", "improve"
+    );
     for nodes in [25usize, 50, 100] {
-        let split = DesExperiment::new(machine.clone(), IoStrategy::Embedded, TailStructure::Split, nodes).run();
-        let comb = DesExperiment::new(machine.clone(), IoStrategy::Embedded, TailStructure::Combined, nodes).run();
+        let split =
+            DesExperiment::new(machine.clone(), IoStrategy::Embedded, TailStructure::Split, nodes)
+                .run();
+        let comb = DesExperiment::new(
+            machine.clone(),
+            IoStrategy::Embedded,
+            TailStructure::Combined,
+            nodes,
+        )
+        .run();
         println!(
             "{:<12}{:>14.4}{:>14.4}{:>14.2}{:>14.2}{:>11.1}%",
             nodes,

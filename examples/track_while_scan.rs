@@ -8,9 +8,9 @@
 
 use ppstap::core::config::StapConfig;
 use ppstap::core::StapSystem;
-use ppstap::kernels::tracking::{Tracker, TrackerConfig, TrackState};
-use ppstap::pfs::OpenMode;
 use ppstap::kernels::report::DetectionReport;
+use ppstap::kernels::tracking::{TrackState, Tracker, TrackerConfig};
+use ppstap::pfs::OpenMode;
 use ppstap::radar::{CubeGenerator, Scene, Target, TargetDrift};
 use stap_kernels::cube::DataCube;
 

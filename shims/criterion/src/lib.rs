@@ -1,0 +1,205 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container cannot reach a cargo registry, so the workspace
+//! vendors the API subset its benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`] / [`Bencher::iter_batched`], the
+//! [`criterion_group!`] / [`criterion_main!`] macros and [`black_box`].
+//! Measurement is a plain wall-clock mean over `sample_size` runs (no
+//! warm-up analysis, outlier rejection, or HTML reports).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. The shim runs one routine call
+/// per setup call regardless; the variants exist for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Drives one benchmark's measurement loop.
+pub struct Bencher {
+    samples: u32,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(samples: u32) -> Self {
+        Self { samples, total: Duration::ZERO, iters: 0 }
+    }
+
+    /// Times repeated calls of `routine`.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.total += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup` (setup excluded).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.total += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters == 0 {
+            println!("{name:<40} (no measurement)");
+            return;
+        }
+        let mean = self.total.as_secs_f64() / self.iters as f64;
+        let (value, unit) = if mean >= 1.0 {
+            (mean, "s")
+        } else if mean >= 1e-3 {
+            (mean * 1e3, "ms")
+        } else if mean >= 1e-6 {
+            (mean * 1e6, "µs")
+        } else {
+            (mean * 1e9, "ns")
+        };
+        println!("{name:<40} {value:>10.3} {unit}  ({} iters)", self.iters);
+    }
+}
+
+/// Benchmark registry and runner.
+pub struct Criterion {
+    sample_size: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the default per-benchmark sample count.
+    pub fn sample_size(&mut self, n: u32) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup { sample_size: self.sample_size, _parent: self }
+    }
+
+    /// Runs one benchmark outside any group.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(name);
+        self
+    }
+}
+
+/// A named group sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    sample_size: u32,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the group's sample count.
+    pub fn sample_size(&mut self, n: u32) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Ends the group (statistics would be finalized here in criterion).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a group runner, like criterion's.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes harness flags (--bench, filters); this
+            // minimal harness runs everything unconditionally.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        c.sample_size(3);
+        let mut runs = 0u32;
+        c.bench_function("trivial", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn group_sample_size_and_batched() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        let mut setups = 0u32;
+        let mut runs = 0u32;
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 8]
+                },
+                |v| {
+                    runs += 1;
+                    v.len()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+        assert_eq!((setups, runs), (2, 2));
+    }
+}

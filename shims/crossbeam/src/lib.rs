@@ -1,0 +1,50 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build container cannot reach a cargo registry, so the workspace
+//! vendors the API subset it uses: `crossbeam::channel` unbounded MPSC
+//! channels, backed by `std::sync::mpsc` (whose sender has been `Sync` and
+//! lock-free since the std channel rewrite, which itself absorbed
+//! crossbeam-channel).
+
+/// Multi-producer channels with the crossbeam calling convention.
+pub mod channel {
+    pub use std::sync::mpsc::{
+        Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError,
+    };
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError, TryRecvError};
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_and_clone() {
+        let (tx, rx) = unbounded::<u32>();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert_eq!(rx.try_recv().unwrap_err(), TryRecvError::Empty);
+    }
+
+    #[test]
+    fn timeout_and_disconnect() {
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)).unwrap_err(),
+            RecvTimeoutError::Timeout
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)).unwrap_err(),
+            RecvTimeoutError::Disconnected
+        );
+    }
+}

@@ -1,0 +1,199 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container cannot reach a cargo registry, so the workspace
+//! vendors the API subset it uses: a seedable deterministic generator
+//! ([`rngs::StdRng`], xoshiro256** seeded through splitmix64) and the
+//! [`Rng::gen_range`] / [`Rng::gen`] sampling surface for the primitive
+//! numeric types. Not cryptographically secure — statistical use only.
+
+use std::ops::Range;
+
+/// Types that can be produced uniformly from raw generator output.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// A uniform sample from `[lo, hi)`.
+    fn sample_range(rng: &mut dyn RngCore, lo: Self, hi: Self) -> Self;
+    /// A "standard" sample: `[0, 1)` for floats, full range for integers.
+    fn sample_standard(rng: &mut dyn RngCore) -> Self;
+}
+
+/// Raw 64-bit generator interface (object-safe core of [`Rng`]).
+pub trait RngCore {
+    /// The next 64 raw bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(rng: &mut dyn RngCore, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range needs a non-empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                // Multiply-shift bounded sampling (Lemire); the tiny modulo
+                // bias of one 64-bit draw is irrelevant at these spans.
+                let draw = rng.next_u64() as u128;
+                let off = (draw * span) >> 64;
+                (lo as i128 + off as i128) as $t
+            }
+            fn sample_standard(rng: &mut dyn RngCore) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range(rng: &mut dyn RngCore, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range needs a non-empty range");
+        let u = Self::sample_standard(rng);
+        // Clamp below hi so half-open semantics survive rounding.
+        (lo + u * (hi - lo)).min(hi - hi.abs() * f64::EPSILON).max(lo)
+    }
+    fn sample_standard(rng: &mut dyn RngCore) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range(rng: &mut dyn RngCore, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range needs a non-empty range");
+        let u = Self::sample_standard(rng);
+        (lo + u * (hi - lo)).min(hi - hi.abs() * f32::EPSILON).max(lo)
+    }
+    fn sample_standard(rng: &mut dyn RngCore) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl SampleUniform for bool {
+    fn sample_range(rng: &mut dyn RngCore, _lo: Self, _hi: Self) -> Self {
+        Self::sample_standard(rng)
+    }
+    fn sample_standard(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// High-level sampling methods, like `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform sample from the half-open `range`.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// A "standard" sample (`[0,1)` floats, full-range integers).
+    fn gen<T: SampleUniform>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Construction from seed material, like `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Deterministic construction from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256** with splitmix64
+    /// seed expansion. Deterministic for a given seed.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            Self {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn float_ranges_are_half_open_and_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = r.gen_range(f64::MIN_POSITIVE..1.0);
+            assert!((f64::MIN_POSITIVE..1.0).contains(&x));
+            let y: f32 = r.gen_range(0.0..6.283_185_5);
+            assert!((0.0..6.283_185_5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn int_ranges_cover_their_support() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            let v: usize = r.gen_range(0..6);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn floats_look_uniform() {
+        let mut r = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.gen_range(0.0..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

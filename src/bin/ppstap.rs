@@ -2,7 +2,7 @@
 //!
 //! See `ppstap help` (or [`ppstap::cli::HELP`]) for usage.
 
-use ppstap::cli::{machine_for, parse, Command, RunArgs, SimArgs, HELP};
+use ppstap::cli::{machine_for, parse, Command, PlanArgs, RunArgs, SimArgs, HELP};
 use ppstap::core::config::StapConfig;
 use ppstap::core::desmodel::{render_gantt, DesExperiment};
 use ppstap::core::experiments::ablation::sweep_stripe_factor;
@@ -20,6 +20,7 @@ fn main() {
         Ok(Command::Sim(a)) => sim(a),
         Ok(Command::Tables { out }) => tables(out),
         Ok(Command::Sweep { nodes }) => sweep(nodes),
+        Ok(Command::Plan(a)) => plan_cmd(a),
         Err(e) => {
             eprintln!("error: {e}\n");
             eprint!("{HELP}");
@@ -48,11 +49,19 @@ fn run(a: RunArgs) {
         ..StapConfig::default()
     };
     println!("structure : {} / {}", config.io.label(), config.tail.label());
-    println!("files     : {} x {} KiB on {}", config.fanout, config.dims.bytes() / 1024, config.fs.name);
+    println!(
+        "files     : {} x {} KiB on {}",
+        config.fanout,
+        config.dims.bytes() / 1024,
+        config.fs.name
+    );
     let system = StapSystem::prepare(config).expect("prepare");
     let out = system.run().expect("pipeline run");
 
-    println!("\n{:<16}{:>7}{:>10}{:>10}{:>10}{:>10}{:>10}", "task", "nodes", "read", "recv", "compute", "send", "total");
+    println!(
+        "\n{:<16}{:>7}{:>10}{:>10}{:>10}{:>10}{:>10}",
+        "task", "nodes", "read", "recv", "compute", "send", "total"
+    );
     for (i, stage) in system.topology().stages().iter().enumerate() {
         let id = StageId(i);
         print!("{:<16}{:>7}", stage.name, stage.nodes);
@@ -83,9 +92,11 @@ fn sim(a: SimArgs) {
         exp.cpis = 24;
         let (result, trace) = exp.run_traced();
         print_result(&result);
-        let horizon = trace.iter().map(|e| e.end).fold(0.0, f64::max).min(
-            3.0 * result.latency + 1.0 / result.throughput * 10.0,
-        );
+        let horizon = trace
+            .iter()
+            .map(|e| e.end)
+            .fold(0.0, f64::max)
+            .min(3.0 * result.latency + 1.0 / result.throughput * 10.0);
         println!("\n{}", render_gantt(&result, &trace, horizon));
     } else {
         print_result(&exp.run());
@@ -98,8 +109,16 @@ fn print_result(r: &ppstap::core::DesResult) {
     for t in &r.tasks {
         println!("{:<16}{:>7}{:>12.4}", t.label, t.nodes, t.time);
     }
-    println!("\nthroughput       : {:>8.3} CPIs/s  (analytic {:>8.3})", r.throughput, r.analytic_throughput());
-    println!("latency          : {:>8.4} s       (analytic {:>8.4})", r.latency, r.analytic_latency());
+    println!(
+        "\nthroughput       : {:>8.3} CPIs/s  (analytic {:>8.3})",
+        r.throughput,
+        r.analytic_throughput()
+    );
+    println!(
+        "latency          : {:>8.4} s       (analytic {:>8.4})",
+        r.latency,
+        r.analytic_latency()
+    );
     println!("I/O utilization  : {:>8.2}", r.io_utilization);
 }
 
@@ -145,6 +164,20 @@ mod stap_bench_shim {
         out.push(("fig8", render_fig8(&f8)));
         out.push(("validation", render_validation(&validate_embedded_grid())));
         out
+    }
+}
+
+fn plan_cmd(a: PlanArgs) {
+    let machines = a.machines().expect("validated by the parser");
+    let mut cfg = ppstap::planner::PlannerConfig::new(machines, a.nodes);
+    if a.no_des {
+        cfg.validate_des = false;
+    }
+    let report = ppstap::planner::plan(&cfg);
+    if a.json {
+        println!("{}", ppstap::planner::to_json(&report));
+    } else {
+        print!("{}", ppstap::planner::render_text(&report));
     }
 }
 

@@ -25,8 +25,56 @@ pub enum Command {
         /// Compute nodes.
         nodes: usize,
     },
+    /// `ppstap plan` — search configurations for the Pareto front.
+    Plan(PlanArgs),
     /// `ppstap help` or `--help`.
     Help,
+}
+
+/// Arguments of `ppstap plan`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanArgs {
+    /// Machine family: "paragon" (both stripe factors unless narrowed by
+    /// `--stripe-factor`), "paragon16", "paragon64", "sp", or "all".
+    pub machine: String,
+    /// Narrows "paragon" to one stripe factor (16 or 64).
+    pub stripe_factor: Option<usize>,
+    /// Compute-node budget for the seven pipeline tasks.
+    pub nodes: usize,
+    /// Emit the report as JSON instead of the text table.
+    pub json: bool,
+    /// Skip stage-2 DES validation (analytic metrics only).
+    pub no_des: bool,
+}
+
+impl Default for PlanArgs {
+    fn default() -> Self {
+        Self {
+            machine: "paragon".into(),
+            stripe_factor: None,
+            nodes: 100,
+            json: false,
+            no_des: false,
+        }
+    }
+}
+
+impl PlanArgs {
+    /// Resolves the machine family + stripe factor into concrete models.
+    pub fn machines(&self) -> Result<Vec<MachineModel>, ParseError> {
+        match (self.machine.as_str(), self.stripe_factor) {
+            ("paragon", None) => Ok(vec![MachineModel::paragon(16), MachineModel::paragon(64)]),
+            ("paragon", Some(sf)) if sf == 16 || sf == 64 => Ok(vec![MachineModel::paragon(sf)]),
+            ("paragon", Some(sf)) => {
+                Err(ParseError(format!("--stripe-factor must be 16 or 64, got {sf}")))
+            }
+            ("all", None) => Ok(MachineModel::paper_machines()),
+            (key, None) => Ok(vec![machine_for(key)?]),
+            (key, Some(_)) => Err(ParseError(format!(
+                "--stripe-factor only applies to --machine paragon, not '{key}'"
+            ))),
+        }
+    }
 }
 
 /// Arguments of `ppstap run`.
@@ -117,7 +165,9 @@ pub fn machine_for(key: &str) -> Result<MachineModel, ParseError> {
         "paragon16" => Ok(MachineModel::paragon(16)),
         "paragon64" => Ok(MachineModel::paragon(64)),
         "sp" => Ok(MachineModel::sp()),
-        other => Err(ParseError(format!("--machine must be paragon16|paragon64|sp, got '{other}'"))),
+        other => {
+            Err(ParseError(format!("--machine must be paragon16|paragon64|sp, got '{other}'")))
+        }
     }
 }
 
@@ -181,7 +231,9 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
                             .parse()
                             .map_err(|_| ParseError("--nodes must be a number".into()))?;
                         if a.nodes < 7 {
-                            return Err(ParseError("--nodes must be at least 7 (one per task)".into()));
+                            return Err(ParseError(
+                                "--nodes must be at least 7 (one per task)".into(),
+                            ));
                         }
                     }
                     "--trace" => a.trace = true,
@@ -214,6 +266,43 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
             }
             Ok(Command::Sweep { nodes })
         }
+        "plan" => {
+            let mut a = PlanArgs::default();
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--machine" => {
+                        let v = take_value(flag, &mut it)?;
+                        if !["paragon", "paragon16", "paragon64", "sp", "all"].contains(&v) {
+                            return Err(ParseError(format!(
+                                "--machine must be paragon|paragon16|paragon64|sp|all, got '{v}'"
+                            )));
+                        }
+                        a.machine = v.to_string();
+                    }
+                    "--stripe-factor" => {
+                        a.stripe_factor =
+                            Some(take_value(flag, &mut it)?.parse().map_err(|_| {
+                                ParseError("--stripe-factor must be a number".into())
+                            })?);
+                    }
+                    "--nodes" => {
+                        a.nodes = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ParseError("--nodes must be a number".into()))?;
+                        if a.nodes < 7 {
+                            return Err(ParseError(
+                                "--nodes must be at least 7 (one per task)".into(),
+                            ));
+                        }
+                    }
+                    "--json" => a.json = true,
+                    "--no-des" => a.no_des = true,
+                    other => return Err(ParseError(format!("unknown flag '{other}' for plan"))),
+                }
+            }
+            a.machines()?; // validate the combination now
+            Ok(Command::Plan(a))
+        }
         other => Err(ParseError(format!("unknown command '{other}' (try 'ppstap help')"))),
     }
 }
@@ -239,6 +328,12 @@ USAGE:
     ppstap sweep [--nodes N]
         Stripe-factor sweep at N compute nodes.
 
+    ppstap plan  [--machine paragon|paragon16|paragon64|sp|all]
+                 [--stripe-factor 16|64] [--nodes N] [--json] [--no-des]
+        Search node assignments x I/O strategies x task combining for the
+        throughput/latency Pareto front (DES-validated unless --no-des),
+        printing every pruned candidate with the reason it lost.
+
     ppstap help
         Show this text.
 ";
@@ -258,7 +353,15 @@ mod tests {
     fn run_defaults_and_flags() {
         assert_eq!(parse(&["run"]).unwrap(), Command::Run(RunArgs::default()));
         let c = parse(&[
-            "run", "--io", "separate", "--tail", "combined", "--cpis", "9", "--fs", "piofs",
+            "run",
+            "--io",
+            "separate",
+            "--tail",
+            "combined",
+            "--cpis",
+            "9",
+            "--fs",
+            "piofs",
             "--record-reports",
         ])
         .unwrap();
@@ -307,6 +410,57 @@ mod tests {
         assert!(parse(&["sim", "--nodes", "3"]).unwrap_err().0.contains("at least 7"));
         assert!(parse(&["launch"]).unwrap_err().0.contains("unknown command"));
         assert!(parse(&["run", "--frobnicate"]).unwrap_err().0.contains("unknown flag"));
+    }
+
+    #[test]
+    fn plan_flags() {
+        assert_eq!(parse(&["plan"]).unwrap(), Command::Plan(PlanArgs::default()));
+        let c = parse(&[
+            "plan",
+            "--machine",
+            "paragon",
+            "--stripe-factor",
+            "64",
+            "--nodes",
+            "100",
+            "--json",
+            "--no-des",
+        ])
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Plan(PlanArgs {
+                machine: "paragon".into(),
+                stripe_factor: Some(64),
+                nodes: 100,
+                json: true,
+                no_des: true,
+            })
+        );
+    }
+
+    #[test]
+    fn plan_machine_resolution() {
+        let both = PlanArgs::default().machines().unwrap();
+        assert_eq!(both.len(), 2, "bare paragon searches both stripe factors");
+        let one = PlanArgs { stripe_factor: Some(16), ..PlanArgs::default() }.machines().unwrap();
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].fs.stripe_factor, 16);
+        let all = PlanArgs { machine: "all".into(), ..PlanArgs::default() }.machines().unwrap();
+        assert_eq!(all.len(), 3);
+        let sp = PlanArgs { machine: "sp".into(), ..PlanArgs::default() }.machines().unwrap();
+        assert_eq!(sp[0].fs.stripe_factor, 80);
+    }
+
+    #[test]
+    fn plan_errors_are_specific() {
+        assert!(parse(&["plan", "--machine", "cray"]).unwrap_err().0.contains("paragon|"));
+        assert!(parse(&["plan", "--stripe-factor", "32"]).unwrap_err().0.contains("16 or 64"));
+        assert!(parse(&["plan", "--machine", "sp", "--stripe-factor", "64"])
+            .unwrap_err()
+            .0
+            .contains("only applies"));
+        assert!(parse(&["plan", "--nodes", "3"]).unwrap_err().0.contains("at least 7"));
     }
 
     #[test]

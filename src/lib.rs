@@ -15,7 +15,9 @@
 //! - [`des`] — a discrete-event simulation engine;
 //! - [`model`] — machine/cost models and the paper's analytic equations;
 //! - [`pipeline`] — the generic parallel pipeline runtime;
-//! - [`core`] — the paper's STAP pipeline system and experiment drivers.
+//! - [`core`] — the paper's STAP pipeline system and experiment drivers;
+//! - [`planner`] — bi-criteria configuration search over node assignments,
+//!   I/O strategies, and task combining (`ppstap plan`).
 
 pub mod cli;
 
@@ -27,4 +29,5 @@ pub use stap_math as math;
 pub use stap_model as model;
 pub use stap_pfs as pfs;
 pub use stap_pipeline as pipeline;
+pub use stap_planner as planner;
 pub use stap_radar as radar;

@@ -22,12 +22,7 @@ fn two_target_scene() -> Scene {
 }
 
 fn base_config() -> StapConfig {
-    StapConfig {
-        scene: two_target_scene(),
-        cpis: 5,
-        warmup: 1,
-        ..StapConfig::default()
-    }
+    StapConfig { scene: two_target_scene(), cpis: 5, warmup: 1, ..StapConfig::default() }
 }
 
 fn gates_detected(report: &DetectionReport) -> Vec<usize> {
@@ -165,10 +160,8 @@ fn wide_stages_work() {
 #[test]
 fn eigencanceler_weights_detect_targets_too() {
     use stap_kernels::weights::WeightMethod;
-    let cfg = StapConfig {
-        weight_method: WeightMethod::Eigencanceler { rank: None },
-        ..base_config()
-    };
+    let cfg =
+        StapConfig { weight_method: WeightMethod::Eigencanceler { rank: None }, ..base_config() };
     let sys = StapSystem::prepare(cfg).unwrap();
     let out = sys.run().unwrap();
     assert_targets_found(&out.reports, "eigencanceler");
@@ -200,12 +193,8 @@ fn jammed_cluttered_scene_still_detects_after_adaptation() {
     // The benchmark scene has a 25 dB jammer and 30 dB clutter; adaptive
     // weights (from CPI ≥ 1) must null them well enough to find both
     // targets.
-    let cfg = StapConfig {
-        scene: Scene::benchmark_small(),
-        cpis: 5,
-        warmup: 1,
-        ..StapConfig::default()
-    };
+    let cfg =
+        StapConfig { scene: Scene::benchmark_small(), cpis: 5, warmup: 1, ..StapConfig::default() };
     let sys = StapSystem::prepare(cfg).unwrap();
     let out = sys.run().unwrap();
     for r in out.reports.iter().filter(|r| r.cpi >= 1) {

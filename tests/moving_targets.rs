@@ -28,10 +28,7 @@ fn drifting_target_detections_walk_in_range() {
     let mut gen = CubeGenerator::new(cfg.dims, scene, cfg.waveform_len, cfg.seed)
         .with_drift(vec![TargetDrift { gates_per_cpi: 8.0, doppler_per_cpi: 0.0 }]);
     for slot in 0..cfg.fanout {
-        let f = sys
-            .fs()
-            .open(&StapConfig::file_name(slot), OpenMode::Async)
-            .unwrap();
+        let f = sys.fs().open(&StapConfig::file_name(slot), OpenMode::Async).unwrap();
         let cube: DataCube = gen.next_cube();
         f.write_at(0, &cube.to_range_major_bytes());
     }
@@ -41,10 +38,7 @@ fn drifting_target_detections_walk_in_range() {
         let expected_gate = 20 + 8 * report.cpi as usize;
         let clustered = report.cluster(4);
         assert!(
-            clustered
-                .detections
-                .iter()
-                .any(|d| d.range.abs_diff(expected_gate) <= 3),
+            clustered.detections.iter().any(|d| d.range.abs_diff(expected_gate) <= 3),
             "CPI {}: no detection near gate {expected_gate}; got {:?}",
             report.cpi,
             clustered.detections.iter().map(|d| d.range).collect::<Vec<_>>()

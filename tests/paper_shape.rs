@@ -122,11 +122,7 @@ fn hard_weight_task_gets_most_nodes_in_every_cell() {
     let t1 = table1();
     for row in &t1.cells {
         for cell in row {
-            let hw = cell
-                .tasks
-                .iter()
-                .find(|t| t.label == "hard weight")
-                .expect("hard weight row");
+            let hw = cell.tasks.iter().find(|t| t.label == "hard weight").expect("hard weight row");
             for t in &cell.tasks {
                 assert!(hw.nodes >= t.nodes, "{} has {} > {}", t.label, t.nodes, hw.nodes);
             }

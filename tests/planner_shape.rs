@@ -1,0 +1,90 @@
+//! Planner acceptance shape: the searched Pareto front must rediscover the
+//! paper's qualitative findings and dominate the proportional heuristic.
+//!
+//! - The front is never empty and every surviving plan's DES throughput is
+//!   within 15% of its analytic prediction (the two-stage evaluator is
+//!   consistent).
+//! - Combining PC+CFAR is always represented on the front (Section 5.3:
+//!   combining never hurts).
+//! - No separate-I/O plan is latency-optimal (the extra Read stage buys
+//!   throughput headroom, never latency).
+//! - At 100 nodes the sf=16 file system is dominated outright (Table 1's
+//!   read ceiling).
+//! - The front's best throughput is at least the heuristic assignment's at
+//!   every paper node count.
+
+use stap_model::machines::MachineModel;
+use stap_planner::{plan, Outcome, PlanOrigin, PlannerConfig};
+
+#[test]
+fn front_nonempty_and_des_consistent_at_100() {
+    let report = plan(&PlannerConfig::new(vec![MachineModel::paragon(64)], 100));
+    let front = report.front();
+    assert!(!front.is_empty(), "empty Pareto front");
+    for p in front {
+        let err =
+            p.des_error_pct.expect("front plans must be DES-validated when validate_des is on");
+        assert!(err < 15.0, "plan #{} DES throughput diverges {err:.1}% from analytic", p.id);
+    }
+}
+
+#[test]
+fn combined_tail_always_on_front_and_separate_io_never_latency_optimal() {
+    for nodes in [25usize, 50, 100] {
+        let report = plan(&PlannerConfig::new(
+            vec![MachineModel::paragon(16), MachineModel::paragon(64)],
+            nodes,
+        ));
+        let front = report.front();
+        assert!(!front.is_empty(), "empty front at {nodes} nodes");
+        assert!(
+            front.iter().any(|p| p.tail == stap_core::TailStructure::Combined),
+            "no combined PC+CFAR plan on the front at {nodes} nodes"
+        );
+        let best_latency = report.best_latency().expect("non-empty front");
+        assert_eq!(
+            best_latency.io,
+            stap_core::IoStrategy::Embedded,
+            "separate-I/O plan #{} is latency-optimal at {nodes} nodes",
+            best_latency.id
+        );
+    }
+}
+
+#[test]
+fn sf16_dominated_at_100_nodes() {
+    let report =
+        plan(&PlannerConfig::new(vec![MachineModel::paragon(16), MachineModel::paragon(64)], 100));
+    for p in report.front() {
+        assert_eq!(p.stripe_factor, 64, "sf=16 plan #{} survived to the front at 100 nodes", p.id);
+    }
+    // Dominated sf=16 plans must carry provenance naming their dominator.
+    assert!(
+        report
+            .plans
+            .iter()
+            .filter(|p| p.stripe_factor == 16)
+            .all(|p| !matches!(p.outcome, Outcome::Front)),
+        "inconsistent outcome labeling"
+    );
+}
+
+#[test]
+fn search_dominates_the_proportional_heuristic() {
+    for nodes in [25usize, 50, 100] {
+        let report =
+            plan(&PlannerConfig::new(vec![MachineModel::paragon(64)], nodes).without_des());
+        let best = report.best_throughput().expect("non-empty front").analytic.throughput;
+        let heuristic = report
+            .plans
+            .iter()
+            .filter(|p| p.origin == PlanOrigin::Heuristic)
+            .map(|p| p.analytic.throughput)
+            .fold(0.0f64, f64::max);
+        assert!(heuristic > 0.0, "heuristic seed missing at {nodes} nodes");
+        assert!(
+            best >= heuristic - 1e-9,
+            "searched front ({best:.3}) lost to the heuristic ({heuristic:.3}) at {nodes} nodes"
+        );
+    }
+}

@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 use stap_kernels::cube::{partition_even, CubeDims, DataCube};
 use stap_math::fft::{dft_naive, FftPlan};
-use stap_math::{CholeskyFactor, CMat, C64};
+use stap_math::{CMat, CholeskyFactor, C64};
 use stap_model::machines::MachineModel;
 use stap_model::tasktime::{combined_task_time, task_time};
 use stap_model::workload::{ShapeParams, StapWorkload, TaskId};
@@ -282,5 +282,49 @@ proptest! {
         let t6 = task_time(&machine, &w, TaskId::Cfar, p6, p5, 1).total();
         let t56 = combined_task_time(&machine, &w, TaskId::PulseCompression, TaskId::Cfar, p5, p6, pred, 1).total();
         prop_assert!(t56 <= t5.max(t6) + 1e-9, "T56={} max={}", t56, t5.max(t6));
+    }
+
+    /// Node assignment is exhaustive and total: the per-task counts sum to
+    /// the requested total and every task gets at least one node.
+    #[test]
+    fn assign_nodes_sums_and_covers(total in 7usize..600) {
+        use stap_model::assignment::assign_nodes;
+        let w = StapWorkload::derive(ShapeParams::paper_default());
+        let a = assign_nodes(&w, &TaskId::SEVEN, total);
+        prop_assert_eq!(a.total(), total);
+        prop_assert_eq!(a.tasks.len(), TaskId::SEVEN.len());
+        prop_assert!(a.nodes.iter().all(|&n| n >= 1));
+    }
+
+    /// The assignment is house-monotone: growing the machine never takes a
+    /// node away from any task (no Alabama paradox).
+    #[test]
+    fn assign_nodes_monotone_in_total(total in 7usize..600, grow in 1usize..40) {
+        use stap_model::assignment::assign_nodes;
+        let w = StapWorkload::derive(ShapeParams::paper_default());
+        let a = assign_nodes(&w, &TaskId::SEVEN, total);
+        let b = assign_nodes(&w, &TaskId::SEVEN, total + grow);
+        for ((&t, &na), &nb) in a.tasks.iter().zip(&a.nodes).zip(&b.nodes) {
+            prop_assert!(nb >= na, "{t:?} shrank {na} -> {nb} when total grew {total} -> {}", total + grow);
+        }
+    }
+
+    /// Heavier tasks never receive fewer nodes than lighter ones.
+    #[test]
+    fn assign_nodes_ordered_by_workload(total in 7usize..600) {
+        use stap_model::assignment::assign_nodes;
+        let w = StapWorkload::derive(ShapeParams::paper_default());
+        let a = assign_nodes(&w, &TaskId::SEVEN, total);
+        let mut by_weight: Vec<(f64, usize)> = a
+            .tasks
+            .iter()
+            .zip(&a.nodes)
+            .map(|(&t, &n)| (w.flops(t), n))
+            .collect();
+        by_weight.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+        for pair in by_weight.windows(2) {
+            // Allow equality plus one node of slack for near-equal weights.
+            prop_assert!(pair[1].1 + 1 >= pair[0].1, "{pair:?}");
+        }
     }
 }
