@@ -135,6 +135,13 @@ impl StapConfig {
         format!("cpi_{slot}.dat")
     }
 
+    /// The same run configuration with the CPI files restriped — the
+    /// real-mode counterpart of the planner's stripe-factor axis.
+    pub fn with_stripe(mut self, stripe: stap_pfs::StripeConfig) -> Self {
+        self.fs = self.fs.with_stripe(stripe);
+        self
+    }
+
     /// Number of Doppler bins the pipeline will produce.
     pub fn nbins(&self) -> usize {
         self.dims.pulses.next_power_of_two()
@@ -159,5 +166,15 @@ mod tests {
         assert_eq!(c.nbins(), 32);
         assert!(c.cpis > c.warmup);
         assert_eq!(StapConfig::file_name(2), "cpi_2.dat");
+    }
+
+    #[test]
+    fn restriping_a_run_config_changes_only_the_fs() {
+        let c = StapConfig::default();
+        let sf = c.fs.stripe().factor;
+        let r = c.clone().with_stripe(stap_pfs::StripeConfig::new(c.fs.stripe_unit, sf * 4));
+        assert_eq!(r.fs.stripe().factor, sf * 4);
+        assert_eq!(r.dims, c.dims);
+        assert_eq!(r.nodes, c.nodes);
     }
 }

@@ -20,7 +20,7 @@ use stap_des::{Engine, FcfsResource, SimTime, Tally};
 use stap_model::analytic::{latency as eq_latency, throughput as eq_throughput, TaskTime};
 use stap_model::assignment::{assign_nodes, SEPARATE_IO_NODES};
 use stap_model::machines::MachineModel;
-use stap_model::tasktime::{combined_task_time, comm_time, task_time};
+use stap_model::tasktime::{combined_task_time_cap, comm_time, comm_time_cap, task_time_cap};
 use stap_model::workload::{ShapeParams, StapWorkload, TaskId};
 use stap_pfs::layout::StripeLayout;
 use stap_pfs::OpenMode;
@@ -318,6 +318,10 @@ impl DesExperiment {
             .unwrap_or_else(|| assign_nodes(&w, &TaskId::SEVEN, self.compute_nodes));
         let p = |t: TaskId| a.nodes_for(t).expect("task assigned");
         let m = &self.machine;
+        // Aggregate per-task capacity: the node count on homogeneous pools,
+        // the packed classes' summed rates when the assignment carries a
+        // class breakdown (planner output on heterogeneous machines).
+        let cap = |t: TaskId| a.capacity_for(t, &m.classes).expect("task assigned");
         let read_nodes = if self.io == IoStrategy::SeparateTask { SEPARATE_IO_NODES } else { 0 };
         let df_pred = read_nodes;
         let df_succ = p(TaskId::EasyWeight)
@@ -350,15 +354,16 @@ impl DesExperiment {
         // Doppler.
         let df_nodes = p(TaskId::Doppler);
         let df_idx = tasks.len();
+        let capd = cap(TaskId::Doppler);
         let df_dur = match self.io {
             IoStrategy::Embedded => DurKind::ReadEmbedded {
-                compute: m.compute_time(w.flops(TaskId::Doppler), df_nodes),
-                send: comm_time(m, w.output_bytes(TaskId::Doppler), df_nodes, df_succ),
+                compute: m.compute_time_cap(w.flops(TaskId::Doppler), capd.compute),
+                send: comm_time_cap(m, w.output_bytes(TaskId::Doppler), capd.net, df_succ),
                 overhead: m.overhead(df_nodes),
                 overlap: m.can_overlap_io(),
             },
             IoStrategy::SeparateTask => DurKind::Fixed(
-                task_time(m, &w, TaskId::Doppler, df_nodes, df_pred, df_succ).total(),
+                task_time_cap(m, &w, TaskId::Doppler, capd, df_pred, df_succ).total(),
             ),
         };
         tasks.push(SimTask {
@@ -378,11 +383,11 @@ impl DesExperiment {
             id: TaskId::EasyWeight,
             nodes: p(TaskId::EasyWeight),
             dur: DurKind::Fixed(
-                task_time(
+                task_time_cap(
                     m,
                     &w,
                     TaskId::EasyWeight,
-                    p(TaskId::EasyWeight),
+                    cap(TaskId::EasyWeight),
                     df_nodes,
                     p(TaskId::EasyBeamform),
                 )
@@ -397,11 +402,11 @@ impl DesExperiment {
             id: TaskId::HardWeight,
             nodes: p(TaskId::HardWeight),
             dur: DurKind::Fixed(
-                task_time(
+                task_time_cap(
                     m,
                     &w,
                     TaskId::HardWeight,
-                    p(TaskId::HardWeight),
+                    cap(TaskId::HardWeight),
                     df_nodes,
                     p(TaskId::HardBeamform),
                 )
@@ -422,11 +427,11 @@ impl DesExperiment {
             id: TaskId::EasyBeamform,
             nodes: p(TaskId::EasyBeamform),
             dur: DurKind::Fixed(
-                task_time(
+                task_time_cap(
                     m,
                     &w,
                     TaskId::EasyBeamform,
-                    p(TaskId::EasyBeamform),
+                    cap(TaskId::EasyBeamform),
                     df_nodes,
                     tail_first_nodes,
                 )
@@ -441,11 +446,11 @@ impl DesExperiment {
             id: TaskId::HardBeamform,
             nodes: p(TaskId::HardBeamform),
             dur: DurKind::Fixed(
-                task_time(
+                task_time_cap(
                     m,
                     &w,
                     TaskId::HardBeamform,
-                    p(TaskId::HardBeamform),
+                    cap(TaskId::HardBeamform),
                     df_nodes,
                     tail_first_nodes,
                 )
@@ -464,11 +469,11 @@ impl DesExperiment {
                     id: TaskId::PulseCompression,
                     nodes: pc_nodes,
                     dur: DurKind::Fixed(
-                        task_time(
+                        task_time_cap(
                             m,
                             &w,
                             TaskId::PulseCompression,
-                            pc_nodes,
+                            cap(TaskId::PulseCompression),
                             tail_pred_nodes,
                             cf_nodes,
                         )
@@ -482,7 +487,7 @@ impl DesExperiment {
                     id: TaskId::Cfar,
                     nodes: cf_nodes,
                     dur: DurKind::Fixed(
-                        task_time(m, &w, TaskId::Cfar, cf_nodes, pc_nodes, 1).total(),
+                        task_time_cap(m, &w, TaskId::Cfar, cap(TaskId::Cfar), pc_nodes, 1).total(),
                     ),
                     spatial_preds: vec![pc_idx],
                     temporal_preds: vec![],
@@ -494,13 +499,12 @@ impl DesExperiment {
                     id: TaskId::PulseCompression,
                     nodes: pc_nodes + cf_nodes,
                     dur: DurKind::Fixed(
-                        combined_task_time(
+                        combined_task_time_cap(
                             m,
                             &w,
                             TaskId::PulseCompression,
                             TaskId::Cfar,
-                            pc_nodes,
-                            cf_nodes,
+                            cap(TaskId::PulseCompression).merge(cap(TaskId::Cfar)),
                             tail_pred_nodes,
                             1,
                         )
@@ -792,6 +796,27 @@ mod tests {
         let (traced, _) = exp.run_traced();
         assert_eq!(plain.throughput, traced.throughput);
         assert_eq!(plain.latency, traced.latency);
+    }
+
+    #[test]
+    fn hetero_class_packing_speeds_up_the_des() {
+        // A packed assignment on the mixed pool (every class ≥ 1.0× base)
+        // must simulate at least as fast as the same node counts taken at
+        // base rate.
+        use stap_model::assignment::pack_classes;
+        use stap_model::workload::StapWorkload;
+        let m = MachineModel::paragon_hetero().with_stripe_factor(64);
+        let w = StapWorkload::derive(ShapeParams::paper_default());
+        let a = assign_nodes(&w, &TaskId::SEVEN, 100);
+        let packed = pack_classes(&w, &a, &m.classes);
+        let mut base =
+            DesExperiment::new(m.clone(), IoStrategy::Embedded, TailStructure::Split, 100);
+        base.assignment_override = Some(a);
+        let mut het = base.clone();
+        het.assignment_override = Some(packed);
+        let (rb, rh) = (base.run(), het.run());
+        assert!(rh.throughput >= rb.throughput - 1e-12, "{} < {}", rh.throughput, rb.throughput);
+        assert!(rh.latency <= rb.latency + 1e-12, "{} > {}", rh.latency, rb.latency);
     }
 
     #[test]

@@ -108,7 +108,7 @@ pub fn combined_bottleneck_case(compute_nodes: usize) -> (DesResult, DesResult) 
     nodes[pc] = 1;
     nodes[cf] = 1;
     nodes[hw] += freed;
-    let assignment = Assignment { tasks, nodes };
+    let assignment = Assignment::new(tasks, nodes);
 
     let run = |tail| {
         let mut exp = DesExperiment::new(

@@ -15,6 +15,8 @@
 //! remainder exhibits the Alabama paradox, which broke incremental
 //! machine-scaling scenarios).
 
+use crate::machines::NodeClass;
+use crate::tasktime::StageCapacity;
 use crate::workload::{StapWorkload, TaskId};
 
 /// Node counts per task, in the order of `tasks`.
@@ -24,9 +26,19 @@ pub struct Assignment {
     pub tasks: Vec<TaskId>,
     /// Node count per task (parallel to `tasks`).
     pub nodes: Vec<usize>,
+    /// On a heterogeneous pool, `class_counts[i][c]` nodes of machine class
+    /// `c` back task `i` (rows sum to `nodes[i]`). Empty on homogeneous
+    /// machines; filled by [`pack_classes`].
+    pub class_counts: Vec<Vec<usize>>,
 }
 
 impl Assignment {
+    /// An assignment of `nodes[i]` (homogeneous) nodes to `tasks[i]`.
+    pub fn new(tasks: Vec<TaskId>, nodes: Vec<usize>) -> Self {
+        assert_eq!(tasks.len(), nodes.len(), "tasks and nodes must be parallel");
+        Self { tasks, nodes, class_counts: Vec::new() }
+    }
+
     /// Total nodes used.
     pub fn total(&self) -> usize {
         self.nodes.iter().sum()
@@ -35,6 +47,27 @@ impl Assignment {
     /// Node count of a task.
     pub fn nodes_for(&self, t: TaskId) -> Option<usize> {
         self.tasks.iter().position(|&x| x == t).map(|i| self.nodes[i])
+    }
+
+    /// Aggregate capacity of the node group backing task index `i`. Falls
+    /// back to base-class capacity when no per-class packing is recorded.
+    pub fn capacity_at(&self, i: usize, classes: &[NodeClass]) -> StageCapacity {
+        match self.class_counts.get(i) {
+            Some(row) if !classes.is_empty() => {
+                let mut cap = StageCapacity { nodes: self.nodes[i], compute: 0.0, net: 0.0 };
+                for (&n, c) in row.iter().zip(classes) {
+                    cap.compute += n as f64 * c.compute_scale;
+                    cap.net += n as f64 * c.net_scale;
+                }
+                cap
+            }
+            _ => StageCapacity::homogeneous(self.nodes[i]),
+        }
+    }
+
+    /// Aggregate capacity of the node group backing task `t`.
+    pub fn capacity_for(&self, t: TaskId, classes: &[NodeClass]) -> Option<StageCapacity> {
+        self.tasks.iter().position(|&x| x == t).map(|i| self.capacity_at(i, classes))
     }
 }
 
@@ -76,7 +109,55 @@ pub fn assign_nodes(w: &StapWorkload, tasks: &[TaskId], total: usize) -> Assignm
         }
         nodes[best] += 1;
     }
-    Assignment { tasks: tasks.to_vec(), nodes }
+    Assignment::new(tasks.to_vec(), nodes)
+}
+
+/// Packs a node-count assignment onto a heterogeneous pool: tasks are
+/// visited in descending per-node load `W_i / P_i` and each takes its nodes
+/// from the fastest remaining class, so the bottleneck candidates get the
+/// fast nodes. Returns `a` unchanged (no `class_counts`) when `classes` is
+/// empty.
+///
+/// # Panics
+/// Panics when the pool has fewer nodes than `a` uses.
+pub fn pack_classes(w: &StapWorkload, a: &Assignment, classes: &[NodeClass]) -> Assignment {
+    if classes.is_empty() {
+        return a.clone();
+    }
+    let pool: usize = classes.iter().map(|c| c.count).sum();
+    assert!(pool >= a.total(), "pool of {pool} nodes cannot back an assignment of {}", a.total());
+    // Class indices from fastest to slowest compute.
+    let mut order: Vec<usize> = (0..classes.len()).collect();
+    order.sort_by(|&x, &y| {
+        classes[y]
+            .compute_scale
+            .partial_cmp(&classes[x].compute_scale)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    // Task indices by descending per-node load.
+    let mut by_load: Vec<usize> = (0..a.tasks.len()).collect();
+    by_load.sort_by(|&x, &y| {
+        let lx = w.flops(a.tasks[x]) / a.nodes[x] as f64;
+        let ly = w.flops(a.tasks[y]) / a.nodes[y] as f64;
+        ly.partial_cmp(&lx).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut left: Vec<usize> = classes.iter().map(|c| c.count).collect();
+    let mut packed = a.clone();
+    packed.class_counts = vec![vec![0; classes.len()]; a.tasks.len()];
+    for i in by_load {
+        let mut need = a.nodes[i];
+        for &c in &order {
+            let take = need.min(left[c]);
+            packed.class_counts[i][c] = take;
+            left[c] -= take;
+            need -= take;
+            if need == 0 {
+                break;
+            }
+        }
+        debug_assert_eq!(need, 0, "pool exhausted mid-pack");
+    }
+    packed
 }
 
 /// The paper's three node-count cases ("each doubles the number of nodes of
@@ -149,5 +230,66 @@ mod tests {
     #[should_panic(expected = "at least one node per task")]
     fn too_few_nodes_rejected() {
         assign_nodes(&w(), &TaskId::SEVEN, 3);
+    }
+
+    fn hetero_classes() -> Vec<NodeClass> {
+        vec![
+            NodeClass { name: "gp".into(), compute_scale: 1.0, net_scale: 1.0, count: 40 },
+            NodeClass { name: "fast".into(), compute_scale: 2.0, net_scale: 1.5, count: 15 },
+        ]
+    }
+
+    #[test]
+    fn packing_preserves_counts_and_respects_the_pool() {
+        let w = w();
+        let a = assign_nodes(&w, &TaskId::SEVEN, 50);
+        let packed = pack_classes(&w, &a, &hetero_classes());
+        assert_eq!(packed.nodes, a.nodes);
+        for (i, row) in packed.class_counts.iter().enumerate() {
+            assert_eq!(row.iter().sum::<usize>(), packed.nodes[i], "row {i} sums to the count");
+        }
+        for c in 0..2 {
+            let used: usize = packed.class_counts.iter().map(|r| r[c]).sum();
+            assert!(used <= hetero_classes()[c].count, "class {c} oversubscribed");
+        }
+        // Fastest-first packing drains the whole fast class.
+        assert_eq!(packed.class_counts.iter().map(|r| r[1]).sum::<usize>(), 15);
+    }
+
+    #[test]
+    fn packing_gives_fast_nodes_to_the_heaviest_task() {
+        let w = w();
+        let a = assign_nodes(&w, &TaskId::SEVEN, 50);
+        let packed = pack_classes(&w, &a, &hetero_classes());
+        // The task with the highest per-node load is packed first, so it
+        // draws from the fast class.
+        let heaviest = (0..a.tasks.len())
+            .max_by(|&x, &y| {
+                let lx = w.flops(a.tasks[x]) / a.nodes[x] as f64;
+                let ly = w.flops(a.tasks[y]) / a.nodes[y] as f64;
+                lx.partial_cmp(&ly).unwrap()
+            })
+            .unwrap();
+        let cap = packed.capacity_at(heaviest, &hetero_classes());
+        assert!(cap.compute > packed.nodes[heaviest] as f64, "heaviest task got no fast nodes");
+    }
+
+    #[test]
+    fn capacity_defaults_to_node_count_without_packing() {
+        let w = w();
+        let a = assign_nodes(&w, &TaskId::SEVEN, 25);
+        let cap = a.capacity_for(TaskId::Doppler, &hetero_classes()).unwrap();
+        assert_eq!(cap.compute, a.nodes_for(TaskId::Doppler).unwrap() as f64);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot back an assignment")]
+    fn packing_rejects_oversized_assignments() {
+        let w = w();
+        let a = assign_nodes(&w, &TaskId::SEVEN, 100);
+        let mut small = hetero_classes();
+        small[0].count = 10;
+        small[1].count = 10;
+        pack_classes(&w, &a, &small);
     }
 }

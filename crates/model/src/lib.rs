@@ -42,8 +42,8 @@ pub mod tasktime;
 pub mod workload;
 
 pub use analytic::{latency, throughput};
-pub use assignment::assign_nodes;
-pub use machines::MachineModel;
+pub use assignment::{assign_nodes, pack_classes, Assignment};
+pub use machines::{MachineModel, NodeClass};
 pub use prediction::{predict, predict_with_assignment, PipelinePrediction, PredictStructure};
-pub use tasktime::{task_time, TaskCosts};
+pub use tasktime::{task_time, StageCapacity, TaskCosts};
 pub use workload::{ShapeParams, StapWorkload, TaskId};

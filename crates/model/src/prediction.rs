@@ -10,7 +10,7 @@
 use crate::analytic::{latency, throughput, TaskTime};
 use crate::assignment::{assign_nodes, Assignment, SEPARATE_IO_NODES};
 use crate::machines::MachineModel;
-use crate::tasktime::{combined_task_time, comm_time, task_time};
+use crate::tasktime::{combined_task_time_cap, comm_time, comm_time_cap, task_time_cap};
 use crate::workload::{ShapeParams, StapWorkload, TaskId};
 use stap_pfs::layout::StripeLayout;
 use stap_pfs::timing::ServerQueueSim;
@@ -78,6 +78,9 @@ pub fn predict_with_assignment(
 ) -> PipelinePrediction {
     let w = StapWorkload::derive(shape);
     let p = |t: TaskId| a.nodes_for(t).expect("assigned");
+    // Per-task aggregate capacity: the node count on homogeneous machines,
+    // the packed classes' summed rates on heterogeneous pools.
+    let cap = |t: TaskId| a.capacity_for(t, &m.classes).expect("assigned");
     let read_time = steady_read_time(m, shape);
     let df_nodes = p(TaskId::Doppler);
     let df_succ = p(TaskId::EasyWeight)
@@ -99,11 +102,20 @@ pub fn predict_with_assignment(
         times.push(TaskTime { task: TaskId::Read, time: t_read });
         times.push(TaskTime {
             task: TaskId::Doppler,
-            time: task_time(m, &w, TaskId::Doppler, df_nodes, SEPARATE_IO_NODES, df_succ).total(),
+            time: task_time_cap(
+                m,
+                &w,
+                TaskId::Doppler,
+                cap(TaskId::Doppler),
+                SEPARATE_IO_NODES,
+                df_succ,
+            )
+            .total(),
         });
     } else {
-        let compute = m.compute_time(w.flops(TaskId::Doppler), df_nodes);
-        let send = comm_time(m, w.output_bytes(TaskId::Doppler), df_nodes, df_succ);
+        let capd = cap(TaskId::Doppler);
+        let compute = m.compute_time_cap(w.flops(TaskId::Doppler), capd.compute);
+        let send = comm_time_cap(m, w.output_bytes(TaskId::Doppler), capd.net, df_succ);
         let t_df = if m.can_overlap_io() {
             read_time.max(compute + send) + m.overhead(df_nodes)
         } else {
@@ -125,18 +137,17 @@ pub fn predict_with_assignment(
         (TaskId::EasyBeamform, df_nodes, tail_first),
         (TaskId::HardBeamform, df_nodes, tail_first),
     ] {
-        times.push(TaskTime { task: t, time: task_time(m, &w, t, p(t), pred, succ).total() });
+        times.push(TaskTime { task: t, time: task_time_cap(m, &w, t, cap(t), pred, succ).total() });
     }
 
     // Tail.
     if structure.combined_tail {
-        let t56 = combined_task_time(
+        let t56 = combined_task_time_cap(
             m,
             &w,
             TaskId::PulseCompression,
             TaskId::Cfar,
-            p(TaskId::PulseCompression),
-            p(TaskId::Cfar),
+            cap(TaskId::PulseCompression).merge(cap(TaskId::Cfar)),
             tail_pred,
             1,
         );
@@ -144,11 +155,11 @@ pub fn predict_with_assignment(
     } else {
         times.push(TaskTime {
             task: TaskId::PulseCompression,
-            time: task_time(
+            time: task_time_cap(
                 m,
                 &w,
                 TaskId::PulseCompression,
-                p(TaskId::PulseCompression),
+                cap(TaskId::PulseCompression),
                 tail_pred,
                 p(TaskId::Cfar),
             )
@@ -156,8 +167,15 @@ pub fn predict_with_assignment(
         });
         times.push(TaskTime {
             task: TaskId::Cfar,
-            time: task_time(m, &w, TaskId::Cfar, p(TaskId::Cfar), p(TaskId::PulseCompression), 1)
-                .total(),
+            time: task_time_cap(
+                m,
+                &w,
+                TaskId::Cfar,
+                cap(TaskId::Cfar),
+                p(TaskId::PulseCompression),
+                1,
+            )
+            .total(),
         });
     }
 
@@ -218,6 +236,21 @@ mod tests {
         assert!(comb.latency < split.latency);
         assert!(comb.throughput >= split.throughput * 0.999);
         assert_eq!(comb.task_times.len(), 6);
+    }
+
+    #[test]
+    fn hetero_packing_never_slows_the_pipeline() {
+        // Every class scale is ≥ 1.0, so packed capacities dominate raw node
+        // counts: the mixed pool must be at least as good on both axes.
+        let m = MachineModel::paragon_hetero().with_stripe_factor(64);
+        let shape = ShapeParams::paper_default();
+        let w = StapWorkload::derive(shape);
+        let a = assign_nodes(&w, &TaskId::SEVEN, 100);
+        let packed = crate::assignment::pack_classes(&w, &a, &m.classes);
+        let hom = predict_with_assignment(&m, shape, SPLIT_EMBEDDED, &a);
+        let het = predict_with_assignment(&m, shape, SPLIT_EMBEDDED, &packed);
+        assert!(het.throughput >= hom.throughput - 1e-12);
+        assert!(het.latency <= hom.latency + 1e-12);
     }
 
     #[test]

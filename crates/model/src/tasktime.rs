@@ -25,6 +25,38 @@ impl TaskCosts {
     }
 }
 
+/// Aggregate capacity of the node group running one task: the node count
+/// plus the group's summed compute and network rates in base-node units.
+/// On a homogeneous machine both capacities equal the node count; on a
+/// heterogeneous pool they depend on which classes the packer handed the
+/// task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageCapacity {
+    /// Number of nodes in the group.
+    pub nodes: usize,
+    /// Summed compute scale (base-node units).
+    pub compute: f64,
+    /// Summed link-bandwidth scale (base-link units).
+    pub net: f64,
+}
+
+impl StageCapacity {
+    /// Capacity of `nodes` base-class nodes.
+    pub fn homogeneous(nodes: usize) -> Self {
+        Self { nodes, compute: nodes as f64, net: nodes as f64 }
+    }
+
+    /// Capacity of the union of two node groups (used for the combined
+    /// PC+CFAR task).
+    pub fn merge(self, other: Self) -> Self {
+        Self {
+            nodes: self.nodes + other.nodes,
+            compute: self.compute + other.compute,
+            net: self.net + other.net,
+        }
+    }
+}
+
 /// Communication time for moving `bytes` into/out of a task spread over
 /// `nodes` nodes, exchanging messages with `peer_nodes` peer nodes.
 ///
@@ -32,10 +64,17 @@ impl TaskCosts {
 /// the interconnect latency once per peer message (the redistribution is
 /// all-to-all between the two node groups).
 pub fn comm_time(m: &MachineModel, bytes: usize, nodes: usize, peer_nodes: usize) -> f64 {
+    comm_time_cap(m, bytes, nodes as f64, peer_nodes)
+}
+
+/// [`comm_time`] for a node group with aggregate link capacity
+/// `net_capacity` (base-link units): faster links drain the per-node share
+/// proportionally sooner.
+pub fn comm_time_cap(m: &MachineModel, bytes: usize, net_capacity: f64, peer_nodes: usize) -> f64 {
     if bytes == 0 || peer_nodes == 0 {
         return 0.0;
     }
-    m.net_latency * peer_nodes as f64 + bytes as f64 / (nodes as f64 * m.net_bandwidth)
+    m.net_latency * peer_nodes as f64 + bytes as f64 / (net_capacity * m.net_bandwidth)
 }
 
 /// Full `T_i` for a compute task (Eq. 6), given its node count and the node
@@ -48,11 +87,25 @@ pub fn task_time(
     pred_nodes: usize,
     succ_nodes: usize,
 ) -> TaskCosts {
-    assert!(nodes > 0, "task needs at least one node");
-    let compute = m.compute_time(w.flops(task), nodes);
-    let recv = comm_time(m, w.input_bytes(task), nodes, pred_nodes);
-    let send = comm_time(m, w.output_bytes(task), nodes, succ_nodes);
-    TaskCosts { compute, comm: recv + send, overhead: m.overhead(nodes) }
+    task_time_cap(m, w, task, StageCapacity::homogeneous(nodes), pred_nodes, succ_nodes)
+}
+
+/// [`task_time`] for a node group of known aggregate capacity — the
+/// heterogeneous-pool generalization of Eq. 6 (`W_i` divided by the group's
+/// compute capacity rather than its node count).
+pub fn task_time_cap(
+    m: &MachineModel,
+    w: &StapWorkload,
+    task: TaskId,
+    cap: StageCapacity,
+    pred_nodes: usize,
+    succ_nodes: usize,
+) -> TaskCosts {
+    assert!(cap.nodes > 0, "task needs at least one node");
+    let compute = m.compute_time_cap(w.flops(task), cap.compute);
+    let recv = comm_time_cap(m, w.input_bytes(task), cap.net, pred_nodes);
+    let send = comm_time_cap(m, w.output_bytes(task), cap.net, succ_nodes);
+    TaskCosts { compute, comm: recv + send, overhead: m.overhead(cap.nodes) }
 }
 
 #[allow(clippy::too_many_arguments)] // mirrors Eq. 7's full parameter list
@@ -69,13 +122,35 @@ pub fn combined_task_time(
     pred_nodes: usize,
     succ_nodes: usize,
 ) -> TaskCosts {
-    let p = nodes_first + nodes_second;
-    let compute = m.compute_time(w.flops(first) + w.flops(second), p);
+    combined_task_time_cap(
+        m,
+        w,
+        first,
+        second,
+        StageCapacity::homogeneous(nodes_first).merge(StageCapacity::homogeneous(nodes_second)),
+        pred_nodes,
+        succ_nodes,
+    )
+}
+
+/// [`combined_task_time`] with the merged group's aggregate capacity given
+/// explicitly (heterogeneous pools).
+pub fn combined_task_time_cap(
+    m: &MachineModel,
+    w: &StapWorkload,
+    first: TaskId,
+    second: TaskId,
+    cap: StageCapacity,
+    pred_nodes: usize,
+    succ_nodes: usize,
+) -> TaskCosts {
+    assert!(cap.nodes > 0, "combined task needs at least one node");
+    let compute = m.compute_time_cap(w.flops(first) + w.flops(second), cap.compute);
     // The combined task receives `first`'s input and sends `second`'s
     // output; the first→second transfer is now node-local.
-    let recv = comm_time(m, w.input_bytes(first), p, pred_nodes);
-    let send = comm_time(m, w.output_bytes(second), p, succ_nodes);
-    TaskCosts { compute, comm: recv + send, overhead: m.overhead(p) }
+    let recv = comm_time_cap(m, w.input_bytes(first), cap.net, pred_nodes);
+    let send = comm_time_cap(m, w.output_bytes(second), cap.net, succ_nodes);
+    TaskCosts { compute, comm: recv + send, overhead: m.overhead(cap.nodes) }
 }
 
 #[cfg(test)]
@@ -140,6 +215,34 @@ mod tests {
                 t5.total() + t6.total()
             );
         }
+    }
+
+    #[test]
+    fn capacity_generalizes_node_count() {
+        let (m, w) = setup();
+        let by_nodes = task_time(&m, &w, TaskId::Doppler, 8, 4, 4);
+        let by_cap = task_time_cap(&m, &w, TaskId::Doppler, StageCapacity::homogeneous(8), 4, 4);
+        assert_eq!(by_nodes, by_cap);
+        // Doubling compute capacity at the same node count halves compute
+        // but leaves comm and overhead alone.
+        let fast = task_time_cap(
+            &m,
+            &w,
+            TaskId::Doppler,
+            StageCapacity { nodes: 8, compute: 16.0, net: 8.0 },
+            4,
+            4,
+        );
+        assert!((by_nodes.compute / fast.compute - 2.0).abs() < 1e-9);
+        assert_eq!(by_nodes.comm, fast.comm);
+        assert_eq!(by_nodes.overhead, fast.overhead);
+    }
+
+    #[test]
+    fn merged_capacity_adds_componentwise() {
+        let a = StageCapacity { nodes: 3, compute: 6.0, net: 4.5 };
+        let b = StageCapacity::homogeneous(2);
+        assert_eq!(a.merge(b), StageCapacity { nodes: 5, compute: 8.0, net: 6.5 });
     }
 
     #[test]

@@ -15,6 +15,31 @@ pub enum OpenMode {
     Unix,
 }
 
+/// A per-plan striping choice: stripe unit × stripe factor.
+///
+/// ViPIOS-style, the layout is a tunable the optimizer owns rather than an
+/// environment constant: the planner carries a `StripeConfig` per candidate
+/// plan and restripes the file system model with [`FsConfig::with_stripe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripeConfig {
+    /// Stripe unit in bytes.
+    pub unit: usize,
+    /// Number of stripe directories / I/O servers the file is spread over.
+    pub factor: usize,
+}
+
+impl StripeConfig {
+    /// A striping choice of `factor` servers with `unit`-byte stripe units.
+    ///
+    /// # Panics
+    /// Panics when either dimension is zero.
+    pub fn new(unit: usize, factor: usize) -> Self {
+        assert!(unit > 0, "stripe unit must be positive");
+        assert!(factor > 0, "stripe factor must be positive");
+        Self { unit, factor }
+    }
+}
+
 /// Static description of a parallel file system instance.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FsConfig {
@@ -78,6 +103,33 @@ impl FsConfig {
     pub fn aggregate_bandwidth(&self) -> f64 {
         self.server_bandwidth * self.stripe_factor as f64
     }
+
+    /// The current striping choice.
+    pub fn stripe(&self) -> StripeConfig {
+        StripeConfig { unit: self.stripe_unit, factor: self.stripe_factor }
+    }
+
+    /// The same file system restriped to `stripe`. Server characteristics
+    /// (bandwidth, latencies, async support) are unchanged; the display name
+    /// is rewritten to record the new factor.
+    pub fn with_stripe(&self, stripe: StripeConfig) -> Self {
+        let mut fs = self.clone();
+        fs.stripe_unit = stripe.unit;
+        fs.stripe_factor = stripe.factor;
+        let old = format!("stripe factor {}", self.stripe_factor);
+        if fs.name.contains(&old) {
+            fs.name = fs.name.replace(&old, &format!("stripe factor {}", stripe.factor));
+        } else {
+            fs.name = format!("{} (restriped to {})", fs.name, stripe.factor);
+        }
+        fs
+    }
+
+    /// The same file system restriped to `factor` servers, keeping the
+    /// stripe unit.
+    pub fn with_stripe_factor(&self, factor: usize) -> Self {
+        self.with_stripe(StripeConfig::new(self.stripe_unit, factor))
+    }
 }
 
 #[cfg(test)]
@@ -99,6 +151,31 @@ mod tests {
         let p = FsConfig::piofs();
         assert!(!p.supports_async);
         assert_eq!(p.stripe_factor, 80);
+    }
+
+    #[test]
+    fn restriping_changes_only_the_layout() {
+        let a = FsConfig::paragon_pfs(16);
+        let b = a.with_stripe(StripeConfig::new(64 * 1024, 64));
+        assert_eq!(b.stripe_factor, 64);
+        assert_eq!(b.server_bandwidth, a.server_bandwidth);
+        assert_eq!(b.request_latency, a.request_latency);
+        assert_eq!(b.supports_async, a.supports_async);
+        assert_eq!(b, FsConfig::paragon_pfs(64), "restriped Paragon PFS matches the preset");
+        assert_eq!(b.stripe(), StripeConfig::new(64 * 1024, 64));
+    }
+
+    #[test]
+    fn restriping_piofs_records_the_factor_in_the_name() {
+        let fs = FsConfig::piofs().with_stripe_factor(40);
+        assert_eq!(fs.stripe_factor, 40);
+        assert!(fs.name.contains("40"), "name {:?} should record the new factor", fs.name);
+    }
+
+    #[test]
+    #[should_panic(expected = "stripe factor must be positive")]
+    fn zero_stripe_factor_rejected() {
+        StripeConfig::new(64 * 1024, 0);
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub mod layout;
 pub mod storage;
 pub mod timing;
 
-pub use config::{FsConfig, OpenMode};
+pub use config::{FsConfig, OpenMode, StripeConfig};
 pub use error::PfsError;
 pub use file::{FileHandle, Pfs};
 pub use layout::{StripeLayout, StripeRequest};

@@ -10,19 +10,19 @@
 //! metrics, recording the analytic-vs-DES disagreement per plan.
 
 use crate::pareto::pareto_split;
-use crate::plan::{Metrics, Outcome, Plan, PlanOrigin, SearchReport, SearchStats};
+use crate::plan::{Metrics, Outcome, Plan, PlanOrigin, SearchReport, SearchStats, SlaOutcome};
 use crate::search::search_structure;
 use stap_core::desmodel::DesExperiment;
 use stap_core::io_strategy::{IoStrategy, TailStructure};
-use stap_model::assignment::{assign_nodes, SEPARATE_IO_NODES};
+use stap_model::assignment::{assign_nodes, pack_classes, SEPARATE_IO_NODES};
 use stap_model::machines::MachineModel;
 use stap_model::prediction::{predict_with_assignment, PredictStructure};
 use stap_model::workload::{ShapeParams, StapWorkload, TaskId};
 
-/// A candidate entering exact evaluation: its assignment, where it came
-/// from, and (for searched candidates) the DP's admissible
-/// (bottleneck, latency) lower bounds.
-type Candidate = (stap_model::assignment::Assignment, PlanOrigin, Option<(f64, f64)>);
+/// A candidate entering exact evaluation: its assignment, chosen stripe
+/// factor, where it came from, and (for searched candidates) the DP's
+/// admissible (bottleneck, latency) lower bounds.
+type Candidate = (stap_model::assignment::Assignment, usize, PlanOrigin, Option<(f64, f64)>);
 
 /// Everything the planner needs: the machine/configuration space and the
 /// search knobs.
@@ -49,6 +49,10 @@ pub struct PlannerConfig {
     pub des_cpis: u64,
     /// Warmup CPIs excluded from DES statistics.
     pub des_warmup: u64,
+    /// End-to-end latency SLA (seconds): when set, the report additionally
+    /// names the max-throughput front plan meeting the bound (or explains
+    /// why none does).
+    pub max_latency: Option<f64>,
 }
 
 impl PlannerConfig {
@@ -66,12 +70,19 @@ impl PlannerConfig {
             validate_des: true,
             des_cpis: 64,
             des_warmup: 8,
+            max_latency: None,
         }
     }
 
     /// Disables stage-2 DES validation (analytic metrics only).
     pub fn without_des(mut self) -> Self {
         self.validate_des = false;
+        self
+    }
+
+    /// Plans under a latency SLA of `seconds`.
+    pub fn with_max_latency(mut self, seconds: f64) -> Self {
+        self.max_latency = Some(seconds);
         self
     }
 }
@@ -87,7 +98,6 @@ pub fn plan(cfg: &PlannerConfig) -> SearchReport {
     assert!(!cfg.machines.is_empty(), "no machines to plan for");
     assert!(!cfg.ios.is_empty() && !cfg.tails.is_empty(), "empty configuration space");
     let w = StapWorkload::derive(cfg.shape);
-    let heuristic = assign_nodes(&w, &TaskId::SEVEN, cfg.compute_nodes);
 
     let mut stats = SearchStats::default();
     let mut plans: Vec<Plan> = Vec::new();
@@ -96,6 +106,10 @@ pub fn plan(cfg: &PlannerConfig) -> SearchReport {
     let mut plan_machine: Vec<MachineModel> = Vec::new();
 
     for m in &cfg.machines {
+        // A heterogeneous pool caps the usable budget at its physical size.
+        let budget = m.pool_size().map_or(cfg.compute_nodes, |p| p.min(cfg.compute_nodes));
+        let heuristic = assign_nodes(&w, &TaskId::SEVEN, budget);
+        let sfs = m.stripe_options();
         for &io in &cfg.ios {
             for &tail in &cfg.tails {
                 stats.structures += 1;
@@ -104,7 +118,8 @@ pub fn plan(cfg: &PlannerConfig) -> SearchReport {
                     cfg.shape,
                     io,
                     tail,
-                    cfg.compute_nodes,
+                    &sfs,
+                    budget,
                     cfg.beam_width,
                     cfg.per_structure,
                 );
@@ -117,28 +132,41 @@ pub fn plan(cfg: &PlannerConfig) -> SearchReport {
                     .map(|c| {
                         (
                             c.assignment,
+                            c.stripe_factor,
                             PlanOrigin::Search,
                             Some((c.bound_bottleneck, c.bound_latency)),
                         )
                     })
                     .collect();
-                if !pool.iter().any(|(a, _, _)| *a == heuristic) {
-                    pool.push((heuristic.clone(), PlanOrigin::Heuristic, None));
+                let heur_sf = m.fs.stripe_factor;
+                if !pool.iter().any(|(a, sf, _, _)| *a == heuristic && *sf == heur_sf) {
+                    pool.push((heuristic.clone(), heur_sf, PlanOrigin::Heuristic, None));
                 }
 
                 let structure = PredictStructure {
                     separate_io: io == IoStrategy::SeparateTask,
                     combined_tail: tail == TailStructure::Combined,
                 };
-                for (a, origin, bound) in pool {
-                    let pred = predict_with_assignment(m, cfg.shape, structure, &a);
+                for (a, sf, origin, bound) in pool {
+                    // Materialize the chosen stripe factor and pack the
+                    // assignment onto the machine's node classes before
+                    // exact scoring. A multi-factor machine is always
+                    // restriped so its display name records the choice
+                    // (e.g. "sf=search" becomes "sf=64").
+                    let msf = if sf == m.fs.stripe_factor && sfs.len() <= 1 {
+                        m.clone()
+                    } else {
+                        m.with_stripe_factor(sf)
+                    };
+                    let a = pack_classes(&w, &a, &m.classes);
+                    let pred = predict_with_assignment(&msf, cfg.shape, structure, &a);
                     stats.exact_evals += 1;
                     let compute_nodes = a.total();
                     let readers = if structure.separate_io { SEPARATE_IO_NODES } else { 0 };
                     plans.push(Plan {
                         id: plans.len(),
-                        machine: m.name.clone(),
-                        stripe_factor: m.fs.stripe_factor,
+                        machine: msf.name.clone(),
+                        stripe_factor: sf,
                         io,
                         tail,
                         origin,
@@ -152,7 +180,7 @@ pub fn plan(cfg: &PlannerConfig) -> SearchReport {
                         des_error_pct: None,
                         outcome: Outcome::Front, // provisional
                     });
-                    plan_machine.push(m.clone());
+                    plan_machine.push(msf);
                 }
             }
         }
@@ -202,7 +230,43 @@ pub fn plan(cfg: &PlannerConfig) -> SearchReport {
     }
     let front_ids: Vec<usize> = front_local.iter().map(|&k| survivors[k]).collect();
 
-    SearchReport { budget: cfg.compute_nodes, plans, front_ids, stats }
+    // SLA stage: filter the front against the latency bound. Filtering the
+    // front alone is sufficient — any feasible off-front plan is dominated
+    // by a front plan with latency no worse, hence also feasible.
+    let sla = cfg.max_latency.map(|max_latency| {
+        let feasible_ids: Vec<usize> = front_ids
+            .iter()
+            .copied()
+            .filter(|&i| plans[i].ranked().latency <= max_latency)
+            .collect();
+        let best_id = feasible_ids.first().copied();
+        let infeasible = if best_id.is_some() {
+            None
+        } else {
+            let closest = front_ids
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    plans[a]
+                        .ranked()
+                        .latency
+                        .partial_cmp(&plans[b].ranked().latency)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("front nonempty");
+            let lat = plans[closest].ranked().latency;
+            Some(format!(
+                "no front plan meets the {max_latency:.3} s bound; closest is #{closest} \
+                 ({}, {}) at {lat:.3} s, {:.1}% over",
+                plans[closest].machine,
+                plans[closest].assignment_str(),
+                (lat / max_latency - 1.0) * 100.0
+            ))
+        };
+        SlaOutcome { max_latency, feasible_ids, best_id, infeasible }
+    });
+
+    SearchReport { budget: cfg.compute_nodes, plans, front_ids, stats, sla }
 }
 
 #[cfg(test)]
@@ -307,5 +371,89 @@ mod tests {
         let mut cfg = small_cfg();
         cfg.machines.clear();
         plan(&cfg);
+    }
+
+    #[test]
+    fn stripe_search_explores_beyond_the_default_factor() {
+        let mut cfg = PlannerConfig::new(vec![MachineModel::paragon_tunable()], 25).without_des();
+        cfg.beam_width = 16;
+        cfg.per_structure = 8;
+        let report = plan(&cfg);
+        let sfs: std::collections::BTreeSet<usize> =
+            report.plans.iter().map(|p| p.stripe_factor).collect();
+        assert!(sfs.len() > 1, "only stripe factors {sfs:?} were evaluated");
+        // Every plan's machine name records the stripe factor it was scored
+        // under, so the report is self-describing.
+        for p in &report.plans {
+            assert!(
+                p.machine.contains(&format!("sf={}", p.stripe_factor)),
+                "machine {:?} does not name sf={}",
+                p.machine,
+                p.stripe_factor
+            );
+        }
+    }
+
+    #[test]
+    fn sla_filter_names_a_feasible_best_or_explains_why_not() {
+        let base = small_cfg().without_des();
+        let loose = plan(&base.clone().with_max_latency(1e6));
+        let sla = loose.sla.as_ref().expect("SLA requested");
+        assert_eq!(sla.feasible_ids, loose.front_ids, "a huge bound keeps the whole front");
+        let best = loose.best_within_sla().expect("feasible");
+        assert_eq!(best.id, loose.front_ids[0], "best feasible = max throughput");
+
+        let tight = plan(&base.with_max_latency(1e-9));
+        let sla = tight.sla.as_ref().expect("SLA requested");
+        assert!(sla.feasible_ids.is_empty());
+        assert!(tight.best_within_sla().is_none());
+        let why = sla.infeasible.as_ref().expect("infeasibility explained");
+        assert!(why.contains("no front plan meets"), "{why}");
+    }
+
+    #[test]
+    fn sla_best_is_the_max_throughput_feasible_front_plan() {
+        // Pick a bound between the front's min and max latency so the filter
+        // actually cuts, then check the reported best matches a manual scan.
+        let base = small_cfg().without_des();
+        let free = plan(&base.clone());
+        let lats: Vec<f64> = free.front().iter().map(|p| p.ranked().latency).collect();
+        let lo = lats.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = lats.iter().cloned().fold(0.0f64, f64::max);
+        let bound = (lo + hi) / 2.0;
+        let report = plan(&base.with_max_latency(bound));
+        let sla = report.sla.as_ref().expect("SLA requested");
+        let manual: Vec<usize> = report
+            .front_ids
+            .iter()
+            .copied()
+            .filter(|&i| report.plans[i].ranked().latency <= bound)
+            .collect();
+        assert_eq!(sla.feasible_ids, manual);
+        assert_eq!(sla.best_id, manual.first().copied());
+        if let Some(best) = report.best_within_sla() {
+            assert!(best.ranked().latency <= bound);
+            for &i in &sla.feasible_ids {
+                assert!(report.plans[i].ranked().throughput <= best.ranked().throughput + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn hetero_pool_caps_the_budget_and_packs_classes() {
+        let m = MachineModel::paragon_hetero();
+        let pool = m.pool_size().expect("hetero pool");
+        let mut cfg = PlannerConfig::new(vec![m], pool + 100).without_des();
+        cfg.beam_width = 16;
+        cfg.per_structure = 8;
+        let report = plan(&cfg);
+        let mut packed = 0;
+        for p in &report.plans {
+            assert!(p.compute_nodes <= pool, "#{} uses {} > pool {pool}", p.id, p.compute_nodes);
+            if !p.assignment.class_counts.is_empty() {
+                packed += 1;
+            }
+        }
+        assert!(packed > 0, "no plan carried a class packing");
     }
 }

@@ -42,5 +42,5 @@ mod search;
 
 pub use evaluate::{plan, PlannerConfig};
 pub use pareto::pareto_split;
-pub use plan::{Metrics, Outcome, Plan, PlanOrigin, SearchReport, SearchStats};
+pub use plan::{Metrics, Outcome, Plan, PlanOrigin, SearchReport, SearchStats, SlaOutcome};
 pub use report::{render_text, to_json};

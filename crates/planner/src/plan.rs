@@ -117,7 +117,9 @@ impl Plan {
         self.des.unwrap_or(self.analytic)
     }
 
-    /// One-line per-task assignment like `df=30 ew=2 hw=47 ...`.
+    /// One-line per-task assignment like `df=30 ew=2 hw=47 ...`; on
+    /// heterogeneous pools each count carries its per-class breakdown,
+    /// `df=5[3+2]`.
     pub fn assignment_str(&self) -> String {
         let short = |t: stap_model::workload::TaskId| match t {
             stap_model::workload::TaskId::Read => "rd",
@@ -133,7 +135,17 @@ impl Plan {
             .tasks
             .iter()
             .zip(&self.assignment.nodes)
-            .map(|(&t, &n)| format!("{}={n}", short(t)))
+            .enumerate()
+            .map(|(i, (&t, &n))| {
+                let classes = match self.assignment.class_counts.get(i) {
+                    Some(row) if row.len() > 1 => format!(
+                        "[{}]",
+                        row.iter().map(usize::to_string).collect::<Vec<_>>().join("+")
+                    ),
+                    _ => String::new(),
+                };
+                format!("{}={n}{classes}", short(t))
+            })
             .collect::<Vec<_>>()
             .join(" ")
     }
@@ -155,6 +167,21 @@ pub struct SearchStats {
     pub des_evals: usize,
 }
 
+/// The outcome of planning under a latency SLA: which front plans meet the
+/// bound, which one to run, and — when none do — why not.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlaOutcome {
+    /// The latency bound (seconds) the front was filtered against.
+    pub max_latency: f64,
+    /// Front plan ids meeting the bound, best throughput first.
+    pub feasible_ids: Vec<usize>,
+    /// The max-throughput SLA-feasible plan, if any.
+    pub best_id: Option<usize>,
+    /// Provenance when no plan is feasible: what the closest plan achieves
+    /// and by how much it misses.
+    pub infeasible: Option<String>,
+}
+
 /// The planner's full answer: every evaluated candidate with provenance,
 /// plus the ids of the final Pareto front.
 #[derive(Debug, Clone)]
@@ -167,6 +194,8 @@ pub struct SearchReport {
     pub front_ids: Vec<usize>,
     /// Search-effort counters.
     pub stats: SearchStats,
+    /// SLA filtering result, when the planner ran with a latency bound.
+    pub sla: Option<SlaOutcome>,
 }
 
 impl SearchReport {
@@ -186,6 +215,13 @@ impl SearchReport {
         f.into_iter().min_by(|a, b| {
             a.ranked().latency.partial_cmp(&b.ranked().latency).unwrap_or(std::cmp::Ordering::Equal)
         })
+    }
+
+    /// The max-throughput plan meeting the latency SLA, when one ran and a
+    /// feasible plan exists. Filtering the front suffices: for any feasible
+    /// off-front plan, the front plan dominating it is also feasible.
+    pub fn best_within_sla(&self) -> Option<&Plan> {
+        self.sla.as_ref().and_then(|s| s.best_id).map(|i| &self.plans[i])
     }
 }
 

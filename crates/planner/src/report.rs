@@ -44,6 +44,23 @@ pub fn render_text(r: &SearchReport) -> String {
             p.origin.label(),
         ));
     }
+    if let Some(sla) = &r.sla {
+        out.push_str(&format!("latency SLA {:.4}s:\n", sla.max_latency));
+        match (&sla.infeasible, sla.best_id) {
+            (Some(why), _) => out.push_str(&format!("  INFEASIBLE: {why}\n")),
+            (None, Some(best)) => {
+                let p = &r.plans[best];
+                out.push_str(&format!(
+                    "  best: #{} ({} of {} front plans feasible) {}\n",
+                    p.id,
+                    sla.feasible_ids.len(),
+                    r.front_ids.len(),
+                    fmt_metrics(p),
+                ));
+            }
+            (None, None) => {}
+        }
+    }
     let dominated: Vec<&Plan> = r.plans.iter().filter(|p| p.outcome != Outcome::Front).collect();
     out.push_str(&format!("pruned candidates ({}):\n", dominated.len()));
     for p in dominated {
@@ -115,7 +132,17 @@ fn json_plan(p: &Plan) -> String {
         .tasks
         .iter()
         .zip(&p.assignment.nodes)
-        .map(|(&t, &n)| format!("{{\"task\":\"{}\",\"nodes\":{n}}}", esc(t.label())))
+        .enumerate()
+        .map(|(i, (&t, &n))| {
+            let classes = match p.assignment.class_counts.get(i) {
+                Some(row) if !row.is_empty() => format!(
+                    ",\"classes\":[{}]",
+                    row.iter().map(usize::to_string).collect::<Vec<_>>().join(",")
+                ),
+                _ => String::new(),
+            };
+            format!("{{\"task\":\"{}\",\"nodes\":{n}{classes}}}", esc(t.label()))
+        })
         .collect();
     format!(
         concat!(
@@ -150,14 +177,28 @@ fn json_plan(p: &Plan) -> String {
 pub fn to_json(r: &SearchReport) -> String {
     let plans: Vec<String> = r.plans.iter().map(json_plan).collect();
     let front: Vec<String> = r.front_ids.iter().map(|i| i.to_string()).collect();
+    let sla = match &r.sla {
+        None => "null".to_string(),
+        Some(s) => {
+            let feasible: Vec<String> = s.feasible_ids.iter().map(|i| i.to_string()).collect();
+            format!(
+                "{{\"max_latency\":{},\"feasible\":[{}],\"best\":{},\"infeasible\":{}}}",
+                json_f64(s.max_latency),
+                feasible.join(","),
+                s.best_id.map_or("null".to_string(), |i| i.to_string()),
+                s.infeasible.as_ref().map_or("null".to_string(), |m| format!("\"{}\"", esc(m))),
+            )
+        }
+    };
     format!(
         concat!(
-            "{{\"budget\":{},\"front\":[{}],\"plans\":[{}],",
+            "{{\"budget\":{},\"front\":[{}],\"sla\":{},\"plans\":[{}],",
             "\"stats\":{{\"structures\":{},\"labels_created\":{},",
             "\"labels_pruned\":{},\"exact_evals\":{},\"des_evals\":{}}}}}"
         ),
         r.budget,
         front.join(","),
+        sla,
         plans.join(","),
         r.stats.structures,
         r.stats.labels_created,
@@ -202,6 +243,36 @@ mod tests {
             assert!(json.contains(key), "missing {key}");
         }
         assert!(!json.contains("NaN"));
+    }
+
+    #[test]
+    fn sla_section_appears_in_text_and_json() {
+        let mut cfg = PlannerConfig::new(vec![MachineModel::paragon(64)], 25)
+            .without_des()
+            .with_max_latency(1e6);
+        cfg.beam_width = 8;
+        cfg.per_structure = 4;
+        let r = plan(&cfg);
+        let text = render_text(&r);
+        assert!(text.contains("latency SLA"), "{text}");
+        assert!(text.contains("best: #"), "{text}");
+        let json = to_json(&r);
+        assert!(json.contains("\"sla\":{\"max_latency\":"), "{json}");
+        assert!(json.contains("\"infeasible\":null"), "{json}");
+
+        cfg.max_latency = Some(1e-9);
+        let r = plan(&cfg);
+        assert!(render_text(&r).contains("INFEASIBLE"));
+        assert!(to_json(&r).contains("\"best\":null"));
+    }
+
+    #[test]
+    fn hetero_assignments_serialize_class_counts() {
+        let mut cfg = PlannerConfig::new(vec![MachineModel::paragon_hetero()], 40).without_des();
+        cfg.beam_width = 8;
+        cfg.per_structure = 4;
+        let json = to_json(&plan(&cfg));
+        assert!(json.contains("\"classes\":["), "{json}");
     }
 
     #[test]

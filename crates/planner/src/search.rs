@@ -1,29 +1,45 @@
-//! Bounded bi-criteria DP over per-task node assignments.
+//! Bounded bi-criteria DP over per-task node assignments × stripe factors.
 //!
 //! For one (machine, I/O design, tail structure) the search walks the
 //! pipeline stage by stage, extending partial assignments ("labels") with
-//! every feasible node count for the next stage. Each label carries two
-//! admissible lower bounds — the running bottleneck `max_i T_i` (throughput
-//! is its inverse, Eq. 1/3) and the running latency-path sum (Eq. 2/4) —
-//! computed from the analytic task-time model with the communication peer
-//! count relaxed to its minimum, so a label's bounds never exceed the exact
-//! analytic cost of any completion. That admissibility is what makes the
-//! pruning safe:
+//! every feasible node count for the next stage. The stripe factor is a
+//! first-class axis: each label carries one of the machine's candidate
+//! factors, whose steady-state read time enters the first stage's bound
+//! (embedded Doppler) or the separate read task's base label, so the DP
+//! trades read bandwidth against node allocation instead of being told the
+//! layout. Each label carries two admissible lower bounds — the running
+//! bottleneck `max_i T_i` (throughput is its inverse, Eq. 1/3) and the
+//! running latency-path sum (Eq. 2/4) — computed from the analytic
+//! task-time model with the communication peer count relaxed to its minimum
+//! and, on heterogeneous pools, node capacity relaxed to the `q` fastest
+//! nodes. Both relaxations only ever under-estimate, so a label's bounds
+//! never exceed the exact analytic cost of any completion.
 //!
-//! - **dominance within a cell** (same stage, same nodes used): a label with
-//!   ≥ bottleneck and ≥ latency than another can be discarded;
+//! Pruning must stay *sound*: bounds are relaxed, so label A bound-dominating
+//! label B does **not** imply every completion of A beats the same completion
+//! of B — the unmodeled peer-latency terms can differ between them. All
+//! dominance tests therefore use **slack dominance**: B is discarded only
+//! when `A.maxt + slack_bot ≤ B.maxt` and `A.lat + slack_lat ≤ B.lat`,
+//! where the slacks bound the total unmodeled cost any completion can add
+//! (`slack_bot` = one task's two relaxed directions, `slack_lat` = that per
+//! latency-path stage). Then `exact(A+S) ≤ lb(A+S) + slack ≤ lb(B+S) ≤
+//! exact(B+S)` for every suffix `S`: the discarded label's exact completions
+//! are all matched-or-beaten. Three prunes apply it:
+//!
+//! - **dominance within a cell** (same stage, same nodes used);
 //! - **dominance across cells** (same stage, *more* nodes used): any
-//!   completion open to the bigger label is open to the smaller one, so the
-//!   bigger label is discarded when both bounds are no better;
+//!   completion open to the bigger label is open to the smaller one;
 //! - **beam bound**: cells keep at most `beam_width` labels, evenly spaced
-//!   along their bottleneck/latency trade-off curve.
+//!   along their bottleneck/latency trade-off curve. This trim is the one
+//!   heuristic cut; the soundness tests below disable it with a huge beam.
 //!
 //! The easy/hard beamforming pair and the combined PC+CFAR tail are folded
 //! into single DP stages: both metrics depend on the pair only through
-//! `max(T_easy, T_hard)` (resp. `T_{5+6}`), so the best split for every
-//! total is precomputed and the DP sees one node count per stage. This
+//! `max(T_easy, T_hard)` (resp. `T_{5+6}`), and the relaxed peer terms are
+//! identical for the easy and hard branches (same predecessor and successor
+//! groups), so the per-total argmin split is exactly optimal. This
 //! collapses the state space from `O(N^7)` assignments to `O(stages · N ·
-//! beam)` labels.
+//! beam · |sfs|)` labels.
 
 use stap_core::io_strategy::{IoStrategy, TailStructure};
 use stap_model::assignment::{Assignment, SEPARATE_IO_NODES};
@@ -35,6 +51,8 @@ use stap_model::workload::{ShapeParams, StapWorkload, TaskId};
 #[derive(Debug, Clone)]
 pub(crate) struct SearchCandidate {
     pub assignment: Assignment,
+    /// The stripe factor this candidate's bounds assume.
+    pub stripe_factor: usize,
     /// Lower bound on the pipeline bottleneck `max_i T_i` (seconds).
     pub bound_bottleneck: f64,
     /// Lower bound on the latency-path sum (seconds).
@@ -63,19 +81,30 @@ struct Stage {
     /// Whether the stage is on the latency path (weight tasks are not).
     counts_latency: bool,
     min_nodes: usize,
-    /// `time[q - min_nodes]` = admissible stage-time bound on `q` nodes.
-    time: Vec<f64>,
-    /// For pair kinds: the node split behind `time[q - min_nodes]`.
+    /// Stage-time bound rows: one row shared by every stripe factor, or
+    /// (for the read-absorbing stage) one row per candidate factor.
+    /// `row[q - min_nodes]` = admissible stage-time bound on `q` nodes.
+    times: Vec<Vec<f64>>,
+    /// For pair kinds: the node split behind each `q`.
     split: Vec<(usize, usize)>,
 }
 
+impl Stage {
+    fn t(&self, sfi: usize, q: usize) -> f64 {
+        let row = if self.times.len() == 1 { &self.times[0] } else { &self.times[sfi] };
+        row[q - self.min_nodes]
+    }
+}
+
 /// Admissible communication bound: one peer message's latency plus the
-/// bandwidth term (the exact model pays `net_latency × peers`, peers ≥ 1).
+/// bandwidth term at the best net capacity any `nodes`-node group can have
+/// (the exact model pays `net_latency × peers`, peers ≥ 1, at the packed
+/// group's real capacity ≤ the best).
 fn lb_comm(m: &MachineModel, bytes: usize, nodes: usize) -> f64 {
     if bytes == 0 {
         return 0.0;
     }
-    m.net_latency + bytes as f64 / (nodes as f64 * m.net_bandwidth)
+    m.net_latency + bytes as f64 / (m.best_net_capacity(nodes) * m.net_bandwidth)
 }
 
 /// Admissible bound on a single compute task's `T_i` (Eq. 6) on `p` nodes.
@@ -87,7 +116,7 @@ fn single_lb(
     io: IoStrategy,
     read_time: f64,
 ) -> f64 {
-    let compute = m.compute_time(w.flops(t), p);
+    let compute = m.compute_time_cap(w.flops(t), m.best_compute_capacity(p));
     let send = lb_comm(m, w.output_bytes(t), p);
     if t == TaskId::Doppler && io == IoStrategy::Embedded {
         // Embedded design: the file read folds into Doppler; no receive.
@@ -99,9 +128,15 @@ fn single_lb(
     compute + recv + send + m.overhead(p)
 }
 
-/// Admissible bound on the fixed-size separate read task's `T_read`.
+/// Admissible bound on the fixed-size separate read task's `T_read`. The
+/// reader nodes sit outside the heterogeneous pool, so base capacity.
 fn read_task_lb(m: &MachineModel, w: &StapWorkload, read_time: f64) -> f64 {
-    let send = lb_comm(m, w.output_bytes(TaskId::Read), SEPARATE_IO_NODES);
+    let send = if w.output_bytes(TaskId::Read) == 0 {
+        0.0
+    } else {
+        m.net_latency
+            + w.output_bytes(TaskId::Read) as f64 / (SEPARATE_IO_NODES as f64 * m.net_bandwidth)
+    };
     let body = if m.can_overlap_io() { read_time.max(send) } else { read_time + send };
     body + m.overhead(SEPARATE_IO_NODES)
 }
@@ -133,13 +168,23 @@ fn build_stages(
     io: IoStrategy,
     tail: TailStructure,
     budget: usize,
-    read_time: f64,
+    read_times: &[f64],
 ) -> Vec<Stage> {
     // Seven compute tasks → 6 DP stages (BF pair folded), or 5 with the
     // combined tail. Minimum nodes: 1 per single, 2 per folded pair.
     let single = |t: TaskId, counts_latency: bool, pmax: usize| -> Stage {
-        let time: Vec<f64> = (1..=pmax).map(|p| single_lb(m, w, t, p, io, read_time)).collect();
-        Stage { kind: StageKind::Single(t), counts_latency, min_nodes: 1, time, split: vec![] }
+        // Only the embedded Doppler bound depends on the read time, so only
+        // that stage gets one row per stripe factor.
+        let rows: &[f64] = if t == TaskId::Doppler && io == IoStrategy::Embedded {
+            read_times
+        } else {
+            &read_times[..1]
+        };
+        let times: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|&rt| (1..=pmax).map(|p| single_lb(m, w, t, p, io, rt)).collect())
+            .collect();
+        Stage { kind: StageKind::Single(t), counts_latency, min_nodes: 1, times, split: vec![] }
     };
     let n_stages_min = match tail {
         TailStructure::Split => 7,    // 5 singles + pair(2)
@@ -148,10 +193,11 @@ fn build_stages(
     let pmax_single = budget + 1 - n_stages_min;
     let pmax_pair = budget + 2 - n_stages_min;
 
+    let rt0 = read_times[0];
     let ebf: Vec<f64> =
-        (1..pmax_pair).map(|p| single_lb(m, w, TaskId::EasyBeamform, p, io, read_time)).collect();
+        (1..pmax_pair).map(|p| single_lb(m, w, TaskId::EasyBeamform, p, io, rt0)).collect();
     let hbf: Vec<f64> =
-        (1..pmax_pair).map(|p| single_lb(m, w, TaskId::HardBeamform, p, io, read_time)).collect();
+        (1..pmax_pair).map(|p| single_lb(m, w, TaskId::HardBeamform, p, io, rt0)).collect();
     let (bf_time, bf_split) = fold_pair(&ebf, &hbf, pmax_pair);
 
     let mut stages = vec![
@@ -162,7 +208,7 @@ fn build_stages(
             kind: StageKind::BfPair,
             counts_latency: true,
             min_nodes: 2,
-            time: bf_time,
+            times: vec![bf_time],
             split: bf_split,
         },
     ];
@@ -181,7 +227,7 @@ fn build_stages(
             let mut time = Vec::with_capacity(pmax_pair.saturating_sub(1));
             let mut split = Vec::with_capacity(pmax_pair.saturating_sub(1));
             for q in 2..=pmax_pair {
-                let compute = m.compute_time(w5 + w6, q);
+                let compute = m.compute_time_cap(w5 + w6, m.best_compute_capacity(q));
                 let recv = lb_comm(m, w.input_bytes(TaskId::PulseCompression), q);
                 let send = lb_comm(m, w.output_bytes(TaskId::Cfar), q);
                 time.push(compute + recv + send + m.overhead(q));
@@ -192,7 +238,7 @@ fn build_stages(
                 kind: StageKind::CombinedTail,
                 counts_latency: true,
                 min_nodes: 2,
-                time,
+                times: vec![time],
                 split,
             });
         }
@@ -205,12 +251,40 @@ struct Label {
     maxt: f64,
     lat: f64,
     picks: Vec<u16>,
+    /// Index into the candidate stripe-factor list.
+    sfi: u16,
 }
 
-/// Pareto-prunes one DP cell in place (ascending bottleneck, strictly
-/// improving latency survives) and trims it to `beam` labels evenly spaced
-/// along the trade-off curve. Returns the number of labels discarded.
-fn prune_cell(cell: &mut Vec<Label>, beam: usize) -> u64 {
+/// The slack that makes relaxed-bound dominance sound: upper bounds on how
+/// much unmodeled cost (peer-latency terms relaxed to one message) any
+/// completion can add beyond a label's lower bounds.
+#[derive(Debug, Clone, Copy)]
+struct Slack {
+    /// ≥ exact − bound for any single task: two comm directions, each
+    /// relaxed by at most `(peers − 1) · net_latency`.
+    bot: f64,
+    /// ≥ exact − bound for the latency-path sum: the per-task slack once
+    /// per latency-path stage.
+    lat: f64,
+}
+
+impl Slack {
+    fn for_run(m: &MachineModel, stages: &[Stage], io: IoStrategy, budget: usize) -> Self {
+        let per_task = 2.0 * m.net_latency * budget.saturating_sub(1) as f64;
+        let latency_stages = stages.iter().filter(|s| s.counts_latency).count()
+            + usize::from(io == IoStrategy::SeparateTask);
+        Slack { bot: per_task, lat: per_task * latency_stages as f64 }
+    }
+
+    fn dominates(&self, a_maxt: f64, a_lat: f64, b_maxt: f64, b_lat: f64) -> bool {
+        a_maxt + self.bot <= b_maxt && a_lat + self.lat <= b_lat
+    }
+}
+
+/// Slack-dominance-prunes one DP cell in place and trims it to `beam`
+/// labels evenly spaced along the (sorted) bottleneck axis. Returns the
+/// number of labels discarded.
+fn prune_cell(cell: &mut Vec<Label>, beam: usize, slack: Slack) -> u64 {
     let before = cell.len();
     cell.sort_by(|a, b| {
         a.maxt
@@ -218,26 +292,49 @@ fn prune_cell(cell: &mut Vec<Label>, beam: usize) -> u64 {
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.lat.partial_cmp(&b.lat).unwrap_or(std::cmp::Ordering::Equal))
     });
+    // Two-pointer scan: kept labels are sorted by maxt, so the potential
+    // dominators of `l` are exactly the kept prefix with
+    // `maxt + slack.bot ≤ l.maxt`; track that prefix's min latency.
     let mut kept: Vec<Label> = Vec::new();
-    let mut best_lat = f64::INFINITY;
+    let mut j = 0usize;
+    let mut prefix_min_lat = f64::INFINITY;
     for l in cell.drain(..) {
-        if l.lat < best_lat {
-            best_lat = l.lat;
+        while j < kept.len() && kept[j].maxt + slack.bot <= l.maxt {
+            prefix_min_lat = prefix_min_lat.min(kept[j].lat);
+            j += 1;
+        }
+        if prefix_min_lat + slack.lat > l.lat {
             kept.push(l);
         }
     }
     if kept.len() > beam && beam > 0 {
-        let n = kept.len();
-        let mut picked: Vec<Label> = Vec::with_capacity(beam);
-        let mut last = usize::MAX;
-        for i in 0..beam {
-            let idx = i * (n - 1) / (beam - 1).max(1);
-            if idx != last {
-                picked.push(kept[idx].clone());
-                last = idx;
+        // The beam trim is the one heuristic cut (tests that prove
+        // exactness disable it). Spend the budget on the plain bound
+        // staircase: the slack-kept near-duplicates exist only so no
+        // exact-optimal completion is *provably* lost, and spacing the beam
+        // across them would dilute coverage of the actual front.
+        let mut stair: Vec<Label> = Vec::new();
+        let mut best_lat = f64::INFINITY;
+        for l in &kept {
+            if l.lat < best_lat {
+                best_lat = l.lat;
+                stair.push(l.clone());
             }
         }
-        kept = picked;
+        let n = stair.len();
+        if n > beam {
+            let mut picked: Vec<Label> = Vec::with_capacity(beam);
+            let mut last = usize::MAX;
+            for i in 0..beam {
+                let idx = i * (n - 1) / (beam - 1).max(1);
+                if idx != last {
+                    picked.push(stair[idx].clone());
+                    last = idx;
+                }
+            }
+            stair = picked;
+        }
+        kept = stair;
     }
     let dropped = before - kept.len();
     *cell = kept;
@@ -245,22 +342,28 @@ fn prune_cell(cell: &mut Vec<Label>, beam: usize) -> u64 {
 }
 
 /// A compact Pareto set of (bottleneck, latency) points used for
-/// cross-cell dominance: labels that used *fewer* nodes and are no worse on
-/// both bounds dominate, because every completion of the bigger label is
+/// cross-cell dominance: labels that used *fewer* nodes and are slack-better
+/// on both bounds dominate, because every completion of the bigger label is
 /// also open to the smaller one.
-#[derive(Default)]
 struct Accumulator {
     points: Vec<(f64, f64)>,
+    slack: Slack,
 }
 
 impl Accumulator {
+    fn new(slack: Slack) -> Self {
+        Self { points: Vec::new(), slack }
+    }
+
     fn dominates(&self, maxt: f64, lat: f64) -> bool {
-        self.points.iter().any(|&(m, l)| m <= maxt && l <= lat)
+        self.points.iter().any(|&(m, l)| self.slack.dominates(m, l, maxt, lat))
     }
 
     fn absorb(&mut self, cell: &[Label]) {
         for l in cell {
             if !self.dominates(l.maxt, l.lat) {
+                // Compact the point set with plain dominance (dropping a
+                // stored point only weakens future pruning — still sound).
                 self.points.retain(|&(m, lt)| !(l.maxt <= m && l.lat <= lt));
                 self.points.push((l.maxt, l.lat));
             }
@@ -268,21 +371,30 @@ impl Accumulator {
     }
 }
 
-/// Runs the bounded DP for one structure and returns the surviving
-/// bound-Pareto candidates (at most `max_candidates`).
+/// Runs the bounded DP for one structure over the given candidate stripe
+/// factors and returns the surviving bound-Pareto candidates (at most
+/// `max_candidates`), ties resolved toward the smallest sufficient factor.
+#[allow(clippy::too_many_arguments)] // one axis per search dimension
 pub(crate) fn search_structure(
     m: &MachineModel,
     shape: ShapeParams,
     io: IoStrategy,
     tail: TailStructure,
+    sfs: &[usize],
     budget: usize,
     beam_width: usize,
     max_candidates: usize,
 ) -> SearchOutcome {
     assert!(budget >= 7, "need at least one node per compute task (7), got {budget}");
+    assert!(!sfs.is_empty(), "need at least one candidate stripe factor");
+    if let Some(pool) = m.pool_size() {
+        assert!(budget <= pool, "budget {budget} exceeds the {pool}-node pool");
+    }
     let w = StapWorkload::derive(shape);
-    let read_time = steady_read_time(m, shape);
-    let stages = build_stages(m, &w, io, tail, budget, read_time);
+    let read_times: Vec<f64> =
+        sfs.iter().map(|&sf| steady_read_time(&m.with_stripe_factor(sf), shape)).collect();
+    let stages = build_stages(m, &w, io, tail, budget, &read_times);
+    let slack = Slack::for_run(m, &stages, io, budget);
     let suffix_min: Vec<usize> = {
         let mut v = vec![0usize; stages.len() + 1];
         for i in (0..stages.len()).rev() {
@@ -294,17 +406,20 @@ pub(crate) fn search_structure(
     let mut labels_created: u64 = 0;
     let mut labels_pruned: u64 = 0;
 
-    // The separate-I/O read task is outside the node budget (fixed 4 reader
-    // nodes) but contributes to both bounds.
-    let base = match io {
-        IoStrategy::Embedded => Label { maxt: 0.0, lat: 0.0, picks: vec![] },
-        IoStrategy::SeparateTask => {
-            let t = read_task_lb(m, &w, read_time);
-            Label { maxt: t, lat: t, picks: vec![] }
-        }
-    };
+    // One base label per stripe factor. The separate-I/O read task is
+    // outside the node budget (fixed 4 reader nodes) but contributes to
+    // both bounds; embedded designs pay the read inside the first stage.
     let mut cells: Vec<Vec<Label>> = vec![Vec::new(); budget + 1];
-    cells[0].push(base);
+    for (sfi, &rt) in read_times.iter().enumerate().take(sfs.len()) {
+        let base = match io {
+            IoStrategy::Embedded => Label { maxt: 0.0, lat: 0.0, picks: vec![], sfi: sfi as u16 },
+            IoStrategy::SeparateTask => {
+                let t = read_task_lb(m, &w, rt);
+                Label { maxt: t, lat: t, picks: vec![], sfi: sfi as u16 }
+            }
+        };
+        cells[0].push(base);
+    }
 
     for (si, stage) in stages.iter().enumerate() {
         let after = suffix_min[si + 1];
@@ -316,7 +431,7 @@ pub(crate) fn search_structure(
             let qcap = budget.saturating_sub(used + after);
             for label in cell {
                 for q in stage.min_nodes..=qcap {
-                    let t = stage.time[q - stage.min_nodes];
+                    let t = stage.t(label.sfi as usize, q);
                     let mut picks = label.picks.clone();
                     picks.push(q as u16);
                     labels_created += 1;
@@ -324,31 +439,43 @@ pub(crate) fn search_structure(
                         maxt: label.maxt.max(t),
                         lat: label.lat + if stage.counts_latency { t } else { 0.0 },
                         picks,
+                        sfi: label.sfi,
                     });
                 }
             }
         }
-        // Prune: per-cell Pareto + beam, then cross-cell dominance by
-        // labels that used fewer nodes.
-        let mut acc = Accumulator::default();
+        // Prune: per-cell slack dominance + beam, then cross-cell slack
+        // dominance by labels that used fewer nodes. Every pruned label's
+        // read contribution is already materialized (stage 0 pays it), so
+        // cross-stripe-factor dominance is sound here.
+        let mut acc = Accumulator::new(slack);
         for cell in next.iter_mut() {
             let before = cell.len();
             cell.retain(|l| !acc.dominates(l.maxt, l.lat));
             labels_pruned += (before - cell.len()) as u64;
-            labels_pruned += prune_cell(cell, beam_width);
+            labels_pruned += prune_cell(cell, beam_width, slack);
             acc.absorb(cell);
         }
         cells = next;
     }
 
-    // Gather every complete label, Pareto-prune on the bounds, cap.
+    // Gather every complete label, slack-prune on the bounds, cap, and
+    // order ties toward the smallest sufficient stripe factor.
     let mut finals: Vec<Label> = cells.into_iter().flatten().collect();
-    labels_pruned += prune_cell(&mut finals, max_candidates);
+    labels_pruned += prune_cell(&mut finals, max_candidates, slack);
+    finals.sort_by(|a, b| {
+        a.maxt
+            .partial_cmp(&b.maxt)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.lat.partial_cmp(&b.lat).unwrap_or(std::cmp::Ordering::Equal))
+            .then(sfs[a.sfi as usize].cmp(&sfs[b.sfi as usize]))
+    });
 
     let candidates = finals
         .into_iter()
         .map(|l| SearchCandidate {
             assignment: picks_to_assignment(&stages, &l.picks),
+            stripe_factor: sfs[l.sfi as usize],
             bound_bottleneck: l.maxt,
             bound_latency: l.lat,
         })
@@ -383,20 +510,30 @@ fn picks_to_assignment(stages: &[Stage], picks: &[u16]) -> Assignment {
             }
         }
     }
-    Assignment { tasks, nodes }
+    Assignment::new(tasks, nodes)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use stap_model::assignment::assign_nodes;
+    use stap_model::assignment::{assign_nodes, pack_classes};
+    use stap_model::prediction::{predict_with_assignment, PredictStructure};
 
     fn paragon64() -> MachineModel {
         MachineModel::paragon(64)
     }
 
     fn run(io: IoStrategy, tail: TailStructure, budget: usize) -> SearchOutcome {
-        search_structure(&paragon64(), ShapeParams::paper_default(), io, tail, budget, 32, 16)
+        search_structure(
+            &paragon64(),
+            ShapeParams::paper_default(),
+            io,
+            tail,
+            &[64],
+            budget,
+            32,
+            16,
+        )
     }
 
     #[test]
@@ -409,6 +546,7 @@ mod tests {
                     assert_eq!(c.assignment.tasks.len(), 7);
                     assert!(c.assignment.total() <= 25, "over budget: {:?}", c.assignment);
                     assert!(c.assignment.nodes.iter().all(|&n| n >= 1));
+                    assert_eq!(c.stripe_factor, 64);
                     // Pipeline order preserved (what predict expects).
                     assert_eq!(c.assignment.tasks, TaskId::SEVEN.to_vec());
                 }
@@ -417,11 +555,32 @@ mod tests {
     }
 
     #[test]
-    fn bound_front_is_a_staircase() {
+    fn bound_front_is_sorted_and_slack_incomparable() {
         let out = run(IoStrategy::Embedded, TailStructure::Split, 50);
+        let m = paragon64();
+        let w = StapWorkload::derive(ShapeParams::paper_default());
+        let read_times = [steady_read_time(&m, ShapeParams::paper_default())];
+        let stages =
+            build_stages(&m, &w, IoStrategy::Embedded, TailStructure::Split, 50, &read_times);
+        let slack = Slack::for_run(&m, &stages, IoStrategy::Embedded, 50);
         for pair in out.candidates.windows(2) {
             assert!(pair[0].bound_bottleneck <= pair[1].bound_bottleneck);
-            assert!(pair[0].bound_latency >= pair[1].bound_latency);
+        }
+        // No surviving candidate may be slack-dominated by another — that
+        // would mean the prune missed a provably-worse label.
+        for (i, a) in out.candidates.iter().enumerate() {
+            for (k, b) in out.candidates.iter().enumerate() {
+                assert!(
+                    i == k
+                        || !slack.dominates(
+                            a.bound_bottleneck,
+                            a.bound_latency,
+                            b.bound_bottleneck,
+                            b.bound_latency,
+                        ),
+                    "candidate {k} survives while slack-dominated by {i}"
+                );
+            }
         }
     }
 
@@ -447,6 +606,7 @@ mod tests {
                 shape,
                 IoStrategy::Embedded,
                 TailStructure::Split,
+                &[64],
                 budget,
                 32,
                 16,
@@ -490,5 +650,213 @@ mod tests {
     #[should_panic(expected = "at least one node per compute task")]
     fn tiny_budget_rejected() {
         run(IoStrategy::Embedded, TailStructure::Split, 6);
+    }
+
+    #[test]
+    fn multi_sf_search_carries_every_factor_to_the_base() {
+        // With two candidate factors both must appear among the finals of a
+        // generous search (the front trades read bandwidth for nothing else
+        // here, so at least the fastest factor must survive).
+        let out = search_structure(
+            &MachineModel::paragon(16),
+            ShapeParams::paper_default(),
+            IoStrategy::Embedded,
+            TailStructure::Split,
+            &[16, 64],
+            25,
+            1_000_000,
+            1_000_000,
+        );
+        assert!(out.candidates.iter().any(|c| c.stripe_factor == 64));
+        for c in &out.candidates {
+            assert!([16, 64].contains(&c.stripe_factor));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Pruning soundness: brute force over the *full* configuration space
+    // (every 7-way node composition × every candidate stripe factor),
+    // exact-evaluate everything, and demand the DP front equals the
+    // brute-force Pareto front. The beam (the one heuristic cut) is
+    // disabled with a huge width; everything else must be lossless.
+    // ------------------------------------------------------------------
+
+    /// All 7-part compositions (each part ≥ 1) of every total in 7..=budget.
+    fn all_assignments(budget: usize) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        let mut cur = vec![0usize; 7];
+        fn rec(cur: &mut Vec<usize>, i: usize, left: usize, out: &mut Vec<Vec<usize>>) {
+            if i == 6 {
+                for last in 1..=left {
+                    cur[6] = last;
+                    out.push(cur.clone());
+                }
+                return;
+            }
+            let reserve = 6 - i; // remaining tasks after this one
+            for q in 1..=left.saturating_sub(reserve) {
+                cur[i] = q;
+                rec(cur, i + 1, left - q, out);
+            }
+        }
+        rec(&mut cur, 0, budget, &mut out);
+        out
+    }
+
+    fn exact_metrics(
+        m: &MachineModel,
+        io: IoStrategy,
+        tail: TailStructure,
+        nodes: &[usize],
+    ) -> (f64, f64) {
+        let a = Assignment::new(TaskId::SEVEN.to_vec(), nodes.to_vec());
+        let pred = predict_with_assignment(
+            m,
+            ShapeParams::paper_default(),
+            PredictStructure {
+                separate_io: io == IoStrategy::SeparateTask,
+                combined_tail: tail == TailStructure::Combined,
+            },
+            &a,
+        );
+        (pred.throughput, pred.latency)
+    }
+
+    /// Pareto front (max throughput, min latency) of a point set.
+    fn pareto_points(pts: &[(f64, f64)]) -> Vec<(f64, f64)> {
+        let mut front: Vec<(f64, f64)> = Vec::new();
+        for &(t, l) in pts {
+            if pts.iter().any(|&(t2, l2)| t2 >= t && l2 <= l && (t2 > t || l2 < l)) {
+                continue;
+            }
+            if !front.iter().any(|&(ft, fl)| (ft - t).abs() < 1e-12 && (fl - l).abs() < 1e-12) {
+                front.push((t, l));
+            }
+        }
+        front
+    }
+
+    #[test]
+    fn dp_front_equals_brute_force_on_small_instances() {
+        let base = MachineModel::paragon(16);
+        let sf_sets: [&[usize]; 2] = [&[16], &[16, 64]];
+        for budget in [9usize, 10, 11] {
+            for io in [IoStrategy::Embedded, IoStrategy::SeparateTask] {
+                for tail in [TailStructure::Split, TailStructure::Combined] {
+                    for sfs in sf_sets {
+                        // Brute force: exact metrics of the whole space.
+                        let mut all: Vec<(f64, f64)> = Vec::new();
+                        for &sf in sfs {
+                            let msf = base.with_stripe_factor(sf);
+                            for nodes in all_assignments(budget) {
+                                all.push(exact_metrics(&msf, io, tail, &nodes));
+                            }
+                        }
+                        let brute = pareto_points(&all);
+
+                        // DP with the beam disabled.
+                        let out = search_structure(
+                            &base,
+                            ShapeParams::paper_default(),
+                            io,
+                            tail,
+                            sfs,
+                            budget,
+                            1_000_000,
+                            1_000_000,
+                        );
+                        let dp_exact: Vec<(f64, f64)> = out
+                            .candidates
+                            .iter()
+                            .map(|c| {
+                                exact_metrics(
+                                    &base.with_stripe_factor(c.stripe_factor),
+                                    io,
+                                    tail,
+                                    &c.assignment.nodes,
+                                )
+                            })
+                            .collect();
+                        let dp = pareto_points(&dp_exact);
+
+                        let tol = 1e-9;
+                        for &(bt, bl) in &brute {
+                            assert!(
+                                dp.iter().any(|&(dt, dl)| dt >= bt - tol && dl <= bl + tol),
+                                "budget {budget} {io:?} {tail:?} sfs {sfs:?}: \
+                                 brute-force optimum ({bt:.6}, {bl:.6}) lost by the DP \
+                                 (front {dp:?})"
+                            );
+                        }
+                        for &(dt, dl) in &dp {
+                            assert!(
+                                !brute.iter().any(|&(bt, bl)| bt >= dt + tol && bl <= dl - tol),
+                                "budget {budget} {io:?} {tail:?} sfs {sfs:?}: \
+                                 DP point ({dt:.6}, {dl:.6}) strictly dominated in the \
+                                 full space"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hetero_bounds_stay_admissible() {
+        // On a heterogeneous pool the DP bounds assume best-case packing;
+        // the exact evaluation of the *packed* assignment must never beat
+        // them (bound ≤ exact on both axes).
+        let m = MachineModel::paragon_hetero().with_stripe_factor(64);
+        let shape = ShapeParams::paper_default();
+        let w = StapWorkload::derive(shape);
+        let out = search_structure(
+            &m,
+            shape,
+            IoStrategy::Embedded,
+            TailStructure::Split,
+            &[64],
+            40,
+            32,
+            16,
+        );
+        assert!(!out.candidates.is_empty());
+        for c in &out.candidates {
+            let packed = pack_classes(&w, &c.assignment, &m.classes);
+            let pred = predict_with_assignment(
+                &m,
+                shape,
+                PredictStructure { separate_io: false, combined_tail: false },
+                &packed,
+            );
+            let exact_bottleneck = 1.0 / pred.throughput;
+            assert!(
+                c.bound_bottleneck <= exact_bottleneck + 1e-9,
+                "bottleneck bound {} exceeds exact {}",
+                c.bound_bottleneck,
+                exact_bottleneck
+            );
+            assert!(
+                c.bound_latency <= pred.latency + 1e-9,
+                "latency bound {} exceeds exact {}",
+                c.bound_latency,
+                pred.latency
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 128-node pool")]
+    fn budget_beyond_the_pool_rejected() {
+        search_structure(
+            &MachineModel::paragon_hetero(),
+            ShapeParams::paper_default(),
+            IoStrategy::Embedded,
+            TailStructure::Split,
+            &[64],
+            200,
+            32,
+            16,
+        );
     }
 }

@@ -173,6 +173,7 @@ fn plan_cmd(a: PlanArgs) {
     if a.no_des {
         cfg.validate_des = false;
     }
+    cfg.max_latency = a.max_latency;
     let report = ppstap::planner::plan(&cfg);
     if a.json {
         println!("{}", ppstap::planner::to_json(&report));

@@ -35,16 +35,23 @@ pub enum Command {
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlanArgs {
     /// Machine family: "paragon" (both stripe factors unless narrowed by
-    /// `--stripe-factor`), "paragon16", "paragon64", "sp", or "all".
+    /// `--stripe-factor`), "paragon16", "paragon64", "paragon-het", "sp",
+    /// or "all".
     pub machine: String,
     /// Narrows "paragon" to one stripe factor (16 or 64).
     pub stripe_factor: Option<usize>,
+    /// `--stripe-factor auto`: the planner searches the full sweep range
+    /// (8..128) as a first-class axis instead of fixing a factor up front.
+    pub stripe_auto: bool,
     /// Compute-node budget for the seven pipeline tasks.
     pub nodes: usize,
     /// Emit the report as JSON instead of the text table.
     pub json: bool,
     /// Skip stage-2 DES validation (analytic metrics only).
     pub no_des: bool,
+    /// Latency SLA in seconds: report the max-throughput front plan that
+    /// meets the bound (or why none does).
+    pub max_latency: Option<f64>,
 }
 
 impl Default for PlanArgs {
@@ -52,9 +59,11 @@ impl Default for PlanArgs {
         Self {
             machine: "paragon".into(),
             stripe_factor: None,
+            stripe_auto: false,
             nodes: 100,
             json: false,
             no_des: false,
+            max_latency: None,
         }
     }
 }
@@ -62,12 +71,21 @@ impl Default for PlanArgs {
 impl PlanArgs {
     /// Resolves the machine family + stripe factor into concrete models.
     pub fn machines(&self) -> Result<Vec<MachineModel>, ParseError> {
+        if self.stripe_auto && !["paragon", "paragon-het"].contains(&self.machine.as_str()) {
+            return Err(ParseError(format!(
+                "--stripe-factor auto only applies to --machine paragon|paragon-het, not '{}'",
+                self.machine
+            )));
+        }
         match (self.machine.as_str(), self.stripe_factor) {
+            ("paragon", None) if self.stripe_auto => Ok(vec![MachineModel::paragon_tunable()]),
             ("paragon", None) => Ok(vec![MachineModel::paragon(16), MachineModel::paragon(64)]),
             ("paragon", Some(sf)) if sf == 16 || sf == 64 => Ok(vec![MachineModel::paragon(sf)]),
             ("paragon", Some(sf)) => {
                 Err(ParseError(format!("--stripe-factor must be 16 or 64, got {sf}")))
             }
+            // The heterogeneous pool always searches its stripe candidates.
+            ("paragon-het", None) => Ok(vec![MachineModel::paragon_hetero()]),
             ("all", None) => Ok(MachineModel::paper_machines()),
             (key, None) => Ok(vec![machine_for(key)?]),
             (key, Some(_)) => Err(ParseError(format!(
@@ -164,10 +182,11 @@ pub fn machine_for(key: &str) -> Result<MachineModel, ParseError> {
     match key {
         "paragon16" => Ok(MachineModel::paragon(16)),
         "paragon64" => Ok(MachineModel::paragon(64)),
+        "paragon-het" => Ok(MachineModel::paragon_hetero()),
         "sp" => Ok(MachineModel::sp()),
-        other => {
-            Err(ParseError(format!("--machine must be paragon16|paragon64|sp, got '{other}'")))
-        }
+        other => Err(ParseError(format!(
+            "--machine must be paragon16|paragon64|paragon-het|sp, got '{other}'"
+        ))),
     }
 }
 
@@ -272,18 +291,35 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
                 match flag {
                     "--machine" => {
                         let v = take_value(flag, &mut it)?;
-                        if !["paragon", "paragon16", "paragon64", "sp", "all"].contains(&v) {
+                        let known =
+                            ["paragon", "paragon16", "paragon64", "paragon-het", "sp", "all"];
+                        if !known.contains(&v) {
                             return Err(ParseError(format!(
-                                "--machine must be paragon|paragon16|paragon64|sp|all, got '{v}'"
+                                "--machine must be paragon|paragon16|paragon64|paragon-het|sp|all, got '{v}'"
                             )));
                         }
                         a.machine = v.to_string();
                     }
                     "--stripe-factor" => {
-                        a.stripe_factor =
-                            Some(take_value(flag, &mut it)?.parse().map_err(|_| {
-                                ParseError("--stripe-factor must be a number".into())
+                        let v = take_value(flag, &mut it)?;
+                        if v == "auto" {
+                            a.stripe_auto = true;
+                            a.stripe_factor = None;
+                        } else {
+                            a.stripe_auto = false;
+                            a.stripe_factor = Some(v.parse().map_err(|_| {
+                                ParseError("--stripe-factor must be a number or 'auto'".into())
                             })?);
+                        }
+                    }
+                    "--max-latency" => {
+                        let v: f64 = take_value(flag, &mut it)?.parse().map_err(|_| {
+                            ParseError("--max-latency must be a number of seconds".into())
+                        })?;
+                        if !(v > 0.0 && v.is_finite()) {
+                            return Err(ParseError("--max-latency must be positive".into()));
+                        }
+                        a.max_latency = Some(v);
                     }
                     "--nodes" => {
                         a.nodes = take_value(flag, &mut it)?
@@ -328,11 +364,16 @@ USAGE:
     ppstap sweep [--nodes N]
         Stripe-factor sweep at N compute nodes.
 
-    ppstap plan  [--machine paragon|paragon16|paragon64|sp|all]
-                 [--stripe-factor 16|64] [--nodes N] [--json] [--no-des]
+    ppstap plan  [--machine paragon|paragon16|paragon64|paragon-het|sp|all]
+                 [--stripe-factor 16|64|auto] [--nodes N] [--max-latency S]
+                 [--json] [--no-des]
         Search node assignments x I/O strategies x task combining for the
         throughput/latency Pareto front (DES-validated unless --no-des),
         printing every pruned candidate with the reason it lost.
+        --stripe-factor auto adds the PFS stripe factor (8..128) as a search
+        axis; paragon-het plans a mixed 96+32-node pool, packing fast nodes
+        onto the heaviest tasks. --max-latency S filters the front to plans
+        meeting the latency SLA and names the max-throughput survivor.
 
     ppstap help
         Show this text.
@@ -435,8 +476,36 @@ mod tests {
                 nodes: 100,
                 json: true,
                 no_des: true,
+                ..PlanArgs::default()
             })
         );
+    }
+
+    #[test]
+    fn plan_auto_stripe_and_sla_flags() {
+        let c = parse(&["plan", "--stripe-factor", "auto", "--max-latency", "0.25"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Plan(PlanArgs {
+                stripe_auto: true,
+                max_latency: Some(0.25),
+                ..PlanArgs::default()
+            })
+        );
+        // A later numeric factor overrides auto (last flag wins).
+        let c = parse(&["plan", "--stripe-factor", "auto", "--stripe-factor", "16"]).unwrap();
+        assert_eq!(c, Command::Plan(PlanArgs { stripe_factor: Some(16), ..PlanArgs::default() }));
+    }
+
+    #[test]
+    fn plan_auto_and_hetero_machine_resolution() {
+        let auto = PlanArgs { stripe_auto: true, ..PlanArgs::default() }.machines().unwrap();
+        assert_eq!(auto.len(), 1);
+        assert!(auto[0].stripe_options().len() > 1, "auto searches several factors");
+        let het =
+            PlanArgs { machine: "paragon-het".into(), ..PlanArgs::default() }.machines().unwrap();
+        assert!(het[0].pool_size().is_some(), "hetero pool is bounded");
+        assert!(het[0].stripe_options().len() > 1);
     }
 
     #[test]
@@ -461,6 +530,12 @@ mod tests {
             .0
             .contains("only applies"));
         assert!(parse(&["plan", "--nodes", "3"]).unwrap_err().0.contains("at least 7"));
+        assert!(parse(&["plan", "--machine", "sp", "--stripe-factor", "auto"])
+            .unwrap_err()
+            .0
+            .contains("auto only applies"));
+        assert!(parse(&["plan", "--max-latency", "-1"]).unwrap_err().0.contains("positive"));
+        assert!(parse(&["plan", "--max-latency", "soon"]).unwrap_err().0.contains("seconds"));
     }
 
     #[test]

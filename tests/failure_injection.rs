@@ -57,6 +57,38 @@ fn missing_cpi_file_fails_cleanly_separate_task() {
 }
 
 #[test]
+fn separate_io_mid_run_fault_fails_cleanly_and_recovers() {
+    // A fault that only bites mid-run (slot 3, hit after two clean CPIs)
+    // must surface on the dedicated I/O task's read path as a typed stage
+    // error — and the same system must recover once the disk is repaired.
+    // The files are restriped first, exercising the new stripe axis on the
+    // real read path as well.
+    let base = StapConfig::default();
+    let cfg = StapConfig {
+        scene: scene(),
+        io: IoStrategy::SeparateTask,
+        cpis: 5,
+        warmup: 1,
+        ..StapConfig::default()
+    }
+    .with_stripe(stap_pfs::StripeConfig::new(base.fs.stripe_unit, base.fs.stripe_factor * 4));
+    let sys = StapSystem::prepare(cfg).unwrap();
+    sys.fs().inject_read_fault(&StapConfig::file_name(3)).unwrap();
+    let err = sys.run().unwrap_err();
+    match err {
+        PipelineError::Stage { stage, message } => {
+            assert_eq!(stage, "parallel read");
+            assert!(message.contains("read") || message.contains("iread"), "{message}");
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
+
+    sys.fs().clear_read_fault(&StapConfig::file_name(3)).unwrap();
+    let out = sys.run().unwrap();
+    assert_eq!(out.reports.len(), 5);
+}
+
+#[test]
 fn system_recovers_after_restaging() {
     // Fail once, restage the lost file, run again successfully — the file
     // system and pipeline wiring hold no poisoned state.

@@ -1,0 +1,94 @@
+//! Golden-file regression for `ppstap plan --json`: the planner's JSON
+//! report is a machine-readable artifact other tooling parses, so its
+//! exact bytes — field order, float formatting, plan numbering — are
+//! locked against checked-in goldens. The planner is pure f64 arithmetic
+//! with no randomness, so the output is bit-stable across runs and
+//! profiles.
+//!
+//! To regenerate after an intentional format or model change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_plan
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn run_plan(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_ppstap")).args(args).output().expect("run ppstap");
+    assert!(
+        out.status.success(),
+        "ppstap {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("stdout is UTF-8")
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+}
+
+/// Compares against the checked-in golden, reporting the first divergent
+/// line instead of dumping both multi-kilobyte documents.
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create golden dir");
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); generate it with `UPDATE_GOLDEN=1 cargo test --test golden_plan`",
+            path.display()
+        )
+    });
+    if actual == expected {
+        return;
+    }
+    for (i, (a, e)) in actual.lines().zip(expected.lines()).enumerate() {
+        assert_eq!(
+            a,
+            e,
+            "{name} diverges at line {}; if intended, regenerate with \
+             `UPDATE_GOLDEN=1 cargo test --test golden_plan`",
+            i + 1
+        );
+    }
+    panic!(
+        "{name}: output length changed ({} vs {} lines); if intended, regenerate with \
+         `UPDATE_GOLDEN=1 cargo test --test golden_plan`",
+        actual.lines().count(),
+        expected.lines().count()
+    );
+}
+
+#[test]
+fn plan_json_paragon64_is_stable() {
+    let out = run_plan(&["plan", "--machine", "paragon64", "--nodes", "25", "--no-des", "--json"]);
+    assert!(out.starts_with("{\"budget\":25,"), "unexpected JSON preamble");
+    assert!(out.contains("\"sla\":null"), "no SLA requested, field must be null");
+    check_golden("plan_paragon64_n25.json", &out);
+}
+
+#[test]
+fn plan_json_auto_stripe_with_sla_is_stable() {
+    // Locks the new surfaces together: the searched stripe axis
+    // (--stripe-factor auto) and the SLA block (--max-latency) in one
+    // artifact.
+    let out = run_plan(&[
+        "plan",
+        "--machine",
+        "paragon",
+        "--stripe-factor",
+        "auto",
+        "--max-latency",
+        "0.5",
+        "--nodes",
+        "50",
+        "--no-des",
+        "--json",
+    ]);
+    assert!(out.contains("\"sla\":{\"max_latency\":0.5,"), "SLA block missing");
+    check_golden("plan_auto_sla_n50.json", &out);
+}

@@ -70,6 +70,46 @@ fn sf16_dominated_at_100_nodes() {
 }
 
 #[test]
+fn sla_planning_rediscovers_a_wide_stripe_at_100_nodes() {
+    // The acceptance scenario for SLA-aware planning: at the paper's
+    // 100-node workload with the stripe factor left to the search, asking
+    // for a latency bound must return a feasible plan — and its stripe
+    // factor must not be the sf=16 the paper started from (Table 1's read
+    // ceiling makes 16 a losing choice at this scale).
+    let cfg = PlannerConfig::new(vec![MachineModel::paragon_tunable()], 100)
+        .without_des()
+        .with_max_latency(0.32);
+    let report = plan(&cfg);
+    let sla = report.sla.as_ref().expect("SLA outcome recorded");
+    assert!(sla.infeasible.is_none(), "{:?}", sla.infeasible);
+    let best = report.best_within_sla().expect("a 0.32 s plan exists at 100 nodes");
+    assert!(best.ranked().latency <= 0.32, "latency {} breaks the SLA", best.ranked().latency);
+    assert_ne!(best.stripe_factor, 16, "the planner kept the paper's losing stripe factor");
+    // The reported best is the throughput argmax among the feasible plans.
+    for &i in &sla.feasible_ids {
+        assert!(report.plans[i].ranked().throughput <= best.ranked().throughput + 1e-12);
+        assert!(report.plans[i].ranked().latency <= 0.32);
+    }
+}
+
+#[test]
+fn hetero_pool_front_uses_the_fast_class() {
+    // On the mixed 96+32 pool the front plans must carry per-class
+    // breakdowns, and at least one front plan must actually use fast nodes.
+    let cfg = PlannerConfig::new(vec![MachineModel::paragon_hetero()], 100).without_des();
+    let report = plan(&cfg);
+    let mut fast_used = false;
+    for p in report.front() {
+        assert!(!p.assignment.class_counts.is_empty(), "#{} lost its packing", p.id);
+        for row in &p.assignment.class_counts {
+            // Rows follow declaration order: [0] = "gp", [1] = "fast".
+            fast_used |= row.len() > 1 && row[1] > 0;
+        }
+    }
+    assert!(fast_used, "no front plan used the fast class");
+}
+
+#[test]
 fn search_dominates_the_proportional_heuristic() {
     for nodes in [25usize, 50, 100] {
         let report =
