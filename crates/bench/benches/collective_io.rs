@@ -18,7 +18,7 @@ fn bench(c: &mut Criterion) {
     let fs = Pfs::mount(cfg.clone());
     let f = fs.gopen("strided.dat", OpenMode::Async);
     let data: Vec<u8> = (0..1 << 20).map(|i| (i % 251) as u8).collect();
-    f.write_at(0, &data);
+    f.write_at(0, &data).unwrap();
     let reqs = strided(8, 512, 2048);
 
     let (naive, two_phase) = modeled_costs(&cfg, &reqs, OpenMode::Async);

@@ -64,7 +64,17 @@ pub fn regenerate_all() -> Vec<Artifact> {
             &stap_core::experiments::validation::validate_embedded_grid(),
         ),
     });
+    out.push(Artifact { name: "fault_degradation", text: render_fault_degradation() });
     out
+}
+
+/// Renders the fault-degradation experiment (`results/fault_degradation.txt`).
+pub fn render_fault_degradation() -> String {
+    use stap_core::experiments::degradation::{
+        fault_degradation, recoverable_degradation, render_degradation,
+    };
+    let rates = [0.0, 0.05, 0.1, 0.2, 0.3];
+    render_degradation(&fault_degradation(&rates), &recoverable_degradation(&rates))
 }
 
 /// Renders the stripe-factor sweep ablation.

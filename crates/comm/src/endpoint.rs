@@ -49,6 +49,12 @@ impl Endpoint {
         self.abort.load(Ordering::SeqCst)
     }
 
+    /// A cloneable handle onto this world's abort flag, usable from
+    /// threads that do not own an endpoint (e.g. a watchdog monitor).
+    pub fn abort_handle(&self) -> AbortHandle {
+        AbortHandle { abort: Arc::clone(&self.abort) }
+    }
+
     /// This endpoint's rank.
     #[inline]
     pub fn rank(&self) -> usize {
@@ -203,6 +209,26 @@ impl Endpoint {
     /// [`RecvRequest::test`]. Posting does not consume anything.
     pub fn irecv(&self, src: Option<usize>, tag: Option<Tag>) -> RecvRequest {
         RecvRequest { src, tag }
+    }
+}
+
+/// A clone of the world-wide abort flag, detached from any endpoint. Lets
+/// an external observer (a stage watchdog, a signal handler) tear the
+/// world down exactly as [`Endpoint::trigger_abort`] would.
+#[derive(Debug, Clone)]
+pub struct AbortHandle {
+    abort: Arc<AtomicBool>,
+}
+
+impl AbortHandle {
+    /// Raises the world-wide abort flag.
+    pub fn trigger(&self) {
+        self.abort.store(true, Ordering::SeqCst);
+    }
+
+    /// True once the world is aborting.
+    pub fn is_aborted(&self) -> bool {
+        self.abort.load(Ordering::SeqCst)
     }
 }
 

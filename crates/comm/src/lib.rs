@@ -37,7 +37,7 @@ pub mod group;
 pub mod message;
 pub mod world;
 
-pub use endpoint::{wait_all, Endpoint, RecvRequest};
+pub use endpoint::{wait_all, AbortHandle, Endpoint, RecvRequest};
 pub use error::CommError;
 pub use group::Group;
 pub use message::{Envelope, Tag};

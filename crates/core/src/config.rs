@@ -5,8 +5,126 @@ use stap_kernels::cfar::CfarConfig;
 use stap_kernels::cube::CubeDims;
 use stap_kernels::doppler::DopplerConfig;
 use stap_kernels::weights::{BeamSet, WeightMethod};
-use stap_pfs::FsConfig;
+use stap_pfs::{FaultPlan, FsConfig};
 use stap_radar::Scene;
+use std::time::Duration;
+
+/// Retry budget for transient read failures: up to `attempts` re-reads
+/// after the first failure, pausing `backoff · 2^attempt` between tries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Re-read attempts after the first failure (0 = fail immediately).
+    pub attempts: u32,
+    /// Base pause before the first retry; doubles each further retry.
+    pub backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// No retries at all.
+    pub fn none() -> Self {
+        Self { attempts: 0, backoff: Duration::ZERO }
+    }
+
+    /// A budget of `attempts` retries starting at `backoff`.
+    pub fn new(attempts: u32, backoff: Duration) -> Self {
+        Self { attempts, backoff }
+    }
+
+    /// Pause before retry number `attempt` (0-based): exponential backoff
+    /// with the doubling capped so pathological budgets stay bounded.
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        self.backoff.saturating_mul(1u32 << attempt.min(6))
+    }
+}
+
+/// What a stage does when a CPI read keeps failing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailurePolicy {
+    /// Tear the run down on the first failure (the strict default).
+    #[default]
+    Abort,
+    /// Retry transient failures within the budget, then abort.
+    Retry(RetryPolicy),
+    /// Retry within the budget, then drop the CPI and propagate a gap
+    /// bubble through the pipeline — degraded mode. More than
+    /// `max_consecutive` back-to-back drops on one node still aborts.
+    SkipCpi {
+        /// Retry budget tried before giving a CPI up.
+        retry: RetryPolicy,
+        /// Largest tolerated run of consecutive dropped CPIs per node.
+        max_consecutive: u32,
+    },
+}
+
+impl FailurePolicy {
+    /// The retry budget in force (empty for [`FailurePolicy::Abort`]).
+    pub fn retry(&self) -> RetryPolicy {
+        match self {
+            FailurePolicy::Abort => RetryPolicy::none(),
+            FailurePolicy::Retry(r) => *r,
+            FailurePolicy::SkipCpi { retry, .. } => *retry,
+        }
+    }
+
+    /// True when exhausted retries drop the CPI instead of aborting.
+    pub fn skips(&self) -> bool {
+        matches!(self, FailurePolicy::SkipCpi { .. })
+    }
+
+    /// The consecutive-drop budget, when one applies.
+    pub fn max_consecutive(&self) -> Option<u32> {
+        match self {
+            FailurePolicy::SkipCpi { max_consecutive, .. } => Some(*max_consecutive),
+            _ => None,
+        }
+    }
+
+    /// Parses the CLI grammar: `abort`, `retry:ATTEMPTS:BACKOFF_MS`, or
+    /// `skip:ATTEMPTS:BACKOFF_MS:MAX_CONSECUTIVE`.
+    ///
+    /// # Errors
+    /// Returns a message describing the malformed spec.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let parts: Vec<&str> = spec.split(':').collect();
+        let int = |s: &str, what: &str| -> Result<u64, String> {
+            s.parse::<u64>().map_err(|_| format!("bad {what} '{s}' in failure policy '{spec}'"))
+        };
+        match parts.as_slice() {
+            ["abort"] => Ok(FailurePolicy::Abort),
+            ["retry", a, ms] => Ok(FailurePolicy::Retry(RetryPolicy::new(
+                int(a, "attempt count")? as u32,
+                Duration::from_millis(int(ms, "backoff")?),
+            ))),
+            ["skip", a, ms, mc] => Ok(FailurePolicy::SkipCpi {
+                retry: RetryPolicy::new(
+                    int(a, "attempt count")? as u32,
+                    Duration::from_millis(int(ms, "backoff")?),
+                ),
+                max_consecutive: int(mc, "consecutive budget")? as u32,
+            }),
+            _ => Err(format!(
+                "bad failure policy '{spec}' (expected abort, retry:N:MS, or skip:N:MS:MAX)"
+            )),
+        }
+    }
+}
+
+/// Stage watchdog settings: each stage must finish every CPI within
+/// `factor ×` its predicted per-CPI time, never less than `floor`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WatchdogPolicy {
+    /// Multiple of the predicted per-stage CPI time allowed per iteration.
+    pub factor: f64,
+    /// Minimum deadline regardless of prediction (absorbs scheduling
+    /// noise and injected slow-read latency on small shapes).
+    pub floor: Duration,
+}
+
+impl Default for WatchdogPolicy {
+    fn default() -> Self {
+        Self { factor: 100.0, floor: Duration::from_secs(5) }
+    }
+}
 
 /// Node counts for the real executor (threads). These are deliberately
 /// small — the paper-scale 25/100-node runs happen in virtual time; the
@@ -102,6 +220,14 @@ pub struct StapConfig {
     /// the parallel file system (`report_<cpi>.dat`) — the output side of
     /// the I/O story.
     pub record_reports: bool,
+    /// Response to failing CPI reads (abort, retry, or degrade by
+    /// dropping CPIs).
+    pub failure_policy: FailurePolicy,
+    /// Deterministic fault schedule installed on the file system before
+    /// the run (None = fault-free).
+    pub fault_plan: Option<FaultPlan>,
+    /// Stage watchdog deadlines (None = no watchdog, today's behavior).
+    pub watchdog: Option<WatchdogPolicy>,
 }
 
 impl Default for StapConfig {
@@ -125,6 +251,9 @@ impl Default for StapConfig {
             warmup: 2,
             seed: 7,
             record_reports: false,
+            failure_policy: FailurePolicy::default(),
+            fault_plan: None,
+            watchdog: None,
         }
     }
 }
@@ -166,6 +295,50 @@ mod tests {
         assert_eq!(c.nbins(), 32);
         assert!(c.cpis > c.warmup);
         assert_eq!(StapConfig::file_name(2), "cpi_2.dat");
+    }
+
+    #[test]
+    fn failure_policy_grammar_round_trips() {
+        assert_eq!(FailurePolicy::parse("abort").unwrap(), FailurePolicy::Abort);
+        assert_eq!(
+            FailurePolicy::parse("retry:3:20").unwrap(),
+            FailurePolicy::Retry(RetryPolicy::new(3, Duration::from_millis(20)))
+        );
+        assert_eq!(
+            FailurePolicy::parse("skip:2:5:4").unwrap(),
+            FailurePolicy::SkipCpi {
+                retry: RetryPolicy::new(2, Duration::from_millis(5)),
+                max_consecutive: 4,
+            }
+        );
+        assert!(FailurePolicy::parse("retry:3").unwrap_err().contains("bad failure policy"));
+        assert!(FailurePolicy::parse("retry:x:5").unwrap_err().contains("attempt count"));
+    }
+
+    #[test]
+    fn retry_backoff_doubles_and_saturates() {
+        let r = RetryPolicy::new(4, Duration::from_millis(10));
+        assert_eq!(r.backoff_for(0), Duration::from_millis(10));
+        assert_eq!(r.backoff_for(1), Duration::from_millis(20));
+        assert_eq!(r.backoff_for(3), Duration::from_millis(80));
+        // The doubling caps: huge attempt numbers stay finite.
+        assert_eq!(r.backoff_for(40), Duration::from_millis(10 * 64));
+        assert_eq!(RetryPolicy::none().backoff_for(5), Duration::ZERO);
+    }
+
+    #[test]
+    fn policy_accessors_reflect_the_variant() {
+        let abort = FailurePolicy::Abort;
+        assert_eq!(abort.retry().attempts, 0);
+        assert!(!abort.skips());
+        assert_eq!(abort.max_consecutive(), None);
+        let skip = FailurePolicy::SkipCpi {
+            retry: RetryPolicy::new(1, Duration::ZERO),
+            max_consecutive: 2,
+        };
+        assert!(skip.skips());
+        assert_eq!(skip.retry().attempts, 1);
+        assert_eq!(skip.max_consecutive(), Some(2));
     }
 
     #[test]

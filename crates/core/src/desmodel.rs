@@ -17,6 +17,7 @@
 
 use crate::io_strategy::{IoStrategy, TailStructure};
 use stap_des::{Engine, FcfsResource, SimTime, Tally};
+use stap_pfs::FaultWindow;
 use stap_model::analytic::{latency as eq_latency, throughput as eq_throughput, TaskTime};
 use stap_model::assignment::{assign_nodes, SEPARATE_IO_NODES};
 use stap_model::machines::MachineModel;
@@ -51,6 +52,104 @@ struct SimTask {
     temporal_preds: Vec<usize>,
 }
 
+/// Which simulated CPIs suffer a read fault.
+#[derive(Debug, Clone)]
+pub enum FaultSource {
+    /// Each CPI's read fails independently with probability `rate`,
+    /// deterministically derived from `seed` (same draw every run).
+    Random {
+        /// Per-CPI fault probability in `[0, 1]`.
+        rate: f64,
+        /// Seed of the deterministic per-CPI draw.
+        seed: u64,
+    },
+    /// Reads fail during these CPI windows.
+    Windows(Vec<FaultWindow>),
+}
+
+impl FaultSource {
+    /// Deterministic verdict: is CPI `cpi` faulted?
+    fn faulted(&self, cpi: u64) -> bool {
+        match self {
+            FaultSource::Random { rate, seed } => {
+                // splitmix64 of (seed, cpi) → uniform in [0, 1).
+                let mut z = seed
+                    .wrapping_add(cpi.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+                    .wrapping_add(0x9e37_79b9_7f4a_7c15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^= z >> 31;
+                ((z >> 11) as f64 / (1u64 << 53) as f64) < *rate
+            }
+            FaultSource::Windows(ws) => ws.iter().any(|w| w.contains(cpi)),
+        }
+    }
+}
+
+/// Fault injection for the simulated read path, mirroring the real
+/// pipeline's `SkipCpi` failure policy in virtual time: a faulted CPI's
+/// read fails `fail_attempts` times (each failure costs `detect` seconds
+/// plus exponential backoff); if the retry budget clears the fault the
+/// read proceeds, otherwise the CPI is dropped and every downstream task
+/// merely forwards the gap bubble at a small fraction of its nominal time.
+#[derive(Debug, Clone)]
+pub struct DesFaultModel {
+    /// Which CPIs fault.
+    pub source: FaultSource,
+    /// Failed attempts before a faulted CPI's read would succeed
+    /// (`u32::MAX` = never within any realistic budget).
+    pub fail_attempts: u32,
+    /// Seconds to notice one failed attempt.
+    pub detect: f64,
+    /// Retry budget after the first failure (the `SkipCpi` retry knob).
+    pub retry_attempts: u32,
+    /// Base backoff seconds before the first retry; doubles per retry.
+    pub backoff: f64,
+}
+
+/// Fraction of a task's nominal time charged to forward a gap bubble.
+const GAP_FORWARD_FRACTION: f64 = 0.05;
+
+/// Per-CPI consequence of the fault model.
+#[derive(Debug, Clone, Copy, Default)]
+struct CpiFault {
+    /// Extra seconds charged at the read-bearing task (detection+backoff).
+    extra: f64,
+    /// The CPI is dropped: downstream tasks only forward the bubble.
+    dropped: bool,
+    /// Retries consumed on this CPI.
+    retries: u64,
+}
+
+impl DesFaultModel {
+    /// Exponential backoff before retry `attempt`, capped like the real
+    /// pipeline's `RetryPolicy`.
+    fn backoff_for(&self, attempt: u32) -> f64 {
+        self.backoff * f64::from(1u32 << attempt.min(6))
+    }
+
+    /// The consequence for CPI `cpi`.
+    fn consequence(&self, cpi: u64) -> CpiFault {
+        if !self.source.faulted(cpi) {
+            return CpiFault::default();
+        }
+        let budget = self.retry_attempts;
+        if self.fail_attempts <= budget {
+            // The retry budget clears the fault: charge the failed
+            // attempts and their backoffs, then the read proceeds.
+            let failing = self.fail_attempts;
+            let extra = f64::from(failing) * self.detect
+                + (0..failing).map(|k| self.backoff_for(k)).sum::<f64>();
+            CpiFault { extra, dropped: false, retries: u64::from(failing) }
+        } else {
+            // Budget exhausted: every attempt failed, the CPI is dropped.
+            let extra = f64::from(budget + 1) * self.detect
+                + (0..budget).map(|k| self.backoff_for(k)).sum::<f64>();
+            CpiFault { extra, dropped: true, retries: u64::from(budget) }
+        }
+    }
+}
+
 /// Configuration of one virtual-time experiment cell.
 #[derive(Debug, Clone)]
 pub struct DesExperiment {
@@ -76,6 +175,8 @@ pub struct DesExperiment {
     /// under non-proportional assignments where a tail task paces the
     /// pipeline.
     pub assignment_override: Option<stap_model::assignment::Assignment>,
+    /// Transient read faults applied in virtual time (None = fault-free).
+    pub faults: Option<DesFaultModel>,
 }
 
 impl DesExperiment {
@@ -95,6 +196,7 @@ impl DesExperiment {
             cpis: 64,
             warmup: 8,
             assignment_override: None,
+            faults: None,
         }
     }
 }
@@ -140,6 +242,13 @@ pub struct DesResult {
     pub latency: f64,
     /// I/O server utilization over the run.
     pub io_utilization: f64,
+    /// CPIs dropped by the fault model, ascending.
+    pub dropped: Vec<u64>,
+    /// Read retries charged by the fault model.
+    pub retries: u64,
+    /// Steady-state throughput of *delivered* CPIs (slot rate scaled by
+    /// the surviving fraction; equals `throughput` when nothing dropped).
+    pub delivered_throughput: f64,
 }
 
 impl DesResult {
@@ -186,6 +295,8 @@ struct SimState {
     source_idx: usize,
     sink_idx: usize,
     trace: Option<Vec<TraceEntry>>,
+    /// Precomputed per-CPI fault consequences (empty = fault-free).
+    faults: Vec<CpiFault>,
 }
 
 impl SimState {
@@ -208,8 +319,22 @@ impl SimState {
     }
 
     /// Duration of instance `(i, j)` starting at `t0`.
-    fn duration(&mut self, i: usize, t0: SimTime) -> SimTime {
-        match self.tasks[i].dur {
+    fn duration(&mut self, i: usize, j: u64, t0: SimTime) -> SimTime {
+        let fault = self.faults.get(j as usize).copied().unwrap_or_default();
+        if fault.dropped {
+            // The read-bearing task burns its retry budget (detection +
+            // backoff) and gives up; everyone downstream merely forwards
+            // the gap bubble at a small fraction of nominal time.
+            if i == self.source_idx {
+                return SimTime::from_secs_f64(fault.extra);
+            }
+            let nominal = match self.tasks[i].dur {
+                DurKind::Fixed(secs) => secs,
+                DurKind::ReadEmbedded { compute, send, overhead, .. } => compute + send + overhead,
+            };
+            return SimTime::from_secs_f64(GAP_FORWARD_FRACTION * nominal);
+        }
+        let base = match self.tasks[i].dur {
             DurKind::Fixed(secs) => SimTime::from_secs_f64(secs),
             DurKind::ReadEmbedded { compute, send, overhead, overlap } => {
                 let post = if overlap { self.prev_start[i].unwrap_or(t0) } else { t0 };
@@ -223,6 +348,13 @@ impl SimState {
                 };
                 work.saturating_sub(t0) + SimTime::from_secs_f64(send + overhead)
             }
+        };
+        if i == self.source_idx && fault.extra > 0.0 {
+            // Transient fault cleared within the retry budget: the read
+            // succeeds after charging detection time and backoff.
+            base + SimTime::from_secs_f64(fault.extra)
+        } else {
+            base
         }
     }
 }
@@ -254,7 +386,7 @@ fn try_start(eng: &mut Engine<SimState>, st: &mut SimState, i: usize, j: u64) {
         st.prev_end[i].expect("completed == j > 0 implies a recorded end")
     };
     let t0 = input_ready.max(own_ready).max(eng.now());
-    let dur = st.duration(i, t0);
+    let dur = st.duration(i, j, t0);
     let end = t0 + dur;
     st.next_cpi[i] = j + 1;
     st.prev_start[i] = Some(t0);
@@ -540,6 +672,10 @@ impl DesExperiment {
             };
         let source_idx = 0usize; // read task when present, else Doppler
         let sink_idx = n - 1;
+        let faults: Vec<CpiFault> = match &self.faults {
+            Some(model) => (0..self.cpis).map(|j| model.consequence(j)).collect(),
+            None => Vec::new(),
+        };
         let mut st = SimState {
             remaining: HashMap::new(),
             arrival: HashMap::new(),
@@ -560,6 +696,7 @@ impl DesExperiment {
             source_idx,
             sink_idx,
             trace: traced.then(Vec::new),
+            faults,
             tasks,
         };
         let mut eng = Engine::new();
@@ -591,6 +728,18 @@ impl DesExperiment {
                 time: d.mean(),
             })
             .collect();
+        // Fault accounting: dropped CPIs, retries charged, and the
+        // delivered (surviving) steady-state throughput.
+        let dropped: Vec<u64> =
+            (0..self.cpis).filter(|&j| st.faults.get(j as usize).is_some_and(|f| f.dropped)).collect();
+        let retries: u64 = st.faults.iter().map(|f| f.retries).sum();
+        let steady = self.cpis.saturating_sub(self.warmup);
+        let dropped_steady = dropped.iter().filter(|&&j| j >= self.warmup).count() as u64;
+        let delivered = if steady > 0 {
+            tput * (steady - dropped_steady.min(steady)) as f64 / steady as f64
+        } else {
+            tput
+        };
         let result = DesResult {
             machine: self.machine.name.clone(),
             total_nodes: self.compute_nodes + read_nodes,
@@ -598,6 +747,9 @@ impl DesExperiment {
             throughput: tput,
             latency: lat,
             io_utilization: st.io.utilization(horizon),
+            dropped,
+            retries,
+            delivered_throughput: delivered,
         };
         (result, st.trace.take().unwrap_or_default())
     }
@@ -825,5 +977,109 @@ mod tests {
         let b = cell(MachineModel::sp(), IoStrategy::Embedded, TailStructure::Split, 25);
         assert_eq!(a.throughput, b.throughput);
         assert_eq!(a.latency, b.latency);
+    }
+
+    fn skip_model(source: FaultSource) -> DesFaultModel {
+        DesFaultModel {
+            source,
+            fail_attempts: u32::MAX,
+            detect: 0.001,
+            retry_attempts: 2,
+            backoff: 0.001,
+        }
+    }
+
+    #[test]
+    fn fault_free_model_changes_nothing() {
+        let mut exp = DesExperiment::new(
+            MachineModel::paragon(64),
+            IoStrategy::Embedded,
+            TailStructure::Split,
+            50,
+        );
+        let clean = exp.run();
+        exp.faults = Some(skip_model(FaultSource::Random { rate: 0.0, seed: 7 }));
+        let faulted = exp.run();
+        assert_eq!(clean.throughput, faulted.throughput);
+        assert_eq!(clean.latency, faulted.latency);
+        assert!(faulted.dropped.is_empty());
+        assert_eq!(faulted.retries, 0);
+        assert_eq!(faulted.delivered_throughput, faulted.throughput);
+    }
+
+    #[test]
+    fn window_faults_drop_the_exact_cpis() {
+        let mut exp = DesExperiment::new(
+            MachineModel::paragon(64),
+            IoStrategy::Embedded,
+            TailStructure::Split,
+            50,
+        );
+        exp.faults = Some(skip_model(FaultSource::Windows(vec![
+            FaultWindow::new(12, 13),
+            FaultWindow::new(40, 41),
+        ])));
+        let r = exp.run();
+        assert_eq!(r.dropped, vec![12, 40]);
+        // Each drop burns the full retry budget.
+        assert_eq!(r.retries, 2 * 2);
+        assert!(r.delivered_throughput < r.throughput);
+    }
+
+    #[test]
+    fn retry_budget_clears_transient_faults_without_drops() {
+        let mut exp = DesExperiment::new(
+            MachineModel::paragon(64),
+            IoStrategy::Embedded,
+            TailStructure::Split,
+            50,
+        );
+        let mut model = skip_model(FaultSource::Windows(vec![FaultWindow::new(20, 21)]));
+        model.fail_attempts = 1; // one failure, then the retry succeeds
+        exp.faults = Some(model);
+        let r = exp.run();
+        assert!(r.dropped.is_empty());
+        assert_eq!(r.retries, 1);
+        assert_eq!(r.delivered_throughput, r.throughput);
+    }
+
+    #[test]
+    fn higher_fault_rate_degrades_delivered_throughput() {
+        let run_at = |rate: f64| {
+            let mut exp = DesExperiment::new(
+                MachineModel::paragon(64),
+                IoStrategy::Embedded,
+                TailStructure::Split,
+                50,
+            );
+            exp.cpis = 256;
+            exp.warmup = 16;
+            exp.faults = Some(skip_model(FaultSource::Random { rate, seed: 42 }));
+            exp.run()
+        };
+        let clean = run_at(0.0);
+        let light = run_at(0.05);
+        let heavy = run_at(0.3);
+        assert!(light.delivered_throughput < clean.delivered_throughput);
+        assert!(heavy.delivered_throughput < light.delivered_throughput);
+        assert!(heavy.dropped.len() > light.dropped.len());
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        let run = || {
+            let mut exp = DesExperiment::new(
+                MachineModel::sp(),
+                IoStrategy::SeparateTask,
+                TailStructure::Split,
+                50,
+            );
+            exp.faults = Some(skip_model(FaultSource::Random { rate: 0.1, seed: 99 }));
+            exp.run()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.dropped, b.dropped);
+        assert_eq!(a.retries, b.retries);
+        assert_eq!(a.delivered_throughput, b.delivered_throughput);
     }
 }

@@ -1,0 +1,265 @@
+//! The fault-degradation experiment: delivered throughput versus injected
+//! read-fault rate, for the embedded and separate I/O designs, measured on
+//! the real pipeline and predicted by the fault-aware DES.
+//!
+//! Two claims are exercised. First, under *unrecoverable* per-CPI faults
+//! the delivered throughput falls with the surviving-CPI fraction — the
+//! real pipeline (flaky reads, `SkipCpi` policy) and the DES (random
+//! per-CPI faults at the same rate) must agree on that fraction within the
+//! documented tolerance band ([`TOLERANCE`]), since both draw faults
+//! independently per CPI from their own seeded streams. Second, under
+//! *recoverable* faults (cleared within the retry budget) the separate-I/O
+//! design degrades more gracefully: its retries burn time on the dedicated
+//! read task, where `iread` overlap hides them from the pipeline's critical
+//! path, while the embedded design pays them inside the Doppler task.
+
+use crate::config::{FailurePolicy, RetryPolicy, StapConfig};
+use crate::desmodel::{DesExperiment, DesFaultModel, FaultSource};
+use crate::io_strategy::{IoStrategy, TailStructure};
+use crate::system::StapSystem;
+use stap_kernels::cube::CubeDims;
+use stap_model::machines::MachineModel;
+use stap_pfs::{Fault, FaultPlan, FaultWindow};
+
+/// Documented tolerance band on the delivered-throughput fraction: the
+/// real run and the DES draw per-CPI faults from different seeded streams,
+/// so their surviving fractions differ by binomial noise — at 32 CPIs and
+/// rates up to 0.3 the standard deviation is below 0.09, and the suite
+/// asserts agreement within this band.
+pub const TOLERANCE: f64 = 0.18;
+
+/// One rate point of the degradation curve.
+#[derive(Debug, Clone)]
+pub struct DegradationRow {
+    /// Injected per-CPI read-fault probability.
+    pub rate: f64,
+    /// Real pipeline, embedded I/O: delivered fraction of the fault-free
+    /// delivered throughput.
+    pub real_embedded: f64,
+    /// Real pipeline, separate I/O task: delivered fraction.
+    pub real_separate: f64,
+    /// DES prediction, embedded I/O: delivered fraction.
+    pub des_embedded: f64,
+    /// DES prediction, separate I/O task: delivered fraction.
+    pub des_separate: f64,
+}
+
+/// Recoverable-fault slot-throughput ratios (DES): how much of the
+/// fault-free throughput each design keeps when every faulted CPI recovers
+/// within the retry budget.
+#[derive(Debug, Clone)]
+pub struct RecoverableRow {
+    /// Injected per-CPI fault probability.
+    pub rate: f64,
+    /// Embedded design: throughput fraction of fault-free.
+    pub embedded: f64,
+    /// Separate-I/O design: throughput fraction of fault-free.
+    pub separate: f64,
+}
+
+/// The small real-mode configuration used for all degradation cells.
+fn real_config(io: IoStrategy, cpis: u64) -> StapConfig {
+    StapConfig {
+        dims: CubeDims::new(16, 4, 64),
+        io,
+        cpis,
+        warmup: 2,
+        fanout: 2,
+        ..StapConfig::default()
+    }
+}
+
+/// Measures the real pipeline's delivered fraction at `rate`: flaky reads
+/// on every CPI file, single attempt (no retries), `SkipCpi` drops.
+fn real_fraction(io: IoStrategy, rate: f64, cpis: u64, seed: u64) -> f64 {
+    let mut cfg = real_config(io, cpis);
+    if rate > 0.0 {
+        let mut plan = FaultPlan::new(seed);
+        for slot in 0..cfg.fanout {
+            plan = plan.with(Fault::Flaky {
+                file: StapConfig::file_name(slot),
+                p: rate,
+                window: FaultWindow::always(),
+            });
+        }
+        cfg.fault_plan = Some(plan);
+        cfg.failure_policy = FailurePolicy::SkipCpi {
+            retry: RetryPolicy::none(),
+            max_consecutive: cpis as u32,
+        };
+    }
+    let out = StapSystem::prepare(cfg).expect("prepare").run().expect("degraded run");
+    let steady = cpis - out.warmup;
+    let dropped = out.dropped.iter().filter(|g| g.cpi >= out.warmup).count() as u64;
+    (steady - dropped.min(steady)) as f64 / steady as f64
+}
+
+/// DES cell at paper scale with the given fault model (None = fault-free).
+fn des_cell(io: IoStrategy, faults: Option<DesFaultModel>) -> crate::desmodel::DesResult {
+    let mut exp = DesExperiment::new(MachineModel::paragon(64), io, TailStructure::Split, 50);
+    exp.faults = faults;
+    exp.run()
+}
+
+/// DES delivered fraction at `rate` under unrecoverable per-CPI faults.
+fn des_fraction(io: IoStrategy, rate: f64, seed: u64) -> f64 {
+    if rate <= 0.0 {
+        return 1.0;
+    }
+    let clean = des_cell(io, None);
+    let faulted = des_cell(
+        io,
+        Some(DesFaultModel {
+            source: FaultSource::Random { rate, seed },
+            fail_attempts: u32::MAX,
+            detect: 0.002,
+            retry_attempts: 1,
+            backoff: 0.002,
+        }),
+    );
+    faulted.delivered_throughput / clean.delivered_throughput
+}
+
+/// The degradation curve over `rates` (each in `[0, 1]`).
+pub fn fault_degradation(rates: &[f64]) -> Vec<DegradationRow> {
+    const CPIS: u64 = 32;
+    const SEED: u64 = 1801;
+    rates
+        .iter()
+        .map(|&rate| DegradationRow {
+            rate,
+            real_embedded: real_fraction(IoStrategy::Embedded, rate, CPIS, SEED),
+            real_separate: real_fraction(IoStrategy::SeparateTask, rate, CPIS, SEED),
+            des_embedded: des_fraction(IoStrategy::Embedded, rate, SEED),
+            des_separate: des_fraction(IoStrategy::SeparateTask, rate, SEED),
+        })
+        .collect()
+}
+
+/// DES slot-throughput ratios under *recoverable* faults: every faulted
+/// CPI fails once, then the retry succeeds.
+pub fn recoverable_degradation(rates: &[f64]) -> Vec<RecoverableRow> {
+    let cell = |io: IoStrategy, rate: f64| -> f64 {
+        if rate <= 0.0 {
+            return 1.0;
+        }
+        let clean = des_cell(io, None);
+        let faulted = des_cell(
+            io,
+            Some(DesFaultModel {
+                source: FaultSource::Random { rate, seed: 1801 },
+                fail_attempts: 1,
+                detect: 0.01,
+                retry_attempts: 2,
+                backoff: 0.01,
+            }),
+        );
+        faulted.throughput / clean.throughput
+    };
+    rates
+        .iter()
+        .map(|&rate| RecoverableRow {
+            rate,
+            embedded: cell(IoStrategy::Embedded, rate),
+            separate: cell(IoStrategy::SeparateTask, rate),
+        })
+        .collect()
+}
+
+/// Renders the `results/fault_degradation.txt` artifact.
+pub fn render_degradation(rows: &[DegradationRow], recoverable: &[RecoverableRow]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "Fault degradation: delivered throughput vs injected read-fault rate");
+    let _ = writeln!(s, "(fractions of the fault-free delivered throughput)");
+    let _ = writeln!(s);
+    let _ = writeln!(s, "Unrecoverable per-CPI faults, SkipCpi policy:");
+    let _ = writeln!(s, "  real pipeline: flaky reads at p = rate, single attempt, drops recorded");
+    let _ = writeln!(s, "  DES (Paragon sf=64, 50 nodes): random per-CPI faults at the same rate");
+    let _ = writeln!(s);
+    let _ = writeln!(
+        s,
+        "{:<8}{:>12}{:>12}{:>12}{:>12}",
+        "rate", "real emb", "real sep", "DES emb", "DES sep"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<8.2}{:>12.3}{:>12.3}{:>12.3}{:>12.3}",
+            r.rate, r.real_embedded, r.real_separate, r.des_embedded, r.des_separate
+        );
+    }
+    let _ = writeln!(s);
+    let _ = writeln!(
+        s,
+        "Tolerance band: |real - DES| <= {TOLERANCE} per cell (independent seeded draws)."
+    );
+    let _ = writeln!(s);
+    let _ = writeln!(s, "Recoverable faults (cleared within the retry budget), DES prediction:");
+    let _ = writeln!(s, "  retry time is paid on the read-bearing task; the separate-I/O design");
+    let _ = writeln!(s, "  hides it behind iread overlap, the embedded design pays it in Doppler.");
+    let _ = writeln!(s);
+    let _ = writeln!(s, "{:<8}{:>12}{:>12}", "rate", "embedded", "separate");
+    for r in recoverable {
+        let _ = writeln!(s, "{:<8.2}{:>12.3}{:>12.3}", r.rate, r.embedded, r.separate);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn des_conformance_within_the_documented_band() {
+        // The conformance suite: DES-predicted delivered fraction vs the
+        // real pipeline's measured degradation, per strategy and rate.
+        for rate in [0.1, 0.3] {
+            for io in [IoStrategy::Embedded, IoStrategy::SeparateTask] {
+                let real = real_fraction(io, rate, 32, 1801);
+                let des = des_fraction(io, rate, 1801);
+                assert!(
+                    (real - des).abs() <= TOLERANCE,
+                    "{io:?} rate {rate}: real {real:.3} vs DES {des:.3} outside band {TOLERANCE}"
+                );
+                assert!(real < 1.0, "{io:?} rate {rate}: faults visibly degrade the real run");
+                assert!(des < 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn fault_free_row_is_flat() {
+        let rows = fault_degradation(&[0.0]);
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert_eq!(
+            (r.real_embedded, r.real_separate, r.des_embedded, r.des_separate),
+            (1.0, 1.0, 1.0, 1.0)
+        );
+    }
+
+    #[test]
+    fn separate_io_degrades_no_worse_under_recoverable_faults() {
+        for r in recoverable_degradation(&[0.1, 0.3]) {
+            assert!(
+                r.separate >= r.embedded - 1e-9,
+                "rate {}: separate {:.4} vs embedded {:.4}",
+                r.rate,
+                r.separate,
+                r.embedded
+            );
+            assert!(r.embedded <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn render_includes_every_rate_and_the_band() {
+        let rows = fault_degradation(&[0.0]);
+        let rec = recoverable_degradation(&[0.0]);
+        let text = render_degradation(&rows, &rec);
+        assert!(text.contains("0.00"));
+        assert!(text.contains("Tolerance band"));
+        assert!(text.contains("Recoverable"));
+    }
+}

@@ -2,6 +2,7 @@
 //! evaluation section, plus ablations beyond it.
 
 pub mod ablation;
+pub mod degradation;
 pub mod render;
 pub mod tables;
 pub mod validation;

@@ -183,6 +183,9 @@ mod tests {
             throughput: tput,
             latency: lat,
             io_utilization: 0.5,
+            dropped: Vec::new(),
+            retries: 0,
+            delivered_throughput: tput,
         }
     }
 

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 //! # stap-core — the parallel pipelined STAP system with I/O strategies
 //!
@@ -32,7 +33,8 @@ pub mod messages;
 pub mod stages;
 pub mod system;
 
-pub use config::StapConfig;
-pub use desmodel::{DesExperiment, DesResult};
+pub use config::{FailurePolicy, RetryPolicy, StapConfig, WatchdogPolicy};
+pub use desmodel::{DesExperiment, DesFaultModel, DesResult, FaultSource};
 pub use io_strategy::{IoStrategy, TailStructure};
-pub use system::StapSystem;
+pub use messages::{Gap, Payload};
+pub use system::{StapRunOutput, StapSystem};

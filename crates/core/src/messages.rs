@@ -10,6 +10,52 @@
 use stap_kernels::cube::DopplerCube;
 use stap_math::C32;
 
+/// A dropped CPI, flowing through the pipeline in place of real data.
+///
+/// Under [`crate::config::FailurePolicy::SkipCpi`], a node whose CPI read
+/// keeps failing gives the CPI up and ships a gap instead; every
+/// downstream stage that receives a gap for a CPI forwards a gap on all of
+/// its own output edges (its sends are stage-wide, so consumers observe a
+/// consistent drop), and the sink records it. No receive ever goes
+/// unmatched: each producer emits exactly one message — data or gap — per
+/// consumer per CPI.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gap {
+    /// The dropped CPI's sequence number.
+    pub cpi: u64,
+    /// Name of the stage that originated the drop.
+    pub origin: String,
+    /// The final read error that exhausted the retry budget.
+    pub reason: String,
+}
+
+/// An inter-stage message that is either real data or a gap bubble.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload<T> {
+    /// A normal CPI's payload.
+    Data(T),
+    /// This CPI was dropped upstream.
+    Gap(Gap),
+}
+
+impl<T> Payload<T> {
+    /// True when this message is a gap bubble.
+    pub fn is_gap(&self) -> bool {
+        matches!(self, Payload::Gap(_))
+    }
+
+    /// Splits into data or the gap that displaced it.
+    ///
+    /// # Errors
+    /// Returns the [`Gap`] when this payload is a bubble.
+    pub fn into_result(self) -> Result<T, Gap> {
+        match self {
+            Payload::Data(d) => Ok(d),
+            Payload::Gap(g) => Err(g),
+        }
+    }
+}
+
 /// Doppler-filtered samples for `bins` over ranges `[r0, r1)`.
 ///
 /// Layout: `data[((bin_idx · staggers + s) · channels + c) · (r1-r0) + r]`.
@@ -339,5 +385,16 @@ mod tests {
     #[should_panic(expected = "row length")]
     fn row_length_checked() {
         RowBatch::new(4).push(0, 0, &[C32::zero(); 3]);
+    }
+
+    #[test]
+    fn payload_splits_into_data_or_gap() {
+        let d: Payload<u32> = Payload::Data(7);
+        assert!(!d.is_gap());
+        assert_eq!(d.into_result().unwrap(), 7);
+        let gap = Gap { cpi: 3, origin: "Doppler filter".into(), reason: "boom".into() };
+        let g: Payload<u32> = Payload::Gap(gap.clone());
+        assert!(g.is_gap());
+        assert_eq!(g.into_result().unwrap_err(), gap);
     }
 }

@@ -1,7 +1,7 @@
 //! The adaptive middle of the pipeline: weight computation (temporal) and
 //! beamforming, in easy and hard variants.
 
-use crate::messages::{assemble_bins, BinSlab, RowBatch};
+use crate::messages::{assemble_bins, BinSlab, Gap, Payload, RowBatch};
 use crate::stages::{port, StapPlan};
 use stap_kernels::beamform::BeamCube;
 use stap_kernels::covariance::TrainingConfig;
@@ -30,13 +30,17 @@ pub struct WeightStage {
     nodes: usize,
     hard: bool,
     computer: WeightComputer,
+    /// The last successfully computed weight set, reused verbatim when a
+    /// CPI's training data is a gap bubble (stale weights still beamform;
+    /// the temporal dependency makes this the natural degraded mode).
+    last_good: Option<WeightSet>,
 }
 
 impl WeightStage {
     /// One node of a weight task.
     pub fn new(plan: Arc<StapPlan>, local: usize, nodes: usize, hard: bool) -> Self {
         let computer = weight_computer(&plan);
-        Self { plan, local, nodes, hard, computer }
+        Self { plan, local, nodes, hard, computer, last_good: None }
     }
 }
 
@@ -51,23 +55,48 @@ impl Stage for WeightStage {
         // Receive this CPI's Doppler output for our bins from every DF node.
         ctx.phase(Phase::Recv);
         let mut slabs = Vec::with_capacity(df_nodes);
+        let mut gap: Option<Gap> = None;
         for d in 0..df_nodes {
-            let slab: BinSlab = ctx.recv_from(df, d, train_port)?;
-            slabs.push(slab);
+            match ctx.recv_from::<Payload<BinSlab>>(df, d, train_port)? {
+                Payload::Data(slab) => slabs.push(slab),
+                Payload::Gap(g) => gap = Some(g),
+            }
         }
 
         ctx.phase(Phase::Compute);
-        let ranges = self.plan.config.dims.ranges;
-        let cube = assemble_bins(&my_bins, ranges, &slabs)
-            .map_err(|e| ctx.fail(format!("doppler assembly: {e}")))?;
-        // The assembled cube's bin axis is positional; compute against
-        // positional indices, then relabel to absolute bins for shipping.
-        let positional: Vec<usize> = (0..my_bins.len()).collect();
-        let mut ws = self
-            .computer
-            .compute(&cube, &positional)
-            .map_err(|e| ctx.fail(format!("weight solve: {e}")))?;
-        ws.bins = my_bins;
+        let ws = if gap.is_some() {
+            // Dropped CPI: no training data arrived, but the beamformers
+            // still expect a weight set tagged with this CPI for the next
+            // one. Republish the last good weights (or uniform weights on
+            // a cold start) so the temporal edge never starves.
+            let staggers = if self.hard { 2 } else { 1 };
+            let channels = self.plan.config.dims.channels;
+            match &self.last_good {
+                Some(prev) => prev.clone(),
+                None => self.computer.uniform(
+                    staggers * channels,
+                    channels,
+                    staggers,
+                    &my_bins,
+                    self.plan.nbins(),
+                ),
+            }
+        } else {
+            let ranges = self.plan.config.dims.ranges;
+            let cube = assemble_bins(&my_bins, ranges, &slabs)
+                .map_err(|e| ctx.fail(format!("doppler assembly: {e}")))?;
+            // The assembled cube's bin axis is positional; compute against
+            // positional indices, then relabel to absolute bins for
+            // shipping.
+            let positional: Vec<usize> = (0..my_bins.len()).collect();
+            let mut ws = self
+                .computer
+                .compute(&cube, &positional)
+                .map_err(|e| ctx.fail(format!("weight solve: {e}")))?;
+            ws.bins = my_bins;
+            self.last_good = Some(ws.clone());
+            ws
+        };
 
         // Publish to every beamforming node of our variant; the weights are
         // tagged with this CPI and consumed one CPI later.
@@ -135,11 +164,16 @@ impl Stage for BeamformStage {
         ctx.phase(Phase::Recv);
         // Current CPI's filtered data from every Doppler node.
         let mut slabs = Vec::with_capacity(df_nodes);
+        let mut gap: Option<Gap> = None;
         for d in 0..df_nodes {
-            let slab: BinSlab = ctx.recv_from(df, d, data_port)?;
-            slabs.push(slab);
+            match ctx.recv_from::<Payload<BinSlab>>(df, d, data_port)? {
+                Payload::Data(slab) => slabs.push(slab),
+                Payload::Gap(g) => gap = Some(g),
+            }
         }
-        // Previous CPI's weights (cold start: uniform).
+        // Previous CPI's weights (cold start: uniform). The weight task
+        // publishes a real set even for a dropped CPI, so this receive is
+        // unconditional — a gap never leaves it dangling.
         let weights_full = if ctx.cpi == 0 {
             self.computer.uniform(
                 staggers * channels,
@@ -160,6 +194,19 @@ impl Stage for BeamformStage {
             merged.expect("at least one weight node")
         };
         self.staged_weights = None;
+
+        // Dropped CPI: forward the bubble to every pulse-compression node
+        // this stage would have fed, skipping the compute entirely.
+        if let Some(g) = gap {
+            ctx.phase(Phase::Send);
+            let pc = roles.pulse;
+            let pc_nodes = ctx.topology.stage(pc).nodes;
+            let row_port = if self.hard { port::HARD_ROWS } else { port::EASY_ROWS };
+            for n in 0..pc_nodes {
+                ctx.send_to(pc, n, row_port, Payload::<RowBatch>::Gap(g.clone()))?;
+            }
+            return Ok(());
+        }
 
         ctx.phase(Phase::Compute);
         let cube = assemble_bins(&my_bins, ranges, &slabs)
@@ -183,7 +230,7 @@ impl Stage for BeamformStage {
             }
         }
         for (n, batch) in batches.into_iter().enumerate() {
-            ctx.send_to(pc, n, row_port, batch)?;
+            ctx.send_to(pc, n, row_port, Payload::Data(batch))?;
         }
         Ok(())
     }

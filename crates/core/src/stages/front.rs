@@ -1,7 +1,13 @@
 //! The pipeline front: the (optional) separate read task and the Doppler
 //! filter task with both I/O designs.
+//!
+//! The front is where CPI files meet the pipeline, so it is also where the
+//! failure policy acts: every CPI read goes through [`read_with_policy`],
+//! which retries transient faults within the configured budget and — under
+//! `SkipCpi` — converts an exhausted budget into a [`Gap`] bubble instead
+//! of an abort.
 
-use crate::messages::{BinSlab, RawSlab};
+use crate::messages::{BinSlab, Gap, Payload, RawSlab};
 use crate::stages::{port, StapPlan};
 use stap_kernels::cube::{CubeDims, DataCube};
 use stap_kernels::doppler::{DopplerConfig, DopplerFilter};
@@ -19,18 +25,93 @@ fn slab_extent(dims: CubeDims, r0: usize, r1: usize) -> (u64, usize) {
     (off, len)
 }
 
+/// What a policy-governed read produced.
+enum ReadOutcome {
+    /// The bytes arrived (possibly after retries).
+    Data(Vec<u8>),
+    /// The retry budget ran out under `SkipCpi`; the CPI is dropped.
+    Dropped(String),
+}
+
+/// Reads `len` bytes at `off` of the slot file for the current CPI under
+/// the configured failure policy. A posted asynchronous read may be handed
+/// in as the first attempt; retries always re-read synchronously.
+fn read_with_policy(
+    plan: &StapPlan,
+    ctx: &StageCtx<'_>,
+    label: &str,
+    pending: Option<ReadHandle>,
+    slot: usize,
+    off: u64,
+    len: usize,
+) -> Result<ReadOutcome, PipelineError> {
+    let policy = plan.config.failure_policy;
+    let retry = policy.retry();
+    let file = &plan.files[slot];
+    let mut last = match pending {
+        Some(h) => h.wait(),
+        None => file.read_at_cpi(ctx.cpi, off, len),
+    };
+    let mut attempt = 0u32;
+    loop {
+        match last {
+            Ok(bytes) => return Ok(ReadOutcome::Data(bytes)),
+            // Permanent faults (bad extents, missing files) abort under
+            // every policy: retrying or skipping would mask a real bug.
+            Err(e) if !e.is_transient() => return Err(ctx.fail(format!("{label}: {e}"))),
+            Err(e) => {
+                if attempt < retry.attempts {
+                    plan.stats.count_retry();
+                    let pause = retry.backoff_for(attempt);
+                    if !pause.is_zero() {
+                        std::thread::sleep(pause);
+                    }
+                    attempt += 1;
+                    last = file.read_at_cpi(ctx.cpi, off, len);
+                } else if policy.skips() {
+                    return Ok(ReadOutcome::Dropped(format!("{label}: {e}")));
+                } else {
+                    return Err(ctx.fail(format!("{label}: {e}")));
+                }
+            }
+        }
+    }
+}
+
+/// Enforces the consecutive-drop budget of `SkipCpi`.
+fn check_consecutive(
+    plan: &StapPlan,
+    ctx: &StageCtx<'_>,
+    consecutive: u32,
+) -> Result<(), PipelineError> {
+    if let Some(max) = plan.config.failure_policy.max_consecutive() {
+        if consecutive > max {
+            return Err(ctx.fail(format!(
+                "{consecutive} consecutive CPIs dropped (budget {max})"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// The gap bubble a front node originates when it drops the current CPI.
+fn gap_here(ctx: &StageCtx<'_>, reason: String) -> Gap {
+    Gap { cpi: ctx.cpi, origin: ctx.topology.stage(ctx.stage).name.clone(), reason }
+}
+
 /// The separate read task: "The only job of this I/O task is to read data
 /// from the files and deliver it to the Doppler filter processing task."
 pub struct ReadStage {
     plan: Arc<StapPlan>,
     local: usize,
     nodes: usize,
+    consecutive_drops: u32,
 }
 
 impl ReadStage {
     /// One node of the read task.
     pub fn new(plan: Arc<StapPlan>, local: usize, nodes: usize) -> Self {
-        Self { plan, local, nodes }
+        Self { plan, local, nodes, consecutive_drops: 0 }
     }
 }
 
@@ -42,14 +123,25 @@ impl Stage for ReadStage {
 
         ctx.phase(Phase::Read);
         let (off, len) = slab_extent(dims, r0, r1);
-        let bytes =
-            self.plan.files[slot].read_at(off, len).map_err(|e| ctx.fail(format!("read: {e}")))?;
+        let outcome = read_with_policy(&self.plan, ctx, "read", None, slot, off, len)?;
 
         ctx.phase(Phase::Send);
-        // Deliver to every Doppler node whose range block intersects ours.
+        // Deliver to every Doppler node whose range block intersects ours —
+        // a gap bubble when the CPI was dropped, so no receive dangles.
         let df = self.plan.roles.doppler;
         let df_nodes = ctx.topology.stage(df).nodes;
         let gate_bytes = dims.channels * dims.pulses * 8;
+        let (bytes, gap) = match outcome {
+            ReadOutcome::Data(bytes) => {
+                self.consecutive_drops = 0;
+                (bytes, None)
+            }
+            ReadOutcome::Dropped(reason) => {
+                self.consecutive_drops += 1;
+                check_consecutive(&self.plan, ctx, self.consecutive_drops)?;
+                (Vec::new(), Some(gap_here(ctx, reason)))
+            }
+        };
         for d in 0..df_nodes {
             let (d0, d1) = block_range(dims.ranges, df_nodes, d);
             let lo = r0.max(d0);
@@ -57,13 +149,24 @@ impl Stage for ReadStage {
             if lo >= hi {
                 continue;
             }
-            let b0 = (lo - r0) * gate_bytes;
-            let b1 = (hi - r0) * gate_bytes;
-            let msg = RawSlab { r0: lo, r1: hi, bytes: bytes[b0..b1].to_vec() };
+            let msg = match &gap {
+                Some(g) => Payload::Gap(g.clone()),
+                None => {
+                    let b0 = (lo - r0) * gate_bytes;
+                    let b1 = (hi - r0) * gate_bytes;
+                    Payload::Data(RawSlab { r0: lo, r1: hi, bytes: bytes[b0..b1].to_vec() })
+                }
+            };
             ctx.send_to(df, d, port::RAW, msg)?;
         }
         Ok(())
     }
+}
+
+/// This node's raw slab for the current CPI, or the gap displacing it.
+enum SlabOutcome {
+    Cube(DataCube),
+    Gap(Gap),
 }
 
 /// The Doppler filter task. Three phases when I/O is embedded — "reading
@@ -77,6 +180,7 @@ pub struct DopplerStage {
     filter: DopplerFilter,
     /// Posted read for the *next* CPI (async embedded mode).
     pending: Option<(u64, ReadHandle)>,
+    consecutive_drops: u32,
 }
 
 impl DopplerStage {
@@ -84,7 +188,7 @@ impl DopplerStage {
     pub fn new(plan: Arc<StapPlan>, local: usize, nodes: usize) -> Self {
         let cfg: DopplerConfig = plan.config.doppler.clone();
         let filter = DopplerFilter::new(plan.config.dims.pulses, cfg);
-        Self { plan, local, nodes, filter, pending: None }
+        Self { plan, local, nodes, filter, pending: None, consecutive_drops: 0 }
     }
 
     fn my_ranges(&self) -> (usize, usize) {
@@ -96,43 +200,59 @@ impl DopplerStage {
     }
 
     /// Reads this node's slab for `cpi`, embedded mode (sync or async).
-    fn acquire_slab_embedded(&mut self, ctx: &mut StageCtx<'_>) -> Result<DataCube, PipelineError> {
+    fn acquire_slab_embedded(
+        &mut self,
+        ctx: &mut StageCtx<'_>,
+    ) -> Result<SlabOutcome, PipelineError> {
         let dims = self.plan.config.dims;
         let (r0, r1) = self.my_ranges();
         let (off, len) = slab_extent(dims, r0, r1);
         let async_ok = self.plan.config.fs.supports_async;
 
-        let bytes = if async_ok {
-            // Wait on the read posted last iteration (or post+wait on the
-            // first CPI), then immediately post the next CPI's read so it
-            // overlaps this iteration's compute and send.
-            let bytes = match self.pending.take() {
-                Some((cpi, h)) if cpi == ctx.cpi => {
-                    h.wait().map_err(|e| ctx.fail(format!("iread wait: {e}")))?
-                }
-                _ => self.plan.files[self.file_slot(ctx.cpi)]
-                    .read_at(off, len)
-                    .map_err(|e| ctx.fail(format!("read: {e}")))?,
+        let outcome = if async_ok {
+            // Wait on the read posted last iteration (or read synchronously
+            // on the first CPI), then immediately post the next CPI's read
+            // so it overlaps this iteration's compute and send. Retries of
+            // a failed posted read fall back to synchronous re-reads.
+            let pending = match self.pending.take() {
+                Some((cpi, h)) if cpi == ctx.cpi => Some(h),
+                _ => None,
             };
+            let label = if pending.is_some() { "iread wait" } else { "read" };
+            let out = read_with_policy(
+                &self.plan,
+                ctx,
+                label,
+                pending,
+                self.file_slot(ctx.cpi),
+                off,
+                len,
+            )?;
             let next = ctx.cpi + 1;
             if next < self.plan.config.cpis {
                 let h = self.plan.files[self.file_slot(next)]
-                    .read_at_async(off, len)
+                    .read_at_cpi_async(next, off, len)
                     .map_err(|e| ctx.fail(format!("iread: {e}")))?;
                 self.pending = Some((next, h));
             }
-            bytes
+            out
         } else {
             // PIOFS: synchronous read each iteration, no overlap.
-            self.plan.files[self.file_slot(ctx.cpi)]
-                .read_at(off, len)
-                .map_err(|e| ctx.fail(format!("read: {e}")))?
+            read_with_policy(&self.plan, ctx, "read", None, self.file_slot(ctx.cpi), off, len)?
         };
-        Ok(DataCube::slab_from_range_major_bytes(dims, r0, r1, &bytes))
+        Ok(match outcome {
+            ReadOutcome::Data(bytes) => {
+                SlabOutcome::Cube(DataCube::slab_from_range_major_bytes(dims, r0, r1, &bytes))
+            }
+            ReadOutcome::Dropped(reason) => SlabOutcome::Gap(gap_here(ctx, reason)),
+        })
     }
 
     /// Receives this node's slab from the separate read task.
-    fn acquire_slab_separate(&mut self, ctx: &mut StageCtx<'_>) -> Result<DataCube, PipelineError> {
+    fn acquire_slab_separate(
+        &mut self,
+        ctx: &mut StageCtx<'_>,
+    ) -> Result<SlabOutcome, PipelineError> {
         let dims = self.plan.config.dims;
         let (r0, r1) = self.my_ranges();
         let read = self.plan.roles.read.expect("separate mode has a read stage");
@@ -140,20 +260,28 @@ impl DopplerStage {
         let gate_bytes = dims.channels * dims.pulses * 8;
         let mut buf = vec![0u8; (r1 - r0) * gate_bytes];
         let mut covered = 0usize;
+        let mut gap: Option<Gap> = None;
         for i in 0..readers {
             let (i0, i1) = block_range(dims.ranges, readers, i);
             if i0.max(r0) >= i1.min(r1) {
                 continue;
             }
-            let slab: RawSlab = ctx.recv_from(read, i, port::RAW)?;
-            let b0 = (slab.r0 - r0) * gate_bytes;
-            buf[b0..b0 + slab.bytes.len()].copy_from_slice(&slab.bytes);
-            covered += slab.r1 - slab.r0;
+            match ctx.recv_from::<Payload<RawSlab>>(read, i, port::RAW)? {
+                Payload::Data(slab) => {
+                    let b0 = (slab.r0 - r0) * gate_bytes;
+                    buf[b0..b0 + slab.bytes.len()].copy_from_slice(&slab.bytes);
+                    covered += slab.r1 - slab.r0;
+                }
+                Payload::Gap(g) => gap = Some(g),
+            }
+        }
+        if let Some(g) = gap {
+            return Ok(SlabOutcome::Gap(g));
         }
         if covered != r1 - r0 {
             return Err(ctx.fail(format!("raw slabs covered {covered} of {} gates", r1 - r0)));
         }
-        Ok(DataCube::slab_from_range_major_bytes(dims, r0, r1, &buf))
+        Ok(SlabOutcome::Cube(DataCube::slab_from_range_major_bytes(dims, r0, r1, &buf)))
     }
 }
 
@@ -163,12 +291,43 @@ impl Stage for DopplerStage {
 
         // Phase 1: acquire the raw slab (read from PFS or recv from the
         // read task).
-        let slab = if self.plan.separate_io() {
+        let outcome = if self.plan.separate_io() {
             ctx.phase(Phase::Recv);
             self.acquire_slab_separate(ctx)?
         } else {
             ctx.phase(Phase::Read);
             self.acquire_slab_embedded(ctx)?
+        };
+
+        let roles = self.plan.roles;
+        let sends: [(stap_pipeline::StageId, bool, u8); 4] = [
+            (roles.easy_bf, false, port::EASY_DATA),
+            (roles.hard_bf, true, port::HARD_DATA),
+            (roles.easy_weight, false, port::EASY_TRAIN),
+            (roles.hard_weight, true, port::HARD_TRAIN),
+        ];
+
+        let slab = match outcome {
+            SlabOutcome::Cube(slab) => {
+                self.consecutive_drops = 0;
+                slab
+            }
+            SlabOutcome::Gap(g) => {
+                // Drops originate here only in embedded mode; in separate
+                // mode the read task already enforced its own budget.
+                if !self.plan.separate_io() {
+                    self.consecutive_drops += 1;
+                    check_consecutive(&self.plan, ctx, self.consecutive_drops)?;
+                }
+                ctx.phase(Phase::Send);
+                for (stage, _is_hard, p) in sends {
+                    let nodes = ctx.topology.stage(stage).nodes;
+                    for n in 0..nodes {
+                        ctx.send_to(stage, n, p, Payload::<BinSlab>::Gap(g.clone()))?;
+                    }
+                }
+                return Ok(());
+            }
         };
 
         // Phase 2: Doppler filtering, easy (full CPI) + hard (staggered).
@@ -179,19 +338,12 @@ impl Stage for DopplerStage {
         // Phase 3: distribute per-bin slabs to the beamformers (spatial)
         // and the weight tasks (temporal consumers of this CPI's data).
         ctx.phase(Phase::Send);
-        let roles = self.plan.roles;
-        let sends: [(stap_pipeline::StageId, bool, u8); 4] = [
-            (roles.easy_bf, false, port::EASY_DATA),
-            (roles.hard_bf, true, port::HARD_DATA),
-            (roles.easy_weight, false, port::EASY_TRAIN),
-            (roles.hard_weight, true, port::HARD_TRAIN),
-        ];
         for (stage, is_hard, p) in sends {
             let nodes = ctx.topology.stage(stage).nodes;
             let cube = if is_hard { &hard } else { &easy };
             for n in 0..nodes {
                 let bins = self.plan.owned_bins(is_hard, nodes, n);
-                let msg = BinSlab::from_cube(cube, &bins, r0);
+                let msg = Payload::Data(BinSlab::from_cube(cube, &bins, r0));
                 ctx.send_to(stage, n, p, msg)?;
             }
         }

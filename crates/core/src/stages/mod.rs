@@ -10,10 +10,13 @@ pub mod tail;
 
 use crate::config::StapConfig;
 use crate::io_strategy::{IoStrategy, TailStructure};
+use crate::messages::Gap;
+use parking_lot::Mutex;
 use stap_kernels::doppler::BinClass;
 use stap_pfs::FileHandle;
 use stap_pipeline::schedule::round_robin_items;
 use stap_pipeline::topology::StageId;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Ports (logical message streams). See `messages` for the payload types.
 pub mod port {
@@ -62,6 +65,49 @@ pub struct Roles {
     pub cfar: Option<StageId>,
 }
 
+/// Run-wide fault accounting, shared by every stage through the plan.
+///
+/// Retries are counted wherever they happen; dropped CPIs are recorded
+/// once, at the sink (node 0 of the final task), deduplicated by CPI so a
+/// gap fanning out over many nodes still counts as one drop.
+#[derive(Debug, Default)]
+pub struct FaultStats {
+    retries: AtomicU64,
+    dropped: Mutex<Vec<Gap>>,
+}
+
+impl FaultStats {
+    /// Clears all counters (called at the start of every run).
+    pub fn reset(&self) {
+        self.retries.store(0, Ordering::Relaxed);
+        self.dropped.lock().clear();
+    }
+
+    /// Counts one read retry.
+    pub fn count_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total read retries across all nodes so far.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Records a dropped CPI (idempotent per CPI).
+    pub fn record_drop(&self, gap: Gap) {
+        let mut dropped = self.dropped.lock();
+        if !dropped.iter().any(|g| g.cpi == gap.cpi) {
+            dropped.push(gap);
+            dropped.sort_by_key(|g| g.cpi);
+        }
+    }
+
+    /// The dropped CPIs recorded so far, ascending by CPI.
+    pub fn dropped(&self) -> Vec<Gap> {
+        self.dropped.lock().clone()
+    }
+}
+
 /// Everything the stage implementations need, shared via `Arc`.
 #[derive(Debug)]
 pub struct StapPlan {
@@ -77,6 +123,8 @@ pub struct StapPlan {
     pub files: Vec<FileHandle>,
     /// The pulse-compression waveform replica.
     pub waveform: Vec<stap_math::C32>,
+    /// Fault accounting for the current run (retries, dropped CPIs).
+    pub stats: FaultStats,
 }
 
 impl StapPlan {
@@ -150,6 +198,22 @@ mod tests {
         all.extend(&plan.hard_bins);
         all.sort_unstable();
         assert_eq!(all, (0..plan.nbins()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fault_stats_dedupe_drops_by_cpi() {
+        let stats = FaultStats::default();
+        let gap = |cpi| Gap { cpi, origin: "read".into(), reason: "x".into() };
+        stats.record_drop(gap(4));
+        stats.record_drop(gap(1));
+        stats.record_drop(gap(4));
+        assert_eq!(stats.dropped().iter().map(|g| g.cpi).collect::<Vec<_>>(), vec![1, 4]);
+        stats.count_retry();
+        stats.count_retry();
+        assert_eq!(stats.retries(), 2);
+        stats.reset();
+        assert!(stats.dropped().is_empty());
+        assert_eq!(stats.retries(), 0);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The pipeline tail: pulse compression and CFAR as separate tasks, or the
 //! combined task of the paper's §6 latency optimization.
 
-use crate::messages::RowBatch;
+use crate::messages::{Gap, Payload, RowBatch};
 use crate::stages::{port, StapPlan};
 use parking_lot::Mutex;
 use stap_kernels::cfar::{cfar_row, Detection};
@@ -15,22 +15,30 @@ use std::sync::Arc;
 /// Where completed per-CPI detection reports land after the run.
 pub type ReportSink = Arc<Mutex<Vec<DetectionReport>>>;
 
-/// Receives this node's row batches from both beamformers.
+/// Receives this node's row batches from both beamformers. Every sender is
+/// drained even when the CPI is a gap, so no message is left to collide
+/// with a later CPI's tags; any gap turns the whole CPI into a gap.
 fn recv_rows(
     ctx: &mut StageCtx<'_>,
     plan: &StapPlan,
     ranges: usize,
-) -> Result<RowBatch, PipelineError> {
+) -> Result<Payload<RowBatch>, PipelineError> {
     let roles = plan.roles;
     let mut all = RowBatch::new(ranges);
+    let mut gap: Option<Gap> = None;
     for (stage, p) in [(roles.easy_bf, port::EASY_ROWS), (roles.hard_bf, port::HARD_ROWS)] {
         let nodes = ctx.topology.stage(stage).nodes;
         for n in 0..nodes {
-            let batch: RowBatch = ctx.recv_from(stage, n, p)?;
-            all.extend(batch);
+            match ctx.recv_from::<Payload<RowBatch>>(stage, n, p)? {
+                Payload::Data(batch) => all.extend(batch),
+                Payload::Gap(g) => gap = Some(g),
+            }
         }
     }
-    Ok(all)
+    Ok(match gap {
+        Some(g) => Payload::Gap(g),
+        None => Payload::Data(all),
+    })
 }
 
 /// Runs CFAR over a batch and labels detections with bin/beam identity.
@@ -59,29 +67,51 @@ fn detect_batch(plan: &StapPlan, batch: &RowBatch) -> Vec<Detection> {
 /// Gathers partial detection reports at local node 0, which publishes the
 /// merged report to the sink and, when configured, writes it back to the
 /// parallel file system (the pipeline's output I/O).
+///
+/// A dropped CPI flows through the same gather as a gap payload; node 0
+/// records the drop in the run's fault statistics and publishes no report
+/// for that CPI.
 fn publish_report(
     ctx: &mut StageCtx<'_>,
     plan: &StapPlan,
     stage_nodes: usize,
     local: usize,
-    detections: Vec<Detection>,
+    outcome: Result<Vec<Detection>, Gap>,
     sink: &ReportSink,
 ) -> Result<(), PipelineError> {
-    let mut mine = DetectionReport::new(ctx.cpi);
-    mine.detections = detections;
     if local == 0 {
+        let mut gap = outcome.as_ref().err().cloned();
+        let mut mine = DetectionReport::new(ctx.cpi);
+        if let Ok(detections) = outcome {
+            mine.detections = detections;
+        }
         for n in 1..stage_nodes {
-            let partial: DetectionReport = ctx.recv_from(ctx.stage, n, port::REPORT)?;
-            mine.merge(partial);
+            match ctx.recv_from::<Payload<DetectionReport>>(ctx.stage, n, port::REPORT)? {
+                Payload::Data(partial) => mine.merge(partial),
+                Payload::Gap(g) => gap = Some(g),
+            }
+        }
+        if let Some(g) = gap {
+            plan.stats.record_drop(g);
+            return Ok(());
         }
         if plan.config.record_reports {
             let fs = plan.files[0].fs();
             let f = fs.gopen(&format!("report_{}.dat", ctx.cpi), stap_pfs::OpenMode::Async);
-            f.write_at(0, &mine.to_bytes());
+            f.write_at(0, &mine.to_bytes())
+                .map_err(|e| ctx.fail(format!("report write: {e}")))?;
         }
         sink.lock().push(mine);
     } else {
-        ctx.send_to(ctx.stage, 0, port::REPORT, mine)?;
+        let msg = match outcome {
+            Ok(detections) => {
+                let mut mine = DetectionReport::new(ctx.cpi);
+                mine.detections = detections;
+                Payload::Data(mine)
+            }
+            Err(g) => Payload::Gap(g),
+        };
+        ctx.send_to(ctx.stage, 0, port::REPORT, msg)?;
     }
     Ok(())
 }
@@ -103,8 +133,20 @@ impl PulseStage {
 impl Stage for PulseStage {
     fn run_cpi(&mut self, ctx: &mut StageCtx<'_>) -> Result<(), PipelineError> {
         let ranges = self.plan.config.dims.ranges;
+        let cfar = self.plan.roles.cfar.expect("split tail has a CFAR stage");
+        let cfar_nodes = ctx.topology.stage(cfar).nodes;
+
         ctx.phase(Phase::Recv);
-        let mut batch = recv_rows(ctx, &self.plan, ranges)?;
+        let mut batch = match recv_rows(ctx, &self.plan, ranges)? {
+            Payload::Data(batch) => batch,
+            Payload::Gap(g) => {
+                ctx.phase(Phase::Send);
+                for n in 0..cfar_nodes {
+                    ctx.send_to(cfar, n, port::PC_ROWS, Payload::<RowBatch>::Gap(g.clone()))?;
+                }
+                return Ok(());
+            }
+        };
 
         ctx.phase(Phase::Compute);
         for i in 0..batch.len() {
@@ -112,8 +154,6 @@ impl Stage for PulseStage {
         }
 
         ctx.phase(Phase::Send);
-        let cfar = self.plan.roles.cfar.expect("split tail has a CFAR stage");
-        let cfar_nodes = ctx.topology.stage(cfar).nodes;
         let mut outgoing: Vec<RowBatch> = (0..cfar_nodes).map(|_| RowBatch::new(ranges)).collect();
         for i in 0..batch.len() {
             let (bin, beam) = batch.rows[i];
@@ -122,7 +162,7 @@ impl Stage for PulseStage {
             outgoing[owner].push(bin, beam, &row);
         }
         for (n, out) in outgoing.into_iter().enumerate() {
-            ctx.send_to(cfar, n, port::PC_ROWS, out)?;
+            ctx.send_to(cfar, n, port::PC_ROWS, Payload::Data(out))?;
         }
         Ok(())
     }
@@ -151,16 +191,23 @@ impl Stage for CfarStage {
 
         ctx.phase(Phase::Recv);
         let mut batch = RowBatch::new(ranges);
+        let mut gap: Option<Gap> = None;
         for n in 0..pc_nodes {
-            let part: RowBatch = ctx.recv_from(pc, n, port::PC_ROWS)?;
-            batch.extend(part);
+            match ctx.recv_from::<Payload<RowBatch>>(pc, n, port::PC_ROWS)? {
+                Payload::Data(part) => batch.extend(part),
+                Payload::Gap(g) => gap = Some(g),
+            }
+        }
+        if let Some(g) = gap {
+            ctx.phase(Phase::Send);
+            return publish_report(ctx, &self.plan, self.nodes, self.local, Err(g), &self.sink);
         }
 
         ctx.phase(Phase::Compute);
         let dets = detect_batch(&self.plan, &batch);
 
         ctx.phase(Phase::Send);
-        publish_report(ctx, &self.plan, self.nodes, self.local, dets, &self.sink)
+        publish_report(ctx, &self.plan, self.nodes, self.local, Ok(dets), &self.sink)
     }
 }
 
@@ -186,7 +233,20 @@ impl Stage for CombinedTailStage {
     fn run_cpi(&mut self, ctx: &mut StageCtx<'_>) -> Result<(), PipelineError> {
         let ranges = self.plan.config.dims.ranges;
         ctx.phase(Phase::Recv);
-        let mut batch = recv_rows(ctx, &self.plan, ranges)?;
+        let mut batch = match recv_rows(ctx, &self.plan, ranges)? {
+            Payload::Data(batch) => batch,
+            Payload::Gap(g) => {
+                ctx.phase(Phase::Send);
+                return publish_report(
+                    ctx,
+                    &self.plan,
+                    self.nodes,
+                    self.local,
+                    Err(g),
+                    &self.sink,
+                );
+            }
+        };
 
         ctx.phase(Phase::Compute);
         for i in 0..batch.len() {
@@ -195,6 +255,6 @@ impl Stage for CombinedTailStage {
         let dets = detect_batch(&self.plan, &batch);
 
         ctx.phase(Phase::Send);
-        publish_report(ctx, &self.plan, self.nodes, self.local, dets, &self.sink)
+        publish_report(ctx, &self.plan, self.nodes, self.local, Ok(dets), &self.sink)
     }
 }

@@ -6,39 +6,64 @@
 //! discipline). [`StapSystem::run`] then launches the pipeline — one thread
 //! per node — and returns measured timings plus the detection reports.
 
-use crate::config::StapConfig;
+use crate::config::{StapConfig, WatchdogPolicy};
 use crate::io_strategy::{IoStrategy, TailStructure};
+use crate::messages::Gap;
 use crate::stages::adaptive::{BeamformStage, WeightStage};
 use crate::stages::front::{DopplerStage, ReadStage};
 use crate::stages::tail::{CfarStage, CombinedTailStage, PulseStage, ReportSink};
-use crate::stages::{Roles, StapPlan};
+use crate::stages::{FaultStats, Roles, StapPlan};
 use parking_lot::Mutex;
 use stap_kernels::report::DetectionReport;
+use stap_model::workload::{ShapeParams, StapWorkload, TaskId};
 use stap_pfs::{OpenMode, Pfs};
 use stap_pipeline::runner::{Pipeline, StageFactory};
 use stap_pipeline::timing::PipelineReport;
 use stap_pipeline::topology::{StageId, Topology};
-use stap_pipeline::PipelineError;
+use stap_pipeline::{PipelineError, WatchdogSpec};
 use stap_radar::CubeGenerator;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Everything a finished run produced.
 #[derive(Debug)]
 pub struct StapRunOutput {
     /// Measured per-stage, per-phase timing.
     pub timing: PipelineReport,
-    /// One detection report per CPI, ascending.
+    /// One detection report per surviving CPI, ascending (dropped CPIs
+    /// have no report — see `dropped`).
     pub reports: Vec<DetectionReport>,
     /// The pipeline's source stage (read task or Doppler).
     pub source: StageId,
     /// The pipeline's sink stage (CFAR or the combined tail).
     pub sink: StageId,
+    /// CPIs dropped under the `SkipCpi` policy, ascending by CPI.
+    pub dropped: Vec<Gap>,
+    /// Total read retries across all nodes.
+    pub retries: u64,
+    /// CPIs the run pushed through (surviving + dropped).
+    pub cpis: u64,
+    /// Leading CPIs excluded from steady-state metrics.
+    pub warmup: u64,
 }
 
 impl StapRunOutput {
-    /// Measured steady-state throughput (CPIs/second).
+    /// Measured steady-state throughput (CPIs/second), counting every CPI
+    /// slot the sink turned over — including dropped ones.
     pub fn throughput(&self) -> f64 {
         self.timing.throughput(self.sink)
+    }
+
+    /// Steady-state throughput of *delivered* reports (CPIs/second): the
+    /// slot rate scaled by the fraction of post-warmup CPIs that survived.
+    pub fn delivered_throughput(&self) -> f64 {
+        let steady = self.cpis.saturating_sub(self.warmup);
+        if steady == 0 {
+            return 0.0;
+        }
+        let dropped = (self.dropped.iter().filter(|g| g.cpi >= self.warmup).count() as u64)
+            .min(steady);
+        self.throughput() * (steady - dropped) as f64 / steady as f64
     }
 
     /// Measured mean end-to-end latency (seconds).
@@ -71,10 +96,20 @@ impl StapSystem {
         for slot in 0..config.fanout {
             let f = fs.gopen(&StapConfig::file_name(slot), OpenMode::Async);
             let cube = generator.next_cube();
-            f.write_at(0, &cube.to_range_major_bytes());
+            f.write_at(0, &cube.to_range_major_bytes()).map_err(|e| PipelineError::Stage {
+                stage: "prepare".into(),
+                message: format!("staging write of {}: {e}", StapConfig::file_name(slot)),
+            })?;
             files.push(f);
         }
         let waveform = generator.waveform().to_vec();
+
+        // Arm the fault schedule only after the data is staged: injected
+        // faults apply to the pipeline's CPI-addressed reads, never to the
+        // radar-side staging writes above.
+        if let Some(fault_plan) = &config.fault_plan {
+            fs.install_fault_plan(fault_plan.clone());
+        }
 
         // Bin classification shared by every stage.
         let nbins = config.nbins();
@@ -124,7 +159,15 @@ impl StapSystem {
 
         let roles =
             Roles { read, doppler, easy_weight, hard_weight, easy_bf, hard_bf, pulse, cfar };
-        let plan = Arc::new(StapPlan { config, roles, easy_bins, hard_bins, files, waveform });
+        let plan = Arc::new(StapPlan {
+            config,
+            roles,
+            easy_bins,
+            hard_bins,
+            files,
+            waveform,
+            stats: FaultStats::default(),
+        });
         let reports: ReportSink = Arc::new(Mutex::new(Vec::new()));
 
         // Stage factories, in topology (stage-id) order.
@@ -203,13 +246,84 @@ impl StapSystem {
         self.pipeline.topology()
     }
 
+    /// Per-stage watchdog deadlines: `factor ×` the predicted per-CPI
+    /// stage time from the paper's workload model at a deliberately
+    /// pessimistic sustained rate, clamped below by the policy's floor
+    /// (which also absorbs injected slow-read latency on small shapes).
+    fn watchdog_spec(&self, policy: WatchdogPolicy) -> WatchdogSpec {
+        const FLOPS_PER_SEC: f64 = 1e8;
+        const IO_BYTES_PER_SEC: f64 = 20e6;
+        let cfg = &self.plan.config;
+        let nbins = cfg.nbins();
+        let shape = ShapeParams {
+            pulses: cfg.dims.pulses,
+            channels: cfg.dims.channels,
+            ranges: cfg.dims.ranges,
+            hard_fraction: self.plan.hard_bins.len() as f64 / nbins as f64,
+            beams: cfg.beams.len(),
+            training_stride: stap_kernels::covariance::TrainingConfig::default().range_stride,
+            waveform_len: cfg.waveform_len,
+        };
+        let w = StapWorkload::derive(shape);
+        let io_secs = cfg.dims.bytes() as f64 / IO_BYTES_PER_SEC;
+        let n = cfg.nodes;
+        let sec = |flops: f64, nodes: usize, io: f64| {
+            (flops / FLOPS_PER_SEC + io) / nodes.max(1) as f64
+        };
+        let mut times: Vec<f64> = Vec::new();
+        if self.plan.separate_io() {
+            times.push(sec(0.0, n.read, io_secs));
+            times.push(sec(w.flops(TaskId::Doppler), n.doppler, 0.0));
+        } else {
+            times.push(sec(w.flops(TaskId::Doppler), n.doppler, io_secs));
+        }
+        times.push(sec(w.flops(TaskId::EasyWeight), n.easy_weight, 0.0));
+        times.push(sec(w.flops(TaskId::HardWeight), n.hard_weight, 0.0));
+        times.push(sec(w.flops(TaskId::EasyBeamform), n.easy_bf, 0.0));
+        times.push(sec(w.flops(TaskId::HardBeamform), n.hard_bf, 0.0));
+        match cfg.tail {
+            TailStructure::Split => {
+                times.push(sec(w.flops(TaskId::PulseCompression), n.pulse, 0.0));
+                times.push(sec(w.flops(TaskId::Cfar), n.cfar, 0.0));
+            }
+            TailStructure::Combined => {
+                let flops = w.flops(TaskId::PulseCompression) + w.flops(TaskId::Cfar);
+                times.push(sec(flops, n.pulse + n.cfar, 0.0));
+            }
+        }
+        let deadlines = times
+            .into_iter()
+            .map(|t| Duration::from_secs_f64((t * policy.factor).min(3600.0)).max(policy.floor))
+            .collect();
+        WatchdogSpec { deadlines }
+    }
+
     /// Runs the configured number of CPIs and collects outputs.
     pub fn run(&self) -> Result<StapRunOutput, PipelineError> {
         self.reports.lock().clear();
-        let timing = self.pipeline.run(self.plan.config.cpis, self.plan.config.warmup)?;
+        self.plan.stats.reset();
+        // Replay the fault schedule identically on every run of this
+        // system: attempt counters restart from zero.
+        self.fs.reset_fault_attempts();
+        let cfg = &self.plan.config;
+        let timing = match cfg.watchdog {
+            Some(policy) => {
+                self.pipeline.run_with_watchdog(cfg.cpis, cfg.warmup, &self.watchdog_spec(policy))?
+            }
+            None => self.pipeline.run(cfg.cpis, cfg.warmup)?,
+        };
         let mut reports = std::mem::take(&mut *self.reports.lock());
         reports.sort_by_key(|r| r.cpi);
-        Ok(StapRunOutput { timing, reports, source: self.source_stage, sink: self.sink_stage })
+        Ok(StapRunOutput {
+            timing,
+            reports,
+            source: self.source_stage,
+            sink: self.sink_stage,
+            dropped: self.plan.stats.dropped(),
+            retries: self.plan.stats.retries(),
+            cpis: cfg.cpis,
+            warmup: cfg.warmup,
+        })
     }
 }
 

@@ -9,11 +9,39 @@
 //! PIOFS ("the IBM AIX operating system ... asynchronous parallel
 //! read/write subroutines are not supported") rejects these calls with
 //! [`PfsError::AsyncUnsupported`].
+//!
+//! Worker failures never lose their root cause: a panic inside the worker
+//! is caught and carried in [`PfsError::WorkerFailed`] along with the
+//! panic payload, and a disconnected channel falls back to joining the
+//! worker to extract the payload from the join error.
 
 use crate::error::PfsError;
 use crate::file::FileHandle;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::thread::JoinHandle;
+
+/// Renders a panic payload (the `Box<dyn Any>` from `catch_unwind`/`join`)
+/// into a human-readable root cause.
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("worker panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("worker panicked: {s}")
+    } else {
+        "worker panicked with a non-string payload".to_string()
+    }
+}
+
+/// Joins a finished/vanished worker and names the best available root
+/// cause for its channel having disconnected.
+fn join_failure_detail(worker: &mut Option<JoinHandle<()>>) -> String {
+    match worker.take().map(JoinHandle::join) {
+        Some(Err(payload)) => panic_detail(payload.as_ref()),
+        Some(Ok(())) => "worker exited without reporting a result".to_string(),
+        None => "worker channel disconnected before completion".to_string(),
+    }
+}
 
 /// A pending asynchronous read (the `iread` return value).
 pub struct ReadHandle {
@@ -29,7 +57,10 @@ impl ReadHandle {
     /// Blocks until the read completes and returns the bytes (the
     /// `msgwait`/`iowait` analogue).
     pub fn wait(mut self) -> Result<Vec<u8>, PfsError> {
-        let result = self.rx.recv().map_err(|_| PfsError::WorkerFailed)?;
+        let result = match self.rx.recv() {
+            Ok(r) => r,
+            Err(_) => return Err(PfsError::WorkerFailed(join_failure_detail(&mut self.worker))),
+        };
         if let Some(w) = self.worker.take() {
             let _ = w.join();
         }
@@ -47,7 +78,9 @@ impl ReadHandle {
                 Some(r)
             }
             Err(mpsc::TryRecvError::Empty) => None,
-            Err(mpsc::TryRecvError::Disconnected) => Some(Err(PfsError::WorkerFailed)),
+            Err(mpsc::TryRecvError::Disconnected) => {
+                Some(Err(PfsError::WorkerFailed(join_failure_detail(&mut self.worker))))
+            }
         }
     }
 }
@@ -60,7 +93,7 @@ impl std::fmt::Debug for ReadHandle {
 
 /// A pending asynchronous write (the `iwrite` analogue).
 pub struct WriteHandle {
-    rx: mpsc::Receiver<()>,
+    rx: mpsc::Receiver<Result<(), PfsError>>,
     worker: Option<JoinHandle<()>>,
     /// Offset the write was posted at.
     pub offset: u64,
@@ -71,24 +104,29 @@ pub struct WriteHandle {
 impl WriteHandle {
     /// Blocks until the write is durable in the stripe stores.
     pub fn wait(mut self) -> Result<(), PfsError> {
-        self.rx.recv().map_err(|_| PfsError::WorkerFailed)?;
+        let result = match self.rx.recv() {
+            Ok(r) => r,
+            Err(_) => return Err(PfsError::WorkerFailed(join_failure_detail(&mut self.worker))),
+        };
         if let Some(w) = self.worker.take() {
             let _ = w.join();
         }
-        Ok(())
+        result
     }
 
     /// Non-blocking completion test.
     pub fn try_wait(&mut self) -> Option<Result<(), PfsError>> {
         match self.rx.try_recv() {
-            Ok(()) => {
+            Ok(r) => {
                 if let Some(w) = self.worker.take() {
                     let _ = w.join();
                 }
-                Some(Ok(()))
+                Some(r)
             }
             Err(mpsc::TryRecvError::Empty) => None,
-            Err(mpsc::TryRecvError::Disconnected) => Some(Err(PfsError::WorkerFailed)),
+            Err(mpsc::TryRecvError::Disconnected) => {
+                Some(Err(PfsError::WorkerFailed(join_failure_detail(&mut self.worker))))
+            }
         }
     }
 }
@@ -99,6 +137,27 @@ impl std::fmt::Debug for WriteHandle {
     }
 }
 
+fn spawn_read_worker(
+    handle: FileHandle,
+    cpi: Option<u64>,
+    offset: u64,
+    len: usize,
+) -> (mpsc::Receiver<Result<Vec<u8>, PfsError>>, JoinHandle<()>) {
+    let (tx, rx) = mpsc::channel();
+    let worker = std::thread::spawn(move || {
+        let outcome = catch_unwind(AssertUnwindSafe(|| match cpi {
+            Some(cpi) => handle.read_at_cpi(cpi, offset, len),
+            None => handle.read_at(offset, len),
+        }));
+        let result = match outcome {
+            Ok(r) => r,
+            Err(payload) => Err(PfsError::WorkerFailed(panic_detail(payload.as_ref()))),
+        };
+        let _ = tx.send(result);
+    });
+    (rx, worker)
+}
+
 impl FileHandle {
     /// Posts an asynchronous positioned read (`ireadoff`). Errors
     /// immediately on a sync-only file system (the PIOFS personality).
@@ -106,11 +165,23 @@ impl FileHandle {
         if !self.fs().config().supports_async {
             return Err(PfsError::AsyncUnsupported);
         }
-        let (tx, rx) = mpsc::channel();
-        let handle = self.clone();
-        let worker = std::thread::spawn(move || {
-            let _ = tx.send(handle.read_at(offset, len));
-        });
+        let (rx, worker) = spawn_read_worker(self.clone(), None, offset, len);
+        Ok(ReadHandle { rx, worker: Some(worker), offset, len })
+    }
+
+    /// Posts an asynchronous CPI-addressed read — like
+    /// [`Self::read_at_async`] but routed through
+    /// [`Self::read_at_cpi`] so an installed fault plan applies.
+    pub fn read_at_cpi_async(
+        &self,
+        cpi: u64,
+        offset: u64,
+        len: usize,
+    ) -> Result<ReadHandle, PfsError> {
+        if !self.fs().config().supports_async {
+            return Err(PfsError::AsyncUnsupported);
+        }
+        let (rx, worker) = spawn_read_worker(self.clone(), Some(cpi), offset, len);
         Ok(ReadHandle { rx, worker: Some(worker), offset, len })
     }
 
@@ -125,8 +196,12 @@ impl FileHandle {
         let handle = self.clone();
         let len = data.len();
         let worker = std::thread::spawn(move || {
-            handle.write_at(offset, &data);
-            let _ = tx.send(());
+            let outcome = catch_unwind(AssertUnwindSafe(|| handle.write_at(offset, &data)));
+            let result = match outcome {
+                Ok(r) => r,
+                Err(payload) => Err(PfsError::WorkerFailed(panic_detail(payload.as_ref()))),
+            };
+            let _ = tx.send(result);
         });
         Ok(WriteHandle { rx, worker: Some(worker), offset, len })
     }
@@ -136,6 +211,7 @@ impl FileHandle {
 mod tests {
     use super::*;
     use crate::config::{FsConfig, OpenMode};
+    use crate::fault::{Fault, FaultPlan, FaultWindow};
     use crate::file::Pfs;
 
     fn async_fs() -> Pfs {
@@ -149,7 +225,7 @@ mod tests {
         let fs = async_fs();
         let f = fs.gopen("a", OpenMode::Async);
         let data: Vec<u8> = (0..255).collect();
-        f.write_at(0, &data);
+        f.write_at(0, &data).unwrap();
         let h = f.read_at_async(10, 100).unwrap();
         assert_eq!(h.wait().unwrap(), f.read_at(10, 100).unwrap());
     }
@@ -158,15 +234,16 @@ mod tests {
     fn piofs_rejects_async() {
         let fs = Pfs::mount(FsConfig::piofs());
         let f = fs.gopen("a", OpenMode::Async);
-        f.write_at(0, &[0u8; 8]);
+        f.write_at(0, &[0u8; 8]).unwrap();
         assert_eq!(f.read_at_async(0, 8).unwrap_err(), PfsError::AsyncUnsupported);
+        assert_eq!(f.read_at_cpi_async(0, 0, 8).unwrap_err(), PfsError::AsyncUnsupported);
     }
 
     #[test]
     fn async_read_overlaps_with_work() {
         let fs = async_fs();
         let f = fs.gopen("a", OpenMode::Async);
-        f.write_at(0, &[1u8; 4096]);
+        f.write_at(0, &[1u8; 4096]).unwrap();
         let h = f.read_at_async(0, 4096).unwrap();
         // Do "computation" while the read is in flight.
         let mut acc = 0u64;
@@ -181,7 +258,7 @@ mod tests {
     fn try_wait_eventually_completes() {
         let fs = async_fs();
         let f = fs.gopen("a", OpenMode::Async);
-        f.write_at(0, &[9u8; 64]);
+        f.write_at(0, &[9u8; 64]).unwrap();
         let mut h = f.read_at_async(0, 64).unwrap();
         let mut spins = 0;
         let out = loop {
@@ -199,9 +276,25 @@ mod tests {
     fn async_read_propagates_errors() {
         let fs = async_fs();
         let f = fs.gopen("a", OpenMode::Async);
-        f.write_at(0, &[0u8; 4]);
+        f.write_at(0, &[0u8; 4]).unwrap();
         let h = f.read_at_async(0, 100).unwrap(); // past EOF
         assert!(matches!(h.wait(), Err(PfsError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn async_cpi_read_consults_fault_plan() {
+        let fs = async_fs();
+        let f = fs.gopen("a", OpenMode::Async);
+        f.write_at(0, &[3u8; 64]).unwrap();
+        fs.install_fault_plan(FaultPlan::new(5).with(Fault::FileUnavailable {
+            file: "a".into(),
+            window: FaultWindow::new(2, 3),
+        }));
+        assert_eq!(f.read_at_cpi_async(1, 0, 8).unwrap().wait().unwrap(), vec![3u8; 8]);
+        match f.read_at_cpi_async(2, 0, 8).unwrap().wait() {
+            Err(PfsError::Injected { cpi: 2, .. }) => {}
+            other => panic!("expected injected fault, got {other:?}"),
+        }
     }
 
     #[test]
@@ -219,6 +312,18 @@ mod tests {
         let fs = Pfs::mount(FsConfig::piofs());
         let f = fs.gopen("w", OpenMode::Unix);
         assert_eq!(f.write_at_async(0, vec![1]).unwrap_err(), PfsError::AsyncUnsupported);
+    }
+
+    #[test]
+    fn async_write_surfaces_write_faults() {
+        let fs = async_fs();
+        let f = fs.gopen("w", OpenMode::Async);
+        f.write_at(0, &[1u8; 8]).unwrap();
+        fs.inject_write_fault("w").unwrap();
+        match f.write_at_async(0, vec![2u8; 8]).unwrap().wait() {
+            Err(PfsError::WriteFaulted(name)) => assert_eq!(name, "w"),
+            other => panic!("expected write fault, got {other:?}"),
+        }
     }
 
     #[test]
@@ -244,10 +349,30 @@ mod tests {
         let fs = async_fs();
         let f = fs.gopen("a", OpenMode::Async);
         let data: Vec<u8> = (0..128).map(|i| (i % 251) as u8).collect();
-        f.write_at(0, &data);
+        f.write_at(0, &data).unwrap();
         let handles: Vec<_> = (0..16).map(|k| f.read_at_async(k * 8, 8).unwrap()).collect();
         for (k, h) in handles.into_iter().enumerate() {
             assert_eq!(h.wait().unwrap(), data[k * 8..k * 8 + 8].to_vec());
+        }
+    }
+
+    #[test]
+    fn worker_panic_payload_reaches_the_error() {
+        // A panicking worker must not reduce to a bare "worker failed":
+        // the payload is the root cause failure-injection tests assert on.
+        let payload: Box<dyn std::any::Any + Send> = Box::new("stripe store exploded".to_string());
+        let detail = panic_detail(payload.as_ref());
+        assert!(detail.contains("stripe store exploded"), "{detail}");
+        let (tx, rx) = mpsc::channel::<Result<Vec<u8>, PfsError>>();
+        let worker = std::thread::spawn(|| panic!("disk on fire"));
+        // Let the worker die before waiting so recv sees a disconnect.
+        drop(tx);
+        let h = ReadHandle { rx, worker: Some(worker), offset: 0, len: 0 };
+        match h.wait() {
+            Err(PfsError::WorkerFailed(detail)) => {
+                assert!(detail.contains("disk on fire"), "lost root cause: {detail}")
+            }
+            other => panic!("expected WorkerFailed, got {other:?}"),
         }
     }
 }

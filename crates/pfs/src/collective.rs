@@ -174,7 +174,7 @@ mod tests {
         let fs = Pfs::mount(cfg);
         let f = fs.gopen("data", OpenMode::Async);
         let bytes: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
-        f.write_at(0, &bytes);
+        f.write_at(0, &bytes).unwrap();
         (fs, f)
     }
 

@@ -3,7 +3,7 @@
 use std::fmt;
 
 /// File-system operation failure.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum PfsError {
     /// No file with the given name exists.
     NoSuchFile(String),
@@ -19,11 +19,41 @@ pub enum PfsError {
     /// Asynchronous I/O requested on a file system without async support
     /// (the PIOFS personality).
     AsyncUnsupported,
-    /// The async worker disappeared before completing the request.
-    WorkerFailed,
-    /// The file has an injected fault (testing facility, dm-flakey style):
-    /// reads fail until the fault is cleared.
+    /// The async worker disappeared before completing the request; carries
+    /// the root cause (panic payload or disconnect context).
+    WorkerFailed(String),
+    /// The file has an injected read fault (testing facility, dm-flakey
+    /// style): reads fail until the fault is cleared.
     Faulted(String),
+    /// The file has an injected write fault: writes fail until cleared.
+    WriteFaulted(String),
+    /// A scheduled fault from the mounted [`crate::fault::FaultPlan`]
+    /// failed this read attempt.
+    Injected {
+        /// File being read.
+        file: String,
+        /// CPI the read was addressed to.
+        cpi: u64,
+        /// 0-based attempt number that failed.
+        attempt: u32,
+        /// Root-cause description from the plan.
+        detail: String,
+    },
+}
+
+impl PfsError {
+    /// True for faults that a retry might clear (injected/transient
+    /// conditions), false for permanent errors (missing file, bad extent,
+    /// unsupported operation) where retrying is futile.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            PfsError::Faulted(_)
+                | PfsError::WriteFaulted(_)
+                | PfsError::Injected { .. }
+                | PfsError::WorkerFailed(_)
+        )
+    }
 }
 
 impl fmt::Display for PfsError {
@@ -36,8 +66,15 @@ impl fmt::Display for PfsError {
             PfsError::AsyncUnsupported => {
                 write!(f, "asynchronous I/O not supported by this file system")
             }
-            PfsError::WorkerFailed => write!(f, "async I/O worker failed"),
+            PfsError::WorkerFailed(detail) => write!(f, "async I/O worker failed: {detail}"),
             PfsError::Faulted(name) => write!(f, "injected read fault on file: {name}"),
+            PfsError::WriteFaulted(name) => write!(f, "injected write fault on file: {name}"),
+            PfsError::Injected { file, cpi, attempt, detail } => {
+                write!(
+                    f,
+                    "injected fault reading {file} (CPI {cpi}, attempt {attempt}): {detail}"
+                )
+            }
         }
     }
 }
@@ -54,5 +91,34 @@ mod tests {
         let s = format!("{e}");
         assert!(s.contains("10") && s.contains("12"));
         assert!(format!("{}", PfsError::NoSuchFile("x".into())).contains('x'));
+        let w = format!("{}", PfsError::WorkerFailed("thread panicked: boom".into()));
+        assert!(w.contains("boom"), "root cause must survive into the message: {w}");
+        let i = format!(
+            "{}",
+            PfsError::Injected {
+                file: "cpi_1.dat".into(),
+                cpi: 3,
+                attempt: 2,
+                detail: "file unavailable".into()
+            }
+        );
+        assert!(i.contains("cpi_1.dat") && i.contains("CPI 3") && i.contains("attempt 2"));
+    }
+
+    #[test]
+    fn transience_classification() {
+        assert!(PfsError::Faulted("a".into()).is_transient());
+        assert!(PfsError::WriteFaulted("a".into()).is_transient());
+        assert!(PfsError::WorkerFailed("x".into()).is_transient());
+        assert!(PfsError::Injected {
+            file: "a".into(),
+            cpi: 0,
+            attempt: 0,
+            detail: String::new()
+        }
+        .is_transient());
+        assert!(!PfsError::NoSuchFile("a".into()).is_transient());
+        assert!(!PfsError::OutOfBounds { offset: 0, len: 1, size: 0 }.is_transient());
+        assert!(!PfsError::AsyncUnsupported.is_transient());
     }
 }

@@ -3,9 +3,10 @@
 
 use crate::config::{FsConfig, OpenMode};
 use crate::error::PfsError;
+use crate::fault::{FaultPlan, ReadDecision};
 use crate::layout::StripeLayout;
 use crate::storage::{FileId, StripeServer};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -13,8 +14,10 @@ use std::sync::Arc;
 struct FileMeta {
     id: FileId,
     size: AtomicU64,
-    /// Injected-fault flag: reads fail while set (testing facility).
+    /// Injected read-fault flag: reads fail while set (testing facility).
     faulted: std::sync::atomic::AtomicBool,
+    /// Injected write-fault flag: writes fail while set.
+    write_faulted: std::sync::atomic::AtomicBool,
 }
 
 struct Inner {
@@ -23,6 +26,11 @@ struct Inner {
     servers: Vec<StripeServer>,
     names: RwLock<HashMap<String, Arc<FileMeta>>>,
     next_id: AtomicU64,
+    /// Scheduled fault injection; consulted only by CPI-addressed reads.
+    fault_plan: RwLock<Option<Arc<FaultPlan>>>,
+    /// Per-(file, cpi, offset) attempt counters so retry outcomes are a
+    /// deterministic function of the plan seed, not wall-clock timing.
+    attempts: Mutex<HashMap<(FileId, u64, u64), u32>>,
 }
 
 /// A striped parallel file system instance. Cheap to clone (shared).
@@ -54,6 +62,8 @@ impl Pfs {
                 servers,
                 names: RwLock::new(HashMap::new()),
                 next_id: AtomicU64::new(1),
+                fault_plan: RwLock::new(None),
+                attempts: Mutex::new(HashMap::new()),
             }),
         }
     }
@@ -78,6 +88,7 @@ impl Pfs {
                     id: self.inner.next_id.fetch_add(1, Ordering::Relaxed),
                     size: AtomicU64::new(0),
                     faulted: std::sync::atomic::AtomicBool::new(false),
+                    write_faulted: std::sync::atomic::AtomicBool::new(false),
                 })
             }))
         };
@@ -136,11 +147,56 @@ impl Pfs {
         self.set_fault(name, false)
     }
 
+    /// Injects a write fault on `name`: every write fails with
+    /// [`PfsError::WriteFaulted`] until [`Pfs::clear_write_fault`] is
+    /// called. Reads are unaffected.
+    pub fn inject_write_fault(&self, name: &str) -> Result<(), PfsError> {
+        self.set_write_fault(name, true)
+    }
+
+    /// Clears an injected write fault.
+    pub fn clear_write_fault(&self, name: &str) -> Result<(), PfsError> {
+        self.set_write_fault(name, false)
+    }
+
     fn set_fault(&self, name: &str, value: bool) -> Result<(), PfsError> {
         let names = self.inner.names.read();
         let meta = names.get(name).ok_or_else(|| PfsError::NoSuchFile(name.to_string()))?;
         meta.faulted.store(value, Ordering::SeqCst);
         Ok(())
+    }
+
+    fn set_write_fault(&self, name: &str, value: bool) -> Result<(), PfsError> {
+        let names = self.inner.names.read();
+        let meta = names.get(name).ok_or_else(|| PfsError::NoSuchFile(name.to_string()))?;
+        meta.write_faulted.store(value, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Installs a seeded fault schedule. CPI-addressed reads
+    /// ([`FileHandle::read_at_cpi`]) consult it; plain `read_at` calls
+    /// (staging, diagnostics) bypass it. Replaces any previous plan and
+    /// resets attempt counters.
+    pub fn install_fault_plan(&self, plan: FaultPlan) {
+        *self.inner.fault_plan.write() = Some(Arc::new(plan));
+        self.inner.attempts.lock().clear();
+    }
+
+    /// Removes the installed fault schedule.
+    pub fn clear_fault_plan(&self) {
+        *self.inner.fault_plan.write() = None;
+        self.inner.attempts.lock().clear();
+    }
+
+    /// The installed fault schedule, when any.
+    pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.inner.fault_plan.read().clone()
+    }
+
+    /// Resets per-read attempt counters so a re-run over the same mounted
+    /// file system replays the fault schedule from scratch.
+    pub fn reset_fault_attempts(&self) {
+        self.inner.attempts.lock().clear();
     }
 }
 
@@ -167,7 +223,10 @@ impl FileHandle {
     }
 
     /// Positioned write: stripes `data` starting at byte `offset`.
-    pub fn write_at(&self, offset: u64, data: &[u8]) {
+    pub fn write_at(&self, offset: u64, data: &[u8]) -> Result<(), PfsError> {
+        if self.meta.write_faulted.load(Ordering::SeqCst) {
+            return Err(PfsError::WriteFaulted(self.name.clone()));
+        }
         let inner = &self.fs.inner;
         for req in inner.layout.map_extent(offset, data.len()) {
             let start = (req.file_offset - offset) as usize;
@@ -180,6 +239,7 @@ impl FileHandle {
         }
         let end = offset + data.len() as u64;
         self.meta.size.fetch_max(end, Ordering::AcqRel);
+        Ok(())
     }
 
     /// Positioned read of exactly `len` bytes starting at `offset`.
@@ -190,6 +250,52 @@ impl FileHandle {
         if self.meta.faulted.load(Ordering::SeqCst) {
             return Err(PfsError::Faulted(self.name.clone()));
         }
+        self.read_unchecked(offset, len)
+    }
+
+    /// CPI-addressed positioned read — the pipeline's read path. Identical
+    /// to [`Self::read_at`] except that an installed [`FaultPlan`] is
+    /// consulted: the plan decides, deterministically in
+    /// `(seed, file, cpi, attempt)`, whether this attempt fails, is
+    /// delayed, or proceeds. Each call for the same `(file, cpi, offset)`
+    /// advances the attempt counter, so a retry is attempt 1, 2, …
+    pub fn read_at_cpi(&self, cpi: u64, offset: u64, len: usize) -> Result<Vec<u8>, PfsError> {
+        if self.meta.faulted.load(Ordering::SeqCst) {
+            return Err(PfsError::Faulted(self.name.clone()));
+        }
+        if let Some(plan) = self.fs.fault_plan() {
+            let inner = &self.fs.inner;
+            let mut servers: Vec<usize> =
+                inner.layout.map_extent(offset, len).into_iter().map(|req| req.server).collect();
+            servers.sort_unstable();
+            servers.dedup();
+            let attempt = {
+                let mut attempts = inner.attempts.lock();
+                let slot = attempts.entry((self.meta.id, cpi, offset)).or_insert(0);
+                let prior = *slot;
+                *slot += 1;
+                prior
+            };
+            match plan.read_decision(&self.name, cpi, attempt, &servers) {
+                ReadDecision::Fail { detail } => {
+                    return Err(PfsError::Injected {
+                        file: self.name.clone(),
+                        cpi,
+                        attempt,
+                        detail,
+                    });
+                }
+                ReadDecision::Proceed { delay } => {
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                }
+            }
+        }
+        self.read_unchecked(offset, len)
+    }
+
+    fn read_unchecked(&self, offset: u64, len: usize) -> Result<Vec<u8>, PfsError> {
         let size = self.len();
         if offset + len as u64 > size {
             return Err(PfsError::OutOfBounds { offset, len, size });
@@ -227,6 +333,7 @@ impl std::fmt::Debug for FileHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{Fault, FaultWindow};
 
     fn small_fs(factor: usize) -> Pfs {
         let mut cfg = FsConfig::paragon_pfs(factor);
@@ -239,7 +346,7 @@ mod tests {
         let fs = small_fs(4);
         let f = fs.gopen("cpi0.dat", OpenMode::Async);
         let data: Vec<u8> = (0..200u8).collect();
-        f.write_at(0, &data);
+        f.write_at(0, &data).unwrap();
         assert_eq!(f.len(), 200);
         assert_eq!(f.read_at(0, 200).unwrap(), data);
         // Partial, unaligned read.
@@ -250,7 +357,7 @@ mod tests {
     fn data_actually_distributes_over_servers() {
         let fs = small_fs(4);
         let f = fs.gopen("a", OpenMode::Async);
-        f.write_at(0, &[1u8; 16 * 8]); // 8 units over 4 servers
+        f.write_at(0, &[1u8; 16 * 8]).unwrap(); // 8 units over 4 servers
         let counts = fs.server_unit_counts();
         assert_eq!(counts, vec![2, 2, 2, 2]);
     }
@@ -259,7 +366,7 @@ mod tests {
     fn read_past_eof_errors() {
         let fs = small_fs(2);
         let f = fs.gopen("a", OpenMode::Async);
-        f.write_at(0, &[0u8; 10]);
+        f.write_at(0, &[0u8; 10]).unwrap();
         assert!(matches!(f.read_at(5, 10), Err(PfsError::OutOfBounds { .. })));
     }
 
@@ -276,7 +383,7 @@ mod tests {
     fn unlink_frees_units() {
         let fs = small_fs(2);
         let f = fs.gopen("a", OpenMode::Async);
-        f.write_at(0, &[1u8; 64]);
+        f.write_at(0, &[1u8; 64]).unwrap();
         assert!(fs.server_unit_counts().iter().sum::<usize>() > 0);
         fs.unlink("a").unwrap();
         assert_eq!(fs.server_unit_counts().iter().sum::<usize>(), 0);
@@ -287,8 +394,8 @@ mod tests {
     fn overwrite_in_place_updates_bytes() {
         let fs = small_fs(2);
         let f = fs.gopen("a", OpenMode::Async);
-        f.write_at(0, &[1u8; 40]);
-        f.write_at(10, &[2u8; 5]);
+        f.write_at(0, &[1u8; 40]).unwrap();
+        f.write_at(10, &[2u8; 5]).unwrap();
         let back = f.read_at(0, 40).unwrap();
         assert_eq!(&back[10..15], &[2u8; 5]);
         assert_eq!(back[9], 1);
@@ -300,7 +407,7 @@ mod tests {
     fn sparse_gap_reads_zero() {
         let fs = small_fs(2);
         let f = fs.gopen("a", OpenMode::Async);
-        f.write_at(100, &[3u8; 4]);
+        f.write_at(100, &[3u8; 4]).unwrap();
         let back = f.read_at(0, 104).unwrap();
         assert!(back[..100].iter().all(|&b| b == 0));
         assert_eq!(&back[100..], &[3u8; 4]);
@@ -310,14 +417,86 @@ mod tests {
     fn injected_fault_fails_reads_until_cleared() {
         let fs = small_fs(2);
         let f = fs.gopen("a", OpenMode::Async);
-        f.write_at(0, &[1u8; 32]);
+        f.write_at(0, &[1u8; 32]).unwrap();
         fs.inject_read_fault("a").unwrap();
         assert!(matches!(f.read_at(0, 8), Err(PfsError::Faulted(_))));
         // Writes still work while faulted (read-side fault only).
-        f.write_at(0, &[2u8; 4]);
+        f.write_at(0, &[2u8; 4]).unwrap();
         fs.clear_read_fault("a").unwrap();
         assert_eq!(f.read_at(0, 4).unwrap(), vec![2u8; 4]);
         assert!(fs.inject_read_fault("missing").is_err());
+    }
+
+    #[test]
+    fn injected_write_fault_fails_writes_until_cleared() {
+        let fs = small_fs(2);
+        let f = fs.gopen("a", OpenMode::Async);
+        f.write_at(0, &[1u8; 8]).unwrap();
+        fs.inject_write_fault("a").unwrap();
+        assert!(matches!(f.write_at(0, &[2u8; 8]), Err(PfsError::WriteFaulted(_))));
+        // Reads still work while write-faulted.
+        assert_eq!(f.read_at(0, 8).unwrap(), vec![1u8; 8]);
+        fs.clear_write_fault("a").unwrap();
+        f.write_at(0, &[2u8; 8]).unwrap();
+        assert_eq!(f.read_at(0, 8).unwrap(), vec![2u8; 8]);
+        assert!(fs.inject_write_fault("missing").is_err());
+    }
+
+    #[test]
+    fn fault_plan_windows_apply_to_cpi_reads_only() {
+        let fs = small_fs(2);
+        let f = fs.gopen("a", OpenMode::Async);
+        f.write_at(0, &[5u8; 32]).unwrap();
+        fs.install_fault_plan(FaultPlan::new(1).with(Fault::FileUnavailable {
+            file: "a".into(),
+            window: FaultWindow::new(2, 4),
+        }));
+        assert!(f.read_at_cpi(1, 0, 8).is_ok());
+        assert!(matches!(f.read_at_cpi(2, 0, 8), Err(PfsError::Injected { cpi: 2, .. })));
+        assert!(matches!(f.read_at_cpi(3, 0, 8), Err(PfsError::Injected { cpi: 3, .. })));
+        assert!(f.read_at_cpi(4, 0, 8).is_ok());
+        // Plain reads bypass the plan entirely.
+        assert!(f.read_at(0, 8).is_ok());
+        fs.clear_fault_plan();
+        assert!(f.read_at_cpi(2, 0, 8).is_ok());
+    }
+
+    #[test]
+    fn transient_fault_attempt_counters_advance_per_read() {
+        let fs = small_fs(2);
+        let f = fs.gopen("a", OpenMode::Async);
+        f.write_at(0, &[5u8; 64]).unwrap();
+        fs.install_fault_plan(FaultPlan::new(1).with(Fault::Transient {
+            file: "a".into(),
+            fail_attempts: 2,
+            window: FaultWindow::always(),
+        }));
+        // Two failures, then the same (cpi, offset) read succeeds.
+        assert!(f.read_at_cpi(0, 0, 8).is_err());
+        assert!(f.read_at_cpi(0, 0, 8).is_err());
+        assert_eq!(f.read_at_cpi(0, 0, 8).unwrap(), vec![5u8; 8]);
+        // A different offset (another node's slab) has its own counter.
+        assert!(f.read_at_cpi(0, 32, 8).is_err());
+        // Resetting replays the schedule from scratch.
+        fs.reset_fault_attempts();
+        assert!(f.read_at_cpi(0, 0, 8).is_err());
+    }
+
+    #[test]
+    fn server_outage_spares_unmapped_extents() {
+        // Stripe unit 16, factor 4: offset 0..16 lives on server 0 only.
+        let fs = small_fs(4);
+        let f = fs.gopen("a", OpenMode::Async);
+        f.write_at(0, &[7u8; 64]).unwrap();
+        fs.install_fault_plan(FaultPlan::new(1).with(Fault::ServerUnavailable {
+            server: 3,
+            window: FaultWindow::always(),
+        }));
+        assert!(f.read_at_cpi(0, 0, 16).is_ok(), "extent on server 0 survives");
+        assert!(
+            matches!(f.read_at_cpi(0, 0, 64), Err(PfsError::Injected { .. })),
+            "extent spanning server 3 fails"
+        );
     }
 
     #[test]
@@ -326,7 +505,7 @@ mod tests {
         let f = fs.gopen("shared", OpenMode::Async);
         let f2 = f.clone();
         let t = std::thread::spawn(move || {
-            f2.write_at(0, &[7u8; 32]);
+            f2.write_at(0, &[7u8; 32]).unwrap();
         });
         t.join().unwrap();
         assert_eq!(f.read_at(0, 32).unwrap(), vec![7u8; 32]);
@@ -342,7 +521,7 @@ mod tests {
         for k in 0..4u8 {
             let f = f.clone();
             handles.push(std::thread::spawn(move || {
-                f.write_at(k as u64 * 64, &[k + 1; 64]);
+                f.write_at(k as u64 * 64, &[k + 1; 64]).unwrap();
             }));
         }
         for h in handles {

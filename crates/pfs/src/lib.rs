@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 //! # stap-pfs — a striped parallel file system in user space
 //!
@@ -27,7 +28,7 @@
 //!
 //! let fs = Pfs::mount(FsConfig::paragon_pfs(16));
 //! let f = fs.gopen("cpi_0.dat", OpenMode::Async);
-//! f.write_at(0, b"radar bytes");
+//! f.write_at(0, b"radar bytes").unwrap();
 //! assert_eq!(f.read_at(6, 5).unwrap(), b"bytes");
 //!
 //! // Asynchronous read, NX iread style.
@@ -40,6 +41,7 @@ pub mod async_io;
 pub mod collective;
 pub mod config;
 pub mod error;
+pub mod fault;
 pub mod file;
 pub mod layout;
 pub mod storage;
@@ -47,6 +49,7 @@ pub mod timing;
 
 pub use config::{FsConfig, OpenMode, StripeConfig};
 pub use error::PfsError;
+pub use fault::{Fault, FaultPlan, FaultWindow};
 pub use file::{FileHandle, Pfs};
 pub use layout::{StripeLayout, StripeRequest};
 pub use storage::ServerStats;

@@ -17,6 +17,15 @@ pub enum PipelineError {
     },
     /// The topology is malformed (detail in the message).
     Topology(String),
+    /// A stage watchdog expired: the stage made no progress within its
+    /// deadline (a hung read or receive), and the run was torn down via
+    /// the world abort flag.
+    Timeout {
+        /// Stage whose deadline expired first.
+        stage: String,
+        /// The deadline that was missed, in milliseconds.
+        deadline_ms: u64,
+    },
 }
 
 impl From<CommError> for PipelineError {
@@ -31,6 +40,9 @@ impl fmt::Display for PipelineError {
             PipelineError::Comm(e) => write!(f, "communication failure: {e}"),
             PipelineError::Stage { stage, message } => write!(f, "stage '{stage}': {message}"),
             PipelineError::Topology(m) => write!(f, "bad topology: {m}"),
+            PipelineError::Timeout { stage, deadline_ms } => {
+                write!(f, "stage '{stage}' exceeded its {deadline_ms} ms watchdog deadline")
+            }
         }
     }
 }

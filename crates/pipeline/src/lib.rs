@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 //! # stap-pipeline — the parallel pipeline runtime
 //!
@@ -29,9 +30,11 @@ pub mod stage;
 pub mod tags;
 pub mod timing;
 pub mod topology;
+pub mod watchdog;
 
 pub use error::PipelineError;
 pub use runner::{Pipeline, StageFactory};
+pub use watchdog::WatchdogSpec;
 pub use stage::{Stage, StageCtx};
 pub use timing::{Phase, PipelineReport};
 pub use topology::{StageId, Topology};

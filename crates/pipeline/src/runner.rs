@@ -5,7 +5,10 @@ use crate::error::PipelineError;
 use crate::stage::{Stage, StageCtx};
 use crate::timing::{PhaseClock, PipelineReport};
 use crate::topology::Topology;
-use stap_comm::spawn_world;
+use crate::watchdog::{monitor, Expiry, Heartbeats, WatchdogSpec};
+use parking_lot::Mutex;
+use stap_comm::CommWorld;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 /// Builds the per-node [`Stage`] value for a stage; called once per node
@@ -40,60 +43,150 @@ impl Pipeline {
     /// the measured report (with `warmup` leading CPIs excluded from the
     /// steady-state metrics).
     pub fn run(&self, cpis: u64, warmup: u64) -> Result<PipelineReport, PipelineError> {
+        self.run_inner(cpis, warmup, None)
+    }
+
+    /// Like [`Self::run`], but with per-stage watchdog deadlines: a stage
+    /// that fails to complete a CPI within its deadline tears the world
+    /// down and the run returns [`PipelineError::Timeout`] naming it.
+    pub fn run_with_watchdog(
+        &self,
+        cpis: u64,
+        warmup: u64,
+        spec: &WatchdogSpec,
+    ) -> Result<PipelineReport, PipelineError> {
+        assert_eq!(
+            spec.deadlines.len(),
+            self.topology.stage_count(),
+            "one watchdog deadline per stage required"
+        );
+        self.run_inner(cpis, warmup, Some(spec))
+    }
+
+    fn run_inner(
+        &self,
+        cpis: u64,
+        warmup: u64,
+        watchdog: Option<&WatchdogSpec>,
+    ) -> Result<PipelineReport, PipelineError> {
         self.topology.validate()?;
         assert!(cpis > warmup, "need more CPIs ({cpis}) than warmup ({warmup})");
         let epoch = Instant::now();
         let topology = &self.topology;
         let factories = &self.factories;
+        let n = topology.total_nodes();
+
+        let endpoints = CommWorld::create(n);
+        let beats = Heartbeats::new(n);
+        let expiry: Mutex<Option<Expiry>> = Mutex::new(None);
+        let monitor_stop = AtomicBool::new(false);
+        let stage_of: Vec<(String, usize)> = (0..n)
+            .map(|rank| {
+                let (stage, _) = topology.locate(rank).expect("every rank belongs to a stage");
+                (topology.stage(stage).name.clone(), stage.0)
+            })
+            .collect();
+        let abort_handle = endpoints[0].abort_handle();
 
         let results: Vec<Result<Vec<crate::timing::CpiRecord>, PipelineError>> =
-            spawn_world(topology.total_nodes(), move |mut ep| {
-                let (stage, local) =
-                    topology.locate(ep.rank()).expect("every rank belongs to a stage");
-                let mut behavior = factories[stage.0](local);
-                let mut clock = PhaseClock::new(epoch);
-                let mut outcome = Ok(());
-                for cpi in 0..cpis {
-                    clock.start_cpi(cpi);
-                    let mut ctx =
-                        StageCtx { ep: &mut ep, topology, stage, local, cpi, clock: &mut clock };
-                    outcome = behavior.run_cpi(&mut ctx);
-                    clock.end_cpi();
-                    if outcome.is_err() {
-                        break;
-                    }
+            std::thread::scope(|scope| {
+                let monitor_handle = watchdog.map(|spec| {
+                    let beats = &beats;
+                    let stage_of = &stage_of;
+                    let abort = &abort_handle;
+                    let stop = &monitor_stop;
+                    let expiry = &expiry;
+                    scope.spawn(move || monitor(spec, beats, stage_of, abort, stop, expiry))
+                });
+
+                let handles: Vec<_> = endpoints
+                    .into_iter()
+                    .map(|mut ep| {
+                        let beats = &beats;
+                        scope.spawn(move || {
+                            let rank = ep.rank();
+                            let (stage, local) =
+                                topology.locate(rank).expect("every rank belongs to a stage");
+                            let mut behavior = factories[stage.0](local);
+                            let mut clock = PhaseClock::new(epoch);
+                            let mut outcome = Ok(());
+                            for cpi in 0..cpis {
+                                beats.beat(rank);
+                                clock.start_cpi(cpi);
+                                let mut ctx = StageCtx {
+                                    ep: &mut ep,
+                                    topology,
+                                    stage,
+                                    local,
+                                    cpi,
+                                    clock: &mut clock,
+                                };
+                                outcome = behavior.run_cpi(&mut ctx);
+                                clock.end_cpi();
+                                if outcome.is_err() {
+                                    break;
+                                }
+                            }
+                            // The watchdog stops tracking this rank whether
+                            // it finished or failed — either way it is no
+                            // longer "hung".
+                            beats.mark_done(rank);
+                            // A failing node raises the world abort flag so
+                            // peers blocked in receives unblock with
+                            // `Aborted` instead of hanging forever.
+                            if outcome.is_err() {
+                                ep.trigger_abort();
+                            }
+                            // Drain barrier: no endpoint may drop until every
+                            // node has finished (or failed) its last
+                            // iteration, so trailing sends (e.g. the weight
+                            // tasks' final, never-consumed weight sets)
+                            // always find a live receiver. Skipped once the
+                            // world is aborting — everyone is exiting anyway.
+                            let barrier_outcome = if ep.aborted() {
+                                Err(stap_comm::CommError::Aborted.into())
+                            } else {
+                                let world = stap_comm::Group::contiguous(0, n);
+                                stap_comm::collective::barrier(&mut ep, &world, DRAIN_BARRIER_TAG)
+                                    .map_err(PipelineError::from)
+                            };
+                            outcome?;
+                            barrier_outcome?;
+                            Ok(clock.into_records())
+                        })
+                    })
+                    .collect();
+                let results = handles
+                    .into_iter()
+                    .map(|h| h.join().expect("rank thread panicked"))
+                    .collect();
+                monitor_stop.store(true, Ordering::Release);
+                if let Some(m) = monitor_handle {
+                    m.join().expect("watchdog monitor panicked");
                 }
-                // A failing node raises the world abort flag so peers
-                // blocked in receives unblock with `Aborted` instead of
-                // hanging forever.
-                if outcome.is_err() {
-                    ep.trigger_abort();
-                }
-                // Drain barrier: no endpoint may drop until every node has
-                // finished (or failed) its last iteration, so trailing sends
-                // (e.g. the weight tasks' final, never-consumed weight sets)
-                // always find a live receiver. Skipped once the world is
-                // aborting — everyone is exiting anyway.
-                let barrier_outcome = if ep.aborted() {
-                    Err(stap_comm::CommError::Aborted.into())
-                } else {
-                    let world = stap_comm::Group::contiguous(0, topology.total_nodes());
-                    stap_comm::collective::barrier(&mut ep, &world, DRAIN_BARRIER_TAG)
-                        .map_err(PipelineError::from)
-                };
-                outcome?;
-                barrier_outcome?;
-                Ok(clock.into_records())
+                results
             });
 
         // Prefer the root-cause error: stage failures first, then
-        // communication failures, with `Aborted` teardown fallout last.
+        // communication failures, then a watchdog expiry, with `Aborted`
+        // teardown fallout last.
         let rank = |e: &PipelineError| match e {
             PipelineError::Stage { .. } | PipelineError::Topology(_) => 0,
             PipelineError::Comm(c) if *c != stap_comm::CommError::Aborted => 1,
-            PipelineError::Comm(_) => 2,
+            PipelineError::Timeout { .. } => 2,
+            PipelineError::Comm(_) => 3,
         };
+        let fired = expiry.into_inner();
         if let Some(err) = results.iter().filter_map(|r| r.as_ref().err()).min_by_key(|e| rank(e)) {
+            // Everything failing with bare `Aborted` while the watchdog
+            // fired means the expiry *is* the root cause.
+            if let (PipelineError::Comm(stap_comm::CommError::Aborted), Some(exp)) = (err, &fired)
+            {
+                return Err(PipelineError::Timeout {
+                    stage: exp.stage.clone(),
+                    deadline_ms: exp.deadline_ms,
+                });
+            }
             return Err(err.clone());
         }
         let mut per_node = Vec::with_capacity(results.len());
@@ -229,6 +322,79 @@ mod tests {
                 assert!(message.contains("disk on fire"));
             }
             other => panic!("expected the root-cause stage error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_converts_a_hang_into_a_typed_timeout() {
+        use std::time::Duration;
+        // The source never sends for CPI >= 1, so the sink blocks forever
+        // on its receive; without the watchdog this run would never return.
+        let mut t = Topology::new();
+        let src = t.add_stage("src", 1);
+        let snk = t.add_stage("snk", 1);
+        t.add_edge(src, snk);
+        let f_src: StageFactory = Box::new(|_| {
+            Box::new(|ctx: &mut StageCtx<'_>| {
+                if ctx.cpi == 0 {
+                    ctx.send_to(StageId(1), 0, 0, ctx.cpi)?;
+                }
+                Ok(())
+            })
+        });
+        let f_snk: StageFactory = Box::new(|_| {
+            Box::new(|ctx: &mut StageCtx<'_>| {
+                let _: u64 = ctx.recv_from(StageId(0), 0, 0)?;
+                Ok(())
+            })
+        });
+        let p = Pipeline::new(t, vec![f_src, f_snk]);
+        let spec = crate::watchdog::WatchdogSpec::uniform(2, Duration::from_millis(100));
+        let err = p.run_with_watchdog(4, 0, &spec).unwrap_err();
+        match err {
+            PipelineError::Timeout { stage, deadline_ms } => {
+                assert_eq!(stage, "snk", "the hung receiver is the root cause");
+                assert_eq!(deadline_ms, 100);
+            }
+            other => panic!("expected a watchdog timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_stays_quiet_on_a_healthy_run() {
+        use std::time::Duration;
+        let p = arithmetic_pipeline();
+        let spec = crate::watchdog::WatchdogSpec::uniform(3, Duration::from_secs(30));
+        let report = p.run_with_watchdog(5, 1, &spec).unwrap();
+        assert_eq!(report.cpis, 5);
+    }
+
+    #[test]
+    fn stage_error_beats_watchdog_expiry_as_root_cause() {
+        use std::time::Duration;
+        // The failing source triggers the abort itself; even with a very
+        // tight watchdog racing it, the surfaced error must stay typed.
+        let mut t = Topology::new();
+        let src = t.add_stage("src", 1);
+        let snk = t.add_stage("snk", 1);
+        t.add_edge(src, snk);
+        let f_src: StageFactory = Box::new(|_| {
+            Box::new(|ctx: &mut StageCtx<'_>| {
+                std::thread::sleep(Duration::from_millis(30));
+                Err(ctx.fail("disk on fire"))
+            })
+        });
+        let f_snk: StageFactory = Box::new(|_| {
+            Box::new(|ctx: &mut StageCtx<'_>| {
+                let _: u64 = ctx.recv_from(StageId(0), 0, 0)?;
+                Ok(())
+            })
+        });
+        let p = Pipeline::new(t, vec![f_src, f_snk]);
+        let spec = crate::watchdog::WatchdogSpec::uniform(2, Duration::from_millis(2000));
+        match p.run_with_watchdog(2, 0, &spec).unwrap_err() {
+            PipelineError::Stage { stage, .. } => assert_eq!(stage, "src"),
+            other => panic!("expected the stage error, got {other:?}"),
         }
     }
 

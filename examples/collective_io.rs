@@ -28,7 +28,7 @@ fn main() {
     let f = fs.gopen("cpi_pulse_major.dat", OpenMode::Async);
     let cube_bytes: Vec<u8> =
         (0..pulses * channels * ranges * elem).map(|i| (i % 251) as u8).collect();
-    f.write_at(0, &cube_bytes);
+    f.write_at(0, &cube_bytes).expect("staging write");
 
     // Each reader's extents: for every (pulse, channel), its slice of the
     // range axis — pulses·channels small strided requests each.

@@ -49,7 +49,7 @@ fn main() {
     for slot in 0..cfg.fanout {
         let f = sys.fs().open(&StapConfig::file_name(slot), OpenMode::Async).expect("staged");
         let cube: DataCube = gen.next_cube();
-        f.write_at(0, &cube.to_range_major_bytes());
+        f.write_at(0, &cube.to_range_major_bytes()).expect("staging write");
     }
 
     let out = sys.run().expect("run");

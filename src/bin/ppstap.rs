@@ -46,6 +46,9 @@ fn run(a: RunArgs) {
         warmup: (a.cpis / 3).max(1),
         fs: fs_for(&a.fs),
         record_reports: a.record_reports,
+        fault_plan: a.fault_plan.clone(),
+        failure_policy: a.failure_policy,
+        watchdog: a.watchdog.then(ppstap::core::WatchdogPolicy::default),
         ..StapConfig::default()
     };
     println!("structure : {} / {}", config.io.label(), config.tail.label());
@@ -55,8 +58,20 @@ fn run(a: RunArgs) {
         config.dims.bytes() / 1024,
         config.fs.name
     );
-    let system = StapSystem::prepare(config).expect("prepare");
-    let out = system.run().expect("pipeline run");
+    let system = match StapSystem::prepare(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let out = match system.run() {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
 
     println!(
         "\n{:<16}{:>7}{:>10}{:>10}{:>10}{:>10}{:>10}",
@@ -76,6 +91,13 @@ fn run(a: RunArgs) {
         "latency (p95)  : {:>9.4} s",
         out.timing.latency_percentile(out.source, out.sink, 95.0)
     );
+    if a.fault_plan.is_some() || !out.dropped.is_empty() || out.retries > 0 {
+        println!("delivered      : {:>9.2} CPIs/s", out.delivered_throughput());
+        println!("read retries   : {:>9}", out.retries);
+        for g in &out.dropped {
+            println!("dropped CPI {} at {}: {}", g.cpi, g.origin, g.reason);
+        }
+    }
     for r in &out.reports {
         println!("CPI {}: {} detections", r.cpi, r.cluster(4).len());
     }
@@ -86,9 +108,17 @@ fn run(a: RunArgs) {
 
 fn sim(a: SimArgs) {
     let machine = machine_for(&a.machine).expect("validated by the parser");
-    let exp = DesExperiment::new(machine, a.io, a.tail, a.nodes);
+    let mut exp = DesExperiment::new(machine, a.io, a.tail, a.nodes);
+    if a.fault_rate > 0.0 {
+        exp.faults = Some(ppstap::core::DesFaultModel {
+            source: ppstap::core::FaultSource::Random { rate: a.fault_rate, seed: a.fault_seed },
+            fail_attempts: u32::MAX,
+            detect: 0.002,
+            retry_attempts: 2,
+            backoff: 0.002,
+        });
+    }
     if a.trace {
-        let mut exp = exp;
         exp.cpis = 24;
         let (result, trace) = exp.run_traced();
         print_result(&result);
@@ -120,6 +150,12 @@ fn print_result(r: &ppstap::core::DesResult) {
         r.analytic_latency()
     );
     println!("I/O utilization  : {:>8.2}", r.io_utilization);
+    if !r.dropped.is_empty() || r.retries > 0 {
+        println!("delivered        : {:>8.3} CPIs/s", r.delivered_throughput);
+        println!("read retries     : {:>8}", r.retries);
+        let cpis: Vec<String> = r.dropped.iter().map(u64::to_string).collect();
+        println!("dropped CPIs     : [{}]", cpis.join(", "));
+    }
 }
 
 fn tables(out: Option<String>) {
@@ -140,6 +176,9 @@ fn tables(out: Option<String>) {
 /// Local re-implementation of the bench crate's artifact list (the umbrella
 /// crate does not depend on `stap-bench`, which is a leaf).
 mod stap_bench_shim {
+    use ppstap::core::experiments::degradation::{
+        fault_degradation, recoverable_degradation, render_degradation,
+    };
     use ppstap::core::experiments::render::{
         render_fig8, render_figure, render_table, render_table4,
     };
@@ -163,6 +202,11 @@ mod stap_bench_shim {
         let f8 = fig8_from(t1, t3);
         out.push(("fig8", render_fig8(&f8)));
         out.push(("validation", render_validation(&validate_embedded_grid())));
+        let rates = [0.0, 0.05, 0.1, 0.2, 0.3];
+        out.push((
+            "fault_degradation",
+            render_degradation(&fault_degradation(&rates), &recoverable_degradation(&rates)),
+        ));
         out
     }
 }

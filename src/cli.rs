@@ -5,8 +5,9 @@
 //! a paper-scale configuration, regenerate the evaluation tables, and sweep
 //! the stripe factor.
 
-use stap_core::{IoStrategy, TailStructure};
+use stap_core::{FailurePolicy, IoStrategy, TailStructure};
 use stap_model::machines::MachineModel;
+use stap_pfs::FaultPlan;
 
 /// Parsed command.
 #[derive(Debug, Clone, PartialEq)]
@@ -108,6 +109,15 @@ pub struct RunArgs {
     pub fs: String,
     /// Write detection reports back to the file system.
     pub record_reports: bool,
+    /// Injected fault schedule (`--fault-plan` grammar; seeded by
+    /// `--fault-seed`).
+    pub fault_plan: Option<FaultPlan>,
+    /// Seed recorded into the fault plan (0 when unset).
+    pub fault_seed: u64,
+    /// How the pipeline reacts to read failures.
+    pub failure_policy: FailurePolicy,
+    /// Enable stage watchdogs (deadline factor over predicted task times).
+    pub watchdog: bool,
 }
 
 impl Default for RunArgs {
@@ -118,6 +128,10 @@ impl Default for RunArgs {
             cpis: 6,
             fs: "pfs16".into(),
             record_reports: false,
+            fault_plan: None,
+            fault_seed: 0,
+            failure_policy: FailurePolicy::Abort,
+            watchdog: false,
         }
     }
 }
@@ -135,6 +149,11 @@ pub struct SimArgs {
     pub nodes: usize,
     /// Print the execution Gantt chart.
     pub trace: bool,
+    /// Per-CPI read-fault probability for the virtual-time fault model
+    /// (0 = fault-free).
+    pub fault_rate: f64,
+    /// Seed of the deterministic per-CPI fault draw.
+    pub fault_seed: u64,
 }
 
 impl Default for SimArgs {
@@ -145,6 +164,8 @@ impl Default for SimArgs {
             tail: TailStructure::Split,
             nodes: 50,
             trace: false,
+            fault_rate: 0.0,
+            fault_seed: 0,
         }
     }
 }
@@ -207,6 +228,7 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
     match cmd {
         "run" => {
             let mut a = RunArgs::default();
+            let mut fault_spec: Option<String> = None;
             while let Some(flag) = it.next() {
                 match flag {
                     "--io" => a.io = parse_io(take_value(flag, &mut it)?)?,
@@ -229,8 +251,24 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
                         a.fs = v.to_string();
                     }
                     "--record-reports" => a.record_reports = true,
+                    "--fault-plan" => fault_spec = Some(take_value(flag, &mut it)?.to_string()),
+                    "--fault-seed" => {
+                        a.fault_seed = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ParseError("--fault-seed must be a number".into()))?;
+                    }
+                    "--failure-policy" => {
+                        a.failure_policy =
+                            FailurePolicy::parse(take_value(flag, &mut it)?).map_err(ParseError)?;
+                    }
+                    "--watchdog" => a.watchdog = true,
                     other => return Err(ParseError(format!("unknown flag '{other}' for run"))),
                 }
+            }
+            // The plan is seeded, so it can only be built once both
+            // `--fault-plan` and `--fault-seed` have been consumed.
+            if let Some(spec) = fault_spec {
+                a.fault_plan = Some(FaultPlan::parse(&spec, a.fault_seed).map_err(ParseError)?);
             }
             Ok(Command::Run(a))
         }
@@ -256,6 +294,20 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
                         }
                     }
                     "--trace" => a.trace = true,
+                    "--fault-rate" => {
+                        let v: f64 = take_value(flag, &mut it)?.parse().map_err(|_| {
+                            ParseError("--fault-rate must be a probability".into())
+                        })?;
+                        if !(0.0..=1.0).contains(&v) {
+                            return Err(ParseError("--fault-rate must be in [0, 1]".into()));
+                        }
+                        a.fault_rate = v;
+                    }
+                    "--fault-seed" => {
+                        a.fault_seed = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ParseError("--fault-seed must be a number".into()))?;
+                    }
                     other => return Err(ParseError(format!("unknown flag '{other}' for sim"))),
                 }
             }
@@ -350,12 +402,30 @@ ppstap — parallel pipelined STAP with parallel-I/O strategies (IPPS 2000 repro
 USAGE:
     ppstap run   [--io embedded|separate] [--tail split|combined] [--cpis N]
                  [--fs pfs16|pfs64|piofs] [--record-reports]
+                 [--fault-plan SPEC] [--fault-seed N] [--watchdog]
+                 [--failure-policy abort|retry:A:MS|skip:A:MS:MAXC]
         Run the real threaded pipeline on a small cube and print timings,
-        detections, throughput and latency.
+        detections, throughput and latency. --fault-plan injects a seeded,
+        reproducible fault schedule into the CPI read path; SPEC is a
+        comma-separated list of:
+            file:NAME@A..B       NAME unavailable for CPIs [A, B)
+            server:IDX@A..B      stripe server IDX down for the window
+            transient:NAME:K@A..B   first K attempts of each read fail
+            flaky:NAME:P@A..B    each attempt fails with probability P
+            slow:NAME:MS@A..B    reads take an extra MS milliseconds
+        --failure-policy decides what a failed read does: abort the run
+        (default), retry A times with exponential backoff from MS ms, or
+        skip — retry then drop the CPI as a gap bubble, aborting only
+        after MAXC consecutive drops. --watchdog arms per-stage deadlines
+        derived from the predicted task times.
 
     ppstap sim   [--machine paragon16|paragon64|sp] [--io embedded|separate]
                  [--tail split|combined] [--nodes N] [--trace]
+                 [--fault-rate P] [--fault-seed N]
         Simulate one paper-scale configuration in virtual time.
+        --fault-rate P drops each CPI's read with probability P under the
+        skip policy's virtual-time analogue (deterministic per seed),
+        reporting dropped CPIs and delivered throughput.
 
     ppstap tables [--out DIR]
         Regenerate Tables 1-4 and Figures 5-8 (plus ablations and the
@@ -414,6 +484,7 @@ mod tests {
                 cpis: 9,
                 fs: "piofs".into(),
                 record_reports: true,
+                ..RunArgs::default()
             })
         );
     }
@@ -440,6 +511,53 @@ mod tests {
             Command::Tables { out: Some("results".into()) }
         );
         assert_eq!(parse(&["sweep", "--nodes", "50"]).unwrap(), Command::Sweep { nodes: 50 });
+    }
+
+    #[test]
+    fn run_fault_flags() {
+        let c = parse(&[
+            "run",
+            "--fault-plan",
+            "transient:cpi_0.dat:1@2..4",
+            "--fault-seed",
+            "7",
+            "--failure-policy",
+            "skip:2:5:3",
+            "--watchdog",
+        ])
+        .unwrap();
+        let Command::Run(a) = c else { panic!("expected run") };
+        let plan = a.fault_plan.expect("plan parsed");
+        assert_eq!(plan.seed(), 7, "seed applies even when given after the plan");
+        assert_eq!(plan.faults().len(), 1);
+        assert_eq!(a.fault_seed, 7);
+        assert!(a.watchdog);
+        assert!(a.failure_policy.skips());
+        assert_eq!(a.failure_policy.max_consecutive(), Some(3));
+    }
+
+    #[test]
+    fn sim_fault_flags() {
+        let c = parse(&["sim", "--fault-rate", "0.25", "--fault-seed", "11"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Sim(SimArgs { fault_rate: 0.25, fault_seed: 11, ..SimArgs::default() })
+        );
+    }
+
+    #[test]
+    fn fault_flag_errors_are_specific() {
+        assert!(parse(&["run", "--fault-plan", "bogus:x"])
+            .unwrap_err()
+            .0
+            .contains("unknown fault kind"));
+        assert!(parse(&["run", "--failure-policy", "panic"])
+            .unwrap_err()
+            .0
+            .contains("bad failure policy"));
+        assert!(parse(&["run", "--fault-seed", "many"]).unwrap_err().0.contains("number"));
+        assert!(parse(&["sim", "--fault-rate", "1.5"]).unwrap_err().0.contains("[0, 1]"));
+        assert!(parse(&["sim", "--fault-rate", "often"]).unwrap_err().0.contains("probability"));
     }
 
     #[test]

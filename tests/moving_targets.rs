@@ -30,7 +30,7 @@ fn drifting_target_detections_walk_in_range() {
     for slot in 0..cfg.fanout {
         let f = sys.fs().open(&StapConfig::file_name(slot), OpenMode::Async).unwrap();
         let cube: DataCube = gen.next_cube();
-        f.write_at(0, &cube.to_range_major_bytes());
+        f.write_at(0, &cube.to_range_major_bytes()).expect("staging write");
     }
 
     let out = sys.run().unwrap();
@@ -77,7 +77,7 @@ fn restaged_files_change_what_the_pipeline_sees() {
     let mut gen = CubeGenerator::new(cfg.dims, scene_b, cfg.waveform_len, 99);
     for slot in 0..cfg.fanout {
         let f = sys.fs().open(&StapConfig::file_name(slot), OpenMode::Async).unwrap();
-        f.write_at(0, &gen.next_cube().to_range_major_bytes());
+        f.write_at(0, &gen.next_cube().to_range_major_bytes()).expect("staging write");
     }
     let second = sys.run().unwrap();
     let report = &second.reports[1];

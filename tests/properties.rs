@@ -100,7 +100,7 @@ proptest! {
         cfg.stripe_unit = 256;
         let fs = Pfs::mount(cfg);
         let f = fs.gopen("prop.dat", OpenMode::Async);
-        f.write_at(offset, &data);
+        f.write_at(offset, &data).unwrap();
         let back = f.read_at(offset, data.len()).unwrap();
         prop_assert_eq!(back, data);
     }
