@@ -271,6 +271,14 @@ impl StapConfig {
         self
     }
 
+    /// The same run configuration with reads paced at `scale ×` their
+    /// modeled service time, so the phase tables of a real (wall-clock)
+    /// run reproduce the paper's I/O-bound shapes at laptop speed.
+    pub fn with_read_pacing(mut self, scale: f64) -> Self {
+        self.fs = self.fs.with_read_pacing(scale);
+        self
+    }
+
     /// Number of Doppler bins the pipeline will produce.
     pub fn nbins(&self) -> usize {
         self.dims.pulses.next_power_of_two()

@@ -17,14 +17,16 @@
 
 use crate::io_strategy::{IoStrategy, TailStructure};
 use stap_des::{Engine, FcfsResource, SimTime, Tally};
-use stap_pfs::FaultWindow;
 use stap_model::analytic::{latency as eq_latency, throughput as eq_throughput, TaskTime};
 use stap_model::assignment::{assign_nodes, SEPARATE_IO_NODES};
 use stap_model::machines::MachineModel;
 use stap_model::tasktime::{combined_task_time_cap, comm_time, comm_time_cap, task_time_cap};
 use stap_model::workload::{ShapeParams, StapWorkload, TaskId};
 use stap_pfs::layout::StripeLayout;
+use stap_pfs::timing::parallel_read_completion;
+use stap_pfs::FaultWindow;
 use stap_pfs::OpenMode;
+use stap_pipeline::timing::{Phase, Span};
 use std::collections::HashMap;
 
 /// How a task's instance duration is determined.
@@ -37,6 +39,34 @@ enum DurKind {
     ReadEmbedded { compute: f64, send: f64, overhead: f64, overlap: bool },
 }
 
+/// Predicted per-phase seconds of one task instance, in pipeline order
+/// (read, receive, compute, send). Parallelization overhead is folded into
+/// `compute` — the simulator has no separate phase for it and the real
+/// pipeline's tracer observes it inside the compute span too.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseBreakdown {
+    /// File-system read seconds (read-bearing tasks only).
+    pub read: f64,
+    /// Receive-side communication seconds.
+    pub recv: f64,
+    /// Compute seconds (including overhead `V_i`).
+    pub compute: f64,
+    /// Send-side communication seconds.
+    pub send: f64,
+}
+
+impl PhaseBreakdown {
+    /// Sum of the four phases.
+    pub fn total(&self) -> f64 {
+        self.read + self.recv + self.compute + self.send
+    }
+
+    /// A non-read task's breakdown from its Eq. 6 cost components.
+    fn from_costs(c: stap_model::TaskCosts) -> Self {
+        Self { read: 0.0, recv: c.recv, compute: c.compute + c.overhead, send: c.send }
+    }
+}
+
 /// One simulated task.
 #[derive(Debug, Clone)]
 struct SimTask {
@@ -46,6 +76,8 @@ struct SimTask {
     id: TaskId,
     nodes: usize,
     dur: DurKind,
+    /// Predicted phase split of one instance (steady state, fault-free).
+    phases: PhaseBreakdown,
     /// Spatial predecessors (same CPI), indices into the task vector.
     spatial_preds: Vec<usize>,
     /// Temporal predecessors (previous CPI).
@@ -225,6 +257,8 @@ pub struct TaskRow {
     pub nodes: usize,
     /// Mean steady-state instance time `T_i` (seconds).
     pub time: f64,
+    /// Predicted phase split of one instance (model, not measurement).
+    pub phases: PhaseBreakdown,
 }
 
 /// Outcome of one experiment cell.
@@ -461,10 +495,16 @@ impl DesExperiment {
             + p(TaskId::EasyBeamform)
             + p(TaskId::HardBeamform);
 
+        // Static estimate of one CPI cube's read completion, used for the
+        // predicted phase split of whichever task carries the read.
+        let read_est =
+            parallel_read_completion(&m.fs, &[(0, self.shape.cube_bytes())], m.open_mode);
+
         let mut tasks: Vec<SimTask> = Vec::new();
         // Optional read task (index 0 when present).
         if self.io == IoStrategy::SeparateTask {
             let send = comm_time(m, w.output_bytes(TaskId::Read), read_nodes, p(TaskId::Doppler));
+            let overhead = m.overhead(read_nodes);
             tasks.push(SimTask {
                 label: "parallel read".into(),
                 id: TaskId::Read,
@@ -474,9 +514,10 @@ impl DesExperiment {
                 dur: DurKind::ReadEmbedded {
                     compute: 0.0,
                     send,
-                    overhead: m.overhead(read_nodes),
+                    overhead,
                     overlap: m.can_overlap_io(),
                 },
+                phases: PhaseBreakdown { read: read_est, recv: 0.0, compute: overhead, send },
                 spatial_preds: vec![],
                 temporal_preds: vec![],
             });
@@ -487,22 +528,27 @@ impl DesExperiment {
         let df_nodes = p(TaskId::Doppler);
         let df_idx = tasks.len();
         let capd = cap(TaskId::Doppler);
-        let df_dur = match self.io {
-            IoStrategy::Embedded => DurKind::ReadEmbedded {
-                compute: m.compute_time_cap(w.flops(TaskId::Doppler), capd.compute),
-                send: comm_time_cap(m, w.output_bytes(TaskId::Doppler), capd.net, df_succ),
-                overhead: m.overhead(df_nodes),
-                overlap: m.can_overlap_io(),
-            },
-            IoStrategy::SeparateTask => DurKind::Fixed(
-                task_time_cap(m, &w, TaskId::Doppler, capd, df_pred, df_succ).total(),
-            ),
+        let (df_dur, df_phases) = match self.io {
+            IoStrategy::Embedded => {
+                let compute = m.compute_time_cap(w.flops(TaskId::Doppler), capd.compute);
+                let send = comm_time_cap(m, w.output_bytes(TaskId::Doppler), capd.net, df_succ);
+                let overhead = m.overhead(df_nodes);
+                (
+                    DurKind::ReadEmbedded { compute, send, overhead, overlap: m.can_overlap_io() },
+                    PhaseBreakdown { read: read_est, recv: 0.0, compute: compute + overhead, send },
+                )
+            }
+            IoStrategy::SeparateTask => {
+                let c = task_time_cap(m, &w, TaskId::Doppler, capd, df_pred, df_succ);
+                (DurKind::Fixed(c.total()), PhaseBreakdown::from_costs(c))
+            }
         };
         tasks.push(SimTask {
             label: TaskId::Doppler.label().into(),
             id: TaskId::Doppler,
             nodes: df_nodes,
             dur: df_dur,
+            phases: df_phases,
             spatial_preds: read_idx.into_iter().collect(),
             temporal_preds: vec![],
         });
@@ -510,40 +556,38 @@ impl DesExperiment {
         // Weights (spatial consumers of Doppler output in message timing;
         // their results feed the beamformers temporally).
         let ew_idx = tasks.len();
+        let cew = task_time_cap(
+            m,
+            &w,
+            TaskId::EasyWeight,
+            cap(TaskId::EasyWeight),
+            df_nodes,
+            p(TaskId::EasyBeamform),
+        );
         tasks.push(SimTask {
             label: TaskId::EasyWeight.label().into(),
             id: TaskId::EasyWeight,
             nodes: p(TaskId::EasyWeight),
-            dur: DurKind::Fixed(
-                task_time_cap(
-                    m,
-                    &w,
-                    TaskId::EasyWeight,
-                    cap(TaskId::EasyWeight),
-                    df_nodes,
-                    p(TaskId::EasyBeamform),
-                )
-                .total(),
-            ),
+            dur: DurKind::Fixed(cew.total()),
+            phases: PhaseBreakdown::from_costs(cew),
             spatial_preds: vec![df_idx],
             temporal_preds: vec![],
         });
         let hw_idx = tasks.len();
+        let chw = task_time_cap(
+            m,
+            &w,
+            TaskId::HardWeight,
+            cap(TaskId::HardWeight),
+            df_nodes,
+            p(TaskId::HardBeamform),
+        );
         tasks.push(SimTask {
             label: TaskId::HardWeight.label().into(),
             id: TaskId::HardWeight,
             nodes: p(TaskId::HardWeight),
-            dur: DurKind::Fixed(
-                task_time_cap(
-                    m,
-                    &w,
-                    TaskId::HardWeight,
-                    cap(TaskId::HardWeight),
-                    df_nodes,
-                    p(TaskId::HardBeamform),
-                )
-                .total(),
-            ),
+            dur: DurKind::Fixed(chw.total()),
+            phases: PhaseBreakdown::from_costs(chw),
             spatial_preds: vec![df_idx],
             temporal_preds: vec![],
         });
@@ -554,40 +598,38 @@ impl DesExperiment {
         let tail_first_nodes =
             if self.tail == TailStructure::Combined { pc_nodes + cf_nodes } else { pc_nodes };
         let ebf_idx = tasks.len();
+        let cebf = task_time_cap(
+            m,
+            &w,
+            TaskId::EasyBeamform,
+            cap(TaskId::EasyBeamform),
+            df_nodes,
+            tail_first_nodes,
+        );
         tasks.push(SimTask {
             label: TaskId::EasyBeamform.label().into(),
             id: TaskId::EasyBeamform,
             nodes: p(TaskId::EasyBeamform),
-            dur: DurKind::Fixed(
-                task_time_cap(
-                    m,
-                    &w,
-                    TaskId::EasyBeamform,
-                    cap(TaskId::EasyBeamform),
-                    df_nodes,
-                    tail_first_nodes,
-                )
-                .total(),
-            ),
+            dur: DurKind::Fixed(cebf.total()),
+            phases: PhaseBreakdown::from_costs(cebf),
             spatial_preds: vec![df_idx],
             temporal_preds: vec![ew_idx],
         });
         let hbf_idx = tasks.len();
+        let chbf = task_time_cap(
+            m,
+            &w,
+            TaskId::HardBeamform,
+            cap(TaskId::HardBeamform),
+            df_nodes,
+            tail_first_nodes,
+        );
         tasks.push(SimTask {
             label: TaskId::HardBeamform.label().into(),
             id: TaskId::HardBeamform,
             nodes: p(TaskId::HardBeamform),
-            dur: DurKind::Fixed(
-                task_time_cap(
-                    m,
-                    &w,
-                    TaskId::HardBeamform,
-                    cap(TaskId::HardBeamform),
-                    df_nodes,
-                    tail_first_nodes,
-                )
-                .total(),
-            ),
+            dur: DurKind::Fixed(chbf.total()),
+            phases: PhaseBreakdown::from_costs(chbf),
             spatial_preds: vec![df_idx],
             temporal_preds: vec![hw_idx],
         });
@@ -596,52 +638,50 @@ impl DesExperiment {
         match self.tail {
             TailStructure::Split => {
                 let pc_idx = tasks.len();
+                let cpc = task_time_cap(
+                    m,
+                    &w,
+                    TaskId::PulseCompression,
+                    cap(TaskId::PulseCompression),
+                    tail_pred_nodes,
+                    cf_nodes,
+                );
                 tasks.push(SimTask {
                     label: TaskId::PulseCompression.label().into(),
                     id: TaskId::PulseCompression,
                     nodes: pc_nodes,
-                    dur: DurKind::Fixed(
-                        task_time_cap(
-                            m,
-                            &w,
-                            TaskId::PulseCompression,
-                            cap(TaskId::PulseCompression),
-                            tail_pred_nodes,
-                            cf_nodes,
-                        )
-                        .total(),
-                    ),
+                    dur: DurKind::Fixed(cpc.total()),
+                    phases: PhaseBreakdown::from_costs(cpc),
                     spatial_preds: vec![ebf_idx, hbf_idx],
                     temporal_preds: vec![],
                 });
+                let ccf = task_time_cap(m, &w, TaskId::Cfar, cap(TaskId::Cfar), pc_nodes, 1);
                 tasks.push(SimTask {
                     label: TaskId::Cfar.label().into(),
                     id: TaskId::Cfar,
                     nodes: cf_nodes,
-                    dur: DurKind::Fixed(
-                        task_time_cap(m, &w, TaskId::Cfar, cap(TaskId::Cfar), pc_nodes, 1).total(),
-                    ),
+                    dur: DurKind::Fixed(ccf.total()),
+                    phases: PhaseBreakdown::from_costs(ccf),
                     spatial_preds: vec![pc_idx],
                     temporal_preds: vec![],
                 });
             }
             TailStructure::Combined => {
+                let ctail = combined_task_time_cap(
+                    m,
+                    &w,
+                    TaskId::PulseCompression,
+                    TaskId::Cfar,
+                    cap(TaskId::PulseCompression).merge(cap(TaskId::Cfar)),
+                    tail_pred_nodes,
+                    1,
+                );
                 tasks.push(SimTask {
                     label: "PC + CFAR".into(),
                     id: TaskId::PulseCompression,
                     nodes: pc_nodes + cf_nodes,
-                    dur: DurKind::Fixed(
-                        combined_task_time_cap(
-                            m,
-                            &w,
-                            TaskId::PulseCompression,
-                            TaskId::Cfar,
-                            cap(TaskId::PulseCompression).merge(cap(TaskId::Cfar)),
-                            tail_pred_nodes,
-                            1,
-                        )
-                        .total(),
-                    ),
+                    dur: DurKind::Fixed(ctail.total()),
+                    phases: PhaseBreakdown::from_costs(ctail),
                     spatial_preds: vec![ebf_idx, hbf_idx],
                     temporal_preds: vec![],
                 });
@@ -726,12 +766,14 @@ impl DesExperiment {
                 id: t.id,
                 nodes: t.nodes,
                 time: d.mean(),
+                phases: t.phases,
             })
             .collect();
         // Fault accounting: dropped CPIs, retries charged, and the
         // delivered (surviving) steady-state throughput.
-        let dropped: Vec<u64> =
-            (0..self.cpis).filter(|&j| st.faults.get(j as usize).is_some_and(|f| f.dropped)).collect();
+        let dropped: Vec<u64> = (0..self.cpis)
+            .filter(|&j| st.faults.get(j as usize).is_some_and(|f| f.dropped))
+            .collect();
         let retries: u64 = st.faults.iter().map(|f| f.retries).sum();
         let steady = self.cpis.saturating_sub(self.warmup);
         let dropped_steady = dropped.iter().filter(|&&j| j >= self.warmup).count() as u64;
@@ -783,12 +825,128 @@ pub fn render_gantt(result: &DesResult, trace: &[TraceEntry], max_time: f64) -> 
     s
 }
 
+/// Converts a traced virtual-time run into the same span format the real
+/// pipeline's tracer emits: each task instance's interval is split into
+/// Read → Recv → Compute → Send spans in pipeline order, proportionally to
+/// the task's predicted [`PhaseBreakdown`]. A task with an all-zero
+/// breakdown yields a single Compute span covering the whole interval.
+///
+/// The spans feed the same exporters as measured runs, so a DES prediction
+/// can be opened in the Chrome trace viewer or tabulated next to a real
+/// trace (`node` is always 0: the simulator models each task's node group
+/// as one lane).
+pub fn des_spans(result: &DesResult, trace: &[TraceEntry]) -> Vec<Span> {
+    const ORDER: [Phase; 4] = [Phase::Read, Phase::Recv, Phase::Compute, Phase::Send];
+    let mut spans = Vec::with_capacity(trace.len() * 2);
+    for e in trace {
+        let Some(row) = result.tasks.get(e.task) else { continue };
+        let b = row.phases;
+        let weights = [b.read, b.recv, b.compute, b.send];
+        let total: f64 = weights.iter().sum();
+        let len = e.end - e.start;
+        if total <= 0.0 || len <= 0.0 {
+            spans.push(Span {
+                stage: e.task,
+                node: 0,
+                cpi: e.cpi,
+                attempt: 0,
+                phase: Phase::Compute,
+                start: e.start,
+                end: e.end,
+            });
+            continue;
+        }
+        let mut cursor = e.start;
+        for (k, (&phase, &wgt)) in ORDER.iter().zip(&weights).enumerate() {
+            if wgt <= 0.0 {
+                continue;
+            }
+            // The last non-empty phase absorbs rounding so spans tile the
+            // instance interval exactly.
+            let end = if weights[k + 1..].iter().all(|&w| w <= 0.0) {
+                e.end
+            } else {
+                cursor + len * wgt / total
+            };
+            spans.push(Span {
+                stage: e.task,
+                node: 0,
+                cpi: e.cpi,
+                attempt: 0,
+                phase,
+                start: cursor,
+                end,
+            });
+            cursor = end;
+        }
+    }
+    spans
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn cell(machine: MachineModel, io: IoStrategy, tail: TailStructure, nodes: usize) -> DesResult {
         DesExperiment::new(machine, io, tail, nodes).run()
+    }
+
+    #[test]
+    fn phase_breakdowns_attribute_read_to_the_read_bearing_task() {
+        let sep = DesExperiment::new(
+            MachineModel::paragon(64),
+            IoStrategy::SeparateTask,
+            TailStructure::Split,
+            50,
+        );
+        let r = sep.run();
+        assert!(r.tasks[0].phases.read > 0.0, "separate read task carries the read phase");
+        for row in &r.tasks[1..] {
+            assert_eq!(row.phases.read, 0.0, "{} must not carry a read phase", row.label);
+            // Fixed tasks: the predicted split tiles T_i exactly.
+            assert!(
+                (row.phases.total() - row.time).abs() < 1e-9 * row.time.max(1.0),
+                "{}: {} != {}",
+                row.label,
+                row.phases.total(),
+                row.time
+            );
+        }
+        let emb = DesExperiment::new(
+            MachineModel::paragon(64),
+            IoStrategy::Embedded,
+            TailStructure::Split,
+            50,
+        );
+        let r = emb.run();
+        assert!(r.tasks[0].phases.read > 0.0, "embedded design charges the read to Doppler");
+    }
+
+    #[test]
+    fn des_spans_tile_every_traced_instance() {
+        let exp = DesExperiment::new(
+            MachineModel::paragon(16),
+            IoStrategy::SeparateTask,
+            TailStructure::Combined,
+            25,
+        );
+        let (result, trace) = exp.run_traced();
+        let spans = des_spans(&result, &trace);
+        assert!(!spans.is_empty());
+        for e in &trace {
+            let mine: Vec<&Span> =
+                spans.iter().filter(|s| s.stage == e.task && s.cpi == e.cpi).collect();
+            assert!(!mine.is_empty(), "task {} cpi {} has no spans", e.task, e.cpi);
+            // Spans appear in pipeline phase order and tile [start, end].
+            assert_eq!(mine[0].start, e.start);
+            assert_eq!(mine.last().expect("nonempty").end, e.end);
+            for pair in mine.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start);
+                assert!(pair[0].phase.index() < pair[1].phase.index());
+            }
+        }
+        // The read task's spans include a Read phase.
+        assert!(spans.iter().any(|s| s.stage == 0 && s.phase == Phase::Read));
     }
 
     #[test]

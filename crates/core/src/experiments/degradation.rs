@@ -83,10 +83,8 @@ fn real_fraction(io: IoStrategy, rate: f64, cpis: u64, seed: u64) -> f64 {
             });
         }
         cfg.fault_plan = Some(plan);
-        cfg.failure_policy = FailurePolicy::SkipCpi {
-            retry: RetryPolicy::none(),
-            max_consecutive: cpis as u32,
-        };
+        cfg.failure_policy =
+            FailurePolicy::SkipCpi { retry: RetryPolicy::none(), max_consecutive: cpis as u32 };
     }
     let out = StapSystem::prepare(cfg).expect("prepare").run().expect("degraded run");
     let steady = cpis - out.warmup;

@@ -164,6 +164,50 @@ fn truncate(s: &str, n: usize) -> &str {
     }
 }
 
+/// Renders the `phases` section of a machine-readable run report (see
+/// `StapRunOutput::run_report_json`) back into the paper-style per-stage
+/// phase table, so archived reports can be summarized without re-running.
+pub fn render_phase_report(report_json: &str) -> Result<String, String> {
+    let root = stap_trace::json::parse(report_json)?;
+    let rows = root
+        .get("phases")
+        .and_then(|p| p.as_array())
+        .ok_or_else(|| "report has no `phases` array".to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<16}{:>7}  {:<8}{:>8}{:>12}{:>12}",
+        "task", "nodes", "phase", "count", "sum(s)", "mean(s)"
+    );
+    for row in rows {
+        let str_of = |k: &str| {
+            row.get(k)
+                .and_then(|v| v.as_str())
+                .map(str::to_string)
+                .ok_or_else(|| format!("phases row is missing string field `{k}`"))
+        };
+        let num_of = |k: &str| {
+            row.get(k)
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("phases row is missing numeric field `{k}`"))
+        };
+        let (task, phase) = (str_of("task")?, str_of("phase")?);
+        let (nodes, count, sum) = (num_of("nodes")?, num_of("count")?, num_of("sum")?);
+        let mean = if count > 0.0 { sum / count } else { 0.0 };
+        let _ = writeln!(
+            out,
+            "{:<16}{:>7}  {:<8}{:>8}{:>12.6}{:>12.6}",
+            truncate(&task, 15),
+            nodes as u64,
+            phase,
+            count as u64,
+            sum,
+            mean
+        );
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,6 +223,7 @@ mod tests {
                 id: TaskId::Doppler,
                 nodes: 10,
                 time: 1.0 / tput,
+                phases: Default::default(),
             }],
             throughput: tput,
             latency: lat,
@@ -243,5 +288,25 @@ mod tests {
         assert_eq!(bar(10.0, 5.0, 4), "####");
         assert_eq!(bar(1.0, 0.0, 4), "");
         assert_eq!(bar(0.0, 5.0, 4), "");
+    }
+
+    #[test]
+    fn phase_report_renders_run_report_json() {
+        let report = r#"{
+            "phases": [
+                {"stage": 0, "task": "Doppler filter", "nodes": 2, "phase": "read",
+                 "count": 4, "sum": 0.008, "min": 0.001, "max": 0.003,
+                 "p50": 0.002, "p99": 0.003},
+                {"stage": 0, "task": "Doppler filter", "nodes": 2, "phase": "compute",
+                 "count": 4, "sum": 0.040, "min": 0.009, "max": 0.011,
+                 "p50": 0.010, "p99": 0.011}
+            ]
+        }"#;
+        let table = render_phase_report(report).expect("valid report");
+        assert!(table.contains("Doppler filter"));
+        assert!(table.contains("read"));
+        assert!(table.contains("0.010000"), "mean column missing: {table}");
+        assert!(render_phase_report("{}").is_err());
+        assert!(render_phase_report("not json").is_err());
     }
 }

@@ -2,7 +2,7 @@
 //! beamforming, in easy and hard variants.
 
 use crate::messages::{assemble_bins, BinSlab, Gap, Payload, RowBatch};
-use crate::stages::{port, StapPlan};
+use crate::stages::{broadcast_gap, port, StapPlan};
 use stap_kernels::beamform::BeamCube;
 use stap_kernels::covariance::TrainingConfig;
 use stap_kernels::weights::{WeightComputer, WeightSet};
@@ -173,7 +173,10 @@ impl Stage for BeamformStage {
         }
         // Previous CPI's weights (cold start: uniform). The weight task
         // publishes a real set even for a dropped CPI, so this receive is
-        // unconditional — a gap never leaves it dangling.
+        // unconditional — a gap never leaves it dangling. Timed as its own
+        // phase: this wait is the pipeline's only cross-CPI dependency and
+        // the paper's argument for the temporal edge design.
+        ctx.phase(Phase::WeightWait);
         let weights_full = if ctx.cpi == 0 {
             self.computer.uniform(
                 staggers * channels,
@@ -199,12 +202,8 @@ impl Stage for BeamformStage {
         // this stage would have fed, skipping the compute entirely.
         if let Some(g) = gap {
             ctx.phase(Phase::Send);
-            let pc = roles.pulse;
-            let pc_nodes = ctx.topology.stage(pc).nodes;
             let row_port = if self.hard { port::HARD_ROWS } else { port::EASY_ROWS };
-            for n in 0..pc_nodes {
-                ctx.send_to(pc, n, row_port, Payload::<RowBatch>::Gap(g.clone()))?;
-            }
+            broadcast_gap::<RowBatch>(ctx, roles.pulse, row_port, &g)?;
             return Ok(());
         }
 

@@ -8,7 +8,7 @@
 //! of an abort.
 
 use crate::messages::{BinSlab, Gap, Payload, RawSlab};
-use crate::stages::{port, StapPlan};
+use crate::stages::{broadcast_gap, port, StapPlan};
 use stap_kernels::cube::{CubeDims, DataCube};
 use stap_kernels::doppler::{DopplerConfig, DopplerFilter};
 use stap_pfs::async_io::ReadHandle;
@@ -36,9 +36,14 @@ enum ReadOutcome {
 /// Reads `len` bytes at `off` of the slot file for the current CPI under
 /// the configured failure policy. A posted asynchronous read may be handed
 /// in as the first attempt; retries always re-read synchronously.
+///
+/// Owns the timing of the read path: every attempt gets its own
+/// attempt-keyed `Read` span (attempt 0 covers the ordinary read or the
+/// iread wait) and every retry pause a `Backoff` span, so recovered time
+/// shows up in the trace instead of being inferred.
 fn read_with_policy(
     plan: &StapPlan,
-    ctx: &StageCtx<'_>,
+    ctx: &mut StageCtx<'_>,
     label: &str,
     pending: Option<ReadHandle>,
     slot: usize,
@@ -48,6 +53,7 @@ fn read_with_policy(
     let policy = plan.config.failure_policy;
     let retry = policy.retry();
     let file = &plan.files[slot];
+    ctx.phase_attempt(Phase::Read, 0);
     let mut last = match pending {
         Some(h) => h.wait(),
         None => file.read_at_cpi(ctx.cpi, off, len),
@@ -64,9 +70,11 @@ fn read_with_policy(
                     plan.stats.count_retry();
                     let pause = retry.backoff_for(attempt);
                     if !pause.is_zero() {
+                        ctx.phase(Phase::Backoff);
                         std::thread::sleep(pause);
                     }
                     attempt += 1;
+                    ctx.phase_attempt(Phase::Read, attempt);
                     last = file.read_at_cpi(ctx.cpi, off, len);
                 } else if policy.skips() {
                     return Ok(ReadOutcome::Dropped(format!("{label}: {e}")));
@@ -86,9 +94,7 @@ fn check_consecutive(
 ) -> Result<(), PipelineError> {
     if let Some(max) = plan.config.failure_policy.max_consecutive() {
         if consecutive > max {
-            return Err(ctx.fail(format!(
-                "{consecutive} consecutive CPIs dropped (budget {max})"
-            )));
+            return Err(ctx.fail(format!("{consecutive} consecutive CPIs dropped (budget {max})")));
         }
     }
     Ok(())
@@ -121,7 +127,6 @@ impl Stage for ReadStage {
         let (r0, r1) = block_range(dims.ranges, self.nodes, self.local);
         let slot = (ctx.cpi % self.plan.config.fanout as u64) as usize;
 
-        ctx.phase(Phase::Read);
         let (off, len) = slab_extent(dims, r0, r1);
         let outcome = read_with_policy(&self.plan, ctx, "read", None, slot, off, len)?;
 
@@ -295,7 +300,7 @@ impl Stage for DopplerStage {
             ctx.phase(Phase::Recv);
             self.acquire_slab_separate(ctx)?
         } else {
-            ctx.phase(Phase::Read);
+            // `read_with_policy` opens the attempt-keyed Read spans itself.
             self.acquire_slab_embedded(ctx)?
         };
 
@@ -321,10 +326,7 @@ impl Stage for DopplerStage {
                 }
                 ctx.phase(Phase::Send);
                 for (stage, _is_hard, p) in sends {
-                    let nodes = ctx.topology.stage(stage).nodes;
-                    for n in 0..nodes {
-                        ctx.send_to(stage, n, p, Payload::<BinSlab>::Gap(g.clone()))?;
-                    }
+                    broadcast_gap::<BinSlab>(ctx, stage, p, &g)?;
                 }
                 return Ok(());
             }

@@ -10,12 +10,14 @@ pub mod tail;
 
 use crate::config::StapConfig;
 use crate::io_strategy::{IoStrategy, TailStructure};
-use crate::messages::Gap;
+use crate::messages::{Gap, Payload};
 use parking_lot::Mutex;
 use stap_kernels::doppler::BinClass;
 use stap_pfs::FileHandle;
 use stap_pipeline::schedule::round_robin_items;
+use stap_pipeline::stage::StageCtx;
 use stap_pipeline::topology::StageId;
+use stap_pipeline::PipelineError;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Ports (logical message streams). See `messages` for the payload types.
@@ -63,6 +65,24 @@ pub struct Roles {
     pub pulse: StageId,
     /// CFAR task (None when combined into `pulse`).
     pub cfar: Option<StageId>,
+}
+
+/// Forwards a gap bubble to every node of `stage` on `port`.
+///
+/// The single implementation of the gap fan-out that used to be repeated
+/// ad hoc by the front, adaptive, and tail stages; `T` names the payload
+/// type the receiver expects in the non-gap case.
+pub(crate) fn broadcast_gap<T: Send + 'static>(
+    ctx: &mut StageCtx<'_>,
+    stage: StageId,
+    port: u8,
+    gap: &Gap,
+) -> Result<(), PipelineError> {
+    let nodes = ctx.topology.stage(stage).nodes;
+    for n in 0..nodes {
+        ctx.send_to(stage, n, port, Payload::<T>::Gap(gap.clone()))?;
+    }
+    Ok(())
 }
 
 /// Run-wide fault accounting, shared by every stage through the plan.

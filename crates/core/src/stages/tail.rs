@@ -2,7 +2,7 @@
 //! combined task of the paper's §6 latency optimization.
 
 use crate::messages::{Gap, Payload, RowBatch};
-use crate::stages::{port, StapPlan};
+use crate::stages::{broadcast_gap, port, StapPlan};
 use parking_lot::Mutex;
 use stap_kernels::cfar::{cfar_row, Detection};
 use stap_kernels::pulse::PulseCompressor;
@@ -98,8 +98,7 @@ fn publish_report(
         if plan.config.record_reports {
             let fs = plan.files[0].fs();
             let f = fs.gopen(&format!("report_{}.dat", ctx.cpi), stap_pfs::OpenMode::Async);
-            f.write_at(0, &mine.to_bytes())
-                .map_err(|e| ctx.fail(format!("report write: {e}")))?;
+            f.write_at(0, &mine.to_bytes()).map_err(|e| ctx.fail(format!("report write: {e}")))?;
         }
         sink.lock().push(mine);
     } else {
@@ -141,9 +140,7 @@ impl Stage for PulseStage {
             Payload::Data(batch) => batch,
             Payload::Gap(g) => {
                 ctx.phase(Phase::Send);
-                for n in 0..cfar_nodes {
-                    ctx.send_to(cfar, n, port::PC_ROWS, Payload::<RowBatch>::Gap(g.clone()))?;
-                }
+                broadcast_gap::<RowBatch>(ctx, cfar, port::PC_ROWS, &g)?;
                 return Ok(());
             }
         };
@@ -237,14 +234,7 @@ impl Stage for CombinedTailStage {
             Payload::Data(batch) => batch,
             Payload::Gap(g) => {
                 ctx.phase(Phase::Send);
-                return publish_report(
-                    ctx,
-                    &self.plan,
-                    self.nodes,
-                    self.local,
-                    Err(g),
-                    &self.sink,
-                );
+                return publish_report(ctx, &self.plan, self.nodes, self.local, Err(g), &self.sink);
             }
         };
 

@@ -16,11 +16,11 @@ use crate::stages::{FaultStats, Roles, StapPlan};
 use parking_lot::Mutex;
 use stap_kernels::report::DetectionReport;
 use stap_model::workload::{ShapeParams, StapWorkload, TaskId};
-use stap_pfs::{OpenMode, Pfs};
+use stap_pfs::{IoCounters, OpenMode, Pfs};
 use stap_pipeline::runner::{Pipeline, StageFactory};
 use stap_pipeline::timing::PipelineReport;
 use stap_pipeline::topology::{StageId, Topology};
-use stap_pipeline::{PipelineError, WatchdogSpec};
+use stap_pipeline::{ClockSpec, PipelineError, WatchdogSpec};
 use stap_radar::CubeGenerator;
 use std::sync::Arc;
 use std::time::Duration;
@@ -45,6 +45,8 @@ pub struct StapRunOutput {
     pub cpis: u64,
     /// Leading CPIs excluded from steady-state metrics.
     pub warmup: u64,
+    /// File-system operation counters accumulated over the run.
+    pub io: IoCounters,
 }
 
 impl StapRunOutput {
@@ -61,14 +63,49 @@ impl StapRunOutput {
         if steady == 0 {
             return 0.0;
         }
-        let dropped = (self.dropped.iter().filter(|g| g.cpi >= self.warmup).count() as u64)
-            .min(steady);
+        let dropped =
+            (self.dropped.iter().filter(|g| g.cpi >= self.warmup).count() as u64).min(steady);
         self.throughput() * (steady - dropped) as f64 / steady as f64
     }
 
     /// Measured mean end-to-end latency (seconds).
     pub fn latency(&self) -> f64 {
         self.timing.latency(self.source, self.sink)
+    }
+
+    /// The machine-readable run report: headline metrics, file-system
+    /// operation counters, and the full per-stage phase statistics (the
+    /// same registry the `--trace text` table prints), as one JSON object.
+    pub fn run_report_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"cpis\": {},\n  \"warmup\": {},\n", self.cpis, self.warmup));
+        s.push_str(&format!(
+            "  \"metrics\": {{\"throughput\": {:.9}, \"delivered_throughput\": {:.9}, \
+             \"latency\": {:.9}, \"retries\": {}, \"dropped\": {}}},\n",
+            self.throughput(),
+            self.delivered_throughput(),
+            self.latency(),
+            self.retries,
+            self.dropped.len()
+        ));
+        let io = &self.io;
+        s.push_str(&format!(
+            "  \"io\": {{\"sync_reads\": {}, \"cpi_reads\": {}, \"async_posts\": {}, \
+             \"async_done\": {}, \"writes\": {}, \"bytes_read\": {}, \"bytes_written\": {}, \
+             \"injected_failures\": {}}},\n",
+            io.sync_reads,
+            io.cpi_reads,
+            io.async_posts,
+            io.async_done,
+            io.writes,
+            io.bytes_read,
+            io.bytes_written,
+            io.injected_failures
+        ));
+        s.push_str("  \"phases\": ");
+        s.push_str(&self.timing.registry().to_json());
+        s.push_str("\n}\n");
+        s
     }
 }
 
@@ -267,9 +304,8 @@ impl StapSystem {
         let w = StapWorkload::derive(shape);
         let io_secs = cfg.dims.bytes() as f64 / IO_BYTES_PER_SEC;
         let n = cfg.nodes;
-        let sec = |flops: f64, nodes: usize, io: f64| {
-            (flops / FLOPS_PER_SEC + io) / nodes.max(1) as f64
-        };
+        let sec =
+            |flops: f64, nodes: usize, io: f64| (flops / FLOPS_PER_SEC + io) / nodes.max(1) as f64;
         let mut times: Vec<f64> = Vec::new();
         if self.plan.separate_io() {
             times.push(sec(0.0, n.read, io_secs));
@@ -298,20 +334,26 @@ impl StapSystem {
         WatchdogSpec { deadlines }
     }
 
-    /// Runs the configured number of CPIs and collects outputs.
+    /// Runs the configured number of CPIs and collects outputs, timing
+    /// phases against the wall clock.
     pub fn run(&self) -> Result<StapRunOutput, PipelineError> {
+        self.run_with_clock(ClockSpec::Wall)
+    }
+
+    /// [`Self::run`] with an explicit trace clock: pass a virtual clock for
+    /// bit-reproducible trace output (timestamps count clock observations,
+    /// not elapsed seconds).
+    pub fn run_with_clock(&self, clocks: ClockSpec) -> Result<StapRunOutput, PipelineError> {
         self.reports.lock().clear();
         self.plan.stats.reset();
         // Replay the fault schedule identically on every run of this
-        // system: attempt counters restart from zero.
+        // system: attempt counters restart from zero, and the I/O
+        // counters cover exactly this run.
         self.fs.reset_fault_attempts();
+        self.fs.reset_io_counters();
         let cfg = &self.plan.config;
-        let timing = match cfg.watchdog {
-            Some(policy) => {
-                self.pipeline.run_with_watchdog(cfg.cpis, cfg.warmup, &self.watchdog_spec(policy))?
-            }
-            None => self.pipeline.run(cfg.cpis, cfg.warmup)?,
-        };
+        let spec = cfg.watchdog.map(|policy| self.watchdog_spec(policy));
+        let timing = self.pipeline.run_configured(cfg.cpis, cfg.warmup, spec.as_ref(), clocks)?;
         let mut reports = std::mem::take(&mut *self.reports.lock());
         reports.sort_by_key(|r| r.cpi);
         Ok(StapRunOutput {
@@ -323,6 +365,7 @@ impl StapSystem {
             retries: self.plan.stats.retries(),
             cpis: cfg.cpis,
             warmup: cfg.warmup,
+            io: self.fs.io_counters(),
         })
     }
 }
@@ -345,6 +388,24 @@ mod tests {
         // Data really striped across servers.
         let counts = sys.fs().server_unit_counts();
         assert!(counts.iter().filter(|&&c| c > 0).count() > 1);
+    }
+
+    #[test]
+    fn run_report_json_carries_metrics_io_and_phases() {
+        let sys = StapSystem::prepare(tiny_config()).unwrap();
+        let out = sys.run_with_clock(ClockSpec::virtual_default()).unwrap();
+        assert!(out.io.total_reads() > 0, "the run must issue file-system reads");
+        assert!(out.io.bytes_read > 0);
+        let report = out.run_report_json();
+        let json = stap_trace::json::parse(&report).expect("report parses as JSON");
+        assert_eq!(json.get("cpis").and_then(|v| v.as_f64()), Some(3.0));
+        let metrics = json.get("metrics").expect("metrics section");
+        assert!(metrics.get("throughput").and_then(|v| v.as_f64()).expect("tput") > 0.0);
+        let io = json.get("io").expect("io section");
+        assert!(io.get("bytes_read").and_then(|v| v.as_f64()).expect("bytes") > 0.0);
+        let phases = json.get("phases").and_then(|v| v.as_array()).expect("phases section");
+        assert!(!phases.is_empty(), "phase registry embedded");
+        assert!(phases.iter().any(|e| e.get("phase").and_then(|p| p.as_str()) == Some("read")));
     }
 
     #[test]

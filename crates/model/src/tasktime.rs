@@ -7,21 +7,31 @@
 use crate::machines::MachineModel;
 use crate::workload::{StapWorkload, TaskId};
 
-/// The three cost components of one task instance.
+/// The cost components of one task instance. Receive and send halves of
+/// Eq. 6's communication term `C_i` are kept separate so phase-level
+/// consumers (the DES trace, the observability layer) can attribute them;
+/// [`TaskCosts::comm`] recovers the merged `C_i`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TaskCosts {
     /// Compute seconds `W_i / (P_i · rate)`.
     pub compute: f64,
-    /// Communication seconds `C_i` (receive + send, per Eq. 6's `C`).
-    pub comm: f64,
+    /// Receive-side communication seconds.
+    pub recv: f64,
+    /// Send-side communication seconds.
+    pub send: f64,
     /// Parallelization overhead seconds `V_i`.
     pub overhead: f64,
 }
 
 impl TaskCosts {
+    /// Communication seconds `C_i` (receive + send, per Eq. 6's `C`).
+    pub fn comm(&self) -> f64 {
+        self.recv + self.send
+    }
+
     /// Total task execution time `T_i`.
     pub fn total(&self) -> f64 {
-        self.compute + self.comm + self.overhead
+        self.compute + self.recv + self.send + self.overhead
     }
 }
 
@@ -105,7 +115,7 @@ pub fn task_time_cap(
     let compute = m.compute_time_cap(w.flops(task), cap.compute);
     let recv = comm_time_cap(m, w.input_bytes(task), cap.net, pred_nodes);
     let send = comm_time_cap(m, w.output_bytes(task), cap.net, succ_nodes);
-    TaskCosts { compute, comm: recv + send, overhead: m.overhead(cap.nodes) }
+    TaskCosts { compute, recv, send, overhead: m.overhead(cap.nodes) }
 }
 
 #[allow(clippy::too_many_arguments)] // mirrors Eq. 7's full parameter list
@@ -150,7 +160,7 @@ pub fn combined_task_time_cap(
     // output; the first→second transfer is now node-local.
     let recv = comm_time_cap(m, w.input_bytes(first), cap.net, pred_nodes);
     let send = comm_time_cap(m, w.output_bytes(second), cap.net, succ_nodes);
-    TaskCosts { compute, comm: recv + send, overhead: m.overhead(cap.nodes) }
+    TaskCosts { compute, recv, send, overhead: m.overhead(cap.nodes) }
 }
 
 #[cfg(test)]
@@ -196,7 +206,7 @@ mod tests {
         let t5 = task_time(&m, &w, TaskId::PulseCompression, 4, 8, 3);
         let t6 = task_time(&m, &w, TaskId::Cfar, 3, 4, 1);
         let t56 = combined_task_time(&m, &w, TaskId::PulseCompression, TaskId::Cfar, 4, 3, 8, 1);
-        assert!(t56.comm < t5.comm + t6.comm);
+        assert!(t56.comm() < t5.comm() + t6.comm());
     }
 
     #[test]
@@ -234,7 +244,7 @@ mod tests {
             4,
         );
         assert!((by_nodes.compute / fast.compute - 2.0).abs() < 1e-9);
-        assert_eq!(by_nodes.comm, fast.comm);
+        assert_eq!(by_nodes.comm(), fast.comm());
         assert_eq!(by_nodes.overhead, fast.overhead);
     }
 
@@ -247,7 +257,8 @@ mod tests {
 
     #[test]
     fn totals_add_components() {
-        let c = TaskCosts { compute: 1.0, comm: 0.5, overhead: 0.25 };
+        let c = TaskCosts { compute: 1.0, recv: 0.3, send: 0.2, overhead: 0.25 };
+        assert_eq!(c.comm(), 0.5);
         assert_eq!(c.total(), 1.75);
     }
 

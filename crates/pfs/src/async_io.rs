@@ -153,6 +153,7 @@ fn spawn_read_worker(
             Ok(r) => r,
             Err(payload) => Err(PfsError::WorkerFailed(panic_detail(payload.as_ref()))),
         };
+        handle.fs().stats().count_async_done();
         let _ = tx.send(result);
     });
     (rx, worker)
@@ -165,6 +166,7 @@ impl FileHandle {
         if !self.fs().config().supports_async {
             return Err(PfsError::AsyncUnsupported);
         }
+        self.fs().stats().count_async_post();
         let (rx, worker) = spawn_read_worker(self.clone(), None, offset, len);
         Ok(ReadHandle { rx, worker: Some(worker), offset, len })
     }
@@ -181,6 +183,7 @@ impl FileHandle {
         if !self.fs().config().supports_async {
             return Err(PfsError::AsyncUnsupported);
         }
+        self.fs().stats().count_async_post();
         let (rx, worker) = spawn_read_worker(self.clone(), Some(cpi), offset, len);
         Ok(ReadHandle { rx, worker: Some(worker), offset, len })
     }
@@ -192,6 +195,7 @@ impl FileHandle {
         if !self.fs().config().supports_async {
             return Err(PfsError::AsyncUnsupported);
         }
+        self.fs().stats().count_async_post();
         let (tx, rx) = mpsc::channel();
         let handle = self.clone();
         let len = data.len();
@@ -201,6 +205,7 @@ impl FileHandle {
                 Ok(r) => r,
                 Err(payload) => Err(PfsError::WorkerFailed(panic_detail(payload.as_ref()))),
             };
+            handle.fs().stats().count_async_done();
             let _ = tx.send(result);
         });
         Ok(WriteHandle { rx, worker: Some(worker), offset, len })
@@ -286,10 +291,10 @@ mod tests {
         let fs = async_fs();
         let f = fs.gopen("a", OpenMode::Async);
         f.write_at(0, &[3u8; 64]).unwrap();
-        fs.install_fault_plan(FaultPlan::new(5).with(Fault::FileUnavailable {
-            file: "a".into(),
-            window: FaultWindow::new(2, 3),
-        }));
+        fs.install_fault_plan(
+            FaultPlan::new(5)
+                .with(Fault::FileUnavailable { file: "a".into(), window: FaultWindow::new(2, 3) }),
+        );
         assert_eq!(f.read_at_cpi_async(1, 0, 8).unwrap().wait().unwrap(), vec![3u8; 8]);
         match f.read_at_cpi_async(2, 0, 8).unwrap().wait() {
             Err(PfsError::Injected { cpi: 2, .. }) => {}

@@ -57,6 +57,13 @@ pub struct FsConfig {
     pub unix_mode_penalty: Duration,
     /// Whether asynchronous reads/writes are available (`iread`-style).
     pub supports_async: bool,
+    /// Read-pacing scale. `0.0` (the default personalities) leaves reads
+    /// at memory speed; a positive value makes every read sleep
+    /// `pace_reads ×` its modeled service time (per-server FCFS over the
+    /// extent's stripe-unit requests, as in [`crate::ServerQueueSim`]), so
+    /// a wall-clock run exhibits the paper's stripe-factor-dependent read
+    /// cost.
+    pub pace_reads: f64,
 }
 
 impl FsConfig {
@@ -77,6 +84,7 @@ impl FsConfig {
             request_latency: Duration::from_millis(2),
             unix_mode_penalty: Duration::from_millis(3),
             supports_async: true,
+            pace_reads: 0.0,
         }
     }
 
@@ -96,7 +104,16 @@ impl FsConfig {
             request_latency: Duration::from_millis(5),
             unix_mode_penalty: Duration::from_millis(5),
             supports_async: false,
+            pace_reads: 0.0,
         }
+    }
+
+    /// The same file system with read pacing scaled by `scale` (`0.0`
+    /// disables pacing). See [`FsConfig::pace_reads`].
+    pub fn with_read_pacing(&self, scale: f64) -> Self {
+        let mut fs = self.clone();
+        fs.pace_reads = scale.max(0.0);
+        fs
     }
 
     /// Aggregate streaming bandwidth with all servers busy.

@@ -70,10 +70,7 @@ impl fmt::Display for PfsError {
             PfsError::Faulted(name) => write!(f, "injected read fault on file: {name}"),
             PfsError::WriteFaulted(name) => write!(f, "injected write fault on file: {name}"),
             PfsError::Injected { file, cpi, attempt, detail } => {
-                write!(
-                    f,
-                    "injected fault reading {file} (CPI {cpi}, attempt {attempt}): {detail}"
-                )
+                write!(f, "injected fault reading {file} (CPI {cpi}, attempt {attempt}): {detail}")
             }
         }
     }
@@ -110,13 +107,8 @@ mod tests {
         assert!(PfsError::Faulted("a".into()).is_transient());
         assert!(PfsError::WriteFaulted("a".into()).is_transient());
         assert!(PfsError::WorkerFailed("x".into()).is_transient());
-        assert!(PfsError::Injected {
-            file: "a".into(),
-            cpi: 0,
-            attempt: 0,
-            detail: String::new()
-        }
-        .is_transient());
+        assert!(PfsError::Injected { file: "a".into(), cpi: 0, attempt: 0, detail: String::new() }
+            .is_transient());
         assert!(!PfsError::NoSuchFile("a".into()).is_transient());
         assert!(!PfsError::OutOfBounds { offset: 0, len: 1, size: 0 }.is_transient());
         assert!(!PfsError::AsyncUnsupported.is_transient());

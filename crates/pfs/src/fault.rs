@@ -186,7 +186,8 @@ impl FaultPlan {
         if p >= 1.0 {
             return true;
         }
-        let key = mix(self.seed ^ fnv1a(file.as_bytes()) ^ cpi.rotate_left(17) ^ (attempt as u64) << 1);
+        let key =
+            mix(self.seed ^ fnv1a(file.as_bytes()) ^ cpi.rotate_left(17) ^ (attempt as u64) << 1);
         (key >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
     }
 
@@ -311,16 +312,14 @@ fn parse_fault(part: &str) -> Result<Fault, String> {
     match kind {
         "file" => Ok(Fault::FileUnavailable { file: rest.to_string(), window }),
         "server" => {
-            let idx =
-                rest.parse::<usize>().map_err(|_| format!("bad server index '{rest}'"))?;
+            let idx = rest.parse::<usize>().map_err(|_| format!("bad server index '{rest}'"))?;
             Ok(Fault::ServerUnavailable { server: idx, window })
         }
         "transient" => {
             let (file, k) = rest
                 .rsplit_once(':')
                 .ok_or_else(|| format!("transient fault '{part}' needs NAME:K"))?;
-            let fail_attempts =
-                k.parse::<u32>().map_err(|_| format!("bad attempt count '{k}'"))?;
+            let fail_attempts = k.parse::<u32>().map_err(|_| format!("bad attempt count '{k}'"))?;
             Ok(Fault::Transient { file: file.to_string(), fail_attempts, window })
         }
         "flaky" => {
@@ -338,15 +337,11 @@ fn parse_fault(part: &str) -> Result<Fault, String> {
                 .rsplit_once(':')
                 .ok_or_else(|| format!("slow fault '{part}' needs NAME:MS"))?;
             let ms = ms.parse::<u64>().map_err(|_| format!("bad delay '{ms}' (ms)"))?;
-            Ok(Fault::SlowRead {
-                file: file.to_string(),
-                delay: Duration::from_millis(ms),
-                window,
-            })
+            Ok(Fault::SlowRead { file: file.to_string(), delay: Duration::from_millis(ms), window })
         }
-        other => Err(format!(
-            "unknown fault kind '{other}' (expected file|server|transient|flaky|slow)"
-        )),
+        other => {
+            Err(format!("unknown fault kind '{other}' (expected file|server|transient|flaky|slow)"))
+        }
     }
 }
 

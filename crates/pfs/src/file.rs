@@ -5,6 +5,7 @@ use crate::config::{FsConfig, OpenMode};
 use crate::error::PfsError;
 use crate::fault::{FaultPlan, ReadDecision};
 use crate::layout::StripeLayout;
+use crate::stats::{IoCounters, IoStats};
 use crate::storage::{FileId, StripeServer};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -31,6 +32,8 @@ struct Inner {
     /// Per-(file, cpi, offset) attempt counters so retry outcomes are a
     /// deterministic function of the plan seed, not wall-clock timing.
     attempts: Mutex<HashMap<(FileId, u64, u64), u32>>,
+    /// Lock-free run-wide I/O counters.
+    stats: IoStats,
 }
 
 /// A striped parallel file system instance. Cheap to clone (shared).
@@ -64,6 +67,7 @@ impl Pfs {
                 next_id: AtomicU64::new(1),
                 fault_plan: RwLock::new(None),
                 attempts: Mutex::new(HashMap::new()),
+                stats: IoStats::default(),
             }),
         }
     }
@@ -198,6 +202,20 @@ impl Pfs {
     pub fn reset_fault_attempts(&self) {
         self.inner.attempts.lock().clear();
     }
+
+    /// Point-in-time values of the run-wide I/O counters.
+    pub fn io_counters(&self) -> IoCounters {
+        self.inner.stats.snapshot()
+    }
+
+    /// Zeroes the I/O counters (called at the start of a timed run).
+    pub fn reset_io_counters(&self) {
+        self.inner.stats.reset()
+    }
+
+    pub(crate) fn stats(&self) -> &IoStats {
+        &self.inner.stats
+    }
 }
 
 impl std::fmt::Debug for Pfs {
@@ -227,6 +245,7 @@ impl FileHandle {
         if self.meta.write_faulted.load(Ordering::SeqCst) {
             return Err(PfsError::WriteFaulted(self.name.clone()));
         }
+        self.fs.inner.stats.count_write(data.len());
         let inner = &self.fs.inner;
         for req in inner.layout.map_extent(offset, data.len()) {
             let start = (req.file_offset - offset) as usize;
@@ -247,6 +266,7 @@ impl FileHandle {
     /// Reading past EOF is an error (the pipeline's reads are always whole
     /// CPI cubes at known offsets).
     pub fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>, PfsError> {
+        self.fs.inner.stats.count_sync_read();
         if self.meta.faulted.load(Ordering::SeqCst) {
             return Err(PfsError::Faulted(self.name.clone()));
         }
@@ -260,6 +280,7 @@ impl FileHandle {
     /// delayed, or proceeds. Each call for the same `(file, cpi, offset)`
     /// advances the attempt counter, so a retry is attempt 1, 2, …
     pub fn read_at_cpi(&self, cpi: u64, offset: u64, len: usize) -> Result<Vec<u8>, PfsError> {
+        self.fs.inner.stats.count_cpi_read();
         if self.meta.faulted.load(Ordering::SeqCst) {
             return Err(PfsError::Faulted(self.name.clone()));
         }
@@ -278,6 +299,7 @@ impl FileHandle {
             };
             match plan.read_decision(&self.name, cpi, attempt, &servers) {
                 ReadDecision::Fail { detail } => {
+                    self.fs.inner.stats.count_injected_failure();
                     return Err(PfsError::Injected {
                         file: self.name.clone(),
                         cpi,
@@ -311,7 +333,35 @@ impl FileHandle {
                 &mut out[start..start + req.len],
             );
         }
+        inner.stats.count_bytes_read(len);
+        self.paced_sleep(offset, len);
         Ok(out)
+    }
+
+    /// Sleeps the modeled service time of this read scaled by
+    /// [`FsConfig::pace_reads`], so wall-clock runs exhibit the striping
+    /// cost the queueing model predicts. A no-op at the default scale 0.
+    fn paced_sleep(&self, offset: u64, len: usize) {
+        let cfg = &self.fs.inner.config;
+        if cfg.pace_reads <= 0.0 {
+            return;
+        }
+        let per_request = cfg.request_latency.as_secs_f64()
+            + match self.mode {
+                OpenMode::Unix => cfg.unix_mode_penalty.as_secs_f64(),
+                OpenMode::Async => 0.0,
+            };
+        // Per-server FCFS over this extent's stripe-unit requests: the
+        // read finishes when its busiest server drains.
+        let mut busy = vec![0.0f64; cfg.stripe_factor];
+        for req in self.fs.inner.layout.map_extent(offset, len) {
+            busy[req.server] += per_request + req.len as f64 / cfg.server_bandwidth;
+        }
+        let modeled = busy.into_iter().fold(0.0, f64::max);
+        let pause = std::time::Duration::from_secs_f64(modeled * cfg.pace_reads);
+        if !pause.is_zero() {
+            std::thread::sleep(pause);
+        }
     }
 
     /// The file system this handle belongs to.
@@ -447,10 +497,10 @@ mod tests {
         let fs = small_fs(2);
         let f = fs.gopen("a", OpenMode::Async);
         f.write_at(0, &[5u8; 32]).unwrap();
-        fs.install_fault_plan(FaultPlan::new(1).with(Fault::FileUnavailable {
-            file: "a".into(),
-            window: FaultWindow::new(2, 4),
-        }));
+        fs.install_fault_plan(
+            FaultPlan::new(1)
+                .with(Fault::FileUnavailable { file: "a".into(), window: FaultWindow::new(2, 4) }),
+        );
         assert!(f.read_at_cpi(1, 0, 8).is_ok());
         assert!(matches!(f.read_at_cpi(2, 0, 8), Err(PfsError::Injected { cpi: 2, .. })));
         assert!(matches!(f.read_at_cpi(3, 0, 8), Err(PfsError::Injected { cpi: 3, .. })));
@@ -488,15 +538,61 @@ mod tests {
         let fs = small_fs(4);
         let f = fs.gopen("a", OpenMode::Async);
         f.write_at(0, &[7u8; 64]).unwrap();
-        fs.install_fault_plan(FaultPlan::new(1).with(Fault::ServerUnavailable {
-            server: 3,
-            window: FaultWindow::always(),
-        }));
+        fs.install_fault_plan(
+            FaultPlan::new(1)
+                .with(Fault::ServerUnavailable { server: 3, window: FaultWindow::always() }),
+        );
         assert!(f.read_at_cpi(0, 0, 16).is_ok(), "extent on server 0 survives");
         assert!(
             matches!(f.read_at_cpi(0, 0, 64), Err(PfsError::Injected { .. })),
             "extent spanning server 3 fails"
         );
+    }
+
+    #[test]
+    fn io_counters_track_every_path() {
+        let fs = small_fs(2);
+        assert_eq!(fs.io_counters(), crate::stats::IoCounters::default());
+        let f = fs.gopen("a", OpenMode::Async);
+        f.write_at(0, &[1u8; 64]).unwrap();
+        f.read_at(0, 32).unwrap();
+        f.read_at_cpi(0, 0, 16).unwrap();
+        fs.install_fault_plan(
+            FaultPlan::new(1)
+                .with(Fault::FileUnavailable { file: "a".into(), window: FaultWindow::always() }),
+        );
+        assert!(f.read_at_cpi(1, 0, 16).is_err());
+        let snap = fs.io_counters();
+        assert_eq!((snap.writes, snap.bytes_written), (1, 64));
+        assert_eq!(snap.sync_reads, 1);
+        assert_eq!(snap.cpi_reads, 2, "failed attempts count as issued reads");
+        assert_eq!(snap.total_reads(), 3);
+        assert_eq!(snap.bytes_read, 48, "only successful reads move bytes");
+        assert_eq!(snap.injected_failures, 1);
+        fs.reset_io_counters();
+        assert_eq!(fs.io_counters(), crate::stats::IoCounters::default());
+    }
+
+    #[test]
+    fn read_pacing_slows_reads_by_the_modeled_time() {
+        // 1 stripe unit on 1 server: modeled time = latency + bytes/bw
+        // = 1 ms + 1 ms; at scale 1.0 a read must take at least ~2 ms.
+        let cfg = FsConfig {
+            name: "paced".into(),
+            stripe_unit: 1000,
+            stripe_factor: 1,
+            server_bandwidth: 1e6,
+            request_latency: std::time::Duration::from_millis(1),
+            unix_mode_penalty: std::time::Duration::from_millis(0),
+            supports_async: true,
+            pace_reads: 1.0,
+        };
+        let fs = Pfs::mount(cfg);
+        let f = fs.gopen("a", OpenMode::Async);
+        f.write_at(0, &[1u8; 1000]).unwrap();
+        let t0 = std::time::Instant::now();
+        f.read_at(0, 1000).unwrap();
+        assert!(t0.elapsed() >= std::time::Duration::from_micros(1800), "pacing did not sleep");
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod error;
 pub mod fault;
 pub mod file;
 pub mod layout;
+pub mod stats;
 pub mod storage;
 pub mod timing;
 
@@ -52,5 +53,6 @@ pub use error::PfsError;
 pub use fault::{Fault, FaultPlan, FaultWindow};
 pub use file::{FileHandle, Pfs};
 pub use layout::{StripeLayout, StripeRequest};
+pub use stats::{IoCounters, IoStats};
 pub use storage::ServerStats;
 pub use timing::ServerQueueSim;

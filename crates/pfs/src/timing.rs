@@ -126,6 +126,7 @@ mod tests {
             request_latency: Duration::from_millis(1),
             unix_mode_penalty: Duration::from_millis(2),
             supports_async: true,
+            pace_reads: 0.0,
         }
     }
 

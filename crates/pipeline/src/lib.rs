@@ -34,7 +34,8 @@ pub mod watchdog;
 
 pub use error::PipelineError;
 pub use runner::{Pipeline, StageFactory};
-pub use watchdog::WatchdogSpec;
 pub use stage::{Stage, StageCtx};
+pub use stap_trace::ClockSpec;
 pub use timing::{Phase, PipelineReport};
 pub use topology::{StageId, Topology};
+pub use watchdog::WatchdogSpec;

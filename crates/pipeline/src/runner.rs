@@ -3,11 +3,12 @@
 
 use crate::error::PipelineError;
 use crate::stage::{Stage, StageCtx};
-use crate::timing::{PhaseClock, PipelineReport};
+use crate::timing::{PipelineReport, StageTracer};
 use crate::topology::Topology;
 use crate::watchdog::{monitor, Expiry, Heartbeats, WatchdogSpec};
 use parking_lot::Mutex;
 use stap_comm::CommWorld;
+use stap_trace::ClockSpec;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
@@ -43,7 +44,7 @@ impl Pipeline {
     /// the measured report (with `warmup` leading CPIs excluded from the
     /// steady-state metrics).
     pub fn run(&self, cpis: u64, warmup: u64) -> Result<PipelineReport, PipelineError> {
-        self.run_inner(cpis, warmup, None)
+        self.run_inner(cpis, warmup, None, ClockSpec::Wall)
     }
 
     /// Like [`Self::run`], but with per-stage watchdog deadlines: a stage
@@ -55,12 +56,28 @@ impl Pipeline {
         warmup: u64,
         spec: &WatchdogSpec,
     ) -> Result<PipelineReport, PipelineError> {
-        assert_eq!(
-            spec.deadlines.len(),
-            self.topology.stage_count(),
-            "one watchdog deadline per stage required"
-        );
-        self.run_inner(cpis, warmup, Some(spec))
+        self.run_configured(cpis, warmup, Some(spec), ClockSpec::Wall)
+    }
+
+    /// Fully configured run: optional watchdog plus an explicit
+    /// [`ClockSpec`]. Under `ClockSpec::Virtual` every node traces against
+    /// its own deterministic clock, making the report's records and spans
+    /// bit-reproducible (the golden-trace tests run this way).
+    pub fn run_configured(
+        &self,
+        cpis: u64,
+        warmup: u64,
+        watchdog: Option<&WatchdogSpec>,
+        clocks: ClockSpec,
+    ) -> Result<PipelineReport, PipelineError> {
+        if let Some(spec) = watchdog {
+            assert_eq!(
+                spec.deadlines.len(),
+                self.topology.stage_count(),
+                "one watchdog deadline per stage required"
+            );
+        }
+        self.run_inner(cpis, warmup, watchdog, clocks)
     }
 
     fn run_inner(
@@ -68,6 +85,7 @@ impl Pipeline {
         cpis: u64,
         warmup: u64,
         watchdog: Option<&WatchdogSpec>,
+        clocks: ClockSpec,
     ) -> Result<PipelineReport, PipelineError> {
         self.topology.validate()?;
         assert!(cpis > warmup, "need more CPIs ({cpis}) than warmup ({warmup})");
@@ -88,84 +106,83 @@ impl Pipeline {
             .collect();
         let abort_handle = endpoints[0].abort_handle();
 
-        let results: Vec<Result<Vec<crate::timing::CpiRecord>, PipelineError>> =
-            std::thread::scope(|scope| {
-                let monitor_handle = watchdog.map(|spec| {
-                    let beats = &beats;
-                    let stage_of = &stage_of;
-                    let abort = &abort_handle;
-                    let stop = &monitor_stop;
-                    let expiry = &expiry;
-                    scope.spawn(move || monitor(spec, beats, stage_of, abort, stop, expiry))
-                });
-
-                let handles: Vec<_> = endpoints
-                    .into_iter()
-                    .map(|mut ep| {
-                        let beats = &beats;
-                        scope.spawn(move || {
-                            let rank = ep.rank();
-                            let (stage, local) =
-                                topology.locate(rank).expect("every rank belongs to a stage");
-                            let mut behavior = factories[stage.0](local);
-                            let mut clock = PhaseClock::new(epoch);
-                            let mut outcome = Ok(());
-                            for cpi in 0..cpis {
-                                beats.beat(rank);
-                                clock.start_cpi(cpi);
-                                let mut ctx = StageCtx {
-                                    ep: &mut ep,
-                                    topology,
-                                    stage,
-                                    local,
-                                    cpi,
-                                    clock: &mut clock,
-                                };
-                                outcome = behavior.run_cpi(&mut ctx);
-                                clock.end_cpi();
-                                if outcome.is_err() {
-                                    break;
-                                }
-                            }
-                            // The watchdog stops tracking this rank whether
-                            // it finished or failed — either way it is no
-                            // longer "hung".
-                            beats.mark_done(rank);
-                            // A failing node raises the world abort flag so
-                            // peers blocked in receives unblock with
-                            // `Aborted` instead of hanging forever.
-                            if outcome.is_err() {
-                                ep.trigger_abort();
-                            }
-                            // Drain barrier: no endpoint may drop until every
-                            // node has finished (or failed) its last
-                            // iteration, so trailing sends (e.g. the weight
-                            // tasks' final, never-consumed weight sets)
-                            // always find a live receiver. Skipped once the
-                            // world is aborting — everyone is exiting anyway.
-                            let barrier_outcome = if ep.aborted() {
-                                Err(stap_comm::CommError::Aborted.into())
-                            } else {
-                                let world = stap_comm::Group::contiguous(0, n);
-                                stap_comm::collective::barrier(&mut ep, &world, DRAIN_BARRIER_TAG)
-                                    .map_err(PipelineError::from)
-                            };
-                            outcome?;
-                            barrier_outcome?;
-                            Ok(clock.into_records())
-                        })
-                    })
-                    .collect();
-                let results = handles
-                    .into_iter()
-                    .map(|h| h.join().expect("rank thread panicked"))
-                    .collect();
-                monitor_stop.store(true, Ordering::Release);
-                if let Some(m) = monitor_handle {
-                    m.join().expect("watchdog monitor panicked");
-                }
-                results
+        type NodeTiming = (Vec<crate::timing::CpiRecord>, Vec<crate::timing::Span>);
+        let results: Vec<Result<NodeTiming, PipelineError>> = std::thread::scope(|scope| {
+            let monitor_handle = watchdog.map(|spec| {
+                let beats = &beats;
+                let stage_of = &stage_of;
+                let abort = &abort_handle;
+                let stop = &monitor_stop;
+                let expiry = &expiry;
+                scope.spawn(move || monitor(spec, beats, stage_of, abort, stop, expiry))
             });
+
+            let handles: Vec<_> = endpoints
+                .into_iter()
+                .map(|mut ep| {
+                    let beats = &beats;
+                    scope.spawn(move || {
+                        let rank = ep.rank();
+                        let (stage, local) =
+                            topology.locate(rank).expect("every rank belongs to a stage");
+                        let mut behavior = factories[stage.0](local);
+                        let mut clock =
+                            StageTracer::new(stage.0, local, clocks.clock(epoch), cpis as usize);
+                        let mut outcome = Ok(());
+                        for cpi in 0..cpis {
+                            beats.beat(rank);
+                            clock.start_cpi(cpi);
+                            let mut ctx = StageCtx {
+                                ep: &mut ep,
+                                topology,
+                                stage,
+                                local,
+                                cpi,
+                                clock: &mut clock,
+                            };
+                            outcome = behavior.run_cpi(&mut ctx);
+                            clock.end_cpi();
+                            if outcome.is_err() {
+                                break;
+                            }
+                        }
+                        // The watchdog stops tracking this rank whether
+                        // it finished or failed — either way it is no
+                        // longer "hung".
+                        beats.mark_done(rank);
+                        // A failing node raises the world abort flag so
+                        // peers blocked in receives unblock with
+                        // `Aborted` instead of hanging forever.
+                        if outcome.is_err() {
+                            ep.trigger_abort();
+                        }
+                        // Drain barrier: no endpoint may drop until every
+                        // node has finished (or failed) its last
+                        // iteration, so trailing sends (e.g. the weight
+                        // tasks' final, never-consumed weight sets)
+                        // always find a live receiver. Skipped once the
+                        // world is aborting — everyone is exiting anyway.
+                        let barrier_outcome = if ep.aborted() {
+                            Err(stap_comm::CommError::Aborted.into())
+                        } else {
+                            let world = stap_comm::Group::contiguous(0, n);
+                            stap_comm::collective::barrier(&mut ep, &world, DRAIN_BARRIER_TAG)
+                                .map_err(PipelineError::from)
+                        };
+                        outcome?;
+                        barrier_outcome?;
+                        Ok(clock.finish())
+                    })
+                })
+                .collect();
+            let results =
+                handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect();
+            monitor_stop.store(true, Ordering::Release);
+            if let Some(m) = monitor_handle {
+                m.join().expect("watchdog monitor panicked");
+            }
+            results
+        });
 
         // Prefer the root-cause error: stage failures first, then
         // communication failures, then a watchdog expiry, with `Aborted`
@@ -180,8 +197,7 @@ impl Pipeline {
         if let Some(err) = results.iter().filter_map(|r| r.as_ref().err()).min_by_key(|e| rank(e)) {
             // Everything failing with bare `Aborted` while the watchdog
             // fired means the expiry *is* the root cause.
-            if let (PipelineError::Comm(stap_comm::CommError::Aborted), Some(exp)) = (err, &fired)
-            {
+            if let (PipelineError::Comm(stap_comm::CommError::Aborted), Some(exp)) = (err, &fired) {
                 return Err(PipelineError::Timeout {
                     stage: exp.stage.clone(),
                     deadline_ms: exp.deadline_ms,
@@ -190,10 +206,16 @@ impl Pipeline {
             return Err(err.clone());
         }
         let mut per_node = Vec::with_capacity(results.len());
+        let mut spans = Vec::new();
         for r in results {
-            per_node.push(r.expect("errors handled above"));
+            let (records, node_spans) = r.expect("errors handled above");
+            per_node.push(records);
+            spans.extend(node_spans);
         }
-        Ok(PipelineReport::new(topology, per_node, cpis, warmup))
+        // Ranks are collected in world order, which is (stage, node) order,
+        // so the concatenated span list is already deterministic for a
+        // deterministic per-node sequence.
+        Ok(PipelineReport::new(topology, per_node, spans, cpis, warmup))
     }
 }
 
@@ -396,6 +418,35 @@ mod tests {
             PipelineError::Stage { stage, .. } => assert_eq!(stage, "src"),
             other => panic!("expected the stage error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn virtual_clock_runs_are_bit_reproducible() {
+        let run = || {
+            let p = arithmetic_pipeline();
+            p.run_configured(4, 1, None, ClockSpec::Virtual { tick: 1e-3 }).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.records, b.records, "virtual-clock records must be identical");
+        assert_eq!(a.spans, b.spans, "virtual-clock spans must be identical");
+        assert_eq!(a.chrome_trace(), b.chrome_trace(), "chrome export must be byte-stable");
+    }
+
+    #[test]
+    fn wall_run_collects_spans_for_every_stage() {
+        let p = arithmetic_pipeline();
+        let report = p.run(4, 1).unwrap();
+        for stage in 0..3 {
+            assert!(
+                report.spans.iter().any(|s| s.stage == stage),
+                "stage {stage} produced no spans"
+            );
+        }
+        // Sink never sends: the registry reflects that.
+        let reg = report.registry();
+        assert!(reg.stats(2, Phase::Send).is_none());
+        assert!(reg.stats(1, Phase::Recv).is_some());
     }
 
     #[test]

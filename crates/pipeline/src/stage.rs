@@ -2,7 +2,7 @@
 
 use crate::error::PipelineError;
 use crate::tags::tag_for;
-use crate::timing::{Phase, PhaseClock};
+use crate::timing::{Phase, StageTracer};
 use crate::topology::{StageId, Topology};
 use stap_comm::{Endpoint, Group};
 
@@ -18,7 +18,7 @@ pub struct StageCtx<'a> {
     pub local: usize,
     /// Current CPI sequence number.
     pub cpi: u64,
-    pub(crate) clock: &'a mut PhaseClock,
+    pub(crate) clock: &'a mut StageTracer,
 }
 
 impl<'a> StageCtx<'a> {
@@ -37,10 +37,18 @@ impl<'a> StageCtx<'a> {
         self.topology.stage(self.stage).nodes
     }
 
-    /// Enters a timing phase (read / recv / compute / send); the previous
-    /// phase closes automatically.
+    /// Enters a timing phase; the previous phase closes automatically on
+    /// the same clock observation, so consecutive phases tile the
+    /// interval with no gap.
     pub fn phase(&mut self, p: Phase) {
         self.clock.begin(p);
+    }
+
+    /// Enters a timing phase for retry attempt `attempt`, so each
+    /// fault-plan read attempt gets its own span (attempt 0 is the
+    /// ordinary first try).
+    pub fn phase_attempt(&mut self, p: Phase, attempt: u32) {
+        self.clock.begin_attempt(p, attempt);
     }
 
     /// Message tag for the current CPI on `port`.

@@ -1,133 +1,18 @@
-//! Wall-clock phase timing and the pipeline's two metrics.
+//! Phase timing and the pipeline's two metrics.
 //!
-//! Every node stamps the start and end of each CPI iteration and attributes
-//! elapsed time to phases (read / receive / compute / send). All stamps
-//! share one process-wide epoch, so cross-stage differences are meaningful:
-//! latency is literally `sink finish − source start` per CPI, throughput is
-//! the sink's steady-state completion rate — the same way the paper
-//! measured its tables.
+//! Recording is delegated to `stap-trace`: every node owns a
+//! [`StageTracer`] whose clock (wall or virtual, see
+//! [`stap_trace::ClockSpec`]) stamps the start and end of each CPI and
+//! attributes elapsed time to typed phases. Under the wall clock all
+//! tracers share one process-wide epoch, so cross-stage differences are
+//! meaningful: latency is literally `sink finish − source start` per CPI,
+//! throughput is the sink's steady-state completion rate — the same way
+//! the paper measured its tables. The raw [`Span`]s additionally feed the
+//! Chrome-trace exporter and the per-stage metrics registry.
 
 use crate::topology::{StageId, Topology};
-use std::time::Instant;
-
-/// Execution phases of one CPI iteration on one node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Phase {
-    /// File-system read (embedded or separate I/O task).
-    Read,
-    /// Receiving from predecessor stages.
-    Recv,
-    /// Computation.
-    Compute,
-    /// Sending to successor stages.
-    Send,
-}
-
-impl Phase {
-    /// All phases, display order.
-    pub const ALL: [Phase; 4] = [Phase::Read, Phase::Recv, Phase::Compute, Phase::Send];
-
-    fn index(self) -> usize {
-        match self {
-            Phase::Read => 0,
-            Phase::Recv => 1,
-            Phase::Compute => 2,
-            Phase::Send => 3,
-        }
-    }
-
-    /// Column label.
-    pub fn label(self) -> &'static str {
-        match self {
-            Phase::Read => "read",
-            Phase::Recv => "recv",
-            Phase::Compute => "compute",
-            Phase::Send => "send",
-        }
-    }
-}
-
-/// Timing of one CPI on one node (seconds since the shared epoch).
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct CpiRecord {
-    /// CPI sequence number.
-    pub cpi: u64,
-    /// Iteration start.
-    pub start: f64,
-    /// Iteration end.
-    pub end: f64,
-    /// Seconds attributed to each phase (Phase::ALL order).
-    pub phase_secs: [f64; 4],
-}
-
-impl CpiRecord {
-    /// Total iteration time.
-    pub fn total(&self) -> f64 {
-        self.end - self.start
-    }
-
-    /// Seconds in a phase.
-    pub fn phase(&self, p: Phase) -> f64 {
-        self.phase_secs[p.index()]
-    }
-}
-
-/// Per-node phase clock: stamps phases against the shared epoch.
-#[derive(Debug)]
-pub struct PhaseClock {
-    epoch: Instant,
-    records: Vec<CpiRecord>,
-    current: Option<CpiRecord>,
-    open_phase: Option<(Phase, f64)>,
-}
-
-impl PhaseClock {
-    /// A clock against the given epoch.
-    pub fn new(epoch: Instant) -> Self {
-        Self { epoch, records: Vec::new(), current: None, open_phase: None }
-    }
-
-    fn now(&self) -> f64 {
-        self.epoch.elapsed().as_secs_f64()
-    }
-
-    /// Opens the record for a CPI iteration.
-    pub fn start_cpi(&mut self, cpi: u64) {
-        assert!(self.current.is_none(), "previous CPI not closed");
-        let t = self.now();
-        self.current = Some(CpiRecord { cpi, start: t, end: t, phase_secs: [0.0; 4] });
-    }
-
-    /// Enters a phase, closing any open one.
-    pub fn begin(&mut self, phase: Phase) {
-        self.close_phase();
-        self.open_phase = Some((phase, self.now()));
-    }
-
-    fn close_phase(&mut self) {
-        if let (Some((p, t0)), Some(cur)) = (self.open_phase.take(), self.current.as_mut()) {
-            cur.phase_secs[p.index()] += self.epoch.elapsed().as_secs_f64() - t0;
-        }
-    }
-
-    /// Closes the CPI record.
-    pub fn end_cpi(&mut self) {
-        self.close_phase();
-        let mut cur = self.current.take().expect("no open CPI");
-        cur.end = self.now();
-        self.records.push(cur);
-    }
-
-    /// Finished records.
-    pub fn records(&self) -> &[CpiRecord] {
-        &self.records
-    }
-
-    /// Consumes the clock.
-    pub fn into_records(self) -> Vec<CpiRecord> {
-        self.records
-    }
-}
+pub use stap_trace::{CpiRecord, Phase, Span, StageTracer};
+use stap_trace::{MetricsRegistry, PhaseStats};
 
 /// All timing from one pipeline run.
 #[derive(Debug, Clone)]
@@ -136,6 +21,9 @@ pub struct PipelineReport {
     pub stage_names: Vec<String>,
     /// `records[stage][node][cpi_index]`.
     pub records: Vec<Vec<Vec<CpiRecord>>>,
+    /// Raw phase spans from every node, ordered by (stage, node) with each
+    /// node's spans in recording order.
+    pub spans: Vec<Span>,
     /// CPIs executed.
     pub cpis: u64,
     /// Iterations discarded from the front when computing steady-state
@@ -144,8 +32,14 @@ pub struct PipelineReport {
 }
 
 impl PipelineReport {
-    /// Assembles a report from per-node records.
-    pub fn new(topology: &Topology, per_node: Vec<Vec<CpiRecord>>, cpis: u64, warmup: u64) -> Self {
+    /// Assembles a report from per-node records and spans.
+    pub fn new(
+        topology: &Topology,
+        per_node: Vec<Vec<CpiRecord>>,
+        spans: Vec<Span>,
+        cpis: u64,
+        warmup: u64,
+    ) -> Self {
         let mut records: Vec<Vec<Vec<CpiRecord>>> = Vec::with_capacity(topology.stage_count());
         let mut it = per_node.into_iter();
         for s in topology.stages() {
@@ -154,6 +48,7 @@ impl PipelineReport {
         Self {
             stage_names: topology.stages().iter().map(|s| s.name.clone()).collect(),
             records,
+            spans,
             cpis,
             warmup,
         }
@@ -161,6 +56,29 @@ impl PipelineReport {
 
     fn steady(&self, cpi: u64) -> bool {
         cpi >= self.warmup
+    }
+
+    /// Aggregates the raw spans into the deterministic per-(stage, phase)
+    /// metrics registry (count/sum/min/max/p50/p99).
+    pub fn registry(&self) -> MetricsRegistry {
+        MetricsRegistry::from_spans(&self.stage_names, &self.spans)
+    }
+
+    /// Renders the run as Chrome trace-event JSON (one track per
+    /// stage×node, retries as flow events). Load at `chrome://tracing`.
+    pub fn chrome_trace(&self) -> String {
+        stap_trace::chrome_trace(&self.stage_names, &self.spans)
+    }
+
+    /// Renders the paper-style per-stage phase table from the registry.
+    pub fn phase_table_text(&self) -> String {
+        self.registry().render_text()
+    }
+
+    /// Aggregated stats for one (stage, phase), if any spans were
+    /// recorded.
+    pub fn phase_stats(&self, stage: StageId, phase: Phase) -> Option<PhaseStats> {
+        self.registry().stats(stage.0, phase).copied()
     }
 
     /// Mean task execution time `T_i`: for each steady CPI the slowest node
@@ -314,9 +232,11 @@ impl PipelineReport {
 mod tests {
     use super::*;
     use crate::topology::Topology;
+    use stap_trace::ClockSpec;
+    use std::time::Instant;
 
     fn rec(cpi: u64, start: f64, end: f64) -> CpiRecord {
-        CpiRecord { cpi, start, end, phase_secs: [0.0; 4] }
+        CpiRecord { cpi, start, end, phase_secs: [0.0; Phase::COUNT] }
     }
 
     fn two_stage_report() -> PipelineReport {
@@ -327,7 +247,7 @@ mod tests {
         // Source starts CPI k at t=k, sink finishes it at t=k+0.5.
         let src: Vec<CpiRecord> = (0..4).map(|k| rec(k, k as f64, k as f64 + 0.2)).collect();
         let snk: Vec<CpiRecord> = (0..4).map(|k| rec(k, k as f64 + 0.3, k as f64 + 0.5)).collect();
-        PipelineReport::new(&t, vec![src, snk], 4, 1)
+        PipelineReport::new(&t, vec![src, snk], vec![], 4, 1)
     }
 
     #[test]
@@ -353,7 +273,7 @@ mod tests {
         let src: Vec<CpiRecord> = (0..4).map(|k| rec(k, k as f64, k as f64 + 0.05)).collect();
         let snk: Vec<CpiRecord> =
             (0..4).map(|k| rec(k, k as f64, k as f64 + 0.1 * (k as f64 + 1.0))).collect();
-        let r = PipelineReport::new(&t, vec![src, snk], 4, 0);
+        let r = PipelineReport::new(&t, vec![src, snk], vec![], 4, 0);
         let mean = r.latency(StageId(0), StageId(1));
         let p0 = r.latency_percentile(StageId(0), StageId(1), 0.0);
         let p50 = r.latency_percentile(StageId(0), StageId(1), 50.0);
@@ -372,30 +292,35 @@ mod tests {
         let _ = a;
         let n0 = vec![rec(0, 0.0, 0.1), rec(1, 1.0, 1.1)];
         let n1 = vec![rec(0, 0.0, 0.4), rec(1, 1.0, 1.2)];
-        let r = PipelineReport::new(&t, vec![n0, n1], 2, 0);
+        let r = PipelineReport::new(&t, vec![n0, n1], vec![], 2, 0);
         assert!((r.task_time(StageId(0)) - 0.3).abs() < 1e-9); // (0.4+0.2)/2
     }
 
     #[test]
-    fn phase_clock_attributes_time() {
-        let mut clock = PhaseClock::new(Instant::now());
+    fn wall_tracer_attributes_time() {
+        let mut clock = StageTracer::new(0, 0, ClockSpec::Wall.clock(Instant::now()), 1);
         clock.start_cpi(0);
         clock.begin(Phase::Recv);
         std::thread::sleep(std::time::Duration::from_millis(5));
         clock.begin(Phase::Compute);
         std::thread::sleep(std::time::Duration::from_millis(10));
         clock.end_cpi();
-        let r = clock.records()[0];
+        let (records, spans) = clock.finish();
+        let r = records[0];
         assert!(r.phase(Phase::Recv) >= 0.004, "recv {}", r.phase(Phase::Recv));
         assert!(r.phase(Phase::Compute) >= 0.009);
         assert!(r.phase(Phase::Read) == 0.0);
         assert!(r.total() >= r.phase(Phase::Recv) + r.phase(Phase::Compute) - 1e-9);
+        // Back-to-back phases close and open on a single timestamp, so the
+        // phase sums tile the bracketed interval exactly.
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].end, spans[1].start);
     }
 
     #[test]
-    #[should_panic(expected = "not closed")]
+    #[should_panic(expected = "while a CPI is still open")]
     fn double_start_panics() {
-        let mut clock = PhaseClock::new(Instant::now());
+        let mut clock = StageTracer::new(0, 0, ClockSpec::Wall.clock(Instant::now()), 1);
         clock.start_cpi(0);
         clock.start_cpi(1);
     }
@@ -406,5 +331,25 @@ mod tests {
         // With warmup=1, CPI 0 is excluded; latency unchanged here (all
         // CPIs have identical latency) but count must be 3 not 4.
         assert!((r.latency(StageId(0), StageId(1)) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_exports_registry_and_chrome() {
+        let mut t = Topology::new();
+        t.add_stage("a", 1);
+        let spans = vec![Span {
+            stage: 0,
+            node: 0,
+            cpi: 0,
+            attempt: 0,
+            phase: Phase::Compute,
+            start: 0.0,
+            end: 1.0,
+        }];
+        let r = PipelineReport::new(&t, vec![vec![rec(0, 0.0, 1.0)]], spans, 1, 0);
+        assert_eq!(r.phase_stats(StageId(0), Phase::Compute).unwrap().count, 1);
+        let table = r.phase_table_text();
+        assert!(table.contains("compute"));
+        stap_trace::json::validate_chrome_trace(&r.chrome_trace()).unwrap();
     }
 }

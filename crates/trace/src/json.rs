@@ -1,0 +1,367 @@
+//! A small dependency-free JSON parser.
+//!
+//! The workspace deliberately carries no external crates (the build
+//! container is offline), so the Chrome-trace conformance tests validate
+//! emitted traces with this recursive-descent parser instead of serde.
+//! It accepts strict JSON (RFC 8259) minus some number edge cases, which
+//! is all our emitters produce.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (parsed as f64).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. BTreeMap: key order is not semantic in JSON.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// The value as an array, if it is one.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.keyword("true", Json::Bool(true)),
+            Some(b'f') => self.keyword("false", Json::Bool(false)),
+            Some(b'n') => self.keyword("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(&format!("unexpected '{}'", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
+                    let c = s.chars().next().ok_or_else(|| self.err("unterminated string"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        text.parse::<f64>().map(Json::Num).map_err(|_| self.err("invalid number"))
+    }
+}
+
+/// Parses a complete JSON document; trailing non-whitespace is an error.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing data"));
+    }
+    Ok(v)
+}
+
+/// Summary of a validated Chrome trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChromeSummary {
+    /// Total events.
+    pub events: usize,
+    /// Complete (`ph:"X"`) span events.
+    pub complete: usize,
+    /// Metadata (`ph:"M"`) events.
+    pub metadata: usize,
+    /// Flow (`ph:"s"`/`"f"`) events.
+    pub flow: usize,
+    /// Distinct (pid, tid) tracks carrying complete events.
+    pub tracks: usize,
+}
+
+/// Validates `text` against the Chrome trace-event JSON Object Format:
+/// a root object with a `traceEvents` array whose members each carry a
+/// `ph` string plus the fields that phase type requires (`X` events need
+/// numeric `ts`/`dur`/`pid`/`tid` and a `name`; flow events need an `id`).
+pub fn validate_chrome_trace(text: &str) -> Result<ChromeSummary, String> {
+    let root = parse(text)?;
+    let events = root
+        .get("traceEvents")
+        .ok_or("missing traceEvents")?
+        .as_array()
+        .ok_or("traceEvents is not an array")?;
+    let mut summary =
+        ChromeSummary { events: events.len(), complete: 0, metadata: 0, flow: 0, tracks: 0 };
+    let mut tracks = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        let ph =
+            ev.get("ph").and_then(Json::as_str).ok_or_else(|| format!("event {i}: missing ph"))?;
+        let need_num = |key: &str| -> Result<f64, String> {
+            ev.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("event {i} (ph={ph}): missing numeric {key}"))
+        };
+        match ph {
+            "X" => {
+                ev.get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("event {i}: X event without name"))?;
+                let ts = need_num("ts")?;
+                let dur = need_num("dur")?;
+                if dur < 0.0 {
+                    return Err(format!("event {i}: negative dur {dur}"));
+                }
+                if ts < 0.0 {
+                    return Err(format!("event {i}: negative ts {ts}"));
+                }
+                let track = (need_num("pid")? as i64, need_num("tid")? as i64);
+                if !tracks.contains(&track) {
+                    tracks.push(track);
+                }
+                summary.complete += 1;
+            }
+            "M" => {
+                need_num("pid")?;
+                summary.metadata += 1;
+            }
+            "s" | "f" | "t" => {
+                need_num("ts")?;
+                ev.get("id").ok_or_else(|| format!("event {i}: flow event without id"))?;
+                summary.flow += 1;
+            }
+            other => return Err(format!("event {i}: unsupported ph {other:?}")),
+        }
+    }
+    summary.tracks = tracks.len();
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_nesting() {
+        let v = parse(r#"{"a":[1,2.5,-3e2],"b":"x\ny","c":true,"d":null}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap()[2].as_f64().unwrap(), -300.0);
+        assert_eq!(v.get("b").unwrap().as_str().unwrap(), "x\ny");
+        assert_eq!(v.get("c"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("d"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_bad_syntax() {
+        assert!(parse("{} x").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse(r#"{"a" 1}"#).is_err());
+        assert!(parse("[1,]").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        let v = parse(r#""Aé""#).unwrap();
+        assert_eq!(v.as_str().unwrap(), "Aé");
+    }
+
+    #[test]
+    fn validates_a_minimal_trace() {
+        let text = r#"{"traceEvents":[
+            {"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"t"}},
+            {"name":"read","cat":"phase","ph":"X","pid":1,"tid":1,"ts":0.0,"dur":5.0},
+            {"name":"retry","ph":"s","id":7,"pid":1,"tid":1,"ts":1.0},
+            {"name":"retry","ph":"f","bp":"e","id":7,"pid":1,"tid":1,"ts":2.0}
+        ]}"#;
+        let s = validate_chrome_trace(text).unwrap();
+        assert_eq!((s.events, s.complete, s.metadata, s.flow, s.tracks), (4, 1, 1, 2, 1));
+    }
+
+    #[test]
+    fn rejects_malformed_traces() {
+        assert!(validate_chrome_trace(r#"{"a":1}"#).is_err());
+        assert!(validate_chrome_trace(r#"{"traceEvents":[{"name":"x"}]}"#).is_err());
+        assert!(validate_chrome_trace(
+            r#"{"traceEvents":[{"name":"x","ph":"X","pid":1,"tid":1,"ts":0,"dur":-1}]}"#
+        )
+        .is_err());
+    }
+}

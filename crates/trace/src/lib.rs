@@ -1,0 +1,37 @@
+//! Phase-accurate tracing for the parallel pipelined STAP application.
+//!
+//! The paper's central evidence is per-task *phase* timing — read /
+//! compute / send (and receive / wait) breakdowns per CPI. This crate is
+//! the measurement substrate: typed phase [`Span`]s keyed by
+//! (stage, node, cpi, attempt), recorded by a per-node [`StageTracer`]
+//! that is lock-free and allocation-free on the hot path (buffers are
+//! preallocated, each transition is one clock read plus two array writes).
+//!
+//! Three layers:
+//!
+//! * **Recording** — [`StageTracer`] accumulates [`CpiRecord`]s (per-CPI
+//!   phase sums, the paper's Table 1–3 quantities) and raw [`Span`]s.
+//! * **Clocks** — the [`TraceClock`] trait abstracts time: [`WallClock`]
+//!   for real runs, [`VirtualClock`] for bit-reproducible traces under
+//!   test (each observation advances a fixed tick, so timestamps are a
+//!   pure function of the call sequence).
+//! * **Export** — [`chrome_trace`] emits Chrome trace-event JSON (one
+//!   track per stage×node, retries linked by flow events),
+//!   [`MetricsRegistry`] aggregates count/sum/min/max/p50/p99 per
+//!   (stage, phase) with deterministic ordering and renders the
+//!   paper-style text table. [`json`] holds a dependency-free JSON
+//!   parser used to validate emitted traces.
+
+#![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+pub mod chrome;
+pub mod clock;
+pub mod json;
+pub mod registry;
+pub mod span;
+
+pub use chrome::chrome_trace;
+pub use clock::{ClockSpec, TraceClock, VirtualClock, WallClock};
+pub use registry::{MetricsRegistry, PhaseStats};
+pub use span::{CpiRecord, Phase, Span, StageTracer};

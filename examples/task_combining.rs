@@ -26,14 +26,14 @@ fn main() {
         "  T5          = {:.4} s  (compute {:.4} + comm {:.4} + overhead {:.4})",
         t5.total(),
         t5.compute,
-        t5.comm,
+        t5.comm(),
         t5.overhead
     );
     println!(
         "  T6          = {:.4} s  (compute {:.4} + comm {:.4} + overhead {:.4})",
         t6.total(),
         t6.compute,
-        t6.comm,
+        t6.comm(),
         t6.overhead
     );
     println!("  T5 + T6     = {:.4} s", t5.total() + t6.total());

@@ -2,7 +2,7 @@
 //!
 //! See `ppstap help` (or [`ppstap::cli::HELP`]) for usage.
 
-use ppstap::cli::{machine_for, parse, Command, PlanArgs, RunArgs, SimArgs, HELP};
+use ppstap::cli::{machine_for, parse, Command, PlanArgs, RunArgs, SimArgs, TraceMode, HELP};
 use ppstap::core::config::StapConfig;
 use ppstap::core::desmodel::{render_gantt, DesExperiment};
 use ppstap::core::experiments::ablation::sweep_stripe_factor;
@@ -10,6 +10,7 @@ use ppstap::core::StapSystem;
 use ppstap::pfs::FsConfig;
 use ppstap::pipeline::timing::Phase;
 use ppstap::pipeline::topology::StageId;
+use ppstap::pipeline::ClockSpec;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -65,7 +66,8 @@ fn run(a: RunArgs) {
             std::process::exit(1);
         }
     };
-    let out = match system.run() {
+    let clocks = if a.virtual_clock { ClockSpec::virtual_default() } else { ClockSpec::Wall };
+    let out = match system.run_with_clock(clocks) {
         Ok(out) => out,
         Err(e) => {
             eprintln!("error: {e}");
@@ -74,8 +76,8 @@ fn run(a: RunArgs) {
     };
 
     println!(
-        "\n{:<16}{:>7}{:>10}{:>10}{:>10}{:>10}{:>10}",
-        "task", "nodes", "read", "recv", "compute", "send", "total"
+        "\n{:<16}{:>7}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}",
+        "task", "nodes", "read", "recv", "wwait", "compute", "send", "backoff", "total"
     );
     for (i, stage) in system.topology().stages().iter().enumerate() {
         let id = StageId(i);
@@ -103,6 +105,20 @@ fn run(a: RunArgs) {
     }
     if a.record_reports {
         println!("\nreports written to report_<cpi>.dat on the parallel file system");
+    }
+    match &a.trace {
+        Some(TraceMode::Text) => {
+            println!("\nphase statistics (all nodes, all CPIs):");
+            print!("{}", out.timing.phase_table_text());
+        }
+        Some(TraceMode::Chrome(path)) => {
+            if let Err(e) = std::fs::write(path, out.timing.chrome_trace()) {
+                eprintln!("error: writing trace to {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("\nChrome trace written to {path} (load in chrome://tracing or Perfetto)");
+        }
+        None => {}
     }
 }
 
@@ -179,6 +195,7 @@ mod stap_bench_shim {
     use ppstap::core::experiments::degradation::{
         fault_degradation, recoverable_degradation, render_degradation,
     };
+    use ppstap::core::experiments::phases::phase_breakdown_report;
     use ppstap::core::experiments::render::{
         render_fig8, render_figure, render_table, render_table4,
     };
@@ -207,6 +224,7 @@ mod stap_bench_shim {
             "fault_degradation",
             render_degradation(&fault_degradation(&rates), &recoverable_degradation(&rates)),
         ));
+        out.push(("phase_breakdown", phase_breakdown_report()));
         out
     }
 }

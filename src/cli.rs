@@ -96,6 +96,29 @@ impl PlanArgs {
     }
 }
 
+/// Where `ppstap run` sends its structured phase trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceMode {
+    /// Write a Chrome trace-event JSON file (`chrome://tracing`,
+    /// Perfetto) to this path.
+    Chrome(String),
+    /// Print the full per-stage phase-statistics table to stdout.
+    Text,
+}
+
+fn parse_trace(v: &str) -> Result<TraceMode, ParseError> {
+    if v == "text" {
+        return Ok(TraceMode::Text);
+    }
+    if let Some(path) = v.strip_prefix("chrome:") {
+        if path.is_empty() {
+            return Err(ParseError("--trace chrome: needs a file path".into()));
+        }
+        return Ok(TraceMode::Chrome(path.to_string()));
+    }
+    Err(ParseError(format!("--trace must be text|chrome:PATH, got '{v}'")))
+}
+
 /// Arguments of `ppstap run`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunArgs {
@@ -118,6 +141,11 @@ pub struct RunArgs {
     pub failure_policy: FailurePolicy,
     /// Enable stage watchdogs (deadline factor over predicted task times).
     pub watchdog: bool,
+    /// Structured trace output (`--trace text|chrome:PATH`).
+    pub trace: Option<TraceMode>,
+    /// Time phases on a deterministic virtual clock (timestamps count
+    /// clock observations), making trace output bit-reproducible.
+    pub virtual_clock: bool,
 }
 
 impl Default for RunArgs {
@@ -132,6 +160,8 @@ impl Default for RunArgs {
             fault_seed: 0,
             failure_policy: FailurePolicy::Abort,
             watchdog: false,
+            trace: None,
+            virtual_clock: false,
         }
     }
 }
@@ -262,6 +292,8 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
                             FailurePolicy::parse(take_value(flag, &mut it)?).map_err(ParseError)?;
                     }
                     "--watchdog" => a.watchdog = true,
+                    "--trace" => a.trace = Some(parse_trace(take_value(flag, &mut it)?)?),
+                    "--virtual-clock" => a.virtual_clock = true,
                     other => return Err(ParseError(format!("unknown flag '{other}' for run"))),
                 }
             }
@@ -295,9 +327,9 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
                     }
                     "--trace" => a.trace = true,
                     "--fault-rate" => {
-                        let v: f64 = take_value(flag, &mut it)?.parse().map_err(|_| {
-                            ParseError("--fault-rate must be a probability".into())
-                        })?;
+                        let v: f64 = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ParseError("--fault-rate must be a probability".into()))?;
                         if !(0.0..=1.0).contains(&v) {
                             return Err(ParseError("--fault-rate must be in [0, 1]".into()));
                         }
@@ -404,6 +436,7 @@ USAGE:
                  [--fs pfs16|pfs64|piofs] [--record-reports]
                  [--fault-plan SPEC] [--fault-seed N] [--watchdog]
                  [--failure-policy abort|retry:A:MS|skip:A:MS:MAXC]
+                 [--trace text|chrome:PATH] [--virtual-clock]
         Run the real threaded pipeline on a small cube and print timings,
         detections, throughput and latency. --fault-plan injects a seeded,
         reproducible fault schedule into the CPI read path; SPEC is a
@@ -417,7 +450,12 @@ USAGE:
         (default), retry A times with exponential backoff from MS ms, or
         skip — retry then drop the CPI as a gap bubble, aborting only
         after MAXC consecutive drops. --watchdog arms per-stage deadlines
-        derived from the predicted task times.
+        derived from the predicted task times. --trace text prints the
+        per-stage phase-statistics table (count/sum/min/max/p50/p99 per
+        phase); --trace chrome:PATH writes a Chrome trace-event JSON file
+        (load in chrome://tracing or Perfetto; one track per stage node,
+        retries linked by flow arrows). --virtual-clock times phases on a
+        deterministic virtual clock so trace output is bit-reproducible.
 
     ppstap sim   [--machine paragon16|paragon64|sp] [--io embedded|separate]
                  [--tail split|combined] [--nodes N] [--trace]
@@ -487,6 +525,30 @@ mod tests {
                 ..RunArgs::default()
             })
         );
+    }
+
+    #[test]
+    fn run_trace_flags() {
+        let c = parse(&["run", "--trace", "text", "--virtual-clock"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Run(RunArgs {
+                trace: Some(TraceMode::Text),
+                virtual_clock: true,
+                ..RunArgs::default()
+            })
+        );
+        let c = parse(&["run", "--trace", "chrome:out.json"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Run(RunArgs {
+                trace: Some(TraceMode::Chrome("out.json".into())),
+                ..RunArgs::default()
+            })
+        );
+        assert!(parse(&["run", "--trace", "chrome:"]).unwrap_err().0.contains("file path"));
+        assert!(parse(&["run", "--trace", "xml"]).unwrap_err().0.contains("text|chrome:PATH"));
+        assert!(parse(&["run", "--trace"]).unwrap_err().0.contains("needs a value"));
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! - [`pfs`] — a striped parallel file system (Paragon PFS / IBM PIOFS models);
 //! - [`des`] — a discrete-event simulation engine;
 //! - [`model`] — machine/cost models and the paper's analytic equations;
+//! - [`trace`] — phase spans, trace clocks, metrics, Chrome-trace export;
 //! - [`pipeline`] — the generic parallel pipeline runtime;
 //! - [`core`] — the paper's STAP pipeline system and experiment drivers;
 //! - [`planner`] — bi-criteria configuration search over node assignments,
@@ -31,3 +32,4 @@ pub use stap_pfs as pfs;
 pub use stap_pipeline as pipeline;
 pub use stap_planner as planner;
 pub use stap_radar as radar;
+pub use stap_trace as trace;

@@ -85,11 +85,7 @@ fn random_plan(seed: u64) -> FaultPlan {
             1 => Fault::ServerUnavailable { server: d.next(16) as usize, window },
             2 => Fault::Transient { file, fail_attempts: 1 + d.next(3) as u32, window },
             3 => Fault::Flaky { file, p: d.next(10) as f64 / 10.0, window },
-            _ => Fault::SlowRead {
-                file,
-                delay: Duration::from_millis(1 + d.next(4)),
-                window,
-            },
+            _ => Fault::SlowRead { file, delay: Duration::from_millis(1 + d.next(4)), window },
         });
     }
     plan

@@ -1,0 +1,89 @@
+//! Golden-file regression for the trace exporters: the Chrome trace JSON
+//! and the `--trace text` phase table are machine-readable artifacts
+//! (Perfetto, dashboards, diffing between runs), so their exact bytes are
+//! locked against checked-in goldens. Under `--virtual-clock` every
+//! timestamp counts clock observations instead of elapsed seconds and each
+//! node owns its own clock, so the output is bit-stable across runs,
+//! machines, and build profiles.
+//!
+//! To regenerate after an intentional format change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test trace_golden
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn run_ppstap(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_ppstap")).args(args).output().expect("run ppstap");
+    assert!(
+        out.status.success(),
+        "ppstap {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("stdout is UTF-8")
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+}
+
+/// Compares against the checked-in golden, reporting the first divergent
+/// line instead of dumping both multi-kilobyte documents.
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create golden dir");
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); generate it with `UPDATE_GOLDEN=1 cargo test --test trace_golden`",
+            path.display()
+        )
+    });
+    if actual == expected {
+        return;
+    }
+    for (i, (a, e)) in actual.lines().zip(expected.lines()).enumerate() {
+        assert_eq!(
+            a,
+            e,
+            "{name} diverges at line {}; if intended, regenerate with \
+             `UPDATE_GOLDEN=1 cargo test --test trace_golden`",
+            i + 1
+        );
+    }
+    panic!(
+        "{name}: output length changed ({} vs {} lines); if intended, regenerate with \
+         `UPDATE_GOLDEN=1 cargo test --test trace_golden`",
+        actual.lines().count(),
+        expected.lines().count()
+    );
+}
+
+#[test]
+fn chrome_trace_under_virtual_clock_is_stable() {
+    let path = std::env::temp_dir().join(format!("ppstap_golden_{}.json", std::process::id()));
+    let path_str = path.to_str().expect("utf-8 temp path");
+    run_ppstap(&[
+        "run",
+        "--cpis",
+        "3",
+        "--virtual-clock",
+        "--trace",
+        &format!("chrome:{path_str}"),
+    ]);
+    let trace = std::fs::read_to_string(&path).expect("read trace file");
+    let _ = std::fs::remove_file(&path);
+    check_golden("trace_run_cpis3.chrome.json", &trace);
+}
+
+#[test]
+fn text_phase_table_under_virtual_clock_is_stable() {
+    let out = run_ppstap(&["run", "--cpis", "3", "--virtual-clock", "--trace", "text"]);
+    assert!(out.contains("phase statistics"), "trace table missing from output");
+    check_golden("trace_run_cpis3.txt", &out);
+}
