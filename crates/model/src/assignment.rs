@@ -19,6 +19,49 @@ use crate::machines::NodeClass;
 use crate::tasktime::StageCapacity;
 use crate::workload::{StapWorkload, TaskId};
 
+/// Why a node assignment could not be built against a pool.
+///
+/// The serving layer admits missions against a finite pool, so "not enough
+/// nodes" is an expected runtime condition there — a typed error a scheduler
+/// can turn into a rejection, not a programming bug worth a panic. The
+/// panicking entry points ([`assign_nodes`], [`pack_classes`]) remain for
+/// callers whose budgets are validated up front.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AssignmentError {
+    /// The request asked for fewer nodes than the pipeline has tasks.
+    TooFewNodes {
+        /// Number of pipeline tasks needing at least one node each.
+        tasks: usize,
+        /// Total nodes requested.
+        total: usize,
+    },
+    /// The request asked for more nodes than the pool owns.
+    PoolExceeded {
+        /// Nodes the assignment needs.
+        requested: usize,
+        /// Nodes the pool owns.
+        pool: usize,
+    },
+    /// No tasks were given to assign nodes to.
+    NoTasks,
+}
+
+impl std::fmt::Display for AssignmentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AssignmentError::TooFewNodes { tasks, total } => {
+                write!(f, "need at least one node per task ({tasks} tasks, {total} nodes)")
+            }
+            AssignmentError::PoolExceeded { requested, pool } => {
+                write!(f, "pool of {pool} nodes cannot back an assignment of {requested}")
+            }
+            AssignmentError::NoTasks => write!(f, "no tasks to assign"),
+        }
+    }
+}
+
+impl std::error::Error for AssignmentError {}
+
 /// Node counts per task, in the order of `tasks`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Assignment {
@@ -87,14 +130,27 @@ const SPREAD: f64 = 1.1;
 /// for `total` plus one node, so no task ever shrinks as the machine grows.
 ///
 /// # Panics
-/// Panics when `total < tasks.len()` or `tasks` is empty.
+/// Panics when `total < tasks.len()` or `tasks` is empty. Fallible callers
+/// (e.g. admission control) should use [`try_assign_nodes`].
 pub fn assign_nodes(w: &StapWorkload, tasks: &[TaskId], total: usize) -> Assignment {
-    assert!(!tasks.is_empty(), "no tasks to assign");
-    assert!(
-        total >= tasks.len(),
-        "need at least one node per task ({} tasks, {total} nodes)",
-        tasks.len()
-    );
+    try_assign_nodes(w, tasks, total).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`assign_nodes`]: returns a typed
+/// [`AssignmentError`] instead of panicking when the request is
+/// unsatisfiable, so pool accounting in the serving layer can reject a
+/// mission gracefully.
+pub fn try_assign_nodes(
+    w: &StapWorkload,
+    tasks: &[TaskId],
+    total: usize,
+) -> Result<Assignment, AssignmentError> {
+    if tasks.is_empty() {
+        return Err(AssignmentError::NoTasks);
+    }
+    if total < tasks.len() {
+        return Err(AssignmentError::TooFewNodes { tasks: tasks.len(), total });
+    }
     let weights: Vec<f64> = tasks.iter().map(|&t| w.flops(t).max(1.0)).collect();
     let mut nodes = vec![1usize; tasks.len()];
     for _ in tasks.len()..total {
@@ -109,7 +165,7 @@ pub fn assign_nodes(w: &StapWorkload, tasks: &[TaskId], total: usize) -> Assignm
         }
         nodes[best] += 1;
     }
-    Assignment::new(tasks.to_vec(), nodes)
+    Ok(Assignment::new(tasks.to_vec(), nodes))
 }
 
 /// Packs a node-count assignment onto a heterogeneous pool: tasks are
@@ -119,13 +175,27 @@ pub fn assign_nodes(w: &StapWorkload, tasks: &[TaskId], total: usize) -> Assignm
 /// empty.
 ///
 /// # Panics
-/// Panics when the pool has fewer nodes than `a` uses.
+/// Panics when the pool has fewer nodes than `a` uses. Fallible callers
+/// should use [`try_pack_classes`].
 pub fn pack_classes(w: &StapWorkload, a: &Assignment, classes: &[NodeClass]) -> Assignment {
+    try_pack_classes(w, a, classes).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`pack_classes`]: returns
+/// [`AssignmentError::PoolExceeded`] instead of panicking when the class
+/// pool has fewer nodes than the assignment uses.
+pub fn try_pack_classes(
+    w: &StapWorkload,
+    a: &Assignment,
+    classes: &[NodeClass],
+) -> Result<Assignment, AssignmentError> {
     if classes.is_empty() {
-        return a.clone();
+        return Ok(a.clone());
     }
     let pool: usize = classes.iter().map(|c| c.count).sum();
-    assert!(pool >= a.total(), "pool of {pool} nodes cannot back an assignment of {}", a.total());
+    if pool < a.total() {
+        return Err(AssignmentError::PoolExceeded { requested: a.total(), pool });
+    }
     // Class indices from fastest to slowest compute.
     let mut order: Vec<usize> = (0..classes.len()).collect();
     order.sort_by(|&x, &y| {
@@ -157,7 +227,7 @@ pub fn pack_classes(w: &StapWorkload, a: &Assignment, classes: &[NodeClass]) -> 
         }
         debug_assert_eq!(need, 0, "pool exhausted mid-pack");
     }
-    packed
+    Ok(packed)
 }
 
 /// The paper's three node-count cases ("each doubles the number of nodes of
@@ -232,6 +302,21 @@ mod tests {
         assign_nodes(&w(), &TaskId::SEVEN, 3);
     }
 
+    #[test]
+    fn try_assign_reports_typed_errors() {
+        let w = w();
+        assert_eq!(
+            try_assign_nodes(&w, &TaskId::SEVEN, 3),
+            Err(AssignmentError::TooFewNodes { tasks: 7, total: 3 })
+        );
+        assert_eq!(try_assign_nodes(&w, &[], 10), Err(AssignmentError::NoTasks));
+        let ok = try_assign_nodes(&w, &TaskId::SEVEN, 25).expect("feasible");
+        assert_eq!(ok, assign_nodes(&w, &TaskId::SEVEN, 25));
+        // The error renders the same message the panicking path uses.
+        let msg = AssignmentError::TooFewNodes { tasks: 7, total: 3 }.to_string();
+        assert!(msg.contains("at least one node per task"), "{msg}");
+    }
+
     fn hetero_classes() -> Vec<NodeClass> {
         vec![
             NodeClass { name: "gp".into(), compute_scale: 1.0, net_scale: 1.0, count: 40 },
@@ -291,5 +376,20 @@ mod tests {
         small[0].count = 10;
         small[1].count = 10;
         pack_classes(&w, &a, &small);
+    }
+
+    #[test]
+    fn try_pack_reports_pool_exceeded() {
+        let w = w();
+        let a = assign_nodes(&w, &TaskId::SEVEN, 100);
+        let mut small = hetero_classes();
+        small[0].count = 10;
+        small[1].count = 10;
+        assert_eq!(
+            try_pack_classes(&w, &a, &small),
+            Err(AssignmentError::PoolExceeded { requested: 100, pool: 20 })
+        );
+        let packed = try_pack_classes(&w, &a, &hetero_classes()[..0]).expect("no classes is ok");
+        assert!(packed.class_counts.is_empty());
     }
 }

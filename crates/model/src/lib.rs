@@ -42,7 +42,9 @@ pub mod tasktime;
 pub mod workload;
 
 pub use analytic::{latency, throughput};
-pub use assignment::{assign_nodes, pack_classes, Assignment};
+pub use assignment::{
+    assign_nodes, pack_classes, try_assign_nodes, try_pack_classes, Assignment, AssignmentError,
+};
 pub use machines::{MachineModel, NodeClass};
 pub use prediction::{predict, predict_with_assignment, PipelinePrediction, PredictStructure};
 pub use tasktime::{task_time, StageCapacity, TaskCosts};

@@ -1,0 +1,330 @@
+//! The real fleet executor: a bounded worker pool running admitted missions
+//! as actual [`stap_core`] pipelines.
+//!
+//! `ppstap serve --script FILE` feeds a workload script through the same
+//! [`Scheduler`] the simulator uses, but each dispatched mission becomes a
+//! real pipeline run (threads, staged CPI files, watchdogs) on this
+//! machine. The scheduler's plan still governs admission, placement, and
+//! the file-system stripe factor; the workstation run itself uses the
+//! repository's small fixed node set (as `ppstap run` does), since one
+//! laptop cannot fan out to 25 Paragon nodes.
+//!
+//! Every mission runs under the pipeline watchdog
+//! ([`stap_core::WatchdogPolicy`], riding on `stap-pipeline`'s watchdog
+//! threads), so a wedged mission becomes a typed failure instead of a hung
+//! fleet. Phase spans come back tagged with the mission id and merge into
+//! one Chrome trace — open it and see the whole fleet on a shared timeline.
+
+use crate::mission::{
+    fleet_table, MissionOutcome, MissionReport, MissionSpec, PlanChoice, SlaVerdict,
+};
+use crate::scheduler::{Counters, Scheduler, ServeConfig};
+use crate::script::{ScriptAction, WorkloadScript};
+use stap_core::{StapConfig, StapSystem, WatchdogPolicy};
+use stap_kernels::CubeDims;
+use stap_pfs::FsConfig;
+use stap_trace::{fleet_chrome_trace, ClockSpec, FleetTrack};
+use std::time::{Duration, Instant};
+
+/// What one worker thread sends back when its mission ends.
+struct WorkerDone {
+    id: u64,
+    spec: MissionSpec,
+    plan: PlanChoice,
+    submit: f64,
+    start: f64,
+    read_contention: f64,
+    result: Result<Box<stap_core::StapRunOutput>, String>,
+}
+
+/// The executed fleet: per-mission reports, conservation counters, and the
+/// merged mission-tagged trace.
+#[derive(Debug)]
+pub struct FleetOutcome {
+    /// Per-mission reports, ordered by mission id.
+    pub missions: Vec<MissionReport>,
+    /// Names of missions cancelled while queued.
+    pub cancelled: Vec<String>,
+    /// `(name, typed reason)` for rejected submissions.
+    pub rejected: Vec<(String, String)>,
+    /// Mission-conservation counters.
+    pub counters: Counters,
+    /// Wall seconds from fleet epoch to the last completion.
+    pub makespan: f64,
+    tracks: Vec<FleetTrack>,
+}
+
+impl FleetOutcome {
+    /// The merged Chrome trace: one process track per mission, tagged
+    /// `mission <id> · <name>`.
+    pub fn chrome_trace(&self) -> String {
+        fleet_chrome_trace(&self.tracks)
+    }
+
+    /// The per-mission fleet table.
+    pub fn fleet_table(&self) -> String {
+        fleet_table(&self.missions)
+    }
+
+    /// Fraction of SLA-bounded missions that met their bound (`None` when
+    /// no mission carried an SLA).
+    pub fn sla_hit_rate(&self) -> Option<f64> {
+        let graded: Vec<bool> = self.missions.iter().filter_map(|m| m.sla.hit()).collect();
+        if graded.is_empty() {
+            return None;
+        }
+        Some(graded.iter().filter(|&&h| h).count() as f64 / graded.len() as f64)
+    }
+
+    /// Machine-readable fleet run report: the shared schema with a root
+    /// `missions` array (what `render_phase_report` turns back into the
+    /// fleet table).
+    pub fn fleet_json(&self) -> String {
+        let missions: Vec<String> = self.missions.iter().map(|m| m.to_json()).collect();
+        let sla = self.sla_hit_rate().map_or("null".to_string(), |r| format!("{r:.4}"));
+        format!(
+            "{{\"mode\": \"serve\", \"makespan\": {:.9}, \"sla_hit_rate\": {}, \
+             \"submitted\": {}, \"rejected\": {}, \"cancelled\": {}, \"completed\": {}, \
+             \"failed\": {}, \"missions\": [{}]}}",
+            self.makespan,
+            sla,
+            self.counters.submitted,
+            self.counters.rejected,
+            self.counters.cancelled,
+            self.counters.completed,
+            self.counters.failed,
+            missions.join(", ")
+        )
+    }
+}
+
+/// The pipeline configuration a mission executes with: the repository's
+/// small real-mode cube (seconds per mission on a workstation), the plan's
+/// I/O strategy, tail structure, and stripe factor, and a default watchdog.
+fn mission_config(spec: &MissionSpec, plan: &PlanChoice) -> StapConfig {
+    let cpis = spec.cpis.max(2);
+    StapConfig {
+        dims: CubeDims::new(16, 4, 64),
+        fanout: 2,
+        cpis,
+        warmup: (cpis / 3).max(1),
+        io: plan.io,
+        tail: plan.tail,
+        fs: FsConfig::paragon_pfs(plan.stripe_factor),
+        watchdog: Some(WatchdogPolicy::default()),
+        ..StapConfig::default()
+    }
+}
+
+/// Replays a workload script against a real worker pool and returns the
+/// executed fleet. Blocks until every admitted mission has completed (or
+/// failed under its watchdog); never hangs — admission guarantees every
+/// queued mission fits an empty pool, so the queue always drains.
+pub fn run_fleet(script: &WorkloadScript, cfg: &ServeConfig) -> FleetOutcome {
+    let mut sched = Scheduler::new(cfg.clone());
+    let epoch = Instant::now();
+    let (tx, rx) = std::sync::mpsc::channel::<WorkerDone>();
+    let mut next_event = 0usize;
+    let mut rejected: Vec<(String, String)> = Vec::new();
+    let mut cancelled: Vec<String> = Vec::new();
+    let mut missions: Vec<MissionReport> = Vec::new();
+    let mut tracks: Vec<FleetTrack> = Vec::new();
+    let mut makespan = 0.0f64;
+
+    loop {
+        let now = epoch.elapsed().as_secs_f64();
+        // Fire due script events.
+        while next_event < script.events.len() && script.events[next_event].at <= now {
+            match script.events[next_event].action.clone() {
+                ScriptAction::Submit(spec) => {
+                    let name = spec.name.clone();
+                    if let Err(e) = sched.submit(spec, now) {
+                        rejected.push((name, e.to_string()));
+                    }
+                }
+                ScriptAction::Cancel { name } => {
+                    if sched.cancel(&name).is_some() {
+                        cancelled.push(name);
+                    }
+                }
+            }
+            next_event += 1;
+        }
+        // Dispatch whatever fits the worker pool and the free nodes.
+        while let Some(d) = sched.next_ready(epoch.elapsed().as_secs_f64()) {
+            let tx = tx.clone();
+            let config = mission_config(&d.spec, &d.plan);
+            std::thread::spawn(move || {
+                let result = StapSystem::prepare(config)
+                    .and_then(|sys| sys.run_with_clock(ClockSpec::Wall))
+                    .map(Box::new)
+                    .map_err(|e| e.to_string());
+                let _ = tx.send(WorkerDone {
+                    id: d.id,
+                    spec: d.spec,
+                    plan: d.plan,
+                    submit: d.submit,
+                    start: d.start,
+                    read_contention: d.read_contention,
+                    result,
+                });
+            });
+        }
+        // Collect finished missions (or idle briefly until something moves).
+        match rx.recv_timeout(Duration::from_millis(10)) {
+            Ok(done) => {
+                let end = epoch.elapsed().as_secs_f64();
+                makespan = makespan.max(end);
+                sched.complete(done.id, done.result.is_err());
+                missions.push(finish(done, end, &mut tracks));
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+        let drained = next_event >= script.events.len();
+        if drained && sched.queued() == 0 && sched.running() == 0 {
+            break;
+        }
+    }
+    missions.sort_by_key(|m| m.id);
+    tracks.sort_by_key(|t| t.mission_id);
+    FleetOutcome { missions, cancelled, rejected, counters: sched.counters(), makespan, tracks }
+}
+
+/// Builds the report (and trace track) for one finished worker.
+fn finish(done: WorkerDone, end: f64, tracks: &mut Vec<FleetTrack>) -> MissionReport {
+    let base = MissionReport {
+        id: done.id,
+        name: done.spec.name.clone(),
+        priority: done.spec.priority,
+        requested_nodes: done.spec.nodes,
+        plan: done.plan,
+        submit: done.submit,
+        start: done.start,
+        end,
+        queue_wait: done.start - done.submit,
+        read_contention: done.read_contention,
+        throughput: 0.0,
+        latency: 0.0,
+        drops: 0,
+        retries: 0,
+        sla: SlaVerdict::Unbounded,
+        outcome: MissionOutcome::Completed,
+    };
+    match done.result {
+        Ok(out) => {
+            // Spans are on the mission's own run epoch; shift them onto the
+            // fleet epoch so the merged trace shows queueing and overlap.
+            let spans = out
+                .timing
+                .spans
+                .iter()
+                .map(|s| stap_trace::Span {
+                    start: s.start + done.start,
+                    end: s.end + done.start,
+                    ..*s
+                })
+                .collect();
+            tracks.push(FleetTrack {
+                mission_id: done.id,
+                name: done.spec.name.clone(),
+                stage_names: out.timing.stage_names.clone(),
+                spans,
+            });
+            MissionReport {
+                throughput: out.throughput(),
+                latency: out.latency(),
+                drops: out.dropped.len() as u64,
+                retries: out.retries,
+                sla: SlaVerdict::grade(done.spec.max_latency, out.latency()),
+                outcome: MissionOutcome::Completed,
+                ..base
+            }
+        }
+        Err(msg) => MissionReport { outcome: MissionOutcome::Failed(msg), ..base },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ServeConfig {
+        ServeConfig { pool_nodes: 60, workers: 2, queue_capacity: 8, stripe_servers: 64 }
+    }
+
+    #[test]
+    fn two_mission_fleet_completes_with_tagged_trace() {
+        let script = WorkloadScript::parse(
+            "at 0 submit name=alpha nodes=25 cpis=2\n\
+             at 0 submit name=beta nodes=25 cpis=2 priority=3\n",
+        )
+        .expect("valid script");
+        let out = run_fleet(&script, &cfg());
+        assert_eq!(out.missions.len(), 2, "both missions complete: {:?}", out.missions);
+        assert!(out.missions.iter().all(|m| m.outcome == MissionOutcome::Completed));
+        assert!(out.counters.completed == 2 && out.counters.submitted == 2);
+        let trace = out.chrome_trace();
+        let v = stap_trace::json::parse(&trace).expect("valid trace JSON");
+        let names: Vec<String> = v
+            .get("traceEvents")
+            .and_then(|e| e.as_array())
+            .expect("events")
+            .iter()
+            .filter(|ev| ev.get("name").and_then(|n| n.as_str()) == Some("process_name"))
+            .filter_map(|ev| Some(ev.get("args")?.get("name")?.as_str()?.to_string()))
+            .collect();
+        assert!(names.iter().any(|n| n.contains("alpha")), "{names:?}");
+        assert!(names.iter().any(|n| n.contains("beta")), "{names:?}");
+        let table = out.fleet_table();
+        assert!(table.contains("alpha") && table.contains("beta"));
+        let json = stap_trace::json::parse(&out.fleet_json()).expect("valid fleet JSON");
+        assert_eq!(json.get("missions").and_then(|m| m.as_array().map(|a| a.len())), Some(2));
+    }
+
+    #[test]
+    fn oversubscribed_fleet_queues_and_drains_in_priority_order() {
+        // One worker, three same-instant missions: the fleet must serialize
+        // without rejecting anything, dispatch the high-priority mission
+        // first, and keep FIFO order within a priority.
+        let script = WorkloadScript::parse(
+            "at 0.0 submit name=first nodes=25 cpis=2\n\
+             at 0.0 submit name=low nodes=25 cpis=2\n\
+             at 0.0 submit name=high nodes=25 cpis=2 priority=7\n",
+        )
+        .expect("valid script");
+        let serve = ServeConfig { workers: 1, ..cfg() };
+        let out = run_fleet(&script, &serve);
+        assert_eq!(out.missions.len(), 3);
+        assert!(out.rejected.is_empty(), "feasible-later missions queue: {:?}", out.rejected);
+        let start_of =
+            |name: &str| out.missions.iter().find(|m| m.name == name).map(|m| m.start).expect(name);
+        assert!(
+            start_of("high") < start_of("first") && start_of("first") < start_of("low"),
+            "dispatch order must be high, first, low (high={}, first={}, low={})",
+            start_of("high"),
+            start_of("first"),
+            start_of("low")
+        );
+        let waited = out.missions.iter().filter(|m| m.queue_wait > 0.0).count();
+        assert!(waited >= 2, "serialized missions report queue wait");
+    }
+
+    #[test]
+    fn cancel_removes_queued_mission_before_it_runs() {
+        // Same-instant events are processed in file order before any
+        // dispatch, so the cancellation is deterministic: doomed is queued
+        // and removed before the worker pool ever sees it.
+        let script = WorkloadScript::parse(
+            "at 0.0 submit name=runner nodes=25 cpis=2\n\
+             at 0.0 submit name=doomed nodes=25 cpis=2\n\
+             at 0.0 cancel name=doomed\n",
+        )
+        .expect("valid script");
+        let serve = ServeConfig { workers: 1, ..cfg() };
+        let out = run_fleet(&script, &serve);
+        assert_eq!(out.cancelled, vec!["doomed".to_string()]);
+        assert_eq!(out.missions.len(), 1);
+        assert_eq!(out.counters.cancelled, 1);
+    }
+}

@@ -1,0 +1,45 @@
+//! stap-serve: a multi-tenant mission scheduler for parallel pipelined STAP.
+//!
+//! The paper sizes ONE pipeline against ONE machine; a deployed radar site
+//! runs a *fleet* — several missions (surveillance doctrines, CPI budgets,
+//! latency SLAs) sharing a node pool and one striped file system. This crate
+//! adds that serving layer on top of the existing stack:
+//!
+//! - [`mission`] — mission specs, typed admission errors, per-mission
+//!   reports, and the fleet table.
+//! - [`script`] — timed workload scripts (`at <secs> submit …`) driving both
+//!   real and simulated fleets.
+//! - [`placement`] — node-pool accounting and per-stripe-server load, the
+//!   contention-adjusted read estimates.
+//! - [`scheduler`] — planner-backed admission ([`stap_planner`] searched
+//!   inside the currently-free budget), a bounded priority queue with
+//!   backpressure, and mission-conservation counters.
+//! - [`executor`] — a real bounded worker pool running missions as
+//!   [`stap_core`] pipelines under watchdogs, merging their phase spans into
+//!   one mission-tagged Chrome trace.
+//! - [`sim`] — DES capacity mode: mission arrivals over shared multi-server
+//!   FCFS stripe resources, predicting queue wait, slowdown, and SLA
+//!   hit-rate without running the pipelines.
+//! - [`experiments`] — the multi-tenant contention study backing
+//!   `results/serve_contention.txt`.
+
+#![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+pub mod executor;
+pub mod experiments;
+pub mod mission;
+pub mod placement;
+pub mod scheduler;
+pub mod script;
+pub mod sim;
+
+pub use executor::{run_fleet, FleetOutcome};
+pub use mission::{
+    fleet_table, machine_profile, AdmissionError, MissionOutcome, MissionReport, MissionSpec,
+    PlanChoice, SlaVerdict,
+};
+pub use placement::{NodePool, StripeLoadTracker};
+pub use scheduler::{Counters, Dispatch, Scheduler, ServeConfig};
+pub use script::{ScriptAction, ScriptError, ScriptEvent, WorkloadScript};
+pub use sim::{simulate_fleet, ReadModel, SimConfig, SimFleetReport, SimMissionRow};

@@ -1,0 +1,433 @@
+//! Missions: what a client submits, why admission can refuse one, and what
+//! the fleet reports when it is done.
+
+use stap_core::{IoStrategy, TailStructure};
+use stap_model::machines::MachineModel;
+use stap_trace::chrome::escape;
+
+/// One client request: run a STAP pipeline of `cpis` coherent processing
+/// intervals on a given machine profile, within an optional latency SLA,
+/// at a priority.
+///
+/// `nodes` is the compute-node budget the mission asks the pool for; the
+/// admission planner searches I/O strategies and task combining inside that
+/// budget (a separate-I/O plan additionally claims its dedicated reader
+/// nodes, so it is only chosen when the pool can back them).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MissionSpec {
+    /// Unique mission name (the client-facing identifier).
+    pub name: String,
+    /// Machine profile key: `paragon16`, `paragon64`, `paragon-het` or `sp`.
+    pub machine: String,
+    /// Compute-node budget requested from the shared pool.
+    pub nodes: usize,
+    /// CPIs to push through the pipeline.
+    pub cpis: u64,
+    /// Scheduling priority; higher runs first, FIFO within a priority.
+    pub priority: u8,
+    /// Optional latency SLA in seconds (admission rejects when no plan
+    /// meets it; completion grades the run against it).
+    pub max_latency: Option<f64>,
+    /// Pin the I/O strategy instead of letting the planner choose.
+    pub io: Option<IoStrategy>,
+    /// Pin the tail structure instead of letting the planner choose.
+    pub tail: Option<TailStructure>,
+}
+
+impl MissionSpec {
+    /// A mission named `name` with the serving defaults: 25 compute nodes
+    /// on the stripe-factor-64 Paragon, 4 CPIs, priority 0, no SLA.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            machine: "paragon64".into(),
+            nodes: 25,
+            cpis: 4,
+            priority: 0,
+            max_latency: None,
+            io: None,
+            tail: None,
+        }
+    }
+}
+
+/// Resolves a mission's machine profile key to its model.
+pub fn machine_profile(key: &str) -> Result<MachineModel, AdmissionError> {
+    match key {
+        "paragon16" => Ok(MachineModel::paragon(16)),
+        "paragon64" => Ok(MachineModel::paragon(64)),
+        "paragon-het" => Ok(MachineModel::paragon_hetero()),
+        "sp" => Ok(MachineModel::sp()),
+        other => Err(AdmissionError::UnknownMachine { key: other.to_string() }),
+    }
+}
+
+/// Why the scheduler refused a mission. Every variant is a final, typed
+/// answer the client can act on — admission never panics and never hangs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmissionError {
+    /// The mission asked for more nodes than the pool (or the machine
+    /// profile itself) owns; it could never run, so it is rejected rather
+    /// than queued.
+    PoolExceeded {
+        /// Nodes the mission requested.
+        requested: usize,
+        /// Nodes the pool owns.
+        pool: usize,
+    },
+    /// The bounded submission queue is full — backpressure; resubmit later.
+    QueueFull {
+        /// The queue's capacity.
+        capacity: usize,
+    },
+    /// The planner found no feasible plan inside the budget (typically an
+    /// unmeetable latency SLA).
+    NoFeasiblePlan {
+        /// What the planner reported.
+        detail: String,
+    },
+    /// The machine profile key is not one the fleet serves.
+    UnknownMachine {
+        /// The offending key.
+        key: String,
+    },
+    /// The spec is malformed (e.g. fewer nodes than pipeline tasks).
+    InvalidSpec {
+        /// What is wrong with it.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::PoolExceeded { requested, pool } => {
+                write!(f, "mission requests {requested} nodes but the pool owns {pool}")
+            }
+            AdmissionError::QueueFull { capacity } => {
+                write!(f, "submission queue is full ({capacity} missions)")
+            }
+            AdmissionError::NoFeasiblePlan { detail } => write!(f, "no feasible plan: {detail}"),
+            AdmissionError::UnknownMachine { key } => {
+                write!(
+                    f,
+                    "unknown machine profile '{key}' (try paragon16|paragon64|paragon-het|sp)"
+                )
+            }
+            AdmissionError::InvalidSpec { detail } => write!(f, "invalid mission spec: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// The plan admission chose for a mission: the planner's winning
+/// configuration condensed to what placement and reporting need.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanChoice {
+    /// Stripe factor of the plan's file-system layout.
+    pub stripe_factor: usize,
+    /// I/O strategy.
+    pub io: IoStrategy,
+    /// Tail structure.
+    pub tail: TailStructure,
+    /// Total nodes (compute + any dedicated readers) the plan reserves.
+    pub total_nodes: usize,
+    /// Per-task node assignment, e.g. `df=7 ew=1 hw=8 ...`.
+    pub assignment: String,
+    /// Planner's analytic throughput (CPIs/s) for the plan, uncontended.
+    pub throughput: f64,
+    /// Planner's analytic end-to-end latency (s) for the plan, uncontended.
+    pub latency: f64,
+}
+
+impl PlanChoice {
+    /// One-line summary for tables and logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "sf={} {}/{} n={} [{}]",
+            self.stripe_factor,
+            self.io.label(),
+            self.tail.label(),
+            self.total_nodes,
+            self.assignment
+        )
+    }
+}
+
+/// How a finished mission scored against its latency SLA.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SlaVerdict {
+    /// The mission had no SLA.
+    Unbounded,
+    /// Achieved latency met the bound.
+    Met {
+        /// The SLA bound in seconds.
+        bound: f64,
+        /// Achieved latency in seconds.
+        actual: f64,
+    },
+    /// Achieved latency exceeded the bound.
+    Missed {
+        /// The SLA bound in seconds.
+        bound: f64,
+        /// Achieved latency in seconds.
+        actual: f64,
+    },
+}
+
+impl SlaVerdict {
+    /// Grades `actual` seconds of latency against an optional bound.
+    pub fn grade(bound: Option<f64>, actual: f64) -> Self {
+        match bound {
+            None => SlaVerdict::Unbounded,
+            Some(b) if actual <= b => SlaVerdict::Met { bound: b, actual },
+            Some(b) => SlaVerdict::Missed { bound: b, actual },
+        }
+    }
+
+    /// Short table label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SlaVerdict::Unbounded => "-",
+            SlaVerdict::Met { .. } => "met",
+            SlaVerdict::Missed { .. } => "MISS",
+        }
+    }
+
+    /// Whether the verdict counts as an SLA hit (`None` when unbounded).
+    pub fn hit(&self) -> Option<bool> {
+        match self {
+            SlaVerdict::Unbounded => None,
+            SlaVerdict::Met { .. } => Some(true),
+            SlaVerdict::Missed { .. } => Some(false),
+        }
+    }
+}
+
+/// How a mission's execution ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MissionOutcome {
+    /// Ran to completion.
+    Completed,
+    /// Removed from the queue before it started.
+    Cancelled,
+    /// The pipeline erred (including watchdog timeouts); the message is the
+    /// typed pipeline error rendered.
+    Failed(String),
+}
+
+impl MissionOutcome {
+    /// Short table label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MissionOutcome::Completed => "done",
+            MissionOutcome::Cancelled => "cancelled",
+            MissionOutcome::Failed(_) => "FAILED",
+        }
+    }
+}
+
+/// Per-mission entry of the machine-readable fleet run report: when the
+/// mission waited, ran, what plan it ran under, what it delivered, and how
+/// it scored against its SLA.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MissionReport {
+    /// Scheduler-assigned mission id (also the Chrome-trace process tag).
+    pub id: u64,
+    /// Mission name.
+    pub name: String,
+    /// Scheduling priority.
+    pub priority: u8,
+    /// Compute nodes the mission requested.
+    pub requested_nodes: usize,
+    /// The admitted plan.
+    pub plan: PlanChoice,
+    /// Submission time, seconds on the fleet epoch.
+    pub submit: f64,
+    /// Execution start (dispatch) time, seconds on the fleet epoch.
+    pub start: f64,
+    /// Completion time, seconds on the fleet epoch.
+    pub end: f64,
+    /// `start - submit`: time spent queued behind other missions.
+    pub queue_wait: f64,
+    /// Contention-adjusted read-time multiplier at dispatch: how many
+    /// missions (including this one) shared its busiest stripe server.
+    pub read_contention: f64,
+    /// Measured (or simulated) steady-state throughput, CPIs/s.
+    pub throughput: f64,
+    /// Measured (or simulated) end-to-end latency, seconds.
+    pub latency: f64,
+    /// CPIs dropped under a skip policy.
+    pub drops: u64,
+    /// Read retries.
+    pub retries: u64,
+    /// SLA verdict.
+    pub sla: SlaVerdict,
+    /// How execution ended.
+    pub outcome: MissionOutcome,
+}
+
+impl MissionReport {
+    /// The mission entry of the machine-readable run-report schema, as one
+    /// JSON object.
+    pub fn to_json(&self) -> String {
+        let sla = match self.sla {
+            SlaVerdict::Unbounded => "null".to_string(),
+            SlaVerdict::Met { bound, actual } => {
+                format!("{{\"met\": true, \"bound\": {bound:.9}, \"actual\": {actual:.9}}}")
+            }
+            SlaVerdict::Missed { bound, actual } => {
+                format!("{{\"met\": false, \"bound\": {bound:.9}, \"actual\": {actual:.9}}}")
+            }
+        };
+        format!(
+            "{{\"mission\": {}, \"name\": \"{}\", \"priority\": {}, \
+             \"requested_nodes\": {}, \"plan\": \"{}\", \"submit\": {:.9}, \
+             \"start\": {:.9}, \"end\": {:.9}, \"queue_wait\": {:.9}, \
+             \"read_contention\": {:.3}, \"throughput\": {:.9}, \"latency\": {:.9}, \
+             \"drops\": {}, \"retries\": {}, \"sla\": {}, \"outcome\": \"{}\"}}",
+            self.id,
+            escape(&self.name),
+            self.priority,
+            self.requested_nodes,
+            escape(&self.plan.summary()),
+            self.submit,
+            self.start,
+            self.end,
+            self.queue_wait,
+            self.read_contention,
+            self.throughput,
+            self.latency,
+            self.drops,
+            self.retries,
+            sla,
+            self.outcome.label(),
+        )
+    }
+}
+
+/// Renders the per-mission fleet table (the human side of the fleet run
+/// report).
+pub fn fleet_table(reports: &[MissionReport]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<4}{:<12}{:>4}{:>7}  {:<34}{:>9}{:>9}{:>9}{:>7}{:>6}  {:<9}",
+        "id",
+        "mission",
+        "pri",
+        "nodes",
+        "plan",
+        "wait(s)",
+        "run(s)",
+        "CPI/s",
+        "drops",
+        "sla",
+        "outcome"
+    );
+    for r in reports {
+        let _ = writeln!(
+            out,
+            "{:<4}{:<12}{:>4}{:>7}  {:<34}{:>9.3}{:>9.3}{:>9.3}{:>7}{:>6}  {:<9}",
+            r.id,
+            truncate(&r.name, 11),
+            r.priority,
+            r.requested_nodes,
+            truncate(&r.plan.summary(), 33),
+            r.queue_wait,
+            r.end - r.start,
+            r.throughput,
+            r.drops,
+            r.sla.label(),
+            r.outcome.label(),
+        );
+    }
+    out
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    if s.len() <= n {
+        s
+    } else {
+        &s[..n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> MissionReport {
+        MissionReport {
+            id: 2,
+            name: "alpha".into(),
+            priority: 3,
+            requested_nodes: 25,
+            plan: PlanChoice {
+                stripe_factor: 64,
+                io: IoStrategy::Embedded,
+                tail: TailStructure::Split,
+                total_nodes: 25,
+                assignment: "df=7 hw=8".into(),
+                throughput: 2.0,
+                latency: 0.5,
+            },
+            submit: 1.0,
+            start: 2.5,
+            end: 5.0,
+            queue_wait: 1.5,
+            read_contention: 2.0,
+            throughput: 1.9,
+            latency: 0.55,
+            drops: 1,
+            retries: 2,
+            sla: SlaVerdict::grade(Some(0.6), 0.55),
+            outcome: MissionOutcome::Completed,
+        }
+    }
+
+    #[test]
+    fn report_json_carries_the_schema_fields() {
+        let j = report().to_json();
+        let v = stap_trace::json::parse(&j).expect("valid JSON");
+        assert_eq!(v.get("mission").unwrap().as_f64(), Some(2.0));
+        assert_eq!(v.get("queue_wait").unwrap().as_f64(), Some(1.5));
+        assert_eq!(v.get("outcome").unwrap().as_str(), Some("done"));
+        let sla = v.get("sla").unwrap();
+        assert!(matches!(sla.get("met"), Some(stap_trace::json::Json::Bool(true))));
+        assert!(v.get("plan").unwrap().as_str().unwrap().contains("sf=64"));
+    }
+
+    #[test]
+    fn sla_grading() {
+        assert_eq!(SlaVerdict::grade(None, 1.0), SlaVerdict::Unbounded);
+        assert!(matches!(SlaVerdict::grade(Some(1.0), 0.5), SlaVerdict::Met { .. }));
+        assert!(matches!(SlaVerdict::grade(Some(1.0), 1.5), SlaVerdict::Missed { .. }));
+        assert_eq!(SlaVerdict::grade(Some(1.0), 1.5).hit(), Some(false));
+        assert_eq!(SlaVerdict::Unbounded.hit(), None);
+    }
+
+    #[test]
+    fn fleet_table_lists_every_mission() {
+        let t = fleet_table(&[report()]);
+        assert!(t.contains("alpha"));
+        assert!(t.contains("met"));
+        assert!(t.contains("done"));
+    }
+
+    #[test]
+    fn machine_profiles_resolve() {
+        assert!(machine_profile("paragon16").is_ok());
+        assert!(machine_profile("paragon-het").unwrap().pool_size().is_some());
+        assert!(matches!(machine_profile("cray"), Err(AdmissionError::UnknownMachine { .. })));
+    }
+
+    #[test]
+    fn admission_errors_render_their_reason() {
+        let e = AdmissionError::PoolExceeded { requested: 200, pool: 128 };
+        assert!(e.to_string().contains("200"));
+        assert!(AdmissionError::QueueFull { capacity: 4 }.to_string().contains("full"));
+    }
+}

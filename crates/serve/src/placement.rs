@@ -1,0 +1,170 @@
+//! Placement bookkeeping: the shared node pool and per-stripe-server load.
+//!
+//! The pool is counted in *nodes* (the paper's machine currency); the
+//! stripe tracker counts how many running missions touch each stripe
+//! directory of the shared store, so co-located missions get
+//! contention-adjusted read-time estimates — the serving-layer face of the
+//! paper's finding that the striped file system, not compute, saturates
+//! first.
+
+use crate::mission::AdmissionError;
+
+/// Counted node pool with typed over-subscription errors.
+#[derive(Debug, Clone)]
+pub struct NodePool {
+    total: usize,
+    free: usize,
+}
+
+impl NodePool {
+    /// A pool of `total` nodes, all free.
+    pub fn new(total: usize) -> Self {
+        Self { total, free: total }
+    }
+
+    /// Nodes the pool owns.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Nodes currently unreserved.
+    pub fn free(&self) -> usize {
+        self.free
+    }
+
+    /// Whether `n` nodes could *ever* be reserved (the admission guard:
+    /// exceeding this is a typed rejection, not a queue entry).
+    pub fn fits(&self, n: usize) -> Result<(), AdmissionError> {
+        if n > self.total {
+            return Err(AdmissionError::PoolExceeded { requested: n, pool: self.total });
+        }
+        Ok(())
+    }
+
+    /// Reserves `n` nodes now. Errors (typed) when `n` exceeds the pool;
+    /// returns `Ok(false)` when the nodes exist but are currently busy
+    /// (feasible later — queue, don't reject).
+    pub fn reserve(&mut self, n: usize) -> Result<bool, AdmissionError> {
+        self.fits(n)?;
+        if n > self.free {
+            return Ok(false);
+        }
+        self.free -= n;
+        Ok(true)
+    }
+
+    /// Releases `n` nodes. Saturates at the pool size (double-release is a
+    /// bug upstream but must not wedge the scheduler).
+    pub fn release(&mut self, n: usize) {
+        self.free = (self.free + n).min(self.total);
+    }
+}
+
+/// Per-stripe-server load across running missions.
+///
+/// A mission whose plan stripes over `sf` directories occupies servers
+/// `0..sf` of the shared store for its whole run (round-robin layout, so
+/// the low-numbered directories are the contended ones). The peak
+/// concurrent count over a mission's servers is its read-contention
+/// multiplier: two co-located missions on the same directories roughly
+/// double each other's per-request queueing.
+#[derive(Debug, Clone)]
+pub struct StripeLoadTracker {
+    load: Vec<u32>,
+}
+
+impl StripeLoadTracker {
+    /// Tracks `servers` stripe directories, all idle.
+    pub fn new(servers: usize) -> Self {
+        Self { load: vec![0; servers.max(1)] }
+    }
+
+    /// Number of tracked stripe directories.
+    pub fn servers(&self) -> usize {
+        self.load.len()
+    }
+
+    /// Marks a mission striping over `sf` directories as running.
+    pub fn acquire(&mut self, sf: usize) {
+        let n = sf.min(self.load.len());
+        for l in &mut self.load[..n] {
+            *l += 1;
+        }
+    }
+
+    /// Marks it finished.
+    pub fn release(&mut self, sf: usize) {
+        let n = sf.min(self.load.len());
+        for l in &mut self.load[..n] {
+            *l = l.saturating_sub(1);
+        }
+    }
+
+    /// Peak missions sharing any of the `sf` directories (including the
+    /// caller if it has acquired).
+    pub fn peak_load(&self, sf: usize) -> u32 {
+        let n = sf.min(self.load.len()).max(1);
+        self.load[..n].iter().copied().max().unwrap_or(0)
+    }
+
+    /// Contention-adjusted read-time estimate: the uncontended estimate
+    /// scaled by the peak number of missions sharing the mission's stripe
+    /// servers (FCFS queueing shares each directory's bandwidth evenly).
+    pub fn contended_read_estimate(&self, base_secs: f64, sf: usize) -> f64 {
+        base_secs * f64::from(self.peak_load(sf).max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_reserves_and_releases() {
+        let mut p = NodePool::new(10);
+        assert_eq!(p.reserve(6), Ok(true));
+        assert_eq!(p.free(), 4);
+        assert_eq!(p.reserve(6), Ok(false), "busy, not rejected");
+        p.release(6);
+        assert_eq!(p.reserve(6), Ok(true));
+    }
+
+    #[test]
+    fn oversized_request_is_a_typed_rejection() {
+        let mut p = NodePool::new(10);
+        assert_eq!(p.reserve(11), Err(AdmissionError::PoolExceeded { requested: 11, pool: 10 }));
+        assert!(p.fits(10).is_ok());
+    }
+
+    #[test]
+    fn double_release_saturates() {
+        let mut p = NodePool::new(4);
+        p.release(100);
+        assert_eq!(p.free(), 4);
+    }
+
+    #[test]
+    fn stripe_contention_scales_with_co_location() {
+        let mut t = StripeLoadTracker::new(64);
+        t.acquire(16);
+        assert_eq!(t.peak_load(16), 1);
+        assert_eq!(t.contended_read_estimate(0.2, 16), 0.2);
+        // A second mission on the same low directories doubles the estimate;
+        // a wide mission still sees the shared hot directories.
+        t.acquire(16);
+        assert_eq!(t.contended_read_estimate(0.2, 16), 0.4);
+        t.acquire(64);
+        assert_eq!(t.peak_load(64), 3);
+        t.release(16);
+        t.release(16);
+        assert_eq!(t.peak_load(64), 1);
+    }
+
+    #[test]
+    fn release_never_underflows() {
+        let mut t = StripeLoadTracker::new(8);
+        t.release(8);
+        assert_eq!(t.peak_load(8), 0);
+        assert_eq!(t.contended_read_estimate(1.0, 8), 1.0, "idle store is uncontended");
+    }
+}

@@ -1,0 +1,598 @@
+//! DES capacity mode: predict fleet behaviour without running pipelines.
+//!
+//! `ppstap serve --sim` replays a workload script against the *same*
+//! [`Scheduler`] the real executor uses, but executes missions as
+//! discrete-event processes: each CPI posts its stripe-unit reads to one
+//! shared multi-server FCFS store ([`stap_des::FcfsResource`]) and then
+//! computes for the plan's residual cycle time. Co-located missions queue
+//! behind each other on the stripe directories they share, so the
+//! simulation reports contention-stretched runtimes (slowdown), queue
+//! waits, SLA hit-rate, and fleet store utilization — the capacity-planning
+//! questions — in milliseconds of wall time.
+//!
+//! Two read models are available: [`ReadModel::Planned`] derives per-unit
+//! service times from the machine profile's file system (pure prediction),
+//! while [`ReadModel::Measured`] is calibrated from an uncontended executed
+//! run (used by the serve-conformance suite to compare prediction against
+//! execution on the same footing).
+
+use crate::mission::{MissionOutcome, MissionReport, PlanChoice, SlaVerdict};
+use crate::scheduler::{Counters, Dispatch, Scheduler, ServeConfig};
+use crate::script::{ScriptAction, WorkloadScript};
+use stap_des::{Engine, FcfsResource, SimTime};
+use stap_model::workload::ShapeParams;
+use stap_pfs::{FsConfig, StripeLayout};
+
+/// How the simulator prices a mission's per-CPI read.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReadModel {
+    /// Derive stripe-unit service times from the plan's file-system profile
+    /// (prediction from first principles).
+    Planned,
+    /// Calibrated against an executed uncontended run: each CPI costs
+    /// `runtime_per_cpi`, of which `read_fraction` is read time on the
+    /// shared store.
+    Measured {
+        /// Executed seconds per CPI, uncontended.
+        runtime_per_cpi: f64,
+        /// Fraction of that spent reading (0..1).
+        read_fraction: f64,
+    },
+}
+
+/// Simulation configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Fleet configuration (pool, workers, queue bound, stripe servers).
+    pub serve: ServeConfig,
+    /// Read-pricing model.
+    pub read_model: ReadModel,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self { serve: ServeConfig::default(), read_model: ReadModel::Planned }
+    }
+}
+
+/// One simulated mission's predicted service record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimMissionRow {
+    /// Scheduler-assigned mission id.
+    pub id: u64,
+    /// Mission name.
+    pub name: String,
+    /// Scheduling priority.
+    pub priority: u8,
+    /// Compute nodes requested.
+    pub requested_nodes: usize,
+    /// The admitted plan.
+    pub plan: PlanChoice,
+    /// Submission time, seconds.
+    pub submit: f64,
+    /// Dispatch time, seconds.
+    pub start: f64,
+    /// Completion time, seconds.
+    pub end: f64,
+    /// Predicted queue wait, seconds.
+    pub queue_wait: f64,
+    /// Uncontended runtime the mission would take alone, seconds.
+    pub nominal_runtime: f64,
+    /// `actual_runtime / nominal_runtime` — the contention stretch.
+    pub slowdown: f64,
+    /// Predicted delivered throughput, CPIs/s.
+    pub throughput: f64,
+    /// Predicted per-CPI latency including contention stretch, seconds.
+    pub latency: f64,
+    /// Missions sharing the busiest stripe server at dispatch.
+    pub read_contention: f64,
+    /// SLA verdict on the predicted latency.
+    pub sla: SlaVerdict,
+}
+
+impl SimMissionRow {
+    /// Converts the row to the shared mission-report schema (drops and
+    /// retries are always zero in simulation).
+    pub fn to_report(&self) -> MissionReport {
+        MissionReport {
+            id: self.id,
+            name: self.name.clone(),
+            priority: self.priority,
+            requested_nodes: self.requested_nodes,
+            plan: self.plan.clone(),
+            submit: self.submit,
+            start: self.start,
+            end: self.end,
+            queue_wait: self.queue_wait,
+            read_contention: self.read_contention,
+            throughput: self.throughput,
+            latency: self.latency,
+            drops: 0,
+            retries: 0,
+            sla: self.sla,
+            outcome: MissionOutcome::Completed,
+        }
+    }
+}
+
+/// The simulated fleet's report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimFleetReport {
+    /// Completed missions in completion order.
+    pub rows: Vec<SimMissionRow>,
+    /// `(name, typed reason)` for rejected submissions.
+    pub rejected: Vec<(String, String)>,
+    /// Names of missions cancelled while queued.
+    pub cancelled: Vec<String>,
+    /// Mission-conservation counters.
+    pub counters: Counters,
+    /// Last completion time, seconds.
+    pub makespan: f64,
+    /// Mean utilization of the shared stripe store over the makespan.
+    pub fleet_utilization: f64,
+    /// Stripe-unit read jobs the store served.
+    pub store_jobs: u64,
+}
+
+impl SimFleetReport {
+    /// Fraction of SLA-bounded missions predicted to meet their bound
+    /// (`None` when no mission carried an SLA).
+    pub fn sla_hit_rate(&self) -> Option<f64> {
+        let graded: Vec<bool> = self.rows.iter().filter_map(|r| r.sla.hit()).collect();
+        if graded.is_empty() {
+            return None;
+        }
+        Some(graded.iter().filter(|&&h| h).count() as f64 / graded.len() as f64)
+    }
+
+    /// Mean predicted queue wait over completed missions, seconds.
+    pub fn mean_queue_wait(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows.iter().map(|r| r.queue_wait).sum::<f64>() / self.rows.len() as f64
+    }
+
+    /// Human-readable capacity report.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<4}{:<12}{:>4}{:>7}{:>9}{:>9}{:>9}{:>10}{:>9}{:>6}  {:<24}",
+            "id",
+            "mission",
+            "pri",
+            "nodes",
+            "wait(s)",
+            "run(s)",
+            "nominal",
+            "slowdown",
+            "CPI/s",
+            "sla",
+            "plan"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:<4}{:<12}{:>4}{:>7}{:>9.3}{:>9.3}{:>9.3}{:>10.3}{:>9.3}{:>6}  {:<24}",
+                r.id,
+                r.name,
+                r.priority,
+                r.requested_nodes,
+                r.queue_wait,
+                r.end - r.start,
+                r.nominal_runtime,
+                r.slowdown,
+                r.throughput,
+                r.sla.label(),
+                r.plan.summary(),
+            );
+        }
+        for (name, why) in &self.rejected {
+            let _ = writeln!(out, "rejected {name}: {why}");
+        }
+        for name in &self.cancelled {
+            let _ = writeln!(out, "cancelled {name} while queued");
+        }
+        let _ = writeln!(out, "makespan            {:.3} s", self.makespan);
+        let _ = writeln!(out, "mean queue wait     {:.3} s", self.mean_queue_wait());
+        let _ = writeln!(
+            out,
+            "fleet store util    {:.1}% over {} read jobs",
+            self.fleet_utilization * 100.0,
+            self.store_jobs
+        );
+        match self.sla_hit_rate() {
+            Some(rate) => {
+                let _ = writeln!(out, "SLA hit-rate        {:.0}%", rate * 100.0);
+            }
+            None => {
+                let _ = writeln!(out, "SLA hit-rate        n/a (no bounded missions)");
+            }
+        }
+        out
+    }
+
+    /// Machine-readable fleet report: the shared run-report schema with a
+    /// root `missions` array.
+    pub fn to_json(&self) -> String {
+        let missions: Vec<String> = self.rows.iter().map(|r| r.to_report().to_json()).collect();
+        let sla = self.sla_hit_rate().map_or("null".to_string(), |r| format!("{r:.4}"));
+        format!(
+            "{{\"mode\": \"sim\", \"makespan\": {:.9}, \"fleet_utilization\": {:.6}, \
+             \"mean_queue_wait\": {:.9}, \"sla_hit_rate\": {}, \"store_jobs\": {}, \
+             \"submitted\": {}, \"rejected\": {}, \"cancelled\": {}, \"completed\": {}, \
+             \"missions\": [{}]}}",
+            self.makespan,
+            self.fleet_utilization,
+            self.mean_queue_wait(),
+            sla,
+            self.store_jobs,
+            self.counters.submitted,
+            self.counters.rejected,
+            self.counters.cancelled,
+            self.counters.completed,
+            missions.join(", ")
+        )
+    }
+}
+
+/// A running simulated mission.
+struct Active {
+    d: Dispatch,
+    cpis: u64,
+    cpis_done: u64,
+    nominal_runtime: f64,
+    /// `(stripe server, service seconds)` per read request, one CPI's worth.
+    reads: Vec<(usize, f64)>,
+    /// Residual compute per CPI after the uncontended read, seconds.
+    compute: f64,
+}
+
+/// Model state threaded through the DES engine.
+struct FleetState {
+    sched: Scheduler,
+    store: FcfsResource,
+    active: Vec<Option<Active>>,
+    rows: Vec<SimMissionRow>,
+    rejected: Vec<(String, String)>,
+    cancelled: Vec<String>,
+}
+
+/// Replays a workload script in virtual time and reports the predicted
+/// per-mission service and fleet capacity figures.
+pub fn simulate_fleet(script: &WorkloadScript, cfg: &SimConfig) -> SimFleetReport {
+    let stripe_servers = cfg.serve.stripe_servers.max(1);
+    let mut state = FleetState {
+        sched: Scheduler::new(cfg.serve.clone()),
+        store: FcfsResource::new("stripe-store", stripe_servers),
+        active: Vec::new(),
+        rows: Vec::new(),
+        rejected: Vec::new(),
+        cancelled: Vec::new(),
+    };
+    let mut eng: Engine<FleetState> = Engine::new();
+    for ev in &script.events {
+        let at = SimTime::from_secs_f64(ev.at);
+        match ev.action.clone() {
+            ScriptAction::Submit(spec) => {
+                let model = cfg.read_model.clone();
+                eng.schedule_at(at, move |e, s| {
+                    let now = e.now().as_secs_f64();
+                    match s.sched.submit(spec.clone(), now) {
+                        Ok(_) => pump(e, s, &model),
+                        Err(err) => s.rejected.push((spec.name, err.to_string())),
+                    }
+                });
+            }
+            ScriptAction::Cancel { name } => {
+                eng.schedule_at(at, move |_, s| {
+                    if s.sched.cancel(&name).is_some() {
+                        s.cancelled.push(name);
+                    }
+                });
+            }
+        }
+    }
+    let end = eng.run(&mut state);
+    let makespan = state.rows.iter().map(|r| r.end).fold(end.as_secs_f64(), f64::max);
+    let fleet_utilization = state.store.utilization(SimTime::from_secs_f64(makespan));
+    SimFleetReport {
+        rows: state.rows,
+        rejected: state.rejected,
+        cancelled: state.cancelled,
+        counters: state.sched.counters(),
+        makespan,
+        fleet_utilization,
+        store_jobs: state.store.jobs(),
+    }
+}
+
+/// Dispatches every currently-runnable mission and starts its CPI loop.
+fn pump(eng: &mut Engine<FleetState>, st: &mut FleetState, model: &ReadModel) {
+    while let Some(d) = st.sched.next_ready(eng.now().as_secs_f64()) {
+        let id = d.id;
+        let cpis = d.spec.cpis.max(2);
+        let (reads, compute, nominal_per_cpi) = price_cpi(&d.plan, model);
+        let active = Active {
+            d,
+            cpis,
+            cpis_done: 0,
+            nominal_runtime: nominal_per_cpi * cpis as f64,
+            reads,
+            compute,
+        };
+        let idx = id as usize;
+        if st.active.len() <= idx {
+            st.active.resize_with(idx + 1, || None);
+        }
+        st.active[idx] = Some(active);
+        let model = model.clone();
+        step_cpi(eng, st, id, &model);
+    }
+}
+
+/// Prices one CPI of a plan: the stripe-read request list, the residual
+/// compute, and the uncontended per-CPI cycle time.
+fn price_cpi(plan: &PlanChoice, model: &ReadModel) -> (Vec<(usize, f64)>, f64, f64) {
+    match model {
+        ReadModel::Planned => {
+            let fs = FsConfig::paragon_pfs(plan.stripe_factor);
+            let layout = StripeLayout::new(fs.stripe_unit, fs.stripe_factor);
+            let bytes = ShapeParams::paper_default().cube_bytes();
+            let reads: Vec<(usize, f64)> = layout
+                .map_extent(0, bytes)
+                .into_iter()
+                .map(|r| {
+                    let service =
+                        fs.request_latency.as_secs_f64() + r.len as f64 / fs.server_bandwidth;
+                    (r.server, service)
+                })
+                .collect();
+            // Uncontended read: each of the sf directories serves its share
+            // of the units back-to-back.
+            let servers = plan.stripe_factor.max(1);
+            let mut per_server = vec![0.0f64; servers];
+            for &(srv, svc) in &reads {
+                per_server[srv % servers] += svc;
+            }
+            let read_alone = per_server.iter().copied().fold(0.0, f64::max);
+            // The plan's steady-state cycle is 1/throughput; whatever the
+            // read does not account for is modelled as compute.
+            let cycle = 1.0 / plan.throughput.max(1e-9);
+            let compute = (cycle - read_alone).max(0.0);
+            (reads, compute, read_alone + compute)
+        }
+        ReadModel::Measured { runtime_per_cpi, read_fraction } => {
+            let read = runtime_per_cpi * read_fraction.clamp(0.0, 1.0);
+            let compute = runtime_per_cpi - read;
+            // One aggregate read per CPI, pinned (in `step_cpi`) to the
+            // mission's stripe directories round-robin.
+            (vec![(0, read)], compute, *runtime_per_cpi)
+        }
+    }
+}
+
+/// Runs one CPI of mission `id`: queue its reads on the shared store, then
+/// compute; schedules the next CPI (or completion) at the cycle end.
+fn step_cpi(eng: &mut Engine<FleetState>, st: &mut FleetState, id: u64, model: &ReadModel) {
+    let now = eng.now();
+    let servers = st.store.servers();
+    let Some(a) = st.active.get_mut(id as usize).and_then(|a| a.as_mut()) else {
+        return;
+    };
+    let rotate = match model {
+        // Planned requests already carry their stripe directory.
+        ReadModel::Planned => 0,
+        // Measured aggregates rotate over the plan's directories so
+        // co-located missions still collide on shared servers.
+        ReadModel::Measured { .. } => (a.cpis_done as usize) % a.d.plan.stripe_factor.max(1),
+    };
+    let mut read_done = now;
+    for &(srv, svc) in &a.reads {
+        let (_, done) =
+            st.store.submit_to((srv + rotate) % servers, now, SimTime::from_secs_f64(svc));
+        read_done = read_done.max(done);
+    }
+    let cycle_end = read_done + SimTime::from_secs_f64(a.compute);
+    a.cpis_done += 1;
+    let finished = a.cpis_done >= a.cpis;
+    let model = model.clone();
+    eng.schedule_at(cycle_end, move |e, s| {
+        if finished {
+            finish_mission(e, s, id, &model);
+        } else {
+            step_cpi(e, s, id, &model);
+        }
+    });
+}
+
+/// Completes mission `id`: frees its resources, records its row, and pumps
+/// the queue.
+fn finish_mission(eng: &mut Engine<FleetState>, st: &mut FleetState, id: u64, model: &ReadModel) {
+    let Some(a) = st.active.get_mut(id as usize).and_then(|a| a.take()) else {
+        return;
+    };
+    let end = eng.now().as_secs_f64();
+    st.sched.complete(id, false);
+    let runtime = (end - a.d.start).max(1e-12);
+    let slowdown = runtime / a.nominal_runtime.max(1e-12);
+    // Contention stretches every CPI cycle; the achieved latency is the
+    // plan's pipeline latency plus the per-CPI stretch.
+    let stretch = (runtime - a.nominal_runtime).max(0.0) / a.cpis as f64;
+    let latency = a.d.plan.latency + stretch;
+    st.rows.push(SimMissionRow {
+        id,
+        name: a.d.spec.name.clone(),
+        priority: a.d.spec.priority,
+        requested_nodes: a.d.spec.nodes,
+        plan: a.d.plan.clone(),
+        submit: a.d.submit,
+        start: a.d.start,
+        end,
+        queue_wait: a.d.start - a.d.submit,
+        nominal_runtime: a.nominal_runtime,
+        slowdown,
+        throughput: a.cpis as f64 / runtime,
+        latency,
+        read_contention: a.d.read_contention,
+        sla: SlaVerdict::grade(a.d.spec.max_latency, latency),
+    });
+    pump(eng, st, model);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(workers: usize) -> SimConfig {
+        SimConfig {
+            serve: ServeConfig { pool_nodes: 60, workers, queue_capacity: 16, stripe_servers: 64 },
+            read_model: ReadModel::Planned,
+        }
+    }
+
+    fn script(text: &str) -> WorkloadScript {
+        WorkloadScript::parse(text).expect("valid script")
+    }
+
+    #[test]
+    fn lone_mission_has_no_queue_wait_and_unit_slowdown() {
+        let s = script("at 0 submit name=solo nodes=25 cpis=8\n");
+        let r = simulate_fleet(&s, &cfg(2));
+        assert_eq!(r.rows.len(), 1);
+        let row = &r.rows[0];
+        assert_eq!(row.queue_wait, 0.0);
+        assert!(
+            (row.slowdown - 1.0).abs() < 1e-6,
+            "uncontended mission runs at nominal speed, got {}",
+            row.slowdown
+        );
+        assert!(r.counters.completed == 1 && r.sched_conserved());
+    }
+
+    impl SimFleetReport {
+        fn sched_conserved(&self) -> bool {
+            let c = self.counters;
+            c.submitted == c.rejected + c.cancelled + c.completed + c.failed
+        }
+    }
+
+    #[test]
+    fn co_located_missions_slow_each_other_down() {
+        // Four tenants on the narrow-stripe machine: their reads pile onto
+        // the same 16 directories, so everyone's cycles stretch.
+        let s = script(
+            "at 0 submit name=a machine=paragon16 nodes=25 cpis=8\n\
+             at 0 submit name=b machine=paragon16 nodes=25 cpis=8\n\
+             at 0 submit name=c machine=paragon16 nodes=25 cpis=8\n\
+             at 0 submit name=d machine=paragon16 nodes=25 cpis=8\n",
+        );
+        let mut c = cfg(4);
+        c.serve.pool_nodes = 200;
+        let r = simulate_fleet(&s, &c);
+        assert_eq!(r.rows.len(), 4);
+        assert!(
+            r.rows.iter().any(|row| row.slowdown > 1.2),
+            "sharing stripe servers must stretch the fleet: {:?}",
+            r.rows.iter().map(|x| x.slowdown).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn single_worker_serializes_and_reports_queue_wait() {
+        let s = script(
+            "at 0 submit name=a nodes=25 cpis=4\n\
+             at 0 submit name=b nodes=25 cpis=4\n",
+        );
+        let r = simulate_fleet(&s, &cfg(1));
+        let b = r.rows.iter().find(|x| x.name == "b").expect("b completes");
+        let a = r.rows.iter().find(|x| x.name == "a").expect("a completes");
+        assert!(b.queue_wait > 0.5 * (a.end - a.start), "b waits for a: {}", b.queue_wait);
+        assert!((b.start - a.end).abs() < 1e-9, "b starts when a releases the worker");
+    }
+
+    #[test]
+    fn priority_preempts_queue_order_not_running_missions() {
+        let s = script(
+            "at 0.0 submit name=lo nodes=25 cpis=4\n\
+             at 0.1 submit name=mid nodes=25 cpis=4 priority=1\n\
+             at 0.2 submit name=hi nodes=25 cpis=4 priority=9\n",
+        );
+        let r = simulate_fleet(&s, &cfg(1));
+        let order: Vec<&str> = {
+            let mut rows: Vec<&SimMissionRow> = r.rows.iter().collect();
+            rows.sort_by(|x, y| x.start.total_cmp(&y.start));
+            rows.iter().map(|x| x.name.as_str()).collect()
+        };
+        assert_eq!(order, vec!["lo", "hi", "mid"], "hi jumps the queue, lo keeps running");
+    }
+
+    #[test]
+    fn rejections_and_cancellations_are_reported() {
+        let s = script(
+            "at 0 submit name=big nodes=500\n\
+             at 0 submit name=a nodes=25 cpis=4\n\
+             at 0 submit name=b nodes=25 cpis=4\n\
+             at 0.01 cancel name=b\n",
+        );
+        let r = simulate_fleet(
+            &s,
+            &SimConfig { serve: ServeConfig { workers: 1, ..cfg(1).serve }, ..cfg(1) },
+        );
+        assert_eq!(r.rejected.len(), 1);
+        assert!(r.rejected[0].1.contains("pool"), "{}", r.rejected[0].1);
+        assert_eq!(r.cancelled, vec!["b".to_string()]);
+        assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    fn sla_hit_rate_grades_bounded_missions_only() {
+        let s = script(
+            "at 0 submit name=loose nodes=25 cpis=4 max-latency=30\n\
+             at 0 submit name=free nodes=25 cpis=4\n",
+        );
+        let r = simulate_fleet(&s, &cfg(2));
+        assert_eq!(r.sla_hit_rate(), Some(1.0), "loose bound is met; unbounded not graded");
+    }
+
+    #[test]
+    fn measured_model_honours_calibration() {
+        let s = script("at 0 submit name=a nodes=25 cpis=10\n");
+        let c = SimConfig {
+            serve: cfg(2).serve,
+            read_model: ReadModel::Measured { runtime_per_cpi: 0.5, read_fraction: 0.3 },
+        };
+        let r = simulate_fleet(&s, &c);
+        let row = &r.rows[0];
+        assert!((row.nominal_runtime - 5.0).abs() < 1e-9);
+        assert!((row.end - row.start - 5.0).abs() < 1e-6, "uncontended = nominal");
+    }
+
+    #[test]
+    fn report_renders_text_and_json() {
+        let s = script(
+            "at 0 submit name=a nodes=25 cpis=4 max-latency=30\n\
+             at 0 submit name=b nodes=25 cpis=4\n",
+        );
+        let r = simulate_fleet(&s, &cfg(2));
+        let text = r.render_text();
+        assert!(text.contains("slowdown"));
+        assert!(text.contains("SLA hit-rate"));
+        assert!(text.contains("fleet store util"));
+        let v = stap_trace::json::parse(&r.to_json()).expect("valid JSON");
+        assert_eq!(v.get("mode").unwrap().as_str(), Some("sim"));
+        let missions = v.get("missions").unwrap().as_array().unwrap();
+        assert_eq!(missions.len(), 2);
+        assert!(missions[0].get("queue_wait").is_some());
+    }
+
+    #[test]
+    fn store_utilization_is_positive_and_bounded() {
+        let s = script("at 0 submit name=a nodes=25 cpis=4\n");
+        let r = simulate_fleet(&s, &cfg(2));
+        assert!(r.fleet_utilization > 0.0 && r.fleet_utilization <= 1.0);
+        assert!(r.store_jobs > 0);
+    }
+}

@@ -31,7 +31,7 @@ pub mod json;
 pub mod registry;
 pub mod span;
 
-pub use chrome::chrome_trace;
+pub use chrome::{chrome_trace, fleet_chrome_trace, FleetTrack};
 pub use clock::{ClockSpec, TraceClock, VirtualClock, WallClock};
 pub use registry::{MetricsRegistry, PhaseStats};
 pub use span::{CpiRecord, Phase, Span, StageTracer};

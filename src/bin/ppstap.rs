@@ -2,7 +2,9 @@
 //!
 //! See `ppstap help` (or [`ppstap::cli::HELP`]) for usage.
 
-use ppstap::cli::{machine_for, parse, Command, PlanArgs, RunArgs, SimArgs, TraceMode, HELP};
+use ppstap::cli::{
+    machine_for, parse, Command, PlanArgs, RunArgs, ServeArgs, SimArgs, SubmitArgs, TraceMode, HELP,
+};
 use ppstap::core::config::StapConfig;
 use ppstap::core::desmodel::{render_gantt, DesExperiment};
 use ppstap::core::experiments::ablation::sweep_stripe_factor;
@@ -22,6 +24,8 @@ fn main() {
         Ok(Command::Tables { out }) => tables(out),
         Ok(Command::Sweep { nodes }) => sweep(nodes),
         Ok(Command::Plan(a)) => plan_cmd(a),
+        Ok(Command::Serve(a)) => serve_cmd(a),
+        Ok(Command::Submit(a)) => submit_cmd(a),
         Err(e) => {
             eprintln!("error: {e}\n");
             eprint!("{HELP}");
@@ -225,6 +229,7 @@ mod stap_bench_shim {
             render_degradation(&fault_degradation(&rates), &recoverable_degradation(&rates)),
         ));
         out.push(("phase_breakdown", phase_breakdown_report()));
+        out.push(("serve_contention", ppstap::serve::experiments::contention_report()));
         out
     }
 }
@@ -241,6 +246,99 @@ fn plan_cmd(a: PlanArgs) {
         println!("{}", ppstap::planner::to_json(&report));
     } else {
         print!("{}", ppstap::planner::render_text(&report));
+    }
+}
+
+fn serve_config_from(a: &ServeArgs) -> ppstap::serve::ServeConfig {
+    ppstap::serve::ServeConfig {
+        pool_nodes: a.pool_nodes,
+        workers: a.workers,
+        queue_capacity: a.queue_capacity,
+        ..ppstap::serve::ServeConfig::default()
+    }
+}
+
+fn serve_cmd(a: ServeArgs) {
+    let text = match std::fs::read_to_string(&a.script) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: reading {}: {e}", a.script);
+            std::process::exit(1);
+        }
+    };
+    let script = match ppstap::serve::WorkloadScript::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {}: {e}", a.script);
+            std::process::exit(1);
+        }
+    };
+    let cfg = serve_config_from(&a);
+    if a.sim {
+        let sim = ppstap::serve::sim::SimConfig {
+            serve: cfg,
+            read_model: ppstap::serve::sim::ReadModel::Planned,
+        };
+        let report = ppstap::serve::simulate_fleet(&script, &sim);
+        if a.json {
+            println!("{}", report.to_json());
+        } else {
+            print!("{}", report.render_text());
+        }
+        return;
+    }
+    let out = ppstap::serve::run_fleet(&script, &cfg);
+    if a.json {
+        println!("{}", out.fleet_json());
+    } else {
+        print!("{}", out.fleet_table());
+        for (name, why) in &out.rejected {
+            println!("rejected {name}: {why}");
+        }
+        for name in &out.cancelled {
+            println!("cancelled {name} while queued");
+        }
+        println!("makespan       : {:>9.3} s", out.makespan);
+        match out.sla_hit_rate() {
+            Some(rate) => println!("SLA hit-rate   : {:>8.0}%", rate * 100.0),
+            None => println!("SLA hit-rate   : n/a (no bounded missions)"),
+        }
+    }
+    if let Some(path) = &a.trace {
+        if let Err(e) = std::fs::write(path, out.chrome_trace()) {
+            eprintln!("error: writing trace to {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("fleet trace written to {path} (one mission-tagged track per mission)");
+    }
+    if out.missions.iter().any(|m| matches!(m.outcome, ppstap::serve::MissionOutcome::Failed(_))) {
+        std::process::exit(1);
+    }
+}
+
+fn submit_cmd(a: SubmitArgs) {
+    let script = match ppstap::serve::WorkloadScript::parse(&a.script_text()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let out = ppstap::serve::run_fleet(&script, &ppstap::serve::ServeConfig::default());
+    if let Some((name, why)) = out.rejected.first() {
+        eprintln!("rejected {name}: {why}");
+        std::process::exit(1);
+    }
+    if a.json {
+        match out.missions.first() {
+            Some(m) => println!("{}", m.to_json()),
+            None => println!("{}", out.fleet_json()),
+        }
+    } else {
+        print!("{}", out.fleet_table());
+    }
+    if out.missions.iter().any(|m| matches!(m.outcome, ppstap::serve::MissionOutcome::Failed(_))) {
+        std::process::exit(1);
     }
 }
 

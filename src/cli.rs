@@ -1,9 +1,9 @@
 //! Command-line interface of the `ppstap` driver binary.
 //!
-//! A small hand-rolled parser (no external dependencies) covering the four
-//! things a user does with this repository: run the real pipeline, simulate
-//! a paper-scale configuration, regenerate the evaluation tables, and sweep
-//! the stripe factor.
+//! A small hand-rolled parser (no external dependencies) covering what a
+//! user does with this repository: run the real pipeline, simulate a
+//! paper-scale configuration, regenerate the evaluation tables, sweep the
+//! stripe factor, search plans, and serve multi-mission fleets.
 
 use stap_core::{FailurePolicy, IoStrategy, TailStructure};
 use stap_model::machines::MachineModel;
@@ -28,8 +28,63 @@ pub enum Command {
     },
     /// `ppstap plan` — search configurations for the Pareto front.
     Plan(PlanArgs),
+    /// `ppstap serve` — run (or simulate) a multi-mission fleet from a
+    /// workload script.
+    Serve(ServeArgs),
+    /// `ppstap submit` — one-shot: admit and run a single mission now.
+    Submit(SubmitArgs),
     /// `ppstap help` or `--help`.
     Help,
+}
+
+/// Arguments of `ppstap serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Path of the workload script (`at <secs> submit …` lines).
+    pub script: String,
+    /// Predict in DES capacity mode instead of executing pipelines.
+    pub sim: bool,
+    /// Concurrent missions the worker pool executes.
+    pub workers: usize,
+    /// Nodes in the shared pool.
+    pub pool_nodes: usize,
+    /// Bounded submission-queue capacity.
+    pub queue_capacity: usize,
+    /// Emit the machine-readable fleet report instead of the table.
+    pub json: bool,
+    /// Write the merged mission-tagged Chrome trace here (real mode only).
+    pub trace: Option<String>,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        Self {
+            script: String::new(),
+            sim: false,
+            workers: 2,
+            pool_nodes: 128,
+            queue_capacity: 16,
+            json: false,
+            trace: None,
+        }
+    }
+}
+
+/// Arguments of `ppstap submit`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitArgs {
+    /// The mission's `key=value` tokens, in the workload-script submit
+    /// grammar (`name=…`, `nodes=…`, `max-latency=…`, …).
+    pub kvs: Vec<String>,
+    /// Emit the machine-readable mission report instead of the table.
+    pub json: bool,
+}
+
+impl SubmitArgs {
+    /// The equivalent one-event workload script.
+    pub fn script_text(&self) -> String {
+        format!("at 0 submit {}\n", self.kvs.join(" "))
+    }
 }
 
 /// Arguments of `ppstap plan`.
@@ -423,6 +478,83 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
             a.machines()?; // validate the combination now
             Ok(Command::Plan(a))
         }
+        "serve" => {
+            let mut a = ServeArgs::default();
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--script" => a.script = take_value(flag, &mut it)?.to_string(),
+                    "--sim" => a.sim = true,
+                    "--workers" => {
+                        a.workers = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ParseError("--workers must be a number".into()))?;
+                        if a.workers == 0 {
+                            return Err(ParseError("--workers must be at least 1".into()));
+                        }
+                    }
+                    "--pool-nodes" => {
+                        a.pool_nodes = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ParseError("--pool-nodes must be a number".into()))?;
+                        if a.pool_nodes < 7 {
+                            return Err(ParseError(
+                                "--pool-nodes must be at least 7 (one per task)".into(),
+                            ));
+                        }
+                    }
+                    "--queue-capacity" => {
+                        a.queue_capacity = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ParseError("--queue-capacity must be a number".into()))?;
+                        if a.queue_capacity == 0 {
+                            return Err(ParseError("--queue-capacity must be at least 1".into()));
+                        }
+                    }
+                    "--json" => a.json = true,
+                    "--trace" => match parse_trace(take_value(flag, &mut it)?)? {
+                        TraceMode::Chrome(path) => a.trace = Some(path),
+                        TraceMode::Text => {
+                            return Err(ParseError(
+                                "serve --trace must be chrome:PATH (the fleet table already \
+                                 prints to stdout)"
+                                    .into(),
+                            ))
+                        }
+                    },
+                    other => return Err(ParseError(format!("unknown flag '{other}' for serve"))),
+                }
+            }
+            if a.script.is_empty() {
+                return Err(ParseError("serve needs --script FILE".into()));
+            }
+            if a.sim && a.trace.is_some() {
+                return Err(ParseError(
+                    "--trace applies to real execution; --sim predicts without running \
+                     pipelines"
+                        .into(),
+                ));
+            }
+            Ok(Command::Serve(a))
+        }
+        "submit" => {
+            let mut a = SubmitArgs { kvs: Vec::new(), json: false };
+            for word in it {
+                match word {
+                    "--json" => a.json = true,
+                    kv if kv.contains('=') => a.kvs.push(kv.to_string()),
+                    other => {
+                        return Err(ParseError(format!(
+                            "submit takes key=value tokens (and --json), got '{other}'"
+                        )))
+                    }
+                }
+            }
+            // Validate the mission grammar now so errors surface at parse
+            // time, not mid-fleet.
+            stap_serve::WorkloadScript::parse(&a.script_text())
+                .map_err(|e| ParseError(format!("submit: {e}")))?;
+            Ok(Command::Submit(a))
+        }
         other => Err(ParseError(format!("unknown command '{other}' (try 'ppstap help')"))),
     }
 }
@@ -482,6 +614,28 @@ USAGE:
         axis; paragon-het plans a mixed 96+32-node pool, packing fast nodes
         onto the heaviest tasks. --max-latency S filters the front to plans
         meeting the latency SLA and names the max-throughput survivor.
+
+    ppstap serve --script FILE [--sim] [--workers N] [--pool-nodes N]
+                 [--queue-capacity N] [--json] [--trace chrome:PATH]
+        Run a multi-mission fleet from a workload script: each line is
+            at <secs> submit name=<id> [machine=KEY] [nodes=N] [cpis=C]
+                     [priority=P] [max-latency=S] [io=embedded|separate]
+                     [tail=split|combined]
+            at <secs> cancel name=<id>
+        Admission re-plans each mission inside the currently-free node
+        budget (typed rejections: pool exceeded, no feasible plan, queue
+        full); admitted missions wait in a bounded priority queue and run
+        on a bounded worker pool under watchdogs. Prints the per-mission
+        fleet table (queue wait, plan, throughput, drops, SLA verdict);
+        --json emits the machine-readable fleet report; --trace chrome:PATH
+        writes one merged Chrome trace with a mission-tagged track per
+        mission. --sim predicts the same script in DES capacity mode
+        (shared FCFS stripe servers) and reports per-mission queue wait,
+        slowdown, SLA hit-rate, and fleet store utilization.
+
+    ppstap submit name=<id> [key=value ...] [--json]
+        One-shot serve: admit and run a single mission now, printing its
+        mission report (same key=value grammar as the script's submit).
 
     ppstap help
         Show this text.
@@ -716,6 +870,82 @@ mod tests {
             .contains("auto only applies"));
         assert!(parse(&["plan", "--max-latency", "-1"]).unwrap_err().0.contains("positive"));
         assert!(parse(&["plan", "--max-latency", "soon"]).unwrap_err().0.contains("seconds"));
+    }
+
+    #[test]
+    fn serve_flags() {
+        let c = parse(&[
+            "serve",
+            "--script",
+            "fleet.txt",
+            "--workers",
+            "3",
+            "--pool-nodes",
+            "200",
+            "--queue-capacity",
+            "4",
+            "--json",
+        ])
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Serve(ServeArgs {
+                script: "fleet.txt".into(),
+                workers: 3,
+                pool_nodes: 200,
+                queue_capacity: 4,
+                json: true,
+                ..ServeArgs::default()
+            })
+        );
+        let c = parse(&["serve", "--script", "f.txt", "--sim"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Serve(ServeArgs { script: "f.txt".into(), sim: true, ..ServeArgs::default() })
+        );
+        let c = parse(&["serve", "--script", "f.txt", "--trace", "chrome:fleet.json"]).unwrap();
+        let Command::Serve(a) = c else { panic!("expected serve") };
+        assert_eq!(a.trace, Some("fleet.json".into()));
+    }
+
+    #[test]
+    fn serve_errors_are_specific() {
+        assert!(parse(&["serve"]).unwrap_err().0.contains("needs --script"));
+        assert!(parse(&["serve", "--script", "f", "--workers", "0"])
+            .unwrap_err()
+            .0
+            .contains("at least 1"));
+        assert!(parse(&["serve", "--script", "f", "--pool-nodes", "3"])
+            .unwrap_err()
+            .0
+            .contains("at least 7"));
+        assert!(parse(&["serve", "--script", "f", "--trace", "text"])
+            .unwrap_err()
+            .0
+            .contains("chrome:PATH"));
+        assert!(parse(&["serve", "--script", "f", "--sim", "--trace", "chrome:t.json"])
+            .unwrap_err()
+            .0
+            .contains("real execution"));
+        assert!(parse(&["serve", "--script", "f", "--frob"]).unwrap_err().0.contains("serve"));
+    }
+
+    #[test]
+    fn submit_builds_a_one_event_script() {
+        let c = parse(&["submit", "name=recon", "nodes=25", "priority=2", "--json"]).unwrap();
+        let Command::Submit(a) = c else { panic!("expected submit") };
+        assert!(a.json);
+        assert_eq!(a.script_text(), "at 0 submit name=recon nodes=25 priority=2\n");
+        let parsed = stap_serve::WorkloadScript::parse(&a.script_text()).unwrap();
+        assert_eq!(parsed.submissions(), 1);
+    }
+
+    #[test]
+    fn submit_errors_surface_at_parse_time() {
+        assert!(parse(&["submit", "nodes=25"]).unwrap_err().0.contains("needs name="));
+        assert!(parse(&["submit", "name=a", "cpis=1"]).unwrap_err().0.contains("at least 2"));
+        assert!(parse(&["submit", "name=a", "--verbose"]).unwrap_err().0.contains("key=value"));
+        assert!(parse(&["submit", "name=a", "frob=1"]).unwrap_err().0.contains("unknown submit"));
     }
 
     #[test]

@@ -18,7 +18,9 @@
 //! - [`pipeline`] — the generic parallel pipeline runtime;
 //! - [`core`] — the paper's STAP pipeline system and experiment drivers;
 //! - [`planner`] — bi-criteria configuration search over node assignments,
-//!   I/O strategies, and task combining (`ppstap plan`).
+//!   I/O strategies, and task combining (`ppstap plan`);
+//! - [`serve`] — multi-tenant mission scheduler: admission, placement, and
+//!   execution of concurrent pipelines over a shared pool (`ppstap serve`).
 
 pub mod cli;
 
@@ -32,4 +34,5 @@ pub use stap_pfs as pfs;
 pub use stap_pipeline as pipeline;
 pub use stap_planner as planner;
 pub use stap_radar as radar;
+pub use stap_serve as serve;
 pub use stap_trace as trace;
