@@ -65,6 +65,10 @@ pub fn regenerate_all() -> Vec<Artifact> {
         ),
     });
     out.push(Artifact { name: "fault_degradation", text: render_fault_degradation() });
+    out.push(Artifact {
+        name: "ingest_backpressure",
+        text: stap_core::experiments::ingest::backpressure_report(),
+    });
     out
 }
 

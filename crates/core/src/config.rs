@@ -1,12 +1,14 @@
 //! Configuration of a real-mode STAP pipeline run.
 
 use crate::io_strategy::{IoStrategy, TailStructure};
+use stap_ingest::{BackpressurePolicy, CpiRing};
 use stap_kernels::cfar::CfarConfig;
 use stap_kernels::cube::CubeDims;
 use stap_kernels::doppler::DopplerConfig;
 use stap_kernels::weights::{BeamSet, WeightMethod};
 use stap_pfs::{FaultPlan, FsConfig};
 use stap_radar::Scene;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Retry budget for transient read failures: up to `attempts` re-reads
@@ -109,6 +111,102 @@ impl FailurePolicy {
     }
 }
 
+/// How a streamed run stages and paces its CPI cubes.
+#[derive(Debug, Clone)]
+pub struct StreamSettings {
+    /// Staging-ring depth in cubes.
+    pub depth: usize,
+    /// What a push does when the ring is full.
+    pub policy: BackpressurePolicy,
+    /// Frontend delivery rate in cubes/second (0 = unpaced).
+    pub rate: f64,
+    /// Surface producer lag as transient read failures (exercises the
+    /// `FailurePolicy` retry/skip machinery on stream stalls).
+    pub strict_lag: bool,
+    /// An externally owned staging ring to consume instead of spawning a
+    /// run-local frontend (`stap-serve` attaches mission rings here; the
+    /// attaching owner produces into and closes the ring).
+    pub attach: Option<Arc<CpiRing>>,
+}
+
+impl Default for StreamSettings {
+    fn default() -> Self {
+        Self {
+            depth: 4,
+            policy: BackpressurePolicy::Block,
+            rate: 0.0,
+            strict_lag: false,
+            attach: None,
+        }
+    }
+}
+
+/// Where the pipeline front gets its CPI cubes.
+#[derive(Debug, Clone, Default)]
+pub enum SourceSpec {
+    /// Round-robin staging files on the parallel file system (the
+    /// paper's design).
+    #[default]
+    File,
+    /// The in-memory staging tier: a radar frontend pushes cubes into a
+    /// bounded ring the pipeline pulls from.
+    Stream(StreamSettings),
+}
+
+impl SourceSpec {
+    /// True for the streaming path.
+    pub fn is_stream(&self) -> bool {
+        matches!(self, SourceSpec::Stream(_))
+    }
+
+    /// Parses the CLI grammar: `file`, `stream`, or
+    /// `stream:depth=N,policy=block|drop-oldest|reject,rate=R,strict-lag`
+    /// (options comma-separated, any subset).
+    ///
+    /// # Errors
+    /// Returns a message describing the malformed spec.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        if spec == "file" {
+            return Ok(SourceSpec::File);
+        }
+        if spec == "stream" {
+            return Ok(SourceSpec::Stream(StreamSettings::default()));
+        }
+        let Some(rest) = spec.strip_prefix("stream:") else {
+            return Err(format!("--source must be file|stream[:opts], got '{spec}'"));
+        };
+        let mut s = StreamSettings::default();
+        for token in rest.split(',').filter(|t| !t.is_empty()) {
+            match token.split_once('=') {
+                Some(("depth", v)) => {
+                    s.depth =
+                        v.parse().map_err(|_| format!("bad stream depth '{v}' in '{spec}'"))?;
+                    if s.depth == 0 {
+                        return Err("stream depth must be at least 1".into());
+                    }
+                }
+                Some(("policy", v)) => s.policy = BackpressurePolicy::parse(v)?,
+                Some(("rate", v)) => {
+                    let r: f64 =
+                        v.parse().map_err(|_| format!("bad stream rate '{v}' in '{spec}'"))?;
+                    if !(r >= 0.0 && r.is_finite()) {
+                        return Err("stream rate must be a non-negative number".into());
+                    }
+                    s.rate = r;
+                }
+                None if token == "strict-lag" => s.strict_lag = true,
+                _ => {
+                    return Err(format!(
+                        "unknown stream option '{token}' (expected depth=N, \
+                         policy=block|drop-oldest|reject, rate=R, strict-lag)"
+                    ))
+                }
+            }
+        }
+        Ok(SourceSpec::Stream(s))
+    }
+}
+
 /// Stage watchdog settings: each stage must finish every CPI within
 /// `factor ×` its predicted per-CPI time, never less than `floor`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -204,6 +302,9 @@ pub struct StapConfig {
     /// Number of round-robin CPI files ("a total of four data sets stored
     /// as four files").
     pub fanout: usize,
+    /// Where the pipeline front gets its CPI cubes (staging files or the
+    /// streaming staging tier).
+    pub source: SourceSpec,
     /// I/O design under test.
     pub io: IoStrategy,
     /// Tail structure under test.
@@ -244,6 +345,7 @@ impl Default for StapConfig {
             waveform_len: 8,
             fs: FsConfig::paragon_pfs(16),
             fanout: 4,
+            source: SourceSpec::File,
             io: IoStrategy::Embedded,
             tail: TailStructure::Split,
             nodes: NodeCounts::default(),
@@ -347,6 +449,29 @@ mod tests {
         assert!(skip.skips());
         assert_eq!(skip.retry().attempts, 1);
         assert_eq!(skip.max_consecutive(), Some(2));
+    }
+
+    #[test]
+    fn source_spec_grammar_round_trips() {
+        assert!(matches!(SourceSpec::parse("file").unwrap(), SourceSpec::File));
+        let SourceSpec::Stream(s) = SourceSpec::parse("stream").unwrap() else {
+            panic!("expected stream")
+        };
+        assert_eq!(s.depth, 4);
+        assert_eq!(s.policy, BackpressurePolicy::Block);
+        let spec = "stream:depth=8,policy=drop-oldest,rate=2.5,strict-lag";
+        let SourceSpec::Stream(s) = SourceSpec::parse(spec).unwrap() else {
+            panic!("expected stream")
+        };
+        assert_eq!(s.depth, 8);
+        assert_eq!(s.policy, BackpressurePolicy::DropOldest);
+        assert_eq!(s.rate, 2.5);
+        assert!(s.strict_lag);
+        assert!(SourceSpec::parse("tape").unwrap_err().contains("file|stream"));
+        assert!(SourceSpec::parse("stream:depth=0").unwrap_err().contains("at least 1"));
+        assert!(SourceSpec::parse("stream:policy=lossy").unwrap_err().contains("block|"));
+        assert!(SourceSpec::parse("stream:rate=-1").unwrap_err().contains("non-negative"));
+        assert!(SourceSpec::parse("stream:frob=1").unwrap_err().contains("unknown stream option"));
     }
 
     #[test]

@@ -1,0 +1,187 @@
+//! The streaming-ingestion study behind `results/ingest_backpressure.txt`.
+//!
+//! The paper stages CPI cubes as round-robin files; the streaming data
+//! plane replaces those files with a bounded in-memory ring between a
+//! radar frontend and the pipeline. This module measures what the ring's
+//! backpressure policy buys under sustained overload — a producer paced
+//! 2x faster than the consumer drains — across staging depths, and then
+//! demonstrates the tier's central correctness claim: a stream-fed run
+//! produces bit-identical detections to a file-fed run, differing only
+//! in which phase (read vs ingest) the staging wait is attributed to.
+
+use crate::config::{SourceSpec, StapConfig, StreamSettings};
+use crate::system::StapSystem;
+use stap_ingest::{BackpressurePolicy, CpiRing, RingStats, StampedCube};
+use stap_pipeline::timing::Phase;
+use stap_pipeline::topology::StageId;
+use stap_pipeline::ClockSpec;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Cubes offered per cell of the sweep.
+const CUBES: u64 = 48;
+/// Producer pacing: one cube every 200 microseconds.
+const PRODUCER_PERIOD: Duration = Duration::from_micros(200);
+/// Consumer pacing: half the producer's rate, a sustained 2:1 overload.
+const CONSUMER_PERIOD: Duration = Duration::from_micros(400);
+
+/// One measured cell: ring counters plus delivered throughput.
+#[derive(Debug, Clone)]
+struct Cell {
+    stats: RingStats,
+    /// Cubes the consumer received per second of wall clock.
+    throughput: f64,
+}
+
+/// Drives one producer/consumer pair through a ring of `depth` cubes
+/// under `policy`, producer paced 2x faster than the consumer.
+fn drive_ring(depth: usize, policy: BackpressurePolicy) -> Cell {
+    let ring = Arc::new(CpiRing::new("exp", depth, policy));
+    let producer_ring = Arc::clone(&ring);
+    let producer = std::thread::spawn(move || {
+        let bytes = Arc::new(vec![0u8; 64]);
+        for seq in 0..CUBES {
+            if seq > 0 {
+                std::thread::sleep(PRODUCER_PERIOD);
+            }
+            match producer_ring.push(StampedCube { seq, bytes: Arc::clone(&bytes) }) {
+                Ok(()) | Err(_) => {}
+            }
+        }
+        producer_ring.close();
+    });
+    let started = Instant::now();
+    let mut delivered = 0u64;
+    while ring.pop().is_ok() {
+        delivered += 1;
+        std::thread::sleep(CONSUMER_PERIOD);
+    }
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    producer.join().expect("producer thread");
+    Cell { stats: ring.stats(), throughput: delivered as f64 / elapsed }
+}
+
+/// Sums one phase across every stage of a finished run.
+fn phase_total(sys: &StapSystem, out: &crate::system::StapRunOutput, phase: Phase) -> f64 {
+    (0..sys.topology().stage_count()).map(|i| out.timing.phase_time(StageId(i), phase)).sum()
+}
+
+/// Per-CPI sorted `(beam, bin, range, power-bits)` tuples.
+type DetectionKeys = Vec<(u64, Vec<(usize, usize, usize, u64)>)>;
+
+/// Sorted, bit-exact detection keys of a run.
+fn detection_keys(out: &crate::system::StapRunOutput) -> DetectionKeys {
+    out.reports
+        .iter()
+        .map(|r| {
+            let mut dets: Vec<_> =
+                r.detections.iter().map(|d| (d.beam, d.bin, d.range, d.power.to_bits())).collect();
+            dets.sort_unstable();
+            (r.cpi, dets)
+        })
+        .collect()
+}
+
+/// Renders the full report: the policy x depth sweep and the
+/// file-vs-stream parity check.
+pub fn backpressure_report() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Streaming ingestion: backpressure policy x staging depth");
+    let _ = writeln!(out, "Producer paced 2x faster than the consumer drains ({CUBES} cubes");
+    let _ = writeln!(out, "per cell, sustained overload); ring counters after the run.");
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:<12}{:>6}{:>11}{:>9}{:>10}{:>6}{:>12}",
+        "policy", "depth", "delivered", "dropped", "rejected", "peak", "tput(c/s)"
+    );
+    for policy in BackpressurePolicy::ALL {
+        for &depth in &[2usize, 8, 32] {
+            let cell = drive_ring(depth, policy);
+            let _ = writeln!(
+                out,
+                "{:<12}{:>6}{:>11}{:>9}{:>10}{:>6}{:>12.0}",
+                policy.label(),
+                depth,
+                cell.stats.delivered,
+                cell.stats.dropped,
+                cell.stats.rejected,
+                cell.stats.peak_depth,
+                cell.throughput
+            );
+        }
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "Reading: staging depth cannot rescue a sustained rate mismatch.");
+    let _ = writeln!(out, "block pushes the backpressure into the radar (every cube lands,");
+    let _ = writeln!(out, "at the consumer's pace); drop-oldest keeps the freshest cubes and");
+    let _ = writeln!(out, "pays in dropped CPIs; reject bounces excess pushes at admission.");
+    let _ = writeln!(out, "Only a ring at least as deep as the whole backlog (depth 32 >");
+    let _ = writeln!(out, "{CUBES}/2 cubes of excess) absorbs the burst losslessly without");
+    let _ = writeln!(out, "blocking the producer.");
+    let _ = writeln!(out);
+
+    // Parity: the same tiny configuration, file-fed then stream-fed.
+    let tiny = StapConfig { cpis: 4, warmup: 1, ..StapConfig::default() };
+    let file_sys = StapSystem::prepare(tiny.clone()).expect("file-fed system prepares");
+    let file_out = file_sys.run_with_clock(ClockSpec::virtual_default()).expect("file-fed run");
+    let stream_cfg = StapConfig { source: SourceSpec::Stream(StreamSettings::default()), ..tiny };
+    let stream_sys = StapSystem::prepare(stream_cfg).expect("stream-fed system prepares");
+    let stream_out =
+        stream_sys.run_with_clock(ClockSpec::virtual_default()).expect("stream-fed run");
+
+    let identical = detection_keys(&file_out) == detection_keys(&stream_out);
+    let detections: usize = file_out.reports.iter().map(|r| r.detections.len()).sum();
+    let _ = writeln!(out, "File vs stream parity ({} CPIs, {} detections):", tiny.cpis, detections);
+    let _ = writeln!(
+        out,
+        "  bit-identical detections: {}",
+        if identical { "yes" } else { "NO — staging tier corrupts data" }
+    );
+    let _ = writeln!(
+        out,
+        "  file-fed   : read {:>8.4} ticks, ingest {:>8.4} ticks",
+        phase_total(&file_sys, &file_out, Phase::Read),
+        phase_total(&file_sys, &file_out, Phase::Ingest)
+    );
+    let _ = writeln!(
+        out,
+        "  stream-fed : read {:>8.4} ticks, ingest {:>8.4} ticks",
+        phase_total(&stream_sys, &stream_out, Phase::Read),
+        phase_total(&stream_sys, &stream_out, Phase::Ingest)
+    );
+    let _ = writeln!(out, "The staging wait moves wholesale from the read phase to the ingest");
+    let _ = writeln!(out, "phase; everything downstream of the front stage is untouched.");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_delivers_every_cube_and_lossy_policies_shed() {
+        let block = drive_ring(2, BackpressurePolicy::Block);
+        assert_eq!(block.stats.delivered, CUBES, "block never sheds");
+        assert_eq!(block.stats.dropped + block.stats.rejected, 0);
+
+        let drop = drive_ring(2, BackpressurePolicy::DropOldest);
+        assert!(drop.stats.dropped > 0, "2:1 overload into a 2-deep ring must evict");
+        assert!(drop.stats.conserves());
+
+        let reject = drive_ring(2, BackpressurePolicy::Reject);
+        assert!(reject.stats.rejected > 0, "2:1 overload into a 2-deep ring must bounce");
+        assert!(reject.stats.conserves());
+    }
+
+    #[test]
+    fn report_covers_every_policy_and_confirms_parity() {
+        let r = backpressure_report();
+        for label in ["block", "drop-oldest", "reject"] {
+            assert!(r.contains(label), "policy {label} missing:\n{r}");
+        }
+        assert!(r.contains("bit-identical detections: yes"), "parity must hold:\n{r}");
+        assert!(r.contains("ingest"), "phase attribution section present");
+    }
+}

@@ -3,6 +3,7 @@
 
 pub mod ablation;
 pub mod degradation;
+pub mod ingest;
 pub mod phases;
 pub mod render;
 pub mod tables;

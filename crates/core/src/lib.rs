@@ -33,8 +33,10 @@ pub mod messages;
 pub mod stages;
 pub mod system;
 
-pub use config::{FailurePolicy, RetryPolicy, StapConfig, WatchdogPolicy};
+pub use config::{
+    FailurePolicy, RetryPolicy, SourceSpec, StapConfig, StreamSettings, WatchdogPolicy,
+};
 pub use desmodel::{DesExperiment, DesFaultModel, DesResult, FaultSource};
 pub use io_strategy::{IoStrategy, TailStructure};
 pub use messages::{Gap, Payload};
-pub use system::{StapRunOutput, StapSystem};
+pub use system::{IngestReport, StapRunOutput, StapSystem};

@@ -11,11 +11,10 @@ use crate::messages::{BinSlab, Gap, Payload, RawSlab};
 use crate::stages::{broadcast_gap, port, StapPlan};
 use stap_kernels::cube::{CubeDims, DataCube};
 use stap_kernels::doppler::{DopplerConfig, DopplerFilter};
-use stap_pfs::async_io::ReadHandle;
 use stap_pipeline::schedule::block_range;
 use stap_pipeline::stage::{Stage, StageCtx};
 use stap_pipeline::timing::Phase;
-use stap_pipeline::PipelineError;
+use stap_pipeline::{PendingFetch, PipelineError};
 use std::sync::Arc;
 
 /// Byte extent (offset, length) of range gates `[r0, r1)` in a CPI file.
@@ -33,37 +32,40 @@ enum ReadOutcome {
     Dropped(String),
 }
 
-/// Reads `len` bytes at `off` of the slot file for the current CPI under
-/// the configured failure policy. A posted asynchronous read may be handed
-/// in as the first attempt; retries always re-read synchronously.
+/// Fetches `len` bytes at `off` of the current CPI's cube from the plan's
+/// [`CpiSource`](stap_pipeline::CpiSource) under the configured failure
+/// policy. A posted asynchronous fetch may be handed in as the first
+/// attempt; retries always re-fetch synchronously.
 ///
-/// Owns the timing of the read path: every attempt gets its own
-/// attempt-keyed `Read` span (attempt 0 covers the ordinary read or the
-/// iread wait) and every retry pause a `Backoff` span, so recovered time
-/// shows up in the trace instead of being inferred.
+/// Owns the timing of the acquisition path: every attempt gets its own
+/// attempt-keyed span in the source's wait phase (`Read` for files,
+/// `Ingest` for streams; attempt 0 covers the ordinary fetch or the iread
+/// wait) and every retry pause a `Backoff` span, so recovered time shows
+/// up in the trace instead of being inferred.
 fn read_with_policy(
     plan: &StapPlan,
     ctx: &mut StageCtx<'_>,
     label: &str,
-    pending: Option<ReadHandle>,
-    slot: usize,
+    pending: Option<PendingFetch>,
     off: u64,
     len: usize,
 ) -> Result<ReadOutcome, PipelineError> {
     let policy = plan.config.failure_policy;
     let retry = policy.retry();
-    let file = &plan.files[slot];
-    ctx.phase_attempt(Phase::Read, 0);
+    let source = &plan.source;
+    let wait_phase = source.wait_phase();
+    ctx.phase_attempt(wait_phase, 0);
     let mut last = match pending {
-        Some(h) => h.wait(),
-        None => file.read_at_cpi(ctx.cpi, off, len),
+        Some(fetch) => fetch(),
+        None => source.fetch(ctx.cpi, off, len),
     };
     let mut attempt = 0u32;
     loop {
         match last {
             Ok(bytes) => return Ok(ReadOutcome::Data(bytes)),
-            // Permanent faults (bad extents, missing files) abort under
-            // every policy: retrying or skipping would mask a real bug.
+            // Permanent faults (bad extents, missing files, a closed
+            // stream) abort under every policy: retrying or skipping
+            // would mask a real bug.
             Err(e) if !e.is_transient() => return Err(ctx.fail(format!("{label}: {e}"))),
             Err(e) => {
                 if attempt < retry.attempts {
@@ -74,8 +76,8 @@ fn read_with_policy(
                         std::thread::sleep(pause);
                     }
                     attempt += 1;
-                    ctx.phase_attempt(Phase::Read, attempt);
-                    last = file.read_at_cpi(ctx.cpi, off, len);
+                    ctx.phase_attempt(wait_phase, attempt);
+                    last = source.fetch(ctx.cpi, off, len);
                 } else if policy.skips() {
                     return Ok(ReadOutcome::Dropped(format!("{label}: {e}")));
                 } else {
@@ -125,10 +127,9 @@ impl Stage for ReadStage {
     fn run_cpi(&mut self, ctx: &mut StageCtx<'_>) -> Result<(), PipelineError> {
         let dims = self.plan.config.dims;
         let (r0, r1) = block_range(dims.ranges, self.nodes, self.local);
-        let slot = (ctx.cpi % self.plan.config.fanout as u64) as usize;
 
         let (off, len) = slab_extent(dims, r0, r1);
-        let outcome = read_with_policy(&self.plan, ctx, "read", None, slot, off, len)?;
+        let outcome = read_with_policy(&self.plan, ctx, "read", None, off, len)?;
 
         ctx.phase(Phase::Send);
         // Deliver to every Doppler node whose range block intersects ours —
@@ -183,8 +184,8 @@ pub struct DopplerStage {
     local: usize,
     nodes: usize,
     filter: DopplerFilter,
-    /// Posted read for the *next* CPI (async embedded mode).
-    pending: Option<(u64, ReadHandle)>,
+    /// Posted fetch for the *next* CPI (async embedded mode).
+    pending: Option<(u64, PendingFetch)>,
     consecutive_drops: u32,
 }
 
@@ -200,11 +201,7 @@ impl DopplerStage {
         block_range(self.plan.config.dims.ranges, self.nodes, self.local)
     }
 
-    fn file_slot(&self, cpi: u64) -> usize {
-        (cpi % self.plan.config.fanout as u64) as usize
-    }
-
-    /// Reads this node's slab for `cpi`, embedded mode (sync or async).
+    /// Acquires this node's slab for `cpi`, embedded mode (sync or async).
     fn acquire_slab_embedded(
         &mut self,
         ctx: &mut StageCtx<'_>,
@@ -212,39 +209,30 @@ impl DopplerStage {
         let dims = self.plan.config.dims;
         let (r0, r1) = self.my_ranges();
         let (off, len) = slab_extent(dims, r0, r1);
-        let async_ok = self.plan.config.fs.supports_async;
 
-        let outcome = if async_ok {
-            // Wait on the read posted last iteration (or read synchronously
-            // on the first CPI), then immediately post the next CPI's read
-            // so it overlaps this iteration's compute and send. Retries of
-            // a failed posted read fall back to synchronous re-reads.
-            let pending = match self.pending.take() {
-                Some((cpi, h)) if cpi == ctx.cpi => Some(h),
-                _ => None,
-            };
-            let label = if pending.is_some() { "iread wait" } else { "read" };
-            let out = read_with_policy(
-                &self.plan,
-                ctx,
-                label,
-                pending,
-                self.file_slot(ctx.cpi),
-                off,
-                len,
-            )?;
-            let next = ctx.cpi + 1;
-            if next < self.plan.config.cpis {
-                let h = self.plan.files[self.file_slot(next)]
-                    .read_at_cpi_async(next, off, len)
-                    .map_err(|e| ctx.fail(format!("iread: {e}")))?;
-                self.pending = Some((next, h));
-            }
-            out
-        } else {
-            // PIOFS: synchronous read each iteration, no overlap.
-            read_with_policy(&self.plan, ctx, "read", None, self.file_slot(ctx.cpi), off, len)?
+        // Wait on the fetch posted last iteration (or fetch synchronously
+        // when none is pending), then immediately post the next CPI's
+        // fetch so it overlaps this iteration's compute and send —
+        // sources without an async path (PIOFS, streams) simply never
+        // hand one out. Retries of a failed posted fetch fall back to
+        // synchronous re-fetches.
+        let pending = match self.pending.take() {
+            Some((cpi, fetch)) if cpi == ctx.cpi => Some(fetch),
+            _ => None,
         };
+        let label = if pending.is_some() { "iread wait" } else { "read" };
+        let outcome = read_with_policy(&self.plan, ctx, label, pending, off, len)?;
+        let next = ctx.cpi + 1;
+        if next < self.plan.config.cpis {
+            if let Some(fetch) = self
+                .plan
+                .source
+                .prefetch(next, off, len)
+                .map_err(|e| ctx.fail(format!("iread: {e}")))?
+            {
+                self.pending = Some((next, fetch));
+            }
+        }
         Ok(match outcome {
             ReadOutcome::Data(bytes) => {
                 SlabOutcome::Cube(DataCube::slab_from_range_major_bytes(dims, r0, r1, &bytes))

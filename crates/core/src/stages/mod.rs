@@ -17,8 +17,9 @@ use stap_pfs::FileHandle;
 use stap_pipeline::schedule::round_robin_items;
 use stap_pipeline::stage::StageCtx;
 use stap_pipeline::topology::StageId;
-use stap_pipeline::PipelineError;
+use stap_pipeline::{CpiSource, PipelineError};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Ports (logical message streams). See `messages` for the payload types.
 pub mod port {
@@ -139,8 +140,12 @@ pub struct StapPlan {
     pub easy_bins: Vec<usize>,
     /// Doppler bins classified hard, ascending.
     pub hard_bins: Vec<usize>,
-    /// Open handles to the round-robin CPI files, indexed by slot.
+    /// Open handles to the round-robin CPI files, indexed by slot. Staged
+    /// in every mode: the tail's report writer and diagnostics go through
+    /// them even when the front pulls from a stream.
     pub files: Vec<FileHandle>,
+    /// Where the front gets CPI cube bytes (file- or stream-backed).
+    pub source: Arc<dyn CpiSource>,
     /// The pulse-compression waveform replica.
     pub waveform: Vec<stap_math::C32>,
     /// Fault accounting for the current run (retries, dropped CPIs).

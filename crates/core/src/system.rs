@@ -6,7 +6,7 @@
 //! discipline). [`StapSystem::run`] then launches the pipeline — one thread
 //! per node — and returns measured timings plus the detection reports.
 
-use crate::config::{StapConfig, WatchdogPolicy};
+use crate::config::{SourceSpec, StapConfig, StreamSettings, WatchdogPolicy};
 use crate::io_strategy::{IoStrategy, TailStructure};
 use crate::messages::Gap;
 use crate::stages::adaptive::{BeamformStage, WeightStage};
@@ -14,16 +14,33 @@ use crate::stages::front::{DopplerStage, ReadStage};
 use crate::stages::tail::{CfarStage, CombinedTailStage, PulseStage, ReportSink};
 use crate::stages::{FaultStats, Roles, StapPlan};
 use parking_lot::Mutex;
+use stap_ingest::{
+    BackpressurePolicy, CpiRing, FileSource, Frontend, FrontendConfig, FrontendReport, RingStats,
+    StreamSource,
+};
 use stap_kernels::report::DetectionReport;
 use stap_model::workload::{ShapeParams, StapWorkload, TaskId};
 use stap_pfs::{IoCounters, OpenMode, Pfs};
 use stap_pipeline::runner::{Pipeline, StageFactory};
 use stap_pipeline::timing::PipelineReport;
 use stap_pipeline::topology::{StageId, Topology};
-use stap_pipeline::{ClockSpec, PipelineError, WatchdogSpec};
+use stap_pipeline::{ClockSpec, CpiSource, PipelineError, WatchdogSpec};
 use stap_radar::CubeGenerator;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// What the streaming staging tier did during one run (absent for
+/// file-backed runs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IngestReport {
+    /// The backpressure policy in force.
+    pub policy: BackpressurePolicy,
+    /// Staging-ring counters (conservation-checked).
+    pub ring: RingStats,
+    /// The run-local frontend's report (None when the ring was attached
+    /// by an external owner such as `stap-serve`).
+    pub frontend: Option<FrontendReport>,
+}
 
 /// Everything a finished run produced.
 #[derive(Debug)]
@@ -47,6 +64,8 @@ pub struct StapRunOutput {
     pub warmup: u64,
     /// File-system operation counters accumulated over the run.
     pub io: IoCounters,
+    /// Staging-tier counters for stream-fed runs (None for file-fed).
+    pub ingest: Option<IngestReport>,
 }
 
 impl StapRunOutput {
@@ -102,11 +121,40 @@ impl StapRunOutput {
             io.bytes_written,
             io.injected_failures
         ));
+        if let Some(ing) = &self.ingest {
+            let fe = ing.frontend;
+            s.push_str(&format!(
+                "  \"ingest\": {{\"policy\": \"{}\", \"capacity\": {}, \"accepted\": {}, \
+                 \"delivered\": {}, \"dropped\": {}, \"rejected\": {}, \"peak_depth\": {}, \
+                 \"mean_occupancy\": {:.6}, \"frontend_pushed\": {}, \"closed_early\": {}}},\n",
+                ing.policy.label(),
+                ing.ring.capacity,
+                ing.ring.accepted,
+                ing.ring.delivered,
+                ing.ring.dropped,
+                ing.ring.rejected,
+                ing.ring.peak_depth,
+                ing.ring.mean_occupancy(),
+                fe.map_or(0, |f| f.pushed),
+                fe.is_some_and(|f| f.closed_early),
+            ));
+        }
         s.push_str("  \"phases\": ");
         s.push_str(&self.timing.registry().to_json());
         s.push_str("\n}\n");
         s
     }
+}
+
+/// Streaming runtime state of a stream-fed system: the staging ring, the
+/// concrete source (for per-run resets), and whether this system owns the
+/// producer side (spawning a frontend per run) or consumes an externally
+/// attached ring.
+struct StreamRuntime {
+    ring: Arc<CpiRing>,
+    source: Arc<StreamSource>,
+    settings: StreamSettings,
+    owned: bool,
 }
 
 /// A prepared STAP pipeline system.
@@ -117,6 +165,7 @@ pub struct StapSystem {
     source_stage: StageId,
     reports: ReportSink,
     fs: Pfs,
+    stream: Option<StreamRuntime>,
 }
 
 impl StapSystem {
@@ -196,12 +245,43 @@ impl StapSystem {
 
         let roles =
             Roles { read, doppler, easy_weight, hard_weight, easy_bf, hard_bf, pulse, cfar };
+
+        // The data-plane seam: file- and stream-fed runs differ only in
+        // which `CpiSource` the front stages fetch through. Every CPI is
+        // fetched (in disjoint extents) by each node of the front stage,
+        // so the stream source caches each cube for that many readers.
+        let readers = if config.io == IoStrategy::SeparateTask {
+            config.nodes.read
+        } else {
+            config.nodes.doppler
+        };
+        let mut stream = None;
+        let source: Arc<dyn CpiSource> = match &config.source {
+            SourceSpec::File => Arc::new(FileSource::new(files.clone())),
+            SourceSpec::Stream(settings) => {
+                let (ring, owned) = match &settings.attach {
+                    Some(ring) => (Arc::clone(ring), false),
+                    None => (Arc::new(CpiRing::new("run", settings.depth, settings.policy)), true),
+                };
+                let src =
+                    Arc::new(StreamSource::new(Arc::clone(&ring), readers, settings.strict_lag));
+                stream = Some(StreamRuntime {
+                    ring,
+                    source: Arc::clone(&src),
+                    settings: settings.clone(),
+                    owned,
+                });
+                src
+            }
+        };
+
         let plan = Arc::new(StapPlan {
             config,
             roles,
             easy_bins,
             hard_bins,
             files,
+            source,
             waveform,
             stats: FaultStats::default(),
         });
@@ -265,7 +345,12 @@ impl StapSystem {
         let pipeline = Pipeline::new(topo, factories);
         let source_stage = read.unwrap_or(doppler);
         let sink_stage = cfar.unwrap_or(pulse);
-        Ok(Self { plan, pipeline, sink_stage, source_stage, reports, fs })
+        Ok(Self { plan, pipeline, sink_stage, source_stage, reports, fs, stream })
+    }
+
+    /// The staging ring of a stream-fed system (None for file-fed).
+    pub fn staging_ring(&self) -> Option<&Arc<CpiRing>> {
+        self.stream.as_ref().map(|s| &s.ring)
     }
 
     /// The shared plan (bins, roles, files).
@@ -352,8 +437,46 @@ impl StapSystem {
         self.fs.reset_fault_attempts();
         self.fs.reset_io_counters();
         let cfg = &self.plan.config;
+
+        // Stream-fed and system-owned: reset the staging tier and spawn
+        // the radar frontend for exactly this run's CPIs. An attached
+        // ring is produced into (and closed) by its external owner.
+        let frontend = match &self.stream {
+            Some(sr) if sr.owned => {
+                sr.ring.reopen();
+                sr.source.reset();
+                Some(Frontend::spawn(
+                    Arc::clone(&sr.ring),
+                    FrontendConfig {
+                        dims: cfg.dims,
+                        scene: cfg.scene.clone(),
+                        waveform_len: cfg.waveform_len,
+                        seed: cfg.seed,
+                        fanout: cfg.fanout,
+                        count: cfg.cpis,
+                        rate: sr.settings.rate,
+                    },
+                ))
+            }
+            _ => None,
+        };
+
         let spec = cfg.watchdog.map(|policy| self.watchdog_spec(policy));
-        let timing = self.pipeline.run_configured(cfg.cpis, cfg.warmup, spec.as_ref(), clocks)?;
+        let run = self.pipeline.run_configured(cfg.cpis, cfg.warmup, spec.as_ref(), clocks);
+
+        // Tear the staging tier down before propagating any run error:
+        // closing the ring is what unblocks a producer parked on a full
+        // ring, so a failed run never leaks a stuck frontend thread.
+        let ingest = self.stream.as_ref().map(|sr| {
+            if sr.owned {
+                sr.ring.close();
+            }
+            // Join before snapshotting so the counters are final.
+            let fe = frontend.map(Frontend::join);
+            IngestReport { policy: sr.ring.policy(), ring: sr.ring.stats(), frontend: fe }
+        });
+
+        let timing = run?;
         let mut reports = std::mem::take(&mut *self.reports.lock());
         reports.sort_by_key(|r| r.cpi);
         Ok(StapRunOutput {
@@ -366,6 +489,7 @@ impl StapSystem {
             cpis: cfg.cpis,
             warmup: cfg.warmup,
             io: self.fs.io_counters(),
+            ingest,
         })
     }
 }
@@ -406,6 +530,46 @@ mod tests {
         let phases = json.get("phases").and_then(|v| v.as_array()).expect("phases section");
         assert!(!phases.is_empty(), "phase registry embedded");
         assert!(phases.iter().any(|e| e.get("phase").and_then(|p| p.as_str()) == Some("read")));
+    }
+
+    #[test]
+    fn stream_fed_run_matches_file_fed_detections() {
+        type Keys = Vec<(u64, Vec<(usize, usize, usize, u64)>)>;
+        fn keys(reports: &[DetectionReport]) -> Keys {
+            reports
+                .iter()
+                .map(|r| {
+                    let mut dets: Vec<_> = r
+                        .detections
+                        .iter()
+                        .map(|d| (d.beam, d.bin, d.range, d.power.to_bits()))
+                        .collect();
+                    dets.sort_unstable();
+                    (r.cpi, dets)
+                })
+                .collect()
+        }
+        let file_out = StapSystem::prepare(tiny_config())
+            .unwrap()
+            .run_with_clock(ClockSpec::virtual_default())
+            .unwrap();
+        assert!(file_out.ingest.is_none(), "file-fed runs carry no ingest section");
+
+        let cfg =
+            StapConfig { source: SourceSpec::Stream(StreamSettings::default()), ..tiny_config() };
+        let sys = StapSystem::prepare(cfg).unwrap();
+        let out = sys.run_with_clock(ClockSpec::virtual_default()).unwrap();
+        assert_eq!(keys(&out.reports), keys(&file_out.reports), "bit-equal detection records");
+
+        let ingest = out.ingest.expect("stream-fed runs report staging counters");
+        assert!(ingest.ring.conserves());
+        assert_eq!(ingest.ring.delivered, 3);
+        assert_eq!(ingest.frontend.expect("owned frontend").pushed, 3);
+        assert!(out.run_report_json().contains("\"ingest\""));
+
+        // A second run of the same system reopens the ring and replays.
+        let again = sys.run_with_clock(ClockSpec::virtual_default()).unwrap();
+        assert_eq!(keys(&again.reports), keys(&file_out.reports));
     }
 
     #[test]

@@ -1,0 +1,232 @@
+//! A deterministic staging-ring model for stream-fed pipelines.
+//!
+//! [`StagingModel`] mirrors the real in-memory staging tier
+//! (`stap-ingest`'s bounded CPI ring) in virtual time: a producer offers
+//! cubes at a fixed period into a ring of bounded capacity, a consumer
+//! pops them in order, and the backpressure policy decides what happens
+//! when the producer outruns the consumer. The model is a pure state
+//! machine over [`SimTime`] — no threads, no randomness — so capacity
+//! simulations of streamed missions are exactly repeatable.
+
+use crate::time::SimTime;
+
+/// What the modelled producer does when the ring is full, mirroring the
+/// real tier's backpressure policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StagingPolicy {
+    /// The producer stalls until the consumer frees a slot (lossless;
+    /// arrival times shift forward under sustained overload).
+    #[default]
+    Block,
+    /// The producer evicts the oldest staged cube and keeps going (fresh
+    /// data wins; old cubes are dropped).
+    DropOldest,
+    /// The offered cube itself is discarded while the ring is full.
+    Reject,
+}
+
+/// Counters the model accumulates; the conservation invariant
+/// `offered == delivered + dropped + occupancy` (with rejected counted
+/// separately from offered-and-accepted) matches the real ring's.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StagingCounters {
+    /// Cubes the producer offered so far.
+    pub offered: u64,
+    /// Cubes delivered to the consumer.
+    pub delivered: u64,
+    /// Accepted cubes evicted before delivery (`DropOldest`).
+    pub dropped: u64,
+    /// Offered cubes refused at the full ring (`Reject`).
+    pub rejected: u64,
+    /// Peak ring occupancy observed, in cubes.
+    pub peak: u64,
+}
+
+/// Deterministic virtual-time model of one mission's staging ring.
+///
+/// The producer offers cube `k` at `k * period` (all at time zero when
+/// the period is zero — an unpaced frontend), shifted under
+/// [`StagingPolicy::Block`] whenever the ring is full. The consumer calls
+/// [`StagingModel::pop`] with the current virtual time and receives the
+/// time at which the next cube is available.
+#[derive(Debug, Clone)]
+pub struct StagingModel {
+    capacity: u64,
+    period: SimTime,
+    total: u64,
+    policy: StagingPolicy,
+    counters: StagingCounters,
+    /// Arrival time of the next cube the producer will offer.
+    next_offer: SimTime,
+    /// Arrival times of cubes currently staged, ascending.
+    staged: std::collections::VecDeque<SimTime>,
+}
+
+impl StagingModel {
+    /// A ring of `capacity` cubes fed by a producer offering `total` cubes
+    /// at one per `period` (zero = all available immediately).
+    ///
+    /// # Panics
+    /// When `capacity` is zero — a zero-slot ring can never deliver.
+    pub fn new(capacity: usize, period: SimTime, total: u64, policy: StagingPolicy) -> Self {
+        assert!(capacity > 0, "staging ring needs at least one slot");
+        Self {
+            capacity: capacity as u64,
+            period,
+            total,
+            policy,
+            counters: StagingCounters::default(),
+            next_offer: SimTime::ZERO,
+            staged: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// The counters so far.
+    pub fn counters(&self) -> StagingCounters {
+        self.counters
+    }
+
+    /// Cubes currently staged.
+    pub fn occupancy(&self) -> u64 {
+        self.staged.len() as u64
+    }
+
+    /// Advances the producer through every offer due by `now`.
+    fn ingest_until(&mut self, now: SimTime) {
+        while self.counters.offered < self.total && self.next_offer <= now {
+            if self.staged.len() as u64 >= self.capacity {
+                match self.policy {
+                    // A blocked producer holds the cube; it enters the
+                    // instant a pop frees a slot (handled in `pop`).
+                    StagingPolicy::Block => return,
+                    StagingPolicy::DropOldest => {
+                        self.staged.pop_front();
+                        self.counters.dropped += 1;
+                    }
+                    StagingPolicy::Reject => {
+                        self.counters.offered += 1;
+                        self.counters.rejected += 1;
+                        self.next_offer += self.period;
+                        continue;
+                    }
+                }
+            }
+            self.staged.push_back(self.next_offer);
+            self.counters.offered += 1;
+            self.counters.peak = self.counters.peak.max(self.staged.len() as u64);
+            self.next_offer += self.period;
+        }
+    }
+
+    /// Pops the next cube as a consumer at virtual time `now`; returns the
+    /// time the cube is available (`>= now`), or `None` when the producer
+    /// has no more cubes to deliver.
+    pub fn pop(&mut self, now: SimTime) -> Option<SimTime> {
+        self.ingest_until(now);
+        let ready = match self.staged.pop_front() {
+            Some(arrived) => now.max(arrived),
+            None => {
+                // Ring empty: wait for the next offer (if any survive).
+                if self.counters.offered >= self.total {
+                    return None;
+                }
+                let arrival = self.next_offer.max(now);
+                self.counters.offered += 1;
+                self.counters.peak = self.counters.peak.max(1);
+                self.next_offer += self.period;
+                arrival
+            }
+        };
+        self.counters.delivered += 1;
+        // A blocked producer enters its held cube the moment this pop
+        // freed a slot.
+        if self.policy == StagingPolicy::Block {
+            self.ingest_until(ready);
+        }
+        Some(ready)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> SimTime {
+        SimTime::from_millis(n)
+    }
+
+    #[test]
+    fn fast_producer_slow_consumer_blocks_losslessly() {
+        // 4 cubes/slot ring, 1 cube/ms producer, consumer pops every 10 ms.
+        let mut m = StagingModel::new(4, ms(1), 20, StagingPolicy::Block);
+        let mut t = SimTime::ZERO;
+        let mut delivered = 0;
+        while let Some(ready) = m.pop(t) {
+            t = ready + ms(10);
+            delivered += 1;
+        }
+        let c = m.counters();
+        assert_eq!(delivered, 20);
+        assert_eq!((c.delivered, c.dropped, c.rejected), (20, 0, 0));
+        assert!(c.peak <= 4);
+    }
+
+    #[test]
+    fn drop_oldest_counts_evictions_and_delivers_fresh() {
+        let mut m = StagingModel::new(2, ms(1), 50, StagingPolicy::DropOldest);
+        // Consumer wakes late: everything has arrived, ring holds the
+        // freshest 2, the rest were evicted.
+        let first = m.pop(ms(1000)).expect("a cube survives");
+        assert_eq!(first, ms(1000));
+        let c = m.counters();
+        assert_eq!(c.offered, 50);
+        assert_eq!(c.dropped, 48, "all but the freshest ring-full survive");
+        assert_eq!(c.delivered + c.dropped + m.occupancy(), 50);
+    }
+
+    #[test]
+    fn reject_discards_offers_at_the_full_ring() {
+        let mut m = StagingModel::new(2, ms(1), 50, StagingPolicy::Reject);
+        let _ = m.pop(ms(1000)).expect("a retained cube");
+        let c = m.counters();
+        assert_eq!(c.offered, 50);
+        assert_eq!(c.rejected, 48, "the first 2 are retained, the rest bounce");
+        assert_eq!(c.delivered + c.rejected + m.occupancy(), 50);
+    }
+
+    #[test]
+    fn starved_consumer_waits_for_the_next_arrival() {
+        let mut m = StagingModel::new(4, ms(100), 3, StagingPolicy::Block);
+        assert_eq!(m.pop(SimTime::ZERO), Some(SimTime::ZERO));
+        // Second cube arrives at 100 ms; popping at 10 ms waits for it.
+        assert_eq!(m.pop(ms(10)), Some(ms(100)));
+        assert_eq!(m.pop(ms(100)), Some(ms(200)));
+        assert_eq!(m.pop(ms(300)), None, "producer exhausted");
+        assert_eq!(m.counters().delivered, 3);
+    }
+
+    #[test]
+    fn unpaced_producer_makes_everything_available_at_once() {
+        let mut m = StagingModel::new(8, SimTime::ZERO, 5, StagingPolicy::Block);
+        for _ in 0..5 {
+            assert_eq!(m.pop(ms(7)), Some(ms(7)));
+        }
+        assert_eq!(m.pop(ms(7)), None);
+        assert!(m.counters().peak <= 8);
+    }
+
+    #[test]
+    fn replays_identically() {
+        let run = || {
+            let mut m = StagingModel::new(3, ms(2), 30, StagingPolicy::DropOldest);
+            let mut t = SimTime::ZERO;
+            let mut seq = Vec::new();
+            while let Some(r) = m.pop(t) {
+                seq.push(r);
+                t = r + ms(5);
+            }
+            (seq, m.counters())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,174 @@
+//! Synthetic radar frontends: seeded deterministic producers pushing CPI
+//! cubes into a staging ring.
+
+use crate::ring::{CpiRing, StampedCube};
+use stap_kernels::cube::CubeDims;
+use stap_radar::{CubeGenerator, Scene};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// What a frontend produces and how fast.
+///
+/// The generated cube sequence is exactly the one file staging writes:
+/// `fanout` cubes synthesized from the seeded generator, cycled — cube
+/// `seq % fanout` for sequence number `seq` — so a stream-fed run is
+/// bit-identical to a file-fed run of the same configuration.
+#[derive(Debug, Clone)]
+pub struct FrontendConfig {
+    /// CPI cube geometry.
+    pub dims: CubeDims,
+    /// Radar scenario generating the cubes.
+    pub scene: Scene,
+    /// Pulse-compression waveform length (range samples).
+    pub waveform_len: usize,
+    /// Generator seed (the run configuration's seed).
+    pub seed: u64,
+    /// Distinct cubes synthesized and cycled (the file-staging fanout).
+    pub fanout: usize,
+    /// Cubes to push before closing the ring.
+    pub count: u64,
+    /// Delivery rate in cubes/second (0 = unpaced, push as fast as the
+    /// ring admits).
+    pub rate: f64,
+}
+
+/// What a finished (or cancelled) frontend did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrontendReport {
+    /// Cubes the ring accepted.
+    pub pushed: u64,
+    /// Cubes refused by a `Reject` ring.
+    pub rejected: u64,
+    /// True when the ring closed before `count` cubes were offered
+    /// (mission cancelled or finished early).
+    pub closed_early: bool,
+}
+
+/// A running synthetic radar frontend (one producer thread).
+pub struct Frontend {
+    handle: JoinHandle<FrontendReport>,
+}
+
+impl Frontend {
+    /// Spawns the producer thread pushing `cfg.count` cubes into `ring`.
+    ///
+    /// The cubes are synthesized up front (they cycle with period
+    /// `fanout`), so the steady-state loop only clones `Arc`s and paces.
+    pub fn spawn(ring: Arc<CpiRing>, cfg: FrontendConfig) -> Self {
+        let handle = std::thread::spawn(move || {
+            let mut generator =
+                CubeGenerator::new(cfg.dims, cfg.scene.clone(), cfg.waveform_len, cfg.seed);
+            let cubes: Vec<Arc<Vec<u8>>> = (0..cfg.fanout.max(1))
+                .map(|_| Arc::new(generator.next_cube().to_range_major_bytes()))
+                .collect();
+            let period =
+                if cfg.rate > 0.0 { Some(Duration::from_secs_f64(1.0 / cfg.rate)) } else { None };
+            let mut report = FrontendReport { pushed: 0, rejected: 0, closed_early: false };
+            for seq in 0..cfg.count {
+                if let (Some(p), true) = (period, seq > 0) {
+                    std::thread::sleep(p);
+                }
+                let bytes = Arc::clone(&cubes[(seq % cfg.fanout.max(1) as u64) as usize]);
+                match ring.push(StampedCube { seq, bytes }) {
+                    Ok(()) => report.pushed += 1,
+                    Err(e) if e.is_transient() => report.rejected += 1,
+                    Err(_) => {
+                        report.closed_early = true;
+                        break;
+                    }
+                }
+            }
+            // The producer owns end-of-stream: closing here lets a consumer
+            // drain the buffered tail and then see a typed `Closed` instead
+            // of blocking forever on cubes that were dropped or rejected.
+            ring.close();
+            report
+        });
+        Self { handle }
+    }
+
+    /// Waits for the producer thread and returns its report.
+    pub fn join(self) -> FrontendReport {
+        self.handle.join().unwrap_or(FrontendReport { pushed: 0, rejected: 0, closed_early: true })
+    }
+
+    /// Whether the producer thread has exited.
+    pub fn is_finished(&self) -> bool {
+        self.handle.is_finished()
+    }
+}
+
+impl std::fmt::Debug for Frontend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Frontend").field("finished", &self.handle.is_finished()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::BackpressurePolicy;
+
+    fn cfg(count: u64) -> FrontendConfig {
+        FrontendConfig {
+            dims: CubeDims::new(8, 2, 16),
+            scene: Scene::benchmark_small(),
+            waveform_len: 4,
+            seed: 7,
+            fanout: 2,
+            count,
+            rate: 0.0,
+        }
+    }
+
+    #[test]
+    fn pushes_count_cubes_cycling_fanout() {
+        let ring = Arc::new(CpiRing::new("m", 8, BackpressurePolicy::Block));
+        let fe = Frontend::spawn(Arc::clone(&ring), cfg(5));
+        let mut seqs = Vec::new();
+        let mut first_two = Vec::new();
+        for _ in 0..5 {
+            let (c, _) = ring.pop().unwrap();
+            seqs.push(c.seq);
+            if c.seq < 2 {
+                first_two.push(Arc::clone(&c.bytes));
+            }
+            if c.seq == 2 {
+                // Cube 2 cycles back to cube 0's bytes (fanout 2).
+                assert_eq!(*c.bytes, *first_two[0]);
+                assert_ne!(*c.bytes, *first_two[1]);
+            }
+        }
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+        let report = fe.join();
+        assert_eq!(report.pushed, 5);
+        assert!(!report.closed_early);
+    }
+
+    #[test]
+    fn same_seed_replays_bit_identically() {
+        let grab = || {
+            let ring = Arc::new(CpiRing::new("m", 8, BackpressurePolicy::Block));
+            let fe = Frontend::spawn(Arc::clone(&ring), cfg(4));
+            let cubes: Vec<Vec<u8>> =
+                (0..4).map(|_| ring.pop().unwrap().0.bytes.to_vec()).collect();
+            fe.join();
+            cubes
+        };
+        assert_eq!(grab(), grab());
+    }
+
+    #[test]
+    fn closing_the_ring_stops_a_blocked_producer() {
+        let ring = Arc::new(CpiRing::new("m", 1, BackpressurePolicy::Block));
+        let fe = Frontend::spawn(Arc::clone(&ring), cfg(100));
+        while ring.is_empty() {
+            std::thread::yield_now();
+        }
+        ring.close();
+        let report = fe.join();
+        assert!(report.closed_early);
+        assert!(report.pushed < 100);
+    }
+}

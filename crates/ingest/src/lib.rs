@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+//! # stap-ingest — the streaming CPI data plane
+//!
+//! The paper's pipelines read CPI cubes from staging files on a parallel
+//! file system. This crate adds the alternative the ROADMAP calls for: an
+//! in-memory staging tier where *producers* (synthetic radar frontends
+//! with seeded deterministic generators) push cubes into bounded
+//! per-mission ring buffers, and the pipeline front pulls them through
+//! the same [`CpiSource`](stap_pipeline::CpiSource) seam the file path
+//! uses — the seven tasks never know which fed them.
+//!
+//! - [`ring`] — the bounded staging ring with three typed backpressure
+//!   policies (block / drop-oldest / reject) and conservation-checked
+//!   counters;
+//! - [`frontend`] — the producer: a seeded generator cycling `fanout`
+//!   cubes at a configurable rate, bit-identical to file staging;
+//! - [`source`] — the [`FileSource`] and [`StreamSource`] adapters
+//!   behind the pipeline seam;
+//! - [`error`] — the typed failure taxonomy whose `is_transient()`
+//!   mirrors `PfsError`, so `FailurePolicy` retry/skip covers stream
+//!   stalls unchanged.
+
+pub mod error;
+pub mod frontend;
+pub mod ring;
+pub mod source;
+
+pub use error::IngestError;
+pub use frontend::{Frontend, FrontendConfig, FrontendReport};
+pub use ring::{BackpressurePolicy, CpiRing, RingStats, StampedCube};
+pub use source::{FileSource, StreamSource};

@@ -26,6 +26,7 @@
 pub mod error;
 pub mod runner;
 pub mod schedule;
+pub mod source;
 pub mod stage;
 pub mod tags;
 pub mod timing;
@@ -34,6 +35,7 @@ pub mod watchdog;
 
 pub use error::PipelineError;
 pub use runner::{Pipeline, StageFactory};
+pub use source::{CpiSource, PendingFetch, SourceError};
 pub use stage::{Stage, StageCtx};
 pub use stap_trace::ClockSpec;
 pub use timing::{Phase, PipelineReport};

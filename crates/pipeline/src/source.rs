@@ -1,0 +1,105 @@
+//! The CPI-source seam: where the front of the pipeline gets its data.
+//!
+//! The paper's pipelines always read CPI cubes from the parallel file
+//! system. The streaming ingestion tier (`stap-ingest`) adds a second
+//! path — cubes pushed by radar frontends into in-memory rings — and the
+//! [`CpiSource`] trait makes the seven tasks agnostic to which one feeds
+//! them: the read/Doppler stages fetch byte extents by (CPI, offset,
+//! length) and time the wait under whatever [`Phase`] the source reports.
+
+use stap_trace::Phase;
+
+/// Why a fetch from a CPI source failed.
+///
+/// Deliberately minimal: the concrete error taxonomies live with their
+/// sources (`PfsError` for files, `IngestError` for streams); at the
+/// pipeline seam only the message and the retry class survive, so the
+/// `FailurePolicy` retry/skip machinery applies to both paths unchanged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceError {
+    /// Human-readable description, including the source's own error text.
+    pub detail: String,
+    /// Whether a retry could plausibly succeed (mirrors
+    /// `PfsError::is_transient` / `IngestError::is_transient`).
+    pub transient: bool,
+}
+
+impl SourceError {
+    /// Whether a retry could plausibly succeed.
+    pub fn is_transient(&self) -> bool {
+        self.transient
+    }
+}
+
+impl std::fmt::Display for SourceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.detail)
+    }
+}
+
+impl std::error::Error for SourceError {}
+
+/// A pending asynchronous fetch: call it to block until the bytes land.
+///
+/// The file-backed source wraps `iread`-style asynchronous reads in this;
+/// sources without an async path simply never hand one out.
+pub type PendingFetch = Box<dyn FnOnce() -> Result<Vec<u8>, SourceError> + Send>;
+
+/// Where the front of the pipeline gets CPI cube bytes.
+///
+/// Implementations must be safe to share across the front-stage node
+/// threads (`Send + Sync`); each node fetches disjoint extents of the
+/// same CPI.
+pub trait CpiSource: Send + Sync + std::fmt::Debug {
+    /// Fetches `len` bytes at `offset` of the cube for `cpi`, blocking
+    /// until they are available.
+    fn fetch(&self, cpi: u64, offset: u64, len: usize) -> Result<Vec<u8>, SourceError>;
+
+    /// Posts an asynchronous fetch for the extent, if this source has an
+    /// async path. `Ok(None)` means "no async support — fall back to
+    /// [`Self::fetch`]", which is the default.
+    fn prefetch(
+        &self,
+        _cpi: u64,
+        _offset: u64,
+        _len: usize,
+    ) -> Result<Option<PendingFetch>, SourceError> {
+        Ok(None)
+    }
+
+    /// The phase charged while a node blocks in [`Self::fetch`]:
+    /// [`Phase::Read`] for file-backed sources, [`Phase::Ingest`] for the
+    /// streaming staging tier.
+    fn wait_phase(&self) -> Phase {
+        Phase::Read
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Fixed(Vec<u8>);
+
+    impl CpiSource for Fixed {
+        fn fetch(&self, _cpi: u64, offset: u64, len: usize) -> Result<Vec<u8>, SourceError> {
+            let off = offset as usize;
+            if off + len > self.0.len() {
+                return Err(SourceError { detail: "out of range".into(), transient: false });
+            }
+            Ok(self.0[off..off + len].to_vec())
+        }
+    }
+
+    #[test]
+    fn default_prefetch_is_none_and_wait_phase_is_read() {
+        let s = Fixed(vec![1, 2, 3, 4]);
+        assert!(s.prefetch(0, 0, 2).unwrap().is_none());
+        assert_eq!(s.wait_phase(), Phase::Read);
+        assert_eq!(s.fetch(0, 1, 2).unwrap(), vec![2, 3]);
+        let e = s.fetch(0, 3, 4).unwrap_err();
+        assert!(!e.is_transient());
+        assert!(e.to_string().contains("out of range"));
+    }
+}

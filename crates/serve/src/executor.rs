@@ -16,14 +16,17 @@
 //! one Chrome trace — open it and see the whole fleet on a shared timeline.
 
 use crate::mission::{
-    fleet_table, MissionOutcome, MissionReport, MissionSpec, PlanChoice, SlaVerdict,
+    fleet_table, MissionOutcome, MissionReport, MissionSource, MissionSpec, PlanChoice, SlaVerdict,
 };
 use crate::scheduler::{Counters, Scheduler, ServeConfig};
 use crate::script::{ScriptAction, WorkloadScript};
-use stap_core::{StapConfig, StapSystem, WatchdogPolicy};
+use stap_core::{SourceSpec, StapConfig, StapSystem, StreamSettings, WatchdogPolicy};
+use stap_ingest::{CpiRing, Frontend, FrontendConfig};
 use stap_kernels::CubeDims;
 use stap_pfs::FsConfig;
 use stap_trace::{fleet_chrome_trace, ClockSpec, FleetTrack};
+use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// What one worker thread sends back when its mission ends.
@@ -116,6 +119,43 @@ fn mission_config(spec: &MissionSpec, plan: &PlanChoice) -> StapConfig {
     }
 }
 
+/// A stream mission's staging ring and radar frontend. Created at
+/// admission (the radar starts transmitting as soon as the mission is
+/// accepted, whether or not compute has dispatched yet) and torn down on
+/// completion, failure, or cancellation.
+struct StreamFeed {
+    ring: Arc<CpiRing>,
+    frontend: Option<Frontend>,
+}
+
+impl StreamFeed {
+    /// Closes the ring (unblocking a parked producer), joins the producer
+    /// thread, and returns the ring's peak occupancy.
+    fn drain(mut self) -> u64 {
+        self.ring.close();
+        if let Some(fe) = self.frontend.take() {
+            fe.join();
+        }
+        self.ring.stats().peak_depth as u64
+    }
+}
+
+/// The producer configuration for a stream mission. Mirrors
+/// [`mission_config`]'s cube parameters exactly, so a stream mission's
+/// cubes are bit-identical to the ones file staging would write.
+fn frontend_config(spec: &MissionSpec, rate: f64) -> FrontendConfig {
+    let base = StapConfig::default();
+    FrontendConfig {
+        dims: CubeDims::new(16, 4, 64),
+        scene: base.scene,
+        waveform_len: base.waveform_len,
+        seed: base.seed,
+        fanout: 2,
+        count: spec.cpis.max(2),
+        rate,
+    }
+}
+
 /// Replays a workload script against a real worker pool and returns the
 /// executed fleet. Blocks until every admitted mission has completed (or
 /// failed under its watchdog); never hangs — admission guarantees every
@@ -129,6 +169,7 @@ pub fn run_fleet(script: &WorkloadScript, cfg: &ServeConfig) -> FleetOutcome {
     let mut cancelled: Vec<String> = Vec::new();
     let mut missions: Vec<MissionReport> = Vec::new();
     let mut tracks: Vec<FleetTrack> = Vec::new();
+    let mut feeds: HashMap<u64, StreamFeed> = HashMap::new();
     let mut makespan = 0.0f64;
 
     loop {
@@ -138,13 +179,34 @@ pub fn run_fleet(script: &WorkloadScript, cfg: &ServeConfig) -> FleetOutcome {
             match script.events[next_event].action.clone() {
                 ScriptAction::Submit(spec) => {
                     let name = spec.name.clone();
-                    if let Err(e) = sched.submit(spec, now) {
-                        rejected.push((name, e.to_string()));
+                    let source = spec.source;
+                    match sched.submit(spec.clone(), now) {
+                        Ok(id) => {
+                            // Admitted stream missions start receiving data
+                            // immediately: the radar does not wait for the
+                            // scheduler to find compute.
+                            if let MissionSource::Stream { depth, policy, rate } = source {
+                                let ring = Arc::new(CpiRing::new(&name, depth, policy));
+                                let frontend = Frontend::spawn(
+                                    Arc::clone(&ring),
+                                    frontend_config(&spec, rate),
+                                );
+                                feeds.insert(id, StreamFeed { ring, frontend: Some(frontend) });
+                            }
+                        }
+                        Err(e) => rejected.push((name, e.to_string())),
                     }
                 }
                 ScriptAction::Cancel { name } => {
-                    if sched.cancel(&name).is_some() {
+                    if let Some(id) = sched.cancel(&name) {
                         cancelled.push(name);
+                        // Drain the cancelled mission's stream: closing the
+                        // ring is what unblocks a producer parked on a full
+                        // ring — without it the frontend thread would hang
+                        // forever, since no consumer will ever attach.
+                        if let Some(feed) = feeds.remove(&id) {
+                            feed.drain();
+                        }
                     }
                 }
             }
@@ -153,7 +215,20 @@ pub fn run_fleet(script: &WorkloadScript, cfg: &ServeConfig) -> FleetOutcome {
         // Dispatch whatever fits the worker pool and the free nodes.
         while let Some(d) = sched.next_ready(epoch.elapsed().as_secs_f64()) {
             let tx = tx.clone();
-            let config = mission_config(&d.spec, &d.plan);
+            let mut config = mission_config(&d.spec, &d.plan);
+            if let MissionSource::Stream { depth, policy, rate } = d.spec.source {
+                let ring = feeds
+                    .get(&d.id)
+                    .map(|f| Arc::clone(&f.ring))
+                    .expect("stream feeds are created at admission");
+                config.source = SourceSpec::Stream(StreamSettings {
+                    depth,
+                    policy,
+                    rate,
+                    strict_lag: false,
+                    attach: Some(ring),
+                });
+            }
             std::thread::spawn(move || {
                 let result = StapSystem::prepare(config)
                     .and_then(|sys| sys.run_with_clock(ClockSpec::Wall))
@@ -176,7 +251,10 @@ pub fn run_fleet(script: &WorkloadScript, cfg: &ServeConfig) -> FleetOutcome {
                 let end = epoch.elapsed().as_secs_f64();
                 makespan = makespan.max(end);
                 sched.complete(done.id, done.result.is_err());
-                missions.push(finish(done, end, &mut tracks));
+                // Tear the mission's stream down (a failed run may leave
+                // the producer parked) and keep its peak occupancy.
+                let staging_peak = feeds.remove(&done.id).map_or(0, StreamFeed::drain);
+                missions.push(finish(done, end, staging_peak, &mut tracks));
             }
             Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
             Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
@@ -186,13 +264,23 @@ pub fn run_fleet(script: &WorkloadScript, cfg: &ServeConfig) -> FleetOutcome {
             break;
         }
     }
+    // Whatever streams are still attached (none, unless a mission slipped
+    // through every path above) must not leak producer threads.
+    for (_, feed) in feeds.drain() {
+        feed.drain();
+    }
     missions.sort_by_key(|m| m.id);
     tracks.sort_by_key(|t| t.mission_id);
     FleetOutcome { missions, cancelled, rejected, counters: sched.counters(), makespan, tracks }
 }
 
 /// Builds the report (and trace track) for one finished worker.
-fn finish(done: WorkerDone, end: f64, tracks: &mut Vec<FleetTrack>) -> MissionReport {
+fn finish(
+    done: WorkerDone,
+    end: f64,
+    staging_peak: u64,
+    tracks: &mut Vec<FleetTrack>,
+) -> MissionReport {
     let base = MissionReport {
         id: done.id,
         name: done.spec.name.clone(),
@@ -208,6 +296,7 @@ fn finish(done: WorkerDone, end: f64, tracks: &mut Vec<FleetTrack>) -> MissionRe
         latency: 0.0,
         drops: 0,
         retries: 0,
+        staging_peak,
         sla: SlaVerdict::Unbounded,
         outcome: MissionOutcome::Completed,
     };
@@ -250,7 +339,13 @@ mod tests {
     use super::*;
 
     fn cfg() -> ServeConfig {
-        ServeConfig { pool_nodes: 60, workers: 2, queue_capacity: 8, stripe_servers: 64 }
+        ServeConfig {
+            pool_nodes: 60,
+            workers: 2,
+            queue_capacity: 8,
+            stripe_servers: 64,
+            ..ServeConfig::default()
+        }
     }
 
     #[test]
@@ -308,6 +403,46 @@ mod tests {
         );
         let waited = out.missions.iter().filter(|m| m.queue_wait > 0.0).count();
         assert!(waited >= 2, "serialized missions report queue wait");
+    }
+
+    #[test]
+    fn stream_fed_mission_completes_and_reports_staging_peak() {
+        let script = WorkloadScript::parse(
+            "at 0 submit name=live nodes=25 cpis=3 source=stream staging=2\n",
+        )
+        .expect("valid script");
+        let out = run_fleet(&script, &cfg());
+        assert_eq!(out.missions.len(), 1, "{:?}", out.missions);
+        let m = &out.missions[0];
+        assert_eq!(m.outcome, MissionOutcome::Completed, "{:?}", m.outcome);
+        assert!(
+            m.staging_peak >= 1 && m.staging_peak <= 2,
+            "peak bounded by ring depth, got {}",
+            m.staging_peak
+        );
+        let json = stap_trace::json::parse(&out.fleet_json()).expect("valid fleet JSON");
+        let missions = json.get("missions").and_then(|m| m.as_array()).expect("missions");
+        assert!(missions[0].get("staging_peak").and_then(|v| v.as_f64()).expect("peak") >= 1.0);
+    }
+
+    #[test]
+    fn cancelling_a_queued_stream_mission_unblocks_its_producer() {
+        // Regression: the doomed mission's unpaced producer fills its
+        // 2-slot blocking ring immediately and parks. Cancellation must
+        // close the ring so the producer thread exits — without the drain,
+        // run_fleet would leak a forever-blocked thread and the final feed
+        // sweep would hang this test.
+        let script = WorkloadScript::parse(
+            "at 0.0 submit name=runner nodes=25 cpis=2\n\
+             at 0.0 submit name=doomed nodes=25 cpis=64 source=stream staging=2\n\
+             at 0.0 cancel name=doomed\n",
+        )
+        .expect("valid script");
+        let serve = ServeConfig { workers: 1, ..cfg() };
+        let out = run_fleet(&script, &serve);
+        assert_eq!(out.cancelled, vec!["doomed".to_string()]);
+        assert_eq!(out.missions.len(), 1, "only runner executes");
+        assert_eq!(out.counters.cancelled, 1);
     }
 
     #[test]

@@ -39,6 +39,7 @@ fn cell(concurrency: usize, machine: &str, cpis: u64) -> Cell {
             workers: concurrency.max(1),
             queue_capacity: concurrency.max(1),
             stripe_servers: 128,
+            ..ServeConfig::default()
         },
         read_model: ReadModel::Planned,
     };

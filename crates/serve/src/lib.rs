@@ -5,10 +5,12 @@
 //! latency SLAs) sharing a node pool and one striped file system. This crate
 //! adds that serving layer on top of the existing stack:
 //!
-//! - [`mission`] — mission specs, typed admission errors, per-mission
-//!   reports, and the fleet table.
+//! - [`mission`] — mission specs (file- or stream-fed), typed admission
+//!   errors, per-mission reports, and the fleet table.
 //! - [`script`] — timed workload scripts (`at <secs> submit …`) driving both
 //!   real and simulated fleets.
+//! - [`arrivals`] — elastic mission arrivals (Poisson, bursty MMPP-2,
+//!   diurnal) generating workload scripts deterministically from a seed.
 //! - [`placement`] — node-pool accounting and per-stripe-server load, the
 //!   contention-adjusted read estimates.
 //! - [`scheduler`] — planner-backed admission ([`stap_planner`] searched
@@ -26,6 +28,7 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod arrivals;
 pub mod executor;
 pub mod experiments;
 pub mod mission;
@@ -34,10 +37,11 @@ pub mod scheduler;
 pub mod script;
 pub mod sim;
 
+pub use arrivals::{generate_script, ArrivalSpec};
 pub use executor::{run_fleet, FleetOutcome};
 pub use mission::{
-    fleet_table, machine_profile, AdmissionError, MissionOutcome, MissionReport, MissionSpec,
-    PlanChoice, SlaVerdict,
+    fleet_table, machine_profile, AdmissionError, MissionOutcome, MissionReport, MissionSource,
+    MissionSpec, PlanChoice, SlaVerdict,
 };
 pub use placement::{NodePool, StripeLoadTracker};
 pub use scheduler::{Counters, Dispatch, Scheduler, ServeConfig};

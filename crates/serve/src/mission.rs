@@ -2,8 +2,46 @@
 //! the fleet reports when it is done.
 
 use stap_core::{IoStrategy, TailStructure};
+use stap_ingest::BackpressurePolicy;
 use stap_model::machines::MachineModel;
 use stap_trace::chrome::escape;
+
+/// Where a mission's CPI cubes come from.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum MissionSource {
+    /// Pre-staged files on the shared striped store (the paper's setting).
+    #[default]
+    File,
+    /// A live radar frontend pushing cubes into a bounded staging ring.
+    Stream {
+        /// Staging-ring capacity in cubes.
+        depth: usize,
+        /// What the producer does when the ring is full.
+        policy: BackpressurePolicy,
+        /// Cube arrival rate in cubes/s (`0` = as fast as possible).
+        rate: f64,
+    },
+}
+
+impl MissionSource {
+    /// The stream defaults: a 4-cube ring, blocking producer, unpaced.
+    pub fn stream_default() -> Self {
+        MissionSource::Stream { depth: 4, policy: BackpressurePolicy::Block, rate: 0.0 }
+    }
+
+    /// True for stream-fed missions.
+    pub fn is_stream(&self) -> bool {
+        matches!(self, MissionSource::Stream { .. })
+    }
+
+    /// Staging-ring depth this mission would occupy (`0` for file-fed).
+    pub fn staging_depth(&self) -> usize {
+        match self {
+            MissionSource::File => 0,
+            MissionSource::Stream { depth, .. } => *depth,
+        }
+    }
+}
 
 /// One client request: run a STAP pipeline of `cpis` coherent processing
 /// intervals on a given machine profile, within an optional latency SLA,
@@ -32,6 +70,9 @@ pub struct MissionSpec {
     pub io: Option<IoStrategy>,
     /// Pin the tail structure instead of letting the planner choose.
     pub tail: Option<TailStructure>,
+    /// Where the mission's CPI cubes come from (staged files or a live
+    /// stream through the staging tier).
+    pub source: MissionSource,
 }
 
 impl MissionSpec {
@@ -47,6 +88,7 @@ impl MissionSpec {
             max_latency: None,
             io: None,
             tail: None,
+            source: MissionSource::File,
         }
     }
 }
@@ -86,6 +128,14 @@ pub enum AdmissionError {
         /// What the planner reported.
         detail: String,
     },
+    /// A stream mission asked for a deeper staging ring than the fleet's
+    /// staging tier owns; it could never dispatch, so it is rejected.
+    StagingExceeded {
+        /// Ring depth the mission requested.
+        requested: usize,
+        /// Total staging capacity (cubes) the fleet owns.
+        capacity: usize,
+    },
     /// The machine profile key is not one the fleet serves.
     UnknownMachine {
         /// The offending key.
@@ -108,6 +158,12 @@ impl std::fmt::Display for AdmissionError {
                 write!(f, "submission queue is full ({capacity} missions)")
             }
             AdmissionError::NoFeasiblePlan { detail } => write!(f, "no feasible plan: {detail}"),
+            AdmissionError::StagingExceeded { requested, capacity } => {
+                write!(
+                    f,
+                    "mission requests a {requested}-cube staging ring but the tier owns {capacity}"
+                )
+            }
             AdmissionError::UnknownMachine { key } => {
                 write!(
                     f,
@@ -262,6 +318,8 @@ pub struct MissionReport {
     pub drops: u64,
     /// Read retries.
     pub retries: u64,
+    /// Peak staging-ring occupancy in cubes (`0` for file-fed missions).
+    pub staging_peak: u64,
     /// SLA verdict.
     pub sla: SlaVerdict,
     /// How execution ended.
@@ -286,7 +344,8 @@ impl MissionReport {
              \"requested_nodes\": {}, \"plan\": \"{}\", \"submit\": {:.9}, \
              \"start\": {:.9}, \"end\": {:.9}, \"queue_wait\": {:.9}, \
              \"read_contention\": {:.3}, \"throughput\": {:.9}, \"latency\": {:.9}, \
-             \"drops\": {}, \"retries\": {}, \"sla\": {}, \"outcome\": \"{}\"}}",
+             \"drops\": {}, \"retries\": {}, \"staging_peak\": {}, \"sla\": {}, \
+             \"outcome\": \"{}\"}}",
             self.id,
             escape(&self.name),
             self.priority,
@@ -301,6 +360,7 @@ impl MissionReport {
             self.latency,
             self.drops,
             self.retries,
+            self.staging_peak,
             sla,
             self.outcome.label(),
         )
@@ -383,6 +443,7 @@ mod tests {
             latency: 0.55,
             drops: 1,
             retries: 2,
+            staging_peak: 3,
             sla: SlaVerdict::grade(Some(0.6), 0.55),
             outcome: MissionOutcome::Completed,
         }
@@ -394,6 +455,7 @@ mod tests {
         let v = stap_trace::json::parse(&j).expect("valid JSON");
         assert_eq!(v.get("mission").unwrap().as_f64(), Some(2.0));
         assert_eq!(v.get("queue_wait").unwrap().as_f64(), Some(1.5));
+        assert_eq!(v.get("staging_peak").unwrap().as_f64(), Some(3.0));
         assert_eq!(v.get("outcome").unwrap().as_str(), Some("done"));
         let sla = v.get("sla").unwrap();
         assert!(matches!(sla.get("met"), Some(stap_trace::json::Json::Bool(true))));
@@ -429,5 +491,17 @@ mod tests {
         let e = AdmissionError::PoolExceeded { requested: 200, pool: 128 };
         assert!(e.to_string().contains("200"));
         assert!(AdmissionError::QueueFull { capacity: 4 }.to_string().contains("full"));
+        let e = AdmissionError::StagingExceeded { requested: 512, capacity: 256 };
+        assert!(e.to_string().contains("512") && e.to_string().contains("staging"));
+    }
+
+    #[test]
+    fn mission_source_defaults_and_depths() {
+        assert_eq!(MissionSource::default(), MissionSource::File);
+        assert!(!MissionSource::File.is_stream());
+        assert_eq!(MissionSource::File.staging_depth(), 0);
+        let s = MissionSource::stream_default();
+        assert!(s.is_stream());
+        assert_eq!(s.staging_depth(), 4);
     }
 }

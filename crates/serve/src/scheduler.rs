@@ -24,11 +24,23 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Stripe directories of the shared store tracked for contention.
     pub stripe_servers: usize,
+    /// Total staging-tier capacity in cubes, shared by all concurrently
+    /// running stream missions' rings. A stream mission asking for a deeper
+    /// ring than this is rejected
+    /// ([`AdmissionError::StagingExceeded`](crate::mission::AdmissionError::StagingExceeded));
+    /// one that fits waits in the queue until enough staging frees up.
+    pub staging_capacity: usize,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        Self { pool_nodes: 128, workers: 2, queue_capacity: 16, stripe_servers: 128 }
+        Self {
+            pool_nodes: 128,
+            workers: 2,
+            queue_capacity: 16,
+            stripe_servers: 128,
+            staging_capacity: 256,
+        }
     }
 }
 
@@ -85,6 +97,7 @@ struct Running {
     id: u64,
     nodes: usize,
     stripe_factor: usize,
+    staging: usize,
 }
 
 /// The fleet scheduler.
@@ -175,6 +188,15 @@ impl Scheduler {
         if spec.nodes > owned {
             return Err(AdmissionError::PoolExceeded { requested: spec.nodes, pool: owned });
         }
+        // The staging guard mirrors the pool guard: a ring deeper than the
+        // whole tier can never dispatch, so reject rather than queue.
+        let depth = spec.source.staging_depth();
+        if depth > self.cfg.staging_capacity {
+            return Err(AdmissionError::StagingExceeded {
+                requested: depth,
+                capacity: self.cfg.staging_capacity,
+            });
+        }
         let plan = self.plan_for(spec, machine, owned)?;
         if self.queue.len() >= self.cfg.queue_capacity {
             return Err(AdmissionError::QueueFull { capacity: self.cfg.queue_capacity });
@@ -249,11 +271,13 @@ impl Scheduler {
             return None;
         }
         let free = self.pool.free();
+        let staging_free = self.free_staging();
         let idx = self
             .queue
             .iter()
             .enumerate()
             .filter(|(_, q)| q.plan.total_nodes <= free)
+            .filter(|(_, q)| q.spec.source.staging_depth() <= staging_free)
             .max_by(|(_, a), (_, b)| {
                 (a.spec.priority, std::cmp::Reverse(a.seq))
                     .cmp(&(b.spec.priority, std::cmp::Reverse(b.seq)))
@@ -267,6 +291,7 @@ impl Scheduler {
             id: q.id,
             nodes: q.plan.total_nodes,
             stripe_factor: q.plan.stripe_factor,
+            staging: q.spec.source.staging_depth(),
         });
         self.counters.started += 1;
         let read_contention = f64::from(self.stripes.peak_load(q.plan.stripe_factor).max(1));
@@ -320,6 +345,13 @@ impl Scheduler {
         self.pool.free()
     }
 
+    /// Free cubes in the shared staging tier (capacity minus the ring
+    /// depths of running stream missions).
+    pub fn free_staging(&self) -> usize {
+        let used: usize = self.running.iter().map(|r| r.staging).sum();
+        self.cfg.staging_capacity.saturating_sub(used)
+    }
+
     /// The conservation counters.
     pub fn counters(&self) -> Counters {
         self.counters
@@ -349,7 +381,13 @@ mod tests {
     use super::*;
 
     fn small_cfg() -> ServeConfig {
-        ServeConfig { pool_nodes: 60, workers: 2, queue_capacity: 3, stripe_servers: 64 }
+        ServeConfig {
+            pool_nodes: 60,
+            workers: 2,
+            queue_capacity: 3,
+            stripe_servers: 64,
+            ..ServeConfig::default()
+        }
     }
 
     fn spec(name: &str, nodes: usize, priority: u8) -> MissionSpec {
@@ -451,6 +489,35 @@ mod tests {
         assert!(s.cancel("b").is_some());
         assert!(s.cancel("b").is_none(), "already cancelled");
         assert_eq!(s.counters().cancelled, 1);
+        assert!(s.conserves());
+    }
+
+    #[test]
+    fn staging_tier_guards_and_serializes_stream_missions() {
+        use crate::mission::MissionSource;
+        let cfg = ServeConfig { staging_capacity: 8, workers: 4, ..small_cfg() };
+        let mut s = Scheduler::new(cfg);
+        let stream = |name: &str, depth: usize| MissionSpec {
+            source: MissionSource::Stream {
+                depth,
+                policy: stap_ingest::BackpressurePolicy::Block,
+                rate: 0.0,
+            },
+            ..spec(name, 25, 0)
+        };
+        // Deeper than the whole tier: typed rejection, never queued.
+        let e = s.submit(stream("huge", 9), 0.0).unwrap_err();
+        assert_eq!(e, AdmissionError::StagingExceeded { requested: 9, capacity: 8 });
+        // Two 5-cube rings cannot share an 8-cube tier: the second waits.
+        s.submit(stream("a", 5), 0.0).unwrap();
+        s.submit(stream("b", 5), 0.0).unwrap();
+        let d = s.next_ready(0.0).expect("a dispatches");
+        assert_eq!(d.spec.name, "a");
+        assert_eq!(s.free_staging(), 3);
+        assert!(s.next_ready(0.0).is_none(), "b waits for staging, not nodes");
+        s.complete(d.id, false);
+        assert_eq!(s.free_staging(), 8);
+        assert_eq!(s.next_ready(1.0).expect("b dispatches after release").spec.name, "b");
         assert!(s.conserves());
     }
 

@@ -6,15 +6,20 @@
 //! ```text
 //! at <secs> submit name=<id> [machine=KEY] [nodes=N] [cpis=C] [priority=P]
 //!                  [max-latency=S] [io=embedded|separate] [tail=split|combined]
+//!                  [source=file|stream] [staging=N] [backpressure=POLICY] [rate=R]
 //! at <secs> cancel name=<id>
 //! ```
+//!
+//! `staging=`, `backpressure=`, and `rate=` configure a stream-fed
+//! mission's staging ring and are only legal with `source=stream`.
 //!
 //! The same script drives both the real executor (`ppstap serve --script`)
 //! and the DES capacity mode (`ppstap serve --sim`), so a workload can be
 //! capacity-planned analytically and then replayed for conformance.
 
-use crate::mission::MissionSpec;
+use crate::mission::{MissionSource, MissionSpec};
 use stap_core::{IoStrategy, TailStructure};
+use stap_ingest::BackpressurePolicy;
 
 /// A script action at one instant.
 #[derive(Debug, Clone, PartialEq)]
@@ -134,6 +139,10 @@ fn parse_submit<'a>(
     words: impl Iterator<Item = &'a str>,
 ) -> Result<MissionSpec, ScriptError> {
     let mut spec = MissionSpec::new("");
+    let mut stream = false;
+    let mut staging: Option<usize> = None;
+    let mut backpressure: Option<BackpressurePolicy> = None;
+    let mut rate: Option<f64> = None;
     for word in words {
         let (k, v) = split_kv(lineno, word)?;
         match k {
@@ -184,11 +193,57 @@ fn parse_submit<'a>(
                     }
                 });
             }
+            "source" => {
+                stream = match v {
+                    "file" => false,
+                    "stream" => true,
+                    other => {
+                        return Err(err(
+                            lineno,
+                            format!("source= must be file|stream, got '{other}'"),
+                        ))
+                    }
+                };
+            }
+            "staging" => {
+                let d: usize =
+                    v.parse().map_err(|_| err(lineno, "staging= must be a positive integer"))?;
+                if d == 0 {
+                    return Err(err(lineno, "staging= must be at least 1"));
+                }
+                staging = Some(d);
+            }
+            "backpressure" => {
+                backpressure = Some(BackpressurePolicy::parse(v).map_err(|e| err(lineno, e))?);
+            }
+            "rate" => {
+                let r: f64 = v.parse().map_err(|_| err(lineno, "rate= must be cubes/s"))?;
+                if !(r >= 0.0 && r.is_finite()) {
+                    return Err(err(lineno, "rate= must be a non-negative number"));
+                }
+                rate = Some(r);
+            }
             other => return Err(err(lineno, format!("unknown submit key '{other}'"))),
         }
     }
     if spec.name.is_empty() {
         return Err(err(lineno, "submit needs name=<id>"));
+    }
+    if stream {
+        let MissionSource::Stream { depth, policy, rate: r } = MissionSource::stream_default()
+        else {
+            unreachable!("stream_default is a stream")
+        };
+        spec.source = MissionSource::Stream {
+            depth: staging.unwrap_or(depth),
+            policy: backpressure.unwrap_or(policy),
+            rate: rate.unwrap_or(r),
+        };
+    } else if staging.is_some() || backpressure.is_some() || rate.is_some() {
+        return Err(err(
+            lineno,
+            "staging=, backpressure=, and rate= need source=stream on the same submit",
+        ));
     }
     Ok(spec)
 }
@@ -267,6 +322,35 @@ mod tests {
         assert!(bad("at 0 cancel name=ghost").contains("unknown mission"));
         assert!(bad("at 0 submit name=a frob=1").contains("unknown submit key"));
         assert!(bad("at -1 submit name=a").contains("non-negative"));
+    }
+
+    #[test]
+    fn stream_submits_parse_and_guard_their_keys() {
+        let s = WorkloadScript::parse(
+            "at 0 submit name=live source=stream staging=8 backpressure=drop-oldest rate=12.5\n\
+             at 0 submit name=plain source=file\n",
+        )
+        .expect("valid script");
+        let ScriptAction::Submit(live) = &s.events[0].action else { panic!("submit") };
+        assert_eq!(
+            live.source,
+            MissionSource::Stream { depth: 8, policy: BackpressurePolicy::DropOldest, rate: 12.5 }
+        );
+        let ScriptAction::Submit(plain) = &s.events[1].action else { panic!("submit") };
+        assert_eq!(plain.source, MissionSource::File);
+
+        // Defaults fill unspecified stream settings.
+        let s = WorkloadScript::parse("at 0 submit name=d source=stream\n").unwrap();
+        let ScriptAction::Submit(d) = &s.events[0].action else { panic!("submit") };
+        assert_eq!(d.source, MissionSource::stream_default());
+
+        let bad = |text: &str| WorkloadScript::parse(text).unwrap_err().0;
+        assert!(bad("at 0 submit name=a staging=8").contains("source=stream"));
+        assert!(bad("at 0 submit name=a source=stream staging=0").contains("at least 1"));
+        assert!(bad("at 0 submit name=a source=pipe").contains("file|stream"));
+        assert!(bad("at 0 submit name=a source=stream backpressure=yolo")
+            .contains("block|drop-oldest|reject"));
+        assert!(bad("at 0 submit name=a source=stream rate=-1").contains("non-negative"));
     }
 
     #[test]

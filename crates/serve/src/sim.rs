@@ -16,10 +16,11 @@
 //! run (used by the serve-conformance suite to compare prediction against
 //! execution on the same footing).
 
-use crate::mission::{MissionOutcome, MissionReport, PlanChoice, SlaVerdict};
+use crate::mission::{MissionOutcome, MissionReport, MissionSource, PlanChoice, SlaVerdict};
 use crate::scheduler::{Counters, Dispatch, Scheduler, ServeConfig};
 use crate::script::{ScriptAction, WorkloadScript};
-use stap_des::{Engine, FcfsResource, SimTime};
+use stap_des::{Engine, FcfsResource, SimTime, StagingModel, StagingPolicy};
+use stap_ingest::BackpressurePolicy;
 use stap_model::workload::ShapeParams;
 use stap_pfs::{FsConfig, StripeLayout};
 
@@ -86,6 +87,8 @@ pub struct SimMissionRow {
     pub latency: f64,
     /// Missions sharing the busiest stripe server at dispatch.
     pub read_contention: f64,
+    /// Predicted peak staging-ring occupancy, cubes (`0` for file-fed).
+    pub staging_peak: u64,
     /// SLA verdict on the predicted latency.
     pub sla: SlaVerdict,
 }
@@ -109,6 +112,7 @@ impl SimMissionRow {
             latency: self.latency,
             drops: 0,
             retries: 0,
+            staging_peak: self.staging_peak,
             sla: self.sla,
             outcome: MissionOutcome::Completed,
         }
@@ -248,6 +252,9 @@ struct Active {
     reads: Vec<(usize, f64)>,
     /// Residual compute per CPI after the uncontended read, seconds.
     compute: f64,
+    /// Virtual staging ring gating each CPI of a stream-fed mission
+    /// (file-fed missions: `None`).
+    staging: Option<StagingModel>,
 }
 
 /// Model state threaded through the DES engine.
@@ -314,7 +321,20 @@ fn pump(eng: &mut Engine<FleetState>, st: &mut FleetState, model: &ReadModel) {
     while let Some(d) = st.sched.next_ready(eng.now().as_secs_f64()) {
         let id = d.id;
         let cpis = d.spec.cpis.max(2);
-        let (reads, compute, nominal_per_cpi) = price_cpi(&d.plan, model);
+        let (mut reads, compute, mut nominal_per_cpi) = price_cpi(&d.plan, model);
+        let staging = match d.spec.source {
+            MissionSource::File => None,
+            MissionSource::Stream { depth, policy, rate } => {
+                // Stream missions bypass the striped store: their per-CPI
+                // gate is cube arrival through the staging ring, not a
+                // stripe read, so the nominal cycle is compute only.
+                reads.clear();
+                nominal_per_cpi = compute;
+                let period =
+                    if rate > 0.0 { SimTime::from_secs_f64(1.0 / rate) } else { SimTime::ZERO };
+                Some(StagingModel::new(depth, period, cpis, staging_policy(policy)))
+            }
+        };
         let active = Active {
             d,
             cpis,
@@ -322,6 +342,7 @@ fn pump(eng: &mut Engine<FleetState>, st: &mut FleetState, model: &ReadModel) {
             nominal_runtime: nominal_per_cpi * cpis as f64,
             reads,
             compute,
+            staging,
         };
         let idx = id as usize;
         if st.active.len() <= idx {
@@ -330,6 +351,15 @@ fn pump(eng: &mut Engine<FleetState>, st: &mut FleetState, model: &ReadModel) {
         st.active[idx] = Some(active);
         let model = model.clone();
         step_cpi(eng, st, id, &model);
+    }
+}
+
+/// Maps the real staging tier's backpressure policy onto the DES model's.
+fn staging_policy(p: BackpressurePolicy) -> StagingPolicy {
+    match p {
+        BackpressurePolicy::Block => StagingPolicy::Block,
+        BackpressurePolicy::DropOldest => StagingPolicy::DropOldest,
+        BackpressurePolicy::Reject => StagingPolicy::Reject,
     }
 }
 
@@ -395,6 +425,14 @@ fn step_cpi(eng: &mut Engine<FleetState>, st: &mut FleetState, id: u64, model: &
             st.store.submit_to((srv + rotate) % servers, now, SimTime::from_secs_f64(svc));
         read_done = read_done.max(done);
     }
+    // Stream missions gate on the staging ring instead: the CPI starts when
+    // its cube has arrived (a lossy ring delivers what survives; an
+    // exhausted one stops gating).
+    if let Some(staging) = a.staging.as_mut() {
+        if let Some(ready) = staging.pop(now) {
+            read_done = read_done.max(ready);
+        }
+    }
     let cycle_end = read_done + SimTime::from_secs_f64(a.compute);
     a.cpis_done += 1;
     let finished = a.cpis_done >= a.cpis;
@@ -437,6 +475,7 @@ fn finish_mission(eng: &mut Engine<FleetState>, st: &mut FleetState, id: u64, mo
         throughput: a.cpis as f64 / runtime,
         latency,
         read_contention: a.d.read_contention,
+        staging_peak: a.staging.as_ref().map_or(0, |s| s.counters().peak),
         sla: SlaVerdict::grade(a.d.spec.max_latency, latency),
     });
     pump(eng, st, model);
@@ -448,7 +487,13 @@ mod tests {
 
     fn cfg(workers: usize) -> SimConfig {
         SimConfig {
-            serve: ServeConfig { pool_nodes: 60, workers, queue_capacity: 16, stripe_servers: 64 },
+            serve: ServeConfig {
+                pool_nodes: 60,
+                workers,
+                queue_capacity: 16,
+                stripe_servers: 64,
+                ..ServeConfig::default()
+            },
             read_model: ReadModel::Planned,
         }
     }
@@ -586,6 +631,30 @@ mod tests {
         let missions = v.get("missions").unwrap().as_array().unwrap();
         assert_eq!(missions.len(), 2);
         assert!(missions[0].get("queue_wait").is_some());
+    }
+
+    #[test]
+    fn streamed_mission_gates_on_arrivals_not_the_store() {
+        // A slow frontend (2 cubes/s) paces the mission: its predicted
+        // runtime is at least arrivals' span, and it posts no store reads.
+        let s = script("at 0 submit name=slow nodes=25 cpis=8 source=stream staging=4 rate=2\n");
+        let r = simulate_fleet(&s, &cfg(2));
+        assert_eq!(r.rows.len(), 1);
+        let row = &r.rows[0];
+        assert!(row.end - row.start >= 3.4, "8 cubes at 2/s pace the run: {}", row.end);
+        assert!(row.staging_peak >= 1);
+        assert_eq!(r.store_jobs, 0, "stream missions bypass the striped store");
+        assert!(row.slowdown >= 1.0);
+
+        // An unpaced frontend fills the ring instead: peak hits the depth
+        // and the mission runs at compute speed.
+        let s = script("at 0 submit name=fast nodes=25 cpis=8 source=stream staging=4\n");
+        let r2 = simulate_fleet(&s, &cfg(2));
+        assert!(r2.rows[0].staging_peak <= 4, "peak bounded by ring depth");
+        assert!(r2.rows[0].end <= row.end, "unpaced stream is never slower than paced");
+        let v = stap_trace::json::parse(&r2.to_json()).expect("valid JSON");
+        let missions = v.get("missions").unwrap().as_array().unwrap();
+        assert!(missions[0].get("staging_peak").unwrap().as_f64().unwrap() >= 1.0);
     }
 
     #[test]

@@ -23,15 +23,25 @@ pub enum Phase {
     Send,
     /// Time sleeping between read retry attempts under a failure policy.
     Backoff,
+    /// Time blocked pulling CPI cubes from the streaming staging tier
+    /// (the stream-path analogue of `Read`).
+    Ingest,
 }
 
 impl Phase {
     /// Number of phases.
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 7;
 
     /// All phases in canonical (display and storage) order.
-    pub const ALL: [Phase; Phase::COUNT] =
-        [Phase::Read, Phase::Recv, Phase::WeightWait, Phase::Compute, Phase::Send, Phase::Backoff];
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::Read,
+        Phase::Recv,
+        Phase::WeightWait,
+        Phase::Compute,
+        Phase::Send,
+        Phase::Backoff,
+        Phase::Ingest,
+    ];
 
     /// Dense index for per-phase accumulator arrays.
     #[inline]
@@ -43,6 +53,7 @@ impl Phase {
             Phase::Compute => 3,
             Phase::Send => 4,
             Phase::Backoff => 5,
+            Phase::Ingest => 6,
         }
     }
 
@@ -55,6 +66,7 @@ impl Phase {
             Phase::Compute => "compute",
             Phase::Send => "send",
             Phase::Backoff => "backoff",
+            Phase::Ingest => "ingest",
         }
     }
 }

@@ -44,6 +44,11 @@ fn fs_for(key: &str) -> FsConfig {
 }
 
 fn run(a: RunArgs) {
+    let source = a
+        .source
+        .as_deref()
+        .map(|s| ppstap::core::SourceSpec::parse(s).expect("validated by the parser"))
+        .unwrap_or_default();
     let config = StapConfig {
         io: a.io,
         tail: a.tail,
@@ -54,6 +59,7 @@ fn run(a: RunArgs) {
         fault_plan: a.fault_plan.clone(),
         failure_policy: a.failure_policy,
         watchdog: a.watchdog.then(ppstap::core::WatchdogPolicy::default),
+        source,
         ..StapConfig::default()
     };
     println!("structure : {} / {}", config.io.label(), config.tail.label());
@@ -80,8 +86,8 @@ fn run(a: RunArgs) {
     };
 
     println!(
-        "\n{:<16}{:>7}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}",
-        "task", "nodes", "read", "recv", "wwait", "compute", "send", "backoff", "total"
+        "\n{:<16}{:>7}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}",
+        "task", "nodes", "read", "recv", "wwait", "compute", "send", "backoff", "ingest", "total"
     );
     for (i, stage) in system.topology().stages().iter().enumerate() {
         let id = StageId(i);
@@ -90,6 +96,17 @@ fn run(a: RunArgs) {
             print!("{:>10.4}", out.timing.phase_time(id, phase));
         }
         println!("{:>10.4}", out.timing.task_time(id));
+    }
+    if let Some(ing) = &out.ingest {
+        println!(
+            "\ningest ({})  : {} accepted, {} delivered, {} dropped, {} rejected, peak depth {}",
+            ing.policy.label(),
+            ing.ring.accepted,
+            ing.ring.delivered,
+            ing.ring.dropped,
+            ing.ring.rejected,
+            ing.ring.peak_depth
+        );
     }
     println!("\nthroughput     : {:>9.2} CPIs/s", out.throughput());
     println!("latency (mean) : {:>9.4} s", out.latency());
@@ -230,6 +247,7 @@ mod stap_bench_shim {
         ));
         out.push(("phase_breakdown", phase_breakdown_report()));
         out.push(("serve_contention", ppstap::serve::experiments::contention_report()));
+        out.push(("ingest_backpressure", ppstap::core::experiments::ingest::backpressure_report()));
         out
     }
 }
@@ -254,23 +272,50 @@ fn serve_config_from(a: &ServeArgs) -> ppstap::serve::ServeConfig {
         pool_nodes: a.pool_nodes,
         workers: a.workers,
         queue_capacity: a.queue_capacity,
+        staging_capacity: a.staging,
         ..ppstap::serve::ServeConfig::default()
     }
 }
 
-fn serve_cmd(a: ServeArgs) {
-    let text = match std::fs::read_to_string(&a.script) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("error: reading {}: {e}", a.script);
-            std::process::exit(1);
+/// Maps a validated `--source` spec to the mission-script source.
+fn mission_source_from(spec: &str) -> ppstap::serve::MissionSource {
+    match ppstap::core::SourceSpec::parse(spec).expect("validated by the parser") {
+        ppstap::core::SourceSpec::File => ppstap::serve::MissionSource::File,
+        ppstap::core::SourceSpec::Stream(s) => {
+            ppstap::serve::MissionSource::Stream { depth: s.depth, policy: s.policy, rate: s.rate }
         }
-    };
-    let script = match ppstap::serve::WorkloadScript::parse(&text) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("error: {}: {e}", a.script);
-            std::process::exit(1);
+    }
+}
+
+fn serve_cmd(a: ServeArgs) {
+    let script = if let Some(spec) = &a.arrivals {
+        let mut template = ppstap::serve::MissionSpec::new("template");
+        if let Some(src) = &a.source {
+            template.source = mission_source_from(src);
+        }
+        let script = ppstap::serve::generate_script(spec, a.duration, a.arrival_seed, &template);
+        eprintln!(
+            "arrivals {}: {} missions over {} s (seed {})",
+            spec.label(),
+            script.submissions(),
+            a.duration,
+            a.arrival_seed
+        );
+        script
+    } else {
+        let text = match std::fs::read_to_string(&a.script) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: reading {}: {e}", a.script);
+                std::process::exit(1);
+            }
+        };
+        match ppstap::serve::WorkloadScript::parse(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {}: {e}", a.script);
+                std::process::exit(1);
+            }
         }
     };
     let cfg = serve_config_from(&a);

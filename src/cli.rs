@@ -5,9 +5,10 @@
 //! paper-scale configuration, regenerate the evaluation tables, sweep the
 //! stripe factor, search plans, and serve multi-mission fleets.
 
-use stap_core::{FailurePolicy, IoStrategy, TailStructure};
+use stap_core::{FailurePolicy, IoStrategy, SourceSpec, TailStructure};
 use stap_model::machines::MachineModel;
 use stap_pfs::FaultPlan;
+use stap_serve::ArrivalSpec;
 
 /// Parsed command.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,8 +41,21 @@ pub enum Command {
 /// Arguments of `ppstap serve`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeArgs {
-    /// Path of the workload script (`at <secs> submit …` lines).
+    /// Path of the workload script (`at <secs> submit …` lines). Empty
+    /// when the workload comes from `--arrivals` instead.
     pub script: String,
+    /// Elastic workload: generate the script from this arrival process
+    /// instead of reading `--script`.
+    pub arrivals: Option<ArrivalSpec>,
+    /// Arrival-window length in seconds (`--arrivals` only).
+    pub duration: f64,
+    /// Seed of the deterministic arrival draw (`--arrivals` only).
+    pub arrival_seed: u64,
+    /// Mission source spec applied to every generated mission
+    /// (`file` or `stream[:opts]`, the `ppstap run --source` grammar).
+    pub source: Option<String>,
+    /// Staging-tier capacity in cubes shared by all stream missions.
+    pub staging: usize,
     /// Predict in DES capacity mode instead of executing pipelines.
     pub sim: bool,
     /// Concurrent missions the worker pool executes.
@@ -60,6 +74,11 @@ impl Default for ServeArgs {
     fn default() -> Self {
         Self {
             script: String::new(),
+            arrivals: None,
+            duration: 10.0,
+            arrival_seed: 7,
+            source: None,
+            staging: 256,
             sim: false,
             workers: 2,
             pool_nodes: 128,
@@ -201,6 +220,9 @@ pub struct RunArgs {
     /// Time phases on a deterministic virtual clock (timestamps count
     /// clock observations), making trace output bit-reproducible.
     pub virtual_clock: bool,
+    /// CPI source spec (`file` or `stream[:opts]`), validated at parse
+    /// time; `None` means the default file staging.
+    pub source: Option<String>,
 }
 
 impl Default for RunArgs {
@@ -217,6 +239,7 @@ impl Default for RunArgs {
             watchdog: false,
             trace: None,
             virtual_clock: false,
+            source: None,
         }
     }
 }
@@ -349,6 +372,11 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
                     "--watchdog" => a.watchdog = true,
                     "--trace" => a.trace = Some(parse_trace(take_value(flag, &mut it)?)?),
                     "--virtual-clock" => a.virtual_clock = true,
+                    "--source" => {
+                        let v = take_value(flag, &mut it)?;
+                        SourceSpec::parse(v).map_err(ParseError)?; // validate now
+                        a.source = Some(v.to_string());
+                    }
                     other => return Err(ParseError(format!("unknown flag '{other}' for run"))),
                 }
             }
@@ -483,6 +511,38 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
             while let Some(flag) = it.next() {
                 match flag {
                     "--script" => a.script = take_value(flag, &mut it)?.to_string(),
+                    "--arrivals" => {
+                        a.arrivals = Some(
+                            ArrivalSpec::parse(take_value(flag, &mut it)?).map_err(ParseError)?,
+                        );
+                    }
+                    "--duration" => {
+                        let v: f64 = take_value(flag, &mut it)?.parse().map_err(|_| {
+                            ParseError("--duration must be a number of seconds".into())
+                        })?;
+                        if !(v > 0.0 && v.is_finite()) {
+                            return Err(ParseError("--duration must be positive".into()));
+                        }
+                        a.duration = v;
+                    }
+                    "--arrival-seed" => {
+                        a.arrival_seed = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ParseError("--arrival-seed must be a number".into()))?;
+                    }
+                    "--source" => {
+                        let v = take_value(flag, &mut it)?;
+                        SourceSpec::parse(v).map_err(ParseError)?; // validate now
+                        a.source = Some(v.to_string());
+                    }
+                    "--staging" => {
+                        a.staging = take_value(flag, &mut it)?.parse().map_err(|_| {
+                            ParseError("--staging must be a number of cubes".into())
+                        })?;
+                        if a.staging == 0 {
+                            return Err(ParseError("--staging must be at least 1".into()));
+                        }
+                    }
                     "--sim" => a.sim = true,
                     "--workers" => {
                         a.workers = take_value(flag, &mut it)?
@@ -524,8 +584,13 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
                     other => return Err(ParseError(format!("unknown flag '{other}' for serve"))),
                 }
             }
-            if a.script.is_empty() {
-                return Err(ParseError("serve needs --script FILE".into()));
+            if a.script.is_empty() && a.arrivals.is_none() {
+                return Err(ParseError("serve needs --script FILE or --arrivals SPEC".into()));
+            }
+            if !a.script.is_empty() && a.arrivals.is_some() {
+                return Err(ParseError(
+                    "--script and --arrivals both name a workload; pick one".into(),
+                ));
             }
             if a.sim && a.trace.is_some() {
                 return Err(ParseError(
@@ -569,8 +634,15 @@ USAGE:
                  [--fault-plan SPEC] [--fault-seed N] [--watchdog]
                  [--failure-policy abort|retry:A:MS|skip:A:MS:MAXC]
                  [--trace text|chrome:PATH] [--virtual-clock]
+                 [--source file|stream[:depth=N,policy=P,rate=R,strict-lag]]
         Run the real threaded pipeline on a small cube and print timings,
-        detections, throughput and latency. --fault-plan injects a seeded,
+        detections, throughput and latency. --source stream replaces the
+        file-staging read path with the in-memory staging tier: a seeded
+        radar frontend pushes the same cube sequence into a bounded ring
+        (depth=N cubes) the pipeline pulls from, with backpressure policy
+        block (default), drop-oldest, or reject, paced at rate=R cubes/s
+        (0 = unpaced); detections are bit-identical to the file run, with
+        read time re-attributed to the ingest phase. --fault-plan injects a seeded,
         reproducible fault schedule into the CPI read path; SPEC is a
         comma-separated list of:
             file:NAME@A..B       NAME unavailable for CPIs [A, B)
@@ -615,13 +687,29 @@ USAGE:
         onto the heaviest tasks. --max-latency S filters the front to plans
         meeting the latency SLA and names the max-throughput survivor.
 
-    ppstap serve --script FILE [--sim] [--workers N] [--pool-nodes N]
-                 [--queue-capacity N] [--json] [--trace chrome:PATH]
+    ppstap serve (--script FILE | --arrivals SPEC) [--sim] [--workers N]
+                 [--pool-nodes N] [--queue-capacity N] [--staging N]
+                 [--duration S] [--arrival-seed N] [--source SPEC]
+                 [--json] [--trace chrome:PATH]
         Run a multi-mission fleet from a workload script: each line is
             at <secs> submit name=<id> [machine=KEY] [nodes=N] [cpis=C]
                      [priority=P] [max-latency=S] [io=embedded|separate]
-                     [tail=split|combined]
+                     [tail=split|combined] [source=file|stream]
+                     [staging=N] [backpressure=POLICY] [rate=R]
             at <secs> cancel name=<id>
+        source=stream feeds the mission from the in-memory staging tier
+        (a per-mission ring of staging=N cubes under backpressure=block|
+        drop-oldest|reject, frontend paced at rate=R cubes/s); the
+        scheduler charges each stream mission's ring against one shared
+        staging tier of --staging cubes. --arrivals SPEC replaces the
+        script with an elastic arrival process over [0, --duration):
+            poisson:RATE          memoryless arrivals at RATE missions/s
+            bursty:LO:HI:DWELL    MMPP-2 switching between LO and HI
+                                  missions/s with mean dwell DWELL s
+            diurnal:MEAN:PERIOD   sinusoidal rate around MEAN with
+                                  period PERIOD s
+        drawn deterministically from --arrival-seed; --source SPEC (the
+        run --source grammar) sets every generated mission's source.
         Admission re-plans each mission inside the currently-free node
         budget (typed rejections: pool exceeded, no feasible plan, queue
         full); admitted missions wait in a bounded priority queue and run
@@ -630,8 +718,9 @@ USAGE:
         --json emits the machine-readable fleet report; --trace chrome:PATH
         writes one merged Chrome trace with a mission-tagged track per
         mission. --sim predicts the same script in DES capacity mode
-        (shared FCFS stripe servers) and reports per-mission queue wait,
-        slowdown, SLA hit-rate, and fleet store utilization.
+        (shared FCFS stripe servers; stream missions gate on a virtual
+        staging ring instead of the store) and reports per-mission queue
+        wait, slowdown, SLA hit-rate, and fleet store utilization.
 
     ppstap submit name=<id> [key=value ...] [--json]
         One-shot serve: admit and run a single mission now, printing its
@@ -906,6 +995,80 @@ mod tests {
         let c = parse(&["serve", "--script", "f.txt", "--trace", "chrome:fleet.json"]).unwrap();
         let Command::Serve(a) = c else { panic!("expected serve") };
         assert_eq!(a.trace, Some("fleet.json".into()));
+    }
+
+    #[test]
+    fn run_source_flag() {
+        let c = parse(&["run", "--source", "stream:depth=8,policy=drop-oldest,rate=4"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Run(RunArgs {
+                source: Some("stream:depth=8,policy=drop-oldest,rate=4".into()),
+                ..RunArgs::default()
+            })
+        );
+        assert!(parse(&["run", "--source", "tape"]).unwrap_err().0.contains("file|stream"));
+        assert!(parse(&["run", "--source", "stream:depth=0"])
+            .unwrap_err()
+            .0
+            .contains("at least 1"));
+    }
+
+    #[test]
+    fn serve_arrival_flags() {
+        let c = parse(&[
+            "serve",
+            "--arrivals",
+            "poisson:2",
+            "--duration",
+            "30",
+            "--arrival-seed",
+            "11",
+            "--source",
+            "stream",
+            "--staging",
+            "64",
+        ])
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Serve(ServeArgs {
+                arrivals: Some(ArrivalSpec::Poisson { rate: 2.0 }),
+                duration: 30.0,
+                arrival_seed: 11,
+                source: Some("stream".into()),
+                staging: 64,
+                ..ServeArgs::default()
+            })
+        );
+        let c = parse(&["serve", "--arrivals", "bursty:0.5:4:5", "--sim"]).unwrap();
+        let Command::Serve(a) = c else { panic!("expected serve") };
+        assert!(a.sim);
+        assert_eq!(a.arrivals, Some(ArrivalSpec::Bursty { lo: 0.5, hi: 4.0, dwell: 5.0 }));
+    }
+
+    #[test]
+    fn serve_arrival_errors_are_specific() {
+        assert!(parse(&["serve", "--arrivals", "weibull:2"])
+            .unwrap_err()
+            .0
+            .contains("poisson:RATE"));
+        assert!(parse(&["serve", "--arrivals", "poisson:2", "--duration", "0"])
+            .unwrap_err()
+            .0
+            .contains("positive"));
+        assert!(parse(&["serve", "--arrivals", "poisson:2", "--staging", "0"])
+            .unwrap_err()
+            .0
+            .contains("at least 1"));
+        assert!(parse(&["serve", "--arrivals", "poisson:2", "--source", "tape"])
+            .unwrap_err()
+            .0
+            .contains("file|stream"));
+        assert!(parse(&["serve", "--script", "f.txt", "--arrivals", "poisson:2"])
+            .unwrap_err()
+            .0
+            .contains("pick one"));
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! - [`radar`] — synthetic radar scene / CPI cube generation;
 //! - [`comm`] — an in-process MPI-like message-passing substrate;
 //! - [`pfs`] — a striped parallel file system (Paragon PFS / IBM PIOFS models);
+//! - [`ingest`] — the streaming CPI staging tier: bounded per-mission rings
+//!   with backpressure fed by synthetic radar frontends;
 //! - [`des`] — a discrete-event simulation engine;
 //! - [`model`] — machine/cost models and the paper's analytic equations;
 //! - [`trace`] — phase spans, trace clocks, metrics, Chrome-trace export;
@@ -27,6 +29,7 @@ pub mod cli;
 pub use stap_comm as comm;
 pub use stap_core as core;
 pub use stap_des as des;
+pub use stap_ingest as ingest;
 pub use stap_kernels as kernels;
 pub use stap_math as math;
 pub use stap_model as model;
