@@ -69,6 +69,10 @@ pub fn regenerate_all() -> Vec<Artifact> {
         name: "ingest_backpressure",
         text: stap_core::experiments::ingest::backpressure_report(),
     });
+    out.push(Artifact {
+        name: "detection_quality",
+        text: stap_scenario::experiments::detection_quality(),
+    });
     out
 }
 

@@ -7,7 +7,7 @@ use stap_kernels::cube::CubeDims;
 use stap_kernels::doppler::DopplerConfig;
 use stap_kernels::weights::{BeamSet, WeightMethod};
 use stap_pfs::{FaultPlan, FsConfig};
-use stap_radar::Scene;
+use stap_radar::{Motion, Scene};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -287,6 +287,11 @@ pub struct StapConfig {
     pub dims: CubeDims,
     /// Radar scenario generating the input cubes.
     pub scene: Scene,
+    /// Scene kinematics between CPIs (target/jammer motion). Plays out
+    /// across the `fanout` staged cubes identically for file staging and
+    /// the stream frontend; set `fanout = cpis` to give every CPI its own
+    /// cube of a maneuvering scenario.
+    pub motion: Motion,
     /// Doppler filter settings (window, stagger, bin classification).
     pub doppler: DopplerConfig,
     /// Beam set (look directions).
@@ -329,6 +334,11 @@ pub struct StapConfig {
     pub fault_plan: Option<FaultPlan>,
     /// Stage watchdog deadlines (None = no watchdog, today's behavior).
     pub watchdog: Option<WatchdogPolicy>,
+    /// When set, the run captures its internal detection-quality products
+    /// (angle-Doppler power surfaces, published weight sets) in a
+    /// [`crate::stages::QualityTap`] the verification layer reads back.
+    /// Off by default: the tap clones every weight set.
+    pub quality_tap: bool,
 }
 
 impl Default for StapConfig {
@@ -338,6 +348,7 @@ impl Default for StapConfig {
             // exercising every code path (staggered bins, training, CFAR).
             dims: CubeDims::new(32, 8, 128),
             scene: Scene::benchmark_small(),
+            motion: Motion::default(),
             doppler: DopplerConfig::default(),
             beams: BeamSet::default(),
             weight_method: WeightMethod::Mvdr,
@@ -356,6 +367,7 @@ impl Default for StapConfig {
             failure_policy: FailurePolicy::default(),
             fault_plan: None,
             watchdog: None,
+            quality_tap: false,
         }
     }
 }

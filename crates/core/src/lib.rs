@@ -39,4 +39,5 @@ pub use config::{
 pub use desmodel::{DesExperiment, DesFaultModel, DesResult, FaultSource};
 pub use io_strategy::{IoStrategy, TailStructure};
 pub use messages::{Gap, Payload};
+pub use stages::QualityTap;
 pub use system::{IngestReport, StapRunOutput, StapSystem};

@@ -98,6 +98,10 @@ impl Stage for WeightStage {
             ws
         };
 
+        if let Some(tap) = &self.plan.tap {
+            tap.record_weights(ctx.cpi, self.hard, &ws);
+        }
+
         // Publish to every beamforming node of our variant; the weights are
         // tagged with this CPI and consumed one CPI later.
         ctx.phase(Phase::Send);

@@ -13,11 +13,13 @@ use crate::io_strategy::{IoStrategy, TailStructure};
 use crate::messages::{Gap, Payload};
 use parking_lot::Mutex;
 use stap_kernels::doppler::BinClass;
+use stap_kernels::weights::WeightSet;
 use stap_pfs::FileHandle;
 use stap_pipeline::schedule::round_robin_items;
 use stap_pipeline::stage::StageCtx;
 use stap_pipeline::topology::StageId;
 use stap_pipeline::{CpiSource, PipelineError};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -129,6 +131,96 @@ impl FaultStats {
     }
 }
 
+/// Opt-in capture of the pipeline's detection-quality products.
+///
+/// When a run enables `StapConfig::quality_tap`, the tail stages record the
+/// post-pulse-compression power of every (bin, beam) row — the surface the
+/// CFAR detector actually scans, i.e. the run's angle-Doppler map — and the
+/// weight tasks record every weight set they publish. The verification
+/// layer (`stap-scenario`) reads these back to compute SINR loss against
+/// the weights the pipeline *really applied*, not a standalone kernel call.
+///
+/// Interior-mutable because every stage shares the plan through an `Arc`;
+/// `BTreeMap`s keep the captured products in deterministic order for
+/// golden-file rendering.
+#[derive(Debug, Default)]
+pub struct QualityTap {
+    /// (cpi, bin, beam) → row power summed over range gates.
+    rows: Mutex<BTreeMap<(u64, usize, usize), f64>>,
+    /// (cpi, hard?) → weight set merged across the variant's weight nodes,
+    /// tagged with the CPI whose training data produced it (applied at
+    /// CPI + 1 — the temporal edge).
+    weights: Mutex<BTreeMap<(u64, bool), WeightSet>>,
+}
+
+impl QualityTap {
+    /// Clears everything captured (called at the start of every run).
+    pub fn reset(&self) {
+        self.rows.lock().clear();
+        self.weights.lock().clear();
+    }
+
+    /// Records one (bin, beam) row's range-summed power for a CPI.
+    pub(crate) fn record_row(&self, cpi: u64, bin: usize, beam: usize, power: f64) {
+        self.rows.lock().insert((cpi, bin, beam), power);
+    }
+
+    /// Records a weight set published for `cpi` by one node of the easy or
+    /// hard weight task, merging it with the sets from the variant's other
+    /// nodes (each node owns disjoint bins).
+    pub(crate) fn record_weights(&self, cpi: u64, hard: bool, ws: &WeightSet) {
+        let mut all = self.weights.lock();
+        match all.remove(&(cpi, hard)) {
+            Some(acc) => {
+                // Degraded-mode republication can resend the same bins;
+                // merge only genuinely new ones.
+                if ws.bins.iter().all(|b| acc.for_bin(*b).is_none()) {
+                    all.insert((cpi, hard), acc.merge(ws.clone()));
+                } else {
+                    all.insert((cpi, hard), acc);
+                }
+            }
+            None => {
+                all.insert((cpi, hard), ws.clone());
+            }
+        }
+    }
+
+    /// CPIs with a captured angle-Doppler surface, ascending.
+    pub fn map_cpis(&self) -> Vec<u64> {
+        let mut cpis: Vec<u64> = self.rows.lock().keys().map(|&(c, _, _)| c).collect();
+        cpis.dedup();
+        cpis
+    }
+
+    /// The angle-Doppler power surface of one CPI: (bin, beam) → power
+    /// summed over range, in deterministic (bin, beam) order.
+    pub fn map_for(&self, cpi: u64) -> BTreeMap<(usize, usize), f64> {
+        self.rows
+            .lock()
+            .range((cpi, 0, 0)..(cpi + 1, 0, 0))
+            .map(|(&(_, bin, beam), &p)| ((bin, beam), p))
+            .collect()
+    }
+
+    /// The merged weight set published for `(cpi, hard)` (None when that
+    /// CPI produced no weights — e.g. it was dropped before training).
+    pub fn weights_for(&self, cpi: u64, hard: bool) -> Option<WeightSet> {
+        self.weights.lock().get(&(cpi, hard)).cloned()
+    }
+
+    /// The newest CPI both weight variants have published for — the
+    /// natural CPI to score SINR at.
+    pub fn latest_weight_cpi(&self) -> Option<u64> {
+        let all = self.weights.lock();
+        let newest = |hard: bool| all.keys().filter(|&&(_, h)| h == hard).map(|&(c, _)| c).max();
+        match (newest(false), newest(true)) {
+            (Some(e), Some(h)) => Some(e.min(h)),
+            (e, h) => e.or(h),
+        }
+    }
+}
+
 /// Everything the stage implementations need, shared via `Arc`.
 #[derive(Debug)]
 pub struct StapPlan {
@@ -150,6 +242,8 @@ pub struct StapPlan {
     pub waveform: Vec<stap_math::C32>,
     /// Fault accounting for the current run (retries, dropped CPIs).
     pub stats: FaultStats,
+    /// Detection-quality capture (None unless `config.quality_tap`).
+    pub tap: Option<Arc<QualityTap>>,
 }
 
 impl StapPlan {
@@ -239,6 +333,35 @@ mod tests {
         stats.reset();
         assert!(stats.dropped().is_empty());
         assert_eq!(stats.retries(), 0);
+    }
+
+    #[test]
+    fn quality_tap_merges_weight_nodes_and_orders_maps() {
+        let tap = QualityTap::default();
+        let ws = |bins: Vec<usize>| WeightSet {
+            weights: bins.iter().map(|_| vec![vec![]]).collect(),
+            bins,
+            dof: 8,
+        };
+        tap.record_weights(2, false, &ws(vec![1, 3]));
+        tap.record_weights(2, false, &ws(vec![5]));
+        // Republication of already-merged bins is ignored, not a panic.
+        tap.record_weights(2, false, &ws(vec![1, 3]));
+        tap.record_weights(1, true, &ws(vec![0]));
+        let merged = tap.weights_for(2, false).expect("easy weights at cpi 2");
+        assert_eq!(merged.bins, vec![1, 3, 5]);
+        assert!(tap.weights_for(2, true).is_none());
+        // Latest CPI published by BOTH variants: easy has 2, hard has 1.
+        assert_eq!(tap.latest_weight_cpi(), Some(1));
+
+        tap.record_row(1, 4, 0, 2.0);
+        tap.record_row(1, 0, 1, 3.0);
+        tap.record_row(0, 9, 9, 7.0);
+        assert_eq!(tap.map_cpis(), vec![0, 1]);
+        let keys: Vec<_> = tap.map_for(1).into_keys().collect();
+        assert_eq!(keys, vec![(0, 1), (4, 0)]);
+        tap.reset();
+        assert!(tap.map_cpis().is_empty() && tap.latest_weight_cpi().is_none());
     }
 
     #[test]

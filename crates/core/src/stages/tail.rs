@@ -4,7 +4,7 @@
 use crate::messages::{Gap, Payload, RowBatch};
 use crate::stages::{broadcast_gap, port, StapPlan};
 use parking_lot::Mutex;
-use stap_kernels::cfar::{cfar_row, Detection};
+use stap_kernels::cfar::{cfar_row, CfarError, Detection};
 use stap_kernels::pulse::PulseCompressor;
 use stap_kernels::report::DetectionReport;
 use stap_pipeline::stage::{Stage, StageCtx};
@@ -42,13 +42,22 @@ fn recv_rows(
 }
 
 /// Runs CFAR over a batch and labels detections with bin/beam identity.
-fn detect_batch(plan: &StapPlan, batch: &RowBatch) -> Vec<Detection> {
+///
+/// # Errors
+/// [`CfarError::DegenerateWindow`] when the configured window can never
+/// see a training cell in rows of this length — previously a silent empty
+/// detection list indistinguishable from a quiet scene.
+fn detect_batch(plan: &StapPlan, cpi: u64, batch: &RowBatch) -> Result<Vec<Detection>, CfarError> {
+    plan.config.cfar.validate(batch.ranges)?;
     let mut dets = Vec::new();
     let mut powers = vec![0.0f64; batch.ranges];
     for i in 0..batch.len() {
         let (bin, beam) = batch.rows[i];
         for (o, z) in powers.iter_mut().zip(batch.row(i)) {
             *o = z.norm_sqr() as f64;
+        }
+        if let Some(tap) = &plan.tap {
+            tap.record_row(cpi, bin, beam, powers.iter().sum());
         }
         for (range, power, noise) in cfar_row(&powers, plan.config.cfar) {
             dets.push(Detection {
@@ -61,7 +70,7 @@ fn detect_batch(plan: &StapPlan, batch: &RowBatch) -> Vec<Detection> {
             });
         }
     }
-    dets
+    Ok(dets)
 }
 
 /// Gathers partial detection reports at local node 0, which publishes the
@@ -201,7 +210,8 @@ impl Stage for CfarStage {
         }
 
         ctx.phase(Phase::Compute);
-        let dets = detect_batch(&self.plan, &batch);
+        let dets = detect_batch(&self.plan, ctx.cpi, &batch)
+            .map_err(|e| ctx.fail(format!("cfar: {e}")))?;
 
         ctx.phase(Phase::Send);
         publish_report(ctx, &self.plan, self.nodes, self.local, Ok(dets), &self.sink)
@@ -242,7 +252,8 @@ impl Stage for CombinedTailStage {
         for i in 0..batch.len() {
             self.compressor.compress_row(batch.row_mut(i));
         }
-        let dets = detect_batch(&self.plan, &batch);
+        let dets = detect_batch(&self.plan, ctx.cpi, &batch)
+            .map_err(|e| ctx.fail(format!("cfar: {e}")))?;
 
         ctx.phase(Phase::Send);
         publish_report(ctx, &self.plan, self.nodes, self.local, Ok(dets), &self.sink)

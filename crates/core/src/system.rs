@@ -12,7 +12,7 @@ use crate::messages::Gap;
 use crate::stages::adaptive::{BeamformStage, WeightStage};
 use crate::stages::front::{DopplerStage, ReadStage};
 use crate::stages::tail::{CfarStage, CombinedTailStage, PulseStage, ReportSink};
-use crate::stages::{FaultStats, Roles, StapPlan};
+use crate::stages::{FaultStats, QualityTap, Roles, StapPlan};
 use parking_lot::Mutex;
 use stap_ingest::{
     BackpressurePolicy, CpiRing, FileSource, Frontend, FrontendConfig, FrontendReport, RingStats,
@@ -177,7 +177,8 @@ impl StapSystem {
         // Radar side: synthesize one cube per round-robin slot and write it
         // range-major (each reader's slab is then one contiguous extent).
         let mut generator =
-            CubeGenerator::new(config.dims, config.scene.clone(), config.waveform_len, config.seed);
+            CubeGenerator::new(config.dims, config.scene.clone(), config.waveform_len, config.seed)
+                .with_motion(config.motion.clone());
         let mut files = Vec::with_capacity(config.fanout);
         for slot in 0..config.fanout {
             let f = fs.gopen(&StapConfig::file_name(slot), OpenMode::Async);
@@ -275,6 +276,7 @@ impl StapSystem {
             }
         };
 
+        let tap = config.quality_tap.then(|| Arc::new(QualityTap::default()));
         let plan = Arc::new(StapPlan {
             config,
             roles,
@@ -284,6 +286,7 @@ impl StapSystem {
             source,
             waveform,
             stats: FaultStats::default(),
+            tap,
         });
         let reports: ReportSink = Arc::new(Mutex::new(Vec::new()));
 
@@ -356,6 +359,12 @@ impl StapSystem {
     /// The shared plan (bins, roles, files).
     pub fn plan(&self) -> &StapPlan {
         &self.plan
+    }
+
+    /// The detection-quality tap (None unless the run configuration set
+    /// `quality_tap`). Holds the last completed run's captures.
+    pub fn quality_tap(&self) -> Option<&Arc<QualityTap>> {
+        self.plan.tap.as_ref()
     }
 
     /// The underlying file system (diagnostics: stripe distribution etc.).
@@ -431,6 +440,9 @@ impl StapSystem {
     pub fn run_with_clock(&self, clocks: ClockSpec) -> Result<StapRunOutput, PipelineError> {
         self.reports.lock().clear();
         self.plan.stats.reset();
+        if let Some(tap) = &self.plan.tap {
+            tap.reset();
+        }
         // Replay the fault schedule identically on every run of this
         // system: attempt counters restart from zero, and the I/O
         // counters cover exactly this run.
@@ -450,6 +462,7 @@ impl StapSystem {
                     FrontendConfig {
                         dims: cfg.dims,
                         scene: cfg.scene.clone(),
+                        motion: cfg.motion.clone(),
                         waveform_len: cfg.waveform_len,
                         seed: cfg.seed,
                         fanout: cfg.fanout,

@@ -3,7 +3,7 @@
 
 use crate::ring::{CpiRing, StampedCube};
 use stap_kernels::cube::CubeDims;
-use stap_radar::{CubeGenerator, Scene};
+use stap_radar::{CubeGenerator, Motion, Scene};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -20,6 +20,10 @@ pub struct FrontendConfig {
     pub dims: CubeDims,
     /// Radar scenario generating the cubes.
     pub scene: Scene,
+    /// Scene kinematics (target/jammer motion between CPIs). The motion
+    /// plays out across the `fanout` pre-synthesized cubes, mirroring what
+    /// file staging writes.
+    pub motion: Motion,
     /// Pulse-compression waveform length (range samples).
     pub waveform_len: usize,
     /// Generator seed (the run configuration's seed).
@@ -58,7 +62,8 @@ impl Frontend {
     pub fn spawn(ring: Arc<CpiRing>, cfg: FrontendConfig) -> Self {
         let handle = std::thread::spawn(move || {
             let mut generator =
-                CubeGenerator::new(cfg.dims, cfg.scene.clone(), cfg.waveform_len, cfg.seed);
+                CubeGenerator::new(cfg.dims, cfg.scene.clone(), cfg.waveform_len, cfg.seed)
+                    .with_motion(cfg.motion.clone());
             let cubes: Vec<Arc<Vec<u8>>> = (0..cfg.fanout.max(1))
                 .map(|_| Arc::new(generator.next_cube().to_range_major_bytes()))
                 .collect();
@@ -114,6 +119,7 @@ mod tests {
         FrontendConfig {
             dims: CubeDims::new(8, 2, 16),
             scene: Scene::benchmark_small(),
+            motion: Motion::default(),
             waveform_len: 4,
             seed: 7,
             fanout: 2,

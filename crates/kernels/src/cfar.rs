@@ -70,7 +70,59 @@ impl CfarConfig {
         }
         n as f64 * (self.pfa.powf(-1.0 / n as f64) - 1.0)
     }
+
+    /// Checks that a row of `ranges` cells gives every cell under test at
+    /// least one training cell.
+    ///
+    /// With `training == 0`, or with `ranges ≤ guard + 1` (so both windows
+    /// fall off the row for every cell), CFAR can never estimate noise and
+    /// every row silently yields zero detections — a configuration error
+    /// that used to be indistinguishable from a genuinely quiet scene.
+    ///
+    /// # Errors
+    /// [`CfarError::DegenerateWindow`] when the window cannot see any
+    /// training cell.
+    pub fn validate(&self, ranges: usize) -> Result<(), CfarError> {
+        if self.training == 0 || ranges <= self.guard + 1 {
+            return Err(CfarError::DegenerateWindow {
+                training: self.training,
+                guard: self.guard,
+                ranges,
+            });
+        }
+        Ok(())
+    }
 }
+
+/// Typed failure of a CFAR pass over a beam cube.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CfarError {
+    /// The training/guard window is inconsistent with the row length:
+    /// every cell under test would have an empty training window, so the
+    /// detector would silently report nothing.
+    DegenerateWindow {
+        /// Configured training cells per side.
+        training: usize,
+        /// Configured guard cells per side.
+        guard: usize,
+        /// Range cells per row actually presented.
+        ranges: usize,
+    },
+}
+
+impl std::fmt::Display for CfarError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CfarError::DegenerateWindow { training, guard, ranges } => write!(
+                f,
+                "degenerate CFAR window: training={training}, guard={guard} can never see a \
+                 training cell in {ranges}-gate rows"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CfarError {}
 
 /// A single CFAR detection.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -155,7 +207,12 @@ pub fn cfar_row(powers: &[f64], cfg: CfarConfig) -> Vec<(usize, f64, f64)> {
 }
 
 /// Runs CFAR over every (beam, bin) row of a beam cube.
-pub fn detect(cube: &BeamCube, cfg: CfarConfig) -> Vec<Detection> {
+///
+/// # Errors
+/// [`CfarError::DegenerateWindow`] when the cube's range extent is
+/// inconsistent with the configured window (no cell could ever be tested).
+pub fn detect(cube: &BeamCube, cfg: CfarConfig) -> Result<Vec<Detection>, CfarError> {
+    cfg.validate(cube.ranges)?;
     let mut dets = Vec::new();
     let mut powers = vec![0.0f64; cube.ranges];
     for beam in 0..cube.beams {
@@ -173,7 +230,7 @@ pub fn detect(cube: &BeamCube, cfg: CfarConfig) -> Vec<Detection> {
             }
         }
     }
-    dets
+    Ok(dets)
 }
 
 fn row_powers(row: &[C32], out: &mut [f64]) {
@@ -323,7 +380,7 @@ mod tests {
             *v = C32::new(1.0, 0.0);
         }
         row[30] = C32::new(40.0, 0.0);
-        let dets = detect(&cube, CfarConfig { pfa: 1e-3, ..Default::default() });
+        let dets = detect(&cube, CfarConfig { pfa: 1e-3, ..Default::default() }).unwrap();
         let hit = dets.iter().find(|d| d.range == 30).expect("detection expected");
         assert_eq!(hit.beam, 1);
         assert_eq!(hit.bin, 9);
@@ -333,6 +390,26 @@ mod tests {
     #[test]
     fn empty_row_yields_nothing() {
         assert!(cfar_row(&[], CfarConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn degenerate_window_is_a_typed_error_not_silence() {
+        // training = 0: no cell can ever have a training window.
+        let cube = BeamCube::zeros(vec![0, 1], 1, 64);
+        let cfg = CfarConfig { training: 0, ..Default::default() };
+        let err = detect(&cube, cfg).unwrap_err();
+        assert!(matches!(err, CfarError::DegenerateWindow { training: 0, .. }));
+        assert!(err.to_string().contains("degenerate CFAR window"));
+
+        // Rows shorter than guard + 1: both windows fall off every cell.
+        let short = BeamCube::zeros(vec![0], 1, 3);
+        let cfg = CfarConfig { training: 16, guard: 2, ..Default::default() };
+        assert!(matches!(
+            detect(&short, cfg),
+            Err(CfarError::DegenerateWindow { guard: 2, ranges: 3, .. })
+        ));
+        // One gate past the guard is enough to train somewhere.
+        assert!(CfarConfig { training: 16, guard: 2, ..Default::default() }.validate(4).is_ok());
     }
 
     #[test]

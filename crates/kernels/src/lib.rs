@@ -28,14 +28,16 @@ pub mod doppler;
 pub mod pulse;
 pub mod report;
 pub mod tracking;
+pub mod truth;
 pub mod weights;
 
 pub use beamform::Beamformer;
-pub use cfar::{CfarConfig, CfarKind, Detection, OsRank};
+pub use cfar::{CfarConfig, CfarError, CfarKind, Detection, OsRank};
 pub use covariance::estimate_covariance;
 pub use cube::{CubeDims, DataCube, DopplerCube};
 pub use doppler::{BinClass, DopplerConfig, DopplerFilter};
 pub use pulse::{lfm_chirp, PulseCompressor};
 pub use report::DetectionReport;
 pub use tracking::{Track, TrackState, Tracker, TrackerConfig};
+pub use truth::{TruthError, TruthGate, TruthScore};
 pub use weights::{mdl_rank, WeightComputer, WeightMethod, WeightSet};

@@ -1,0 +1,178 @@
+//! Truth-matched scoring of CFAR detections.
+//!
+//! The verification layer knows where the synthetic scene put its targets;
+//! this module turns that knowledge into [`TruthGate`]s — the (Doppler bin,
+//! range window) a target's echo must land in — and scores a detection list
+//! against them: which truths were hit (Pd numerator) and how many
+//! detections match no truth at all (Pfa numerator).
+
+use crate::cfar::Detection;
+
+/// Typed failure of a truth-matching pass.
+///
+/// Like the CFAR window guard, these conditions used to be silently
+/// indistinguishable from "nothing detected": a gate outside the processed
+/// range swath, or a bin count of zero, can never be hit by any detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TruthError {
+    /// The cube has no Doppler bins to match against.
+    NoBins,
+    /// A truth gate's range window lies wholly outside the processed swath.
+    GateOutOfRange {
+        /// First range gate of the truth window.
+        range_lo: usize,
+        /// Last range gate of the truth window (inclusive).
+        range_hi: usize,
+        /// Range gates actually processed.
+        ranges: usize,
+    },
+}
+
+impl std::fmt::Display for TruthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TruthError::NoBins => write!(f, "truth matching over zero Doppler bins"),
+            TruthError::GateOutOfRange { range_lo, range_hi, ranges } => {
+                write!(f, "truth gate {range_lo}..={range_hi} lies outside the {ranges}-gate swath")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TruthError {}
+
+/// Where one target's echo must appear at one CPI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TruthGate {
+    /// Expected Doppler bin (the pipeline's bin label).
+    pub bin: usize,
+    /// First acceptable range gate (the waveform starts at the target's
+    /// gate and spreads over its length; tolerances widen both edges).
+    pub range_lo: usize,
+    /// Last acceptable range gate, inclusive.
+    pub range_hi: usize,
+    /// Acceptable circular Doppler-bin distance (straddle tolerance).
+    pub bin_tol: usize,
+}
+
+/// Circular distance between Doppler bins `a` and `b` out of `nbins`.
+pub fn circular_bin_distance(a: usize, b: usize, nbins: usize) -> usize {
+    let d = (a as i64 - b as i64).rem_euclid(nbins as i64) as usize;
+    d.min(nbins - d)
+}
+
+impl TruthGate {
+    /// Whether `det` is consistent with this truth.
+    pub fn matches(&self, det: &Detection, nbins: usize) -> bool {
+        det.range >= self.range_lo
+            && det.range <= self.range_hi
+            && circular_bin_distance(det.bin, self.bin, nbins) <= self.bin_tol
+    }
+}
+
+/// How a detection list scored against a set of truths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TruthScore {
+    /// Per-truth: was it hit by at least one detection? (Indexed like the
+    /// `truths` argument.)
+    pub hits: Vec<bool>,
+    /// Detections consistent with no truth at all.
+    pub false_alarms: usize,
+}
+
+impl TruthScore {
+    /// Truths hit.
+    pub fn hit_count(&self) -> usize {
+        self.hits.iter().filter(|&&h| h).count()
+    }
+}
+
+/// Scores `dets` against `truths` over a `nbins × ranges` detection surface.
+///
+/// # Errors
+/// [`TruthError`] when the surface cannot contain any match — zero bins, or
+/// a truth window wholly outside the swath — instead of silently reporting
+/// every truth missed.
+pub fn score(
+    dets: &[Detection],
+    truths: &[TruthGate],
+    nbins: usize,
+    ranges: usize,
+) -> Result<TruthScore, TruthError> {
+    if nbins == 0 {
+        return Err(TruthError::NoBins);
+    }
+    for t in truths {
+        if t.range_lo >= ranges {
+            return Err(TruthError::GateOutOfRange {
+                range_lo: t.range_lo,
+                range_hi: t.range_hi,
+                ranges,
+            });
+        }
+    }
+    let mut hits = vec![false; truths.len()];
+    let mut false_alarms = 0usize;
+    for det in dets {
+        let mut matched = false;
+        for (i, t) in truths.iter().enumerate() {
+            if t.matches(det, nbins) {
+                hits[i] = true;
+                matched = true;
+            }
+        }
+        if !matched {
+            false_alarms += 1;
+        }
+    }
+    Ok(TruthScore { hits, false_alarms })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(bin: usize, range: usize) -> Detection {
+        Detection { beam: 0, bin, range, power: 10.0, noise: 1.0, snr_db: 10.0 }
+    }
+
+    #[test]
+    fn circular_distance_wraps() {
+        assert_eq!(circular_bin_distance(0, 31, 32), 1);
+        assert_eq!(circular_bin_distance(3, 3, 32), 0);
+        assert_eq!(circular_bin_distance(1, 17, 32), 16);
+    }
+
+    #[test]
+    fn hits_and_false_alarms_are_separated() {
+        let truths = vec![
+            TruthGate { bin: 8, range_lo: 28, range_hi: 40, bin_tol: 1 },
+            TruthGate { bin: 1, range_lo: 88, range_hi: 100, bin_tol: 1 },
+        ];
+        // One hit for truth 0 (bin straddle), one false alarm, truth 1 missed.
+        let dets = vec![det(9, 30), det(20, 60)];
+        let s = score(&dets, &truths, 32, 128).unwrap();
+        assert_eq!(s.hits, vec![true, false]);
+        assert_eq!(s.hit_count(), 1);
+        assert_eq!(s.false_alarms, 1);
+    }
+
+    #[test]
+    fn inconsistent_surface_is_a_typed_error() {
+        let t = TruthGate { bin: 0, range_lo: 500, range_hi: 510, bin_tol: 0 };
+        assert_eq!(
+            score(&[], &[t], 32, 128),
+            Err(TruthError::GateOutOfRange { range_lo: 500, range_hi: 510, ranges: 128 })
+        );
+        assert_eq!(score(&[], &[], 0, 128), Err(TruthError::NoBins));
+        let err = TruthError::NoBins.to_string();
+        assert!(err.contains("zero Doppler bins"));
+    }
+
+    #[test]
+    fn empty_truth_set_counts_everything_as_false_alarm() {
+        let s = score(&[det(0, 0), det(1, 1)], &[], 32, 128).unwrap();
+        assert!(s.hits.is_empty());
+        assert_eq!(s.false_alarms, 2);
+    }
+}

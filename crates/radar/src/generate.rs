@@ -25,6 +25,68 @@ pub struct TargetDrift {
     pub doppler_per_cpi: f64,
 }
 
+impl TargetDrift {
+    /// The target's range gate at CPI `cpi`, starting from `gate` and
+    /// clamped to the `ranges`-gate window — the single definition shared
+    /// by cube synthesis and ground-truth matching.
+    pub fn gate_at(&self, gate: usize, cpi: u64, ranges: usize) -> usize {
+        let dg = (self.gates_per_cpi * cpi as f64).round() as i64;
+        (gate as i64 + dg).clamp(0, ranges as i64 - 1) as usize
+    }
+
+    /// The target's normalized Doppler at CPI `cpi`, starting from `doppler`.
+    pub fn doppler_at(&self, doppler: f64, cpi: u64) -> f64 {
+        doppler + self.doppler_per_cpi * cpi as f64
+    }
+}
+
+/// Per-CPI kinematics of one jammer (indexed like `Scene::jammers`).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct JammerDrift {
+    /// Spatial-frequency advance per CPI (the jammer platform moving
+    /// across the array's field of view).
+    pub spatial_per_cpi: f64,
+    /// Blink period in CPIs (0 = always on).
+    pub blink_period: u64,
+    /// CPIs the jammer radiates per blink period (ignored when
+    /// `blink_period` is 0).
+    pub blink_duty: u64,
+}
+
+impl JammerDrift {
+    /// Whether the jammer radiates during CPI `cpi`.
+    pub fn is_on(&self, cpi: u64) -> bool {
+        self.blink_period == 0 || (cpi % self.blink_period) < self.blink_duty
+    }
+
+    /// The jammer's spatial frequency at CPI `cpi`, starting from `fs`.
+    pub fn spatial_at(&self, fs: f64, cpi: u64) -> f64 {
+        fs + self.spatial_per_cpi * cpi as f64
+    }
+}
+
+/// Scene kinematics: how targets and jammers move between CPIs.
+///
+/// Entries are indexed like the scene's `targets` / `jammers` vectors;
+/// missing entries mean stationary (and always-on for jammers). Carried
+/// separately from [`Scene`] so a scenario's geometry and its motion stay
+/// independently composable.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Motion {
+    /// Per-target kinematics.
+    pub targets: Vec<TargetDrift>,
+    /// Per-jammer kinematics.
+    pub jammers: Vec<JammerDrift>,
+}
+
+impl Motion {
+    /// True when nothing moves (every cube sees the static scene).
+    pub fn is_static(&self) -> bool {
+        self.targets.iter().all(|t| *t == TargetDrift::default())
+            && self.jammers.iter().all(|j| *j == JammerDrift::default())
+    }
+}
+
 /// Streaming generator of successive CPI cubes for one scene.
 #[derive(Debug)]
 pub struct CubeGenerator {
@@ -33,7 +95,7 @@ pub struct CubeGenerator {
     waveform: Vec<C32>,
     rng: StdRng,
     cpi: u64,
-    drift: Vec<TargetDrift>,
+    motion: Motion,
 }
 
 impl CubeGenerator {
@@ -45,14 +107,21 @@ impl CubeGenerator {
             waveform: lfm_chirp(waveform_len, 0.9),
             rng: StdRng::seed_from_u64(seed),
             cpi: 0,
-            drift: Vec::new(),
+            motion: Motion::default(),
         }
     }
 
     /// Attaches per-target kinematics (indexed like `Scene::targets`;
     /// missing entries mean stationary). Builder style.
     pub fn with_drift(mut self, drift: Vec<TargetDrift>) -> Self {
-        self.drift = drift;
+        self.motion.targets = drift;
+        self
+    }
+
+    /// Attaches full scene kinematics (target and jammer motion). Builder
+    /// style.
+    pub fn with_motion(mut self, motion: Motion) -> Self {
+        self.motion = motion;
         self
     }
 
@@ -104,7 +173,14 @@ impl CubeGenerator {
     fn add_jammers(&mut self, cube: &mut DataCube) {
         let d = self.dims;
         let jammers = self.scene.jammers.clone();
-        for j in jammers {
+        for (idx, mut j) in jammers.into_iter().enumerate() {
+            // Apply kinematics for the CPI being generated.
+            if let Some(drift) = self.motion.jammers.get(idx) {
+                if !drift.is_on(self.cpi) {
+                    continue;
+                }
+                j.spatial_freq = drift.spatial_at(j.spatial_freq, self.cpi);
+            }
             let amp = (self.scene.noise_power * 10f64.powf(j.jnr_db / 10.0) / 2.0).sqrt() as f32;
             let steering: Vec<C32> = (0..d.channels)
                 .map(|c| C32::cis(2.0 * std::f32::consts::PI * j.spatial_freq as f32 * c as f32))
@@ -165,10 +241,9 @@ impl CubeGenerator {
         let targets = self.scene.targets.clone();
         for (idx, mut t) in targets.into_iter().enumerate() {
             // Apply kinematics for the CPI being generated.
-            if let Some(drift) = self.drift.get(idx) {
-                let dg = (drift.gates_per_cpi * self.cpi as f64).round() as i64;
-                t.range_gate = (t.range_gate as i64 + dg).clamp(0, d.ranges as i64 - 1) as usize;
-                t.doppler += drift.doppler_per_cpi * self.cpi as f64;
+            if let Some(drift) = self.motion.targets.get(idx) {
+                t.range_gate = drift.gate_at(t.range_gate, self.cpi, d.ranges);
+                t.doppler = drift.doppler_at(t.doppler, self.cpi);
             }
             let amp = (self.scene.noise_power * 10f64.powf(t.snr_db / 10.0)).sqrt() as f32;
             // Random initial phase per CPI.
@@ -337,6 +412,73 @@ mod tests {
             }
         }
         assert!(corr > 0.9 * pow, "coherence {corr} vs power {pow}");
+    }
+
+    #[test]
+    fn blinking_jammer_is_absent_on_off_cpis() {
+        let scene = Scene {
+            jammers: vec![Jammer { spatial_freq: 0.1, jnr_db: 40.0 }],
+            noise_power: 1.0,
+            ..Default::default()
+        };
+        // Period 3, duty 1: on at CPI 0, off at CPIs 1 and 2.
+        let motion = Motion {
+            jammers: vec![JammerDrift { spatial_per_cpi: 0.0, blink_period: 3, blink_duty: 1 }],
+            ..Default::default()
+        };
+        let mut g = CubeGenerator::new(dims(), scene, 4, 11).with_motion(motion);
+        let on = mean_power(g.next_cube().as_slice());
+        let off = mean_power(g.next_cube().as_slice());
+        assert!(on > 100.0 * off, "jammer on {on} vs off {off}");
+        assert!((off - 1.0).abs() < 0.2, "off CPI is noise-only: {off}");
+    }
+
+    #[test]
+    fn drifting_jammer_changes_spatial_signature() {
+        let scene = Scene {
+            jammers: vec![Jammer { spatial_freq: 0.0, jnr_db: 40.0 }],
+            noise_power: 0.01,
+            ..Default::default()
+        };
+        // fs moves 0 → 0.25 in one CPI: channel 0/1 phase goes from
+        // in-phase to quadrature.
+        let motion = Motion {
+            jammers: vec![JammerDrift { spatial_per_cpi: 0.25, ..Default::default() }],
+            ..Default::default()
+        };
+        let mut g = CubeGenerator::new(dims(), scene, 4, 12).with_motion(motion);
+        let coherence = |cube: &DataCube| {
+            let d = CubeDims::new(16, 4, 64);
+            let mut corr = 0.0;
+            let mut pow = 0.0;
+            for p in 0..d.pulses {
+                for r in 0..d.ranges {
+                    let a = cube.get(p, 0, r);
+                    let b = cube.get(p, 1, r);
+                    corr += (a * b.conj()).re as f64;
+                    pow += a.norm_sqr() as f64;
+                }
+            }
+            corr / pow
+        };
+        let c0 = coherence(&g.next_cube());
+        let c1 = coherence(&g.next_cube());
+        assert!(c0 > 0.9, "fs=0 jammer coherent across channels: {c0}");
+        assert!(c1.abs() < 0.2, "fs=0.25 jammer in quadrature: {c1}");
+    }
+
+    #[test]
+    fn motion_kinematics_helpers_agree_with_generation() {
+        let d = TargetDrift { gates_per_cpi: 8.0, doppler_per_cpi: 0.01 };
+        assert_eq!(d.gate_at(20, 0, 128), 20);
+        assert_eq!(d.gate_at(20, 3, 128), 44);
+        assert_eq!(d.gate_at(120, 2, 128), 127, "clamps at the window edge");
+        assert!((d.doppler_at(0.1, 2) - 0.12).abs() < 1e-12);
+        let j = JammerDrift { spatial_per_cpi: -0.05, blink_period: 4, blink_duty: 2 };
+        assert!(j.is_on(0) && j.is_on(1) && !j.is_on(2) && !j.is_on(3) && j.is_on(4));
+        assert!((j.spatial_at(0.3, 2) - 0.2).abs() < 1e-12);
+        assert!(Motion::default().is_static());
+        assert!(!Motion { targets: vec![d], ..Default::default() }.is_static());
     }
 
     #[test]

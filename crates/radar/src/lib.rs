@@ -17,6 +17,6 @@ pub mod generate;
 pub mod recorder;
 pub mod scene;
 
-pub use generate::{CubeGenerator, TargetDrift};
+pub use generate::{CubeGenerator, JammerDrift, Motion, TargetDrift};
 pub use recorder::RoundRobinRecorder;
 pub use scene::{Clutter, Jammer, Scene, Target};

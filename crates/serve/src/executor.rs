@@ -148,6 +148,7 @@ fn frontend_config(spec: &MissionSpec, rate: f64) -> FrontendConfig {
     FrontendConfig {
         dims: CubeDims::new(16, 4, 64),
         scene: base.scene,
+        motion: base.motion,
         waveform_len: base.waveform_len,
         seed: base.seed,
         fanout: 2,

@@ -3,7 +3,8 @@
 //! See `ppstap help` (or [`ppstap::cli::HELP`]) for usage.
 
 use ppstap::cli::{
-    machine_for, parse, Command, PlanArgs, RunArgs, ServeArgs, SimArgs, SubmitArgs, TraceMode, HELP,
+    machine_for, parse, Command, PlanArgs, RunArgs, ServeArgs, SimArgs, SubmitArgs, TraceMode,
+    VerifyArgs, HELP,
 };
 use ppstap::core::config::StapConfig;
 use ppstap::core::desmodel::{render_gantt, DesExperiment};
@@ -26,6 +27,7 @@ fn main() {
         Ok(Command::Plan(a)) => plan_cmd(a),
         Ok(Command::Serve(a)) => serve_cmd(a),
         Ok(Command::Submit(a)) => submit_cmd(a),
+        Ok(Command::Verify(a)) => verify_cmd(a),
         Err(e) => {
             eprintln!("error: {e}\n");
             eprint!("{HELP}");
@@ -248,6 +250,7 @@ mod stap_bench_shim {
         out.push(("phase_breakdown", phase_breakdown_report()));
         out.push(("serve_contention", ppstap::serve::experiments::contention_report()));
         out.push(("ingest_backpressure", ppstap::core::experiments::ingest::backpressure_report()));
+        out.push(("detection_quality", ppstap::scenario::experiments::detection_quality()));
         out
     }
 }
@@ -383,6 +386,86 @@ fn submit_cmd(a: SubmitArgs) {
         print!("{}", out.fleet_table());
     }
     if out.missions.iter().any(|m| matches!(m.outcome, ppstap::serve::MissionOutcome::Failed(_))) {
+        std::process::exit(1);
+    }
+}
+
+fn verify_cmd(a: VerifyArgs) {
+    use ppstap::scenario as sc;
+    if a.list {
+        println!("{:<14} {:<8} summary", "scenario", "targets");
+        for s in sc::catalog() {
+            println!("{:<14} {:<8} {}", s.name, s.scene.targets.len(), s.summary);
+        }
+        return;
+    }
+    let mut scenario = sc::find(&a.scenario).expect("validated by the parser");
+    if let Some(path) = &a.requirements {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: reading {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match sc::Requirement::parse(&text) {
+            Ok(req) => scenario.requirement = req,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let source = a
+        .source
+        .as_deref()
+        .map(|s| ppstap::core::SourceSpec::parse(s).expect("validated by the parser"))
+        .unwrap_or_default();
+    if let Some(spec) = &a.sweep {
+        let sweep = sc::Sweep::parse(spec).expect("validated by the parser");
+        let points = match sc::sweep::run(&scenario, &sweep, &source) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        };
+        let passed = points.iter().all(|p| p.report.passed());
+        if a.json {
+            let body: Vec<String> = points
+                .iter()
+                .map(|p| format!("{{\"value\": {}, \"report\": {}}}", p.value, p.report.to_json()))
+                .collect();
+            println!(
+                "{{\"scenario\": \"{}\", \"axis\": \"{}\", \"passed\": {passed}, \
+                 \"points\": [{}]}}",
+                scenario.name,
+                sweep.axis.name(),
+                body.join(", ")
+            );
+        } else {
+            print!("{}", sc::sweep::table(&scenario.name, &sweep, &points));
+        }
+        if !passed {
+            std::process::exit(1);
+        }
+        return;
+    }
+    let evaluation = match sc::evaluate_with_source(&scenario, source) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let report = sc::check(&scenario.name, &scenario.requirement, &evaluation);
+    if a.json {
+        println!("{}", report.to_json());
+    } else {
+        println!("{}", evaluation.summary());
+        print!("{}", report.table());
+    }
+    if !report.passed() {
         std::process::exit(1);
     }
 }

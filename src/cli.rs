@@ -34,8 +34,30 @@ pub enum Command {
     Serve(ServeArgs),
     /// `ppstap submit` — one-shot: admit and run a single mission now.
     Submit(SubmitArgs),
+    /// `ppstap verify` — detection-quality verification of a catalog
+    /// scenario against its requirements.
+    Verify(VerifyArgs),
     /// `ppstap help` or `--help`.
     Help,
+}
+
+/// Arguments of `ppstap verify`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VerifyArgs {
+    /// Catalog scenario to verify (empty with `--list`).
+    pub scenario: String,
+    /// List the catalog instead of verifying.
+    pub list: bool,
+    /// Requirements file overriding the scenario's built-in requirement.
+    pub requirements: Option<String>,
+    /// Single-axis sweep spec (`AXIS=v1,v2,...` with AXIS one of
+    /// snr|jnr|cnr|seed), validated at parse time.
+    pub sweep: Option<String>,
+    /// CPI source spec (`file` or `stream[:opts]`), validated at parse
+    /// time; `None` means file staging.
+    pub source: Option<String>,
+    /// Emit the machine-readable requirement report instead of the table.
+    pub json: bool,
 }
 
 /// Arguments of `ppstap serve`.
@@ -620,6 +642,50 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
                 .map_err(|e| ParseError(format!("submit: {e}")))?;
             Ok(Command::Submit(a))
         }
+        "verify" => {
+            let mut a = VerifyArgs::default();
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--scenario" => {
+                        let v = take_value(flag, &mut it)?;
+                        if stap_scenario::find(v).is_none() {
+                            let names: Vec<String> =
+                                stap_scenario::catalog().into_iter().map(|s| s.name).collect();
+                            return Err(ParseError(format!(
+                                "unknown scenario '{v}' (catalog: {})",
+                                names.join(", ")
+                            )));
+                        }
+                        a.scenario = v.to_string();
+                    }
+                    "--list" => a.list = true,
+                    "--requirements" => {
+                        a.requirements = Some(take_value(flag, &mut it)?.to_string());
+                    }
+                    "--sweep" => {
+                        let v = take_value(flag, &mut it)?;
+                        stap_scenario::Sweep::parse(v).map_err(ParseError)?; // validate now
+                        a.sweep = Some(v.to_string());
+                    }
+                    "--source" => {
+                        let v = take_value(flag, &mut it)?;
+                        SourceSpec::parse(v).map_err(ParseError)?; // validate now
+                        a.source = Some(v.to_string());
+                    }
+                    "--json" => a.json = true,
+                    other => return Err(ParseError(format!("unknown flag '{other}' for verify"))),
+                }
+            }
+            if a.scenario.is_empty() && !a.list {
+                return Err(ParseError("verify needs --scenario NAME or --list".into()));
+            }
+            if a.list && (a.sweep.is_some() || a.requirements.is_some()) {
+                return Err(ParseError(
+                    "--list only lists the catalog; drop the other flags".into(),
+                ));
+            }
+            Ok(Command::Verify(a))
+        }
         other => Err(ParseError(format!("unknown command '{other}' (try 'ppstap help')"))),
     }
 }
@@ -725,6 +791,23 @@ USAGE:
     ppstap submit name=<id> [key=value ...] [--json]
         One-shot serve: admit and run a single mission now, printing its
         mission report (same key=value grammar as the script's submit).
+
+    ppstap verify (--scenario NAME | --list) [--requirements FILE]
+                  [--sweep AXIS=v1,v2,...] [--source file|stream[:opts]]
+                  [--json]
+        Run the real seven-task pipeline over a catalog scenario and check
+        the measured detection quality — Pd/Pfa from truth-matched CFAR
+        detections, SINR loss against optimal weights — against the
+        scenario's requirements, printing a pass/fail table with margins
+        (greppable 'result: PASS'/'result: FAIL' line; exit code 1 on
+        FAIL). --list prints the catalog. --requirements FILE overrides
+        the built-in bounds with 'key = value' lines (min_pd, max_pfa,
+        max_sinr_loss_db, pfa_within_sigmas). --sweep re-evaluates the
+        scenario once per value along one axis (snr|jnr|cnr|seed).
+        --source stream feeds the pipeline from the staging tier instead
+        of files (detections are identical by construction — that
+        invariance is itself under test). --json emits the machine-
+        readable requirement report.
 
     ppstap help
         Show this text.
@@ -1109,6 +1192,62 @@ mod tests {
         assert!(parse(&["submit", "name=a", "cpis=1"]).unwrap_err().0.contains("at least 2"));
         assert!(parse(&["submit", "name=a", "--verbose"]).unwrap_err().0.contains("key=value"));
         assert!(parse(&["submit", "name=a", "frob=1"]).unwrap_err().0.contains("unknown submit"));
+    }
+
+    #[test]
+    fn verify_flags() {
+        let c = parse(&["verify", "--scenario", "two-target"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Verify(VerifyArgs { scenario: "two-target".into(), ..VerifyArgs::default() })
+        );
+        let c = parse(&[
+            "verify",
+            "--scenario",
+            "noise-only",
+            "--sweep",
+            "seed=1,2,3",
+            "--source",
+            "stream:depth=2",
+            "--json",
+        ])
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Verify(VerifyArgs {
+                scenario: "noise-only".into(),
+                sweep: Some("seed=1,2,3".into()),
+                source: Some("stream:depth=2".into()),
+                json: true,
+                ..VerifyArgs::default()
+            })
+        );
+        let c = parse(&["verify", "--list"]).unwrap();
+        assert_eq!(c, Command::Verify(VerifyArgs { list: true, ..VerifyArgs::default() }));
+        let c = parse(&["verify", "--scenario", "benchmark", "--requirements", "req.txt"]).unwrap();
+        let Command::Verify(a) = c else { panic!("expected verify") };
+        assert_eq!(a.requirements, Some("req.txt".into()));
+    }
+
+    #[test]
+    fn verify_errors_are_specific() {
+        assert!(parse(&["verify"]).unwrap_err().0.contains("--scenario NAME or --list"));
+        let e = parse(&["verify", "--scenario", "area51"]).unwrap_err().0;
+        assert!(e.contains("unknown scenario"), "{e}");
+        assert!(e.contains("two-target"), "the error lists the catalog: {e}");
+        assert!(parse(&["verify", "--scenario", "two-target", "--sweep", "prf=1"])
+            .unwrap_err()
+            .0
+            .contains("unknown sweep axis"));
+        assert!(parse(&["verify", "--scenario", "two-target", "--source", "tape"])
+            .unwrap_err()
+            .0
+            .contains("file|stream"));
+        assert!(parse(&["verify", "--list", "--sweep", "snr=1"])
+            .unwrap_err()
+            .0
+            .contains("only lists"));
+        assert!(parse(&["verify", "--frob"]).unwrap_err().0.contains("unknown flag"));
     }
 
     #[test]

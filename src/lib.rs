@@ -22,7 +22,9 @@
 //! - [`planner`] — bi-criteria configuration search over node assignments,
 //!   I/O strategies, and task combining (`ppstap plan`);
 //! - [`serve`] — multi-tenant mission scheduler: admission, placement, and
-//!   execution of concurrent pipelines over a shared pool (`ppstap serve`).
+//!   execution of concurrent pipelines over a shared pool (`ppstap serve`);
+//! - [`scenario`] — the scenario catalog and requirements-driven
+//!   detection-quality verification (`ppstap verify`).
 
 pub mod cli;
 
@@ -37,5 +39,6 @@ pub use stap_pfs as pfs;
 pub use stap_pipeline as pipeline;
 pub use stap_planner as planner;
 pub use stap_radar as radar;
+pub use stap_scenario as scenario;
 pub use stap_serve as serve;
 pub use stap_trace as trace;

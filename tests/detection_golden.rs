@@ -1,0 +1,93 @@
+//! Golden-file regression for the detection plane: the truth-matched
+//! detection lists and the angle-Doppler surface of six catalog
+//! scenarios, locked byte-for-byte against checked-in goldens.
+//!
+//! The pipeline's arithmetic is deterministic (seeded scenes, virtual
+//! clock, no reductions whose order depends on thread timing) and powers
+//! render with `{}` (shortest round-trip), so the text is bit-stable
+//! across runs **and across debug/release profiles** — a profile-induced
+//! diff here means a kernel stopped being bit-reproducible.
+//!
+//! To regenerate after an intentional change to the scenes or kernels:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test detection_golden
+//! ```
+
+use ppstap::scenario::{evaluate, find};
+use std::path::{Path, PathBuf};
+
+fn golden_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+}
+
+/// Compares against the checked-in golden, reporting the first divergent
+/// line instead of dumping both multi-kilobyte documents.
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create golden dir");
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); generate it with `UPDATE_GOLDEN=1 cargo test --test detection_golden`",
+            path.display()
+        )
+    });
+    if actual == expected {
+        return;
+    }
+    for (i, (a, e)) in actual.lines().zip(expected.lines()).enumerate() {
+        assert_eq!(
+            a,
+            e,
+            "{name} diverges at line {}; if intended, regenerate with \
+             `UPDATE_GOLDEN=1 cargo test --test detection_golden`",
+            i + 1
+        );
+    }
+    panic!(
+        "{name}: output length changed ({} vs {} lines); if intended, regenerate with \
+         `UPDATE_GOLDEN=1 cargo test --test detection_golden`",
+        actual.lines().count(),
+        expected.lines().count()
+    );
+}
+
+fn check_scenario(name: &str) {
+    let s = find(name).unwrap_or_else(|| panic!("catalog has {name}"));
+    let e = evaluate(&s).unwrap_or_else(|err| panic!("{name} evaluates: {err}"));
+    check_golden(&format!("detection_{}.txt", name.replace('-', "_")), &e.golden_text());
+}
+
+#[test]
+fn two_target_detection_map_is_stable() {
+    check_scenario("two-target");
+}
+
+#[test]
+fn benchmark_detection_map_is_stable() {
+    check_scenario("benchmark");
+}
+
+#[test]
+fn noise_only_detection_map_is_stable() {
+    check_scenario("noise-only");
+}
+
+#[test]
+fn maneuvering_detection_map_is_stable() {
+    check_scenario("maneuvering");
+}
+
+#[test]
+fn jammer_blink_detection_map_is_stable() {
+    check_scenario("jammer-blink");
+}
+
+#[test]
+fn clutter_steep_detection_map_is_stable() {
+    check_scenario("clutter-steep");
+}

@@ -1,0 +1,128 @@
+//! Metamorphic properties of the detection plane, checked through the
+//! real seven-task pipeline via the scenario evaluator:
+//!
+//! - Pd is non-decreasing in target SNR (checked with a large SNR step so
+//!   finite-sample noise cannot fake a violation);
+//! - on noise-only scenes the measured Pfa stays within a binomial
+//!   confidence bound of the CFAR design point, whatever the seed;
+//! - the detection set is bit-identical under `--source file` vs
+//!   `--source stream` and under every I/O-strategy choice (embedded vs
+//!   separate I/O nodes, split vs combined tail, file-system personality,
+//!   staging fanout, ring depth) — the strategies move *when* data is
+//!   read, never *what* is computed.
+
+use ppstap::core::config::StapConfig;
+use ppstap::core::{IoStrategy, SourceSpec, StapSystem, StreamSettings, TailStructure};
+use ppstap::pipeline::ClockSpec;
+use ppstap::scenario::{evaluate, find};
+use proptest::prelude::*;
+
+/// Sorted (cpi, beam, bin, range, power-bits) keys of every detection —
+/// the exact-equality fingerprint of a run's detection set.
+type DetectionKeys = Vec<(u64, Vec<(usize, usize, usize, u64)>)>;
+
+fn detection_keys(reports: &[ppstap::kernels::DetectionReport]) -> DetectionKeys {
+    reports
+        .iter()
+        .map(|r| {
+            let mut dets: Vec<_> =
+                r.detections.iter().map(|d| (d.beam, d.bin, d.range, d.power.to_bits())).collect();
+            dets.sort_unstable();
+            (r.cpi, dets)
+        })
+        .collect()
+}
+
+fn run_keys(cfg: StapConfig) -> DetectionKeys {
+    let sys = StapSystem::prepare(cfg).expect("system prepares");
+    let out = sys.run_with_clock(ClockSpec::virtual_default()).expect("run completes");
+    detection_keys(&out.reports)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Raising every target's SNR by a large step never lowers Pd. The
+    /// base SNR spans the detection knee (measured between -6 and -4 dB
+    /// on the low-snr scene) and the boosted SNR is capped at 8 dB:
+    /// beyond ~16 dB a target dominates its own covariance training and
+    /// the resulting self-null can cost detections — a real, documented
+    /// property of the pipeline (see `truth_gates`) that breaks strict
+    /// monotonicity, not a sampling artifact. The step (>= 10 dB) is far
+    /// larger than the Pd noise floor of a 4-CPI sample.
+    #[test]
+    fn pd_is_non_decreasing_in_snr(snr in -20.0f64..-6.0, step in 10.0f64..14.0) {
+        let base = find("low-snr").expect("catalog has low-snr");
+        let weak = evaluate(&base.clone().with_snr_db(snr)).expect("weak evaluates");
+        let strong = evaluate(&base.with_snr_db(snr + step)).expect("strong evaluates");
+        let (pd_weak, pd_strong) =
+            (weak.pd().expect("has truth"), strong.pd().expect("has truth"));
+        prop_assert!(
+            pd_strong >= pd_weak,
+            "Pd fell from {pd_weak} to {pd_strong} when SNR rose {snr} -> {}",
+            snr + step
+        );
+    }
+
+    /// Whatever the scene seed, the noise-only measured Pfa stays within
+    /// a binomial bound of the CFAR design point. The shipped requirement
+    /// documents 4 sigmas at the catalog seed; across arbitrary seeds the
+    /// bound widens to 6 to keep the false-failure odds negligible
+    /// (~1e-6 per draw at 40960 cells) while still catching any real
+    /// threshold miscalibration, which shows up tens of sigmas out.
+    #[test]
+    fn noise_only_pfa_tracks_the_cfar_design_point(seed in 0u64..10_000) {
+        let s = find("noise-only").expect("catalog has noise-only").with_seed(seed);
+        let e = evaluate(&s).expect("noise-only evaluates");
+        prop_assert!(e.pd().is_none(), "no truth on a noise-only scene");
+        prop_assert!(
+            e.pfa_sigmas() <= 6.0,
+            "measured pfa {:.3e} is {:.1} sigmas from the design point {:.3e} ({} cells)",
+            e.pfa,
+            e.pfa_sigmas(),
+            e.design_pfa,
+            e.cells
+        );
+    }
+
+    /// The detection set is invariant across every I/O-strategy axis:
+    /// file vs (lossless) stream staging, embedded vs separate I/O
+    /// nodes, split vs combined tail, file-system personality, staging
+    /// fanout, and ring depth. Only lossless backpressure is drawn —
+    /// drop-oldest/reject shed cubes by design.
+    #[test]
+    fn detections_are_invariant_across_io_strategies(
+        io_idx in 0usize..2,
+        tail_idx in 0usize..2,
+        fs_idx in 0usize..3,
+        fanout in 1usize..4,
+        stream in any::<bool>(),
+        depth in 1usize..6,
+    ) {
+        let scenario = find("two-target").expect("catalog has two-target");
+        let mut base = scenario.config();
+        base.cpis = 3;
+        base.warmup = 1;
+        base.fanout = fanout;
+
+        let mut variant = base.clone();
+        variant.io = [IoStrategy::Embedded, IoStrategy::SeparateTask][io_idx];
+        variant.tail = [TailStructure::Split, TailStructure::Combined][tail_idx];
+        variant.fs = match fs_idx {
+            0 => ppstap::pfs::FsConfig::paragon_pfs(16),
+            1 => ppstap::pfs::FsConfig::paragon_pfs(64),
+            _ => ppstap::pfs::FsConfig::piofs(),
+        };
+        if stream {
+            variant.source =
+                SourceSpec::Stream(StreamSettings { depth, ..StreamSettings::default() });
+        }
+
+        prop_assert_eq!(
+            run_keys(base),
+            run_keys(variant),
+            "I/O strategy changed the detection set (io={io_idx} tail={tail_idx} \
+             fs={fs_idx} fanout={fanout} stream={stream} depth={depth})"
+        );
+    }
+}

@@ -23,6 +23,7 @@ fn frontend_cfg(count: u64, rate: f64) -> FrontendConfig {
     FrontendConfig {
         dims: CubeDims::new(8, 2, 16),
         scene: Scene::benchmark_small(),
+        motion: Default::default(),
         waveform_len: 4,
         seed: 11,
         fanout: FANOUT,

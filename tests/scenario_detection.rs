@@ -1,0 +1,254 @@
+//! End-to-end detection through the real threaded pipeline, driven by the
+//! scenario catalog (supersedes the old `end_to_end_detection` /
+//! `moving_targets` suites: their scenes are now the `two-target`,
+//! `benchmark`, and `maneuvering` catalog entries, and truth matching goes
+//! through the shared `stap-scenario` / `stap-kernels::truth` helpers).
+//!
+//! The evaluator itself covers the default structure; these tests point
+//! the same truth-matched scoring at the structural variants — separate
+//! I/O nodes, combined tail, PIOFS, degenerate and wide node counts, the
+//! eigencanceler — plus the staged-file discipline (restaging, report
+//! round-trips).
+
+use ppstap::core::config::{NodeCounts, StapConfig};
+use ppstap::core::{IoStrategy, StapSystem, TailStructure};
+use ppstap::kernels::truth::score;
+use ppstap::pfs::FsConfig;
+use ppstap::scenario::evaluate::truth_gates;
+use ppstap::scenario::{evaluate, find, Scenario};
+
+fn two_target() -> Scenario {
+    find("two-target").expect("catalog has two-target")
+}
+
+/// Runs `cfg` and scores every steady-state CPI's detections against the
+/// scenario's (possibly drifting) truth gates: every truth hit, at every
+/// scored CPI.
+fn assert_truths_found(scenario: &Scenario, cfg: StapConfig, label: &str) {
+    let (nbins, ranges) = (cfg.dims.pulses, cfg.dims.ranges);
+    let sys = StapSystem::prepare(cfg).unwrap();
+    let out = sys.run().unwrap();
+    assert!(!out.reports.is_empty(), "{label}: no reports");
+    // Skip CPI 0 (cold-start uniform weights).
+    for r in out.reports.iter().filter(|r| r.cpi >= 1) {
+        let truths = truth_gates(scenario, r.cpi, nbins, ranges);
+        let s = score(&r.detections, &truths, nbins, ranges).expect("consistent surface");
+        assert_eq!(
+            s.hit_count(),
+            truths.len(),
+            "{label}: CPI {} hit {}/{} truths (hits {:?})",
+            r.cpi,
+            s.hit_count(),
+            truths.len(),
+            s.hits
+        );
+    }
+}
+
+#[test]
+fn embedded_io_pipeline_detects_targets() {
+    let s = two_target();
+    let sys = StapSystem::prepare(s.config()).unwrap();
+    let out = sys.run().unwrap();
+    assert_eq!(out.reports.len(), s.cpis as usize);
+    assert!(out.throughput() > 0.0);
+    assert!(out.latency() > 0.0);
+    assert_truths_found(&s, s.config(), "embedded");
+}
+
+#[test]
+fn separate_io_pipeline_detects_targets() {
+    let s = two_target();
+    let cfg = StapConfig { io: IoStrategy::SeparateTask, ..s.config() };
+    assert_truths_found(&s, cfg, "separate");
+}
+
+#[test]
+fn combined_tail_pipeline_detects_targets() {
+    let s = two_target();
+    let cfg = StapConfig { tail: TailStructure::Combined, ..s.config() };
+    assert_truths_found(&s, cfg, "combined");
+}
+
+#[test]
+fn all_three_structures_agree_on_detections() {
+    // Same seed + same scene: the three pipeline structures must produce
+    // identical detection records (structure changes scheduling, not
+    // arithmetic).
+    let s = two_target();
+    let run = |io, tail| {
+        let cfg = StapConfig { io, tail, ..s.config() };
+        let sys = StapSystem::prepare(cfg).unwrap();
+        let out = sys.run().unwrap();
+        out.reports
+            .into_iter()
+            .map(|r| {
+                let mut dets: Vec<_> = r
+                    .detections
+                    .iter()
+                    .map(|d| (d.beam, d.bin, d.range, d.power.to_bits()))
+                    .collect();
+                dets.sort_unstable();
+                (r.cpi, dets)
+            })
+            .collect::<Vec<_>>()
+    };
+    let a = run(IoStrategy::Embedded, TailStructure::Split);
+    let b = run(IoStrategy::SeparateTask, TailStructure::Split);
+    let c = run(IoStrategy::Embedded, TailStructure::Combined);
+    assert_eq!(a, b, "embedded vs separate");
+    assert_eq!(a, c, "split vs combined");
+}
+
+#[test]
+fn piofs_sync_only_path_works() {
+    // The PIOFS personality forbids async reads; the embedded Doppler task
+    // must fall back to synchronous reads and still work.
+    let s = two_target();
+    let cfg = StapConfig { fs: FsConfig::piofs(), ..s.config() };
+    assert_truths_found(&s, cfg, "piofs");
+}
+
+#[test]
+fn single_node_stages_work() {
+    // Degenerate parallelism: every stage on one node.
+    let mut s = two_target();
+    s.cpis = 3;
+    let cfg = StapConfig {
+        nodes: NodeCounts {
+            read: 1,
+            doppler: 1,
+            easy_weight: 1,
+            hard_weight: 1,
+            easy_bf: 1,
+            hard_bf: 1,
+            pulse: 1,
+            cfar: 1,
+        },
+        ..s.config()
+    };
+    assert_truths_found(&s, cfg, "single-node");
+}
+
+#[test]
+fn wide_stages_work() {
+    // More nodes than the defaults, including node counts that do not
+    // divide the bin/range counts evenly.
+    let mut s = two_target();
+    s.cpis = 4;
+    let cfg = StapConfig {
+        nodes: NodeCounts {
+            read: 3,
+            doppler: 3,
+            easy_weight: 2,
+            hard_weight: 3,
+            easy_bf: 2,
+            hard_bf: 3,
+            pulse: 3,
+            cfar: 2,
+        },
+        io: IoStrategy::SeparateTask,
+        ..s.config()
+    };
+    assert_truths_found(&s, cfg, "wide");
+}
+
+#[test]
+fn eigencanceler_weights_detect_targets_too() {
+    use ppstap::kernels::weights::WeightMethod;
+    let s = two_target();
+    let cfg =
+        StapConfig { weight_method: WeightMethod::Eigencanceler { rank: None }, ..s.config() };
+    assert_truths_found(&s, cfg, "eigencanceler");
+}
+
+#[test]
+fn recorded_reports_round_trip_through_the_pfs() {
+    use ppstap::kernels::report::DetectionReport as Report;
+    use ppstap::pfs::OpenMode;
+    let s = two_target();
+    let cfg = StapConfig { record_reports: true, ..s.config() };
+    let sys = StapSystem::prepare(cfg).unwrap();
+    let out = sys.run().unwrap();
+    // Every CPI's report must be readable back from the file system and
+    // identical to what the sink collected.
+    for report in &out.reports {
+        let f = sys
+            .fs()
+            .open(&format!("report_{}.dat", report.cpi), OpenMode::Async)
+            .expect("report file exists");
+        let bytes = f.read_at(0, f.len() as usize).unwrap();
+        let back = Report::from_bytes(&bytes).expect("well-formed record");
+        assert_eq!(back.cpi, report.cpi);
+        assert_eq!(back.detections, report.detections);
+    }
+}
+
+#[test]
+fn jammed_cluttered_scene_still_detects_after_adaptation() {
+    // The benchmark world has a jammer and a clutter ridge; adaptive
+    // weights (from CPI >= 1) must null them well enough to find both
+    // targets and hold the scenario's shipped requirement.
+    let s = find("benchmark").expect("catalog has benchmark");
+    let e = evaluate(&s).expect("benchmark evaluates");
+    assert_eq!(e.pd(), Some(1.0), "both targets at every scored CPI");
+    let report = ppstap::scenario::check(&s.name, &s.requirement, &e);
+    assert!(report.passed(), "benchmark requirement holds:\n{}", report.table());
+}
+
+#[test]
+fn drifting_target_detections_walk_in_range() {
+    // The maneuvering catalog entry drifts its target 8 gates per CPI;
+    // detections must follow it and must NOT linger at the launch gate.
+    let s = find("maneuvering").expect("catalog has maneuvering");
+    let e = evaluate(&s).expect("maneuvering evaluates");
+    assert_eq!(e.pd(), Some(1.0), "drifting target tracked at every scored CPI");
+    let launch = s.scene.targets[0].range_gate;
+    for r in e.reports.iter().filter(|r| r.cpi >= 2) {
+        assert!(
+            !r.cluster(4).detections.iter().any(|d| d.range.abs_diff(launch) <= 2),
+            "CPI {}: stale detection at the launch gate {launch}",
+            r.cpi
+        );
+    }
+}
+
+#[test]
+fn restaged_files_change_what_the_pipeline_sees() {
+    use ppstap::kernels::cube::DataCube;
+    use ppstap::pfs::OpenMode;
+    use ppstap::radar::CubeGenerator;
+
+    // Sanity for the staging discipline itself: after overwriting every
+    // slot with cubes whose first target moved, a rerun detects the new
+    // gate, not the old.
+    let mut s = two_target();
+    s.cpis = 3;
+    let cfg = s.config();
+    let old_gate = s.scene.targets[0].range_gate;
+    let sys = StapSystem::prepare(cfg.clone()).unwrap();
+    let first = sys.run().unwrap();
+    assert!(first.reports[1].detections.iter().any(|d| d.range.abs_diff(old_gate) <= 3));
+
+    // The radar overwrites every slot with cubes for the moved scene.
+    let new_gate = 60;
+    let mut moved = s.scene.clone();
+    moved.targets[0].range_gate = new_gate;
+    let mut gen = CubeGenerator::new(cfg.dims, moved, cfg.waveform_len, 99);
+    for slot in 0..cfg.fanout {
+        let f = sys.fs().open(&StapConfig::file_name(slot), OpenMode::Async).unwrap();
+        let cube: DataCube = gen.next_cube();
+        f.write_at(0, &cube.to_range_major_bytes()).expect("staging write");
+    }
+    let second = sys.run().unwrap();
+    let report = &second.reports[1];
+    assert!(
+        report.detections.iter().any(|d| d.range.abs_diff(new_gate) <= 3),
+        "new target missed: {:?}",
+        report.detections.iter().map(|d| d.range).collect::<Vec<_>>()
+    );
+    assert!(
+        !report.detections.iter().any(|d| d.range.abs_diff(old_gate) <= 2),
+        "old target should be gone"
+    );
+}
