@@ -73,7 +73,19 @@ pub fn regenerate_all() -> Vec<Artifact> {
         name: "detection_quality",
         text: stap_scenario::experiments::detection_quality(),
     });
+    out.push(Artifact { name: "reliability_tradeoff", text: render_reliability_tradeoff() });
     out
+}
+
+/// Fault rates swept by the reliability experiment: from "a crash a
+/// month" to "the pool is on fire", bracketing the crossover where
+/// replication's survival collapses and only checkpointing holds a bound.
+pub const RELIABILITY_RATES: [f64; 5] = [1e-5, 1e-4, 5e-4, 1e-3, 5e-3];
+
+/// Renders the redundancy-cost vs survival-probability sweep
+/// (`results/reliability_tradeoff.txt`).
+pub fn render_reliability_tradeoff() -> String {
+    stap_planner::reliability::tradeoff_report(&RELIABILITY_RATES)
 }
 
 /// Renders the fault-degradation experiment (`results/fault_degradation.txt`).
@@ -147,5 +159,20 @@ mod tests {
         let s = render_async_ablation();
         assert!(s.contains("async:"));
         assert!(s.contains("sync :"));
+    }
+
+    #[test]
+    fn reliability_tradeoff_covers_every_rate_and_redundancy() {
+        let s = render_reliability_tradeoff();
+        for rate in RELIABILITY_RATES {
+            assert!(s.contains(&format!("{rate:.1e}")), "missing rate {rate}\n{s}");
+        }
+        for label in ["rep:1", "rep:2", "ckpt:4", "ckpt:16"] {
+            assert!(s.contains(label), "missing redundancy '{label}'\n{s}");
+        }
+        assert!(
+            regenerate_all().iter().any(|a| a.name == "reliability_tradeoff"),
+            "artifact registered"
+        );
     }
 }

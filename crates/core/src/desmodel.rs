@@ -118,12 +118,83 @@ impl FaultSource {
     }
 }
 
+/// A permanent fleet-level event applied in virtual time, mirroring the
+/// real file system's `server-loss:IDX@T` / `node:IDX@A..B` fault specs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetEvent {
+    /// Stripe server `server` is permanently lost from CPI `from` onward:
+    /// the surviving servers absorb its share of every later read.
+    ServerLoss {
+        /// Index of the lost stripe server.
+        server: usize,
+        /// First CPI whose read observes the loss.
+        from: u64,
+    },
+    /// The compute node hosting a pipeline stage crashes while CPI `at`
+    /// is in flight. What happens next depends on the provisioned
+    /// [`Redundancy`]: replica promotion, checkpoint replay, or — bare —
+    /// the pipeline instance dies and every later CPI is lost.
+    NodeCrash {
+        /// Index of the crashed node (identity only; the consequence is
+        /// the same whichever stage the node hosted).
+        node: usize,
+        /// CPI in flight when the node died.
+        at: u64,
+    },
+}
+
+/// Redundancy provisioned against fleet-level node crashes — the thing
+/// the tri-criteria planner spends nodes or time on to buy survival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Redundancy {
+    /// No provisioning: a node crash kills the pipeline instance and all
+    /// later CPIs are lost.
+    None,
+    /// `spares` warm standby nodes: each crash promotes one spare at a
+    /// bounded time cost; the run survives up to `spares` crashes.
+    Replicated {
+        /// Warm standby nodes available for promotion.
+        spares: u32,
+    },
+    /// Pipeline state checkpointed every `interval` CPIs: every crash is
+    /// survivable, at a steady checkpoint cost plus a bounded replay of
+    /// at most `interval` CPIs per crash.
+    Checkpointed {
+        /// CPIs between checkpoints (≥ 1).
+        interval: u64,
+    },
+}
+
+impl Redundancy {
+    /// Short label for report columns (`"-"`, `"rep:2"`, `"ckpt:8"`).
+    pub fn label(&self) -> String {
+        match self {
+            Redundancy::None => "-".into(),
+            Redundancy::Replicated { spares } => format!("rep:{spares}"),
+            Redundancy::Checkpointed { interval } => format!("ckpt:{interval}"),
+        }
+    }
+
+    /// Extra nodes this redundancy reserves on top of the plan's pipeline
+    /// nodes (spares are real nodes; checkpointing spends time, not nodes).
+    pub fn spare_nodes(&self) -> usize {
+        match self {
+            Redundancy::Replicated { spares } => *spares as usize,
+            _ => 0,
+        }
+    }
+}
+
 /// Fault injection for the simulated read path, mirroring the real
 /// pipeline's `SkipCpi` failure policy in virtual time: a faulted CPI's
 /// read fails `fail_attempts` times (each failure costs `detect` seconds
 /// plus exponential backoff); if the retry budget clears the fault the
 /// read proceeds, otherwise the CPI is dropped and every downstream task
 /// merely forwards the gap bubble at a small fraction of its nominal time.
+///
+/// On top of the transient model, `fleet` schedules permanent
+/// infrastructure losses and `redundancy` decides whether the pipeline
+/// survives them — see [`FleetEvent`] and [`Redundancy`].
 #[derive(Debug, Clone)]
 pub struct DesFaultModel {
     /// Which CPIs fault.
@@ -137,10 +208,34 @@ pub struct DesFaultModel {
     pub retry_attempts: u32,
     /// Base backoff seconds before the first retry; doubles per retry.
     pub backoff: f64,
+    /// Permanent fleet-level events applied on top of the transient model.
+    pub fleet: Vec<FleetEvent>,
+    /// Redundancy provisioned against [`FleetEvent::NodeCrash`].
+    pub redundancy: Redundancy,
 }
 
 /// Fraction of a task's nominal time charged to forward a gap bubble.
 const GAP_FORWARD_FRACTION: f64 = 0.05;
+
+/// Detection multiplier for a permanent server loss: noticing that a
+/// stripe server is gone (vs one failed attempt) costs this many `detect`
+/// periods before reads re-route to the survivors.
+const SERVER_FAILOVER_DETECT_FACTOR: f64 = 5.0;
+
+/// Promoting a warm replica after a node crash costs this many nominal
+/// source-task periods (state transfer + pipeline re-entry). Public so the
+/// planner's expected-throughput pricing uses the same number the DES
+/// charges.
+pub const REPLICA_PROMOTE_PERIODS: f64 = 2.0;
+
+/// Restoring from a checkpoint costs this many nominal source-task
+/// periods on top of replaying the CPIs since the last checkpoint.
+pub const CHECKPOINT_RESTORE_PERIODS: f64 = 1.0;
+
+/// Writing one checkpoint costs this fraction of a nominal source-task
+/// period — the steady-state price of checkpointed redundancy, paid every
+/// `interval` CPIs whether or not a crash ever happens.
+pub const CHECKPOINT_COST_FRACTION: f64 = 0.25;
 
 /// Per-CPI consequence of the fault model.
 #[derive(Debug, Clone, Copy, Default)]
@@ -154,6 +249,120 @@ struct CpiFault {
 }
 
 impl DesFaultModel {
+    /// A purely transient model: no fleet-level events, no redundancy.
+    pub fn transient(
+        source: FaultSource,
+        fail_attempts: u32,
+        detect: f64,
+        retry_attempts: u32,
+        backoff: f64,
+    ) -> Self {
+        Self {
+            source,
+            fail_attempts,
+            detect,
+            retry_attempts,
+            backoff,
+            fleet: Vec::new(),
+            redundancy: Redundancy::None,
+        }
+    }
+
+    /// Whether the model carries anything beyond per-CPI transients.
+    fn has_fleet_consequences(&self) -> bool {
+        !self.fleet.is_empty() || matches!(self.redundancy, Redundancy::Checkpointed { .. })
+    }
+
+    /// Applies fleet-level events (and the steady checkpoint tax) on top
+    /// of the per-CPI transient consequences.
+    ///
+    /// - `ServerLoss` charges a one-off failover stall at its onset CPI
+    ///   and scales every later read by `sf / (sf - lost)`: the surviving
+    ///   stripe servers absorb the dead server's share of each cube.
+    /// - `NodeCrash` consults the provisioned redundancy: a spare is
+    ///   promoted ([`REPLICA_PROMOTE_PERIODS`]), a checkpoint is restored
+    ///   and up to `interval` CPIs replayed, or — bare — every CPI from
+    ///   the crash onward is dropped (the pipeline instance is dead).
+    ///
+    /// `nominal` is the source task's nominal per-CPI time, the unit that
+    /// prices promotion, restore, and replay.
+    fn apply_fleet(
+        &self,
+        cpis: u64,
+        stripe_factor: usize,
+        nominal: f64,
+        faults: &mut [CpiFault],
+        read_scale: &mut [f64],
+    ) {
+        // Steady checkpoint tax, paid at every checkpoint CPI.
+        if let Redundancy::Checkpointed { interval } = self.redundancy {
+            let k = interval.max(1);
+            let mut j = k - 1;
+            while j < cpis {
+                faults[j as usize].extra += CHECKPOINT_COST_FRACTION * nominal;
+                j += k;
+            }
+        }
+        // Server losses: failover stall at onset, degraded reads after.
+        let mut losses: Vec<u64> = self
+            .fleet
+            .iter()
+            .filter_map(|e| match e {
+                FleetEvent::ServerLoss { from, .. } => Some(*from),
+                FleetEvent::NodeCrash { .. } => None,
+            })
+            .collect();
+        losses.sort_unstable();
+        for (nth, &from) in losses.iter().enumerate() {
+            if from < cpis {
+                faults[from as usize].extra += SERVER_FAILOVER_DETECT_FACTOR * self.detect;
+            }
+            // Never scale past "one server left".
+            let lost = (nth + 1).min(stripe_factor.saturating_sub(1));
+            let scale = stripe_factor as f64 / (stripe_factor - lost) as f64;
+            for s in read_scale.iter_mut().skip(from as usize) {
+                *s = scale;
+            }
+        }
+        // Node crashes, in CPI order so spares deplete chronologically.
+        let mut crashes: Vec<u64> = self
+            .fleet
+            .iter()
+            .filter_map(|e| match e {
+                FleetEvent::NodeCrash { at, .. } => Some(*at),
+                FleetEvent::ServerLoss { .. } => None,
+            })
+            .collect();
+        crashes.sort_unstable();
+        let mut spares_left = match self.redundancy {
+            Redundancy::Replicated { spares } => spares,
+            _ => 0,
+        };
+        for at in crashes {
+            if at >= cpis {
+                continue;
+            }
+            match self.redundancy {
+                Redundancy::Replicated { .. } if spares_left > 0 => {
+                    spares_left -= 1;
+                    faults[at as usize].extra += REPLICA_PROMOTE_PERIODS * nominal;
+                }
+                Redundancy::Checkpointed { interval } => {
+                    let replay = at % interval.max(1);
+                    faults[at as usize].extra +=
+                        (CHECKPOINT_RESTORE_PERIODS + replay as f64) * nominal;
+                }
+                // Bare (or spares exhausted): the instance dies and every
+                // CPI from the crash onward is lost.
+                _ => {
+                    for f in faults.iter_mut().skip(at as usize) {
+                        f.dropped = true;
+                    }
+                }
+            }
+        }
+    }
+
     /// Exponential backoff before retry `attempt`, capped like the real
     /// pipeline's `RetryPolicy`.
     fn backoff_for(&self, attempt: u32) -> f64 {
@@ -331,6 +540,10 @@ struct SimState {
     trace: Option<Vec<TraceEntry>>,
     /// Precomputed per-CPI fault consequences (empty = fault-free).
     faults: Vec<CpiFault>,
+    /// Per-CPI read service-time multiplier (empty = all 1.0): after a
+    /// permanent server loss the survivors absorb the dead server's share,
+    /// so every later read is scaled by `sf / (sf - lost)`.
+    read_scale: Vec<f64>,
 }
 
 impl SimState {
@@ -339,12 +552,15 @@ impl SimState {
         t.spatial_preds.len() + if j > 0 { t.temporal_preds.len() } else { 0 }
     }
 
-    /// Posts the whole-file read at `post` and returns its completion time.
-    fn read_done(&mut self, post: SimTime) -> SimTime {
+    /// Posts the whole-file read of CPI `j` at `post` and returns its
+    /// completion time. `read_scale` stretches the service after a
+    /// permanent server loss.
+    fn read_done(&mut self, post: SimTime, j: u64) -> SimTime {
+        let scale = self.read_scale.get(j as usize).copied().unwrap_or(1.0);
         let mut done = post;
         for req in self.io_layout.map_extent(0, self.cube_bytes) {
             let service = SimTime::from_secs_f64(
-                self.io_service_latency + req.len as f64 / self.io_bandwidth,
+                scale * (self.io_service_latency + req.len as f64 / self.io_bandwidth),
             );
             let (_, d) = self.io.submit_to(req.server, post, service);
             done = done.max(d);
@@ -372,7 +588,7 @@ impl SimState {
             DurKind::Fixed(secs) => SimTime::from_secs_f64(secs),
             DurKind::ReadEmbedded { compute, send, overhead, overlap } => {
                 let post = if overlap { self.prev_start[i].unwrap_or(t0) } else { t0 };
-                let read_done = self.read_done(post);
+                let read_done = self.read_done(post, j);
                 let work = if overlap {
                     // iread: the read proceeds concurrently with compute.
                     read_done.max(t0 + SimTime::from_secs_f64(compute))
@@ -712,10 +928,26 @@ impl DesExperiment {
             };
         let source_idx = 0usize; // read task when present, else Doppler
         let sink_idx = n - 1;
-        let faults: Vec<CpiFault> = match &self.faults {
+        let mut faults: Vec<CpiFault> = match &self.faults {
             Some(model) => (0..self.cpis).map(|j| model.consequence(j)).collect(),
             None => Vec::new(),
         };
+        let mut read_scale = Vec::new();
+        if let Some(model) = &self.faults {
+            if model.has_fleet_consequences() {
+                read_scale = vec![1.0f64; self.cpis as usize];
+                // The source task's nominal per-CPI time prices promotion,
+                // restore, and replay in units the pipeline understands.
+                let nominal = tasks[source_idx].phases.total();
+                model.apply_fleet(
+                    self.cpis,
+                    fs.stripe_factor,
+                    nominal,
+                    &mut faults,
+                    &mut read_scale,
+                );
+            }
+        }
         let mut st = SimState {
             remaining: HashMap::new(),
             arrival: HashMap::new(),
@@ -737,6 +969,7 @@ impl DesExperiment {
             sink_idx,
             trace: traced.then(Vec::new),
             faults,
+            read_scale,
             tasks,
         };
         let mut eng = Engine::new();
@@ -1138,13 +1371,7 @@ mod tests {
     }
 
     fn skip_model(source: FaultSource) -> DesFaultModel {
-        DesFaultModel {
-            source,
-            fail_attempts: u32::MAX,
-            detect: 0.001,
-            retry_attempts: 2,
-            backoff: 0.001,
-        }
+        DesFaultModel::transient(source, u32::MAX, 0.001, 2, 0.001)
     }
 
     #[test]
@@ -1221,6 +1448,92 @@ mod tests {
         assert!(light.delivered_throughput < clean.delivered_throughput);
         assert!(heavy.delivered_throughput < light.delivered_throughput);
         assert!(heavy.dropped.len() > light.dropped.len());
+    }
+
+    fn fleet_cell(fleet: Vec<FleetEvent>, redundancy: Redundancy) -> DesResult {
+        let mut exp = DesExperiment::new(
+            MachineModel::paragon(64),
+            IoStrategy::Embedded,
+            TailStructure::Split,
+            50,
+        );
+        let mut model = skip_model(FaultSource::Random { rate: 0.0, seed: 7 });
+        model.fleet = fleet;
+        model.redundancy = redundancy;
+        exp.faults = Some(model);
+        exp.run()
+    }
+
+    #[test]
+    fn bare_node_crash_truncates_the_run() {
+        let clean = fleet_cell(vec![], Redundancy::None);
+        let crashed = fleet_cell(vec![FleetEvent::NodeCrash { node: 3, at: 32 }], Redundancy::None);
+        // Every CPI from the crash onward is lost. Delivered throughput
+        // only shrinks (gap bubbles forward faster than real CPIs, so the
+        // raw slot rate rises — the surviving fraction must still win).
+        assert_eq!(crashed.dropped, (32..64).collect::<Vec<u64>>());
+        assert!(crashed.delivered_throughput < clean.delivered_throughput);
+    }
+
+    #[test]
+    fn replica_promotion_survives_the_crash() {
+        let clean = fleet_cell(vec![], Redundancy::None);
+        let crash = vec![FleetEvent::NodeCrash { node: 3, at: 32 }];
+        let promoted = fleet_cell(crash.clone(), Redundancy::Replicated { spares: 1 });
+        // Nothing dropped: the spare absorbed the crash at a bounded cost.
+        assert!(promoted.dropped.is_empty());
+        assert!(promoted.delivered_throughput > 0.8 * clean.delivered_throughput);
+        // A second crash with only one spare is fatal again.
+        let double = vec![
+            FleetEvent::NodeCrash { node: 3, at: 20 },
+            FleetEvent::NodeCrash { node: 9, at: 40 },
+        ];
+        let exhausted = fleet_cell(double, Redundancy::Replicated { spares: 1 });
+        assert_eq!(exhausted.dropped.first(), Some(&40));
+    }
+
+    #[test]
+    fn checkpoint_replay_is_bounded_by_the_interval() {
+        let crash = vec![FleetEvent::NodeCrash { node: 3, at: 33 }];
+        let tight = fleet_cell(crash.clone(), Redundancy::Checkpointed { interval: 4 });
+        let loose = fleet_cell(crash, Redundancy::Checkpointed { interval: 32 });
+        assert!(tight.dropped.is_empty() && loose.dropped.is_empty());
+        // CPI 33 replays 1 CPI under interval 4 but 1 CPI under interval 32
+        // too (33 % 32 = 1); distinguish via a crash deep into the window.
+        let deep = vec![FleetEvent::NodeCrash { node: 3, at: 31 }];
+        let tight_deep = fleet_cell(deep.clone(), Redundancy::Checkpointed { interval: 4 });
+        let loose_deep = fleet_cell(deep, Redundancy::Checkpointed { interval: 32 });
+        // 31 % 4 = 3 replayed vs 31 % 32 = 31 replayed: the loose interval
+        // pays a much larger recovery stall.
+        assert!(loose_deep.latency > tight_deep.latency);
+    }
+
+    #[test]
+    fn server_loss_degrades_reads_without_dropping_cpis() {
+        let clean = fleet_cell(vec![], Redundancy::None);
+        let lost =
+            fleet_cell(vec![FleetEvent::ServerLoss { server: 5, from: 16 }], Redundancy::None);
+        assert!(lost.dropped.is_empty());
+        // Post-loss reads are served by sf-1 servers: strictly slower.
+        assert!(lost.throughput <= clean.throughput);
+        assert!(lost.latency >= clean.latency);
+    }
+
+    #[test]
+    fn fleet_runs_are_deterministic() {
+        let run = || {
+            fleet_cell(
+                vec![
+                    FleetEvent::ServerLoss { server: 2, from: 10 },
+                    FleetEvent::NodeCrash { node: 1, at: 30 },
+                ],
+                Redundancy::Checkpointed { interval: 8 },
+            )
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.throughput, b.throughput);
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.dropped, b.dropped);
     }
 
     #[test]

@@ -107,13 +107,13 @@ fn des_fraction(io: IoStrategy, rate: f64, seed: u64) -> f64 {
     let clean = des_cell(io, None);
     let faulted = des_cell(
         io,
-        Some(DesFaultModel {
-            source: FaultSource::Random { rate, seed },
-            fail_attempts: u32::MAX,
-            detect: 0.002,
-            retry_attempts: 1,
-            backoff: 0.002,
-        }),
+        Some(DesFaultModel::transient(
+            FaultSource::Random { rate, seed },
+            u32::MAX,
+            0.002,
+            1,
+            0.002,
+        )),
     );
     faulted.delivered_throughput / clean.delivered_throughput
 }
@@ -144,13 +144,13 @@ pub fn recoverable_degradation(rates: &[f64]) -> Vec<RecoverableRow> {
         let clean = des_cell(io, None);
         let faulted = des_cell(
             io,
-            Some(DesFaultModel {
-                source: FaultSource::Random { rate, seed: 1801 },
-                fail_attempts: 1,
-                detect: 0.01,
-                retry_attempts: 2,
-                backoff: 0.01,
-            }),
+            Some(DesFaultModel::transient(
+                FaultSource::Random { rate, seed: 1801 },
+                1,
+                0.01,
+                2,
+                0.01,
+            )),
         );
         faulted.throughput / clean.throughput
     };

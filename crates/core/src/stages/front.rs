@@ -14,7 +14,7 @@ use stap_kernels::doppler::{DopplerConfig, DopplerFilter};
 use stap_pipeline::schedule::block_range;
 use stap_pipeline::stage::{Stage, StageCtx};
 use stap_pipeline::timing::Phase;
-use stap_pipeline::{PendingFetch, PipelineError};
+use stap_pipeline::{PendingFetch, PipelineError, INFRASTRUCTURE_LOSS_MARKER};
 use std::sync::Arc;
 
 /// Byte extent (offset, length) of range gates `[r0, r1)` in a CPI file.
@@ -63,6 +63,14 @@ fn read_with_policy(
     loop {
         match last {
             Ok(bytes) => return Ok(ReadOutcome::Data(bytes)),
+            // Fleet-level infrastructure loss (a stripe server or compute
+            // node gone for good) also aborts on the first observation —
+            // retrying against dead hardware burns the backoff budget for
+            // nothing — but carries the canonical marker so a failover
+            // layer above the pipeline can re-plan instead of giving up.
+            Err(e) if e.is_infrastructure_loss() => {
+                return Err(ctx.fail(format!("{INFRASTRUCTURE_LOSS_MARKER}: {label}: {e}")))
+            }
             // Permanent faults (bad extents, missing files, a closed
             // stream) abort under every policy: retrying or skipping
             // would mask a real bug.

@@ -64,7 +64,11 @@ impl std::error::Error for IngestError {}
 
 impl From<IngestError> for SourceError {
     fn from(e: IngestError) -> Self {
-        SourceError { transient: e.is_transient(), detail: e.to_string() }
+        SourceError {
+            transient: e.is_transient(),
+            infrastructure_loss: false,
+            detail: e.to_string(),
+        }
     }
 }
 

@@ -9,7 +9,11 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 fn pfs_error(e: PfsError) -> SourceError {
-    SourceError { transient: e.is_transient(), detail: e.to_string() }
+    SourceError {
+        transient: e.is_transient(),
+        infrastructure_loss: e.is_infrastructure_loss(),
+        detail: e.to_string(),
+    }
 }
 
 /// The classic path: CPI cubes read from round-robin staging files on
@@ -124,10 +128,10 @@ impl StreamSource {
     fn slice(bytes: &Arc<Vec<u8>>, offset: u64, len: usize) -> Result<Vec<u8>, SourceError> {
         let off = offset as usize;
         if off + len > bytes.len() {
-            return Err(SourceError {
-                transient: false,
-                detail: format!("stream extent {off}+{len} outside the {}-byte cube", bytes.len()),
-            });
+            return Err(SourceError::permanent(format!(
+                "stream extent {off}+{len} outside the {}-byte cube",
+                bytes.len()
+            )));
         }
         Ok(bytes[off..off + len].to_vec())
     }
@@ -165,10 +169,9 @@ impl CpiSource for StreamSource {
                     return Self::slice(&bytes, offset, len);
                 }
                 if cpi < st.next_delivery {
-                    return Err(SourceError {
-                        transient: false,
-                        detail: format!("CPI {cpi} already fully consumed from the stream"),
-                    });
+                    return Err(SourceError::permanent(format!(
+                        "CPI {cpi} already fully consumed from the stream"
+                    )));
                 }
             }
             // The cube hasn't been delivered yet: pop under the pop lock

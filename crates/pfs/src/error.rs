@@ -39,6 +39,24 @@ pub enum PfsError {
         /// Root-cause description from the plan.
         detail: String,
     },
+    /// A stripe server was permanently lost (fleet-level fault): every
+    /// future read touching its stripes fails. Terminal — retrying the same
+    /// server is futile; recovery means failing over to a degraded layout.
+    ServerLost {
+        /// Index of the lost stripe server.
+        server: usize,
+        /// CPI at which the read observed the loss.
+        cpi: u64,
+    },
+    /// The compute node hosting the reader crashed mid-CPI (fleet-level
+    /// fault). Terminal for this pipeline instance — recovery means replica
+    /// promotion or checkpoint restart, not a retry on the dead node.
+    NodeLost {
+        /// Index of the crashed node.
+        node: usize,
+        /// CPI in flight when the node died.
+        cpi: u64,
+    },
 }
 
 impl PfsError {
@@ -53,6 +71,15 @@ impl PfsError {
                 | PfsError::Injected { .. }
                 | PfsError::WorkerFailed(_)
         )
+    }
+
+    /// True for permanent fleet-level infrastructure loss
+    /// ([`PfsError::ServerLost`] / [`PfsError::NodeLost`]): the resource is
+    /// gone for the rest of the run, so retry policies must stop
+    /// immediately and hand the error to a failover layer instead of
+    /// burning their backoff budget.
+    pub fn is_infrastructure_loss(&self) -> bool {
+        matches!(self, PfsError::ServerLost { .. } | PfsError::NodeLost { .. })
     }
 }
 
@@ -71,6 +98,12 @@ impl fmt::Display for PfsError {
             PfsError::WriteFaulted(name) => write!(f, "injected write fault on file: {name}"),
             PfsError::Injected { file, cpi, attempt, detail } => {
                 write!(f, "injected fault reading {file} (CPI {cpi}, attempt {attempt}): {detail}")
+            }
+            PfsError::ServerLost { server, cpi } => {
+                write!(f, "stripe server {server} permanently lost (observed at CPI {cpi})")
+            }
+            PfsError::NodeLost { node, cpi } => {
+                write!(f, "compute node {node} crashed (CPI {cpi} in flight)")
             }
         }
     }
@@ -112,5 +145,20 @@ mod tests {
         assert!(!PfsError::NoSuchFile("a".into()).is_transient());
         assert!(!PfsError::OutOfBounds { offset: 0, len: 1, size: 0 }.is_transient());
         assert!(!PfsError::AsyncUnsupported.is_transient());
+    }
+
+    #[test]
+    fn infrastructure_loss_is_permanent_and_typed() {
+        let s = PfsError::ServerLost { server: 3, cpi: 2 };
+        let n = PfsError::NodeLost { node: 7, cpi: 1 };
+        // Terminal: a retry policy must not burn backoff budget on these.
+        assert!(!s.is_transient() && !n.is_transient());
+        assert!(s.is_infrastructure_loss() && n.is_infrastructure_loss());
+        assert!(!PfsError::Faulted("a".into()).is_infrastructure_loss());
+        assert!(!PfsError::NoSuchFile("a".into()).is_infrastructure_loss());
+        let sd = format!("{s}");
+        assert!(sd.contains("server 3") && sd.contains("permanently lost"), "{sd}");
+        let nd = format!("{n}");
+        assert!(nd.contains("node 7") && nd.contains("crashed"), "{nd}");
     }
 }

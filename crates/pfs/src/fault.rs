@@ -96,6 +96,26 @@ pub enum Fault {
         /// Affected CPIs.
         window: FaultWindow,
     },
+    /// Fleet-level: stripe server `server` is *permanently* lost from CPI
+    /// `from` onward. Unlike [`Fault::ServerUnavailable`] this never
+    /// recovers and the decision is terminal ([`ReadDecision::Lost`]) —
+    /// retries are futile; only failover to a degraded layout helps.
+    ServerLoss {
+        /// Stripe-server index (0-based).
+        server: usize,
+        /// First CPI at which the server is gone.
+        from: u64,
+    },
+    /// Fleet-level: the compute node hosting the reader crashes mid-CPI
+    /// during the window. Every read issued in the window fails terminally
+    /// ([`ReadDecision::Lost`]) — the pipeline instance on that node is
+    /// dead; recovery means replica promotion or checkpoint restart.
+    NodeCrash {
+        /// Crashed node index (0-based).
+        node: usize,
+        /// CPIs during which the node is down.
+        window: FaultWindow,
+    },
 }
 
 impl Fault {
@@ -105,9 +125,26 @@ impl Fault {
             | Fault::ServerUnavailable { window, .. }
             | Fault::Transient { window, .. }
             | Fault::Flaky { window, .. }
-            | Fault::SlowRead { window, .. } => *window,
+            | Fault::SlowRead { window, .. }
+            | Fault::NodeCrash { window, .. } => *window,
+            Fault::ServerLoss { from, .. } => FaultWindow { from: *from, until: u64::MAX },
         }
     }
+
+    /// True for permanent fleet-level faults (server loss, node crash):
+    /// their read decisions are terminal, never retryable.
+    pub fn is_fleet_level(&self) -> bool {
+        matches!(self, Fault::ServerLoss { .. } | Fault::NodeCrash { .. })
+    }
+}
+
+/// Which piece of fleet infrastructure a terminal read decision lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LostUnit {
+    /// A stripe server of the shared store.
+    Server(usize),
+    /// A compute node of the pool.
+    Node(usize),
 }
 
 /// What the plan decided for one read attempt.
@@ -123,6 +160,13 @@ pub enum ReadDecision {
     Fail {
         /// Root-cause description (fault kind and window).
         detail: String,
+    },
+    /// The read fails *permanently*: fleet infrastructure is gone and no
+    /// retry can clear it. Maps to [`crate::PfsError::ServerLost`] /
+    /// [`crate::PfsError::NodeLost`].
+    Lost {
+        /// What was lost.
+        unit: LostUnit,
     },
 }
 
@@ -249,6 +293,14 @@ impl FaultPlan {
                         delay += *d;
                     }
                 }
+                Fault::ServerLoss { server, .. } => {
+                    if servers.contains(server) {
+                        return ReadDecision::Lost { unit: LostUnit::Server(*server) };
+                    }
+                }
+                Fault::NodeCrash { node, .. } => {
+                    return ReadDecision::Lost { unit: LostUnit::Node(*node) };
+                }
             }
         }
         ReadDecision::Proceed { delay }
@@ -262,6 +314,10 @@ impl FaultPlan {
     /// * `transient:NAME:K@A..B` — first `K` attempts of each read fail.
     /// * `flaky:NAME:P@A..B` — each attempt fails with probability `P`.
     /// * `slow:NAME:MS@A..B` — reads take an extra `MS` milliseconds.
+    /// * `server-loss:IDX@T` — stripe server `IDX` permanently lost from
+    ///   CPI `T` onward (terminal, not retryable).
+    /// * `node:IDX@A..B` — compute node `IDX` crashes for CPIs `[A, B)`;
+    ///   reads issued in the window fail terminally.
     pub fn parse(spec: &str, seed: u64) -> Result<Self, String> {
         let mut plan = FaultPlan::new(seed);
         for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
@@ -305,6 +361,21 @@ fn split_spec(part: &str) -> (&str, FaultWindow, Result<(), String>) {
 }
 
 fn parse_fault(part: &str) -> Result<Fault, String> {
+    // `server-loss:IDX@T` takes a single onset CPI, not an A..B window, so
+    // it is handled before the generic window split.
+    if let Some(rest) = part.strip_prefix("server-loss:") {
+        let (idx, from) = match rest.split_once('@') {
+            Some((idx, t)) => {
+                let t = t.strip_suffix("..").unwrap_or(t);
+                let from =
+                    t.parse::<u64>().map_err(|_| format!("bad server-loss onset CPI '{t}'"))?;
+                (idx, from)
+            }
+            None => (rest, 0),
+        };
+        let server = idx.parse::<usize>().map_err(|_| format!("bad server index '{idx}'"))?;
+        return Ok(Fault::ServerLoss { server, from });
+    }
     let (head, window, wres) = split_spec(part);
     wres?;
     let (kind, rest) =
@@ -339,9 +410,13 @@ fn parse_fault(part: &str) -> Result<Fault, String> {
             let ms = ms.parse::<u64>().map_err(|_| format!("bad delay '{ms}' (ms)"))?;
             Ok(Fault::SlowRead { file: file.to_string(), delay: Duration::from_millis(ms), window })
         }
-        other => {
-            Err(format!("unknown fault kind '{other}' (expected file|server|transient|flaky|slow)"))
+        "node" => {
+            let idx = rest.parse::<usize>().map_err(|_| format!("bad node index '{rest}'"))?;
+            Ok(Fault::NodeCrash { node: idx, window })
         }
+        other => Err(format!(
+            "unknown fault kind '{other}' (expected file|server|transient|flaky|slow|server-loss|node)"
+        )),
     }
 }
 
@@ -452,6 +527,62 @@ mod tests {
                 window: FaultWindow::always()
             }
         );
+    }
+
+    #[test]
+    fn server_loss_is_permanent_and_terminal() {
+        let plan = FaultPlan::new(1).with(Fault::ServerLoss { server: 2, from: 3 });
+        assert!(!fail(&plan.read_decision("x", 2, 0, &[0, 1, 2])), "before onset");
+        assert_eq!(
+            plan.read_decision("x", 3, 0, &[0, 1, 2]),
+            ReadDecision::Lost { unit: LostUnit::Server(2) }
+        );
+        assert_eq!(
+            plan.read_decision("x", 999, 9, &[2]),
+            ReadDecision::Lost { unit: LostUnit::Server(2) },
+            "never recovers, regardless of retries"
+        );
+        assert!(!fail(&plan.read_decision("x", 5, 0, &[0, 1, 3])), "other servers unaffected");
+        assert!(plan.faults()[0].is_fleet_level());
+    }
+
+    #[test]
+    fn node_crash_kills_reads_in_its_window() {
+        let plan =
+            FaultPlan::new(1).with(Fault::NodeCrash { node: 7, window: FaultWindow::new(2, 4) });
+        assert!(!fail(&plan.read_decision("a", 1, 0, &[])));
+        assert_eq!(
+            plan.read_decision("a", 2, 0, &[]),
+            ReadDecision::Lost { unit: LostUnit::Node(7) }
+        );
+        assert_eq!(
+            plan.read_decision("b", 3, 5, &[]),
+            ReadDecision::Lost { unit: LostUnit::Node(7) },
+            "any file, any attempt: the reader node is dead"
+        );
+        assert!(!fail(&plan.read_decision("a", 4, 0, &[])), "window closed (node replaced)");
+        assert!(plan.faults()[0].is_fleet_level());
+        assert!(!Fault::FileUnavailable { file: "a".into(), window: FaultWindow::always() }
+            .is_fleet_level());
+    }
+
+    #[test]
+    fn fleet_specs_parse() {
+        let plan = FaultPlan::parse("server-loss:3@2, node:1@0..2", 5).unwrap();
+        assert_eq!(plan.faults()[0], Fault::ServerLoss { server: 3, from: 2 });
+        assert_eq!(plan.faults()[1], Fault::NodeCrash { node: 1, window: FaultWindow::new(0, 2) });
+        // Onset defaults to CPI 0; a trailing `..` is tolerated.
+        assert_eq!(
+            FaultPlan::parse("server-loss:0", 0).unwrap().faults()[0],
+            Fault::ServerLoss { server: 0, from: 0 }
+        );
+        assert_eq!(
+            FaultPlan::parse("server-loss:0@4..", 0).unwrap().faults()[0],
+            Fault::ServerLoss { server: 0, from: 4 }
+        );
+        assert!(FaultPlan::parse("server-loss:x@1", 0).unwrap_err().contains("server index"));
+        assert!(FaultPlan::parse("server-loss:0@soon", 0).unwrap_err().contains("onset"));
+        assert!(FaultPlan::parse("node:x@0..2", 0).unwrap_err().contains("node index"));
     }
 
     #[test]

@@ -307,6 +307,15 @@ impl FileHandle {
                         detail,
                     });
                 }
+                ReadDecision::Lost { unit } => {
+                    self.fs.inner.stats.count_injected_failure();
+                    return Err(match unit {
+                        crate::fault::LostUnit::Server(server) => {
+                            PfsError::ServerLost { server, cpi }
+                        }
+                        crate::fault::LostUnit::Node(node) => PfsError::NodeLost { node, cpi },
+                    });
+                }
                 ReadDecision::Proceed { delay } => {
                     if !delay.is_zero() {
                         std::thread::sleep(delay);

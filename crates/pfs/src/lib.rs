@@ -50,7 +50,7 @@ pub mod timing;
 
 pub use config::{FsConfig, OpenMode, StripeConfig};
 pub use error::PfsError;
-pub use fault::{Fault, FaultPlan, FaultWindow};
+pub use fault::{Fault, FaultPlan, FaultWindow, LostUnit};
 pub use file::{FileHandle, Pfs};
 pub use layout::{StripeLayout, StripeRequest};
 pub use stats::{IoCounters, IoStats};

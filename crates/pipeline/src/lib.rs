@@ -35,7 +35,7 @@ pub mod watchdog;
 
 pub use error::PipelineError;
 pub use runner::{Pipeline, StageFactory};
-pub use source::{CpiSource, PendingFetch, SourceError};
+pub use source::{CpiSource, PendingFetch, SourceError, INFRASTRUCTURE_LOSS_MARKER};
 pub use stage::{Stage, StageCtx};
 pub use stap_trace::ClockSpec;
 pub use timing::{Phase, PipelineReport};

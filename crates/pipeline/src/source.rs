@@ -9,6 +9,13 @@
 
 use stap_trace::Phase;
 
+/// Canonical prefix stamped onto pipeline failure messages caused by a
+/// permanent fleet-level loss (stripe server or compute node gone for
+/// good). Failover layers above the pipeline — which only see the flat
+/// error string of a dead worker — match on this marker to distinguish
+/// "re-plan on the degraded pool" from "the data itself is bad, abort".
+pub const INFRASTRUCTURE_LOSS_MARKER: &str = "infrastructure loss";
+
 /// Why a fetch from a CPI source failed.
 ///
 /// Deliberately minimal: the concrete error taxonomies live with their
@@ -22,12 +29,31 @@ pub struct SourceError {
     /// Whether a retry could plausibly succeed (mirrors
     /// `PfsError::is_transient` / `IngestError::is_transient`).
     pub transient: bool,
+    /// Whether the failure is a permanent fleet-level infrastructure loss
+    /// (mirrors `PfsError::is_infrastructure_loss`: a stripe server or
+    /// compute node is gone for the rest of the run). Terminal like any
+    /// non-transient error, but additionally a signal for the *failover*
+    /// layer above the pipeline: the mission can still complete on a
+    /// degraded pool, so executors should re-plan rather than abort.
+    pub infrastructure_loss: bool,
 }
 
 impl SourceError {
+    /// A permanent (non-retryable) failure that is not a fleet-level loss.
+    pub fn permanent(detail: impl Into<String>) -> Self {
+        SourceError { detail: detail.into(), transient: false, infrastructure_loss: false }
+    }
+
     /// Whether a retry could plausibly succeed.
     pub fn is_transient(&self) -> bool {
         self.transient
+    }
+
+    /// Whether the failure is a permanent fleet-level infrastructure loss
+    /// that a failover layer could survive by re-planning on the degraded
+    /// pool (as opposed to a data error that no re-plan can fix).
+    pub fn is_infrastructure_loss(&self) -> bool {
+        self.infrastructure_loss
     }
 }
 
@@ -86,7 +112,7 @@ mod tests {
         fn fetch(&self, _cpi: u64, offset: u64, len: usize) -> Result<Vec<u8>, SourceError> {
             let off = offset as usize;
             if off + len > self.0.len() {
-                return Err(SourceError { detail: "out of range".into(), transient: false });
+                return Err(SourceError::permanent("out of range"));
             }
             Ok(self.0[off..off + len].to_vec())
         }

@@ -10,9 +10,12 @@
 //! metrics, recording the analytic-vs-DES disagreement per plan.
 
 use crate::pareto::pareto_split;
-use crate::plan::{Metrics, Outcome, Plan, PlanOrigin, SearchReport, SearchStats, SlaOutcome};
+use crate::plan::{
+    Metrics, Outcome, Plan, PlanOrigin, ReliabilityOutcome, SearchReport, SearchStats, SlaOutcome,
+};
+use crate::reliability::{assess, crash_schedule, redundancy_options, FaultContext};
 use crate::search::search_structure;
-use stap_core::desmodel::DesExperiment;
+use stap_core::desmodel::{DesExperiment, DesFaultModel, FaultSource, Redundancy};
 use stap_core::io_strategy::{IoStrategy, TailStructure};
 use stap_model::assignment::{assign_nodes, pack_classes, SEPARATE_IO_NODES};
 use stap_model::machines::MachineModel;
@@ -53,6 +56,14 @@ pub struct PlannerConfig {
     /// names the max-throughput front plan meeting the bound (or explains
     /// why none does).
     pub max_latency: Option<f64>,
+    /// Fault environment: when set, every base candidate is expanded with
+    /// the redundancy menu, scored on *expected delivered* throughput and
+    /// mission survival (the third Pareto axis), and DES validation runs
+    /// against a representative crash schedule.
+    pub fault: Option<FaultContext>,
+    /// Failure-probability bound: when set (with `fault`), the report
+    /// additionally names the best plan with `1 - survival ≤ bound`.
+    pub max_failure_prob: Option<f64>,
 }
 
 impl PlannerConfig {
@@ -71,6 +82,8 @@ impl PlannerConfig {
             des_cpis: 64,
             des_warmup: 8,
             max_latency: None,
+            fault: None,
+            max_failure_prob: None,
         }
     }
 
@@ -83,6 +96,18 @@ impl PlannerConfig {
     /// Plans under a latency SLA of `seconds`.
     pub fn with_max_latency(mut self, seconds: f64) -> Self {
         self.max_latency = Some(seconds);
+        self
+    }
+
+    /// Plans fault-aware under a per-node per-CPI crash probability.
+    pub fn with_fault_rate(mut self, rate: f64) -> Self {
+        self.fault = Some(FaultContext::new(rate));
+        self
+    }
+
+    /// Requires `1 - survival ≤ bound` of the recommended plan.
+    pub fn with_max_failure_prob(mut self, bound: f64) -> Self {
+        self.max_failure_prob = Some(bound);
         self
     }
 }
@@ -147,6 +172,17 @@ pub fn plan(cfg: &PlannerConfig) -> SearchReport {
                     separate_io: io == IoStrategy::SeparateTask,
                     combined_tail: tail == TailStructure::Combined,
                 };
+                // Under a fault model every base candidate expands with the
+                // redundancy menu; dominance pruning then discards the
+                // pairings the fault rate does not justify. The expansion
+                // preserves the DP bounds' admissibility: a variant's
+                // delivered throughput never exceeds the base throughput
+                // (`delivered_factor ≤ 1`), so `bound_bottleneck ≤
+                // 1/base_tp ≤ 1/variant_tp` still holds.
+                let redundancies = match &cfg.fault {
+                    Some(_) => redundancy_options(),
+                    None => vec![Redundancy::None],
+                };
                 for (a, sf, origin, bound) in pool {
                     // Materialize the chosen stripe factor and pack the
                     // assignment onto the machine's node classes before
@@ -163,24 +199,35 @@ pub fn plan(cfg: &PlannerConfig) -> SearchReport {
                     stats.exact_evals += 1;
                     let compute_nodes = a.total();
                     let readers = if structure.separate_io { SEPARATE_IO_NODES } else { 0 };
-                    plans.push(Plan {
-                        id: plans.len(),
-                        machine: msf.name.clone(),
-                        stripe_factor: sf,
-                        io,
-                        tail,
-                        origin,
-                        assignment: a,
-                        compute_nodes,
-                        total_nodes: compute_nodes + readers,
-                        bound_bottleneck: bound.map(|b| b.0),
-                        bound_latency: bound.map(|b| b.1),
-                        analytic: Metrics { throughput: pred.throughput, latency: pred.latency },
-                        des: None,
-                        des_error_pct: None,
-                        outcome: Outcome::Front, // provisional
-                    });
-                    plan_machine.push(msf);
+                    for &redundancy in &redundancies {
+                        let analytic = match &cfg.fault {
+                            Some(ctx) => {
+                                let s = assess(ctx, compute_nodes + readers, redundancy);
+                                Metrics::new(pred.throughput * s.delivered_factor, pred.latency)
+                                    .with_reliability(s.survival)
+                            }
+                            None => Metrics::new(pred.throughput, pred.latency),
+                        };
+                        plans.push(Plan {
+                            id: plans.len(),
+                            machine: msf.name.clone(),
+                            stripe_factor: sf,
+                            io,
+                            tail,
+                            origin,
+                            assignment: a.clone(),
+                            compute_nodes,
+                            total_nodes: compute_nodes + readers + redundancy.spare_nodes(),
+                            redundancy,
+                            bound_bottleneck: bound.map(|b| b.0),
+                            bound_latency: bound.map(|b| b.1),
+                            analytic,
+                            des: None,
+                            des_error_pct: None,
+                            outcome: Outcome::Front, // provisional
+                        });
+                        plan_machine.push(msf.clone());
+                    }
                 }
             }
         }
@@ -209,9 +256,22 @@ pub fn plan(cfg: &PlannerConfig) -> SearchReport {
             exp.cpis = cfg.des_cpis;
             exp.warmup = cfg.des_warmup;
             exp.assignment_override = Some(plans[i].assignment.clone());
+            // Fault-aware validation: every plan faces the *same*
+            // representative crash schedule; only its redundancy differs,
+            // so delivered throughput isolates the redundancy choice.
+            if let Some(ctx) = &cfg.fault {
+                let mut model =
+                    DesFaultModel::transient(FaultSource::Windows(Vec::new()), 0, 0.002, 0, 0.002);
+                model.fleet = crash_schedule(ctx, plans[i].total_nodes, cfg.des_cpis);
+                model.redundancy = plans[i].redundancy;
+                exp.faults = Some(model);
+            }
             let r = exp.run();
             stats.des_evals += 1;
-            let des = Metrics { throughput: r.throughput, latency: r.latency };
+            // Under a fault model the DES metric of record is *delivered*
+            // throughput — what actually survives the crash schedule.
+            let tp = if cfg.fault.is_some() { r.delivered_throughput } else { r.throughput };
+            let des = Metrics::new(tp, r.latency).with_reliability(plans[i].analytic.reliability);
             plans[i].des = Some(des);
             plans[i].des_error_pct = Some(
                 (des.throughput - plans[i].analytic.throughput).abs()
@@ -266,7 +326,51 @@ pub fn plan(cfg: &PlannerConfig) -> SearchReport {
         SlaOutcome { max_latency, feasible_ids, best_id, infeasible }
     });
 
-    SearchReport { budget: cfg.compute_nodes, plans, front_ids, stats, sla }
+    // Reliability stage: filter the front against the failure-probability
+    // bound. As with the SLA, the front suffices — a reliable off-front
+    // plan is dominated by a front plan at least as reliable.
+    let fault = cfg.fault.as_ref().map(|ctx| {
+        let bound = cfg.max_failure_prob;
+        let feasible_ids: Vec<usize> = front_ids
+            .iter()
+            .copied()
+            .filter(|&i| bound.is_none_or(|b| 1.0 - plans[i].ranked().reliability <= b))
+            .collect();
+        let best_id = feasible_ids.first().copied();
+        let infeasible = if best_id.is_some() {
+            None
+        } else {
+            let sturdiest = front_ids
+                .iter()
+                .copied()
+                .max_by(|&a, &b| {
+                    plans[a]
+                        .ranked()
+                        .reliability
+                        .partial_cmp(&plans[b].ranked().reliability)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("front nonempty");
+            let rel = plans[sturdiest].ranked().reliability;
+            Some(format!(
+                "no front plan keeps failure probability within {}; sturdiest is #{sturdiest} \
+                 ({}, {}) at {:.6}",
+                bound.unwrap_or(0.0),
+                plans[sturdiest].machine,
+                plans[sturdiest].redundancy.label(),
+                1.0 - rel,
+            ))
+        };
+        ReliabilityOutcome {
+            fault_rate: ctx.fault_rate,
+            max_failure_prob: bound,
+            feasible_ids,
+            best_id,
+            infeasible,
+        }
+    });
+
+    SearchReport { budget: cfg.compute_nodes, plans, front_ids, stats, sla, fault }
 }
 
 #[cfg(test)]
@@ -437,6 +541,124 @@ mod tests {
                 assert!(report.plans[i].ranked().throughput <= best.ranked().throughput + 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn fault_free_plans_carry_no_redundancy_and_unit_reliability() {
+        let report = plan(&small_cfg().without_des());
+        assert!(report.fault.is_none());
+        for p in &report.plans {
+            assert_eq!(p.redundancy, Redundancy::None);
+            assert_eq!(p.analytic.reliability, 1.0);
+        }
+    }
+
+    #[test]
+    fn fault_rate_expands_the_menu_and_keeps_bounds_admissible() {
+        let report = plan(&small_cfg().without_des().with_fault_rate(1e-4));
+        let menus: std::collections::BTreeSet<String> =
+            report.plans.iter().map(|p| p.redundancy.label()).collect();
+        assert!(menus.len() >= 4, "redundancy menu explored: {menus:?}");
+        for p in &report.plans {
+            assert!(p.analytic.reliability > 0.0 && p.analytic.reliability <= 1.0);
+            // Spares show up in what admission must reserve.
+            assert!(p.total_nodes >= p.compute_nodes + p.redundancy.spare_nodes());
+            // Expansion preserves the DP bounds: delivered ≤ healthy
+            // throughput, so the bottleneck bound stays a lower bound.
+            if let Some(bb) = p.bound_bottleneck {
+                assert!(
+                    bb <= 1.0 / p.analytic.throughput + 1e-12,
+                    "#{}: bound {bb} > 1/delivered {}",
+                    p.id,
+                    1.0 / p.analytic.throughput
+                );
+            }
+        }
+        let outcome = report.fault.as_ref().expect("fault-aware run records the outcome");
+        assert_eq!(outcome.fault_rate, 1e-4);
+        assert_eq!(outcome.feasible_ids, report.front_ids, "no bound keeps the whole front");
+    }
+
+    #[test]
+    fn max_failure_prob_picks_a_surviving_plan_or_explains() {
+        let base = small_cfg().without_des().with_fault_rate(2e-4);
+        let strict = plan(&base.clone().with_max_failure_prob(0.05));
+        let outcome = strict.fault.as_ref().expect("requested");
+        let best = strict.best_surviving().expect("checkpointed plans always satisfy the bound");
+        assert!(1.0 - best.ranked().reliability <= 0.05);
+        for &i in &outcome.feasible_ids {
+            assert!(
+                strict.plans[i].ranked().throughput <= best.ranked().throughput + 1e-12,
+                "best surviving is max delivered throughput"
+            );
+        }
+        // An impossible bound is explained, not silently dropped.
+        let impossible = plan(&base.with_max_failure_prob(-1.0));
+        let outcome = impossible.fault.as_ref().expect("requested");
+        assert!(outcome.best_id.is_none());
+        let why = outcome.infeasible.as_ref().expect("explained");
+        assert!(why.contains("sturdiest"), "{why}");
+    }
+
+    #[test]
+    fn redundant_plan_dominates_fault_oblivious_on_delivered_throughput() {
+        // The acceptance criterion: under the fault-aware DES, at least one
+        // replicated/checkpointed front plan beats the best bare plan on
+        // delivered throughput — redundancy pays for itself once node
+        // crashes are real. The DES horizon matches the analytic mission
+        // length (256 CPIs) so a bare plan's truncation at the first crash
+        // costs it most of the mission, as the survival model prices.
+        let mut cfg = PlannerConfig::new(vec![MachineModel::paragon(64)], 50)
+            .with_fault_rate(8e-4)
+            .with_max_failure_prob(0.5);
+        cfg.beam_width = 12;
+        cfg.per_structure = 6;
+        cfg.des_cpis = 256;
+        cfg.des_warmup = 8;
+        let report = plan(&cfg);
+        // Redundancy improves expected delivered throughput whenever the
+        // rate is non-trivial, so every bare pairing is analytically
+        // dominated and never reaches DES validation — run the
+        // fault-oblivious plan through the same fault-aware DES by hand.
+        let ctx = cfg.fault.expect("fault-aware");
+        let rec = report.best_surviving().expect("bound satisfiable");
+        assert_ne!(rec.redundancy, Redundancy::None, "recommended plan provisions redundancy");
+        let best_redundant = rec.des.expect("front plans are DES-validated").throughput;
+        let bare = report
+            .plans
+            .iter()
+            .filter(|p| p.redundancy == Redundancy::None)
+            .max_by(|a, b| {
+                a.analytic
+                    .throughput
+                    .partial_cmp(&b.analytic.throughput)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("bare pairings evaluated");
+        assert!(
+            matches!(bare.outcome, Outcome::DominatedAnalytic { .. }),
+            "bare plans are analytically dominated under this rate"
+        );
+        let mut exp = DesExperiment::new(
+            MachineModel::paragon(64).with_stripe_factor(bare.stripe_factor),
+            bare.io,
+            bare.tail,
+            bare.compute_nodes,
+        );
+        exp.shape = cfg.shape;
+        exp.cpis = cfg.des_cpis;
+        exp.warmup = cfg.des_warmup;
+        exp.assignment_override = Some(bare.assignment.clone());
+        let mut model =
+            DesFaultModel::transient(FaultSource::Windows(Vec::new()), 0, 0.002, 0, 0.002);
+        model.fleet = crash_schedule(&ctx, bare.total_nodes, cfg.des_cpis);
+        model.redundancy = Redundancy::None;
+        exp.faults = Some(model);
+        let bare_delivered = exp.run().delivered_throughput;
+        assert!(
+            best_redundant > bare_delivered,
+            "redundant {best_redundant} must beat bare {bare_delivered} on delivered throughput"
+        );
     }
 
     #[test]

@@ -23,6 +23,15 @@
 //! 3. **Reporting** ([`plan`] types, [`report`]): [`Plan`]/[`SearchReport`]
 //!    with per-candidate [`Outcome`] provenance, a text table, and JSON.
 //!
+//! With a fault rate ([`PlannerConfig::with_fault_rate`]) the search turns
+//! **tri-criteria**: each candidate is expanded with a redundancy menu
+//! (warm replicas, checkpoint intervals — [`reliability`]), scored on
+//! expected *delivered* throughput and mission-survival probability, and
+//! the Pareto front spans throughput × latency × reliability. DES
+//! validation then replays every survivor against the same representative
+//! crash schedule, so a replicated plan's edge over a fault-oblivious one
+//! is measured, not asserted.
+//!
 //! ```
 //! use stap_model::machines::MachineModel;
 //! use stap_planner::{plan, PlannerConfig};
@@ -37,10 +46,14 @@
 pub mod evaluate;
 pub mod pareto;
 pub mod plan;
+pub mod reliability;
 pub mod report;
 mod search;
 
 pub use evaluate::{plan, PlannerConfig};
 pub use pareto::pareto_split;
-pub use plan::{Metrics, Outcome, Plan, PlanOrigin, SearchReport, SearchStats, SlaOutcome};
+pub use plan::{
+    Metrics, Outcome, Plan, PlanOrigin, ReliabilityOutcome, SearchReport, SearchStats, SlaOutcome,
+};
+pub use reliability::FaultContext;
 pub use report::{render_text, to_json};

@@ -13,8 +13,9 @@ use crate::plan::Metrics;
 /// are attributed to it.
 pub fn pareto_split(points: &[Metrics]) -> (Vec<usize>, Vec<Option<usize>>) {
     let mut order: Vec<usize> = (0..points.len()).collect();
-    // Descending throughput; ties broken by ascending latency then index so
-    // duplicates resolve to the lowest index.
+    // Descending throughput; ties broken by ascending latency, then
+    // descending reliability, then index so duplicates resolve to the
+    // lowest index.
     order.sort_by(|&a, &b| {
         points[b]
             .throughput
@@ -26,20 +27,29 @@ pub fn pareto_split(points: &[Metrics]) -> (Vec<usize>, Vec<Option<usize>>) {
                     .partial_cmp(&points[b].latency)
                     .unwrap_or(std::cmp::Ordering::Equal),
             )
+            .then(
+                points[b]
+                    .reliability
+                    .partial_cmp(&points[a].reliability)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
             .then(a.cmp(&b))
     });
     let mut front: Vec<usize> = Vec::new();
     let mut dominated_by: Vec<Option<usize>> = vec![None; points.len()];
     for &i in &order {
-        // Scanning in descending throughput, a point is dominated iff some
-        // already-accepted front point has latency ≤ ours (dominance needs
-        // ≥ throughput AND ≤ latency; every accepted point has ≥ throughput)
-        // — except an exact metric twin, which still counts as dominated
-        // here so duplicates collapse onto one representative.
+        // Scanning in descending throughput, every already-accepted point
+        // has throughput ≥ ours, so the full `dominates` check (which also
+        // compares latency and reliability) is sound: an accepted point can
+        // never itself be dominated by a later one — that would need equal
+        // throughput, equal latency, and equal reliability, i.e. an exact
+        // metric twin, which still counts as dominated here so duplicates
+        // collapse onto one representative.
         let dominator = front.iter().copied().find(|&j| {
             points[j].dominates(&points[i])
                 || (points[j].throughput == points[i].throughput
-                    && points[j].latency == points[i].latency)
+                    && points[j].latency == points[i].latency
+                    && points[j].reliability == points[i].reliability)
         });
         match dominator {
             Some(j) => dominated_by[i] = Some(j),
@@ -54,7 +64,11 @@ mod tests {
     use super::*;
 
     fn m(tp: f64, lat: f64) -> Metrics {
-        Metrics { throughput: tp, latency: lat }
+        Metrics::new(tp, lat)
+    }
+
+    fn m3(tp: f64, lat: f64, rel: f64) -> Metrics {
+        Metrics::new(tp, lat).with_reliability(rel)
     }
 
     #[test]
@@ -93,6 +107,26 @@ mod tests {
         assert_eq!(front, vec![0]);
         assert_eq!(dom[1], Some(0));
         assert_eq!(dom[2], Some(0));
+    }
+
+    #[test]
+    fn third_axis_keeps_reliable_slow_points_on_the_front() {
+        // A slower-but-surviving point is incomparable with a faster
+        // fragile one; under 2D it would have been pruned.
+        let pts = [m3(3.0, 1.0, 0.4), m3(2.0, 1.0, 0.99), m3(1.5, 1.0, 0.5)];
+        let (front, dom) = pareto_split(&pts);
+        assert_eq!(front, vec![0, 1]);
+        // #2 is slower AND less reliable than #1: genuinely dominated.
+        assert_eq!(dom[2], Some(1));
+    }
+
+    #[test]
+    fn reliability_twins_collapse_and_lower_rel_is_dominated() {
+        let pts = [m3(1.0, 1.0, 0.9), m3(1.0, 1.0, 0.9), m3(1.0, 1.0, 0.2)];
+        let (front, dom) = pareto_split(&pts);
+        assert_eq!(front, vec![0]);
+        assert_eq!(dom[1], Some(0), "exact twins collapse to the lowest index");
+        assert_eq!(dom[2], Some(0), "same tp/lat, lower reliability is dominated");
     }
 
     #[test]

@@ -1,24 +1,48 @@
 //! Plan, metrics, and provenance types — the planner's public vocabulary.
 
+use stap_core::desmodel::Redundancy;
 use stap_core::io_strategy::{IoStrategy, TailStructure};
 use stap_model::assignment::Assignment;
 
-/// The two objectives of the bi-criteria search.
+/// The objectives of the (tri-)criteria search.
+///
+/// Reliability is 1.0 whenever the planner runs without a fault model, so
+/// the third axis degenerates exactly to the historical bi-criteria
+/// behavior: equal reliability contributes nothing to dominance.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Metrics {
-    /// Pipeline throughput in CPIs per second (maximize).
+    /// Pipeline throughput in CPIs per second (maximize). Under a fault
+    /// model this is the *expected delivered* throughput — the healthy
+    /// rate scaled by redundancy overheads and expected loss.
     pub throughput: f64,
     /// Pipeline latency in seconds (minimize).
     pub latency: f64,
+    /// Mission-survival probability in `[0, 1]` (maximize): the chance
+    /// the pipeline delivers its final CPI despite node crashes.
+    pub reliability: f64,
 }
 
 impl Metrics {
-    /// True when `self` is at least as good as `other` on both objectives
+    /// Fault-free metrics (reliability pinned to 1.0).
+    pub fn new(throughput: f64, latency: f64) -> Self {
+        Metrics { throughput, latency, reliability: 1.0 }
+    }
+
+    /// The same point with an explicit survival probability.
+    pub fn with_reliability(mut self, reliability: f64) -> Self {
+        self.reliability = reliability;
+        self
+    }
+
+    /// True when `self` is at least as good as `other` on every objective
     /// and strictly better on at least one (Pareto dominance).
     pub fn dominates(&self, other: &Metrics) -> bool {
         self.throughput >= other.throughput
             && self.latency <= other.latency
-            && (self.throughput > other.throughput || self.latency < other.latency)
+            && self.reliability >= other.reliability
+            && (self.throughput > other.throughput
+                || self.latency < other.latency
+                || self.reliability > other.reliability)
     }
 }
 
@@ -92,8 +116,12 @@ pub struct Plan {
     /// Compute nodes actually used (may be below the budget: the `ln`
     /// overhead term makes extra nodes counterproductive for tiny tasks).
     pub compute_nodes: usize,
-    /// Compute nodes plus dedicated reader nodes (separate-I/O design).
+    /// Compute nodes plus dedicated reader nodes (separate-I/O design)
+    /// plus any replication spares — what admission must reserve.
     pub total_nodes: usize,
+    /// Redundancy this candidate provisions against node crashes
+    /// (`None` outside fault-aware planning).
+    pub redundancy: Redundancy,
     /// The DP's admissible lower bound on the bottleneck `max_i T_i`
     /// (seconds) for search-origin plans; `None` for the heuristic seed.
     pub bound_bottleneck: Option<f64>,
@@ -182,6 +210,23 @@ pub struct SlaOutcome {
     pub infeasible: Option<String>,
 }
 
+/// The outcome of planning under a failure-probability bound: which front
+/// plans survive often enough, and which of those delivers the most.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReliabilityOutcome {
+    /// Per-node per-CPI crash probability the front was scored under.
+    pub fault_rate: f64,
+    /// The failure-probability bound (`1 - reliability ≤ bound`), if set.
+    pub max_failure_prob: Option<f64>,
+    /// Front plan ids meeting the bound (the whole front when no bound),
+    /// best delivered throughput first.
+    pub feasible_ids: Vec<usize>,
+    /// The max-delivered-throughput plan within the bound, if any.
+    pub best_id: Option<usize>,
+    /// Provenance when no plan is reliable enough.
+    pub infeasible: Option<String>,
+}
+
 /// The planner's full answer: every evaluated candidate with provenance,
 /// plus the ids of the final Pareto front.
 #[derive(Debug, Clone)]
@@ -196,6 +241,8 @@ pub struct SearchReport {
     pub stats: SearchStats,
     /// SLA filtering result, when the planner ran with a latency bound.
     pub sla: Option<SlaOutcome>,
+    /// Reliability filtering result, when the planner ran fault-aware.
+    pub fault: Option<ReliabilityOutcome>,
 }
 
 impl SearchReport {
@@ -223,6 +270,14 @@ impl SearchReport {
     pub fn best_within_sla(&self) -> Option<&Plan> {
         self.sla.as_ref().and_then(|s| s.best_id).map(|i| &self.plans[i])
     }
+
+    /// The max-delivered-throughput plan within the failure-probability
+    /// bound, when fault-aware planning ran and one exists. As with the
+    /// SLA, filtering the front suffices: a reliable off-front plan is
+    /// dominated by a front plan at least as reliable.
+    pub fn best_surviving(&self) -> Option<&Plan> {
+        self.fault.as_ref().and_then(|f| f.best_id).map(|i| &self.plans[i])
+    }
 }
 
 #[cfg(test)]
@@ -231,9 +286,9 @@ mod tests {
 
     #[test]
     fn dominance_is_strict() {
-        let a = Metrics { throughput: 2.0, latency: 1.0 };
-        let b = Metrics { throughput: 1.0, latency: 2.0 };
-        let c = Metrics { throughput: 2.0, latency: 1.0 };
+        let a = Metrics::new(2.0, 1.0);
+        let b = Metrics::new(1.0, 2.0);
+        let c = Metrics::new(2.0, 1.0);
         assert!(a.dominates(&b));
         assert!(!b.dominates(&a));
         assert!(!a.dominates(&c), "equal metrics do not dominate");
@@ -241,9 +296,24 @@ mod tests {
 
     #[test]
     fn incomparable_points_do_not_dominate() {
-        let fast = Metrics { throughput: 2.0, latency: 2.0 };
-        let lean = Metrics { throughput: 1.0, latency: 1.0 };
+        let fast = Metrics::new(2.0, 2.0);
+        let lean = Metrics::new(1.0, 1.0);
         assert!(!fast.dominates(&lean));
         assert!(!lean.dominates(&fast));
+    }
+
+    #[test]
+    fn reliability_is_a_third_dominance_axis() {
+        let sturdy = Metrics::new(2.0, 1.0).with_reliability(0.99);
+        let fragile = Metrics::new(2.0, 1.0).with_reliability(0.5);
+        assert!(sturdy.dominates(&fragile), "same tp/lat, higher survival dominates");
+        assert!(!fragile.dominates(&sturdy));
+        // A fragile plan that is faster is incomparable, not dominated.
+        let fast_fragile = Metrics::new(3.0, 1.0).with_reliability(0.5);
+        assert!(!sturdy.dominates(&fast_fragile));
+        assert!(!fast_fragile.dominates(&sturdy));
+        // Fault-free construction pins reliability to 1.0, so the third
+        // axis is inert between fault-free points.
+        assert_eq!(Metrics::new(1.0, 1.0).reliability, 1.0);
     }
 }

@@ -18,12 +18,13 @@
 use crate::mission::{
     fleet_table, MissionOutcome, MissionReport, MissionSource, MissionSpec, PlanChoice, SlaVerdict,
 };
-use crate::scheduler::{Counters, Scheduler, ServeConfig};
+use crate::scheduler::{Counters, FleetFault, Scheduler, ServeConfig};
 use crate::script::{ScriptAction, WorkloadScript};
 use stap_core::{SourceSpec, StapConfig, StapSystem, StreamSettings, WatchdogPolicy};
 use stap_ingest::{CpiRing, Frontend, FrontendConfig};
 use stap_kernels::CubeDims;
 use stap_pfs::FsConfig;
+use stap_pipeline::INFRASTRUCTURE_LOSS_MARKER;
 use stap_trace::{fleet_chrome_trace, ClockSpec, FleetTrack};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -79,18 +80,44 @@ impl FleetOutcome {
         Some(graded.iter().filter(|&&h| h).count() as f64 / graded.len() as f64)
     }
 
+    /// The counterfactual SLA hit-rate without the failover machinery: a
+    /// mission that needed failover would have aborted at the fleet fault,
+    /// so every bounded failed-over mission counts as a miss. The spread
+    /// between this and [`Self::sla_hit_rate`] is what redundancy bought.
+    pub fn sla_hit_rate_no_failover(&self) -> Option<f64> {
+        let graded: Vec<bool> = self
+            .missions
+            .iter()
+            .filter_map(|m| m.sla.hit().map(|h| h && m.failover.is_none()))
+            .collect();
+        if graded.is_empty() {
+            return None;
+        }
+        Some(graded.iter().filter(|&&h| h).count() as f64 / graded.len() as f64)
+    }
+
+    /// Missions that survived a fleet fault by failing over.
+    pub fn failovers(&self) -> usize {
+        self.missions.iter().filter(|m| m.failover.is_some()).count()
+    }
+
     /// Machine-readable fleet run report: the shared schema with a root
     /// `missions` array (what `render_phase_report` turns back into the
     /// fleet table).
     pub fn fleet_json(&self) -> String {
         let missions: Vec<String> = self.missions.iter().map(|m| m.to_json()).collect();
         let sla = self.sla_hit_rate().map_or("null".to_string(), |r| format!("{r:.4}"));
+        let sla_bare =
+            self.sla_hit_rate_no_failover().map_or("null".to_string(), |r| format!("{r:.4}"));
         format!(
             "{{\"mode\": \"serve\", \"makespan\": {:.9}, \"sla_hit_rate\": {}, \
+             \"sla_hit_rate_no_failover\": {}, \"failovers\": {}, \
              \"submitted\": {}, \"rejected\": {}, \"cancelled\": {}, \"completed\": {}, \
              \"failed\": {}, \"missions\": [{}]}}",
             self.makespan,
             sla,
+            sla_bare,
+            self.failovers(),
             self.counters.submitted,
             self.counters.rejected,
             self.counters.cancelled,
@@ -99,6 +126,16 @@ impl FleetOutcome {
             missions.join(", ")
         )
     }
+}
+
+/// An in-flight failover: the fleet fault a mission observed, when its
+/// first attempt died and its degraded re-run started (fleet-epoch
+/// seconds), and the stripe factor it ran with before the loss.
+struct Failover {
+    fault: FleetFault,
+    fail_time: f64,
+    restart_time: f64,
+    from_sf: usize,
 }
 
 /// The pipeline configuration a mission executes with: the repository's
@@ -171,6 +208,7 @@ pub fn run_fleet(script: &WorkloadScript, cfg: &ServeConfig) -> FleetOutcome {
     let mut missions: Vec<MissionReport> = Vec::new();
     let mut tracks: Vec<FleetTrack> = Vec::new();
     let mut feeds: HashMap<u64, StreamFeed> = HashMap::new();
+    let mut failovers: HashMap<u64, Failover> = HashMap::new();
     let mut makespan = 0.0f64;
 
     loop {
@@ -217,6 +255,17 @@ pub fn run_fleet(script: &WorkloadScript, cfg: &ServeConfig) -> FleetOutcome {
         while let Some(d) = sched.next_ready(epoch.elapsed().as_secs_f64()) {
             let tx = tx.clone();
             let mut config = mission_config(&d.spec, &d.plan);
+            // A configured fleet fault is observed by every file-fed
+            // mission: reads of the lost server's stripe units fail
+            // permanently from `at_cpi` on, surfacing as a typed
+            // infrastructure loss the collect loop fails over. Stream
+            // missions bypass the striped store and never see it.
+            if let (Some(f), MissionSource::File) = (&cfg.fault, &d.spec.source) {
+                config.fault_plan = Some(
+                    stap_pfs::FaultPlan::new(0)
+                        .with(stap_pfs::Fault::ServerLoss { server: f.server, from: f.at_cpi }),
+                );
+            }
             if let MissionSource::Stream { depth, policy, rate } = d.spec.source {
                 let ring = feeds
                     .get(&d.id)
@@ -251,11 +300,63 @@ pub fn run_fleet(script: &WorkloadScript, cfg: &ServeConfig) -> FleetOutcome {
             Ok(done) => {
                 let end = epoch.elapsed().as_secs_f64();
                 makespan = makespan.max(end);
+                let infra_loss = done
+                    .result
+                    .as_ref()
+                    .err()
+                    .is_some_and(|m| m.contains(INFRASTRUCTURE_LOSS_MARKER));
+                if let (true, Some(f), false) =
+                    (infra_loss, cfg.fault, failovers.contains_key(&done.id))
+                {
+                    // Fleet fault observed mid-mission: mark the store
+                    // degraded (survivors absorb the lost directory, the
+                    // plan cache is flushed), re-plan inside the nodes the
+                    // mission already holds, and restart it on the
+                    // surviving stripe directories instead of failing it.
+                    sched.mark_server_lost(f.server);
+                    let surviving = done.plan.stripe_factor.saturating_sub(1).max(1);
+                    let plan = sched
+                        .degraded_plan(&done.spec, surviving, done.plan.total_nodes)
+                        .unwrap_or_else(|| PlanChoice {
+                            stripe_factor: surviving,
+                            ..done.plan.clone()
+                        });
+                    let restart = epoch.elapsed().as_secs_f64();
+                    failovers.insert(
+                        done.id,
+                        Failover {
+                            fault: f,
+                            fail_time: end,
+                            restart_time: restart,
+                            from_sf: done.plan.stripe_factor,
+                        },
+                    );
+                    let config = mission_config(&done.spec, &plan);
+                    let tx = tx.clone();
+                    let WorkerDone { id, spec, submit, start, read_contention, .. } = done;
+                    std::thread::spawn(move || {
+                        let result = StapSystem::prepare(config)
+                            .and_then(|sys| sys.run_with_clock(ClockSpec::Wall))
+                            .map(Box::new)
+                            .map_err(|e| e.to_string());
+                        let _ = tx.send(WorkerDone {
+                            id,
+                            spec,
+                            plan,
+                            submit,
+                            start,
+                            read_contention,
+                            result,
+                        });
+                    });
+                    continue;
+                }
                 sched.complete(done.id, done.result.is_err());
                 // Tear the mission's stream down (a failed run may leave
                 // the producer parked) and keep its peak occupancy.
                 let staging_peak = feeds.remove(&done.id).map_or(0, StreamFeed::drain);
-                missions.push(finish(done, end, staging_peak, &mut tracks));
+                let failover = failovers.remove(&done.id);
+                missions.push(finish(done, end, staging_peak, failover, &mut tracks));
             }
             Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
             Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
@@ -275,19 +376,33 @@ pub fn run_fleet(script: &WorkloadScript, cfg: &ServeConfig) -> FleetOutcome {
     FleetOutcome { missions, cancelled, rejected, counters: sched.counters(), makespan, tracks }
 }
 
-/// Builds the report (and trace track) for one finished worker.
+/// Builds the report (and trace track) for one finished worker. A
+/// failed-over mission's spans are shifted onto its restart time, and the
+/// recovery interval itself becomes a typed `failover` span on its own
+/// track, so the Chrome trace shows the loss, the gap, and the degraded
+/// re-run on one timeline.
 fn finish(
     done: WorkerDone,
     end: f64,
     staging_peak: u64,
+    failover: Option<Failover>,
     tracks: &mut Vec<FleetTrack>,
 ) -> MissionReport {
+    let note = failover.as_ref().map(|f| {
+        format!(
+            "stripe server {} lost at CPI {}; re-planned from sf={} onto {} (degraded)",
+            f.fault.server,
+            f.fault.at_cpi,
+            f.from_sf,
+            done.plan.summary()
+        )
+    });
     let base = MissionReport {
         id: done.id,
         name: done.spec.name.clone(),
         priority: done.spec.priority,
         requested_nodes: done.spec.nodes,
-        plan: done.plan,
+        plan: done.plan.clone(),
         submit: done.submit,
         start: done.start,
         end,
@@ -300,25 +415,39 @@ fn finish(
         staging_peak,
         sla: SlaVerdict::Unbounded,
         outcome: MissionOutcome::Completed,
+        failover: note,
     };
     match done.result {
         Ok(out) => {
             // Spans are on the mission's own run epoch; shift them onto the
             // fleet epoch so the merged trace shows queueing and overlap.
-            let spans = out
+            // A failed-over mission's surviving output is its re-run, so
+            // its spans sit on the restart time.
+            let origin = failover.as_ref().map_or(done.start, |f| f.restart_time);
+            let mut spans: Vec<stap_trace::Span> = out
                 .timing
                 .spans
                 .iter()
-                .map(|s| stap_trace::Span {
-                    start: s.start + done.start,
-                    end: s.end + done.start,
-                    ..*s
-                })
+                .map(|s| stap_trace::Span { start: s.start + origin, end: s.end + origin, ..*s })
                 .collect();
+            let mut stage_names = out.timing.stage_names.clone();
+            if let Some(f) = &failover {
+                let stage = stage_names.len();
+                stage_names.push("failover".to_string());
+                spans.push(stap_trace::Span {
+                    stage,
+                    node: 0,
+                    cpi: f.fault.at_cpi,
+                    attempt: 1,
+                    phase: stap_trace::Phase::Failover,
+                    start: f.fail_time,
+                    end: f.restart_time,
+                });
+            }
             tracks.push(FleetTrack {
                 mission_id: done.id,
                 name: done.spec.name.clone(),
-                stage_names: out.timing.stage_names.clone(),
+                stage_names,
                 spans,
             });
             MissionReport {
@@ -424,6 +553,45 @@ mod tests {
         let json = stap_trace::json::parse(&out.fleet_json()).expect("valid fleet JSON");
         let missions = json.get("missions").and_then(|m| m.as_array()).expect("missions");
         assert!(missions[0].get("staging_peak").and_then(|v| v.as_f64()).expect("peak") >= 1.0);
+    }
+
+    #[test]
+    fn fleet_fault_fails_over_instead_of_aborting() {
+        // A stripe server dies mid-mission. The pipeline's first attempt
+        // fails with a typed infrastructure loss; the fleet must complete
+        // the mission degraded (re-planned over the survivors), grade its
+        // SLA from the re-run, and expose the recovery as a typed failover
+        // span — abort is the wrong answer.
+        let script =
+            WorkloadScript::parse("at 0 submit name=victim nodes=25 cpis=3 max-latency=60\n")
+                .expect("valid script");
+        let serve = ServeConfig { fault: Some(FleetFault { server: 0, at_cpi: 1 }), ..cfg() };
+        let out = run_fleet(&script, &serve);
+        assert_eq!(out.missions.len(), 1, "{:?}", out.missions);
+        let m = &out.missions[0];
+        assert_eq!(m.outcome, MissionOutcome::Completed, "failover, not abort: {:?}", m.outcome);
+        let note = m.failover.as_ref().expect("failover recorded");
+        assert!(note.contains("stripe server 0"), "{note}");
+        assert!(
+            m.plan.stripe_factor < 64,
+            "re-planned onto the surviving directories: {}",
+            m.plan.summary()
+        );
+        assert!(m.throughput > 0.0, "metrics come from the degraded re-run");
+        assert_eq!(out.counters.completed, 1);
+        assert_eq!(out.failovers(), 1);
+        assert_eq!(out.sla_hit_rate(), Some(1.0), "the degraded run still meets a loose SLA");
+        assert_eq!(
+            out.sla_hit_rate_no_failover(),
+            Some(0.0),
+            "without the failover machinery the mission dies"
+        );
+        let trace = out.chrome_trace();
+        assert!(trace.contains("\"failover\""), "typed failover span in the Chrome trace");
+        let json = stap_trace::json::parse(&out.fleet_json()).expect("valid fleet JSON");
+        assert_eq!(json.get("failovers").and_then(|v| v.as_f64()), Some(1.0));
+        let missions = json.get("missions").and_then(|m| m.as_array()).expect("missions");
+        assert!(missions[0].get("failover").and_then(|f| f.as_str()).is_some());
     }
 
     #[test]

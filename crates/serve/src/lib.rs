@@ -44,6 +44,6 @@ pub use mission::{
     MissionSpec, PlanChoice, SlaVerdict,
 };
 pub use placement::{NodePool, StripeLoadTracker};
-pub use scheduler::{Counters, Dispatch, Scheduler, ServeConfig};
+pub use scheduler::{Counters, Dispatch, FleetFault, Scheduler, ServeConfig};
 pub use script::{ScriptAction, ScriptError, ScriptEvent, WorkloadScript};
 pub use sim::{simulate_fleet, ReadModel, SimConfig, SimFleetReport, SimMissionRow};

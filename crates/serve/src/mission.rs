@@ -324,6 +324,11 @@ pub struct MissionReport {
     pub sla: SlaVerdict,
     /// How execution ended.
     pub outcome: MissionOutcome,
+    /// When the mission survived a fleet fault, what happened: which stripe
+    /// server was lost and how the mission was re-planned (`None` for a
+    /// fault-free run). A failed-over mission completes *degraded*, not
+    /// aborted — its metrics are from the re-run on the surviving store.
+    pub failover: Option<String>,
 }
 
 impl MissionReport {
@@ -339,13 +344,17 @@ impl MissionReport {
                 format!("{{\"met\": false, \"bound\": {bound:.9}, \"actual\": {actual:.9}}}")
             }
         };
+        let failover = match &self.failover {
+            None => "null".to_string(),
+            Some(f) => format!("\"{}\"", escape(f)),
+        };
         format!(
             "{{\"mission\": {}, \"name\": \"{}\", \"priority\": {}, \
              \"requested_nodes\": {}, \"plan\": \"{}\", \"submit\": {:.9}, \
              \"start\": {:.9}, \"end\": {:.9}, \"queue_wait\": {:.9}, \
              \"read_contention\": {:.3}, \"throughput\": {:.9}, \"latency\": {:.9}, \
              \"drops\": {}, \"retries\": {}, \"staging_peak\": {}, \"sla\": {}, \
-             \"outcome\": \"{}\"}}",
+             \"failover\": {}, \"outcome\": \"{}\"}}",
             self.id,
             escape(&self.name),
             self.priority,
@@ -362,6 +371,7 @@ impl MissionReport {
             self.retries,
             self.staging_peak,
             sla,
+            failover,
             self.outcome.label(),
         )
     }
@@ -446,6 +456,7 @@ mod tests {
             staging_peak: 3,
             sla: SlaVerdict::grade(Some(0.6), 0.55),
             outcome: MissionOutcome::Completed,
+            failover: None,
         }
     }
 
@@ -457,6 +468,7 @@ mod tests {
         assert_eq!(v.get("queue_wait").unwrap().as_f64(), Some(1.5));
         assert_eq!(v.get("staging_peak").unwrap().as_f64(), Some(3.0));
         assert_eq!(v.get("outcome").unwrap().as_str(), Some("done"));
+        assert!(matches!(v.get("failover"), Some(stap_trace::json::Json::Null)));
         let sla = v.get("sla").unwrap();
         assert!(matches!(sla.get("met"), Some(stap_trace::json::Json::Bool(true))));
         assert!(v.get("plan").unwrap().as_str().unwrap().contains("sf=64"));

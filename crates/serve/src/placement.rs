@@ -71,17 +71,35 @@ impl NodePool {
 #[derive(Debug, Clone)]
 pub struct StripeLoadTracker {
     load: Vec<u32>,
+    lost: Vec<bool>,
 }
 
 impl StripeLoadTracker {
     /// Tracks `servers` stripe directories, all idle.
     pub fn new(servers: usize) -> Self {
-        Self { load: vec![0; servers.max(1)] }
+        let n = servers.max(1);
+        Self { load: vec![0; n], lost: vec![false; n] }
     }
 
     /// Number of tracked stripe directories.
     pub fn servers(&self) -> usize {
         self.load.len()
+    }
+
+    /// Records a fleet fault: stripe directory `server` is permanently
+    /// gone. Its queue length is meaningless from now on (nothing can be
+    /// served from it), so it is excluded from peak-load scans, and the
+    /// reads it would have absorbed redistribute over the survivors.
+    pub fn mark_lost(&mut self, server: usize) {
+        if let Some(l) = self.lost.get_mut(server) {
+            *l = true;
+        }
+    }
+
+    /// Directories among the mission's `0..sf` span that are lost.
+    pub fn lost_within(&self, sf: usize) -> usize {
+        let n = sf.min(self.lost.len());
+        self.lost[..n].iter().filter(|&&l| l).count()
     }
 
     /// Marks a mission striping over `sf` directories as running.
@@ -100,18 +118,30 @@ impl StripeLoadTracker {
         }
     }
 
-    /// Peak missions sharing any of the `sf` directories (including the
-    /// caller if it has acquired).
+    /// Peak missions sharing any of the *surviving* `sf` directories
+    /// (including the caller if it has acquired). Lost directories are
+    /// skipped: their stale counts would otherwise pin the estimate to a
+    /// queue nothing can drain.
     pub fn peak_load(&self, sf: usize) -> u32 {
         let n = sf.min(self.load.len()).max(1);
-        self.load[..n].iter().copied().max().unwrap_or(0)
+        self.load[..n]
+            .iter()
+            .zip(&self.lost[..n])
+            .filter(|&(_, &l)| !l)
+            .map(|(&v, _)| v)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Contention-adjusted read-time estimate: the uncontended estimate
     /// scaled by the peak number of missions sharing the mission's stripe
     /// servers (FCFS queueing shares each directory's bandwidth evenly).
+    /// After a fleet fault the survivors also absorb the lost directories'
+    /// share of the stripe, stretching reads by `sf / (sf - lost)`.
     pub fn contended_read_estimate(&self, base_secs: f64, sf: usize) -> f64 {
-        base_secs * f64::from(self.peak_load(sf).max(1))
+        let n = sf.min(self.load.len()).max(1);
+        let surviving = n.saturating_sub(self.lost_within(n)).max(1);
+        base_secs * f64::from(self.peak_load(sf).max(1)) * (n as f64 / surviving as f64)
     }
 }
 
@@ -158,6 +188,27 @@ mod tests {
         t.release(16);
         t.release(16);
         assert_eq!(t.peak_load(64), 1);
+    }
+
+    #[test]
+    fn lost_servers_leave_contention_scans_and_survivors_absorb_their_share() {
+        let mut t = StripeLoadTracker::new(8);
+        t.acquire(8);
+        t.acquire(4); // directories 0..4 now carry load 2
+        assert_eq!(t.peak_load(8), 2);
+        // Directory 0 dies: its stale count of 2 must no longer pin the
+        // peak once the co-located mission drains off the survivors…
+        t.mark_lost(0);
+        t.release(4);
+        assert_eq!(t.peak_load(8), 1, "lost directory's count is ignored");
+        assert_eq!(t.lost_within(8), 1);
+        // …and the 7 survivors absorb the 8-way stripe: 8/7 stretch.
+        let est = t.contended_read_estimate(0.7, 8);
+        assert!((est - 0.7 * 8.0 / 7.0).abs() < 1e-12, "got {est}");
+        // A mission striped only over healthy directories 0..4 still pays:
+        // directory 0 is inside its span.
+        let narrow = t.contended_read_estimate(0.4, 4);
+        assert!((narrow - 0.4 * 4.0 / 3.0).abs() < 1e-12, "got {narrow}");
     }
 
     #[test]

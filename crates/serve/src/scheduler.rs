@@ -30,6 +30,11 @@ pub struct ServeConfig {
     /// ([`AdmissionError::StagingExceeded`](crate::mission::AdmissionError::StagingExceeded));
     /// one that fits waits in the queue until enough staging frees up.
     pub staging_capacity: usize,
+    /// Injected fleet fault: a permanent stripe-server loss every file-fed
+    /// mission observes mid-run (`None` = healthy fleet). Both the real
+    /// executor and the DES capacity mode fail the mission over instead of
+    /// aborting it.
+    pub fault: Option<FleetFault>,
 }
 
 impl Default for ServeConfig {
@@ -40,6 +45,35 @@ impl Default for ServeConfig {
             queue_capacity: 16,
             stripe_servers: 128,
             staging_capacity: 256,
+            fault: None,
+        }
+    }
+}
+
+/// A fleet-level fault: stripe server `server` of the shared store is
+/// permanently lost once a mission reaches CPI `at_cpi`. Grammar (shared
+/// with the per-run fault plans): `server-loss:IDX@T`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetFault {
+    /// Stripe-directory index of the lost server.
+    pub server: usize,
+    /// First CPI whose reads observe the loss.
+    pub at_cpi: u64,
+}
+
+impl FleetFault {
+    /// Parses `server-loss:IDX@T` (the [`stap_pfs::FaultPlan`] grammar's
+    /// fleet-level production).
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let plan = stap_pfs::FaultPlan::parse(spec, 0)?;
+        match plan.faults() {
+            [stap_pfs::Fault::ServerLoss { server, from }] => {
+                Ok(FleetFault { server: *server, at_cpi: *from })
+            }
+            _ => Err(format!(
+                "fleet fault '{spec}' must be a single server-loss:IDX@T event \
+                 (node crashes are per-mission faults)"
+            )),
         }
     }
 }
@@ -294,7 +328,7 @@ impl Scheduler {
             staging: q.spec.source.staging_depth(),
         });
         self.counters.started += 1;
-        let read_contention = f64::from(self.stripes.peak_load(q.plan.stripe_factor).max(1));
+        let read_contention = self.stripes.contended_read_estimate(1.0, q.plan.stripe_factor);
         Some(Dispatch {
             id: q.id,
             spec: q.spec,
@@ -318,6 +352,61 @@ impl Scheduler {
                 self.counters.completed += 1;
             }
         }
+    }
+
+    /// Records a fleet fault: stripe directory `server` of the shared store
+    /// is permanently gone. The contention tracker stops counting it
+    /// (survivors absorb its share — see
+    /// [`StripeLoadTracker::contended_read_estimate`]) and the admission
+    /// plan cache is invalidated, so every plan after the fault is searched
+    /// against the degraded store.
+    pub fn mark_server_lost(&mut self, server: usize) {
+        self.stripes.mark_lost(server);
+        self.plan_cache.clear();
+    }
+
+    /// Re-plans a mission for the degraded store after a fleet fault: the
+    /// same trimmed admission search, but on the machine profile re-striped
+    /// over `surviving_sf` directories, capped to the `reserved` nodes the
+    /// mission already holds (failover must not grow the reservation).
+    /// `None` when no front plan fits — the caller falls back to the
+    /// admitted plan with the stripe factor clamped.
+    pub fn degraded_plan(
+        &mut self,
+        spec: &MissionSpec,
+        surviving_sf: usize,
+        reserved: usize,
+    ) -> Option<PlanChoice> {
+        let mut machine =
+            machine_profile(&spec.machine).ok()?.with_stripe_factor(surviving_sf.max(1));
+        // The degraded store has exactly the surviving directories: the
+        // search must not wander back to the healthy presets.
+        machine.stripe_candidates = vec![surviving_sf.max(1)];
+        let mut cfg = PlannerConfig::new(vec![machine], spec.nodes).without_des();
+        cfg.beam_width = 12;
+        cfg.per_structure = 6;
+        cfg.max_latency = spec.max_latency;
+        if let Some(io) = spec.io {
+            cfg.ios = vec![io];
+        }
+        if let Some(tail) = spec.tail {
+            cfg.tails = vec![tail];
+        }
+        let report = stap_planner::plan(&cfg);
+        let p = report
+            .front()
+            .into_iter()
+            .filter(|p| p.total_nodes <= reserved)
+            .max_by(|a, b| a.ranked().throughput.total_cmp(&b.ranked().throughput))?;
+        Some(PlanChoice {
+            stripe_factor: p.stripe_factor,
+            io: p.io,
+            tail: p.tail,
+            total_nodes: p.total_nodes,
+            assignment: p.assignment_str(),
+            throughput: p.ranked().throughput,
+            latency: p.ranked().latency,
+        })
     }
 
     /// Cancels a queued mission by name. Returns its id, or `None` when no
@@ -357,9 +446,11 @@ impl Scheduler {
         self.counters
     }
 
-    /// Read-contention multiplier a plan would currently see.
+    /// Read-contention multiplier a plan would currently see (co-location
+    /// on its busiest surviving stripe server, stretched by any lost
+    /// directories' share).
     pub fn contention_for(&self, stripe_factor: usize) -> f64 {
-        f64::from(self.stripes.peak_load(stripe_factor).max(1))
+        self.stripes.contended_read_estimate(1.0, stripe_factor)
     }
 
     /// The mission-conservation invariant:
@@ -530,6 +621,43 @@ mod tests {
         let d2 = s.next_ready(0.0).unwrap();
         assert_eq!(d1.read_contention, 1.0);
         assert!(d2.read_contention >= 2.0, "co-located mission sees the first one");
+    }
+
+    #[test]
+    fn fleet_fault_grammar_round_trips_and_rejects_mission_faults() {
+        assert_eq!(FleetFault::parse("server-loss:3@2"), Ok(FleetFault { server: 3, at_cpi: 2 }));
+        assert!(FleetFault::parse("node:1@0..4").is_err(), "node crashes are per-mission");
+        assert!(FleetFault::parse("garbage").is_err());
+    }
+
+    #[test]
+    fn lost_server_invalidates_the_plan_cache_and_stretches_contention() {
+        let mut s = Scheduler::new(small_cfg());
+        s.submit(spec("a", 25, 0), 0.0).unwrap();
+        assert_eq!(s.plan_cache.len(), 1);
+        let healthy = s.contention_for(64);
+        s.mark_server_lost(0);
+        assert!(s.plan_cache.is_empty(), "degraded store invalidates cached plans");
+        assert!(
+            s.contention_for(64) > healthy,
+            "survivors absorb the lost directory's share of reads"
+        );
+    }
+
+    #[test]
+    fn degraded_replan_fits_the_existing_reservation() {
+        let mut s = Scheduler::new(small_cfg());
+        s.submit(spec("a", 25, 0), 0.0).unwrap();
+        let d = s.next_ready(0.0).expect("dispatch");
+        let p = s
+            .degraded_plan(
+                &d.spec,
+                d.plan.stripe_factor.saturating_sub(1).max(1),
+                d.plan.total_nodes,
+            )
+            .expect("degraded plan exists");
+        assert!(p.total_nodes <= d.plan.total_nodes, "failover must not grow the reservation");
+        assert_eq!(p.stripe_factor, d.plan.stripe_factor - 1);
     }
 
     #[test]

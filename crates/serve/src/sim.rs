@@ -17,7 +17,7 @@
 //! execution on the same footing).
 
 use crate::mission::{MissionOutcome, MissionReport, MissionSource, PlanChoice, SlaVerdict};
-use crate::scheduler::{Counters, Dispatch, Scheduler, ServeConfig};
+use crate::scheduler::{Counters, Dispatch, FleetFault, Scheduler, ServeConfig};
 use crate::script::{ScriptAction, WorkloadScript};
 use stap_des::{Engine, FcfsResource, SimTime, StagingModel, StagingPolicy};
 use stap_ingest::BackpressurePolicy;
@@ -91,6 +91,10 @@ pub struct SimMissionRow {
     pub staging_peak: u64,
     /// SLA verdict on the predicted latency.
     pub sla: SlaVerdict,
+    /// When the mission survived a simulated fleet fault, what happened
+    /// (`None` for a fault-free prediction). Mirrors the executor's
+    /// [`MissionReport::failover`].
+    pub failover: Option<String>,
 }
 
 impl SimMissionRow {
@@ -115,6 +119,7 @@ impl SimMissionRow {
             staging_peak: self.staging_peak,
             sla: self.sla,
             outcome: MissionOutcome::Completed,
+            failover: self.failover.clone(),
         }
     }
 }
@@ -147,6 +152,27 @@ impl SimFleetReport {
             return None;
         }
         Some(graded.iter().filter(|&&h| h).count() as f64 / graded.len() as f64)
+    }
+
+    /// The counterfactual SLA hit-rate without the failover machinery:
+    /// every bounded failed-over mission counts as a miss (it would have
+    /// aborted at the fleet fault). Mirrors
+    /// [`FleetOutcome::sla_hit_rate_no_failover`](crate::executor::FleetOutcome::sla_hit_rate_no_failover).
+    pub fn sla_hit_rate_no_failover(&self) -> Option<f64> {
+        let graded: Vec<bool> = self
+            .rows
+            .iter()
+            .filter_map(|r| r.sla.hit().map(|h| h && r.failover.is_none()))
+            .collect();
+        if graded.is_empty() {
+            return None;
+        }
+        Some(graded.iter().filter(|&&h| h).count() as f64 / graded.len() as f64)
+    }
+
+    /// Missions predicted to survive a fleet fault by failing over.
+    pub fn failovers(&self) -> usize {
+        self.rows.iter().filter(|r| r.failover.is_some()).count()
     }
 
     /// Mean predicted queue wait over completed missions, seconds.
@@ -193,6 +219,11 @@ impl SimFleetReport {
                 r.plan.summary(),
             );
         }
+        for r in &self.rows {
+            if let Some(f) = &r.failover {
+                let _ = writeln!(out, "failover {}: {f}", r.name);
+            }
+        }
         for (name, why) in &self.rejected {
             let _ = writeln!(out, "rejected {name}: {why}");
         }
@@ -215,6 +246,12 @@ impl SimFleetReport {
                 let _ = writeln!(out, "SLA hit-rate        n/a (no bounded missions)");
             }
         }
+        if self.failovers() > 0 {
+            if let Some(bare) = self.sla_hit_rate_no_failover() {
+                let _ =
+                    writeln!(out, "SLA hit-rate (no failover) {:.0}% counterfactual", bare * 100.0);
+            }
+        }
         out
     }
 
@@ -223,15 +260,20 @@ impl SimFleetReport {
     pub fn to_json(&self) -> String {
         let missions: Vec<String> = self.rows.iter().map(|r| r.to_report().to_json()).collect();
         let sla = self.sla_hit_rate().map_or("null".to_string(), |r| format!("{r:.4}"));
+        let sla_bare =
+            self.sla_hit_rate_no_failover().map_or("null".to_string(), |r| format!("{r:.4}"));
         format!(
             "{{\"mode\": \"sim\", \"makespan\": {:.9}, \"fleet_utilization\": {:.6}, \
-             \"mean_queue_wait\": {:.9}, \"sla_hit_rate\": {}, \"store_jobs\": {}, \
+             \"mean_queue_wait\": {:.9}, \"sla_hit_rate\": {}, \
+             \"sla_hit_rate_no_failover\": {}, \"failovers\": {}, \"store_jobs\": {}, \
              \"submitted\": {}, \"rejected\": {}, \"cancelled\": {}, \"completed\": {}, \
              \"missions\": [{}]}}",
             self.makespan,
             self.fleet_utilization,
             self.mean_queue_wait(),
             sla,
+            sla_bare,
+            self.failovers(),
             self.store_jobs,
             self.counters.submitted,
             self.counters.rejected,
@@ -255,6 +297,11 @@ struct Active {
     /// Virtual staging ring gating each CPI of a stream-fed mission
     /// (file-fed missions: `None`).
     staging: Option<StagingModel>,
+    /// A pending fleet fault this mission will observe (consumed when it
+    /// fires; `None` for stream missions, which bypass the store).
+    fault: Option<FleetFault>,
+    /// What happened when the fault fired.
+    failover: Option<String>,
 }
 
 /// Model state threaded through the DES engine.
@@ -335,6 +382,12 @@ fn pump(eng: &mut Engine<FleetState>, st: &mut FleetState, model: &ReadModel) {
                 Some(StagingModel::new(depth, period, cpis, staging_policy(policy)))
             }
         };
+        // File-fed missions observe a configured fleet fault once they
+        // reach its CPI; stream missions bypass the striped store.
+        let fault = match (st.sched.config().fault, &staging) {
+            (Some(f), None) if f.at_cpi < cpis => Some(f),
+            _ => None,
+        };
         let active = Active {
             d,
             cpis,
@@ -343,6 +396,8 @@ fn pump(eng: &mut Engine<FleetState>, st: &mut FleetState, model: &ReadModel) {
             reads,
             compute,
             staging,
+            fault,
+            failover: None,
         };
         let idx = id as usize;
         if st.active.len() <= idx {
@@ -412,6 +467,30 @@ fn step_cpi(eng: &mut Engine<FleetState>, st: &mut FleetState, id: u64, model: &
     let Some(a) = st.active.get_mut(id as usize).and_then(|a| a.as_mut()) else {
         return;
     };
+    // The fleet fault fires the moment the mission reaches its CPI: the
+    // attempt so far is discarded (the executor's first pipeline dies on
+    // the infrastructure-loss error), the store is marked degraded, and
+    // the mission restarts with its reads re-striped over the survivors —
+    // failover, not abort.
+    if let Some(f) = a.fault {
+        if a.cpis_done >= f.at_cpi {
+            a.fault = None;
+            a.cpis_done = 0;
+            let sf = a.d.plan.stripe_factor.max(2);
+            let stretch = sf as f64 / (sf as f64 - 1.0);
+            for r in &mut a.reads {
+                r.1 *= stretch;
+            }
+            a.failover = Some(format!(
+                "stripe server {} lost at CPI {}; re-striped over {} surviving directories \
+                 (degraded)",
+                f.server,
+                f.at_cpi,
+                sf - 1
+            ));
+            st.sched.mark_server_lost(f.server);
+        }
+    }
     let rotate = match model {
         // Planned requests already carry their stripe directory.
         ReadModel::Planned => 0,
@@ -477,6 +556,7 @@ fn finish_mission(eng: &mut Engine<FleetState>, st: &mut FleetState, id: u64, mo
         read_contention: a.d.read_contention,
         staging_peak: a.staging.as_ref().map_or(0, |s| s.counters().peak),
         sla: SlaVerdict::grade(a.d.spec.max_latency, latency),
+        failover: a.failover.clone(),
     });
     pump(eng, st, model);
 }
@@ -655,6 +735,41 @@ mod tests {
         let v = stap_trace::json::parse(&r2.to_json()).expect("valid JSON");
         let missions = v.get("missions").unwrap().as_array().unwrap();
         assert!(missions[0].get("staging_peak").unwrap().as_f64().unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn simulated_fleet_fault_fails_over_and_grades_the_counterfactual() {
+        let s = script(
+            "at 0 submit name=a nodes=25 cpis=8 max-latency=60\n\
+             at 0 submit name=b nodes=25 cpis=8\n",
+        );
+        let mut c = cfg(2);
+        c.serve.fault = Some(FleetFault { server: 0, at_cpi: 2 });
+        let r = simulate_fleet(&s, &c);
+        assert_eq!(r.rows.len(), 2, "both missions complete degraded");
+        assert!(r.rows.iter().all(|row| row.failover.is_some()), "{:?}", r.rows);
+        assert_eq!(r.failovers(), 2);
+        let a = r.rows.iter().find(|x| x.name == "a").expect("a completes");
+        assert!(a.slowdown > 1.0, "lost work plus degraded reads stretch the run: {}", a.slowdown);
+        assert_eq!(r.sla_hit_rate(), Some(1.0), "degraded run still meets the loose bound");
+        assert_eq!(r.sla_hit_rate_no_failover(), Some(0.0), "counterfactual death");
+        let text = r.render_text();
+        assert!(text.contains("failover a:"), "{text}");
+        assert!(text.contains("no failover"), "{text}");
+        let v = stap_trace::json::parse(&r.to_json()).expect("valid JSON");
+        assert_eq!(v.get("failovers").and_then(|x| x.as_f64()), Some(2.0));
+        assert_eq!(v.get("sla_hit_rate_no_failover").and_then(|x| x.as_f64()), Some(0.0));
+    }
+
+    #[test]
+    fn healthy_fleet_predictions_are_unchanged_by_the_fault_field() {
+        let s = script("at 0 submit name=solo nodes=25 cpis=8\n");
+        let healthy = simulate_fleet(&s, &cfg(2));
+        let mut c = cfg(2);
+        c.serve.fault = None;
+        let with_field = simulate_fleet(&s, &c);
+        assert_eq!(healthy.rows, with_field.rows, "None fault is byte-identical behavior");
+        assert_eq!(healthy.failovers(), 0);
     }
 
     #[test]

@@ -8,7 +8,10 @@ use crate::clock::TraceClock;
 /// `WeightWait` separates the beamformers' wait for the previous CPI's
 /// weight vectors from ordinary data receives (the pipeline's only
 /// cross-CPI dependency), and `Backoff` accounts for retry pauses under a
-/// fault plan so recovered time is measured, not inferred.
+/// fault plan so recovered time is measured, not inferred. `Failover` is
+/// the serving layer's recovery interval after a fleet fault (stripe-server
+/// loss): detection of the infrastructure loss through restart on the
+/// degraded store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Phase {
     /// Time in parallel file system reads (sync reads and iread waits).
@@ -26,11 +29,14 @@ pub enum Phase {
     /// Time blocked pulling CPI cubes from the streaming staging tier
     /// (the stream-path analogue of `Read`).
     Ingest,
+    /// Time a mission spent failing over after a fleet fault: from the
+    /// infrastructure-loss error to the restart on the degraded store.
+    Failover,
 }
 
 impl Phase {
     /// Number of phases.
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 8;
 
     /// All phases in canonical (display and storage) order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -41,6 +47,7 @@ impl Phase {
         Phase::Send,
         Phase::Backoff,
         Phase::Ingest,
+        Phase::Failover,
     ];
 
     /// Dense index for per-phase accumulator arrays.
@@ -54,6 +61,7 @@ impl Phase {
             Phase::Send => 4,
             Phase::Backoff => 5,
             Phase::Ingest => 6,
+            Phase::Failover => 7,
         }
     }
 
@@ -67,6 +75,7 @@ impl Phase {
             Phase::Send => "send",
             Phase::Backoff => "backoff",
             Phase::Ingest => "ingest",
+            Phase::Failover => "failover",
         }
     }
 }

@@ -6,10 +6,55 @@
 //! [`criterion_group!`] / [`criterion_main!`] macros and [`black_box`].
 //! Measurement is a plain wall-clock mean over `sample_size` runs (no
 //! warm-up analysis, outlier rejection, or HTML reports).
+//!
+//! When the `BENCH_JSON` environment variable names a file, the harness
+//! additionally writes every measurement as a JSON array to that path
+//! when the `criterion_main!`-generated `main` finishes — the
+//! machine-readable artifact CI uploads per bench run.
 
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// One finished measurement, recorded for the JSON report.
+struct BenchRecord {
+    name: String,
+    mean_s: f64,
+    iters: u64,
+}
+
+fn records() -> &'static Mutex<Vec<BenchRecord>> {
+    static RECORDS: OnceLock<Mutex<Vec<BenchRecord>>> = OnceLock::new();
+    RECORDS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Writes every measurement recorded so far as a JSON array to the path
+/// named by `$BENCH_JSON`, if set (no-op otherwise). Called by the
+/// `criterion_main!`-generated `main` after all groups have run.
+pub fn write_json_report() {
+    let Ok(path) = std::env::var("BENCH_JSON") else { return };
+    if path.is_empty() {
+        return;
+    }
+    let rows: Vec<String> = records()
+        .lock()
+        .expect("bench record lock")
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"name\": \"{}\", \"mean_s\": {:.9}, \"iters\": {}}}",
+                r.name.replace('\\', "\\\\").replace('"', "\\\""),
+                r.mean_s,
+                r.iters
+            )
+        })
+        .collect();
+    let body = format!("[\n  {}\n]\n", rows.join(",\n  "));
+    if let Err(e) = std::fs::write(&path, body) {
+        eprintln!("BENCH_JSON: cannot write {path}: {e}");
+    }
+}
 
 /// How `iter_batched` amortizes setup cost. The shim runs one routine call
 /// per setup call regardless; the variants exist for API compatibility.
@@ -67,6 +112,11 @@ impl Bencher {
             return;
         }
         let mean = self.total.as_secs_f64() / self.iters as f64;
+        records().lock().expect("bench record lock").push(BenchRecord {
+            name: name.to_string(),
+            mean_s: mean,
+            iters: self.iters,
+        });
         let (value, unit) = if mean >= 1.0 {
             (mean, "s")
         } else if mean >= 1e-3 {
@@ -157,6 +207,8 @@ macro_rules! criterion_main {
             // cargo bench passes harness flags (--bench, filters); this
             // minimal harness runs everything unconditionally.
             $($group();)+
+            // One JSON artifact per bench binary when $BENCH_JSON is set.
+            $crate::write_json_report();
         }
     };
 }
@@ -201,5 +253,25 @@ mod tests {
         });
         g.finish();
         assert_eq!((setups, runs), (2, 2));
+    }
+
+    #[test]
+    fn json_report_round_trips_measurements() {
+        let mut c = Criterion::default();
+        c.sample_size(2);
+        c.bench_function("json \"quoted\" bench", |b| b.iter(|| 1 + 1));
+        let dir = std::env::temp_dir().join("criterion-shim-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("bench.json");
+        // SAFETY: tests in this crate run in one process; no other thread
+        // reads the environment concurrently with this test.
+        std::env::set_var("BENCH_JSON", &path);
+        write_json_report();
+        std::env::remove_var("BENCH_JSON");
+        let body = std::fs::read_to_string(&path).expect("report written");
+        assert!(body.trim_start().starts_with('['), "a JSON array: {body}");
+        assert!(body.contains("json \\\"quoted\\\" bench"), "escaped name: {body}");
+        assert!(body.contains("\"mean_s\""), "mean recorded: {body}");
+        assert!(body.contains("\"iters\": 2"), "iteration count recorded: {body}");
     }
 }

@@ -88,8 +88,18 @@ fn run(a: RunArgs) {
     };
 
     println!(
-        "\n{:<16}{:>7}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}",
-        "task", "nodes", "read", "recv", "wwait", "compute", "send", "backoff", "ingest", "total"
+        "\n{:<16}{:>7}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}",
+        "task",
+        "nodes",
+        "read",
+        "recv",
+        "wwait",
+        "compute",
+        "send",
+        "backoff",
+        "ingest",
+        "failover",
+        "total"
     );
     for (i, stage) in system.topology().stages().iter().enumerate() {
         let id = StageId(i);
@@ -149,13 +159,13 @@ fn sim(a: SimArgs) {
     let machine = machine_for(&a.machine).expect("validated by the parser");
     let mut exp = DesExperiment::new(machine, a.io, a.tail, a.nodes);
     if a.fault_rate > 0.0 {
-        exp.faults = Some(ppstap::core::DesFaultModel {
-            source: ppstap::core::FaultSource::Random { rate: a.fault_rate, seed: a.fault_seed },
-            fail_attempts: u32::MAX,
-            detect: 0.002,
-            retry_attempts: 2,
-            backoff: 0.002,
-        });
+        exp.faults = Some(ppstap::core::DesFaultModel::transient(
+            ppstap::core::FaultSource::Random { rate: a.fault_rate, seed: a.fault_seed },
+            u32::MAX,
+            0.002,
+            2,
+            0.002,
+        ));
     }
     if a.trace {
         exp.cpis = 24;
@@ -251,6 +261,12 @@ mod stap_bench_shim {
         out.push(("serve_contention", ppstap::serve::experiments::contention_report()));
         out.push(("ingest_backpressure", ppstap::core::experiments::ingest::backpressure_report()));
         out.push(("detection_quality", ppstap::scenario::experiments::detection_quality()));
+        // Same rates as stap-bench's RELIABILITY_RATES (the umbrella crate
+        // cannot depend on the leaf bench crate).
+        out.push((
+            "reliability_tradeoff",
+            ppstap::planner::reliability::tradeoff_report(&[1e-5, 1e-4, 5e-4, 1e-3, 5e-3]),
+        ));
         out
     }
 }
@@ -262,6 +278,12 @@ fn plan_cmd(a: PlanArgs) {
         cfg.validate_des = false;
     }
     cfg.max_latency = a.max_latency;
+    if let Some(rate) = a.fault_rate {
+        cfg = cfg.with_fault_rate(rate);
+    }
+    if let Some(bound) = a.max_failure_prob {
+        cfg = cfg.with_max_failure_prob(bound);
+    }
     let report = ppstap::planner::plan(&cfg);
     if a.json {
         println!("{}", ppstap::planner::to_json(&report));
@@ -276,6 +298,7 @@ fn serve_config_from(a: &ServeArgs) -> ppstap::serve::ServeConfig {
         workers: a.workers,
         queue_capacity: a.queue_capacity,
         staging_capacity: a.staging,
+        fault: a.fault,
         ..ppstap::serve::ServeConfig::default()
     }
 }
@@ -346,10 +369,20 @@ fn serve_cmd(a: ServeArgs) {
         for name in &out.cancelled {
             println!("cancelled {name} while queued");
         }
+        for m in &out.missions {
+            if let Some(note) = &m.failover {
+                println!("failover {}: {note}", m.name);
+            }
+        }
         println!("makespan       : {:>9.3} s", out.makespan);
         match out.sla_hit_rate() {
             Some(rate) => println!("SLA hit-rate   : {:>8.0}%", rate * 100.0),
             None => println!("SLA hit-rate   : n/a (no bounded missions)"),
+        }
+        if out.failovers() > 0 {
+            if let Some(rate) = out.sla_hit_rate_no_failover() {
+                println!("SLA hit-rate (no failover) : {:>8.0}% counterfactual", rate * 100.0);
+            }
         }
     }
     if let Some(path) = &a.trace {

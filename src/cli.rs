@@ -8,7 +8,7 @@
 use stap_core::{FailurePolicy, IoStrategy, SourceSpec, TailStructure};
 use stap_model::machines::MachineModel;
 use stap_pfs::FaultPlan;
-use stap_serve::ArrivalSpec;
+use stap_serve::{ArrivalSpec, FleetFault};
 
 /// Parsed command.
 #[derive(Debug, Clone, PartialEq)]
@@ -90,6 +90,9 @@ pub struct ServeArgs {
     pub json: bool,
     /// Write the merged mission-tagged Chrome trace here (real mode only).
     pub trace: Option<String>,
+    /// Injected fleet-level fault (`server-loss:IDX@T`), applied to both
+    /// real execution and `--sim`.
+    pub fault: Option<FleetFault>,
 }
 
 impl Default for ServeArgs {
@@ -107,6 +110,7 @@ impl Default for ServeArgs {
             queue_capacity: 16,
             json: false,
             trace: None,
+            fault: None,
         }
     }
 }
@@ -149,6 +153,12 @@ pub struct PlanArgs {
     /// Latency SLA in seconds: report the max-throughput front plan that
     /// meets the bound (or why none does).
     pub max_latency: Option<f64>,
+    /// Per-node per-CPI failure rate enabling tri-criteria (throughput x
+    /// latency x reliability) planning.
+    pub fault_rate: Option<f64>,
+    /// Mission-failure-probability SLA: report the max-delivered-throughput
+    /// front plan whose failure probability meets the bound.
+    pub max_failure_prob: Option<f64>,
 }
 
 impl Default for PlanArgs {
@@ -161,6 +171,8 @@ impl Default for PlanArgs {
             json: false,
             no_des: false,
             max_latency: None,
+            fault_rate: None,
+            max_failure_prob: None,
         }
     }
 }
@@ -522,8 +534,31 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
                     }
                     "--json" => a.json = true,
                     "--no-des" => a.no_des = true,
+                    "--fault-rate" => {
+                        let v: f64 = take_value(flag, &mut it)?.parse().map_err(|_| {
+                            ParseError("--fault-rate must be a per-node per-CPI rate".into())
+                        })?;
+                        if !(v > 0.0 && v < 1.0) {
+                            return Err(ParseError("--fault-rate must be in (0, 1)".into()));
+                        }
+                        a.fault_rate = Some(v);
+                    }
+                    "--max-failure-prob" => {
+                        let v: f64 = take_value(flag, &mut it)?.parse().map_err(|_| {
+                            ParseError("--max-failure-prob must be a probability".into())
+                        })?;
+                        if !(0.0..=1.0).contains(&v) {
+                            return Err(ParseError("--max-failure-prob must be in [0, 1]".into()));
+                        }
+                        a.max_failure_prob = Some(v);
+                    }
                     other => return Err(ParseError(format!("unknown flag '{other}' for plan"))),
                 }
+            }
+            if a.max_failure_prob.is_some() && a.fault_rate.is_none() {
+                return Err(ParseError(
+                    "--max-failure-prob needs --fault-rate to define the fault model".into(),
+                ));
             }
             a.machines()?; // validate the combination now
             Ok(Command::Plan(a))
@@ -593,6 +628,11 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
                         }
                     }
                     "--json" => a.json = true,
+                    "--fault-plan" => {
+                        a.fault = Some(
+                            FleetFault::parse(take_value(flag, &mut it)?).map_err(ParseError)?,
+                        );
+                    }
                     "--trace" => match parse_trace(take_value(flag, &mut it)?)? {
                         TraceMode::Chrome(path) => a.trace = Some(path),
                         TraceMode::Text => {
@@ -744,7 +784,7 @@ USAGE:
 
     ppstap plan  [--machine paragon|paragon16|paragon64|paragon-het|sp|all]
                  [--stripe-factor 16|64|auto] [--nodes N] [--max-latency S]
-                 [--json] [--no-des]
+                 [--fault-rate R] [--max-failure-prob P] [--json] [--no-des]
         Search node assignments x I/O strategies x task combining for the
         throughput/latency Pareto front (DES-validated unless --no-des),
         printing every pruned candidate with the reason it lost.
@@ -752,11 +792,18 @@ USAGE:
         axis; paragon-het plans a mixed 96+32-node pool, packing fast nodes
         onto the heaviest tasks. --max-latency S filters the front to plans
         meeting the latency SLA and names the max-throughput survivor.
+        --fault-rate R enables tri-criteria planning: each node fails with
+        per-CPI rate R, the search space gains stage replication and
+        checkpoint/restart placements, plans are scored on *delivered*
+        throughput and mission-survival probability, and the front becomes
+        throughput x latency x reliability. --max-failure-prob P (requires
+        --fault-rate) names the max-delivered-throughput survivor whose
+        mission-failure probability meets the bound.
 
     ppstap serve (--script FILE | --arrivals SPEC) [--sim] [--workers N]
                  [--pool-nodes N] [--queue-capacity N] [--staging N]
                  [--duration S] [--arrival-seed N] [--source SPEC]
-                 [--json] [--trace chrome:PATH]
+                 [--fault-plan server-loss:IDX@T] [--json] [--trace chrome:PATH]
         Run a multi-mission fleet from a workload script: each line is
             at <secs> submit name=<id> [machine=KEY] [nodes=N] [cpis=C]
                      [priority=P] [max-latency=S] [io=embedded|separate]
@@ -787,6 +834,13 @@ USAGE:
         (shared FCFS stripe servers; stream missions gate on a virtual
         staging ring instead of the store) and reports per-mission queue
         wait, slowdown, SLA hit-rate, and fleet store utilization.
+        --fault-plan server-loss:IDX@T permanently kills stripe server IDX
+        once a mission reaches CPI T: in-flight missions fail over (the
+        store is re-striped over the survivors, the mission re-planned
+        inside its reserved nodes and completed degraded, the event visible
+        as a failover span in the trace), and the report grades SLA
+        hit-rate with and without the failover path; --sim predicts the
+        same fault schedule in capacity mode.
 
     ppstap submit name=<id> [key=value ...] [--json]
         One-shot serve: admit and run a single mission now, printing its
@@ -1001,6 +1055,59 @@ mod tests {
         // A later numeric factor overrides auto (last flag wins).
         let c = parse(&["plan", "--stripe-factor", "auto", "--stripe-factor", "16"]).unwrap();
         assert_eq!(c, Command::Plan(PlanArgs { stripe_factor: Some(16), ..PlanArgs::default() }));
+    }
+
+    #[test]
+    fn plan_reliability_flags() {
+        let c = parse(&["plan", "--fault-rate", "0.0005", "--max-failure-prob", "0.1"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Plan(PlanArgs {
+                fault_rate: Some(0.0005),
+                max_failure_prob: Some(0.1),
+                ..PlanArgs::default()
+            })
+        );
+        // A failure-probability SLA without a fault model is meaningless.
+        assert!(parse(&["plan", "--max-failure-prob", "0.1"])
+            .unwrap_err()
+            .0
+            .contains("needs --fault-rate"));
+        assert!(parse(&["plan", "--fault-rate", "0"]).unwrap_err().0.contains("(0, 1)"));
+        assert!(parse(&["plan", "--fault-rate", "1.0"]).unwrap_err().0.contains("(0, 1)"));
+        assert!(parse(&["plan", "--fault-rate", "often"]).unwrap_err().0.contains("rate"));
+        assert!(parse(&["plan", "--fault-rate", "0.001", "--max-failure-prob", "1.5"])
+            .unwrap_err()
+            .0
+            .contains("[0, 1]"));
+    }
+
+    #[test]
+    fn serve_fault_plan_flag() {
+        let c = parse(&["serve", "--script", "f.txt", "--fault-plan", "server-loss:3@5"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Serve(ServeArgs {
+                script: "f.txt".into(),
+                fault: Some(FleetFault { server: 3, at_cpi: 5 }),
+                ..ServeArgs::default()
+            })
+        );
+        // The fleet fault applies to --sim capacity predictions too.
+        let c = parse(&["serve", "--script", "f.txt", "--sim", "--fault-plan", "server-loss:0@1"])
+            .unwrap();
+        let Command::Serve(a) = c else { panic!("expected serve") };
+        assert!(a.sim);
+        assert_eq!(a.fault, Some(FleetFault { server: 0, at_cpi: 1 }));
+        // Per-mission fault kinds are rejected with a pointer to `run`.
+        assert!(parse(&["serve", "--script", "f.txt", "--fault-plan", "node:3@1..4"])
+            .unwrap_err()
+            .0
+            .contains("server-loss"));
+        assert!(parse(&["serve", "--script", "f.txt", "--fault-plan", "bogus:x"])
+            .unwrap_err()
+            .0
+            .contains("unknown fault kind"));
     }
 
     #[test]

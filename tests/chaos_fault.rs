@@ -15,7 +15,7 @@ use stap_core::config::{FailurePolicy, RetryPolicy, StapConfig, WatchdogPolicy};
 use stap_core::{IoStrategy, StapRunOutput, StapSystem};
 use stap_kernels::cube::CubeDims;
 use stap_pfs::{Fault, FaultPlan, FaultWindow};
-use stap_pipeline::PipelineError;
+use stap_pipeline::{PipelineError, INFRASTRUCTURE_LOSS_MARKER};
 use stap_radar::{Scene, Target};
 use std::time::Duration;
 
@@ -170,6 +170,58 @@ proptest! {
         }
 
         // Same seed, same schedule, same outcome.
+        let second = StapSystem::prepare(cfg).unwrap().run();
+        prop_assert_eq!(outcome_fingerprint(&first), outcome_fingerprint(&second));
+    }
+
+    /// Fleet-level chaos: a seeded *permanent* loss (stripe server or
+    /// compute node) against every policy. Invariants on top of the
+    /// generic three:
+    /// 4. permanent losses are never retried or skipped into oblivion —
+    ///    when one is observed the run fails fast, and
+    /// 5. the flat error text carries [`INFRASTRUCTURE_LOSS_MARKER`], so a
+    ///    failover layer that only sees a dead worker's message can still
+    ///    classify "re-plan on the degraded pool" vs "the data is bad".
+    #[test]
+    fn fleet_loss_chaos_terminates_with_classifiable_errors(
+        seed in 0u64..u64::MAX,
+        io_choice in 0usize..2,
+        policy_choice in 0usize..3,
+    ) {
+        let io = if io_choice == 0 { IoStrategy::Embedded } else { IoStrategy::SeparateTask };
+        let policy = policy_for(policy_choice);
+        let mut d = Draws::new(seed);
+        let from = d.next(CPIS);
+        let fault = if d.next(2) == 0 {
+            Fault::ServerLoss { server: d.next(16) as usize, from }
+        } else {
+            Fault::NodeCrash {
+                node: d.next(8) as usize,
+                window: FaultWindow::new(from, from + 1 + d.next(CPIS - from)),
+            }
+        };
+        let cfg = tiny_config(io, policy, FaultPlan::new(seed).with(fault));
+
+        let first = StapSystem::prepare(cfg.clone()).unwrap().run();
+        match &first {
+            // The loss may miss every issued read (a server no extent
+            // lands on, a node that hosts no reader): then the run is a
+            // clean, complete one — permanent faults never silently drop.
+            Ok(out) => {
+                prop_assert_eq!(out.reports.len() as u64, CPIS);
+                prop_assert!(out.dropped.is_empty(), "fleet losses must not skip CPIs");
+            }
+            Err(e) => {
+                assert_typed_root_cause(e);
+                prop_assert!(
+                    e.to_string().contains(INFRASTRUCTURE_LOSS_MARKER)
+                        || matches!(e, PipelineError::Timeout { .. }),
+                    "fleet loss surfaced unclassifiably: {e}"
+                );
+            }
+        }
+
+        // Same seed, same loss, same outcome.
         let second = StapSystem::prepare(cfg).unwrap().run();
         prop_assert_eq!(outcome_fingerprint(&first), outcome_fingerprint(&second));
     }

@@ -19,7 +19,9 @@
 //!    or completed, with nothing left queued or running.
 
 use proptest::prelude::*;
-use stap_serve::{run_fleet, simulate_fleet, ReadModel, ServeConfig, SimConfig, WorkloadScript};
+use stap_serve::{
+    run_fleet, simulate_fleet, FleetFault, ReadModel, ServeConfig, SimConfig, WorkloadScript,
+};
 use std::sync::Mutex;
 
 /// Serializes writers of the shared tolerance report: the tests in this
@@ -284,6 +286,75 @@ at 0.030 submit name=s2 nodes=25 cpis=4 source=stream staging=2 backpressure=blo
     );
 }
 
+/// Executed-vs-simulated SLA hit-rate tolerance *under an injected fleet
+/// fault*. Which missions fail over is a pure function of the script and
+/// the fault schedule (every file-fed mission whose CPI count reaches the
+/// loss CPI observes it) in both modes, and the script's latency bounds
+/// sit orders of magnitude above either mode's runtimes, so the graded
+/// sets — and therefore both the headline hit-rate and the no-failover
+/// counterfactual — must agree exactly; any disagreement is a failover
+/// classification bug, not timing noise.
+const FAULT_SLA_RATE_TOL: f64 = 1e-9;
+
+#[test]
+fn fleet_fault_sim_matches_execution_on_failovers_and_sla() {
+    // f0/f1 (4 CPIs) cross the loss at CPI 3 and must fail over; f2
+    // (2 CPIs) finishes before the server dies and must complete clean.
+    let text = "\
+at 0.000 submit name=f0 nodes=25 cpis=4 max-latency=120\n\
+at 0.015 submit name=f1 nodes=25 cpis=4 max-latency=120\n\
+at 0.030 submit name=f2 nodes=25 cpis=2 max-latency=120\n";
+    let script = WorkloadScript::parse(text).expect("fault script parses");
+    let fault = Some(FleetFault { server: 0, at_cpi: 3 });
+    let cfg = ServeConfig { fault, ..fleet_config() };
+    let exec = run_fleet(&script, &cfg);
+    let sim = simulate_fleet(&script, &SimConfig { serve: cfg, read_model: ReadModel::Planned });
+
+    assert_eq!(exec.missions.len(), 3, "all executed missions survive the loss");
+    assert_eq!(sim.rows.len(), 3, "all simulated missions survive the loss");
+
+    // Failover conformance: the same missions fail over in both modes.
+    let mut exec_fo: Vec<&str> =
+        exec.missions.iter().filter(|m| m.failover.is_some()).map(|m| m.name.as_str()).collect();
+    let mut sim_fo: Vec<&str> =
+        sim.rows.iter().filter(|r| r.failover.is_some()).map(|r| r.name.as_str()).collect();
+    exec_fo.sort_unstable();
+    sim_fo.sort_unstable();
+    assert_eq!(exec_fo, ["f0", "f1"], "executed failover set");
+    assert_eq!(sim_fo, ["f0", "f1"], "simulated failover set");
+
+    // SLA conformance: headline hit-rate and the no-failover
+    // counterfactual agree within the documented tolerance.
+    let exec_sla = exec.sla_hit_rate().expect("bounded missions executed");
+    let sim_sla = sim.sla_hit_rate().expect("bounded missions simulated");
+    let exec_cf = exec.sla_hit_rate_no_failover().expect("counterfactual graded");
+    let sim_cf = sim.sla_hit_rate_no_failover().expect("counterfactual graded");
+    let lines = vec![
+        format!("fault: server-loss:0@3 over {} missions", exec.missions.len()),
+        format!("failover set (both modes): {}", exec_fo.join(" ")),
+        format!(
+            "SLA hit-rate: exec={:.0}% sim={:.0}% (tol {FAULT_SLA_RATE_TOL})",
+            exec_sla * 100.0,
+            sim_sla * 100.0
+        ),
+        format!(
+            "SLA hit-rate without failover: exec={:.0}% sim={:.0}%",
+            exec_cf * 100.0,
+            sim_cf * 100.0
+        ),
+    ];
+    write_report_section("fleet fault: executed vs simulated SLA hit-rates", &lines);
+    assert!(
+        (exec_sla - sim_sla).abs() <= FAULT_SLA_RATE_TOL,
+        "SLA hit-rate disagrees under the fault: exec {exec_sla} vs sim {sim_sla}"
+    );
+    assert!(
+        (exec_cf - sim_cf).abs() <= FAULT_SLA_RATE_TOL,
+        "no-failover counterfactual disagrees: exec {exec_cf} vs sim {sim_cf}"
+    );
+    assert!(exec_cf < exec_sla, "redundancy-free counterfactual must be strictly worse");
+}
+
 #[test]
 fn simulator_is_deterministic_on_the_fixed_script() {
     let script = contention_script(0.012);
@@ -355,7 +426,9 @@ proptest! {
     /// Random fleets drain: `simulate_fleet` returns (no deadlock — the
     /// admission invariant guarantees every queued plan fits an empty
     /// pool) and conserves missions: submitted == rejected + cancelled +
-    /// completed + failed, with per-row timing sanity.
+    /// completed + failed, with per-row timing sanity. Half the cases
+    /// inject a seeded mid-mission stripe-server loss: failover must
+    /// degrade missions, never leak one out of the conservation ledger.
     #[test]
     fn random_fleets_terminate_and_conserve_missions(
         seed in any::<u64>(),
@@ -363,7 +436,12 @@ proptest! {
         workers in 1usize..4,
         queue_capacity in 1usize..5,
         pool_nodes in 20usize..70,
+        fault_server in 0usize..64,
+        fault_cpi in 0u64..12,
     ) {
+        // fault_cpi >= 6 encodes "no fault": half the cases run fault-free.
+        let fault =
+            (fault_cpi < 6).then_some(FleetFault { server: fault_server, at_cpi: fault_cpi });
         let (script, submitted) = random_script(seed, missions);
         let cfg = SimConfig {
             serve: ServeConfig {
@@ -371,6 +449,7 @@ proptest! {
                 workers,
                 queue_capacity,
                 stripe_servers: 64,
+                fault,
                 ..ServeConfig::default()
             },
             read_model: ReadModel::Planned,
@@ -398,6 +477,13 @@ proptest! {
             prop_assert!((row.queue_wait - (row.start - row.submit)).abs() < 1e-6);
             prop_assert!(row.end <= report.makespan + 1e-9);
             prop_assert!(row.slowdown >= 1.0 - 1e-9, "{}: runtime below nominal", row.name);
+            if let Some(note) = &row.failover {
+                prop_assert!(
+                    note.contains("stripe server"),
+                    "{}: failover note must name the lost unit, got '{note}'",
+                    row.name
+                );
+            }
         }
     }
 }
