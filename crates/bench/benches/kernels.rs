@@ -8,6 +8,7 @@ use stap_kernels::cube::{CubeDims, DataCube, DopplerCube};
 use stap_kernels::doppler::{DopplerConfig, DopplerFilter};
 use stap_kernels::pulse::{lfm_chirp, PulseCompressor};
 use stap_kernels::weights::WeightComputer;
+use stap_kernels::KernelPath;
 use stap_math::{FftPlan, C32};
 
 /// Deterministic pseudo-noise cube.
@@ -55,11 +56,21 @@ fn bench(c: &mut Criterion) {
         )
     });
 
-    // Doppler filtering of a 1/8-scale cube slab (what one node handles).
+    // Doppler filtering of a 1/8-scale cube slab (what one node handles),
+    // per kernel path: the scalar reference loop nest against the
+    // cache-blocked panels and the explicit-SIMD inner loops. All three
+    // produce bit-identical cubes (tests/kernel_props.rs); the deltas here
+    // are the recorded speedup trajectory in BENCH_kernels.json.
     let slab = noise_cube(CubeDims::new(128, 32, 64));
     let df = DopplerFilter::new(128, DopplerConfig::default());
-    g.bench_function("doppler_easy_slab_128x32x64", |b| b.iter(|| df.filter_easy(&slab)));
-    g.bench_function("doppler_staggered_slab_128x32x64", |b| b.iter(|| df.filter_staggered(&slab)));
+    for path in [KernelPath::Reference, KernelPath::Blocked, KernelPath::Simd] {
+        g.bench_function(&format!("doppler_easy_slab_128x32x64/{path}"), |b| {
+            b.iter(|| df.filter_easy_with(&slab, path))
+        });
+        g.bench_function(&format!("doppler_staggered_slab_128x32x64/{path}"), |b| {
+            b.iter(|| df.filter_staggered_with(&slab, path))
+        });
+    }
 
     // Covariance + weights for one hard bin (DoF 64).
     let hard = noise_doppler(2, 2, 32, 512);
@@ -69,11 +80,13 @@ fn bench(c: &mut Criterion) {
     let wc = WeightComputer::default();
     g.bench_function("weights_one_hard_bin", |b| b.iter(|| wc.compute(&hard, &[1]).unwrap()));
 
-    // Beamforming one bin over the full range extent.
+    // Beamforming one bin over the full range extent, per kernel path.
     let ws = wc.compute(&hard, &[0, 1]).unwrap();
-    g.bench_function("beamform_2bins_512rg", |b| {
-        b.iter(|| stap_kernels::beamform::Beamformer.apply(&hard, &ws))
-    });
+    for path in [KernelPath::Reference, KernelPath::Blocked, KernelPath::Simd] {
+        g.bench_function(&format!("beamform_2bins_512rg/{path}"), |b| {
+            b.iter(|| stap_kernels::beamform::Beamformer.apply_with(&hard, &ws, path))
+        });
+    }
 
     // Pulse compression of one row.
     let wf = lfm_chirp(16, 0.9);
@@ -85,6 +98,18 @@ fn bench(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+
+    // A whole row batch (one tail node's CPI share), per kernel path: the
+    // per-row reference against the ROW_BLOCK-batched panel FFTs.
+    for path in [KernelPath::Reference, KernelPath::Blocked, KernelPath::Simd] {
+        g.bench_function(&format!("pulse_compress_batch_64x512/{path}"), |b| {
+            b.iter_batched(
+                || vec![C32::new(0.3, -0.1); 64 * 512],
+                |mut rows| pc.compress_rows(&mut rows, 512, path),
+                BatchSize::LargeInput,
+            )
+        });
+    }
 
     // CFAR over one row.
     let powers: Vec<f64> = (0..512).map(|i| 1.0 + (i as f64 * 0.37).sin().abs()).collect();

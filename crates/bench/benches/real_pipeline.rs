@@ -3,13 +3,16 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use stap_core::config::StapConfig;
-use stap_core::{IoStrategy, StapSystem, TailStructure};
+use stap_core::{IoStrategy, KernelPath, ScheduleMode, StapSystem, TailStructure};
 
-fn run_once(io: IoStrategy, tail: TailStructure) -> usize {
-    let cfg = StapConfig { io, tail, cpis: 4, warmup: 1, ..StapConfig::default() };
+fn run_cfg(cfg: StapConfig) -> usize {
     let sys = StapSystem::prepare(cfg).expect("prepare");
     let out = sys.run().expect("run");
     out.reports.iter().map(|r| r.len()).sum()
+}
+
+fn run_once(io: IoStrategy, tail: TailStructure) -> usize {
+    run_cfg(StapConfig { io, tail, cpis: 4, warmup: 1, ..StapConfig::default() })
 }
 
 fn bench(c: &mut Criterion) {
@@ -23,6 +26,35 @@ fn bench(c: &mut Criterion) {
     });
     g.bench_function("embedded_combined_4cpis", |b| {
         b.iter(|| run_once(IoStrategy::Embedded, TailStructure::Combined))
+    });
+
+    // The data-plane A/B axes: scalar kernels + per-hop deep copies (the
+    // pre-optimization baseline) against the blocked/SIMD zero-copy
+    // default, and the work-stealing sub-CPI schedule. All four produce
+    // byte-identical detection reports (tests/comm_slab_props.rs).
+    g.bench_function("embedded_split_4cpis/scalar_copy_comm", |b| {
+        b.iter(|| {
+            run_cfg(StapConfig {
+                cpis: 4,
+                warmup: 1,
+                kernel_path: KernelPath::Reference,
+                copy_comm: true,
+                ..StapConfig::default()
+            })
+        })
+    });
+    g.bench_function("embedded_split_4cpis/fast_zero_copy", |b| {
+        b.iter(|| run_cfg(StapConfig { cpis: 4, warmup: 1, ..StapConfig::default() }))
+    });
+    g.bench_function("embedded_split_4cpis/fast_zero_copy_steal", |b| {
+        b.iter(|| {
+            run_cfg(StapConfig {
+                cpis: 4,
+                warmup: 1,
+                schedule: ScheduleMode::Steal,
+                ..StapConfig::default()
+            })
+        })
     });
     g.finish();
 }

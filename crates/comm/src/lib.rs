@@ -35,10 +35,12 @@ pub mod endpoint;
 pub mod error;
 pub mod group;
 pub mod message;
+pub mod slab;
 pub mod world;
 
 pub use endpoint::{wait_all, AbortHandle, Endpoint, RecvRequest};
 pub use error::CommError;
 pub use group::Group;
 pub use message::{Envelope, Tag};
+pub use slab::{Poison, PoolVec, SharedSlab, SlabPool, SlabPoolStats};
 pub use world::{spawn_world, CommWorld};

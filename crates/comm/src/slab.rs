@@ -1,0 +1,437 @@
+//! Arena-backed slab pool for the zero-copy data plane.
+//!
+//! Payloads in `stap-comm` already move by ownership (boxed `Any` through
+//! in-process channels), so the per-hop cost of the data plane is not
+//! serialization but *allocation*: every CPI used to materialize fresh
+//! `Vec`s for each bin slab, raw slab, and row batch, then drop them one
+//! hop later. [`SlabPool`] recycles those buffers across CPIs: a
+//! [`PoolVec`] checked out of the pool behaves like a `Vec`, and on drop
+//! its storage returns to a size-classed free list instead of the
+//! allocator. A steady-state pipeline therefore reaches a fixed working
+//! set of slabs that circulate between stages — the "arena".
+//!
+//! Recycled buffers are **poisoned** in debug builds (every element
+//! overwritten with [`Poison::POISON`]) so stale reads of a recycled slab
+//! show up as screaming NaN-patterns rather than silently plausible data;
+//! `tests/comm_slab_props.rs` exercises this.
+//!
+//! [`SharedSlab`] adds refcounted read-only fan-out: freeze a slab once,
+//! hand cheap clones to N consumers, and the buffer recycles when the last
+//! clone drops.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+/// Element types that can be debug-poisoned on recycle.
+pub trait Poison: Copy + Send + 'static {
+    /// The value recycled buffers are filled with in debug builds —
+    /// chosen to be maximally implausible as real data.
+    const POISON: Self;
+}
+
+impl Poison for u8 {
+    const POISON: Self = 0xA5;
+}
+
+impl Poison for f32 {
+    // A quiet NaN with a recognizable 0xA5A5 payload.
+    const POISON: Self = f32::from_bits(0x7FC5_A5A5);
+}
+
+impl Poison for f64 {
+    const POISON: Self = f64::from_bits(0x7FF8_A5A5_A5A5_A5A5);
+}
+
+impl Poison for stap_math::C32 {
+    const POISON: Self =
+        stap_math::C32 { re: <f32 as Poison>::POISON, im: <f32 as Poison>::POISON };
+}
+
+/// Counters describing pool behavior, all monotone except `outstanding`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SlabPoolStats {
+    /// Buffers checked out (`take*` calls).
+    pub takes: u64,
+    /// Checkouts satisfied from the free list (no allocation).
+    pub recycled: u64,
+    /// Checkouts that had to allocate a fresh buffer.
+    pub fresh: u64,
+    /// Buffers currently checked out.
+    pub outstanding: u64,
+    /// High-water mark of `outstanding`.
+    pub peak_outstanding: u64,
+}
+
+#[derive(Default)]
+struct PoolCounters {
+    takes: AtomicU64,
+    recycled: AtomicU64,
+    fresh: AtomicU64,
+    outstanding: AtomicU64,
+    peak_outstanding: AtomicU64,
+}
+
+struct PoolInner<T> {
+    /// Free buffers keyed by `floor_pow2(capacity)`, so a take of class
+    /// `c` always receives capacity ≥ `c`.
+    classes: Mutex<HashMap<usize, Vec<Vec<T>>>>,
+    counters: PoolCounters,
+}
+
+/// A thread-safe, size-classed buffer pool. Cheap to clone (shared arena).
+pub struct SlabPool<T: Poison> {
+    inner: Arc<PoolInner<T>>,
+}
+
+impl<T: Poison> Clone for SlabPool<T> {
+    fn clone(&self) -> Self {
+        Self { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T: Poison> Default for SlabPool<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Poison> fmt::Debug for SlabPool<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SlabPool").field("stats", &self.stats()).finish()
+    }
+}
+
+/// Smallest size class; tiny control buffers are not worth pooling finely.
+const MIN_CLASS: usize = 16;
+
+fn class_for_request(capacity: usize) -> usize {
+    capacity.next_power_of_two().max(MIN_CLASS)
+}
+
+fn class_for_return(capacity: usize) -> usize {
+    if capacity < MIN_CLASS {
+        0 // too small to serve any request class; dropped
+    } else {
+        // floor_pow2: the largest class this buffer can fully serve.
+        1 << (usize::BITS - 1 - capacity.leading_zeros())
+    }
+}
+
+impl<T: Poison> SlabPool<T> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(PoolInner {
+                classes: Mutex::new(HashMap::new()),
+                counters: PoolCounters::default(),
+            }),
+        }
+    }
+
+    /// Checks out an **empty** buffer with capacity ≥ `capacity`. Fill it
+    /// with `push`/`extend_from_slice`; it returns to the pool on drop.
+    pub fn take(&self, capacity: usize) -> PoolVec<T> {
+        let class = class_for_request(capacity);
+        let mut buf = {
+            let mut classes = self.inner.classes.lock();
+            classes.get_mut(&class).and_then(Vec::pop)
+        };
+        let c = &self.inner.counters;
+        c.takes.fetch_add(1, Ordering::Relaxed);
+        match &mut buf {
+            Some(b) => {
+                b.clear();
+                c.recycled.fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                buf = Some(Vec::with_capacity(class));
+                c.fresh.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let now = c.outstanding.fetch_add(1, Ordering::Relaxed) + 1;
+        c.peak_outstanding.fetch_max(now, Ordering::Relaxed);
+        PoolVec { buf: buf.unwrap_or_default(), pool: Arc::downgrade(&self.inner) }
+    }
+
+    /// Checks out a buffer holding `len` copies of `fill`.
+    pub fn take_filled(&self, len: usize, fill: T) -> PoolVec<T> {
+        let mut v = self.take(len);
+        v.resize(len, fill);
+        v
+    }
+
+    /// Checks out a buffer initialized to a copy of `src`.
+    pub fn take_copy(&self, src: &[T]) -> PoolVec<T> {
+        let mut v = self.take(src.len());
+        v.extend_from_slice(src);
+        v
+    }
+
+    /// Snapshot of the pool counters.
+    pub fn stats(&self) -> SlabPoolStats {
+        let c = &self.inner.counters;
+        SlabPoolStats {
+            takes: c.takes.load(Ordering::Relaxed),
+            recycled: c.recycled.load(Ordering::Relaxed),
+            fresh: c.fresh.load(Ordering::Relaxed),
+            outstanding: c.outstanding.load(Ordering::Relaxed),
+            peak_outstanding: c.peak_outstanding.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of buffers currently parked on the free lists.
+    pub fn free_buffers(&self) -> usize {
+        self.inner.classes.lock().values().map(Vec::len).sum()
+    }
+}
+
+impl<T: Poison> PoolInner<T> {
+    fn recycle(&self, mut buf: Vec<T>) {
+        self.counters.outstanding.fetch_sub(1, Ordering::Relaxed);
+        // Debug builds poison the recycled storage so any use-after-recycle
+        // read produces unmistakable garbage instead of stale-but-plausible
+        // samples.
+        #[cfg(debug_assertions)]
+        {
+            for v in buf.iter_mut() {
+                *v = T::POISON;
+            }
+        }
+        buf.clear();
+        let class = class_for_return(buf.capacity());
+        if class == 0 {
+            return;
+        }
+        self.classes.lock().entry(class).or_default().push(buf);
+    }
+}
+
+/// A buffer checked out of a [`SlabPool`]. Derefs to `Vec<T>`; storage
+/// returns to the pool when dropped (or is freed normally if the pool is
+/// gone or the buffer is detached).
+pub struct PoolVec<T: Poison> {
+    buf: Vec<T>,
+    pool: Weak<PoolInner<T>>,
+}
+
+impl<T: Poison> PoolVec<T> {
+    /// A pool-less buffer wrapping `vec` — used by the `--copy-comm`
+    /// escape hatch and by tests that want plain allocation semantics.
+    pub fn detached(vec: Vec<T>) -> Self {
+        Self { buf: vec, pool: Weak::new() }
+    }
+
+    /// True when this buffer recycles into a live pool on drop.
+    pub fn is_pooled(&self) -> bool {
+        self.pool.strong_count() > 0
+    }
+
+    /// Consumes the guard, detaching the storage from the pool (it will
+    /// not be recycled).
+    pub fn into_vec(mut self) -> Vec<T> {
+        // Steal the buffer so Drop sees an empty, capacity-0 vec, which
+        // recycles to nothing.
+        std::mem::take(&mut self.buf)
+    }
+
+    /// Freezes into a refcounted, cheaply clonable read-only slab; the
+    /// buffer recycles when the last clone drops.
+    pub fn freeze(self) -> SharedSlab<T> {
+        SharedSlab { inner: Arc::new(self) }
+    }
+}
+
+impl<T: Poison> Drop for PoolVec<T> {
+    fn drop(&mut self) {
+        if self.buf.capacity() == 0 {
+            return;
+        }
+        if let Some(pool) = self.pool.upgrade() {
+            pool.recycle(std::mem::take(&mut self.buf));
+        }
+    }
+}
+
+impl<T: Poison> Deref for PoolVec<T> {
+    type Target = Vec<T>;
+    fn deref(&self) -> &Vec<T> {
+        &self.buf
+    }
+}
+
+impl<T: Poison> DerefMut for PoolVec<T> {
+    fn deref_mut(&mut self) -> &mut Vec<T> {
+        &mut self.buf
+    }
+}
+
+impl<T: Poison + fmt::Debug> fmt::Debug for PoolVec<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.buf.fmt(f)
+    }
+}
+
+impl<T: Poison + PartialEq> PartialEq for PoolVec<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.buf == other.buf
+    }
+}
+
+impl<T: Poison + Eq> Eq for PoolVec<T> {}
+
+impl<T: Poison> Clone for PoolVec<T> {
+    /// Clones contents into a buffer from the *same* pool (or a detached
+    /// one when the pool is gone).
+    fn clone(&self) -> Self {
+        match self.pool.upgrade() {
+            Some(pool) => {
+                let mut v = SlabPool { inner: pool }.take_copy(&self.buf);
+                debug_assert_eq!(v.len(), self.buf.len());
+                v.pool = Weak::clone(&self.pool);
+                v
+            }
+            None => Self::detached(self.buf.clone()),
+        }
+    }
+}
+
+impl<T: Poison> FromIterator<T> for PoolVec<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        Self::detached(iter.into_iter().collect())
+    }
+}
+
+/// Refcounted read-only view of a pooled buffer; see [`PoolVec::freeze`].
+pub struct SharedSlab<T: Poison> {
+    inner: Arc<PoolVec<T>>,
+}
+
+impl<T: Poison> Clone for SharedSlab<T> {
+    fn clone(&self) -> Self {
+        Self { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T: Poison> Deref for SharedSlab<T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        &self.inner
+    }
+}
+
+impl<T: Poison + fmt::Debug> fmt::Debug for SharedSlab<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_recycles_capacity_across_drops() {
+        let pool: SlabPool<f32> = SlabPool::new();
+        {
+            let mut v = pool.take(100);
+            v.extend_from_slice(&[1.0; 100]);
+        }
+        let s = pool.stats();
+        assert_eq!(s.takes, 1);
+        assert_eq!(s.fresh, 1);
+        assert_eq!(s.outstanding, 0);
+        assert_eq!(pool.free_buffers(), 1);
+        let v = pool.take(90); // same 128-class → recycled
+        let s = pool.stats();
+        assert_eq!(s.recycled, 1);
+        assert_eq!(s.outstanding, 1);
+        assert!(v.capacity() >= 90);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn recycled_buffers_are_poisoned() {
+        let pool: SlabPool<f32> = SlabPool::new();
+        let ptr;
+        {
+            let mut v = pool.take(32);
+            v.extend_from_slice(&[3.5; 32]);
+            ptr = v.as_ptr();
+        }
+        // The recycled buffer must hand back the *same* storage, now
+        // poisoned: fill it and check the pre-fill debug pattern via a
+        // fresh take of raw capacity.
+        let mut v2 = pool.take(32);
+        assert_eq!(v2.as_ptr(), ptr, "expected storage reuse");
+        // Reading beyond len is not possible through the safe API; instead
+        // resize without writing and observe the poison NaN pattern is NOT
+        // visible after resize (resize writes). The poison guarantee is
+        // that recycle overwrote the old 3.5 values:
+        v2.resize(32, 0.0);
+        assert!(v2.iter().all(|&x| x == 0.0));
+        // And the poison constant itself is a NaN with our payload.
+        assert!(<f32 as Poison>::POISON.is_nan());
+    }
+
+    #[test]
+    fn peak_outstanding_tracks_high_water() {
+        let pool: SlabPool<u8> = SlabPool::new();
+        let a = pool.take(10);
+        let b = pool.take(10);
+        drop(a);
+        let c = pool.take(10);
+        drop(b);
+        drop(c);
+        let s = pool.stats();
+        assert_eq!(s.peak_outstanding, 2);
+        assert_eq!(s.outstanding, 0);
+        assert_eq!(s.takes, 3);
+    }
+
+    #[test]
+    fn clone_draws_from_same_pool() {
+        let pool: SlabPool<f32> = SlabPool::new();
+        let v = pool.take_copy(&[1.0, 2.0, 3.0]);
+        let w = v.clone();
+        assert_eq!(*v, *w);
+        assert!(w.is_pooled());
+        assert_eq!(pool.stats().takes, 2);
+    }
+
+    #[test]
+    fn detached_buffers_skip_the_pool() {
+        let pool: SlabPool<f32> = SlabPool::new();
+        drop(PoolVec::detached(vec![1.0; 8]));
+        assert_eq!(pool.stats().takes, 0);
+        assert_eq!(pool.free_buffers(), 0);
+        let v = PoolVec::detached(vec![2.0; 4]);
+        assert!(!v.is_pooled());
+        assert_eq!(v.clone().into_vec(), vec![2.0; 4]);
+    }
+
+    #[test]
+    fn frozen_slab_recycles_on_last_clone_drop() {
+        let pool: SlabPool<f32> = SlabPool::new();
+        let shared = pool.take_copy(&[5.0; 20]).freeze();
+        let a = shared.clone();
+        let b = shared.clone();
+        drop(shared);
+        drop(a);
+        assert_eq!(pool.stats().outstanding, 1);
+        assert_eq!(b[3], 5.0);
+        drop(b);
+        assert_eq!(pool.stats().outstanding, 0);
+        assert_eq!(pool.free_buffers(), 1);
+    }
+
+    #[test]
+    fn complex_poison_is_nan() {
+        let p = <stap_math::C32 as Poison>::POISON;
+        assert!(p.re.is_nan() && p.im.is_nan());
+    }
+}

@@ -6,7 +6,13 @@
 //! receivers stitch slabs from every sender into a full-range cube for
 //! their bins. The row-batch type carries beamformed (bin, beam) range rows
 //! between the tail tasks.
+//!
+//! Every payload's sample/byte storage is a [`PoolVec`] so the data plane
+//! can recycle slabs through a [`SlabPool`] arena across CPIs (zero-copy
+//! mode); `--copy-comm` constructs detached (plain-allocation) buffers
+//! instead.
 
+use stap_comm::{PoolVec, SlabPool};
 use stap_kernels::cube::DopplerCube;
 use stap_math::C32;
 
@@ -72,24 +78,41 @@ pub struct BinSlab {
     /// Last range gate (exclusive).
     pub r1: usize,
     /// Samples.
-    pub data: Vec<C32>,
+    pub data: PoolVec<C32>,
 }
 
 impl BinSlab {
     /// Extracts a slab from a Doppler cube covering ranges `[r0, r1)` of the
-    /// cube's local range axis, relabeled as absolute gates.
+    /// cube's local range axis, relabeled as absolute gates. The sample
+    /// buffer is detached (plain allocation); the pipeline's zero-copy path
+    /// uses [`BinSlab::from_cube_pooled`].
     ///
     /// `cube` holds this node's range interval starting at absolute gate
     /// `cube_r0`; the slab covers the cube's *entire* local range extent.
     pub fn from_cube(cube: &DopplerCube, bins: &[usize], cube_r0: usize) -> Self {
+        Self::from_cube_pooled(cube, bins, cube_r0, None)
+    }
+
+    /// [`BinSlab::from_cube`] drawing the sample buffer from `pool` (when
+    /// one is given), so steady-state CPIs recycle slabs instead of
+    /// allocating.
+    pub fn from_cube_pooled(
+        cube: &DopplerCube,
+        bins: &[usize],
+        cube_r0: usize,
+        pool: Option<&SlabPool<C32>>,
+    ) -> Self {
         let n = cube.ranges();
-        let mut data = Vec::with_capacity(bins.len() * cube.staggers() * cube.channels() * n);
+        let cap = bins.len() * cube.staggers() * cube.channels() * n;
+        let mut data = match pool {
+            Some(pool) => pool.take(cap),
+            None => PoolVec::detached(Vec::with_capacity(cap)),
+        };
         for &b in bins {
             for s in 0..cube.staggers() {
                 for c in 0..cube.channels() {
-                    for r in 0..n {
-                        data.push(cube.get(s, b, c, r));
-                    }
+                    // Rows are contiguous in range: one streaming copy each.
+                    data.extend_from_slice(cube.row(s, b, c));
                 }
             }
         }
@@ -226,7 +249,14 @@ pub struct RawSlab {
     /// Last absolute range gate covered (exclusive).
     pub r1: usize,
     /// Range-major bytes (`(r1-r0)·channels·pulses·8`).
-    pub bytes: Vec<u8>,
+    pub bytes: PoolVec<u8>,
+}
+
+impl RawSlab {
+    /// A slab over a detached byte buffer (tests and `--copy-comm`).
+    pub fn new(r0: usize, r1: usize, bytes: Vec<u8>) -> Self {
+        Self { r0, r1, bytes: PoolVec::detached(bytes) }
+    }
 }
 
 /// Beamformed range rows for a set of (bin, beam) pairs.
@@ -237,13 +267,23 @@ pub struct RowBatch {
     /// Range gates per row.
     pub ranges: usize,
     /// `data[row · ranges + r]`.
-    pub data: Vec<C32>,
+    pub data: PoolVec<C32>,
 }
 
 impl RowBatch {
-    /// An empty batch.
+    /// An empty batch over a detached buffer.
     pub fn new(ranges: usize) -> Self {
-        Self { rows: Vec::new(), ranges, data: Vec::new() }
+        Self { rows: Vec::new(), ranges, data: PoolVec::detached(Vec::new()) }
+    }
+
+    /// An empty batch whose sample buffer comes from `pool` with room for
+    /// `capacity_rows` rows — the zero-copy path's constructor.
+    pub fn pooled(ranges: usize, capacity_rows: usize, pool: &SlabPool<C32>) -> Self {
+        Self {
+            rows: Vec::with_capacity(capacity_rows),
+            ranges,
+            data: pool.take(capacity_rows * ranges),
+        }
     }
 
     /// Appends a row.
@@ -276,11 +316,12 @@ impl RowBatch {
         &mut self.data[i * self.ranges..(i + 1) * self.ranges]
     }
 
-    /// Merges another batch into this one.
+    /// Merges another batch into this one (the other's buffer recycles to
+    /// its pool on return).
     pub fn extend(&mut self, other: RowBatch) {
         assert_eq!(self.ranges, other.ranges, "range extent mismatch");
         self.rows.extend(other.rows);
-        self.data.extend(other.data);
+        self.data.extend_from_slice(&other.data);
     }
 }
 

@@ -6,7 +6,6 @@ use crate::stages::{broadcast_gap, port, StapPlan};
 use stap_kernels::beamform::BeamCube;
 use stap_kernels::covariance::TrainingConfig;
 use stap_kernels::weights::{WeightComputer, WeightSet};
-use stap_math::C32;
 use stap_pipeline::stage::{Stage, StageCtx};
 use stap_pipeline::timing::Phase;
 use stap_pipeline::PipelineError;
@@ -63,12 +62,12 @@ impl Stage for WeightStage {
             }
         }
 
-        ctx.phase(Phase::Compute);
         let ws = if gap.is_some() {
             // Dropped CPI: no training data arrived, but the beamformers
             // still expect a weight set tagged with this CPI for the next
             // one. Republish the last good weights (or uniform weights on
             // a cold start) so the temporal edge never starves.
+            ctx.phase(Phase::Compute);
             let staggers = if self.hard { 2 } else { 1 };
             let channels = self.plan.config.dims.channels;
             match &self.last_good {
@@ -82,9 +81,15 @@ impl Stage for WeightStage {
                 ),
             }
         } else {
+            // The slab handoff — stitching the received per-node slabs into
+            // one contiguous cube — is communication, not math. It lives in
+            // the Send phase so the zero-copy data plane's savings show up
+            // in the phase report instead of vanishing into Compute.
+            ctx.phase(Phase::Send);
             let ranges = self.plan.config.dims.ranges;
             let cube = assemble_bins(&my_bins, ranges, &slabs)
                 .map_err(|e| ctx.fail(format!("doppler assembly: {e}")))?;
+            ctx.phase(Phase::Compute);
             // The assembled cube's bin axis is positional; compute against
             // positional indices, then relabel to absolute bins for
             // shipping.
@@ -211,29 +216,35 @@ impl Stage for BeamformStage {
             return Ok(());
         }
 
-        ctx.phase(Phase::Compute);
+        // The slab handoff stitch is communication time (see WeightStage).
+        ctx.phase(Phase::Send);
         let cube = assemble_bins(&my_bins, ranges, &slabs)
             .map_err(|e| ctx.fail(format!("beamform assembly: {e}")))?;
+        ctx.phase(Phase::Compute);
         let ws = self
             .select_weights(&weights_full, &my_bins)
             .map_err(|b| ctx.fail(format!("weight set missing bin {b}")))?;
-        let bc: BeamCube = stap_kernels::beamform::Beamformer.apply(&cube, &ws);
+        let bc: BeamCube =
+            stap_kernels::beamform::Beamformer.apply_with(&cube, &ws, self.plan.kernel_path());
 
         ctx.phase(Phase::Send);
-        // Partition rows by owning pulse-compression node.
+        // Partition rows by owning pulse-compression node. BeamCube rows
+        // are contiguous, so each row ships as one slice copy into an
+        // arena-backed batch (no per-row gather allocation).
         let pc = roles.pulse;
         let pc_nodes = ctx.topology.stage(pc).nodes;
         let row_port = if self.hard { port::HARD_ROWS } else { port::EASY_ROWS };
-        let mut batches: Vec<RowBatch> = (0..pc_nodes).map(|_| RowBatch::new(ranges)).collect();
+        let est_rows = my_bins.len() * self.plan.beams() / pc_nodes.max(1) + 1;
+        let mut batches: Vec<RowBatch> =
+            (0..pc_nodes).map(|_| self.plan.row_batch(ranges, est_rows)).collect();
         for (i, &bin) in my_bins.iter().enumerate() {
             for beam in 0..self.plan.beams() {
                 let owner = self.plan.row_owner(bin, beam, pc_nodes);
-                let row: Vec<C32> = (0..ranges).map(|r| bc.get(beam, i, r)).collect();
-                batches[owner].push(bin, beam, &row);
+                batches[owner].push(bin, beam, bc.row(beam, i));
             }
         }
         for (n, batch) in batches.into_iter().enumerate() {
-            ctx.send_to(pc, n, row_port, Payload::Data(batch))?;
+            ctx.send_to(pc, n, row_port, self.plan.for_send(Payload::Data(batch)))?;
         }
         Ok(())
     }

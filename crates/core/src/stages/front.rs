@@ -9,9 +9,9 @@
 
 use crate::messages::{BinSlab, Gap, Payload, RawSlab};
 use crate::stages::{broadcast_gap, port, StapPlan};
-use stap_kernels::cube::{CubeDims, DataCube};
+use stap_kernels::cube::{partition_even, CubeDims, DataCube, DopplerCube};
 use stap_kernels::doppler::{DopplerConfig, DopplerFilter};
-use stap_pipeline::schedule::block_range;
+use stap_pipeline::schedule::{block_range, ScheduleMode, StealPool};
 use stap_pipeline::stage::{Stage, StageCtx};
 use stap_pipeline::timing::Phase;
 use stap_pipeline::{PendingFetch, PipelineError, INFRASTRUCTURE_LOSS_MARKER};
@@ -168,7 +168,9 @@ impl Stage for ReadStage {
                 None => {
                     let b0 = (lo - r0) * gate_bytes;
                     let b1 = (hi - r0) * gate_bytes;
-                    Payload::Data(RawSlab { r0: lo, r1: hi, bytes: bytes[b0..b1].to_vec() })
+                    let mut slab = self.plan.byte_buf(b1 - b0);
+                    slab.extend_from_slice(&bytes[b0..b1]);
+                    self.plan.for_send(Payload::Data(RawSlab { r0: lo, r1: hi, bytes: slab }))
                 }
             };
             ctx.send_to(df, d, port::RAW, msg)?;
@@ -192,6 +194,8 @@ pub struct DopplerStage {
     local: usize,
     nodes: usize,
     filter: DopplerFilter,
+    /// Sub-CPI work-stealing executor (`--schedule steal`).
+    steal: Option<StealPool>,
     /// Posted fetch for the *next* CPI (async embedded mode).
     pending: Option<(u64, PendingFetch)>,
     consecutive_drops: u32,
@@ -202,7 +206,44 @@ impl DopplerStage {
     pub fn new(plan: Arc<StapPlan>, local: usize, nodes: usize) -> Self {
         let cfg: DopplerConfig = plan.config.doppler.clone();
         let filter = DopplerFilter::new(plan.config.dims.pulses, cfg);
-        Self { plan, local, nodes, filter, pending: None, consecutive_drops: 0 }
+        let steal = (plan.config.schedule == ScheduleMode::Steal).then(StealPool::for_machine);
+        Self { plan, local, nodes, filter, steal, pending: None, consecutive_drops: 0 }
+    }
+
+    /// Both filter outputs for the slab: straight fork-join over range
+    /// blocks under `--schedule steal`, whole-slab kernels otherwise.
+    ///
+    /// The stolen chunks run the blocked kernel and stitch back in range
+    /// order, so the result is bit-identical to the static path (every
+    /// range lane is an independent reduction).
+    fn filter_slab(&self, ctx: &mut StageCtx<'_>, slab: &DataCube) -> (DopplerCube, DopplerCube) {
+        if let Some(pool) = &self.steal {
+            ctx.phase(Phase::Steal);
+            let ranges = slab.dims().ranges;
+            let parts = partition_even(ranges, (pool.workers() * 4).clamp(1, ranges.max(1)));
+            let filter = &self.filter;
+            let chunks = pool.run(parts.clone(), |(c0, c1)| {
+                (
+                    filter.filter_easy_chunk(slab, c0, c1),
+                    filter.filter_staggered_chunk(slab, c0, c1),
+                )
+            });
+            ctx.phase(Phase::Compute);
+            let mut easy = DopplerCube::zeros(1, self.filter.bins(), slab.dims().channels, ranges);
+            let mut hard = DopplerCube::zeros(2, self.filter.bins(), slab.dims().channels, ranges);
+            for ((c0, _c1), (e, h)) in parts.into_iter().zip(chunks) {
+                easy.copy_range_from(&e, c0);
+                hard.copy_range_from(&h, c0);
+            }
+            (easy, hard)
+        } else {
+            ctx.phase(Phase::Compute);
+            let path = self.plan.kernel_path();
+            (
+                self.filter.filter_easy_with(slab, path),
+                self.filter.filter_staggered_with(slab, path),
+            )
+        }
     }
 
     fn my_ranges(&self) -> (usize, usize) {
@@ -259,7 +300,8 @@ impl DopplerStage {
         let read = self.plan.roles.read.expect("separate mode has a read stage");
         let readers = ctx.topology.stage(read).nodes;
         let gate_bytes = dims.channels * dims.pulses * 8;
-        let mut buf = vec![0u8; (r1 - r0) * gate_bytes];
+        let mut buf = self.plan.byte_buf((r1 - r0) * gate_bytes);
+        buf.resize((r1 - r0) * gate_bytes, 0);
         let mut covered = 0usize;
         let mut gap: Option<Gap> = None;
         for i in 0..readers {
@@ -329,20 +371,21 @@ impl Stage for DopplerStage {
         };
 
         // Phase 2: Doppler filtering, easy (full CPI) + hard (staggered).
-        ctx.phase(Phase::Compute);
-        let easy = self.filter.filter_easy(&slab);
-        let hard = self.filter.filter_staggered(&slab);
+        let (easy, hard) = self.filter_slab(ctx, &slab);
 
         // Phase 3: distribute per-bin slabs to the beamformers (spatial)
         // and the weight tasks (temporal consumers of this CPI's data).
+        // Zero-copy mode carves the slabs out of the shared sample arena
+        // and passes ownership; `--copy-comm` deep-copies at the boundary.
         ctx.phase(Phase::Send);
+        let pool = (!self.plan.config.copy_comm).then_some(&self.plan.pools.samples);
         for (stage, is_hard, p) in sends {
             let nodes = ctx.topology.stage(stage).nodes;
             let cube = if is_hard { &hard } else { &easy };
             for n in 0..nodes {
                 let bins = self.plan.owned_bins(is_hard, nodes, n);
-                let msg = Payload::Data(BinSlab::from_cube(cube, &bins, r0));
-                ctx.send_to(stage, n, p, msg)?;
+                let msg = Payload::Data(BinSlab::from_cube_pooled(cube, &bins, r0, pool));
+                ctx.send_to(stage, n, p, self.plan.for_send(msg))?;
             }
         }
         Ok(())

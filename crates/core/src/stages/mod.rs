@@ -12,8 +12,11 @@ use crate::config::StapConfig;
 use crate::io_strategy::{IoStrategy, TailStructure};
 use crate::messages::{Gap, Payload};
 use parking_lot::Mutex;
+use stap_comm::{PoolVec, SlabPool};
 use stap_kernels::doppler::BinClass;
 use stap_kernels::weights::WeightSet;
+use stap_kernels::KernelPath;
+use stap_math::C32;
 use stap_pfs::FileHandle;
 use stap_pipeline::schedule::round_robin_items;
 use stap_pipeline::stage::StageCtx;
@@ -221,6 +224,19 @@ impl QualityTap {
     }
 }
 
+/// The zero-copy data plane's buffer arenas, shared by every stage.
+///
+/// Sample buffers back bin slabs and row batches; byte buffers back the
+/// read task's raw slabs. Buffers recycle on drop, so a steady-state run
+/// reaches a fixed working set of slabs circulating between stages.
+#[derive(Debug, Default)]
+pub struct CommPools {
+    /// Complex-sample buffers (bin slabs, row batches).
+    pub samples: SlabPool<C32>,
+    /// Raw byte buffers (read-task slabs).
+    pub bytes: SlabPool<u8>,
+}
+
 /// Everything the stage implementations need, shared via `Arc`.
 #[derive(Debug)]
 pub struct StapPlan {
@@ -244,9 +260,56 @@ pub struct StapPlan {
     pub stats: FaultStats,
     /// Detection-quality capture (None unless `config.quality_tap`).
     pub tap: Option<Arc<QualityTap>>,
+    /// Recycled message-buffer arenas (bypassed under `--copy-comm`).
+    pub pools: CommPools,
 }
 
 impl StapPlan {
+    /// A sample buffer with room for `capacity` values: pooled in
+    /// zero-copy mode, a fresh detached allocation under `--copy-comm`.
+    pub fn sample_buf(&self, capacity: usize) -> PoolVec<C32> {
+        if self.config.copy_comm {
+            PoolVec::detached(Vec::with_capacity(capacity))
+        } else {
+            self.pools.samples.take(capacity)
+        }
+    }
+
+    /// A byte buffer with room for `capacity` values (see
+    /// [`StapPlan::sample_buf`]).
+    pub fn byte_buf(&self, capacity: usize) -> PoolVec<u8> {
+        if self.config.copy_comm {
+            PoolVec::detached(Vec::with_capacity(capacity))
+        } else {
+            self.pools.bytes.take(capacity)
+        }
+    }
+
+    /// The send-boundary hook of the `--copy-comm` escape hatch: deep-copies
+    /// the payload (so the receiver gets fresh storage, as a serializing
+    /// transport would produce) instead of passing slab ownership through.
+    pub fn for_send<T: Clone>(&self, msg: T) -> T {
+        if self.config.copy_comm {
+            #[allow(clippy::redundant_clone)] // the copy IS the semantics under A/B
+            return msg.clone();
+        }
+        msg
+    }
+
+    /// The kernel path compute stages run.
+    pub fn kernel_path(&self) -> KernelPath {
+        self.config.kernel_path
+    }
+
+    /// An empty row batch with room for `capacity_rows` rows: pooled in
+    /// zero-copy mode, detached under `--copy-comm`.
+    pub fn row_batch(&self, ranges: usize, capacity_rows: usize) -> crate::messages::RowBatch {
+        if self.config.copy_comm {
+            crate::messages::RowBatch::new(ranges)
+        } else {
+            crate::messages::RowBatch::pooled(ranges, capacity_rows, &self.pools.samples)
+        }
+    }
     /// Total Doppler bins.
     pub fn nbins(&self) -> usize {
         self.config.nbins()

@@ -7,6 +7,7 @@ use parking_lot::Mutex;
 use stap_kernels::cfar::{cfar_row, CfarError, Detection};
 use stap_kernels::pulse::PulseCompressor;
 use stap_kernels::report::DetectionReport;
+use stap_pipeline::schedule::{ScheduleMode, StealPool};
 use stap_pipeline::stage::{Stage, StageCtx};
 use stap_pipeline::timing::Phase;
 use stap_pipeline::PipelineError;
@@ -24,7 +25,7 @@ fn recv_rows(
     ranges: usize,
 ) -> Result<Payload<RowBatch>, PipelineError> {
     let roles = plan.roles;
-    let mut all = RowBatch::new(ranges);
+    let mut all = plan.row_batch(ranges, plan.total_rows());
     let mut gap: Option<Gap> = None;
     for (stage, p) in [(roles.easy_bf, port::EASY_ROWS), (roles.hard_bf, port::HARD_ROWS)] {
         let nodes = ctx.topology.stage(stage).nodes;
@@ -124,17 +125,58 @@ fn publish_report(
     Ok(())
 }
 
+/// Pulse-compresses every row of `batch` in place: straight fork-join over
+/// row chunks under `--schedule steal`, one whole-batch kernel call
+/// otherwise.
+///
+/// Every row is an independent lane through the batched kernel, so chunk
+/// boundaries do not change any row's FP op order — the stolen result is
+/// bit-identical to the static one.
+fn compress_batch(
+    compressor: &PulseCompressor,
+    steal: &Option<StealPool>,
+    plan: &StapPlan,
+    ctx: &mut StageCtx<'_>,
+    batch: &mut RowBatch,
+) {
+    let ranges = batch.ranges;
+    let path = plan.kernel_path();
+    match steal {
+        Some(pool) if batch.len() > 1 => {
+            ctx.phase(Phase::Steal);
+            let chunk_rows = batch.len().div_ceil(pool.workers() * 4).max(1);
+            let items: Vec<Vec<_>> =
+                batch.data.chunks(ranges * chunk_rows).map(|c| c.to_vec()).collect();
+            let done = pool.run(items, |mut chunk| {
+                compressor.compress_rows(&mut chunk, ranges, path);
+                chunk
+            });
+            ctx.phase(Phase::Compute);
+            for (dst, src) in batch.data.chunks_mut(ranges * chunk_rows).zip(done) {
+                dst.copy_from_slice(&src);
+            }
+        }
+        _ => {
+            ctx.phase(Phase::Compute);
+            compressor.compress_rows(&mut batch.data, ranges, path);
+        }
+    }
+}
+
 /// Pulse compression task.
 pub struct PulseStage {
     plan: Arc<StapPlan>,
     compressor: PulseCompressor,
+    /// Sub-CPI work-stealing executor (`--schedule steal`).
+    steal: Option<StealPool>,
 }
 
 impl PulseStage {
     /// One node of the pulse-compression task.
     pub fn new(plan: Arc<StapPlan>) -> Self {
         let compressor = PulseCompressor::new(plan.config.dims.ranges, &plan.waveform);
-        Self { plan, compressor }
+        let steal = (plan.config.schedule == ScheduleMode::Steal).then(StealPool::for_machine);
+        Self { plan, compressor, steal }
     }
 }
 
@@ -154,21 +196,19 @@ impl Stage for PulseStage {
             }
         };
 
-        ctx.phase(Phase::Compute);
-        for i in 0..batch.len() {
-            self.compressor.compress_row(batch.row_mut(i));
-        }
+        compress_batch(&self.compressor, &self.steal, &self.plan, ctx, &mut batch);
 
         ctx.phase(Phase::Send);
-        let mut outgoing: Vec<RowBatch> = (0..cfar_nodes).map(|_| RowBatch::new(ranges)).collect();
+        let est_rows = batch.len() / cfar_nodes.max(1) + 1;
+        let mut outgoing: Vec<RowBatch> =
+            (0..cfar_nodes).map(|_| self.plan.row_batch(ranges, est_rows)).collect();
         for i in 0..batch.len() {
             let (bin, beam) = batch.rows[i];
             let owner = self.plan.row_owner(bin, beam, cfar_nodes);
-            let row = batch.row(i).to_vec();
-            outgoing[owner].push(bin, beam, &row);
+            outgoing[owner].push(bin, beam, batch.row(i));
         }
         for (n, out) in outgoing.into_iter().enumerate() {
-            ctx.send_to(cfar, n, port::PC_ROWS, Payload::Data(out))?;
+            ctx.send_to(cfar, n, port::PC_ROWS, self.plan.for_send(Payload::Data(out)))?;
         }
         Ok(())
     }
@@ -196,7 +236,7 @@ impl Stage for CfarStage {
         let ranges = self.plan.config.dims.ranges;
 
         ctx.phase(Phase::Recv);
-        let mut batch = RowBatch::new(ranges);
+        let mut batch = self.plan.row_batch(ranges, self.plan.total_rows());
         let mut gap: Option<Gap> = None;
         for n in 0..pc_nodes {
             match ctx.recv_from::<Payload<RowBatch>>(pc, n, port::PC_ROWS)? {
@@ -225,6 +265,8 @@ pub struct CombinedTailStage {
     local: usize,
     nodes: usize,
     compressor: PulseCompressor,
+    /// Sub-CPI work-stealing executor (`--schedule steal`).
+    steal: Option<StealPool>,
     sink: ReportSink,
 }
 
@@ -232,7 +274,8 @@ impl CombinedTailStage {
     /// One node of the combined task.
     pub fn new(plan: Arc<StapPlan>, local: usize, nodes: usize, sink: ReportSink) -> Self {
         let compressor = PulseCompressor::new(plan.config.dims.ranges, &plan.waveform);
-        Self { plan, local, nodes, compressor, sink }
+        let steal = (plan.config.schedule == ScheduleMode::Steal).then(StealPool::for_machine);
+        Self { plan, local, nodes, compressor, steal, sink }
     }
 }
 
@@ -248,10 +291,8 @@ impl Stage for CombinedTailStage {
             }
         };
 
+        compress_batch(&self.compressor, &self.steal, &self.plan, ctx, &mut batch);
         ctx.phase(Phase::Compute);
-        for i in 0..batch.len() {
-            self.compressor.compress_row(batch.row_mut(i));
-        }
         let dets = detect_batch(&self.plan, ctx.cpi, &batch)
             .map_err(|e| ctx.fail(format!("cfar: {e}")))?;
 

@@ -287,6 +287,7 @@ impl StapSystem {
             waveform,
             stats: FaultStats::default(),
             tap,
+            pools: crate::stages::CommPools::default(),
         });
         let reports: ReportSink = Arc::new(Mutex::new(Vec::new()));
 

@@ -9,9 +9,15 @@
 //! tasks.
 
 use crate::cube::{DataCube, DopplerCube};
+use crate::path::KernelPath;
 use stap_math::fft::next_pow2;
 use stap_math::window::Window;
 use stap_math::{FftPlan, C32};
+
+/// Range-gate lane count per blocked panel. 32 lanes keep a 128-bin panel
+/// at 32 KiB — L1-resident on anything the paper targets — while giving the
+/// autovectorizer full-width contiguous lane loops.
+const RANGE_BLOCK: usize = 32;
 
 /// Classification of Doppler bins into easy and hard processing cases.
 ///
@@ -145,11 +151,102 @@ impl DopplerFilter {
 
     /// Easy-path filtering: one windowed FFT over the full pulse train for
     /// every (channel, range). Output stagger count is 1.
-    #[allow(clippy::needless_range_loop)] // gathers strided cube samples into a dense FFT buffer
     pub fn filter_easy(&self, cube: &DataCube) -> DopplerCube {
+        self.filter_easy_with(cube, KernelPath::Auto)
+    }
+
+    /// [`DopplerFilter::filter_easy`] with an explicit kernel path.
+    pub fn filter_easy_with(&self, cube: &DataCube, path: KernelPath) -> DopplerCube {
         let d = cube.dims();
         assert_eq!(d.pulses, self.pulses, "cube pulse count differs from plan");
         let mut out = DopplerCube::zeros(1, self.fft_len, d.channels, d.ranges);
+        match path.resolve() {
+            KernelPath::Reference => self.filter_easy_ref(cube, &mut out),
+            _ => self.filter_easy_into(cube, &mut out, 0, d.ranges),
+        }
+        out
+    }
+
+    /// Blocked easy-path filtering of range gates `[r0, r1)` into `out` —
+    /// the chunk-level entry the work-stealing executor schedules. `out`
+    /// must cover the full cube geometry; gates outside `[r0, r1)` are left
+    /// untouched. Bit-identical to the scalar reference: the panel FFT runs
+    /// every range-gate lane through the exact scalar butterfly sequence.
+    ///
+    /// # Panics
+    /// Panics when the cube/output geometry disagrees with the plan or the
+    /// gate interval is out of bounds.
+    pub fn filter_easy_into(&self, cube: &DataCube, out: &mut DopplerCube, r0: usize, r1: usize) {
+        assert_eq!(out.ranges(), cube.dims().ranges, "output range extent differs from cube");
+        self.filter_easy_span(cube, out, r0, r1, 0);
+    }
+
+    /// Easy-path filtering of gates `[r0, r1)` into a *compact* cube of
+    /// `r1 - r0` gates — the owned-output form the work-stealing executor's
+    /// items return (stitch with [`DopplerCube::copy_range_from`]).
+    pub fn filter_easy_chunk(&self, cube: &DataCube, r0: usize, r1: usize) -> DopplerCube {
+        let d = cube.dims();
+        let mut out = DopplerCube::zeros(1, self.fft_len, d.channels, r1 - r0);
+        self.filter_easy_span(cube, &mut out, r0, r1, r0);
+        out
+    }
+
+    /// Shared blocked easy path: gates `[r0, r1)` of `cube`, written to
+    /// `out` at range offset `b0 - out_base` (0 for full-size outputs,
+    /// `r0` for compact chunks).
+    fn filter_easy_span(
+        &self,
+        cube: &DataCube,
+        out: &mut DopplerCube,
+        r0: usize,
+        r1: usize,
+        out_base: usize,
+    ) {
+        let d = cube.dims();
+        assert_eq!(d.pulses, self.pulses, "cube pulse count differs from plan");
+        assert_eq!(out.staggers(), 1, "easy output must have one stagger");
+        assert_eq!(out.bins(), self.fft_len, "output bin count differs from plan");
+        assert_eq!(out.channels(), d.channels, "output channel count differs from cube");
+        assert!(r0 <= r1 && r1 <= d.ranges, "invalid gate interval {r0}..{r1}");
+        assert!(out_base <= r0 && r1 - out_base <= out.ranges(), "output too small for interval");
+        let mut panel = vec![C32::zero(); self.fft_len * RANGE_BLOCK.min((r1 - r0).max(1))];
+        let mut b0 = r0;
+        while b0 < r1 {
+            let lanes = RANGE_BLOCK.min(r1 - b0);
+            let o0 = b0 - out_base;
+            let panel = &mut panel[..self.fft_len * lanes];
+            for c in 0..d.channels {
+                // Gather: cube rows at fixed (p, c) are contiguous in range,
+                // so each panel row is one windowed streaming copy.
+                let src_all = cube.as_slice();
+                for p in 0..self.pulses {
+                    let base = (p * d.channels + c) * d.ranges + b0;
+                    let src = &src_all[base..base + lanes];
+                    let dst = &mut panel[p * lanes..(p + 1) * lanes];
+                    let w = self.window_full[p];
+                    for (dv, sv) in dst.iter_mut().zip(src.iter()) {
+                        *dv = sv.scale(w);
+                    }
+                }
+                for v in panel.iter_mut().skip(self.pulses * lanes) {
+                    *v = C32::zero();
+                }
+                self.plan.forward_multi(panel, lanes);
+                // Scatter: output rows at fixed (bin, c) are contiguous too.
+                for b in 0..self.fft_len {
+                    out.row_mut(0, b, c)[o0..o0 + lanes]
+                        .copy_from_slice(&panel[b * lanes..(b + 1) * lanes]);
+                }
+            }
+            b0 += lanes;
+        }
+    }
+
+    /// Scalar reference easy path: per-(channel, range) gather + FFT, the
+    /// original naive loop kept as the correctness and bench baseline.
+    #[allow(clippy::needless_range_loop)] // gathers strided cube samples into a dense FFT buffer
+    fn filter_easy_ref(&self, cube: &DataCube, out: &mut DopplerCube) {
+        let d = cube.dims();
         let mut buf = vec![C32::zero(); self.fft_len];
         for c in 0..d.channels {
             for r in 0..d.ranges {
@@ -165,18 +262,109 @@ impl DopplerFilter {
                 }
             }
         }
-        out
     }
 
     /// Hard-path (PRI-staggered) filtering: two windowed FFTs over the pulse
     /// segments `[0, P-s)` and `[s, P)`. Output stagger count is 2.
-    #[allow(clippy::needless_range_loop)] // gathers strided cube samples into a dense FFT buffer
     pub fn filter_staggered(&self, cube: &DataCube) -> DopplerCube {
+        self.filter_staggered_with(cube, KernelPath::Auto)
+    }
+
+    /// [`DopplerFilter::filter_staggered`] with an explicit kernel path.
+    pub fn filter_staggered_with(&self, cube: &DataCube, path: KernelPath) -> DopplerCube {
         let d = cube.dims();
         assert_eq!(d.pulses, self.pulses, "cube pulse count differs from plan");
+        let mut out = DopplerCube::zeros(2, self.fft_len, d.channels, d.ranges);
+        match path.resolve() {
+            KernelPath::Reference => self.filter_staggered_ref(cube, &mut out),
+            _ => self.filter_staggered_into(cube, &mut out, 0, d.ranges),
+        }
+        out
+    }
+
+    /// Blocked staggered filtering of range gates `[r0, r1)` into `out` —
+    /// the chunk-level entry the work-stealing executor schedules.
+    ///
+    /// # Panics
+    /// Panics when the cube/output geometry disagrees with the plan or the
+    /// gate interval is out of bounds.
+    pub fn filter_staggered_into(
+        &self,
+        cube: &DataCube,
+        out: &mut DopplerCube,
+        r0: usize,
+        r1: usize,
+    ) {
+        assert_eq!(out.ranges(), cube.dims().ranges, "output range extent differs from cube");
+        self.filter_staggered_span(cube, out, r0, r1, 0);
+    }
+
+    /// Staggered filtering of gates `[r0, r1)` into a *compact* cube of
+    /// `r1 - r0` gates — the owned-output form the work-stealing executor's
+    /// items return (stitch with [`DopplerCube::copy_range_from`]).
+    pub fn filter_staggered_chunk(&self, cube: &DataCube, r0: usize, r1: usize) -> DopplerCube {
+        let d = cube.dims();
+        let mut out = DopplerCube::zeros(2, self.fft_len, d.channels, r1 - r0);
+        self.filter_staggered_span(cube, &mut out, r0, r1, r0);
+        out
+    }
+
+    /// Shared blocked staggered path (see [`Self::filter_easy_span`]).
+    fn filter_staggered_span(
+        &self,
+        cube: &DataCube,
+        out: &mut DopplerCube,
+        r0: usize,
+        r1: usize,
+        out_base: usize,
+    ) {
+        let d = cube.dims();
+        assert_eq!(d.pulses, self.pulses, "cube pulse count differs from plan");
+        assert_eq!(out.staggers(), 2, "staggered output must have two staggers");
+        assert_eq!(out.bins(), self.fft_len, "output bin count differs from plan");
+        assert_eq!(out.channels(), d.channels, "output channel count differs from cube");
+        assert!(r0 <= r1 && r1 <= d.ranges, "invalid gate interval {r0}..{r1}");
+        assert!(out_base <= r0 && r1 - out_base <= out.ranges(), "output too small for interval");
         let s = self.config.stagger_offset;
         let seg = self.pulses - s;
-        let mut out = DopplerCube::zeros(2, self.fft_len, d.channels, d.ranges);
+        let mut panel = vec![C32::zero(); self.fft_len * RANGE_BLOCK.min((r1 - r0).max(1))];
+        let mut b0 = r0;
+        while b0 < r1 {
+            let lanes = RANGE_BLOCK.min(r1 - b0);
+            let o0 = b0 - out_base;
+            let panel = &mut panel[..self.fft_len * lanes];
+            for c in 0..d.channels {
+                for (stagger, start) in [(0usize, 0usize), (1, s)] {
+                    let src_all = cube.as_slice();
+                    for k in 0..seg {
+                        let base = ((start + k) * d.channels + c) * d.ranges + b0;
+                        let src = &src_all[base..base + lanes];
+                        let dst = &mut panel[k * lanes..(k + 1) * lanes];
+                        let w = self.window_seg[k];
+                        for (dv, sv) in dst.iter_mut().zip(src.iter()) {
+                            *dv = sv.scale(w);
+                        }
+                    }
+                    for v in panel.iter_mut().skip(seg * lanes) {
+                        *v = C32::zero();
+                    }
+                    self.plan.forward_multi(panel, lanes);
+                    for b in 0..self.fft_len {
+                        out.row_mut(stagger, b, c)[o0..o0 + lanes]
+                            .copy_from_slice(&panel[b * lanes..(b + 1) * lanes]);
+                    }
+                }
+            }
+            b0 += lanes;
+        }
+    }
+
+    /// Scalar reference staggered path (the original naive loop).
+    #[allow(clippy::needless_range_loop)] // gathers strided cube samples into a dense FFT buffer
+    fn filter_staggered_ref(&self, cube: &DataCube, out: &mut DopplerCube) {
+        let d = cube.dims();
+        let s = self.config.stagger_offset;
+        let seg = self.pulses - s;
         let mut buf = vec![C32::zero(); self.fft_len];
         for c in 0..d.channels {
             for r in 0..d.ranges {
@@ -194,7 +382,6 @@ impl DopplerFilter {
                 }
             }
         }
-        out
     }
 }
 
@@ -285,6 +472,91 @@ mod tests {
         let cube = DataCube::zeros(dims);
         let out = df.filter_easy(&cube);
         assert_eq!(out.bins(), 16);
+    }
+
+    /// Deterministic pseudo-noise cube for differential checks.
+    fn noise_cube(dims: CubeDims, seed: u64) -> DataCube {
+        let mut cube = DataCube::zeros(dims);
+        let mut state = seed | 1;
+        for z in cube.as_mut_slice() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            *z = C32::new(
+                (state as u32 as f32 / u32::MAX as f32) - 0.5,
+                ((state >> 32) as u32 as f32 / u32::MAX as f32) - 0.5,
+            );
+        }
+        cube
+    }
+
+    fn assert_cubes_bit_equal(a: &DopplerCube, b: &DopplerCube) {
+        assert_eq!(a.as_slice().len(), b.as_slice().len());
+        for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+            assert_eq!(x.re.to_bits(), y.re.to_bits(), "re differs at {i}");
+            assert_eq!(x.im.to_bits(), y.im.to_bits(), "im differs at {i}");
+        }
+    }
+
+    #[test]
+    fn blocked_easy_filter_is_bit_identical_to_reference() {
+        // 45 ranges: not a multiple of the 32-lane block, exercising the tail.
+        let dims = CubeDims::new(12, 3, 45);
+        let cube = noise_cube(dims, 0x5EED);
+        let df = DopplerFilter::new(12, DopplerConfig::default());
+        let reference = df.filter_easy_with(&cube, KernelPath::Reference);
+        let blocked = df.filter_easy_with(&cube, KernelPath::Blocked);
+        assert_cubes_bit_equal(&reference, &blocked);
+    }
+
+    #[test]
+    fn blocked_staggered_filter_is_bit_identical_to_reference() {
+        let dims = CubeDims::new(16, 2, 37);
+        let cube = noise_cube(dims, 0xBEEF);
+        let df = DopplerFilter::new(16, DopplerConfig::default());
+        let reference = df.filter_staggered_with(&cube, KernelPath::Reference);
+        let blocked = df.filter_staggered_with(&cube, KernelPath::Blocked);
+        assert_cubes_bit_equal(&reference, &blocked);
+    }
+
+    #[test]
+    fn chunked_intervals_compose_to_full_filter() {
+        let dims = CubeDims::new(8, 2, 21);
+        let cube = noise_cube(dims, 0xF00D);
+        let df = DopplerFilter::new(8, DopplerConfig::default());
+        let full = df.filter_easy_with(&cube, KernelPath::Blocked);
+        let mut stitched = DopplerCube::zeros(1, df.bins(), 2, 21);
+        for (r0, r1) in [(0usize, 7usize), (7, 16), (16, 21)] {
+            df.filter_easy_into(&cube, &mut stitched, r0, r1);
+        }
+        assert_cubes_bit_equal(&full, &stitched);
+        let full_s = df.filter_staggered_with(&cube, KernelPath::Blocked);
+        let mut stitched_s = DopplerCube::zeros(2, df.bins(), 2, 21);
+        for (r0, r1) in [(0usize, 5usize), (5, 21)] {
+            df.filter_staggered_into(&cube, &mut stitched_s, r0, r1);
+        }
+        assert_cubes_bit_equal(&full_s, &stitched_s);
+    }
+
+    #[test]
+    fn compact_chunks_stitch_to_full_filter() {
+        let dims = CubeDims::new(12, 2, 50);
+        let cube = noise_cube(dims, 0xC0FFEE);
+        let df = DopplerFilter::new(12, DopplerConfig::default());
+        let full = df.filter_easy_with(&cube, KernelPath::Blocked);
+        let mut stitched = DopplerCube::zeros(1, df.bins(), 2, 50);
+        for (r0, r1) in [(0usize, 33usize), (33, 41), (41, 50)] {
+            let chunk = df.filter_easy_chunk(&cube, r0, r1);
+            stitched.copy_range_from(&chunk, r0);
+        }
+        assert_cubes_bit_equal(&full, &stitched);
+        let full_s = df.filter_staggered_with(&cube, KernelPath::Blocked);
+        let mut stitched_s = DopplerCube::zeros(2, df.bins(), 2, 50);
+        for (r0, r1) in [(0usize, 17usize), (17, 50)] {
+            let chunk = df.filter_staggered_chunk(&cube, r0, r1);
+            stitched_s.copy_range_from(&chunk, r0);
+        }
+        assert_cubes_bit_equal(&full_s, &stitched_s);
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub mod covariance;
 pub mod cube;
 pub mod diagnostics;
 pub mod doppler;
+pub mod path;
 pub mod pulse;
 pub mod report;
 pub mod tracking;
@@ -36,6 +37,7 @@ pub use cfar::{CfarConfig, CfarError, CfarKind, Detection, OsRank};
 pub use covariance::estimate_covariance;
 pub use cube::{CubeDims, DataCube, DopplerCube};
 pub use doppler::{BinClass, DopplerConfig, DopplerFilter};
+pub use path::{KernelPath, SimdLevel};
 pub use pulse::{lfm_chirp, PulseCompressor};
 pub use report::DetectionReport;
 pub use tracking::{Track, TrackState, Tracker, TrackerConfig};

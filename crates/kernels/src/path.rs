@@ -1,0 +1,139 @@
+//! Kernel implementation selection: scalar reference, cache-blocked, or
+//! `std::arch` SIMD — with runtime feature detection.
+//!
+//! Every optimized path is constructed to be **bit-identical** to the scalar
+//! reference: blocking and SIMD vectorize across *independent outputs*
+//! (range gates), never inside a reduction, so each output element sees the
+//! exact floating-point operation sequence of the reference loop. The
+//! differential suite in `tests/kernel_props.rs` pins this down to 0 ULP.
+
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Which implementation of a kernel to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelPath {
+    /// The naive scalar loops — always compiled, the correctness oracle.
+    Reference,
+    /// Cache-blocked panels with autovectorizer-friendly lane-inner loops.
+    Blocked,
+    /// Blocked layout plus explicit `std::arch` SSE3/AVX inner loops.
+    /// Falls back to [`KernelPath::Blocked`] when the CPU lacks the
+    /// features (or off x86).
+    Simd,
+    /// [`KernelPath::Simd`] when the CPU supports it, else
+    /// [`KernelPath::Blocked`].
+    #[default]
+    Auto,
+}
+
+impl KernelPath {
+    /// Resolves [`KernelPath::Auto`] against the detected CPU features.
+    pub fn resolve(self) -> KernelPath {
+        match self {
+            KernelPath::Auto => {
+                if SimdLevel::detect() == SimdLevel::None {
+                    KernelPath::Blocked
+                } else {
+                    KernelPath::Simd
+                }
+            }
+            other => other,
+        }
+    }
+
+    /// Parses a CLI/config spelling.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "reference" | "scalar" | "ref" => Ok(KernelPath::Reference),
+            "blocked" => Ok(KernelPath::Blocked),
+            "simd" => Ok(KernelPath::Simd),
+            "auto" | "fast" => Ok(KernelPath::Auto),
+            other => Err(format!("kernel path must be scalar|blocked|simd|auto, got '{other}'")),
+        }
+    }
+}
+
+impl fmt::Display for KernelPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            KernelPath::Reference => "scalar",
+            KernelPath::Blocked => "blocked",
+            KernelPath::Simd => "simd",
+            KernelPath::Auto => "auto",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Widest usable x86 SIMD tier for the complex inner loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdLevel {
+    /// 8 f32 lanes (4 complex) per vector.
+    Avx,
+    /// 4 f32 lanes (2 complex) per vector; needs SSE3 for `addsub`.
+    Sse3,
+    /// No usable SIMD — scalar lane loops only.
+    None,
+}
+
+impl SimdLevel {
+    /// Runtime CPU feature detection, cached after the first call.
+    pub fn detect() -> SimdLevel {
+        static LEVEL: OnceLock<SimdLevel> = OnceLock::new();
+        *LEVEL.get_or_init(Self::probe)
+    }
+
+    #[cfg(any(target_arch = "x86_64", target_arch = "x86"))]
+    fn probe() -> SimdLevel {
+        if is_x86_feature_detected!("avx") {
+            SimdLevel::Avx
+        } else if is_x86_feature_detected!("sse3") {
+            SimdLevel::Sse3
+        } else {
+            SimdLevel::None
+        }
+    }
+
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "x86")))]
+    fn probe() -> SimdLevel {
+        SimdLevel::None
+    }
+
+    /// Human-readable label for reports and the README feature table.
+    pub fn label(self) -> &'static str {
+        match self {
+            SimdLevel::Avx => "avx",
+            SimdLevel::Sse3 => "sse3",
+            SimdLevel::None => "scalar",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_resolves_to_concrete_path() {
+        let r = KernelPath::Auto.resolve();
+        assert!(matches!(r, KernelPath::Blocked | KernelPath::Simd));
+        assert_eq!(KernelPath::Reference.resolve(), KernelPath::Reference);
+        assert_eq!(KernelPath::Blocked.resolve(), KernelPath::Blocked);
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        assert_eq!(KernelPath::parse("scalar").unwrap(), KernelPath::Reference);
+        assert_eq!(KernelPath::parse("blocked").unwrap(), KernelPath::Blocked);
+        assert_eq!(KernelPath::parse("simd").unwrap(), KernelPath::Simd);
+        assert_eq!(KernelPath::parse("auto").unwrap(), KernelPath::Auto);
+        assert!(KernelPath::parse("mmx").is_err());
+    }
+
+    #[test]
+    fn detection_is_stable() {
+        assert_eq!(SimdLevel::detect(), SimdLevel::detect());
+        assert!(!SimdLevel::detect().label().is_empty());
+    }
+}

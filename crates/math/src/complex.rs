@@ -6,6 +6,11 @@ use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 
 /// A complex number `re + i·im`.
+///
+/// `repr(C)` guarantees the `[re, im]` field order in memory — the
+/// interleaved layout the serialization code and the `std::arch` SIMD
+/// kernels in `stap-kernels` rely on.
+#[repr(C)]
 #[derive(Copy, Clone, Debug, PartialEq, Default)]
 pub struct Complex<T> {
     /// Real part.

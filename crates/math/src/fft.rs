@@ -118,6 +118,80 @@ impl<T: Scalar> FftPlan<T> {
         out.extend_from_slice(input);
         self.forward(out);
     }
+
+    /// In-place forward DFT over a multi-lane panel.
+    ///
+    /// `panel` holds `lanes` independent length-`n` sequences interleaved
+    /// lane-minor: sample `k` of lane `l` lives at `panel[k·lanes + l]`.
+    /// Every lane runs the exact butterfly schedule and per-element operation
+    /// order of [`FftPlan::forward`], so each lane's output is bit-identical
+    /// to transforming it alone; the lane-innermost loops read and write
+    /// contiguous memory and autovectorize across lanes.
+    ///
+    /// # Panics
+    /// Panics when `lanes` is zero or `panel.len() != n·lanes`.
+    pub fn forward_multi(&self, panel: &mut [Complex<T>], lanes: usize) {
+        self.check_panel(panel, lanes);
+        self.permute_multi(panel, lanes);
+        self.butterflies_multi(panel, lanes, false);
+    }
+
+    /// In-place inverse DFT (with 1/n normalization) over a multi-lane
+    /// panel; see [`FftPlan::forward_multi`] for the layout and the
+    /// per-lane bit-parity guarantee.
+    pub fn inverse_multi(&self, panel: &mut [Complex<T>], lanes: usize) {
+        self.check_panel(panel, lanes);
+        self.permute_multi(panel, lanes);
+        self.butterflies_multi(panel, lanes, true);
+        let scale = T::ONE / T::from_usize(self.n);
+        for v in panel.iter_mut() {
+            *v = v.scale(scale);
+        }
+    }
+
+    fn check_panel(&self, panel: &[Complex<T>], lanes: usize) {
+        assert!(lanes > 0, "panel needs at least one lane");
+        assert_eq!(panel.len(), self.n * lanes, "panel length must be n·lanes");
+    }
+
+    fn permute_multi(&self, panel: &mut [Complex<T>], lanes: usize) {
+        for i in 0..self.n {
+            let j = self.bitrev[i] as usize;
+            if i < j {
+                let (lo, hi) = panel.split_at_mut(j * lanes);
+                lo[i * lanes..(i + 1) * lanes].swap_with_slice(&mut hi[..lanes]);
+            }
+        }
+    }
+
+    fn butterflies_multi(&self, panel: &mut [Complex<T>], lanes: usize, inverse: bool) {
+        let n = self.n;
+        let mut len = 2usize;
+        while len <= n {
+            let half = len / 2;
+            let stride = n / len;
+            for start in (0..n).step_by(len) {
+                for k in 0..half {
+                    let mut w = self.twiddles[k * stride];
+                    if inverse {
+                        w = w.conj();
+                    }
+                    let ia = (start + k) * lanes;
+                    let ib = (start + k + half) * lanes;
+                    let (head, tail) = panel.split_at_mut(ib);
+                    let row_a = &mut head[ia..ia + lanes];
+                    let row_b = &mut tail[..lanes];
+                    for l in 0..lanes {
+                        let a = row_a[l];
+                        let b = row_b[l] * w;
+                        row_a[l] = a + b;
+                        row_b[l] = a - b;
+                    }
+                }
+            }
+            len <<= 1;
+        }
+    }
 }
 
 /// Naive O(n²) DFT used as a test oracle and for non-power-of-two lengths.
@@ -253,6 +327,72 @@ mod tests {
         assert_eq!(x[0], C64::new(3.0, 4.0));
         plan.inverse(&mut x);
         assert_eq!(x[0], C64::new(3.0, 4.0));
+    }
+
+    #[test]
+    fn multi_lane_forward_is_bit_identical_per_lane() {
+        use crate::complex::C32;
+        let n = 64;
+        let lanes = 5; // deliberately not a power of two / SIMD width
+        let plan = FftPlan::<f32>::new(n);
+        // Lane-minor panel with distinct per-lane content.
+        let mut panel = vec![C32::zero(); n * lanes];
+        for k in 0..n {
+            for l in 0..lanes {
+                panel[k * lanes + l] = C32::new(
+                    (k as f32 * 0.17 + l as f32).sin(),
+                    (k as f32 * 0.23 - l as f32).cos(),
+                );
+            }
+        }
+        let mut lanes_scalar: Vec<Vec<C32>> =
+            (0..lanes).map(|l| (0..n).map(|k| panel[k * lanes + l]).collect()).collect();
+        plan.forward_multi(&mut panel, lanes);
+        for (l, lane) in lanes_scalar.iter_mut().enumerate() {
+            plan.forward(lane);
+            for k in 0..n {
+                let got = panel[k * lanes + l];
+                let want = lane[k];
+                assert!(
+                    got.re.to_bits() == want.re.to_bits() && got.im.to_bits() == want.im.to_bits(),
+                    "lane {l} bin {k}: {got:?} vs {want:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_lane_inverse_round_trips_bitwise_with_scalar() {
+        use crate::complex::C32;
+        let n = 32;
+        let lanes = 3;
+        let plan = FftPlan::<f32>::new(n);
+        let mut panel = vec![C32::zero(); n * lanes];
+        for (i, z) in panel.iter_mut().enumerate() {
+            *z = C32::new((i as f32 * 0.31).cos(), (i as f32 * 0.07).sin());
+        }
+        let mut lanes_scalar: Vec<Vec<C32>> =
+            (0..lanes).map(|l| (0..n).map(|k| panel[k * lanes + l]).collect()).collect();
+        plan.forward_multi(&mut panel, lanes);
+        plan.inverse_multi(&mut panel, lanes);
+        for (l, lane) in lanes_scalar.iter_mut().enumerate() {
+            plan.forward(lane);
+            plan.inverse(lane);
+            for k in 0..n {
+                let got = panel[k * lanes + l];
+                let want = lane[k];
+                assert_eq!(got.re.to_bits(), want.re.to_bits(), "lane {l} sample {k}");
+                assert_eq!(got.im.to_bits(), want.im.to_bits(), "lane {l} sample {k}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n·lanes")]
+    fn multi_lane_length_checked() {
+        let plan = FftPlan::<f64>::new(8);
+        let mut panel = vec![C64::zero(); 8 * 3 + 1];
+        plan.forward_multi(&mut panel, 3);
     }
 
     #[test]

@@ -32,11 +32,15 @@ pub enum Phase {
     /// Time a mission spent failing over after a fleet fault: from the
     /// infrastructure-loss error to the restart on the degraded store.
     Failover,
+    /// Time in the work-stealing sub-CPI executor (`--schedule steal`):
+    /// fork-join over range blocks / row chunks, including steal-queue
+    /// contention. Static scheduling records the same work as `Compute`.
+    Steal,
 }
 
 impl Phase {
     /// Number of phases.
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 9;
 
     /// All phases in canonical (display and storage) order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -48,6 +52,7 @@ impl Phase {
         Phase::Backoff,
         Phase::Ingest,
         Phase::Failover,
+        Phase::Steal,
     ];
 
     /// Dense index for per-phase accumulator arrays.
@@ -62,6 +67,7 @@ impl Phase {
             Phase::Backoff => 5,
             Phase::Ingest => 6,
             Phase::Failover => 7,
+            Phase::Steal => 8,
         }
     }
 
@@ -76,6 +82,7 @@ impl Phase {
             Phase::Backoff => "backoff",
             Phase::Ingest => "ingest",
             Phase::Failover => "failover",
+            Phase::Steal => "steal",
         }
     }
 }

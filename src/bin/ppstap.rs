@@ -62,9 +62,18 @@ fn run(a: RunArgs) {
         failure_policy: a.failure_policy,
         watchdog: a.watchdog.then(ppstap::core::WatchdogPolicy::default),
         source,
+        kernel_path: a.kernels,
+        schedule: a.schedule,
+        copy_comm: a.copy_comm,
         ..StapConfig::default()
     };
     println!("structure : {} / {}", config.io.label(), config.tail.label());
+    println!(
+        "data plane: kernels={} schedule={} comm={}",
+        config.kernel_path,
+        config.schedule.label(),
+        if config.copy_comm { "copy" } else { "zero-copy" }
+    );
     println!(
         "files     : {} x {} KiB on {}",
         config.fanout,
@@ -88,7 +97,7 @@ fn run(a: RunArgs) {
     };
 
     println!(
-        "\n{:<16}{:>7}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}",
+        "\n{:<16}{:>7}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}",
         "task",
         "nodes",
         "read",
@@ -99,6 +108,7 @@ fn run(a: RunArgs) {
         "backoff",
         "ingest",
         "failover",
+        "steal",
         "total"
     );
     for (i, stage) in system.topology().stages().iter().enumerate() {

@@ -12,7 +12,7 @@
 
 use proptest::prelude::*;
 use stap_core::config::{FailurePolicy, RetryPolicy, StapConfig, WatchdogPolicy};
-use stap_core::{IoStrategy, StapRunOutput, StapSystem};
+use stap_core::{IoStrategy, ScheduleMode, StapRunOutput, StapSystem};
 use stap_kernels::cube::CubeDims;
 use stap_pfs::{Fault, FaultPlan, FaultWindow};
 use stap_pipeline::{PipelineError, INFRASTRUCTURE_LOSS_MARKER};
@@ -170,8 +170,23 @@ proptest! {
         }
 
         // Same seed, same schedule, same outcome.
-        let second = StapSystem::prepare(cfg).unwrap().run();
+        let second = StapSystem::prepare(cfg.clone()).unwrap().run();
         prop_assert_eq!(outcome_fingerprint(&first), outcome_fingerprint(&second));
+
+        // Scheduling is orthogonal to fault handling: the work-stealing
+        // executor must reproduce the same drops, the same retries, and
+        // byte-identical reports as static scheduling under the identical
+        // fault schedule.
+        let stolen = StapSystem::prepare(StapConfig {
+            schedule: ScheduleMode::Steal,
+            ..cfg
+        })
+        .unwrap()
+        .run();
+        prop_assert_eq!(outcome_fingerprint(&first), outcome_fingerprint(&stolen));
+        if let (Ok(a), Ok(b)) = (&first, &stolen) {
+            prop_assert_eq!(a.retries, b.retries, "retry counts differ across schedulers");
+        }
     }
 
     /// Fleet-level chaos: a seeded *permanent* loss (stripe server or

@@ -1,0 +1,174 @@
+//! Property suite for the zero-copy slab data plane: the arena-backed
+//! buffer pool in `stap-comm` and its end-to-end A/B contract against the
+//! `--copy-comm` baseline.
+//!
+//! Invariants:
+//! 1. **Conservation** — every buffer the pool hands out is either live or
+//!    back on a free list; the outstanding counter always equals the number
+//!    of live pooled buffers, and dropping the last one leaves nothing
+//!    leaked.
+//! 2. **No use-after-recycle** — a recycled buffer's storage is poisoned in
+//!    debug builds, so stale reads surface as NaN-patterned garbage instead
+//!    of silently-valid old samples.
+//! 3. **A/B parity** — a 3-CPI pipeline run produces byte-identical
+//!    detection reports with the zero-copy data plane and with `--copy-comm`
+//!    deep copies, and with static and work-stealing scheduling.
+
+use ppstap::comm::{PoolVec, SlabPool};
+use ppstap::core::config::StapConfig;
+use ppstap::core::{ScheduleMode, StapSystem};
+use ppstap::math::C32;
+use ppstap::scenario::find;
+use proptest::prelude::*;
+
+/// splitmix64 driving the op sequence.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+struct Draws {
+    state: u64,
+}
+
+impl Draws {
+    fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    fn next(&mut self, bound: u64) -> u64 {
+        self.state = mix(self.state);
+        self.state % bound.max(1)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Conservation under a random interleaving of takes, drops, clones,
+    /// and freezes: the outstanding counter tracks live pooled buffers
+    /// exactly, and a fully drained pool reports zero outstanding.
+    #[test]
+    fn pool_conserves_buffers_under_random_op_sequences(
+        seed in 0u64..u64::MAX,
+        ops in 1usize..60,
+    ) {
+        let mut d = Draws::new(seed);
+        let pool: SlabPool<f32> = SlabPool::new();
+        let mut live: Vec<PoolVec<f32>> = Vec::new();
+        let mut frozen = Vec::new();
+        for _ in 0..ops {
+            match d.next(4) {
+                0 => {
+                    let cap = 1 + d.next(300) as usize;
+                    let buf = pool.take_filled(cap, 0.5);
+                    prop_assert!(buf.capacity() >= cap);
+                    prop_assert_eq!(buf.len(), cap);
+                    live.push(buf);
+                }
+                1 => {
+                    if !live.is_empty() {
+                        let i = d.next(live.len() as u64) as usize;
+                        drop(live.swap_remove(i));
+                    }
+                }
+                2 => {
+                    if !live.is_empty() {
+                        let i = d.next(live.len() as u64) as usize;
+                        let c = live[i].clone();
+                        prop_assert_eq!(&*c, &*live[i]);
+                        live.push(c);
+                    }
+                }
+                _ => {
+                    if !live.is_empty() {
+                        let i = d.next(live.len() as u64) as usize;
+                        frozen.push(live.swap_remove(i).freeze());
+                    }
+                }
+            }
+            // Frozen slabs still hold pool storage until every clone drops.
+            prop_assert_eq!(
+                pool.stats().outstanding,
+                (live.len() + frozen.len()) as u64,
+                "outstanding != live pooled buffers"
+            );
+        }
+        drop(live);
+        drop(frozen);
+        let stats = pool.stats();
+        prop_assert_eq!(stats.outstanding, 0, "drained pool leaked buffers");
+        prop_assert_eq!(stats.takes, stats.fresh + stats.recycled);
+    }
+
+    /// Recycling really reuses storage: with one size class in play, a
+    /// take-drop-take cycle comes back from the free list, not malloc.
+    #[test]
+    fn takes_after_drops_are_recycles(seed in 0u64..u64::MAX, cap in 1usize..200) {
+        let _ = seed;
+        let pool: SlabPool<C32> = SlabPool::new();
+        let first = pool.take(cap);
+        drop(first);
+        let second = pool.take(cap);
+        prop_assert_eq!(pool.stats().recycled, 1, "second take of the class must recycle");
+        drop(second);
+        prop_assert_eq!(pool.stats().outstanding, 0);
+    }
+}
+
+/// A recycled buffer's storage is poisoned (debug builds): nothing the
+/// previous owner wrote survives into the next take of the class.
+#[cfg(debug_assertions)]
+#[test]
+fn recycled_storage_never_leaks_previous_contents() {
+    let pool: SlabPool<f32> = SlabPool::new();
+    let mut buf = pool.take(64);
+    buf.extend_from_slice(&[7.0; 64]);
+    let ptr = buf.as_ptr();
+    drop(buf);
+    // Same size class: this take recycles the dropped buffer's storage.
+    let again = pool.take(64);
+    assert_eq!(pool.stats().recycled, 1);
+    assert_eq!(again.as_ptr(), ptr, "expected storage reuse");
+    // The pool hands buffers out empty; inspect the raw prefix the previous
+    // owner wrote (initialized memory — recycle overwrote it with the
+    // poison pattern before parking) to prove the old samples are gone.
+    let prefix: &[f32] = unsafe { std::slice::from_raw_parts(again.as_ptr(), 64) };
+    assert!(
+        prefix.iter().all(|v| v.to_bits() != 7.0f32.to_bits()),
+        "previous owner's samples survived recycling"
+    );
+    assert!(prefix.iter().all(|v| v.is_nan()), "recycled storage is not poison-NaN");
+}
+
+/// Detection reports of a 3-CPI two-target run, flattened to bytes.
+fn report_bytes(cfg: StapConfig) -> Vec<u8> {
+    let out = StapSystem::prepare(cfg).unwrap().run().unwrap();
+    assert_eq!(out.reports.len(), 3);
+    out.reports.iter().flat_map(|r| r.to_bytes()).collect()
+}
+
+fn three_cpi_config() -> StapConfig {
+    StapConfig { cpis: 3, warmup: 1, ..find("two-target").expect("catalog").config() }
+}
+
+/// The zero-copy data plane is an optimization, not a semantic: reports
+/// are byte-identical with and without `--copy-comm`.
+#[test]
+fn copy_comm_and_zero_copy_reports_are_byte_identical() {
+    let zero_copy = report_bytes(three_cpi_config());
+    let copied = report_bytes(StapConfig { copy_comm: true, ..three_cpi_config() });
+    assert_eq!(zero_copy, copied, "copy-comm changed the detection reports");
+}
+
+/// Work-stealing is a schedule, not a semantic: reports are byte-identical
+/// under static and steal scheduling (the stolen chunks stitch in
+/// deterministic range order).
+#[test]
+fn static_and_steal_reports_are_byte_identical() {
+    let statics = report_bytes(three_cpi_config());
+    let stolen = report_bytes(StapConfig { schedule: ScheduleMode::Steal, ..three_cpi_config() });
+    assert_eq!(statics, stolen, "steal scheduling changed the detection reports");
+}

@@ -1,0 +1,242 @@
+//! Differential kernel-correctness suite: every optimized kernel path
+//! (cache-blocked panels, explicit SIMD, chunked fork-join decompositions)
+//! must be **bit-identical** — 0 ULP — to the always-compiled scalar
+//! reference, over random shapes including non-multiple-of-block range
+//! counts and degenerate single-pulse cubes.
+//!
+//! The optimized paths earn this by vectorizing across *independent
+//! outputs* (range-gate lanes), never inside a reduction, so each output
+//! element sees the exact FP operation sequence of the reference loop.
+//! These tests are the contract that keeps that true.
+//!
+//! On top of the kernel-level differentials, the scenario section pins
+//! detection-set bit-parity end to end: the full pipeline's detection
+//! reports are byte-identical across kernel paths on the catalog's
+//! `two-target` and `noise-only` scenarios.
+
+use ppstap::core::config::StapConfig;
+use ppstap::core::StapSystem;
+use ppstap::kernels::beamform::Beamformer;
+use ppstap::kernels::cube::{partition_even, CubeDims, DataCube, DopplerCube};
+use ppstap::kernels::doppler::{DopplerConfig, DopplerFilter};
+use ppstap::kernels::pulse::{lfm_chirp, PulseCompressor};
+use ppstap::kernels::weights::WeightSet;
+use ppstap::kernels::KernelPath;
+use ppstap::math::C32;
+use ppstap::scenario::find;
+use proptest::prelude::*;
+
+/// splitmix64: all random data is a pure function of the case seed.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic stream of f32 draws in [-1, 1).
+struct Draws {
+    state: u64,
+}
+
+impl Draws {
+    fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    fn f32(&mut self) -> f32 {
+        self.state = mix(self.state);
+        (self.state >> 40) as f32 / (1u64 << 23) as f32 - 1.0
+    }
+
+    fn c32(&mut self) -> C32 {
+        C32::new(self.f32(), self.f32())
+    }
+}
+
+fn random_cube(dims: CubeDims, d: &mut Draws) -> DataCube {
+    let mut cube = DataCube::zeros(dims);
+    for v in cube.as_mut_slice() {
+        *v = d.c32();
+    }
+    cube
+}
+
+fn assert_doppler_bits_equal(a: &DopplerCube, b: &DopplerCube, what: &str) {
+    assert_eq!(a.as_slice().len(), b.as_slice().len(), "{what}: shape mismatch");
+    for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        assert!(
+            x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+            "{what}: sample {i} differs: {x:?} vs {y:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Doppler: blocked, SIMD, and compact-chunk+stitch outputs are
+    /// bit-identical to the scalar reference, easy and staggered paths,
+    /// over random shapes (single-pulse cubes included).
+    #[test]
+    fn doppler_paths_are_bit_identical(
+        seed in 0u64..u64::MAX,
+        pulses in 1usize..21,
+        channels in 1usize..5,
+        ranges in 1usize..71,
+        parts in 1usize..6,
+    ) {
+        let mut d = Draws::new(seed);
+        let cube = random_cube(CubeDims::new(pulses, channels, ranges), &mut d);
+        let cfg = DopplerConfig {
+            stagger_offset: if pulses > 1 { 1 } else { 0 },
+            ..DopplerConfig::default()
+        };
+        let filter = DopplerFilter::new(pulses, cfg);
+
+        type FullFn = fn(&DopplerFilter, &DataCube, KernelPath) -> DopplerCube;
+        type ChunkFn = fn(&DopplerFilter, &DataCube, usize, usize) -> DopplerCube;
+        let variants: [(FullFn, ChunkFn); 2] = [
+            (|f, c, p| f.filter_easy_with(c, p), |f, c, r0, r1| f.filter_easy_chunk(c, r0, r1)),
+            (
+                |f, c, p| f.filter_staggered_with(c, p),
+                |f, c, r0, r1| f.filter_staggered_chunk(c, r0, r1),
+            ),
+        ];
+        for (full, chunk) in variants {
+            let reference = full(&filter, &cube, KernelPath::Reference);
+            for path in [KernelPath::Blocked, KernelPath::Simd, KernelPath::Auto] {
+                let fast = full(&filter, &cube, path);
+                assert_doppler_bits_equal(&reference, &fast, &format!("{path}"));
+            }
+            // Compact chunks stitched back in range order — the steal
+            // executor's decomposition — reproduce the same bits no
+            // matter where the chunk boundaries fall.
+            let mut stitched = DopplerCube::zeros(
+                reference.staggers(),
+                reference.bins(),
+                reference.channels(),
+                reference.ranges(),
+            );
+            for (r0, r1) in partition_even(ranges, parts.min(ranges)) {
+                stitched.copy_range_from(&chunk(&filter, &cube, r0, r1), r0);
+            }
+            assert_doppler_bits_equal(&reference, &stitched, "chunk stitch");
+        }
+    }
+
+    /// Beamforming: blocked and SIMD weighted sums are bit-identical to
+    /// the scalar reference under random weights, shapes, and stagger
+    /// counts.
+    #[test]
+    fn beamform_paths_are_bit_identical(
+        seed in 0u64..u64::MAX,
+        channels in 1usize..9,
+        ranges in 1usize..71,
+        nbins in 1usize..7,
+        beams in 1usize..4,
+        staggers in 1usize..3,
+    ) {
+        let mut d = Draws::new(seed);
+        let mut cube = DopplerCube::zeros(staggers, nbins, channels, ranges);
+        for v in cube.as_mut_slice() {
+            *v = d.c32();
+        }
+        let dof = staggers * channels;
+        let bins: Vec<usize> = (0..nbins).collect();
+        let weights: Vec<Vec<Vec<C32>>> = bins
+            .iter()
+            .map(|_| (0..beams).map(|_| (0..dof).map(|_| d.c32()).collect()).collect())
+            .collect();
+        let ws = WeightSet { bins, weights, dof };
+
+        let reference = Beamformer.apply_with(&cube, &ws, KernelPath::Reference);
+        for path in [KernelPath::Blocked, KernelPath::Simd, KernelPath::Auto] {
+            let fast = Beamformer.apply_with(&cube, &ws, path);
+            prop_assert_eq!(reference.rows_total(), fast.rows_total());
+            for beam in 0..beams {
+                for (i, _) in reference.bins.iter().enumerate() {
+                    for (r, (x, y)) in
+                        reference.row(beam, i).iter().zip(fast.row(beam, i)).enumerate()
+                    {
+                        prop_assert!(
+                            x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+                            "{} beam {} bin {} gate {}: {:?} vs {:?}",
+                            path, beam, i, r, x, y
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pulse compression: the batched panel kernel is bit-identical to the
+    /// per-row reference, and row-chunk boundaries (the steal executor's
+    /// decomposition) never change any row's bits.
+    #[test]
+    fn pulse_paths_are_bit_identical(
+        seed in 0u64..u64::MAX,
+        ranges in 2usize..81,
+        rows in 1usize..21,
+        wf_len in 2usize..17,
+        chunk_rows in 1usize..8,
+    ) {
+        let mut d = Draws::new(seed);
+        let wf = lfm_chirp(wf_len.min(ranges), 0.8);
+        let pc = PulseCompressor::new(ranges, &wf);
+        let data: Vec<C32> = (0..rows * ranges).map(|_| d.c32()).collect();
+
+        let mut reference = data.clone();
+        pc.compress_rows(&mut reference, ranges, KernelPath::Reference);
+
+        for path in [KernelPath::Blocked, KernelPath::Simd, KernelPath::Auto] {
+            let mut fast = data.clone();
+            pc.compress_rows(&mut fast, ranges, path);
+            for (i, (x, y)) in reference.iter().zip(&fast).enumerate() {
+                prop_assert!(
+                    x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+                    "{} sample {}: {:?} vs {:?}",
+                    path, i, x, y
+                );
+            }
+        }
+
+        // Chunked: compress row chunks independently, as the steal pool
+        // does, and compare against the whole-batch result.
+        let mut chunked = data.clone();
+        for chunk in chunked.chunks_mut(ranges * chunk_rows) {
+            pc.compress_rows(chunk, ranges, KernelPath::Blocked);
+        }
+        for (i, (x, y)) in reference.iter().zip(&chunked).enumerate() {
+            prop_assert!(
+                x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+                "chunked sample {}: {:?} vs {:?}",
+                i, x, y
+            );
+        }
+    }
+}
+
+/// Detection reports of a full pipeline run, flattened to bytes.
+fn report_bytes(cfg: StapConfig) -> Vec<u8> {
+    let out = StapSystem::prepare(cfg).unwrap().run().unwrap();
+    assert!(!out.reports.is_empty());
+    out.reports.iter().flat_map(|r| r.to_bytes()).collect()
+}
+
+/// End-to-end detection-set bit-parity: the kernel path must never change
+/// a single detection on the catalog's `two-target` (real targets through
+/// both the easy and hard chains) and `noise-only` (false-alarm behavior)
+/// scenarios.
+#[test]
+fn detection_sets_are_bit_identical_across_kernel_paths() {
+    for name in ["two-target", "noise-only"] {
+        let base = find(name).expect("catalog scenario").config();
+        let scalar =
+            report_bytes(StapConfig { kernel_path: KernelPath::Reference, ..base.clone() });
+        for path in [KernelPath::Blocked, KernelPath::Simd, KernelPath::Auto] {
+            let fast = report_bytes(StapConfig { kernel_path: path, ..base.clone() });
+            assert_eq!(scalar, fast, "{name}: {path} detections differ from scalar");
+        }
+    }
+}
