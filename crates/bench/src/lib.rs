@@ -73,6 +73,10 @@ pub fn regenerate_all() -> Vec<Artifact> {
         name: "detection_quality",
         text: stap_scenario::experiments::detection_quality(),
     });
+    out.push(Artifact {
+        name: "store_cache",
+        text: stap_core::experiments::store::store_cache_report(),
+    });
     out.push(Artifact { name: "reliability_tradeoff", text: render_reliability_tradeoff() });
     out
 }

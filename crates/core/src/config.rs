@@ -10,6 +10,7 @@ use stap_kernels::KernelPath;
 use stap_pfs::{FaultPlan, FsConfig};
 use stap_pipeline::schedule::ScheduleMode;
 use stap_radar::{Motion, Scene};
+use stap_store::CubeAccess;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -314,6 +315,11 @@ pub struct StapConfig {
     pub source: SourceSpec,
     /// I/O design under test.
     pub io: IoStrategy,
+    /// How demand reads materialize their cube slabs: fully resident
+    /// (the default) or out-of-core through footprint-bounded chunks
+    /// (`--access ooc:ROWS`). Out-of-core runs route through the
+    /// `stap-store` tier even under plain embedded/separate I/O.
+    pub access: CubeAccess,
     /// Tail structure under test.
     pub tail: TailStructure,
     /// Node counts.
@@ -371,6 +377,7 @@ impl Default for StapConfig {
             fanout: 4,
             source: SourceSpec::File,
             io: IoStrategy::Embedded,
+            access: CubeAccess::Resident,
             tail: TailStructure::Split,
             nodes: NodeCounts::default(),
             cpis: 6,

@@ -29,14 +29,50 @@ use stap_pfs::OpenMode;
 use stap_pipeline::timing::{Phase, Span};
 use std::collections::HashMap;
 
+/// Simulated storage-tier cache in front of the embedded read (the DES
+/// twin of `stap_model::cachetier::CacheTierModel`, so `serve --sim` and
+/// `plan` price `cached:{MB}` / `prefetch:{D}` identically).
+#[derive(Debug, Clone, Copy)]
+struct CacheSim {
+    /// Seconds to serve one cube from the server cache.
+    hit_time: f64,
+    /// CPI index from which every read hits (`Some(fanout)` when the
+    /// working set fits the cache: one pass through the round-robin
+    /// staging files warms it); `None` = never warm (prefetch-only).
+    warm_after: Option<u64>,
+}
+
+/// Maps a storage-tier strategy onto its simulated cache, pricing it with
+/// the shared `stap_model::cachetier` cost model.
+fn cache_sim(io: IoStrategy, cube_bytes: usize) -> Option<CacheSim> {
+    use stap_model::cachetier::{hit_time, CacheTierModel, STAGING_FANOUT};
+    match io {
+        IoStrategy::Cached { mb } => {
+            let tier = CacheTierModel::cached((mb as usize) << 20, cube_bytes, STAGING_FANOUT);
+            Some(CacheSim {
+                hit_time: tier.hit_time,
+                warm_after: tier.warm.then_some(STAGING_FANOUT as u64),
+            })
+        }
+        IoStrategy::Prefetch { .. } => {
+            Some(CacheSim { hit_time: hit_time(cube_bytes), warm_after: None })
+        }
+        IoStrategy::Embedded | IoStrategy::SeparateTask => None,
+    }
+}
+
 /// How a task's instance duration is determined.
 #[derive(Debug, Clone, Copy)]
 enum DurKind {
     /// Constant `T_i` (compute + comm + overhead), seconds.
     Fixed(f64),
     /// Embedded read in the Doppler task: read + compute(+send+overhead),
-    /// with async overlap when the file system allows it.
-    ReadEmbedded { compute: f64, send: f64, overhead: f64, overlap: bool },
+    /// with async overlap when the file system allows it. A storage-tier
+    /// cache, when present, serves warm reads from server memory (no
+    /// stripe-server submission) and overlaps cold misses with compute
+    /// regardless of client `iread` support — the read-ahead is issued by
+    /// the I/O servers.
+    ReadEmbedded { compute: f64, send: f64, overhead: f64, overlap: bool, cache: Option<CacheSim> },
 }
 
 /// Predicted per-phase seconds of one task instance, in pipeline order
@@ -586,7 +622,24 @@ impl SimState {
         }
         let base = match self.tasks[i].dur {
             DurKind::Fixed(secs) => SimTime::from_secs_f64(secs),
-            DurKind::ReadEmbedded { compute, send, overhead, overlap } => {
+            DurKind::ReadEmbedded { compute, send, overhead, overlap, cache: Some(c) } => {
+                let _ = overlap; // the store tier forces server-side overlap
+                if c.warm_after.is_some_and(|n| j >= n) {
+                    // Warm hit: the cube comes off the server cache at
+                    // copy bandwidth; the stripe servers stay idle.
+                    SimTime::from_secs_f64(c.hit_time + compute + send + overhead)
+                } else {
+                    // Cold miss: the server-side prefetcher posted the
+                    // read when the previous CPI started, so it overlaps
+                    // compute even without client `iread`; the cube still
+                    // crosses the cache copy on its way up.
+                    let post = self.prev_start[i].unwrap_or(t0);
+                    let read_done = self.read_done(post, j);
+                    let work = read_done.max(t0 + SimTime::from_secs_f64(c.hit_time + compute));
+                    work.saturating_sub(t0) + SimTime::from_secs_f64(send + overhead)
+                }
+            }
+            DurKind::ReadEmbedded { compute, send, overhead, overlap, cache: None } => {
                 let post = if overlap { self.prev_start[i].unwrap_or(t0) } else { t0 };
                 let read_done = self.read_done(post, j);
                 let work = if overlap {
@@ -732,6 +785,7 @@ impl DesExperiment {
                     send,
                     overhead,
                     overlap: m.can_overlap_io(),
+                    cache: None,
                 },
                 phases: PhaseBreakdown { read: read_est, recv: 0.0, compute: overhead, send },
                 spatial_preds: vec![],
@@ -745,18 +799,36 @@ impl DesExperiment {
         let df_idx = tasks.len();
         let capd = cap(TaskId::Doppler);
         let (df_dur, df_phases) = match self.io {
-            IoStrategy::Embedded => {
-                let compute = m.compute_time_cap(w.flops(TaskId::Doppler), capd.compute);
-                let send = comm_time_cap(m, w.output_bytes(TaskId::Doppler), capd.net, df_succ);
-                let overhead = m.overhead(df_nodes);
-                (
-                    DurKind::ReadEmbedded { compute, send, overhead, overlap: m.can_overlap_io() },
-                    PhaseBreakdown { read: read_est, recv: 0.0, compute: compute + overhead, send },
-                )
-            }
             IoStrategy::SeparateTask => {
                 let c = task_time_cap(m, &w, TaskId::Doppler, capd, df_pred, df_succ);
                 (DurKind::Fixed(c.total()), PhaseBreakdown::from_costs(c))
+            }
+            io => {
+                let compute = m.compute_time_cap(w.flops(TaskId::Doppler), capd.compute);
+                let send = comm_time_cap(m, w.output_bytes(TaskId::Doppler), capd.net, df_succ);
+                let overhead = m.overhead(df_nodes);
+                let cache = cache_sim(io, self.shape.cube_bytes());
+                // The phase split charges the steady-state read: the hit
+                // time once the cache is warm, the striped read otherwise.
+                let read_phase = match cache {
+                    Some(c) if c.warm_after.is_some() => c.hit_time,
+                    _ => read_est,
+                };
+                (
+                    DurKind::ReadEmbedded {
+                        compute,
+                        send,
+                        overhead,
+                        overlap: m.can_overlap_io(),
+                        cache,
+                    },
+                    PhaseBreakdown {
+                        read: read_phase,
+                        recv: 0.0,
+                        compute: compute + overhead,
+                        send,
+                    },
+                )
             }
         };
         tasks.push(SimTask {

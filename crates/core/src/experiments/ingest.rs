@@ -68,10 +68,11 @@ fn phase_total(sys: &StapSystem, out: &crate::system::StapRunOutput, phase: Phas
 }
 
 /// Per-CPI sorted `(beam, bin, range, power-bits)` tuples.
-type DetectionKeys = Vec<(u64, Vec<(usize, usize, usize, u64)>)>;
+pub(crate) type DetectionKeys = Vec<(u64, Vec<(usize, usize, usize, u64)>)>;
 
-/// Sorted, bit-exact detection keys of a run.
-fn detection_keys(out: &crate::system::StapRunOutput) -> DetectionKeys {
+/// Sorted, bit-exact detection keys of a run (shared with the storage-tier
+/// study, which makes the same parity claim for cached/out-of-core runs).
+pub(crate) fn detection_keys(out: &crate::system::StapRunOutput) -> DetectionKeys {
     out.reports
         .iter()
         .map(|r| {

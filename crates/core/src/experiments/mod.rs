@@ -6,6 +6,7 @@ pub mod degradation;
 pub mod ingest;
 pub mod phases;
 pub mod render;
+pub mod store;
 pub mod tables;
 pub mod validation;
 

@@ -54,7 +54,15 @@ fn read_with_policy(
     let retry = policy.retry();
     let source = &plan.source;
     let wait_phase = source.wait_phase();
-    ctx.phase_attempt(wait_phase, 0);
+    // A fetch the storage tier will serve out of its read cache never
+    // queues on the stripe servers — attribute its wait to `CacheHit` so
+    // the trace separates copy-bandwidth time from true striped reads.
+    // A posted asynchronous fetch resolves against the same cache, so the
+    // probe covers it too: staged bytes mean the wait ahead is a cache
+    // copy, not a striped read. Retries always re-read the backing file,
+    // so they keep `wait_phase`.
+    let phase0 = if source.cached(ctx.cpi, off, len) { Phase::CacheHit } else { wait_phase };
+    ctx.phase_attempt(phase0, 0);
     let mut last = match pending {
         Some(fetch) => fetch(),
         None => source.fetch(ctx.cpi, off, len),

@@ -26,6 +26,7 @@ use stap_pipeline::timing::PipelineReport;
 use stap_pipeline::topology::{StageId, Topology};
 use stap_pipeline::{ClockSpec, CpiSource, PipelineError, WatchdogSpec};
 use stap_radar::CubeGenerator;
+use stap_store::{CubeAccess, StoreConfig, StoreSource};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -40,6 +41,27 @@ pub struct IngestReport {
     /// The run-local frontend's report (None when the ring was attached
     /// by an external owner such as `stap-serve`).
     pub frontend: Option<FrontendReport>,
+}
+
+/// What the smart storage tier (`stap-store`) did during one run
+/// (absent unless the run routed reads through the tier).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoreReport {
+    /// Reads served from the tier's cache.
+    pub hits: u64,
+    /// Reads that went through to the stripe servers.
+    pub misses: u64,
+    /// Cube extents inserted into the cache.
+    pub inserts: u64,
+    /// Entries evicted to stay within the byte budget.
+    pub evictions: u64,
+    /// Inserts staged ahead of demand by the prefetcher.
+    pub readaheads: u64,
+    /// `hits / (hits + misses)` over this run (0 when idle).
+    pub hit_rate: f64,
+    /// Out-of-core scratch accounting as `(peak, bound)` bytes — present
+    /// only for [`CubeAccess::OutOfCore`] runs.
+    pub footprint: Option<(u64, u64)>,
 }
 
 /// Everything a finished run produced.
@@ -66,6 +88,9 @@ pub struct StapRunOutput {
     pub io: IoCounters,
     /// Staging-tier counters for stream-fed runs (None for file-fed).
     pub ingest: Option<IngestReport>,
+    /// Storage-tier counters for runs routed through `stap-store`
+    /// (cached/prefetch strategies or out-of-core access).
+    pub store: Option<StoreReport>,
 }
 
 impl StapRunOutput {
@@ -139,6 +164,17 @@ impl StapRunOutput {
                 fe.is_some_and(|f| f.closed_early),
             ));
         }
+        if let Some(st) = &self.store {
+            s.push_str(&format!(
+                "  \"store\": {{\"cache_hits\": {}, \"cache_misses\": {}, \"inserts\": {}, \
+                 \"evictions\": {}, \"readaheads\": {}, \"hit_rate\": {:.6}",
+                st.hits, st.misses, st.inserts, st.evictions, st.readaheads, st.hit_rate,
+            ));
+            if let Some((peak, bound)) = st.footprint {
+                s.push_str(&format!(", \"footprint_peak\": {peak}, \"footprint_bound\": {bound}"));
+            }
+            s.push_str("},\n");
+        }
         s.push_str("  \"phases\": ");
         s.push_str(&self.timing.registry().to_json());
         s.push_str("\n}\n");
@@ -166,6 +202,7 @@ pub struct StapSystem {
     reports: ReportSink,
     fs: Pfs,
     stream: Option<StreamRuntime>,
+    store: Option<Arc<StoreSource>>,
 }
 
 impl StapSystem {
@@ -257,7 +294,36 @@ impl StapSystem {
             config.nodes.doppler
         };
         let mut stream = None;
+        let mut store: Option<Arc<StoreSource>> = None;
         let source: Arc<dyn CpiSource> = match &config.source {
+            // A cached/prefetch strategy or out-of-core access routes the
+            // file reads through the smart storage tier; otherwise the
+            // plain file source reads the stripe servers directly.
+            SourceSpec::File
+                if config.io.uses_store_tier() || config.access != CubeAccess::Resident =>
+            {
+                let cube_bytes = config.dims.bytes();
+                let row_bytes = config.dims.channels * config.dims.pulses * 8;
+                // Each front node streams at most one chunk of scratch at a
+                // time, plus one for the background fill worker — that is
+                // the provable peak the meter enforces.
+                let chunk_rows = match config.access {
+                    CubeAccess::OutOfCore { chunk_rows } => chunk_rows,
+                    CubeAccess::Resident => config.dims.ranges.max(1),
+                };
+                let src = Arc::new(StoreSource::new(
+                    files.clone(),
+                    StoreConfig {
+                        cache_bytes: config.io.cache_bytes(cube_bytes),
+                        readahead_depth: config.io.readahead_depth(),
+                        access: config.access,
+                        footprint_bound: ((readers + 1) * chunk_rows * row_bytes) as u64,
+                        row_bytes,
+                    },
+                ));
+                store = Some(Arc::clone(&src));
+                src
+            }
             SourceSpec::File => Arc::new(FileSource::new(files.clone())),
             SourceSpec::Stream(settings) => {
                 let (ring, owned) = match &settings.attach {
@@ -349,7 +415,14 @@ impl StapSystem {
         let pipeline = Pipeline::new(topo, factories);
         let source_stage = read.unwrap_or(doppler);
         let sink_stage = cfar.unwrap_or(pulse);
-        Ok(Self { plan, pipeline, sink_stage, source_stage, reports, fs, stream })
+        Ok(Self { plan, pipeline, sink_stage, source_stage, reports, fs, stream, store })
+    }
+
+    /// The smart storage tier, when this system routes reads through one
+    /// (cached/prefetch strategies or out-of-core access). Exposes the
+    /// live files for online restriping.
+    pub fn store_source(&self) -> Option<&Arc<StoreSource>> {
+        self.store.as_ref()
     }
 
     /// The staging ring of a stream-fed system (None for file-fed).
@@ -475,6 +548,10 @@ impl StapSystem {
             _ => None,
         };
 
+        // Cache counters accumulate for the life of the tier (the cache
+        // itself stays warm across runs); report this run's delta.
+        let store_before = self.store.as_ref().map(|s| s.stats().snapshot());
+
         let spec = cfg.watchdog.map(|policy| self.watchdog_spec(policy));
         let run = self.pipeline.run_configured(cfg.cpis, cfg.warmup, spec.as_ref(), clocks);
 
@@ -488,6 +565,25 @@ impl StapSystem {
             // Join before snapshotting so the counters are final.
             let fe = frontend.map(Frontend::join);
             IngestReport { policy: sr.ring.policy(), ring: sr.ring.stats(), frontend: fe }
+        });
+
+        let store = self.store.as_ref().map(|s| {
+            let (h0, m0, i0, e0, r0) = store_before.unwrap_or_default();
+            let (h, m, i, e, r) = s.stats().snapshot();
+            let (hits, misses) = (h - h0, m - m0);
+            StoreReport {
+                hits,
+                misses,
+                inserts: i - i0,
+                evictions: e - e0,
+                readaheads: r - r0,
+                hit_rate: if hits + misses > 0 {
+                    hits as f64 / (hits + misses) as f64
+                } else {
+                    0.0
+                },
+                footprint: s.footprint().map(|meter| (meter.peak(), meter.bound())),
+            }
         });
 
         let timing = run?;
@@ -504,6 +600,7 @@ impl StapSystem {
             warmup: cfg.warmup,
             io: self.fs.io_counters(),
             ingest,
+            store,
         })
     }
 }

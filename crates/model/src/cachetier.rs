@@ -1,0 +1,119 @@
+//! Cost model of the smart storage tier's read cache (`stap-store`).
+//!
+//! One formula is shared by the analytic prediction, the planner's DP
+//! bounds, the DES, and the real `StoreSource`'s pacing, so all four agree
+//! on what a cache hit costs and when the cache is warm:
+//!
+//! - A **hit** serves the cube from server memory at copy bandwidth —
+//!   [`hit_time`] = [`HIT_LATENCY`] + bytes / [`COPY_BANDWIDTH`] — and
+//!   never touches the stripe-server queues.
+//! - The staging tier writes CPI cubes round-robin into
+//!   [`STAGING_FANOUT`] files, so the pipeline re-reads the same files
+//!   cyclically: once the cache holds the whole working set
+//!   (`cache_bytes ≥ fanout × cube_bytes`) every steady-state read hits
+//!   ([`CacheTierModel::warm`]).
+//! - A **miss** still pays the striped read, but the server-side
+//!   prefetcher overlaps it with the previous CPI's compute regardless of
+//!   whether the *client* file system supports `iread` — the read-ahead
+//!   is issued by the I/O servers, not the compute nodes.
+
+/// Memory-to-memory copy bandwidth of one I/O server cache (bytes/s),
+/// calibrated against the Paragon's node memory bus: serving a cached
+/// 16 MiB cube costs ~42 ms, between the sf=64 striped read (~50 ms) and
+/// nothing — caching beats striping, but is not free.
+pub const COPY_BANDWIDTH: f64 = 400.0e6;
+
+/// Fixed cost of one cache lookup + request round-trip (seconds).
+pub const HIT_LATENCY: f64 = 2.0e-4;
+
+/// Staging files the radar writes CPI cubes into, round-robin — the
+/// default `fanout` of the run configuration. The cache working set of a
+/// mission is `STAGING_FANOUT × cube_bytes`.
+pub const STAGING_FANOUT: usize = 4;
+
+/// Time to serve `bytes` from the read cache (seconds).
+pub fn hit_time(bytes: usize) -> f64 {
+    HIT_LATENCY + bytes as f64 / COPY_BANDWIDTH
+}
+
+/// The cache tier as the prediction layer sees it: a per-cube hit time and
+/// whether the steady state is all-hits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheTierModel {
+    /// Seconds to serve one whole CPI cube from the cache.
+    pub hit_time: f64,
+    /// Steady-state hit rate is ~1: the working set
+    /// (`fanout × cube_bytes`) fits the configured cache.
+    pub warm: bool,
+}
+
+impl CacheTierModel {
+    /// Model of a `cached:{MB}` strategy: an I/O-server cache of
+    /// `cache_bytes` over cubes of `cube_bytes`, staged round-robin into
+    /// `fanout` files.
+    pub fn cached(cache_bytes: usize, cube_bytes: usize, fanout: usize) -> Self {
+        Self { hit_time: hit_time(cube_bytes), warm: cache_bytes >= fanout.max(1) * cube_bytes }
+    }
+
+    /// Model of a `prefetch:{D}` strategy: read-ahead into a cache just
+    /// big enough for the in-flight cubes — no reuse, never warm, but
+    /// every miss overlaps with compute.
+    pub fn prefetch(cube_bytes: usize) -> Self {
+        Self { hit_time: hit_time(cube_bytes), warm: false }
+    }
+
+    /// Steady-state front-task body time (read + core work, before the
+    /// per-task overhead `V_i`): warm caches skip the stripe servers
+    /// entirely; cold ones overlap the striped read with `core` thanks to
+    /// server-side read-ahead, then pay the cache copy.
+    pub fn front_body(&self, read_time: f64, core: f64) -> f64 {
+        if self.warm {
+            self.hit_time + core
+        } else {
+            read_time.max(self.hit_time + core)
+        }
+    }
+
+    /// The effective steady-state read time the stripe servers must be
+    /// credited with under this cache model (warm: the servers are idle;
+    /// cold: the full striped read, hidden behind compute).
+    pub fn effective_read_time(&self, read_time: f64) -> f64 {
+        if self.warm {
+            self.hit_time
+        } else {
+            read_time
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_time_scales_with_bytes() {
+        let small = hit_time(1 << 20);
+        let big = hit_time(16 << 20);
+        assert!(big > small);
+        assert!((big - HIT_LATENCY) / (small - HIT_LATENCY) > 15.9);
+    }
+
+    #[test]
+    fn warm_needs_the_whole_working_set() {
+        let cube = 4 << 20;
+        assert!(!CacheTierModel::cached(3 * cube, cube, 4).warm);
+        assert!(CacheTierModel::cached(4 * cube, cube, 4).warm);
+        assert!(!CacheTierModel::prefetch(cube).warm);
+    }
+
+    #[test]
+    fn warm_body_skips_the_read_cold_body_overlaps_it() {
+        let m = CacheTierModel { hit_time: 0.04, warm: true };
+        assert!((m.front_body(0.2, 0.01) - 0.05).abs() < 1e-12);
+        let cold = CacheTierModel { hit_time: 0.04, warm: false };
+        assert!((cold.front_body(0.2, 0.01) - 0.2).abs() < 1e-12, "read dominates");
+        assert!((cold.front_body(0.03, 0.01) - 0.05).abs() < 1e-12, "copy+core dominates");
+        assert!((m.effective_read_time(0.2) - 0.04).abs() < 1e-12);
+        assert!((cold.effective_read_time(0.2) - 0.2).abs() < 1e-12);
+    }
+}

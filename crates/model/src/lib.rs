@@ -36,6 +36,7 @@
 
 pub mod analytic;
 pub mod assignment;
+pub mod cachetier;
 pub mod machines;
 pub mod prediction;
 pub mod tasktime;
@@ -45,6 +46,7 @@ pub use analytic::{latency, throughput};
 pub use assignment::{
     assign_nodes, pack_classes, try_assign_nodes, try_pack_classes, Assignment, AssignmentError,
 };
+pub use cachetier::CacheTierModel;
 pub use machines::{MachineModel, NodeClass};
 pub use prediction::{predict, predict_with_assignment, PipelinePrediction, PredictStructure};
 pub use tasktime::{task_time, StageCapacity, TaskCosts};

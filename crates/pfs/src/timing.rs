@@ -21,6 +21,9 @@ pub struct ServerQueueSim {
     bandwidth: f64,
     free_at: Vec<f64>,
     served: Vec<u64>,
+    /// Per-server `(arrival, completion)` log of every submitted request,
+    /// replayed by [`Self::queue_depth_at`].
+    history: Vec<Vec<(f64, f64)>>,
 }
 
 impl ServerQueueSim {
@@ -32,6 +35,7 @@ impl ServerQueueSim {
             bandwidth: cfg.server_bandwidth,
             free_at: vec![0.0; cfg.stripe_factor],
             served: vec![0; cfg.stripe_factor],
+            history: vec![Vec::new(); cfg.stripe_factor],
         }
     }
 
@@ -56,6 +60,7 @@ impl ServerQueueSim {
         let done = start + self.service_time(bytes, mode);
         self.free_at[server] = done;
         self.served[server] += 1;
+        self.history[server].push((arrival, done));
         done
     }
 
@@ -87,10 +92,25 @@ impl ServerQueueSim {
         self.free_at.iter().copied().fold(0.0, f64::max)
     }
 
+    /// Requests against `server` that have arrived by `t` but not yet
+    /// completed at `t` — the request in service plus everything queued
+    /// behind it. This is the instantaneous FCFS queue depth the smart
+    /// storage tier's prefetcher is trying to keep non-empty (and the
+    /// contention a co-scheduled reader would land behind). Out-of-range
+    /// servers report 0.
+    pub fn queue_depth_at(&self, server: usize, t: f64) -> usize {
+        self.history
+            .get(server)
+            .map_or(0, |h| h.iter().filter(|&&(arrival, done)| arrival <= t && t < done).count())
+    }
+
     /// Clears all queues back to time zero.
     pub fn reset(&mut self) {
         self.free_at.fill(0.0);
         self.served.fill(0);
+        for h in &mut self.history {
+            h.clear();
+        }
     }
 }
 
@@ -199,6 +219,40 @@ mod tests {
         sim.reset();
         assert_eq!(sim.all_idle_at(), 0.0);
         assert_eq!(sim.served_counts(), &[0]);
+        assert_eq!(sim.queue_depth_at(0, 0.001), 0, "reset forgets the request history");
+    }
+
+    #[test]
+    fn queue_depth_tracks_backlog_and_drain() {
+        // Three same-instant requests against one server (2 ms service
+        // each): all three are in the system at t=0, one leaves every
+        // 2 ms, and the queue is empty once the server goes idle.
+        let mut sim = ServerQueueSim::new(&cfg(2));
+        for _ in 0..3 {
+            sim.submit(0.0, 0, 1000, OpenMode::Async);
+        }
+        assert_eq!(sim.queue_depth_at(0, 0.0), 3);
+        assert_eq!(sim.queue_depth_at(0, 0.003), 2, "first request left at 2 ms");
+        assert_eq!(sim.queue_depth_at(0, 0.005), 1);
+        assert_eq!(sim.queue_depth_at(0, sim.all_idle_at()), 0, "drained");
+        assert_eq!(sim.queue_depth_at(1, 0.0), 0, "untouched server is idle");
+        assert_eq!(sim.queue_depth_at(99, 0.0), 0, "out-of-range server reports empty");
+        // A late arrival is not in the queue before it arrives.
+        sim.submit(1.0, 0, 1000, OpenMode::Async);
+        assert_eq!(sim.queue_depth_at(0, 0.5), 0);
+        assert_eq!(sim.queue_depth_at(0, 1.0), 1);
+    }
+
+    #[test]
+    fn extent_depth_is_one_per_server() {
+        // A striped extent fans one unit out to each server: no server
+        // ever sees a queue deeper than its single in-service request.
+        let mut sim = ServerQueueSim::new(&cfg(4));
+        sim.submit_extent(0.0, StripeLayout::new(1000, 4), 0, 4000, OpenMode::Async);
+        for s in 0..4 {
+            assert_eq!(sim.queue_depth_at(s, 0.0), 1);
+            assert_eq!(sim.queue_depth_at(s, 0.002), 0);
+        }
     }
 
     #[test]

@@ -93,6 +93,15 @@ pub trait CpiSource: Send + Sync + std::fmt::Debug {
         Ok(None)
     }
 
+    /// Whether the extent is already resident in a source-side cache, so
+    /// the wait about to happen is a memory copy rather than real I/O.
+    /// The tracer probes this to charge [`Phase::CacheHit`] instead of
+    /// the source's [`Self::wait_phase`]; sources without a cache tier
+    /// keep the default `false`.
+    fn cached(&self, _cpi: u64, _offset: u64, _len: usize) -> bool {
+        false
+    }
+
     /// The phase charged while a node blocks in [`Self::fetch`]:
     /// [`Phase::Read`] for file-backed sources, [`Phase::Ingest`] for the
     /// streaming staging tier.

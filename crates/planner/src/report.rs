@@ -110,11 +110,10 @@ pub fn render_text(r: &SearchReport) -> String {
     out
 }
 
-fn short_io(p: &Plan) -> &'static str {
-    match p.io {
-        stap_core::io_strategy::IoStrategy::Embedded => "embedded",
-        stap_core::io_strategy::IoStrategy::SeparateTask => "separate",
-    }
+fn short_io(p: &Plan) -> String {
+    // `describe()` yields exactly the old strings for the paper's two
+    // designs, so the checked-in golden plans stay byte-identical.
+    p.io.describe()
 }
 
 fn short_tail(p: &Plan) -> &'static str {

@@ -43,6 +43,7 @@
 
 use stap_core::io_strategy::{IoStrategy, TailStructure};
 use stap_model::assignment::{Assignment, SEPARATE_IO_NODES};
+use stap_model::cachetier::CacheTierModel;
 use stap_model::machines::MachineModel;
 use stap_model::prediction::steady_read_time;
 use stap_model::workload::{ShapeParams, StapWorkload, TaskId};
@@ -96,6 +97,20 @@ impl Stage {
     }
 }
 
+/// The storage-tier cost model a strategy implies, shared by the DP
+/// bounds here and the exact evaluation (`predict_with_assignment_cached`)
+/// so both price `cached:{MB}` / `prefetch:{D}` identically.
+pub(crate) fn cache_tier(io: IoStrategy, shape: ShapeParams) -> Option<CacheTierModel> {
+    use stap_model::cachetier::STAGING_FANOUT;
+    match io {
+        IoStrategy::Cached { mb } => {
+            Some(CacheTierModel::cached((mb as usize) << 20, shape.cube_bytes(), STAGING_FANOUT))
+        }
+        IoStrategy::Prefetch { .. } => Some(CacheTierModel::prefetch(shape.cube_bytes())),
+        IoStrategy::Embedded | IoStrategy::SeparateTask => None,
+    }
+}
+
 /// Admissible communication bound: one peer message's latency plus the
 /// bandwidth term at the best net capacity any `nodes`-node group can have
 /// (the exact model pays `net_latency × peers`, peers ≥ 1, at the packed
@@ -108,6 +123,10 @@ fn lb_comm(m: &MachineModel, bytes: usize, nodes: usize) -> f64 {
 }
 
 /// Admissible bound on a single compute task's `T_i` (Eq. 6) on `p` nodes.
+/// `cache` carries the storage-tier cost model for `cached:{MB}` /
+/// `prefetch:{D}` strategies; its `front_body` is monotone in the core
+/// time, so feeding it the lower-bounded core keeps the bound admissible
+/// (the exact evaluation applies the identical formula to the exact core).
 fn single_lb(
     m: &MachineModel,
     w: &StapWorkload,
@@ -115,13 +134,19 @@ fn single_lb(
     p: usize,
     io: IoStrategy,
     read_time: f64,
+    cache: Option<CacheTierModel>,
 ) -> f64 {
     let compute = m.compute_time_cap(w.flops(t), m.best_compute_capacity(p));
     let send = lb_comm(m, w.output_bytes(t), p);
-    if t == TaskId::Doppler && io == IoStrategy::Embedded {
-        // Embedded design: the file read folds into Doppler; no receive.
+    if t == TaskId::Doppler && io != IoStrategy::SeparateTask {
+        // Embedded-shaped designs: the file read folds into Doppler; no
+        // receive. The storage tier, when present, reprices the read.
         let core = compute + send;
-        let body = if m.can_overlap_io() { read_time.max(core) } else { read_time + core };
+        let body = match cache {
+            Some(c) => c.front_body(read_time, core),
+            None if m.can_overlap_io() => read_time.max(core),
+            None => read_time + core,
+        };
         return body + m.overhead(p);
     }
     let recv = lb_comm(m, w.input_bytes(t), p);
@@ -169,20 +194,21 @@ fn build_stages(
     tail: TailStructure,
     budget: usize,
     read_times: &[f64],
+    cache: Option<CacheTierModel>,
 ) -> Vec<Stage> {
     // Seven compute tasks → 6 DP stages (BF pair folded), or 5 with the
     // combined tail. Minimum nodes: 1 per single, 2 per folded pair.
     let single = |t: TaskId, counts_latency: bool, pmax: usize| -> Stage {
-        // Only the embedded Doppler bound depends on the read time, so only
-        // that stage gets one row per stripe factor.
-        let rows: &[f64] = if t == TaskId::Doppler && io == IoStrategy::Embedded {
+        // Only the read-bearing Doppler bound depends on the read time, so
+        // only that stage gets one row per stripe factor.
+        let rows: &[f64] = if t == TaskId::Doppler && io != IoStrategy::SeparateTask {
             read_times
         } else {
             &read_times[..1]
         };
         let times: Vec<Vec<f64>> = rows
             .iter()
-            .map(|&rt| (1..=pmax).map(|p| single_lb(m, w, t, p, io, rt)).collect())
+            .map(|&rt| (1..=pmax).map(|p| single_lb(m, w, t, p, io, rt, cache)).collect())
             .collect();
         Stage { kind: StageKind::Single(t), counts_latency, min_nodes: 1, times, split: vec![] }
     };
@@ -195,9 +221,9 @@ fn build_stages(
 
     let rt0 = read_times[0];
     let ebf: Vec<f64> =
-        (1..pmax_pair).map(|p| single_lb(m, w, TaskId::EasyBeamform, p, io, rt0)).collect();
+        (1..pmax_pair).map(|p| single_lb(m, w, TaskId::EasyBeamform, p, io, rt0, cache)).collect();
     let hbf: Vec<f64> =
-        (1..pmax_pair).map(|p| single_lb(m, w, TaskId::HardBeamform, p, io, rt0)).collect();
+        (1..pmax_pair).map(|p| single_lb(m, w, TaskId::HardBeamform, p, io, rt0, cache)).collect();
     let (bf_time, bf_split) = fold_pair(&ebf, &hbf, pmax_pair);
 
     let mut stages = vec![
@@ -393,7 +419,8 @@ pub(crate) fn search_structure(
     let w = StapWorkload::derive(shape);
     let read_times: Vec<f64> =
         sfs.iter().map(|&sf| steady_read_time(&m.with_stripe_factor(sf), shape)).collect();
-    let stages = build_stages(m, &w, io, tail, budget, &read_times);
+    let cache = cache_tier(io, shape);
+    let stages = build_stages(m, &w, io, tail, budget, &read_times, cache);
     let slack = Slack::for_run(m, &stages, io, budget);
     let suffix_min: Vec<usize> = {
         let mut v = vec![0usize; stages.len() + 1];
@@ -412,11 +439,13 @@ pub(crate) fn search_structure(
     let mut cells: Vec<Vec<Label>> = vec![Vec::new(); budget + 1];
     for (sfi, &rt) in read_times.iter().enumerate().take(sfs.len()) {
         let base = match io {
-            IoStrategy::Embedded => Label { maxt: 0.0, lat: 0.0, picks: vec![], sfi: sfi as u16 },
             IoStrategy::SeparateTask => {
                 let t = read_task_lb(m, &w, rt);
                 Label { maxt: t, lat: t, picks: vec![], sfi: sfi as u16 }
             }
+            // Embedded-shaped designs (including the storage-tier
+            // strategies) pay the read inside the first stage.
+            _ => Label { maxt: 0.0, lat: 0.0, picks: vec![], sfi: sfi as u16 },
         };
         cells[0].push(base);
     }
@@ -561,7 +590,7 @@ mod tests {
         let w = StapWorkload::derive(ShapeParams::paper_default());
         let read_times = [steady_read_time(&m, ShapeParams::paper_default())];
         let stages =
-            build_stages(&m, &w, IoStrategy::Embedded, TailStructure::Split, 50, &read_times);
+            build_stages(&m, &w, IoStrategy::Embedded, TailStructure::Split, 50, &read_times, None);
         let slack = Slack::for_run(&m, &stages, IoStrategy::Embedded, 50);
         for pair in out.candidates.windows(2) {
             assert!(pair[0].bound_bottleneck <= pair[1].bound_bottleneck);
@@ -599,7 +628,7 @@ mod tests {
                 .tasks
                 .iter()
                 .zip(&heur.nodes)
-                .map(|(&t, &p)| single_lb(&m, &w, t, p, IoStrategy::Embedded, read_time))
+                .map(|(&t, &p)| single_lb(&m, &w, t, p, IoStrategy::Embedded, read_time, None))
                 .fold(0.0f64, f64::max);
             let out = search_structure(
                 &m,

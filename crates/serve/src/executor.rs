@@ -23,8 +23,9 @@ use crate::script::{ScriptAction, WorkloadScript};
 use stap_core::{SourceSpec, StapConfig, StapSystem, StreamSettings, WatchdogPolicy};
 use stap_ingest::{CpiRing, Frontend, FrontendConfig};
 use stap_kernels::CubeDims;
-use stap_pfs::FsConfig;
-use stap_pipeline::INFRASTRUCTURE_LOSS_MARKER;
+use stap_pfs::{FsConfig, Pfs};
+use stap_pipeline::{PipelineError, INFRASTRUCTURE_LOSS_MARKER};
+use stap_store::CubeAccess;
 use stap_trace::{fleet_chrome_trace, ClockSpec, FleetTrack};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -38,6 +39,9 @@ struct WorkerDone {
     submit: f64,
     start: f64,
     read_contention: f64,
+    /// `(stripe units, bytes)` migrated by online restriping during a
+    /// degraded re-run (store-tier missions only).
+    restriped: Option<(u64, u64)>,
     result: Result<Box<stap_core::StapRunOutput>, String>,
 }
 
@@ -154,6 +158,53 @@ fn mission_config(spec: &MissionSpec, plan: &PlanChoice) -> StapConfig {
         watchdog: Some(WatchdogPolicy::default()),
         ..StapConfig::default()
     }
+}
+
+/// A degraded re-run's outcome, paired with the `(stripe units, bytes)`
+/// any online restripe migrated before the pipeline started.
+type DegradedRun = (Result<Box<stap_core::StapRunOutput>, String>, Option<(u64, u64)>);
+
+/// Runs a failed-over mission's degraded re-run, returning the run result
+/// and the `(stripe units, bytes)` any online restripe migrated.
+///
+/// A plain mission simply re-stages its cubes on the surviving stripe
+/// directories. A store-tier mission (`cached:`/`prefetch:` plan, or
+/// out-of-core access) exercises the paper-scale recovery instead: its
+/// staged data comes up at the pre-loss layout, and the storage tier
+/// migrates it onto the degraded mount by online restriping
+/// (copy-then-swap per stripe unit) before the pipeline starts — the
+/// re-run then reads the surviving layout through the same live handles,
+/// the way a real fleet drains a lost server without re-ingesting from
+/// the radar.
+fn run_degraded(config: StapConfig, from_sf: usize) -> DegradedRun {
+    let store_tier = config.io.uses_store_tier() || config.access != CubeAccess::Resident;
+    if !store_tier {
+        let result = StapSystem::prepare(config)
+            .and_then(|sys| sys.run_with_clock(ClockSpec::Wall))
+            .map(Box::new)
+            .map_err(|e| e.to_string());
+        return (result, None);
+    }
+    let degraded_fs = config.fs.clone();
+    let staged = StapConfig { fs: FsConfig::paragon_pfs(from_sf), ..config };
+    let mut restriped = None;
+    let result = StapSystem::prepare(staged)
+        .and_then(|sys| {
+            let dst = Pfs::mount(degraded_fs);
+            let store = sys.store_source().expect("store-tier configs route through stap-store");
+            let reports = store.restripe_to(&dst).map_err(|e| PipelineError::Stage {
+                stage: "restripe".to_string(),
+                message: e.to_string(),
+            })?;
+            restriped = Some((
+                reports.iter().map(|r| r.units_copied).sum(),
+                reports.iter().map(|r| r.bytes).sum(),
+            ));
+            sys.run_with_clock(ClockSpec::Wall)
+        })
+        .map(Box::new)
+        .map_err(|e| e.to_string());
+    (result, restriped)
 }
 
 /// A stream mission's staging ring and radar frontend. Created at
@@ -291,6 +342,7 @@ pub fn run_fleet(script: &WorkloadScript, cfg: &ServeConfig) -> FleetOutcome {
                     submit: d.submit,
                     start: d.start,
                     read_contention: d.read_contention,
+                    restriped: None,
                     result,
                 });
             });
@@ -332,13 +384,11 @@ pub fn run_fleet(script: &WorkloadScript, cfg: &ServeConfig) -> FleetOutcome {
                         },
                     );
                     let config = mission_config(&done.spec, &plan);
+                    let from_sf = done.plan.stripe_factor;
                     let tx = tx.clone();
                     let WorkerDone { id, spec, submit, start, read_contention, .. } = done;
                     std::thread::spawn(move || {
-                        let result = StapSystem::prepare(config)
-                            .and_then(|sys| sys.run_with_clock(ClockSpec::Wall))
-                            .map(Box::new)
-                            .map_err(|e| e.to_string());
+                        let (result, restriped) = run_degraded(config, from_sf);
                         let _ = tx.send(WorkerDone {
                             id,
                             spec,
@@ -346,6 +396,7 @@ pub fn run_fleet(script: &WorkloadScript, cfg: &ServeConfig) -> FleetOutcome {
                             submit,
                             start,
                             read_contention,
+                            restriped,
                             result,
                         });
                     });
@@ -389,12 +440,16 @@ fn finish(
     tracks: &mut Vec<FleetTrack>,
 ) -> MissionReport {
     let note = failover.as_ref().map(|f| {
+        let migrated = done.restriped.map_or(String::new(), |(units, bytes)| {
+            format!("; restriped {units} stripe units ({bytes} B) onto the survivors")
+        });
         format!(
-            "stripe server {} lost at CPI {}; re-planned from sf={} onto {} (degraded)",
+            "stripe server {} lost at CPI {}; re-planned from sf={} onto {} (degraded){}",
             f.fault.server,
             f.fault.at_cpi,
             f.from_sf,
-            done.plan.summary()
+            done.plan.summary(),
+            migrated
         )
     });
     let base = MissionReport {
@@ -592,6 +647,30 @@ mod tests {
         assert_eq!(json.get("failovers").and_then(|v| v.as_f64()), Some(1.0));
         let missions = json.get("missions").and_then(|m| m.as_array()).expect("missions");
         assert!(missions[0].get("failover").and_then(|f| f.as_str()).is_some());
+    }
+
+    #[test]
+    fn store_tier_mission_fails_over_by_online_restriping() {
+        // A cached-plan mission loses a stripe server. Unlike a plain
+        // mission (which re-stages from scratch), the store tier must
+        // carry the staged cubes onto the surviving layout by online
+        // restriping — the failover note records the migration, and the
+        // degraded re-run still completes through the swapped handles.
+        let script = WorkloadScript::parse("at 0 submit name=keeper nodes=25 cpis=3 io=cached:8\n")
+            .expect("valid script");
+        let serve = ServeConfig { fault: Some(FleetFault { server: 0, at_cpi: 1 }), ..cfg() };
+        let out = run_fleet(&script, &serve);
+        assert_eq!(out.missions.len(), 1, "{:?}", out.missions);
+        let m = &out.missions[0];
+        assert_eq!(m.outcome, MissionOutcome::Completed, "failover, not abort: {:?}", m.outcome);
+        assert_eq!(m.plan.io, stap_core::IoStrategy::Cached { mb: 8 }, "{}", m.plan.summary());
+        let note = m.failover.as_ref().expect("failover recorded");
+        assert!(
+            note.contains("restriped") && note.contains("stripe units"),
+            "online restripe recorded in the failover note: {note}"
+        );
+        assert!(m.plan.stripe_factor < 64, "degraded layout: {}", m.plan.summary());
+        assert_eq!(out.failovers(), 1);
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! at <secs> submit name=<id> [machine=KEY] [nodes=N] [cpis=C] [priority=P]
-//!                  [max-latency=S] [io=embedded|separate] [tail=split|combined]
+//!                  [max-latency=S] [io=embedded|separate|cached:MB|prefetch:D]
+//!                  [tail=split|combined]
 //!                  [source=file|stream] [staging=N] [backpressure=POLICY] [rate=R]
 //! at <secs> cancel name=<id>
 //! ```
@@ -170,16 +171,7 @@ fn parse_submit<'a>(
                 spec.max_latency = Some(s);
             }
             "io" => {
-                spec.io = Some(match v {
-                    "embedded" => IoStrategy::Embedded,
-                    "separate" => IoStrategy::SeparateTask,
-                    other => {
-                        return Err(err(
-                            lineno,
-                            format!("io= must be embedded|separate, got '{other}'"),
-                        ))
-                    }
-                });
+                spec.io = Some(IoStrategy::parse(v).map_err(|e| err(lineno, format!("io= {e}")))?);
             }
             "tail" => {
                 spec.tail = Some(match v {

@@ -1,0 +1,266 @@
+//! Size-bounded LRU read cache with atomic statistics — the I/O servers'
+//! memory tier. Hits are served at copy bandwidth and never touch the
+//! stripe-server queues ([`stap_model::cachetier`] prices them).
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cache key: one cached byte extent of one staging file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Staging-file slot (`cpi % fanout` — CPI cubes are staged
+    /// round-robin, so the slot, not the CPI, names the bytes).
+    pub slot: usize,
+    /// Byte offset within the file.
+    pub offset: u64,
+    /// Extent length.
+    pub len: usize,
+}
+
+/// Lock-free monotonic counters of cache behavior. Conservation laws the
+/// property suite pins down: `hits + misses == lookups`, and
+/// `evictions <= inserts`.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: AtomicU64,
+    /// Lookups that fell through to the stripe servers.
+    pub misses: AtomicU64,
+    /// Extents inserted (demand fills + read-ahead fills).
+    pub inserts: AtomicU64,
+    /// Extents evicted to stay under the byte budget.
+    pub evictions: AtomicU64,
+    /// Inserts that came from the prefetcher rather than a demand miss.
+    pub readaheads: AtomicU64,
+    /// Bytes served from the cache.
+    pub hit_bytes: AtomicU64,
+}
+
+impl CacheStats {
+    /// Point-in-time snapshot `(hits, misses, inserts, evictions,
+    /// readaheads)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.inserts.load(Ordering::Relaxed),
+            self.evictions.load(Ordering::Relaxed),
+            self.readaheads.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Steady-state hit rate in `[0, 1]` (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hits.load(Ordering::Relaxed) as f64;
+        let m = self.misses.load(Ordering::Relaxed) as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+}
+
+struct Entry {
+    data: Arc<Vec<u8>>,
+    /// LRU stamp: larger = more recently used.
+    stamp: u64,
+}
+
+struct LruInner {
+    map: HashMap<CacheKey, Entry>,
+    bytes: usize,
+    tick: u64,
+}
+
+/// A byte-budgeted LRU cache of file extents, shared across reader threads.
+pub struct ReadCache {
+    inner: Mutex<LruInner>,
+    capacity: usize,
+    stats: Arc<CacheStats>,
+}
+
+impl std::fmt::Debug for ReadCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("ReadCache")
+            .field("capacity", &self.capacity)
+            .field("bytes", &inner.bytes)
+            .field("entries", &inner.map.len())
+            .finish()
+    }
+}
+
+impl ReadCache {
+    /// A cache holding at most `capacity` bytes of extent data.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(LruInner { map: HashMap::new(), bytes: 0, tick: 0 }),
+            capacity,
+            stats: Arc::new(CacheStats::default()),
+        }
+    }
+
+    /// The byte budget.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Shared handle to the statistics counters.
+    pub fn stats(&self) -> Arc<CacheStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Bytes currently resident.
+    pub fn bytes(&self) -> usize {
+        self.inner.lock().bytes
+    }
+
+    /// Extents currently resident.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks `key` up, counting a hit or a miss and refreshing recency.
+    pub fn lookup(&self, key: &CacheKey) -> Option<Arc<Vec<u8>>> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(e) => {
+                e.stamp = tick;
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                self.stats.hit_bytes.fetch_add(e.data.len() as u64, Ordering::Relaxed);
+                Some(Arc::clone(&e.data))
+            }
+            None => {
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Whether `key` is resident, without touching statistics or recency
+    /// (the tracer's span-attribution probe).
+    pub fn peek(&self, key: &CacheKey) -> bool {
+        self.inner.lock().map.contains_key(key)
+    }
+
+    /// Inserts an extent, evicting least-recently-used entries as needed
+    /// to stay under the byte budget. Extents larger than the whole budget
+    /// are not cached. `readahead` marks prefetcher fills in the stats.
+    pub fn insert(&self, key: CacheKey, data: Arc<Vec<u8>>, readahead: bool) {
+        if data.len() > self.capacity {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let added = data.len();
+        if let Some(old) = inner.map.insert(key, Entry { data, stamp: tick }) {
+            // Overwrite: same key, possibly different bytes resident.
+            inner.bytes -= old.data.len();
+        }
+        inner.bytes += added;
+        self.stats.inserts.fetch_add(1, Ordering::Relaxed);
+        if readahead {
+            self.stats.readaheads.fetch_add(1, Ordering::Relaxed);
+        }
+        while inner.bytes > self.capacity {
+            let victim = inner
+                .map
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| *k);
+            let Some(v) = victim else { break };
+            if let Some(e) = inner.map.remove(&v) {
+                inner.bytes -= e.data.len();
+                self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(slot: usize, offset: u64) -> CacheKey {
+        CacheKey { slot, offset, len: 4 }
+    }
+
+    fn put(c: &ReadCache, k: CacheKey, bytes: usize) {
+        c.insert(k, Arc::new(vec![0u8; bytes]), false);
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let c = ReadCache::new(64);
+        assert!(c.lookup(&key(0, 0)).is_none());
+        c.insert(key(0, 0), Arc::new(vec![1, 2, 3]), false);
+        assert_eq!(c.lookup(&key(0, 0)).unwrap().as_slice(), &[1, 2, 3]);
+        let (h, m, i, e, r) = c.stats().snapshot();
+        assert_eq!((h, m, i, e, r), (1, 1, 1, 0, 0));
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let c = ReadCache::new(12);
+        put(&c, key(0, 0), 4);
+        put(&c, key(1, 0), 4);
+        put(&c, key(2, 0), 4);
+        // Touch slot 0 so slot 1 is coldest, then overflow.
+        assert!(c.lookup(&key(0, 0)).is_some());
+        put(&c, key(3, 0), 4);
+        assert!(c.peek(&key(0, 0)), "recently used survives");
+        assert!(!c.peek(&key(1, 0)), "coldest evicted");
+        assert!(c.bytes() <= 12);
+        assert_eq!(c.stats().evictions.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn oversized_extents_are_not_cached() {
+        let c = ReadCache::new(8);
+        put(&c, key(0, 0), 9);
+        assert!(c.is_empty());
+        assert_eq!(c.stats().inserts.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn overwrite_same_key_keeps_byte_accounting() {
+        let c = ReadCache::new(64);
+        put(&c, key(0, 0), 8);
+        put(&c, key(0, 0), 16);
+        assert_eq!(c.bytes(), 16);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn peek_does_not_count() {
+        let c = ReadCache::new(64);
+        put(&c, key(0, 0), 4);
+        assert!(c.peek(&key(0, 0)));
+        assert!(!c.peek(&key(1, 0)));
+        let (h, m, ..) = c.stats().snapshot();
+        assert_eq!((h, m), (0, 0));
+    }
+
+    #[test]
+    fn hit_rate_reflects_the_mix() {
+        let c = ReadCache::new(64);
+        put(&c, key(0, 0), 4);
+        for _ in 0..3 {
+            c.lookup(&key(0, 0));
+        }
+        c.lookup(&key(9, 0));
+        assert!((c.stats().hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

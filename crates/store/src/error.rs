@@ -1,0 +1,83 @@
+//! Typed error taxonomy of the storage tier.
+
+use stap_pfs::PfsError;
+
+/// Why a storage-tier operation failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// An out-of-core staging allocation would exceed the configured
+    /// peak-footprint bound — the hard accounting check of the
+    /// bounded-memory guarantee.
+    FootprintExceeded {
+        /// Bytes the allocation asked for.
+        requested: u64,
+        /// Store-tier bytes already resident.
+        in_use: u64,
+        /// The configured bound.
+        bound: u64,
+    },
+    /// A cube-access / cache specification string did not parse.
+    BadSpec {
+        /// The offending input.
+        spec: String,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// Reading the migration source failed mid-restripe.
+    MigrationRead(PfsError),
+    /// Writing the migration target failed mid-restripe.
+    MigrationWrite(PfsError),
+    /// The post-copy verification found the target diverging from the
+    /// source (a writer raced the migration).
+    MigrationDiverged {
+        /// File being migrated.
+        name: String,
+        /// Source length at verification time.
+        src_len: u64,
+        /// Target length at verification time.
+        dst_len: u64,
+    },
+    /// A plain file-system failure outside migration.
+    Pfs(PfsError),
+}
+
+impl StoreError {
+    /// Whether a retry could plausibly succeed (mirrors
+    /// [`PfsError::is_transient`]; spec and footprint errors are
+    /// deterministic, so never transient).
+    pub fn is_transient(&self) -> bool {
+        match self {
+            StoreError::MigrationRead(e) | StoreError::MigrationWrite(e) | StoreError::Pfs(e) => {
+                e.is_transient()
+            }
+            _ => false,
+        }
+    }
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::FootprintExceeded { requested, in_use, bound } => write!(
+                f,
+                "out-of-core footprint exceeded: {requested} B requested with {in_use} B \
+                 resident against a {bound} B bound"
+            ),
+            StoreError::BadSpec { spec, reason } => write!(f, "bad store spec {spec:?}: {reason}"),
+            StoreError::MigrationRead(e) => write!(f, "restripe read failed: {e}"),
+            StoreError::MigrationWrite(e) => write!(f, "restripe write failed: {e}"),
+            StoreError::MigrationDiverged { name, src_len, dst_len } => {
+                write!(f, "restripe of {name:?} diverged: source {src_len} B vs target {dst_len} B")
+            }
+            StoreError::Pfs(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<PfsError> for StoreError {
+    fn from(e: PfsError) -> Self {
+        StoreError::Pfs(e)
+    }
+}

@@ -36,11 +36,15 @@ pub enum Phase {
     /// fork-join over range blocks / row chunks, including steal-queue
     /// contention. Static scheduling records the same work as `Compute`.
     Steal,
+    /// Time serving a read from the storage tier's cache (`stap-store`):
+    /// a memory copy off the I/O servers instead of a striped read. The
+    /// cache-hit analogue of `Read`.
+    CacheHit,
 }
 
 impl Phase {
     /// Number of phases.
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 10;
 
     /// All phases in canonical (display and storage) order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -53,6 +57,7 @@ impl Phase {
         Phase::Ingest,
         Phase::Failover,
         Phase::Steal,
+        Phase::CacheHit,
     ];
 
     /// Dense index for per-phase accumulator arrays.
@@ -68,6 +73,7 @@ impl Phase {
             Phase::Ingest => 6,
             Phase::Failover => 7,
             Phase::Steal => 8,
+            Phase::CacheHit => 9,
         }
     }
 
@@ -83,6 +89,7 @@ impl Phase {
             Phase::Ingest => "ingest",
             Phase::Failover => "failover",
             Phase::Steal => "steal",
+            Phase::CacheHit => "cachehit",
         }
     }
 }

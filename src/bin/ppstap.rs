@@ -53,6 +53,7 @@ fn run(a: RunArgs) {
         .unwrap_or_default();
     let config = StapConfig {
         io: a.io,
+        access: a.access,
         tail: a.tail,
         cpis: a.cpis,
         warmup: (a.cpis / 3).max(1),
@@ -68,6 +69,9 @@ fn run(a: RunArgs) {
         ..StapConfig::default()
     };
     println!("structure : {} / {}", config.io.label(), config.tail.label());
+    if config.io.uses_store_tier() || config.access != ppstap::store::CubeAccess::Resident {
+        println!("store tier: io={} access={}", config.io.describe(), config.access.label());
+    }
     println!(
         "data plane: kernels={} schedule={} comm={}",
         config.kernel_path,
@@ -97,7 +101,7 @@ fn run(a: RunArgs) {
     };
 
     println!(
-        "\n{:<16}{:>7}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}",
+        "\n{:<16}{:>7}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}",
         "task",
         "nodes",
         "read",
@@ -109,6 +113,7 @@ fn run(a: RunArgs) {
         "ingest",
         "failover",
         "steal",
+        "cachehit",
         "total"
     );
     for (i, stage) in system.topology().stages().iter().enumerate() {
@@ -129,6 +134,19 @@ fn run(a: RunArgs) {
             ing.ring.rejected,
             ing.ring.peak_depth
         );
+    }
+    if let Some(st) = &out.store {
+        println!(
+            "\ncache hit-rate : {:>8.0}%  ({} hits, {} misses, {} readaheads, {} evictions)",
+            st.hit_rate * 100.0,
+            st.hits,
+            st.misses,
+            st.readaheads,
+            st.evictions
+        );
+        if let Some((peak, bound)) = st.footprint {
+            println!("ooc footprint  : peak {peak} B within the {bound} B bound");
+        }
     }
     println!("\nthroughput     : {:>9.2} CPIs/s", out.throughput());
     println!("latency (mean) : {:>9.4} s", out.latency());
@@ -271,6 +289,7 @@ mod stap_bench_shim {
         out.push(("serve_contention", ppstap::serve::experiments::contention_report()));
         out.push(("ingest_backpressure", ppstap::core::experiments::ingest::backpressure_report()));
         out.push(("detection_quality", ppstap::scenario::experiments::detection_quality()));
+        out.push(("store_cache", ppstap::core::experiments::store::store_cache_report()));
         // Same rates as stap-bench's RELIABILITY_RATES (the umbrella crate
         // cannot depend on the leaf bench crate).
         out.push((
@@ -284,6 +303,9 @@ mod stap_bench_shim {
 fn plan_cmd(a: PlanArgs) {
     let machines = a.machines().expect("validated by the parser");
     let mut cfg = ppstap::planner::PlannerConfig::new(machines, a.nodes);
+    if let Some(ios) = a.ios.clone() {
+        cfg.ios = ios;
+    }
     if a.no_des {
         cfg.validate_des = false;
     }

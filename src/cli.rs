@@ -9,6 +9,7 @@ use stap_core::{FailurePolicy, IoStrategy, KernelPath, ScheduleMode, SourceSpec,
 use stap_model::machines::MachineModel;
 use stap_pfs::FaultPlan;
 use stap_serve::{ArrivalSpec, FleetFault};
+use stap_store::CubeAccess;
 
 /// Parsed command.
 #[derive(Debug, Clone, PartialEq)]
@@ -144,6 +145,10 @@ pub struct PlanArgs {
     /// `--stripe-factor auto`: the planner searches the full sweep range
     /// (8..128) as a first-class axis instead of fixing a factor up front.
     pub stripe_auto: bool,
+    /// `--io` narrowing: `None` searches the paper's classic pair
+    /// {embedded, separate}; `auto` expands to the full store-tier menu
+    /// ([`auto_io_menu`]); a single strategy pins the axis.
+    pub ios: Option<Vec<IoStrategy>>,
     /// Compute-node budget for the seven pipeline tasks.
     pub nodes: usize,
     /// Emit the report as JSON instead of the text table.
@@ -167,6 +172,7 @@ impl Default for PlanArgs {
             machine: "paragon".into(),
             stripe_factor: None,
             stripe_auto: false,
+            ios: None,
             nodes: 100,
             json: false,
             no_des: false,
@@ -232,6 +238,9 @@ fn parse_trace(v: &str) -> Result<TraceMode, ParseError> {
 pub struct RunArgs {
     /// I/O design.
     pub io: IoStrategy,
+    /// Cube access mode (`--access resident|ooc:ROWS`): out-of-core
+    /// streams demand reads through footprint-bounded chunks.
+    pub access: CubeAccess,
     /// Tail structure.
     pub tail: TailStructure,
     /// CPIs to execute.
@@ -270,6 +279,7 @@ impl Default for RunArgs {
     fn default() -> Self {
         Self {
             io: IoStrategy::Embedded,
+            access: CubeAccess::Resident,
             tail: TailStructure::Split,
             cpis: 6,
             fs: "pfs16".into(),
@@ -335,11 +345,22 @@ impl std::fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn parse_io(v: &str) -> Result<IoStrategy, ParseError> {
-    match v {
-        "embedded" => Ok(IoStrategy::Embedded),
-        "separate" => Ok(IoStrategy::SeparateTask),
-        other => Err(ParseError(format!("--io must be embedded|separate, got '{other}'"))),
-    }
+    IoStrategy::parse(v).map_err(|e| ParseError(format!("--io: {e}")))
+}
+
+/// The strategy menu `--io auto` hands the planner: the paper's two
+/// designs plus the store-tier strategies at a few cache sizes and
+/// read-ahead depths.
+pub fn auto_io_menu() -> Vec<IoStrategy> {
+    vec![
+        IoStrategy::Embedded,
+        IoStrategy::SeparateTask,
+        IoStrategy::Cached { mb: 32 },
+        IoStrategy::Cached { mb: 64 },
+        IoStrategy::Cached { mb: 128 },
+        IoStrategy::Prefetch { depth: 2 },
+        IoStrategy::Prefetch { depth: 4 },
+    ]
 }
 
 fn parse_tail(v: &str) -> Result<TailStructure, ParseError> {
@@ -384,6 +405,10 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
             while let Some(flag) = it.next() {
                 match flag {
                     "--io" => a.io = parse_io(take_value(flag, &mut it)?)?,
+                    "--access" => {
+                        a.access = CubeAccess::parse(take_value(flag, &mut it)?)
+                            .map_err(|e| ParseError(format!("--access: {e}")))?;
+                    }
                     "--tail" => a.tail = parse_tail(take_value(flag, &mut it)?)?,
                     "--cpis" => {
                         a.cpis = take_value(flag, &mut it)?
@@ -519,6 +544,10 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
                             )));
                         }
                         a.machine = v.to_string();
+                    }
+                    "--io" => {
+                        let v = take_value(flag, &mut it)?;
+                        a.ios = Some(if v == "auto" { auto_io_menu() } else { vec![parse_io(v)?] });
                     }
                     "--stripe-factor" => {
                         let v = take_value(flag, &mut it)?;
@@ -754,7 +783,9 @@ pub const HELP: &str = "\
 ppstap — parallel pipelined STAP with parallel-I/O strategies (IPPS 2000 reproduction)
 
 USAGE:
-    ppstap run   [--io embedded|separate] [--tail split|combined] [--cpis N]
+    ppstap run   [--io embedded|separate|cached:MB|prefetch:D]
+                 [--access resident|ooc:ROWS]
+                 [--tail split|combined] [--cpis N]
                  [--fs pfs16|pfs64|piofs] [--record-reports]
                  [--fault-plan SPEC] [--fault-seed N] [--watchdog]
                  [--failure-policy abort|retry:A:MS|skip:A:MS:MAXC]
@@ -795,7 +826,15 @@ USAGE:
         work-stealing pool (traced as the steal phase); outputs stay
         bit-identical to static. --copy-comm disables the zero-copy slab
         data plane, deep-copying every inter-stage message — the A/B
-        baseline for the arena-backed default.
+        baseline for the arena-backed default. --io cached:MB puts the
+        stap-store tier (an MB-MiB LRU read cache plus a one-deep pattern
+        prefetcher) in front of the embedded reads; --io prefetch:D runs
+        the tier cacheless-warm with D cubes of server-side read-ahead.
+        The run then prints a greppable 'cache hit-rate' line and traces
+        hits as the cachehit phase. --access ooc:ROWS streams demand
+        misses through ROWS-row chunks charged against a hard footprint
+        meter (the run prints the 'ooc footprint' peak-vs-bound line);
+        detections stay bit-identical to resident access.
 
     ppstap sim   [--machine paragon16|paragon64|sp] [--io embedded|separate]
                  [--tail split|combined] [--nodes N] [--trace]
@@ -813,12 +852,16 @@ USAGE:
         Stripe-factor sweep at N compute nodes.
 
     ppstap plan  [--machine paragon|paragon16|paragon64|paragon-het|sp|all]
+                 [--io embedded|separate|cached:MB|prefetch:D|auto]
                  [--stripe-factor 16|64|auto] [--nodes N] [--max-latency S]
                  [--fault-rate R] [--max-failure-prob P] [--json] [--no-des]
         Search node assignments x I/O strategies x task combining for the
         throughput/latency Pareto front (DES-validated unless --no-des),
         printing every pruned candidate with the reason it lost.
-        --stripe-factor auto adds the PFS stripe factor (8..128) as a search
+        --io auto widens the strategy axis beyond the paper's pair with
+        the stap-store strategies (cached:32|64|128, prefetch:2|4),
+        searched under the same admissible DP bounds; a single --io value
+        pins the axis. --stripe-factor auto adds the PFS stripe factor (8..128) as a search
         axis; paragon-het plans a mixed 96+32-node pool, packing fast nodes
         onto the heaviest tasks. --max-latency S filters the front to plans
         meeting the latency SLA and names the max-throughput survivor.

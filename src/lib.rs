@@ -18,6 +18,8 @@
 //! - [`model`] — machine/cost models and the paper's analytic equations;
 //! - [`trace`] — phase spans, trace clocks, metrics, Chrome-trace export;
 //! - [`pipeline`] — the generic parallel pipeline runtime;
+//! - [`store`] — the smart storage tier: server-side read cache, pattern
+//!   prefetcher, out-of-core cube streaming, and online restriping;
 //! - [`core`] — the paper's STAP pipeline system and experiment drivers;
 //! - [`planner`] — bi-criteria configuration search over node assignments,
 //!   I/O strategies, and task combining (`ppstap plan`);
@@ -41,4 +43,5 @@ pub use stap_planner as planner;
 pub use stap_radar as radar;
 pub use stap_scenario as scenario;
 pub use stap_serve as serve;
+pub use stap_store as store;
 pub use stap_trace as trace;

@@ -1,0 +1,72 @@
+//! End-to-end acceptance tests for the smart storage tier: routing a real
+//! pipeline run through the server cache or through bounded out-of-core
+//! chunks must be invisible to the detections — bit-for-bit — while the
+//! run report gains the tier's counters.
+
+use ppstap::core::config::StapConfig;
+use ppstap::core::{IoStrategy, StapRunOutput, StapSystem};
+use ppstap::pipeline::ClockSpec;
+use ppstap::scenario::find;
+use ppstap::store::CubeAccess;
+
+/// Runs a configuration to completion under the virtual clock.
+fn run(cfg: StapConfig) -> StapRunOutput {
+    let sys = StapSystem::prepare(cfg).expect("system prepares");
+    sys.run_with_clock(ClockSpec::virtual_default()).expect("run completes")
+}
+
+/// One CPI's detections as sortable bit-exact keys.
+type CpiKeys = (u64, Vec<(usize, usize, usize, u64)>);
+
+/// Sorted, bit-exact detection keys of a run.
+fn keys(out: &StapRunOutput) -> Vec<CpiKeys> {
+    out.reports
+        .iter()
+        .map(|r| {
+            let mut dets: Vec<_> =
+                r.detections.iter().map(|d| (d.beam, d.bin, d.range, d.power.to_bits())).collect();
+            dets.sort_unstable();
+            (r.cpi, dets)
+        })
+        .collect()
+}
+
+#[test]
+fn out_of_core_detections_are_bit_identical_on_catalog_scenarios() {
+    // The acceptance claim, on two catalog worlds with real interference
+    // and motion: streaming cubes through chunks whose provable scratch
+    // bound sits several times under the cube changes nothing downstream.
+    for name in ["two-target", "benchmark"] {
+        let scenario = find(name).expect("catalog scenario exists");
+        let resident = run(scenario.config());
+        let ooc_cfg =
+            StapConfig { access: CubeAccess::OutOfCore { chunk_rows: 8 }, ..scenario.config() };
+        let cube = ooc_cfg.dims.bytes() as u64;
+        let ooc = run(ooc_cfg);
+        assert_eq!(keys(&resident), keys(&ooc), "{name}: out-of-core changed detections");
+        assert!(
+            resident.reports.iter().map(|r| r.detections.len()).sum::<usize>() > 0,
+            "{name}: parity must be over real detections"
+        );
+        let st = ooc.store.expect("out-of-core run reports tier counters");
+        let (peak, bound) = st.footprint.expect("out-of-core run meters scratch");
+        assert!(peak <= bound, "{name}: scratch peak {peak} exceeded bound {bound}");
+        assert!(cube >= 4 * bound, "{name}: cube {cube} not >= 4x bound {bound}");
+    }
+}
+
+#[test]
+fn cached_run_matches_plain_run_and_reports_the_tier() {
+    let plain = run(StapConfig::default());
+    assert!(plain.store.is_none(), "plain resident run must not report a storage tier");
+    assert!(!plain.run_report_json().contains("\"store\""));
+
+    let cached = run(StapConfig { io: IoStrategy::Cached { mb: 8 }, ..StapConfig::default() });
+    assert_eq!(keys(&plain), keys(&cached), "the server cache changed detections");
+    let st = cached.store.expect("cached run reports tier counters");
+    assert!(st.hits > 0, "8 MiB over a 1 MiB working set must produce repeat hits");
+    assert_eq!(st.footprint, None, "resident access needs no scratch meter");
+    let json = cached.run_report_json();
+    assert!(json.contains("\"store\""), "run report gains the store section:\n{json}");
+    assert!(json.contains("\"cache_hits\""), "store section carries counters:\n{json}");
+}
